@@ -1,0 +1,160 @@
+(* Ablations of the design choices DESIGN.md calls out:
+   1. cross-product: naive (Algorithm 1) vs efficient (Algorithm 2);
+   2. LMM multiplication order: K·(R·X) vs materializing (K·R)·X (§3.3.3);
+   3. indicator-specialized kernels vs generic CSR for K;
+   4. execution policy: heuristic-adaptive vs always-factorized vs
+      always-materialized on both a high- and a low-redundancy join. *)
+
+open La
+open Sparse
+open Morpheus
+open Ml_algs.Algorithms
+open Workload
+
+let run cfg =
+  Harness.section "Ablations" ;
+  let ns = if cfg.Harness.quick then 20_000 else 100_000 in
+  let nr = ns / 10 in
+  let data = Synthetic.pkfk ~seed:5 ~ns ~ds:15 ~nr ~dr:45 () in
+  let t = data.Synthetic.t in
+
+  (* 1. crossprod methods *)
+  Harness.subsection "1. cross-product: Algorithm 1 (naive) vs Algorithm 2 (efficient)" ;
+  let t_naive =
+    Timing.measure ~runs:cfg.Harness.runs (fun () -> ignore (Rewrite.crossprod_naive t))
+  in
+  let t_eff =
+    Timing.measure ~runs:cfg.Harness.runs (fun () -> ignore (Rewrite.crossprod t))
+  in
+  Fmt.pr "naive %s | efficient %s | efficient is %.2fx faster@." (Harness.ts t_naive) (Harness.ts t_eff) (t_naive /. t_eff) ;
+
+  (* 2. LMM order *)
+  Harness.subsection "2. LMM order: K(RX) vs (KR)X" ;
+  let x = Dense.random ~rng:(Rng.of_int 2) (Normalized.cols t) 2 in
+  let part = List.hd (Normalized.parts t) in
+  let s = Option.get (Normalized.ent t) in
+  let ds_cols = Mat.cols s in
+  let good =
+    Timing.measure ~runs:cfg.Harness.runs (fun () -> ignore (Rewrite.lmm t x))
+  in
+  let bad =
+    Timing.measure ~runs:cfg.Harness.runs (fun () ->
+        (* (KR)·X[dS+1:,] — materializes the join's R half first *)
+        let kr = Materialize.part_product part in
+        let z =
+          Mat.mm kr (Dense.sub_rows x ~lo:ds_cols ~hi:(Dense.rows x))
+        in
+        let sz = Mat.mm s (Dense.sub_rows x ~lo:0 ~hi:ds_cols) in
+        ignore (Dense.add sz z))
+  in
+  Fmt.pr "K(RX) %s | (KR)X %s | correct order is %.2fx faster@." (Harness.ts good) (Harness.ts bad) (bad /. good) ;
+
+  (* 3. indicator kernels vs generic CSR *)
+  Harness.subsection "3. indicator-specialized kernels vs generic CSR for K" ;
+  let k = part.Normalized.ind in
+  let r = Mat.dense part.Normalized.mat in
+  let k_csr = Indicator.to_csr k in
+  let spec =
+    Timing.measure ~runs:cfg.Harness.runs (fun () -> ignore (Indicator.mult k r))
+  in
+  let generic =
+    Timing.measure ~runs:cfg.Harness.runs (fun () -> ignore (Csr.smm k_csr r))
+  in
+  Fmt.pr "indicator gather %s | csr smm %s | specialization is %.2fx faster@."
+    (Harness.ts spec) (Harness.ts generic) (generic /. spec) ;
+
+  (* 4. execution policy *)
+  Harness.subsection "4. policy: adaptive vs always-F vs always-M (logreg, 3 iters)" ;
+  let bench_policy label t =
+    let y =
+      Dense.init (Normalized.rows t) 1 (fun i _ -> if i mod 2 = 0 then 1.0 else -1.0)
+    in
+    let m = Materialize.to_mat t in
+    let t_m =
+      Timing.measure ~runs:cfg.Harness.runs (fun () ->
+          ignore (Materialized.Logreg.train ~alpha:1e-4 ~iters:3 m y))
+    in
+    let t_f =
+      Timing.measure ~runs:cfg.Harness.runs (fun () ->
+          ignore (Factorized.Logreg.train ~alpha:1e-4 ~iters:3 t y))
+    in
+    let a = Adaptive_matrix.of_normalized t in
+    let t_a =
+      Timing.measure ~runs:cfg.Harness.runs (fun () ->
+          ignore (Adaptive.Logreg.train ~alpha:1e-4 ~iters:3 a y))
+    in
+    Fmt.pr
+      "%s (TR=%.1f FR=%.1f): M %s | F %s | adaptive %s (chose %s)@." label
+      (Normalized.tuple_ratio t) (Normalized.feature_ratio t) (Harness.ts t_m)
+      (Harness.ts t_f) (Harness.ts t_a)
+      (Decision.to_string (Adaptive_matrix.choice a))
+  in
+  bench_policy "high redundancy" t ;
+  let low =
+    Synthetic.pkfk ~seed:6 ~ns:(nr * 2) ~ds:30 ~nr ~dr:8 ()
+  in
+  bench_policy "low redundancy " low.Synthetic.t ;
+
+  (* 5. spectral extensions (paper Â§7 future work): PCA over the
+     normalized matrix vs over the materialized one *)
+  Harness.subsection "5. PCA: factorized (Spectral) vs materialized (center + eigen)" ;
+  let m = Materialize.to_mat t in
+  let t_pca_f =
+    Timing.measure ~runs:cfg.Harness.runs (fun () ->
+        ignore (Spectral.pca ~k:5 t))
+  in
+  let t_pca_m =
+    Timing.measure ~runs:cfg.Harness.runs (fun () ->
+        let md = Mat.dense m in
+        let n = Dense.rows md in
+        let mu = Dense.scale (1.0 /. float_of_int n) (Dense.col_sums md) in
+        let centered = Dense.mapi (fun _ j v -> v -. Dense.get mu 0 j) md in
+        let cov =
+          Dense.scale (1.0 /. float_of_int (n - 1)) (Blas.crossprod centered)
+        in
+        ignore (Linalg.sym_eig cov))
+  in
+  Fmt.pr "materialized %s | factorized %s | speed-up %.2fx@." (Harness.ts t_pca_m)
+    (Harness.ts t_pca_f) (t_pca_m /. t_pca_f) ;
+
+  (* 6. expression-DSL dispatch overhead vs direct rewrite calls *)
+  Harness.subsection "6. Expr DSL overhead: eval(T'.(T.w)) vs direct rewrites" ;
+  let w = Dense.random ~rng:(Rng.of_int 7) (Normalized.cols t) 1 in
+  let e = Expr.(tr (normalized t) *@ (normalized t *@ dense w)) in
+  let t_expr =
+    Timing.measure ~runs:cfg.Harness.runs (fun () -> ignore (Expr.eval_dense e))
+  in
+  let t_direct =
+    Timing.measure ~runs:cfg.Harness.runs (fun () ->
+        ignore (Rewrite.tlmm t (Rewrite.lmm t w)))
+  in
+  Fmt.pr "direct %s | via DSL %s | overhead %.1f%%@." (Harness.ts t_direct)
+    (Harness.ts t_expr)
+    (100.0 *. ((t_expr /. t_direct) -. 1.0)) ;
+
+  (* 7. cross-validation: factorized folds share R, materialized folds
+     re-materialize their subsets *)
+  Harness.subsection "7. 5-fold CV (ridge): factorized folds vs materialized folds" ;
+  let y = Dense.gaussian ~rng:(Rng.of_int 8) (Normalized.rows t) 1 in
+  let module FL = Ml_algs.Linreg.Make (Morpheus.Factorized_matrix) in
+  let module MLreg = Ml_algs.Linreg.Make (Morpheus.Regular_matrix) in
+  let folds = Ml_algs.Model_selection.fold_indices ~seed:4 ~k:5 (Normalized.rows t) in
+  let t_cv_f =
+    Timing.measure ~runs:cfg.Harness.runs (fun () ->
+        List.iteri
+          (fun f _ ->
+            let (t_train, y_train), _ = Ml_algs.Model_selection.split t y folds f in
+            ignore (FL.train_gd ~alpha:1e-6 ~iters:3 t_train y_train))
+          folds)
+  in
+  let t_cv_m =
+    Timing.measure ~runs:cfg.Harness.runs (fun () ->
+        List.iteri
+          (fun f _ ->
+            let (t_train, y_train), _ = Ml_algs.Model_selection.split t y folds f in
+            let m_train = Mat.of_dense (Materialize.to_dense t_train) in
+            ignore (MLreg.train_gd ~alpha:1e-6 ~iters:3 m_train y_train))
+          folds)
+  in
+  Fmt.pr "materialized folds %s | factorized folds %s | speed-up %.1fx@."
+    (Harness.ts t_cv_m) (Harness.ts t_cv_f) (t_cv_m /. t_cv_f)

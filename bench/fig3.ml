@@ -1,0 +1,65 @@
+(* Figures 3, 6 and 7: operator-level speed-ups over a synthetic PK-FK
+   join, swept over the tuple ratio TR = n_S/n_R and feature ratio
+   FR = d_R/d_S (Table 4's setup, rescaled). For each grid cell the
+   factorized and materialized operators run on identical data; cells
+   report the F-over-M speed-up using the paper's Figure-3 buckets. *)
+
+open Morpheus
+open Workload
+
+let tuple_ratios cfg = if cfg.Harness.quick then [ 2; 10 ] else [ 1; 2; 5; 10; 20 ]
+let feature_ratios cfg = if cfg.Harness.quick then [ 1.0; 4.0 ] else [ 0.25; 0.5; 1.0; 2.0; 4.0 ]
+let base_nr cfg = if cfg.Harness.quick then 500 else 2_000
+
+let datasets cfg ~shrink =
+  List.concat_map
+    (fun tr ->
+      List.map
+        (fun fr ->
+          let base = max 50 (base_nr cfg / shrink) in
+          let d = Synthetic.table4_tuple_ratio ~base ~tr ~fr () in
+          (tr, fr, d.Synthetic.t))
+        (feature_ratios cfg))
+    (tuple_ratios cfg)
+
+let run ?(ops = Op_defs.fig3_ops) ?(title = "Figure 3: PK-FK operator speed-ups (TR x FR grid)")
+    cfg =
+  Harness.section title ;
+  Harness.legend () ;
+  let trs = tuple_ratios cfg and frs = feature_ratios cfg in
+  List.iter
+    (fun (op : Op_defs.op) ->
+      Harness.subsection op.Op_defs.name ;
+      let cells = datasets cfg ~shrink:op.Op_defs.shrink in
+      (* precompute times for the whole grid *)
+      let results =
+        List.map
+          (fun (tr, fr, t) ->
+            let m = Materialize.to_mat t in
+            let tf, tm =
+              Harness.time_fm cfg ~f:(op.Op_defs.fact t) ~m:(op.Op_defs.mat m)
+            in
+            ((tr, fr), (tf, tm)))
+          cells
+      in
+      Harness.grid ~row_label:"FR" ~col_label:"TR"
+        ~rows:(List.map string_of_float frs)
+        ~cols:(List.map string_of_int trs)
+        (fun fi ti ->
+          let tr = List.nth trs ti and fr = List.nth frs fi in
+          let tf, tm = List.assoc (tr, fr) results in
+          Harness.speedup_cell (tm /. tf)) ;
+      if cfg.Harness.runtimes then begin
+        print_endline "absolute runtimes (materialized | factorized):" ;
+        List.iter
+          (fun ((tr, fr), (tf, tm)) ->
+            Fmt.pr "  TR=%2d FR=%4.2f  M %s | F %s@." tr fr (Harness.ts tm)
+              (Harness.ts tf))
+          results
+      end)
+    ops
+
+(* Figure 6 is the same sweep over the appendix operator set. *)
+let run_fig6 cfg =
+  run ~ops:Op_defs.fig6_ops
+    ~title:"Figure 6: PK-FK operator speed-ups, appendix operators" cfg

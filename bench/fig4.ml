@@ -1,0 +1,47 @@
+(* Figure 4 (and appendix Figures 11/12): operator runtimes over an M:N
+   join as the join-attribute uniqueness degree n_U/n_S varies. Smaller
+   degrees mean more repetition after the join — at 0.01 the paper sees
+   nearly two-orders-of-magnitude speed-ups. Table 5's setup, rescaled
+   with d_S = d_R fixed and both runtimes reported like the paper's
+   log-scale plots. *)
+
+open Morpheus
+open Workload
+
+let uniqueness cfg =
+  if cfg.Harness.quick then [ 0.02; 0.2 ] else [ 0.01; 0.02; 0.05; 0.1; 0.2; 0.5 ]
+
+let sizes cfg = if cfg.Harness.quick then [ 1_000 ] else [ 1_000; 2_000 ]
+let dims cfg = if cfg.Harness.quick then 30 else 50
+
+let run ?(ops = [ Op_defs.lmm; Op_defs.crossprod ])
+    ?(title = "Figure 4: M:N join operators vs join attribute uniqueness degree") cfg =
+  Harness.section title ;
+  let d = dims cfg in
+  List.iter
+    (fun (op : Op_defs.op) ->
+      Harness.subsection op.Op_defs.name ;
+      Printf.printf "%10s %8s %12s %12s %9s\n" "nS=nR" "nU/nS" "M" "F" "speedup" ;
+      List.iter
+        (fun ns ->
+          let ns = max 200 (ns / op.Op_defs.shrink) in
+          List.iter
+            (fun u ->
+              let nu = max 1 (int_of_float (u *. float_of_int ns)) in
+              let data = Synthetic.mn ~seed:(nu + ns) ~ns ~nr:ns ~ds:d ~dr:d ~nu () in
+              let t = data.Synthetic.t in
+              let m = Materialize.to_mat t in
+              let tf, tm =
+                Harness.time_fm cfg ~f:(op.Op_defs.fact t) ~m:(op.Op_defs.mat m)
+              in
+              Fmt.pr "%10d %8.2f %12s %12s %8.1fx  (|T| = %d rows)@." ns u
+                (Harness.ts tm) (Harness.ts tf) (tm /. tf)
+                (Normalized.rows t))
+            (uniqueness cfg))
+        (sizes cfg))
+    ops
+
+(* Appendix Figures 11/12: every operator over the M:N sweep. *)
+let run_all_ops cfg =
+  run ~ops:Op_defs.all_ops
+    ~title:"Figures 11/12: all operators over M:N joins" cfg

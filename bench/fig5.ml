@@ -1,0 +1,114 @@
+(* Figure 5 (plus appendix Figures 8, 9, 10): the four ML algorithms on
+   synthetic PK-FK data — logistic regression, linear regression (normal
+   equations and gradient descent), K-Means, and GNMF — sweeping the
+   tuple ratio, the feature ratio, the iteration count, and the number
+   of centroids/topics, exactly the axes of the paper's plots. *)
+
+open La
+open Sparse
+open Morpheus
+open Ml_algs.Algorithms
+open Workload
+
+let iters cfg = if cfg.Harness.quick then 3 else 5
+let base_nr cfg = if cfg.Harness.quick then 500 else 2_000
+
+type algo = {
+  name : string;
+  fact : iters:int -> Normalized.t -> Dense.t -> Dense.t -> unit;
+  mat : iters:int -> Mat.t -> Dense.t -> Dense.t -> unit;
+}
+
+let algos =
+  [ { name = "Logistic Regression";
+      fact = (fun ~iters t y _ -> ignore (Factorized.Logreg.train ~alpha:1e-4 ~iters t y));
+      mat = (fun ~iters m y _ -> ignore (Materialized.Logreg.train ~alpha:1e-4 ~iters m y)) };
+    { name = "Linear Regression (normal equations)";
+      fact = (fun ~iters:_ t _ yn -> ignore (Factorized.Linreg.train_normal t yn));
+      mat = (fun ~iters:_ m _ yn -> ignore (Materialized.Linreg.train_normal m yn)) };
+    { name = "Linear Regression (gradient descent)";
+      fact = (fun ~iters t _ yn -> ignore (Factorized.Linreg.train_gd ~alpha:1e-7 ~iters t yn));
+      mat = (fun ~iters m _ yn -> ignore (Materialized.Linreg.train_gd ~alpha:1e-7 ~iters m yn)) };
+    { name = "K-Means (k=5)";
+      fact = (fun ~iters t _ _ -> ignore (Factorized.Kmeans.train ~iters ~k:5 t));
+      mat = (fun ~iters m _ _ -> ignore (Materialized.Kmeans.train ~iters ~k:5 m)) };
+    { name = "GNMF (rank=5)";
+      fact = (fun ~iters t _ _ -> ignore (Factorized.Gnmf.train ~iters ~rank:5 t));
+      mat = (fun ~iters m _ _ -> ignore (Materialized.Gnmf.train ~iters ~rank:5 m)) } ]
+
+let bench_case cfg algo ~iters (d : Synthetic.pkfk) =
+  let t = d.Synthetic.t in
+  let m = Materialize.to_mat t in
+  let y = d.Synthetic.y and yn = d.Synthetic.y_numeric in
+  Harness.time_fm cfg
+    ~f:(fun () -> algo.fact ~iters t y yn)
+    ~m:(fun () -> algo.mat ~iters m y yn)
+
+let run cfg =
+  Harness.section "Figure 5 (a,b row): ML algorithms, vary TR and FR" ;
+  let trs = if cfg.Harness.quick then [ 5; 20 ] else [ 5; 10; 15; 20 ] in
+  let frs = if cfg.Harness.quick then [ 2.0 ] else [ 1.0; 2.0; 4.0 ] in
+  let it = iters cfg in
+  List.iter
+    (fun algo ->
+      Harness.subsection algo.name ;
+      Printf.printf "%6s %6s %12s %12s %9s\n" "TR" "FR" "M" "F" "speedup" ;
+      List.iter
+        (fun tr ->
+          List.iter
+            (fun fr ->
+              let d = Synthetic.table4_tuple_ratio ~base:(base_nr cfg) ~tr ~fr () in
+              let tf, tm = bench_case cfg algo ~iters:it d in
+              Fmt.pr "%6d %6.2f %12s %12s %8.1fx@." tr fr (Harness.ts tm)
+                (Harness.ts tf) (tm /. tf))
+            frs)
+        trs)
+    algos
+
+(* Figure 5(c1,d1) / appendix 8(c), 9: runtime vs number of iterations. *)
+let run_iterations cfg =
+  Harness.section "Figures 5(c1,d1)/8/9: runtime vs iterations (TR=10, FR=4)" ;
+  let iter_grid = if cfg.Harness.quick then [ 2; 5 ] else [ 2; 5; 10; 20 ] in
+  let d = Synthetic.table4_tuple_ratio ~base:(base_nr cfg) ~tr:10 ~fr:4.0 () in
+  List.iter
+    (fun algo ->
+      Harness.subsection algo.name ;
+      Printf.printf "%8s %12s %12s %9s\n" "iters" "M" "F" "speedup" ;
+      List.iter
+        (fun it ->
+          let tf, tm = bench_case cfg algo ~iters:it d in
+          Fmt.pr "%8d %12s %12s %8.1fx@." it (Harness.ts tm) (Harness.ts tf) (tm /. tf))
+        iter_grid)
+    (List.filter (fun a -> a.name <> "Linear Regression (normal equations)") algos)
+
+(* Figure 5(c2): K-Means runtime vs number of centroids; (d2): GNMF vs
+   number of topics. *)
+let run_centroids_topics cfg =
+  Harness.section "Figure 5(c2,d2): K-Means vs #centroids, GNMF vs #topics (TR=10, FR=4)" ;
+  let d = Synthetic.table4_tuple_ratio ~base:(base_nr cfg) ~tr:10 ~fr:4.0 () in
+  let t = d.Synthetic.t in
+  let m = Materialize.to_mat t in
+  let it = iters cfg in
+  Harness.subsection "K-Means" ;
+  Printf.printf "%10s %12s %12s %9s\n" "centroids" "M" "F" "speedup" ;
+  List.iter
+    (fun k ->
+      let tf, tm =
+        Harness.time_fm cfg
+          ~f:(fun () -> ignore (Factorized.Kmeans.train ~iters:it ~k t))
+          ~m:(fun () -> ignore (Materialized.Kmeans.train ~iters:it ~k m))
+      in
+      Fmt.pr "%10d %12s %12s %8.1fx@." k (Harness.ts tm) (Harness.ts tf)
+        (tm /. tf))
+    (if cfg.Harness.quick then [ 5; 10 ] else [ 5; 10; 15; 20 ]) ;
+  Harness.subsection "GNMF" ;
+  Printf.printf "%10s %12s %12s %9s\n" "topics" "M" "F" "speedup" ;
+  List.iter
+    (fun rank ->
+      let tf, tm =
+        Harness.time_fm cfg
+          ~f:(fun () -> ignore (Factorized.Gnmf.train ~iters:it ~rank t))
+          ~m:(fun () -> ignore (Materialized.Gnmf.train ~iters:it ~rank m))
+      in
+      Fmt.pr "%10d %12s %12s %8.1fx@." rank (Harness.ts tm) (Harness.ts tf) (tm /. tf))
+    (if cfg.Harness.quick then [ 2; 5 ] else [ 2; 4; 6; 8; 10 ])

@@ -1,0 +1,72 @@
+(* Table 3 / Table 11: arithmetic-computation counts. Rather than citing
+   the analytic expressions, this bench *measures* them: the LA kernels
+   carry flop counters, and each operator's measured count is printed
+   next to the Table 3 model for both execution paths, together with the
+   asymptotic speed-up limits of Table 11. *)
+
+open La
+open Sparse
+open Morpheus
+open Workload
+
+let run cfg =
+  Harness.section "Table 3/11: arithmetic computations, model vs measured" ;
+  let ns = if cfg.Harness.quick then 20_000 else 50_000 in
+  let nr = ns / 10 and ds = 10 in
+  let dr = 20 in
+  Printf.printf "(nS=%d, dS=%d, nR=%d, dR=%d; counts in flops, model doubled to count mult+add)\n"
+    ns ds nr dr ;
+  let data = Synthetic.pkfk ~seed:3 ~ns ~ds ~nr ~dr () in
+  let t = data.Synthetic.t in
+  let m = Materialize.to_mat t in
+  let dims = { Cost.ns; ds; nr; dr } in
+  let x1 = Dense.random ~rng:(Rng.of_int 11) (ds + dr) 1 in
+  let xr = Dense.random ~rng:(Rng.of_int 12) 1 ns in
+  let flops f =
+    let _, n = Flops.count f in
+    n
+  in
+  let cases =
+    [ ( "scalar mult",
+        Cost.Scalar_op,
+        1.0,
+        (fun () -> ignore (Rewrite.scale 2.0 t)),
+        fun () -> ignore (Mat.scale 2.0 m) );
+      ( "rowSums",
+        Cost.Aggregation,
+        1.0,
+        (fun () -> ignore (Rewrite.row_sums t)),
+        fun () -> ignore (Mat.row_sums m) );
+      ( "LMM (dX=1)",
+        Cost.Lmm 1,
+        2.0,
+        (fun () -> ignore (Rewrite.lmm t x1)),
+        fun () -> ignore (Mat.mm m x1) );
+      ( "RMM (nX=1)",
+        Cost.Rmm 1,
+        2.0,
+        (fun () -> ignore (Rewrite.rmm xr t)),
+        fun () -> ignore (Mat.mm_left xr m) );
+      ( "crossprod",
+        Cost.Crossprod,
+        2.0,
+        (fun () -> ignore (Rewrite.crossprod t)),
+        fun () -> ignore (Mat.crossprod m) ) ]
+  in
+  Printf.printf "%-14s %14s %14s %14s %14s %9s %9s\n" "operator" "model(M)" "meas(M)"
+    "model(F)" "meas(F)" "sp model" "sp meas" ;
+  List.iter
+    (fun (name, op, scale, ff, fm) ->
+      let model_m = scale *. Cost.standard dims op in
+      let model_f = scale *. Cost.factorized dims op in
+      let meas_f = flops ff in
+      let meas_m = flops fm in
+      Printf.printf "%-14s %14.3g %14.3g %14.3g %14.3g %8.2fx %8.2fx\n" name model_m
+        meas_m model_f meas_f (model_m /. model_f) (meas_m /. meas_f))
+    cases ;
+  Printf.printf "\nTable 11 asymptotic speed-up limits at FR=%.1f: linear ops -> %.1f, crossprod -> %.1f\n"
+    (float_of_int dr /. float_of_int ds)
+    (Cost.limit_tuple_ratio ~feature_ratio:(float_of_int dr /. float_of_int ds)
+       (Cost.Lmm 1))
+    (Cost.limit_tuple_ratio ~feature_ratio:(float_of_int dr /. float_of_int ds)
+       Cost.Crossprod)

@@ -1,0 +1,58 @@
+(* Shared infrastructure for the paper-reproduction benches: timing both
+   execution paths, printing paper-style tables, and the global scale
+   knob (--quick shrinks every workload; ratios are preserved). *)
+
+open Workload
+
+type config = {
+  quick : bool; (* smaller grids and sizes *)
+  runs : int; (* timed repetitions (median) *)
+  runtimes : bool; (* print absolute runtimes alongside speed-ups *)
+}
+
+let default = { quick = false; runs = 3; runtimes = false }
+
+(* Median-of-runs timing for the two paths of one operator instance. *)
+let time_fm cfg ~f ~m =
+  let tf = Timing.measure ~warmup:1 ~runs:cfg.runs f in
+  let tm = Timing.measure ~warmup:1 ~runs:cfg.runs m in
+  (tf, tm)
+
+let speedup_cell sp =
+  (* the paper's Figure 3 buckets *)
+  if sp < 1.0 then Printf.sprintf "%5.2f." sp
+  else if sp < 2.0 then Printf.sprintf "%5.2f-" sp
+  else if sp < 3.0 then Printf.sprintf "%5.2f+" sp
+  else Printf.sprintf "%5.2f*" sp
+
+let hrule width = String.make width '-'
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let subsection title = Printf.printf "\n-- %s --\n" title
+
+let legend () =
+  print_endline
+    "cells are F-over-M speed-ups; buckets as in Fig 3: '.' <1, '-' 1-2, '+' 2-3, '*' >3"
+
+(* Print a TR×FR-style grid of speed-ups. *)
+let grid ~row_label ~col_label ~rows ~cols cell =
+  Printf.printf "%8s \\ %s\n" row_label col_label ;
+  Printf.printf "%8s" "" ;
+  List.iter (fun c -> Printf.printf " %8s" c) cols ;
+  print_newline () ;
+  List.iteri
+    (fun i r ->
+      Printf.printf "%8s" r ;
+      List.iteri (fun j _ -> Printf.printf " %8s" (cell i j)) cols ;
+      print_newline ())
+    rows
+
+let pp_time = Timing.pp_seconds
+
+(* Fixed-width rendering for table cells. *)
+let ts s =
+  if s < 1e-3 then Printf.sprintf "%.1fus" (s *. 1e6)
+  else if s < 1.0 then Printf.sprintf "%.2fms" (s *. 1e3)
+  else Printf.sprintf "%.2fs" s

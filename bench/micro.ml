@@ -1,0 +1,93 @@
+(* Bechamel micro-suite: one Test.make per table/figure family, timing
+   the core factorized vs materialized operator of that experiment with
+   OLS estimation over many samples. Complements the sweep benches with
+   statistically robust per-op numbers at one representative size. *)
+
+open Bechamel
+open Toolkit
+open La
+open Sparse
+open Morpheus
+open Workload
+
+let make_tests cfg =
+  let ns = if cfg.Harness.quick then 10_000 else 40_000 in
+  let nr = ns / 10 in
+  let data = Synthetic.pkfk ~seed:9 ~ns ~ds:10 ~nr ~dr:40 () in
+  let t = data.Synthetic.t in
+  let m = Materialize.to_mat t in
+  let y = data.Synthetic.y in
+  let mn = Synthetic.mn ~seed:9 ~ns:(ns / 20) ~nr:(ns / 20) ~ds:20 ~dr:20
+      ~nu:(ns / 200) ()
+  in
+  let tmn = mn.Synthetic.t in
+  let mmn = Materialize.to_mat tmn in
+  let x = Dense.random ~rng:(Rng.of_int 1) (Normalized.cols t) 1 in
+  let xm = Dense.random ~rng:(Rng.of_int 1) (Normalized.cols tmn) 1 in
+  let stage f = Staged.stage f in
+  let module FL = Ml_algs.Algorithms.Factorized.Logreg in
+  let module ML = Ml_algs.Algorithms.Materialized.Logreg in
+  [ Test.make ~name:"fig3/scalar:M" (stage (fun () -> ignore (Mat.scale 2.0 m)));
+    Test.make ~name:"fig3/scalar:F" (stage (fun () -> ignore (Rewrite.scale 2.0 t)));
+    Test.make ~name:"fig3/lmm:M" (stage (fun () -> ignore (Mat.mm m x)));
+    Test.make ~name:"fig3/lmm:F" (stage (fun () -> ignore (Rewrite.lmm t x)));
+    Test.make ~name:"fig3/crossprod:M" (stage (fun () -> ignore (Mat.crossprod m)));
+    Test.make ~name:"fig3/crossprod:F" (stage (fun () -> ignore (Rewrite.crossprod t)));
+    Test.make ~name:"fig4/mn-lmm:M" (stage (fun () -> ignore (Mat.mm mmn xm)));
+    Test.make ~name:"fig4/mn-lmm:F" (stage (fun () -> ignore (Rewrite.lmm tmn xm)));
+    Test.make ~name:"fig5/logreg-iter:M"
+      (stage (fun () -> ignore (ML.train ~alpha:1e-4 ~iters:1 m y)));
+    Test.make ~name:"fig5/logreg-iter:F"
+      (stage (fun () -> ignore (FL.train ~alpha:1e-4 ~iters:1 t y)));
+    Test.make ~name:"tab3/rowsums:M" (stage (fun () -> ignore (Mat.row_sums m)));
+    Test.make ~name:"tab3/rowsums:F" (stage (fun () -> ignore (Rewrite.row_sums t))) ]
+
+let run cfg =
+  Harness.section "Bechamel micro-suite (OLS ns/run estimates)" ;
+  let tests = Test.make_grouped ~name:"morpheus" ~fmt:"%s %s" (make_tests cfg) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let bench_cfg =
+    Benchmark.cfg ~limit:1000
+      ~quota:(Time.second (if cfg.Harness.quick then 0.25 else 0.5))
+      ~kde:(Some 500) ()
+  in
+  let raw = Benchmark.all bench_cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  let clock = Hashtbl.find merged (Measure.label Instance.monotonic_clock) in
+  let rows =
+    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) clock []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  Printf.printf "%-36s %16s\n" "benchmark" "time/run" ;
+  let times = Hashtbl.create 16 in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] ->
+        Hashtbl.replace times name est ;
+        let pp =
+          if est > 1e9 then Printf.sprintf "%10.3f s " (est /. 1e9)
+          else if est > 1e6 then Printf.sprintf "%10.3f ms" (est /. 1e6)
+          else Printf.sprintf "%10.3f us" (est /. 1e3)
+        in
+        Printf.printf "%-36s %16s\n" name pp
+      | _ -> Printf.printf "%-36s %16s\n" name "n/a")
+    rows ;
+  (* derived speed-ups per family *)
+  print_newline () ;
+  Hashtbl.iter
+    (fun name est ->
+      let suffix = ":M" in
+      if Filename.check_suffix name suffix then begin
+        let base = Filename.chop_suffix name suffix in
+        match Hashtbl.find_opt times (base ^ ":F") with
+        | Some f -> Printf.printf "%-30s speed-up %.2fx\n" base (est /. f)
+        | None -> ()
+      end)
+    times

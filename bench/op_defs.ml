@@ -1,0 +1,92 @@
+(* Operator closures shared by the operator-level benches (Figures 3, 4,
+   6, 7, 11, 12): each op has a factorized form over the normalized
+   matrix and a standard form over the materialized T. *)
+
+open La
+open Sparse
+open Morpheus
+
+type op = {
+  name : string;
+  fact : Normalized.t -> unit -> unit;
+  mat : Mat.t -> unit -> unit;
+  shrink : int;
+      (* divide the sweep's base size by this; >1 for operators whose
+         materialized version is superlinear (ginv's SVD) *)
+}
+
+let x_for cols k = Dense.random ~rng:(Rng.of_int (cols + k)) cols k
+let xl_for rows k = Dense.random ~rng:(Rng.of_int (rows + k)) k rows
+
+let scalar_mult =
+  { name = "scalar mult";
+    fact = (fun t () -> ignore (Rewrite.scale 3.0 t));
+    mat = (fun m () -> ignore (Mat.scale 3.0 m)) ;
+    shrink = 1 }
+
+let scalar_add =
+  { name = "scalar add";
+    fact = (fun t () -> ignore (Rewrite.add_scalar 1.5 t));
+    mat = (fun m () -> ignore (Mat.add_scalar 1.5 m)) ;
+    shrink = 1 }
+
+let scalar_exp =
+  { name = "scalar exp";
+    fact = (fun t () -> ignore (Rewrite.exp t));
+    mat = (fun m () -> ignore (Mat.exp m)) ;
+    shrink = 1 }
+
+let lmm =
+  { name = "LMM";
+    fact = (fun t -> let x = x_for (Normalized.cols t) 2 in fun () -> ignore (Rewrite.lmm t x));
+    mat = (fun m -> let x = x_for (Mat.cols m) 2 in fun () -> ignore (Mat.mm m x)) ;
+    shrink = 1 }
+
+let rmm =
+  { name = "RMM";
+    fact = (fun t -> let x = xl_for (Normalized.rows t) 2 in fun () -> ignore (Rewrite.rmm x t));
+    mat = (fun m -> let x = xl_for (Mat.rows m) 2 in fun () -> ignore (Mat.mm_left x m)) ;
+    shrink = 1 }
+
+let row_sums =
+  { name = "rowSums";
+    fact = (fun t () -> ignore (Rewrite.row_sums t));
+    mat = (fun m () -> ignore (Mat.row_sums m)) ;
+    shrink = 1 }
+
+let col_sums =
+  { name = "colSums";
+    fact = (fun t () -> ignore (Rewrite.col_sums t));
+    mat = (fun m () -> ignore (Mat.col_sums m)) ;
+    shrink = 1 }
+
+let sum =
+  { name = "sum";
+    fact = (fun t () -> ignore (Rewrite.sum t));
+    mat = (fun m () -> ignore (Mat.sum m)) ;
+    shrink = 1 }
+
+let crossprod =
+  { name = "crossprod";
+    fact = (fun t () -> ignore (Rewrite.crossprod t));
+    mat = (fun m () -> ignore (Mat.crossprod m)) ;
+    shrink = 1 }
+
+let ginv =
+  { name = "pseudo-inverse";
+    fact = (fun t () -> ignore (Rewrite.ginv t));
+    mat = (fun m () -> ignore (Linalg.ginv (Mat.dense m)));
+    shrink = 8 }
+
+
+(* Figure 3's four headline operators. *)
+let fig3_ops = [ scalar_mult; lmm; crossprod; ginv ]
+
+(* Figure 6's appendix set. *)
+let fig6_ops = [ scalar_add; rmm; row_sums; col_sums; sum ]
+
+(* Appendix Figures 11/12 sweep all element-wise, aggregation, and
+   multiplication operators over M:N joins (no pseudo-inverse there). *)
+let all_ops =
+  [ scalar_mult; scalar_add; scalar_exp; lmm; rmm; row_sums; col_sums; sum;
+    crossprod ]

@@ -1,0 +1,79 @@
+(* Tables 9 and 10: per-iteration logistic regression over chunked
+   (larger-than-memory-style) data, PK-FK and M:N. The materialized path
+   streams the wide T from disk chunk by chunk; the Morpheus path keeps
+   the small R in memory and streams only S (PK-FK) or only indicator
+   windows (M:N), exactly the Morpheus-on-ORE architecture of §5.2.4. *)
+
+open La
+open Morpheus
+open Workload
+
+let tmpdir tag =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "morpheus_bench_%s_%d" tag (Unix.getpid ()))
+
+let per_iteration cfg cn t_store y =
+  let w0_f = Dense.create (Ore.Chunked_normalized.cols cn) 1 in
+  let w0_m = Dense.create (Ore.Chunk_store.cols t_store) 1 in
+  let t_f =
+    Timing.measure ~warmup:1 ~runs:cfg.Harness.runs (fun () ->
+        ignore (Ore.Ore_logreg.iteration_factorized ~alpha:1e-4 cn y w0_f))
+  in
+  let t_m =
+    Timing.measure ~warmup:1 ~runs:cfg.Harness.runs (fun () ->
+        ignore (Ore.Ore_logreg.iteration_materialized ~alpha:1e-4 t_store y w0_m))
+  in
+  (t_f, t_m)
+
+let run_table9 cfg =
+  Harness.section "Table 9: ORE-style chunked logistic regression, PK-FK (per-iteration)" ;
+  let ns = if cfg.Harness.quick then 40_000 else 200_000 in
+  let nr = ns / 20 and ds = 20 in
+  let chunk = ns / 10 in
+  Printf.printf "(nS=%d, nR=%d, dS=%d, %d-row chunks on disk)\n" ns nr ds chunk ;
+  Printf.printf "%6s %14s %14s %9s\n" "FR" "Materialized" "Morpheus" "speedup" ;
+  List.iter
+    (fun fr ->
+      let dr = int_of_float (fr *. float_of_int ds) in
+      let data = Synthetic.pkfk ~seed:dr ~ns ~ds ~nr ~dr () in
+      let t = data.Synthetic.t in
+      let dir_s = tmpdir (Printf.sprintf "t9s_%d" dr) in
+      let cn = Ore.Chunked_normalized.of_normalized ~dir:dir_s ~chunk_size:chunk t in
+      let dir_t = tmpdir (Printf.sprintf "t9t_%d" dr) in
+      let t_store = Ore.Chunked_normalized.materialize ~dir:dir_t cn in
+      Fun.protect
+        ~finally:(fun () ->
+          Ore.Chunk_store.delete t_store ;
+          Ore.Chunked_normalized.cleanup cn)
+        (fun () ->
+          let tf, tm = per_iteration cfg cn t_store data.Synthetic.y in
+          Fmt.pr "%6.1f %14s %14s %8.1fx@." fr (Harness.ts tm) (Harness.ts tf) (tm /. tf)))
+    [ 0.5; 1.0; 2.0; 4.0 ]
+
+let run_table10 cfg =
+  Harness.section "Table 10: ORE-style chunked logistic regression, M:N (per-iteration)" ;
+  let ns = if cfg.Harness.quick then 2_000 else 5_000 in
+  let d = if cfg.Harness.quick then 30 else 40 in
+  Printf.printf "(nS=nR=%d, dS=dR=%d; domain size nU varies)\n" ns d ;
+  Printf.printf "%10s %10s %14s %14s %9s\n" "nU" "|T| rows" "Materialized" "Morpheus"
+    "speedup" ;
+  List.iter
+    (fun u ->
+      let nu = max 1 (int_of_float (u *. float_of_int ns)) in
+      let data = Synthetic.mn ~seed:nu ~ns ~nr:ns ~ds:d ~dr:d ~nu () in
+      let t = data.Synthetic.t in
+      let n_out = Normalized.rows t in
+      let chunk = max 1 (n_out / 10) in
+      let dir_s = tmpdir (Printf.sprintf "t10s_%d" nu) in
+      let cn = Ore.Chunked_normalized.of_normalized ~dir:dir_s ~chunk_size:chunk t in
+      let dir_t = tmpdir (Printf.sprintf "t10t_%d" nu) in
+      let t_store = Ore.Chunked_normalized.materialize ~dir:dir_t cn in
+      Fun.protect
+        ~finally:(fun () ->
+          Ore.Chunk_store.delete t_store ;
+          Ore.Chunked_normalized.cleanup cn)
+        (fun () ->
+          let tf, tm = per_iteration cfg cn t_store data.Synthetic.y in
+          Fmt.pr "%10d %10d %14s %14s %8.1fx@." nu n_out (Harness.ts tm)
+            (Harness.ts tf) (tm /. tf)))
+    (if cfg.Harness.quick then [ 0.5; 0.05 ] else [ 0.5; 0.1; 0.05; 0.01 ])

@@ -1,0 +1,177 @@
+(* Tables 7, 8, and 12 of the paper.
+
+   Table 7: the four ML algorithms over the seven (simulated) real
+   datasets — materialized runtime and Morpheus speed-up per cell.
+   Table 8: Morpheus vs the reimplemented Orion on factorized logistic
+   regression, sweeping the feature ratio.
+   Table 12 (appendix K): data-preparation time vs logistic-regression
+   runtime, per real dataset. *)
+
+open Sparse
+open Morpheus
+open Ml_algs
+open Ml_algs.Algorithms
+open Workload
+
+(* Scaled-down loading of the Table 6 datasets: rows at 2%, one-hot
+   widths at 0.5% keep d³ pseudo-inverses tractable while preserving
+   per-row sparsity and TR. --quick shrinks further. *)
+let scales cfg =
+  if cfg.Harness.quick then (0.005, 0.002) else (0.05, 0.005)
+
+let iters cfg = if cfg.Harness.quick then 3 else 5
+
+let run_table7 cfg =
+  Harness.section "Table 7: real datasets (simulated per Table 6), M runtime and Morpheus speed-up" ;
+  let scale_rows, scale_cols = scales cfg in
+  Printf.printf
+    "(rows scaled x%g, one-hot widths x%g; %d iterations; k=5 centroids; 5 topics)\n"
+    scale_rows scale_cols (iters cfg) ;
+  Printf.printf "%-10s %22s %22s %22s %22s\n" "" "Lin.Reg" "Log.Reg" "K-Means" "GNMF" ;
+  Printf.printf "%-10s %12s %9s %12s %9s %12s %9s %12s %9s\n" "dataset" "M" "Sp" "M" "Sp"
+    "M" "Sp" "M" "Sp" ;
+  let it = iters cfg in
+  List.iter
+    (fun spec ->
+      let t, y, yn = Realistic.load ~scale_rows ~scale_cols spec in
+      let m = Materialize.to_mat t in
+      let cell fact mat =
+        let tf, tm = Harness.time_fm cfg ~f:fact ~m:mat in
+        (tm, tm /. tf)
+      in
+      (* one-hot features make crossprod(T) singular, so the paper's Â§4
+         fallback applies: gradient descent instead of normal equations *)
+      let lin_m, lin_sp =
+        cell
+          (fun () -> ignore (Factorized.Linreg.train_gd ~alpha:1e-7 ~iters:it t yn))
+          (fun () -> ignore (Materialized.Linreg.train_gd ~alpha:1e-7 ~iters:it m yn))
+      in
+      let log_m, log_sp =
+        cell
+          (fun () -> ignore (Factorized.Logreg.train ~alpha:1e-4 ~iters:it t y))
+          (fun () -> ignore (Materialized.Logreg.train ~alpha:1e-4 ~iters:it m y))
+      in
+      let km_m, km_sp =
+        cell
+          (fun () -> ignore (Factorized.Kmeans.train ~iters:it ~k:5 t))
+          (fun () -> ignore (Materialized.Kmeans.train ~iters:it ~k:5 m))
+      in
+      let gn_m, gn_sp =
+        cell
+          (fun () -> ignore (Factorized.Gnmf.train ~iters:it ~rank:5 t))
+          (fun () -> ignore (Materialized.Gnmf.train ~iters:it ~rank:5 m))
+      in
+      Fmt.pr "%-10s %12s %8.1fx %12s %8.1fx %12s %8.1fx %12s %8.1fx@."
+        spec.Realistic.name (Harness.ts lin_m) lin_sp (Harness.ts log_m)
+        log_sp (Harness.ts km_m) km_sp (Harness.ts gn_m) gn_sp)
+    Realistic.all
+
+(* Table 7 at the *full published scale* of Table 6 (n_S up to 1e6,
+   one-hot widths up to 5e4), logistic regression only: the GLM path
+   touches the data through sparse LMM/tLMM, so the full scale fits in
+   memory -- unlike crossprod-based methods whose d*d outputs would not.
+   Single timed run per cell (each materialized run is substantial). *)
+let run_table7_full cfg =
+  Harness.section "Table 7 (full scale): logistic regression over the Table 6 datasets" ;
+  let iters = iters cfg in
+  Printf.printf "(full published sizes; %d iterations; 1 timed run per cell)\n" iters ;
+  Printf.printf "%-10s %10s %14s %14s %9s\n" "dataset" "nS" "M" "F" "speedup" ;
+  List.iter
+    (fun spec ->
+      let t, y, _ = Realistic.load ~scale_rows:1.0 ~scale_cols:1.0 spec in
+      let m = Materialize.to_mat t in
+      let t_f =
+        Timing.measure ~warmup:0 ~runs:1 (fun () ->
+            ignore (Factorized.Logreg.train ~alpha:1e-4 ~iters t y))
+      in
+      let t_m =
+        Timing.measure ~warmup:0 ~runs:1 (fun () ->
+            ignore (Materialized.Logreg.train ~alpha:1e-4 ~iters m y))
+      in
+      Fmt.pr "%-10s %10d %14s %14s %8.1fx@." spec.Realistic.name
+        (Normalized.rows t) (Harness.ts t_m) (Harness.ts t_f) (t_m /. t_f))
+    (if cfg.Harness.quick then [ Realistic.flights; Realistic.walmart ]
+     else Realistic.all)
+
+let run_table8 cfg =
+  Harness.section "Table 8: Morpheus vs Orion, factorized logistic regression (vary FR)" ;
+  let ns = if cfg.Harness.quick then 20_000 else 100_000 in
+  let nr = ns / 20 in
+  let ds = 20 in
+  let iters = if cfg.Harness.quick then 3 else 5 in
+  Printf.printf "(nS=%d, nR=%d, dS=%d, %d iterations; speed-ups vs materialized)\n" ns
+    nr ds iters ;
+  Printf.printf "%12s %10s %10s %12s %12s %12s\n" "FR" "Orion" "Morpheus" "t(M)" "t(Orion)"
+    "t(Morpheus)" ;
+  List.iter
+    (fun fr ->
+      let dr = int_of_float (fr *. float_of_int ds) in
+      let d = Synthetic.pkfk ~seed:(dr + 7) ~ns ~ds ~nr ~dr () in
+      let t = d.Synthetic.t in
+      let y = d.Synthetic.y in
+      let s, k, r =
+        match (Normalized.ent t, Normalized.parts t) with
+        | Some s, [ p ] -> (Mat.dense s, p.Normalized.ind, Mat.dense p.Normalized.mat)
+        | _ -> assert false
+      in
+      let m = Materialize.to_mat t in
+      let t_m =
+        Timing.measure ~warmup:1 ~runs:cfg.Harness.runs (fun () ->
+            ignore (Materialized.Logreg.train ~alpha:1e-4 ~iters m y))
+      in
+      let t_orion =
+        Timing.measure ~warmup:1 ~runs:cfg.Harness.runs (fun () ->
+            ignore (Orion.train_logreg ~alpha:1e-4 ~iters ~s ~k ~r ~y ()))
+      in
+      let t_f =
+        Timing.measure ~warmup:1 ~runs:cfg.Harness.runs (fun () ->
+            ignore (Factorized.Logreg.train ~alpha:1e-4 ~iters t y))
+      in
+      Fmt.pr "%12.1f %9.1fx %9.1fx %12s %12s %12s@." fr (t_m /. t_orion)
+        (t_m /. t_f) (Harness.ts t_m) (Harness.ts t_orion) (Harness.ts t_f))
+    [ 1.0; 2.0; 3.0; 4.0 ]
+
+let run_table12 cfg =
+  Harness.section "Table 12 (appendix K): data preparation vs logistic regression runtime" ;
+  let scale_rows, scale_cols = scales cfg in
+  let it = iters cfg in
+  Printf.printf "%-10s %12s %12s %12s %12s %10s %10s\n" "dataset" "prep(M)" "prep(F)"
+    "logreg(M)" "logreg(F)" "ratio(M)" "ratio(F)" ;
+  List.iter
+    (fun spec ->
+      let t, y, _ = Realistic.load ~scale_rows ~scale_cols spec in
+      (* F prep: construct the indicator matrices from raw FK columns
+         (here: from the mappings, the same work) and wrap. *)
+      let fk_columns =
+        List.map (fun (p : Normalized.part) -> Indicator.mapping p.Normalized.ind)
+          (Normalized.parts t)
+      in
+      let prep_f =
+        Timing.measure ~warmup:1 ~runs:cfg.Harness.runs (fun () ->
+            let parts =
+              List.map2
+                (fun mapping (p : Normalized.part) ->
+                  ( Indicator.create ~cols:(Mat.rows p.Normalized.mat) mapping,
+                    p.Normalized.mat ))
+                fk_columns (Normalized.parts t)
+            in
+            ignore (Normalized.star ~s:(Option.get (Normalized.ent t)) ~parts))
+      in
+      (* M prep: materialize the join output. *)
+      let prep_m =
+        Timing.measure ~warmup:1 ~runs:cfg.Harness.runs (fun () ->
+            ignore (Materialize.to_mat t))
+      in
+      let m = Materialize.to_mat t in
+      let log_m =
+        Timing.measure ~warmup:1 ~runs:cfg.Harness.runs (fun () ->
+            ignore (Materialized.Logreg.train ~alpha:1e-4 ~iters:it m y))
+      in
+      let log_f =
+        Timing.measure ~warmup:1 ~runs:cfg.Harness.runs (fun () ->
+            ignore (Factorized.Logreg.train ~alpha:1e-4 ~iters:it t y))
+      in
+      Fmt.pr "%-10s %12s %12s %12s %12s %10.3f %10.3f@." spec.Realistic.name
+        (Harness.ts prep_m) (Harness.ts prep_f) (Harness.ts log_m)
+        (Harness.ts log_f) (prep_m /. log_m) (prep_f /. log_f))
+    Realistic.all

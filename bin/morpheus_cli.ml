@@ -1,0 +1,277 @@
+(* Command-line front end for the Morpheus library:
+
+     morpheus generate --dir data --ns 100000 --nr 5000 --ds 5 --dr 20
+     morpheus info     --dir data --fk fk --pk pk
+     morpheus train    --dir data --fk fk --pk pk --target y \
+                       --algorithm logreg --path both --iters 10
+
+   [generate] writes a synthetic PK-FK pair of CSVs; [info] builds the
+   normalized matrix and reports its statistics plus the §3.7 decision;
+   [train] runs one of the four ML algorithms over the factorized and/or
+   materialized execution path. *)
+
+open La
+open Relational
+open Morpheus
+open Cmdliner
+
+(* ---- shared args ---- *)
+
+let dir_arg =
+  Arg.(required & opt (some string) None & info [ "dir" ] ~docv:"DIR"
+         ~doc:"Directory holding (or receiving) S.csv and R.csv.")
+
+let fk_arg =
+  Arg.(value & opt string "fk" & info [ "fk" ] ~doc:"Foreign-key column in S.csv.")
+
+let pk_arg =
+  Arg.(value & opt string "pk" & info [ "pk" ] ~doc:"Primary-key column in R.csv.")
+
+let target_arg =
+  Arg.(value & opt string "y" & info [ "target" ] ~doc:"Target column in S.csv.")
+
+let nominal_arg =
+  Arg.(value & opt (list string) [] & info [ "nominal" ]
+         ~doc:"Comma-separated nominal (one-hot encoded) columns.")
+
+let sparse_arg =
+  Arg.(value & flag & info [ "sparse" ] ~doc:"Use sparse feature matrices.")
+
+(* ---- generate ---- *)
+
+let generate dir ns nr ds dr seed =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755 ;
+  let rng = Rng.of_int seed in
+  let float_cols prefix n =
+    List.init n (fun i ->
+        Schema.column ~name:(Printf.sprintf "%s%d" prefix i)
+          ~role:Schema.Numeric_feature)
+  in
+  let s_schema =
+    Schema.create ~table_name:"S"
+      (Schema.column ~name:"y" ~role:Schema.Target
+       :: Schema.column ~name:"fk" ~role:(Schema.Foreign_key "R")
+       :: float_cols "xs" ds)
+  in
+  let r_schema =
+    Schema.create ~table_name:"R"
+      (Schema.column ~name:"pk" ~role:Schema.Primary_key :: float_cols "xr" dr)
+  in
+  let s_rows =
+    List.init ns (fun _ ->
+        Array.of_list
+          (Value.Float (if Rng.bool rng then 1.0 else -1.0)
+           :: Value.Int (Rng.int rng nr)
+           :: List.init ds (fun _ -> Value.Float (Rng.gaussian rng))))
+  in
+  let r_rows =
+    List.init nr (fun i ->
+        Array.of_list
+          (Value.Int i :: List.init dr (fun _ -> Value.Float (Rng.gaussian rng))))
+  in
+  Csv.write_table (Filename.concat dir "S.csv") (Table.of_rows s_schema s_rows) ;
+  Csv.write_table (Filename.concat dir "R.csv") (Table.of_rows r_schema r_rows) ;
+  Fmt.pr "wrote %s/S.csv (%d rows) and %s/R.csv (%d rows)@." dir ns dir nr
+
+let generate_cmd =
+  let ns = Arg.(value & opt int 100_000 & info [ "ns" ] ~doc:"Rows of S.") in
+  let nr = Arg.(value & opt int 5_000 & info [ "nr" ] ~doc:"Rows of R.") in
+  let ds = Arg.(value & opt int 5 & info [ "ds" ] ~doc:"Features of S.") in
+  let dr = Arg.(value & opt int 20 & info [ "dr" ] ~doc:"Features of R.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic PK-FK pair of base-table CSVs.")
+    Term.(const generate $ dir_arg $ ns $ nr $ ds $ dr $ seed)
+
+(* ---- loading ---- *)
+
+let load ~dir ~fk ~pk ~target ~nominal ~sparse =
+  let role_s n =
+    if n = fk then Schema.Foreign_key "R"
+    else if n = target then Schema.Target
+    else if List.mem n nominal then Schema.Nominal_feature
+    else Schema.Numeric_feature
+  in
+  let role_r n =
+    if n = pk then Schema.Primary_key
+    else if List.mem n nominal then Schema.Nominal_feature
+    else Schema.Numeric_feature
+  in
+  Builder.pkfk_of_csv ~sparse
+    ~s_path:(Filename.concat dir "S.csv")
+    ~s_roles:role_s ~fk
+    ~r_path:(Filename.concat dir "R.csv")
+    ~r_roles:role_r ~pk ()
+
+(* ---- info ---- *)
+
+let show_info dir fk pk target nominal sparse =
+  let ds = load ~dir ~fk ~pk ~target ~nominal ~sparse in
+  let t = ds.Builder.matrix in
+  let n, d = Normalized.dims t in
+  Fmt.pr "normalized matrix : %d x %d@." n d ;
+  Fmt.pr "stored scalars    : %d (materialized T: %d)@."
+    (Normalized.storage_size t) (n * d) ;
+  Fmt.pr "redundancy ratio  : %.2f@." (Normalized.redundancy_ratio t) ;
+  Fmt.pr "tuple ratio       : %.2f@." (Normalized.tuple_ratio t) ;
+  Fmt.pr "feature ratio     : %.2f@." (Normalized.feature_ratio t) ;
+  Fmt.pr "decision rule     : %s@."
+    (Decision.to_string (Decision.heuristic t))
+
+let info_cmd =
+  Cmd.v
+    (Cmd.info "info" ~doc:"Report normalized-matrix statistics and the decision rule.")
+    Term.(const show_info $ dir_arg $ fk_arg $ pk_arg $ target_arg $ nominal_arg $ sparse_arg)
+
+(* ---- train ---- *)
+
+type path = Factorized_path | Materialized_path | Both
+
+let path_conv =
+  Arg.enum [ ("factorized", Factorized_path); ("materialized", Materialized_path); ("both", Both) ]
+
+type algorithm = Logreg_a | Linreg_a | Kmeans_a | Gnmf_a
+
+let algo_conv =
+  Arg.enum
+    [ ("logreg", Logreg_a); ("linreg", Linreg_a); ("kmeans", Kmeans_a); ("gnmf", Gnmf_a) ]
+
+let train dir fk pk target nominal sparse algo path iters alpha k rank =
+  let ds = load ~dir ~fk ~pk ~target ~nominal ~sparse in
+  let t = ds.Builder.matrix in
+  let y = Option.get ds.Builder.target in
+  let module F = Ml_algs.Algorithms.Factorized in
+  let module M = Ml_algs.Algorithms.Materialized in
+  let run_path name run =
+    let result, dt = Workload.Timing.time run in
+    Fmt.pr "%-13s %a@." name Workload.Timing.pp_seconds dt ;
+    result
+  in
+  let fact () : Dense.t =
+    match algo with
+    | Logreg_a -> (F.Logreg.train ~alpha ~iters t y).F.Logreg.w
+    | Linreg_a -> F.Linreg.train_gd ~alpha ~iters t y
+    | Kmeans_a -> (F.Kmeans.train ~iters ~k t).F.Kmeans.centroids
+    | Gnmf_a -> (F.Gnmf.train ~iters ~rank t).F.Gnmf.h
+  in
+  let mat () : Dense.t =
+    let m = Materialize.to_mat t in
+    match algo with
+    | Logreg_a -> (M.Logreg.train ~alpha ~iters m y).M.Logreg.w
+    | Linreg_a -> M.Linreg.train_gd ~alpha ~iters m y
+    | Kmeans_a -> (M.Kmeans.train ~iters ~k m).M.Kmeans.centroids
+    | Gnmf_a -> (M.Gnmf.train ~iters ~rank m).M.Gnmf.h
+  in
+  (match path with
+  | Factorized_path -> ignore (run_path "factorized" fact)
+  | Materialized_path -> ignore (run_path "materialized" mat)
+  | Both ->
+    let wf = run_path "factorized" fact in
+    let wm = run_path "materialized" mat in
+    Fmt.pr "max |difference| between paths: %.3e@." (Dense.max_abs_diff wf wm)) ;
+  Fmt.pr "done.@."
+
+let train_cmd =
+  let algo =
+    Arg.(value & opt algo_conv Logreg_a & info [ "algorithm"; "a" ]
+           ~doc:"One of logreg, linreg, kmeans, gnmf.")
+  in
+  let path =
+    Arg.(value & opt path_conv Both & info [ "path" ]
+           ~doc:"Execution path: factorized, materialized, or both.")
+  in
+  let iters = Arg.(value & opt int 10 & info [ "iters" ] ~doc:"Iterations.") in
+  let alpha = Arg.(value & opt float 1e-4 & info [ "alpha" ] ~doc:"Step size.") in
+  let k = Arg.(value & opt int 5 & info [ "k" ] ~doc:"K-Means centroids.") in
+  let rank = Arg.(value & opt int 5 & info [ "rank" ] ~doc:"GNMF rank.") in
+  Cmd.v
+    (Cmd.info "train" ~doc:"Train an ML algorithm over the normalized data.")
+    Term.(const train $ dir_arg $ fk_arg $ pk_arg $ target_arg $ nominal_arg
+          $ sparse_arg $ algo $ path $ iters $ alpha $ k $ rank)
+
+(* ---- cv: ridge-lambda selection by k-fold cross-validation ---- *)
+
+let cv dir fk pk target nominal sparse k lambdas =
+  let ds = load ~dir ~fk ~pk ~target ~nominal ~sparse in
+  let t = ds.Builder.matrix in
+  let y = Option.get ds.Builder.target in
+  let (best, best_score, scored), dt =
+    Workload.Timing.time (fun () ->
+        Ml_algs.Model_selection.select_ridge_lambda ~k ~lambdas t y)
+  in
+  List.iter
+    (fun (lambda, score) -> Fmt.pr "lambda=%-10g mean val MSE %.6f@." lambda score)
+    scored ;
+  Fmt.pr "best: lambda=%g (MSE %.6f), %d-fold CV in %a@." best best_score k
+    Workload.Timing.pp_seconds dt
+
+let cv_cmd =
+  let k = Arg.(value & opt int 5 & info [ "k" ] ~doc:"Number of folds.") in
+  let lambdas =
+    Arg.(value & opt (list float) [ 0.01; 0.1; 1.0; 10.0; 100.0 ]
+           & info [ "lambdas" ] ~doc:"Ridge penalties to evaluate.")
+  in
+  Cmd.v
+    (Cmd.info "cv" ~doc:"Select a ridge penalty by factorized k-fold cross-validation.")
+    Term.(const cv $ dir_arg $ fk_arg $ pk_arg $ target_arg $ nominal_arg
+          $ sparse_arg $ k $ lambdas)
+
+(* ---- pca: factorized principal component analysis ---- *)
+
+let pca dir fk pk target nominal sparse k =
+  let ds = load ~dir ~fk ~pk ~target ~nominal ~sparse in
+  let t = ds.Builder.matrix in
+  let p, dt = Workload.Timing.time (fun () -> Morpheus.Spectral.pca ~k t) in
+  Fmt.pr "PCA (k=%d) over the normalized matrix in %a@." k
+    Workload.Timing.pp_seconds dt ;
+  Array.iteri
+    (fun i v -> Fmt.pr "component %d: variance %.6f@." i v)
+    p.Morpheus.Spectral.explained_variance ;
+  Fmt.pr "explained variance ratio: %.4f@."
+    (Morpheus.Spectral.explained_ratio t p)
+
+let pca_cmd =
+  let k = Arg.(value & opt int 5 & info [ "k" ] ~doc:"Number of components.") in
+  Cmd.v
+    (Cmd.info "pca" ~doc:"Run factorized PCA over the normalized data.")
+    Term.(const pca $ dir_arg $ fk_arg $ pk_arg $ target_arg $ nominal_arg
+          $ sparse_arg $ k)
+
+(* ---- explain: show the rewrite plan and cost estimates ---- *)
+
+let explain_op_conv =
+  Arg.enum
+    [ ("scalar", Morpheus.Explain.Scalar_op);
+      ("rowsums", Morpheus.Explain.Row_sums);
+      ("colsums", Morpheus.Explain.Col_sums);
+      ("sum", Morpheus.Explain.Sum);
+      ("lmm", Morpheus.Explain.Lmm 1);
+      ("rmm", Morpheus.Explain.Rmm 1);
+      ("crossprod", Morpheus.Explain.Crossprod);
+      ("ginv", Morpheus.Explain.Ginv) ]
+
+let explain dir fk pk target nominal sparse op =
+  let ds = load ~dir ~fk ~pk ~target ~nominal ~sparse in
+  let t = ds.Builder.matrix in
+  print_endline (Morpheus.Explain.describe t) ;
+  print_newline () ;
+  print_endline (Morpheus.Explain.explain t op)
+
+let explain_cmd =
+  let op =
+    Arg.(value & opt explain_op_conv (Morpheus.Explain.Lmm 1)
+           & info [ "op" ]
+               ~doc:"Operator: scalar, rowsums, colsums, sum, lmm, rmm, crossprod, ginv.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Show the rewrite plan, cost estimates, and decision for an operator.")
+    Term.(const explain $ dir_arg $ fk_arg $ pk_arg $ target_arg $ nominal_arg
+          $ sparse_arg $ op)
+
+let () =
+  let doc = "factorized linear algebra over normalized data (Morpheus)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "morpheus" ~version:"1.0.0" ~doc)
+          [ generate_cmd; info_cmd; train_cmd; cv_cmd; pca_cmd; explain_cmd ]))

@@ -1,0 +1,116 @@
+(* The paper's running example (§2): an insurance analyst predicts
+   customer churn with logistic regression over
+     Customers(CustomerID, Churn, Age, Income, EmployerID)
+       ⋈ Employers(EmployerID, Revenue, Country).
+
+   This example goes end to end through the relational substrate: write
+   the two base tables as CSV, read them back, build the normalized
+   matrix (one-hot encoding the nominal Country column), and train —
+   never materializing the join.
+
+   Run with:  dune exec examples/churn_prediction.exe *)
+
+open La
+open Relational
+open Morpheus
+
+let n_customers = 50_000
+let n_employers = 500
+
+(* Synthesize the two base tables. Churn correlates with employer
+   revenue ("customers employed by rich corporations ... are unlikely to
+   churn") so the joined features genuinely matter. *)
+let make_tables () =
+  let rng = Rng.of_int 2024 in
+  let countries = [| "US"; "DE"; "FR"; "IN"; "JP" |] in
+  let employers =
+    List.init n_employers (fun i ->
+        [| Value.Int i;
+           Value.Float (Rng.uniform rng ~lo:1.0 ~hi:100.0) (* revenue, $M *);
+           Value.String countries.(Rng.int rng (Array.length countries)) |])
+  in
+  let revenue_of = Array.make n_employers 0.0 in
+  List.iteri
+    (fun i row -> revenue_of.(i) <- Value.to_float row.(1))
+    employers ;
+  let customers =
+    List.init n_customers (fun i ->
+        let emp = Rng.int rng n_employers in
+        let age = Rng.uniform rng ~lo:20.0 ~hi:70.0 in
+        let income = Rng.uniform rng ~lo:20.0 ~hi:200.0 in
+        (* churn likely when revenue low and income low *)
+        let score =
+          (0.04 *. revenue_of.(emp)) +. (0.02 *. income) -. 2.8
+          +. (0.5 *. Rng.gaussian rng)
+        in
+        [| Value.Int i;
+           Value.Float (if score < 0.0 then 1.0 else -1.0) (* churns? *);
+           Value.Float age;
+           Value.Float income;
+           Value.Int emp |])
+  in
+  let customers_schema =
+    Schema.create ~table_name:"Customers"
+      [ Schema.column ~name:"CustomerID" ~role:Schema.Primary_key;
+        Schema.column ~name:"Churn" ~role:Schema.Target;
+        Schema.column ~name:"Age" ~role:Schema.Numeric_feature;
+        Schema.column ~name:"Income" ~role:Schema.Numeric_feature;
+        Schema.column ~name:"EmployerID" ~role:(Schema.Foreign_key "Employers") ]
+  in
+  let employers_schema =
+    Schema.create ~table_name:"Employers"
+      [ Schema.column ~name:"EmployerID" ~role:Schema.Primary_key;
+        Schema.column ~name:"Revenue" ~role:Schema.Numeric_feature;
+        Schema.column ~name:"Country" ~role:Schema.Nominal_feature ]
+  in
+  ( Table.of_rows customers_schema customers,
+    Table.of_rows employers_schema employers,
+    customers_schema,
+    employers_schema )
+
+let () =
+  let customers, employers, s_schema, r_schema = make_tables () in
+
+  (* Round-trip through CSV, as a real pipeline would. *)
+  let dir = Filename.get_temp_dir_name () in
+  let s_path = Filename.concat dir "customers.csv" in
+  let r_path = Filename.concat dir "employers.csv" in
+  Csv.write_table s_path customers ;
+  Csv.write_table r_path employers ;
+  Fmt.pr "wrote %s (%d rows) and %s (%d rows)@." s_path (Table.nrows customers)
+    r_path (Table.nrows employers) ;
+
+  let role_of schema n = (Schema.find schema n).Schema.role in
+  let ds =
+    Builder.pkfk_of_csv ~s_path
+      ~s_roles:(role_of s_schema)
+      ~fk:"EmployerID" ~r_path
+      ~r_roles:(role_of r_schema)
+      ~pk:"EmployerID" ()
+  in
+  let t = ds.Builder.matrix in
+  let y = Option.get ds.Builder.target in
+  Fmt.pr "normalized matrix: %d×%d; decision rule says: %s@."
+    (Normalized.rows t) (Normalized.cols t)
+    (Decision.to_string (Decision.heuristic t)) ;
+
+  (* Train both paths; compare time and verify the models coincide. *)
+  let module F = Ml_algs.Logreg.Make (Factorized_matrix) in
+  let module M = Ml_algs.Logreg.Make (Regular_matrix) in
+  let t_mat, prep_m = Workload.Timing.time (fun () -> Materialize.to_mat t) in
+  let model_f, dt_f =
+    Workload.Timing.time (fun () -> F.train ~alpha:1e-5 ~iters:30 t y)
+  in
+  let model_m, dt_m =
+    Workload.Timing.time (fun () -> M.train ~alpha:1e-5 ~iters:30 t_mat y)
+  in
+  Fmt.pr "materialized: join %a + train %a@." Workload.Timing.pp_seconds prep_m
+    Workload.Timing.pp_seconds dt_m ;
+  Fmt.pr "factorized  : train %a (%.1fx on training alone)@."
+    Workload.Timing.pp_seconds dt_f (dt_m /. dt_f) ;
+  Fmt.pr "weights agree to %.2e@."
+    (Dense.max_abs_diff model_f.F.w model_m.M.w) ;
+  Fmt.pr "training accuracy: %.3f@." (F.accuracy t model_f y) ;
+
+  Sys.remove s_path ;
+  Sys.remove r_path

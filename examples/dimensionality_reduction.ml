@@ -1,0 +1,55 @@
+(* Beyond Table 1: the paper's §7 lists SVD and Cholesky over normalized
+   data as future work — this example runs them. A Yelp-shaped star
+   schema is reduced with PCA (covariance, eigendirections, projections
+   all computed over the normalized matrix; the centered T is never
+   formed), then ridge regression is solved through the factorized
+   Cholesky path, and finally the same computation is phrased in the
+   Expr DSL to show the automatic-rewriting front end.
+
+   Run with:  dune exec examples/dimensionality_reduction.exe *)
+
+open La
+open Morpheus
+open Workload
+
+let () =
+  let t, _, y = Realistic.load ~scale_rows:0.02 ~scale_cols:0.003 Realistic.yelp in
+  let n, d = Normalized.dims t in
+  Fmt.pr "Yelp-shaped star schema: T is %d×%d (%d stored scalars)@." n d
+    (Normalized.storage_size t) ;
+
+  (* ---- PCA without materializing or centering T ---- *)
+  let k = 8 in
+  let p, dt = Timing.time (fun () -> Spectral.pca ~k t) in
+  Fmt.pr "@.PCA (k=%d) in %a; explained variance ratio %.3f@." k
+    Timing.pp_seconds dt
+    (Spectral.explained_ratio t p) ;
+  Array.iteri
+    (fun i v -> Fmt.pr "  component %d: variance %.4f@." i v)
+    p.Spectral.explained_variance ;
+  let projected = Spectral.transform t p in
+  Fmt.pr "projected data: %d×%d@." (Dense.rows projected) (Dense.cols projected) ;
+
+  (* ---- truncated SVD of the logical T ---- *)
+  let svd, dt_svd = Timing.time (fun () -> Spectral.svd ~rank:5 t) in
+  Fmt.pr "@.truncated SVD (rank 5) in %a; singular values:@." Timing.pp_seconds
+    dt_svd ;
+  Array.iter (fun s -> Fmt.pr "  %.4f@." s) svd.Spectral.s ;
+
+  (* ---- ridge regression via factorized Cholesky ---- *)
+  let w, dt_ridge = Timing.time (fun () -> Spectral.solve_ridge ~lambda:1.0 t y) in
+  let module FL = Ml_algs.Linreg.Make (Factorized_matrix) in
+  Fmt.pr "@.ridge regression (λ=1) in %a; RSS %.1f (vs %.1f at w=0)@."
+    Timing.pp_seconds dt_ridge (FL.rss t w y)
+    (Dense.sum (Dense.mul_elem y y)) ;
+
+  (* ---- the same normal equations through the Expr DSL ---- *)
+  let script =
+    (* w = ginv(crossprod(T)) %*% (T' %*% y): Algorithm 6 verbatim *)
+    Expr.(
+      Ginv (Crossprod (normalized t)) *@ (tr (normalized t) *@ dense y))
+  in
+  Fmt.pr "@.Expr DSL script: %s@." (Expr.to_string (Expr.simplify script)) ;
+  let w_expr, dt_expr = Timing.time (fun () -> Expr.eval_dense script) in
+  Fmt.pr "evaluated with automatic factorization in %a; RSS %.1f@."
+    Timing.pp_seconds dt_expr (FL.rss t w_expr y)

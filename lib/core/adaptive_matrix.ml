@@ -1,0 +1,59 @@
+(* The full Morpheus execution policy: apply the heuristic decision rule
+   (§3.7 / §5.1) once at construction, and either keep the normalized
+   matrix (factorized operators) or materialize T up front (standard
+   operators). This mirrors Figure 1(c)'s "heuristic decision rule"
+   stage sitting in front of the rewrite rules. *)
+
+open La
+open Sparse
+
+type t =
+  | Fact of Normalized.t
+  | Reg of Mat.t
+
+let of_normalized ?tau ?rho nm =
+  match Decision.heuristic ?tau ?rho nm with
+  | Decision.Factorized -> Fact nm
+  | Decision.Materialized -> Reg (Materialize.to_mat nm)
+
+(* Force one path regardless of the rule (used by benches). *)
+let factorized nm = Fact nm
+let materialized nm = Reg (Materialize.to_mat nm)
+
+let choice = function Fact _ -> Decision.Factorized | Reg _ -> Decision.Materialized
+
+let lift ff fr = function Fact n -> ff n | Reg m -> fr m
+
+let rows = lift Normalized.rows Mat.rows
+let cols = lift Normalized.cols Mat.cols
+
+let scale x = function
+  | Fact n -> Fact (Rewrite.scale x n)
+  | Reg m -> Reg (Mat.scale x m)
+
+let add_scalar x = function
+  | Fact n -> Fact (Rewrite.add_scalar x n)
+  | Reg m -> Reg (Mat.add_scalar x m)
+
+let pow t p =
+  match t with
+  | Fact n -> Fact (Rewrite.pow n p)
+  | Reg m -> Reg (Mat.pow p m)
+
+let map_scalar f = function
+  | Fact n -> Fact (Rewrite.map_scalar f n)
+  | Reg m -> Reg (Mat.map_scalar f m)
+
+let row_sums = lift Rewrite.row_sums Mat.row_sums
+let col_sums = lift Rewrite.col_sums Mat.col_sums
+let sum = lift Rewrite.sum Mat.sum
+
+let lmm t x = lift (fun n -> Rewrite.lmm n x) (fun m -> Mat.mm m x) t
+let rmm x t = lift (fun n -> Rewrite.rmm x n) (fun m -> Mat.mm_left x m) t
+let tlmm t x = lift (fun n -> Rewrite.tlmm n x) (fun m -> Mat.tmm m x) t
+let crossprod = lift Rewrite.crossprod Mat.crossprod
+let ginv = lift Rewrite.ginv (fun m -> Linalg.ginv (Mat.dense m))
+
+let describe = function
+  | Fact n -> Fmt.str "adaptive->factorized: %a" Normalized.pp n
+  | Reg m -> Fmt.str "adaptive->materialized: %a" Mat.pp m

@@ -1,0 +1,43 @@
+(** The full Morpheus execution policy (Figure 1(c)): apply the §3.7
+    heuristic decision rule once at construction and either keep the
+    normalized matrix (factorized operators) or materialize T up front
+    (standard operators). Implements {!Data_matrix.S}, so every ML
+    functor can run behind the rule. *)
+
+open La
+open Sparse
+
+type t
+
+val of_normalized : ?tau:float -> ?rho:float -> Normalized.t -> t
+(** Route by the heuristic rule (defaults τ = 5, ρ = 1). *)
+
+val factorized : Normalized.t -> t
+(** Force the factorized path (benches). *)
+
+val materialized : Normalized.t -> t
+(** Force materialization (benches). *)
+
+val choice : t -> Decision.choice
+(** Which path this matrix runs on. *)
+
+(** {1 The Data_matrix.S operations} *)
+
+val rows : t -> int
+val cols : t -> int
+val scale : float -> t -> t
+val add_scalar : float -> t -> t
+val pow : t -> float -> t
+val map_scalar : (float -> float) -> t -> t
+val row_sums : t -> Dense.t
+val col_sums : t -> Dense.t
+val sum : t -> float
+val lmm : t -> Dense.t -> Dense.t
+val rmm : Dense.t -> t -> Dense.t
+val tlmm : t -> Dense.t -> Dense.t
+val crossprod : t -> Dense.t
+val ginv : t -> Dense.t
+val describe : t -> string
+
+val lift : (Normalized.t -> 'a) -> (Mat.t -> 'a) -> t -> 'a
+(** Dispatch a custom operation on whichever representation is held. *)

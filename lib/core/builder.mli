@@ -1,0 +1,54 @@
+(** End-to-end construction of normalized matrices from base tables —
+    the §3.2 snippet ("S = read.csv; K = sparseMatrix(...);
+    TN = NormalizedMatrix(...)") as a library: feature encoding,
+    indicator construction, the §3.1/§3.6 trimming of tuples that don't
+    contribute to the join, and target extraction. *)
+
+open La
+open Relational
+
+type dataset = {
+  matrix : Normalized.t;
+  target : Dense.t option;  (** Y, from the entity table, if declared *)
+}
+
+val pkfk :
+  ?sparse:bool -> s:Table.t -> fk:string -> r:Table.t -> pk:string -> unit ->
+  dataset
+(** Single PK-FK join: S(Y, X_S, K) ⋈ R(RID, X_R). *)
+
+val star :
+  ?sparse:bool -> s:Table.t -> atts:(string * Table.t * string) list ->
+  unit -> dataset
+(** Star-schema join; each attribute table comes as
+    [(fk in S, table, its pk)]. *)
+
+val mn :
+  ?sparse:bool -> s:Table.t -> js:string -> r:Table.t -> jr:string -> unit ->
+  dataset
+(** M:N equi-join on [S.js = R.jr]. The target (if any) is mapped
+    through I_S to align with the join output's rows. *)
+
+val mn_chain :
+  ?sparse:bool ->
+  tables:Table.t list ->
+  conditions:(string * string) list ->
+  unit ->
+  dataset
+(** Multi-table M:N chain join (appendix E):
+    T = R₁ ⋈ R₂ ⋈ … ⋈ R_q, where [conditions] links consecutive tables
+    as [(column of Rⱼ, column of Rⱼ₊₁)]. The target, if any, lives on
+    the first table. *)
+
+val pkfk_of_csv :
+  ?sparse:bool ->
+  s_path:string ->
+  s_roles:(string -> Schema.role) ->
+  fk:string ->
+  r_path:string ->
+  r_roles:(string -> Schema.role) ->
+  pk:string ->
+  unit ->
+  dataset
+(** Load S.csv / R.csv with a role assignment per column name and build
+    the PK-FK normalized matrix. *)

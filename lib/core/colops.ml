@@ -1,0 +1,90 @@
+(* Column-wise operators over normalized matrices. These are the
+   feature-engineering primitives (standardization, per-feature scaling,
+   intercept columns) that precede most GLM training. They factorize
+   exactly because they act per column of T, and T's columns partition
+   across the base matrices:
+
+     T·diag(v)   →  (S·diag(v_S), K, R·diag(v_R))     — closure holds
+     colMeans(T) →  colSums(T) / n                     — §3.3.2 rewrite
+     [1 | T]     →  extend (or create) the entity part with a 1-column
+
+   Column *centering* (T − 1·μᵀ) is intentionally not provided as a
+   normalized-matrix op: it is an element-wise matrix op with a rank-one
+   update, which §3.3.7 classifies as non-factorizable (and it destroys
+   sparsity); see {!Spectral} for how PCA handles centering implicitly
+   through the Gram identities instead. *)
+
+open La
+open Sparse
+open Normalized
+
+(* Scale the [lo,hi) column slice of a Mat by the corresponding entries
+   of [v] (global column indices). *)
+let scale_cols_mat m ~v ~lo =
+  match m with
+  | Mat.D d ->
+    Flops.add (Dense.numel d) ;
+    Mat.of_dense
+      (Dense.mapi (fun _ j x -> x *. v.(lo + j)) d)
+  | Mat.S c ->
+    Flops.add (Csr.nnz c) ;
+    let triplets = ref [] in
+    Csr.iter_nz (fun i j x -> triplets := (i, j, x *. v.(lo + j)) :: !triplets) c ;
+    Mat.of_csr (Csr.of_triplets ~rows:(Csr.rows c) ~cols:(Csr.cols c) !triplets)
+
+(* T·diag(v): scale T's columns. Returns a normalized matrix with the
+   same structure (closure). [v] has length d. *)
+let scale_cols t v =
+  if is_transposed t then
+    invalid_arg "Colops.scale_cols: transpose the result instead" ;
+  let d = cols t in
+  if Array.length v <> d then invalid_arg "Colops.scale_cols: length mismatch" ;
+  let (ent_lo, _), ranges = col_ranges (body t) in
+  let ent' =
+    Option.map (fun s -> scale_cols_mat s ~v ~lo:ent_lo) (ent t)
+  in
+  let parts' =
+    List.map2
+      (fun (p : part) (lo, _) -> (p.ind, scale_cols_mat p.mat ~v ~lo))
+      (parts t) ranges
+  in
+  match ent' with
+  | Some s -> Normalized.star ~s ~parts:parts'
+  | None -> Normalized.make parts'
+
+(* Column means of T: colSums(T)/n, fully factorized. 1×d row vector. *)
+let col_means t =
+  let n = float_of_int (rows t) in
+  Dense.scale (1.0 /. n) (Rewrite.col_sums t)
+
+(* Column standard deviations (population): sqrt(E[x²] − E[x]²), using
+   colSums(T²) — a scalar-op + aggregation pipeline that never touches
+   T. 1×d row vector. *)
+let col_stds t =
+  let n = float_of_int (rows t) in
+  let mean = col_means t in
+  let mean_sq = Dense.scale (1.0 /. n) (Rewrite.col_sums (Rewrite.sq t)) in
+  Dense.init 1 (Dense.cols mean) (fun _ j ->
+      let v = Dense.get mean_sq 0 j -. (Dense.get mean 0 j ** 2.0) in
+      sqrt (Float.max 0.0 v))
+
+(* Scale every column to unit standard deviation (columns with zero
+   variance are left alone). The closure property keeps the result
+   normalized, so downstream training still runs factorized. *)
+let standardize_scale t =
+  let stds = Dense.row_to_array (col_stds t) in
+  scale_cols t (Array.map (fun s -> if s > 1e-12 then 1.0 /. s else 1.0) stds)
+
+(* [1 | T]: prepend an all-ones intercept column. For PK-FK shapes the
+   column joins the entity part; for M:N shapes (no plain entity part)
+   it becomes a one-column entity block, which the uniform
+   representation accepts. *)
+let with_intercept t =
+  if is_transposed t then
+    invalid_arg "Colops.with_intercept: transpose the result instead" ;
+  let n = rows t in
+  let ones = Mat.of_dense (Dense.make n 1 1.0) in
+  let parts' = List.map (fun (p : part) -> (p.ind, p.mat)) (parts t) in
+  match ent t with
+  | Some s -> Normalized.star ~s:(Mat.hcat [ ones; s ]) ~parts:parts'
+  | None -> Normalized.star ~s:ones ~parts:parts'

@@ -1,0 +1,28 @@
+(** Column-wise operators over normalized matrices: the feature-
+    engineering primitives (per-feature scaling, standardization,
+    intercept columns) that precede GLM training. They factorize
+    because T's columns partition across the base matrices; results are
+    normalized matrices (closure), so downstream training stays
+    factorized. Column centering is deliberately absent — it is a
+    non-factorizable element-wise op (§3.3.7); {!Spectral} handles
+    centering implicitly where it is needed. *)
+
+open La
+
+val scale_cols : Normalized.t -> float array -> Normalized.t
+(** [scale_cols t v] is T·diag(v) ([v] has length d). Raises on
+    transposed inputs — transpose the result instead. *)
+
+val col_means : Normalized.t -> Dense.t
+(** colSums(T)/n as a 1×d row, fully factorized. *)
+
+val col_stds : Normalized.t -> Dense.t
+(** Population standard deviation per column via colSums(T²). *)
+
+val standardize_scale : Normalized.t -> Normalized.t
+(** Scale every column to unit standard deviation (zero-variance
+    columns are untouched). *)
+
+val with_intercept : Normalized.t -> Normalized.t
+(** [\[1 | T\]]: prepend an all-ones column (to the entity part, or as a
+    new one-column entity block for M:N shapes). *)

@@ -1,0 +1,72 @@
+(* Analytic cost model: the arithmetic-computation expressions of the
+   paper's Table 3 (and Table 11 with the pseudo-inverse rows), used by
+   the cost-based decision rule and checked against the instrumented
+   flop counters in tests and in the [table3] bench. *)
+
+type dims = {
+  ns : int; (* rows of S (and T) *)
+  ds : int; (* columns of S *)
+  nr : int; (* rows of R *)
+  dr : int; (* columns of R *)
+}
+
+let f = float_of_int
+
+type op =
+  | Scalar_op
+  | Aggregation
+  | Lmm of int (* d_X: columns of the multiplier *)
+  | Rmm of int (* n_X: rows of the multiplier *)
+  | Crossprod
+  | Pseudo_inverse
+
+(* Arithmetic computations of the standard (materialized) operator. *)
+let standard dims op =
+  let { ns; ds; nr = _; dr } = dims in
+  let d = f (ds + dr) in
+  match op with
+  | Scalar_op | Aggregation -> f ns *. d
+  | Lmm dx -> f dx *. f ns *. d
+  | Rmm nx -> f nx *. f ns *. d
+  | Crossprod -> 0.5 *. d *. d *. f ns
+  | Pseudo_inverse ->
+    if ns > ds + dr then (7.0 *. f ns *. d *. d) +. (20.0 *. (d ** 3.0))
+    else (7.0 *. f ns *. f ns *. d) +. (20.0 *. (f ns ** 3.0))
+
+(* Arithmetic computations of the factorized operator. *)
+let factorized dims op =
+  let { ns; ds; nr; dr } = dims in
+  let base = (f ns *. f ds) +. (f nr *. f dr) in
+  match op with
+  | Scalar_op | Aggregation -> base
+  | Lmm dx -> f dx *. base
+  | Rmm nx -> f nx *. base
+  | Crossprod ->
+    (0.5 *. f ds *. f ds *. f ns)
+    +. (0.5 *. f dr *. f dr *. f nr)
+    +. (f ds *. f dr *. f nr)
+  | Pseudo_inverse ->
+    let d = f (ds + dr) in
+    if ns > ds + dr then
+      (27.0 *. (d ** 3.0))
+      +. (0.5 *. f ds *. f ds *. f ns)
+      +. (0.5 *. f dr *. f dr *. f nr)
+      +. (f ds *. f dr *. f nr)
+      +. (d *. base)
+    else
+      (27.0 *. (f ns ** 3.0))
+      +. (0.5 *. f ns *. f ns *. f ds)
+      +. (0.5 *. f nr *. f nr *. f dr)
+      +. (f ns *. base)
+
+(* Predicted speed-up of the factorized operator. *)
+let speedup dims op = standard dims op /. factorized dims op
+
+(* Asymptotic speed-up limits from Table 11: 1 + FR as TR → ∞ (linear
+   ops), (1 + FR)² for crossprod. *)
+let limit_tuple_ratio ~feature_ratio op =
+  match op with
+  | Scalar_op | Aggregation | Lmm _ | Rmm _ -> 1.0 +. feature_ratio
+  | Crossprod -> (1.0 +. feature_ratio) ** 2.0
+  | Pseudo_inverse ->
+    14.0 *. ((1.0 +. feature_ratio) ** 2.0) /. ((2.0 *. feature_ratio) +. 3.0)

@@ -1,0 +1,35 @@
+(** Analytic cost model: the arithmetic-computation expressions of
+    Table 3 (and the pseudo-inverse rows of Table 11), used by the
+    cost-based decision rule and validated against the instrumented
+    {!La.Flops} counters. *)
+
+type dims = {
+  ns : int;  (** rows of S (and of T) *)
+  ds : int;  (** columns of S *)
+  nr : int;  (** rows of R *)
+  dr : int;  (** columns of R *)
+}
+
+type op =
+  | Scalar_op
+  | Aggregation
+  | Lmm of int  (** columns of the multiplier, d_X *)
+  | Rmm of int  (** rows of the multiplier, n_X *)
+  | Crossprod
+  | Pseudo_inverse
+
+val standard : dims -> op -> float
+(** Arithmetic computations of the materialized operator (Table 3,
+    "Standard" column). *)
+
+val factorized : dims -> op -> float
+(** Arithmetic computations of the factorized operator (Table 3,
+    "Factorized" column). *)
+
+val speedup : dims -> op -> float
+(** [standard / factorized]. *)
+
+val limit_tuple_ratio : feature_ratio:float -> op -> float
+(** Table 11's asymptotic speed-up as TR → ∞: [1 + FR] for linear ops,
+    [(1 + FR)²] for the cross-product, [14(1+FR)²/(2FR+3)] for the
+    pseudo-inverse. *)

@@ -1,0 +1,40 @@
+(* The abstract data-matrix interface that ML algorithms are written
+   against. This is the OCaml rendering of the paper's key architectural
+   move: in R, Morpheus overloads the LA operators on a new class so the
+   *same* ML script runs over regular and normalized matrices; here the
+   operators in this signature are the overloaded set (Table 1), and the
+   ML algorithms in [lib/ml] are functors over it. Instantiating a
+   functor with {!Regular_matrix} gives the standard single-table
+   algorithm; with {!Factorized_matrix} the automatically factorized
+   one — no algorithm code changes, which is the paper's entire point. *)
+
+open La
+
+module type S = sig
+  type t
+
+  val rows : t -> int
+  val cols : t -> int
+
+  (* element-wise scalar ops: closure, same logical matrix type *)
+  val scale : float -> t -> t
+  val add_scalar : float -> t -> t
+  val pow : t -> float -> t
+  val map_scalar : (float -> float) -> t -> t
+
+  (* aggregations *)
+  val row_sums : t -> Dense.t (* n×1 *)
+  val col_sums : t -> Dense.t (* 1×d *)
+  val sum : t -> float
+
+  (* multiplications: outputs are regular matrices *)
+  val lmm : t -> Dense.t -> Dense.t (* T·X *)
+  val rmm : Dense.t -> t -> Dense.t (* X·T *)
+  val tlmm : t -> Dense.t -> Dense.t (* Tᵀ·X *)
+  val crossprod : t -> Dense.t (* TᵀT *)
+
+  (* inversion *)
+  val ginv : t -> Dense.t
+
+  val describe : t -> string
+end

@@ -1,0 +1,58 @@
+(* When are rewrites faster? (§3.7, §5.1.) The paper's heuristic
+   decision rule is a disjunctive predicate on the tuple ratio
+   TR = n_S/n_R and feature ratio FR = d_R/d_S: "if the tuple ratio is
+   < τ or if the feature ratio is < ρ, we do not use F", with the
+   conservative thresholds τ = 5 and ρ = 1 tuned on the synthetic
+   sweeps. A cost-model alternative (which the paper rejects for
+   violating genericity, but which we keep for the ablation bench) is
+   also provided. *)
+
+let log_src = Logs.Src.create "morpheus.decision" ~doc:"execution-path decisions"
+
+module Log = (val Logs.src_log log_src)
+
+type choice = Factorized | Materialized
+
+let default_tau = 5.0
+let default_rho = 1.0
+
+(* The paper's heuristic rule. *)
+let heuristic ?(tau = default_tau) ?(rho = default_rho) t =
+  let tr = Normalized.tuple_ratio t in
+  let fr = Normalized.feature_ratio t in
+  let choice = if tr < tau || fr < rho then Materialized else Factorized in
+  Log.debug (fun m ->
+      m "heuristic: TR=%.2f FR=%.2f (tau=%.1f rho=%.1f) -> %s" tr fr tau rho
+        (match choice with Factorized -> "factorized" | Materialized -> "materialized")) ;
+  choice
+
+(* Cost-model rule: compare Table-3 arithmetic counts for a
+   representative operator (LMM with a single weight vector, the
+   dominant operation of GLMs). Two-table PK-FK dims are extracted from
+   the normalized matrix; multi-part schemas aggregate attribute sides. *)
+let cost_dims t =
+  let ns = if Normalized.is_transposed t then Normalized.cols t else Normalized.rows t in
+  let ds =
+    match Normalized.ent t with
+    | Some s -> Sparse.Mat.cols s
+    | None -> (
+      match Normalized.parts t with
+      | p :: _ -> Sparse.Mat.cols p.Normalized.mat
+      | [] -> 0)
+  in
+  let nr, dr =
+    List.fold_left
+      (fun (nr, dr) (p : Normalized.part) ->
+        (nr + Sparse.Mat.rows p.Normalized.mat, dr + Sparse.Mat.cols p.Normalized.mat))
+      (0, 0) (Normalized.parts t)
+  in
+  let dr = match Normalized.ent t with Some _ -> dr | None -> dr - ds in
+  { Cost.ns; ds; nr; dr }
+
+let cost_based ?(op = Cost.Lmm 1) t =
+  let dims = cost_dims t in
+  if Cost.speedup dims op > 1.0 then Factorized else Materialized
+
+let to_string = function
+  | Factorized -> "factorized"
+  | Materialized -> "materialized"

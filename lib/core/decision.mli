@@ -1,0 +1,29 @@
+(** When are rewrites faster? (§3.7, §5.1.) The paper's heuristic
+    decision rule thresholds on the tuple and feature ratios; a
+    cost-model alternative is kept for the ablation bench. *)
+
+val log_src : Logs.src
+(** Debug-level log of every decision (enable with Logs). *)
+
+type choice = Factorized | Materialized
+
+val default_tau : float
+(** τ = 5: minimum tuple ratio (§5.1). *)
+
+val default_rho : float
+(** ρ = 1: minimum feature ratio (§5.1). *)
+
+val heuristic : ?tau:float -> ?rho:float -> Normalized.t -> choice
+(** The paper's rule: materialize if TR < τ or FR < ρ, else factorize.
+    Thresholds are conservative: mispredictions only forgo minor
+    (< 50%) speed-ups. *)
+
+val cost_dims : Normalized.t -> Cost.dims
+(** Two-table cost dimensions extracted from a normalized matrix
+    (multi-part schemas aggregate their attribute sides). *)
+
+val cost_based : ?op:Cost.op -> Normalized.t -> choice
+(** Compare Table-3 counts for a representative operator (default:
+    LMM with one weight vector, the GLM workhorse). *)
+
+val to_string : choice -> string

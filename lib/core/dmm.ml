@@ -1,0 +1,190 @@
+(* Double matrix multiplication (appendix C): products where *both*
+   operands are normalized matrices. DMM "does not arise in any popular
+   ML algorithm" but the paper shows it is rewritable; we implement all
+   four transpose combinations so the framework is closed under
+   multiplication of normalized matrices.
+
+   Shapes (A: n_A×d_A, B: n_B×d_B):
+     mult   A·B     requires d_A = n_B
+     tdmm   Aᵀ·B    requires n_A = n_B   (generalized Gramian, d_A×d_B)
+     gramian A·Bᵀ   requires d_A = d_B   (n_A×n_B)
+   and Aᵀ·Bᵀ → (B·A)ᵀ. *)
+
+open La
+open Sparse
+open Normalized
+
+(* Column segmentation of a body: [(group, lo, hi)] over T's columns. *)
+let segments body =
+  let gs = Rewrite.groups body in
+  let _, segs =
+    List.fold_left
+      (fun (off, acc) g ->
+        let w = Rewrite.group_cols g in
+        (off + w, (g, off, off + w) :: acc))
+      (0, []) gs
+  in
+  List.rev segs
+
+(* A · K_B for an indicator K_B over A's columns (i.e. T·K): factorized
+   as S·K_B[rows of S's block] + Σᵢ Kᵢ·(Rᵢ·K_B[their block]) where each
+   row-block of K_B is a column-scatter. *)
+let mult_indicator_nt body kb =
+  let n = base_rows body in
+  let ncols = Indicator.cols kb in
+  let mapping = Indicator.mapping kb in
+  let acc = Dense.create n ncols in
+  let accumulate gathered =
+    Flops.add (n * ncols) ;
+    let ad = Dense.data acc and gd = Dense.data gathered in
+    for i = 0 to Array.length ad - 1 do
+      Array.unsafe_set ad i (Array.unsafe_get ad i +. Array.unsafe_get gd i)
+    done
+  in
+  List.iter
+    (fun (g, lo, hi) ->
+      let sub_map = Array.sub mapping lo (hi - lo) in
+      match g with
+      | Rewrite.G_ent s -> accumulate (Mat.col_scatter s ~mapping:sub_map ~ncols)
+      | Rewrite.G_part { ind; mat } ->
+        let z = Mat.col_scatter mat ~mapping:sub_map ~ncols in
+        accumulate (Indicator.mult ind z))
+    (segments body) ;
+  acc
+
+(* A · M for a Mat over A's columns (i.e. T·X with X itself possibly
+   sparse): row-slice M per column group, as in LMM. *)
+let mult_mat_nt body m =
+  let n = base_rows body in
+  let k = Mat.cols m in
+  let acc = Dense.create n k in
+  let accumulate gathered =
+    Flops.add (n * k) ;
+    let ad = Dense.data acc and gd = Dense.data gathered in
+    for i = 0 to Array.length ad - 1 do
+      Array.unsafe_set ad i (Array.unsafe_get ad i +. Array.unsafe_get gd i)
+    done
+  in
+  List.iter
+    (fun (g, lo, hi) ->
+      let slice = Mat.sub_rows m ~lo ~hi in
+      match g with
+      | Rewrite.G_ent s -> accumulate (Mat.mm s (Mat.dense slice))
+      | Rewrite.G_part { ind; mat } ->
+        let z = Mat.mm mat (Mat.dense slice) in
+        accumulate (Indicator.mult ind z))
+    (segments body) ;
+  acc
+
+(* A·B for non-transposed A and B (appendix C's first rewrite,
+   generalized to any number of parts):
+     A·B → [ A·S_B | (A·K_B,1)·R_B,1 | … ]. *)
+let mult_nt abody bbody =
+  if base_cols abody <> base_rows bbody then
+    invalid_arg "Dmm.mult: inner dimension mismatch" ;
+  let blocks =
+    (match bbody.ent with
+    | Some sb -> [ mult_mat_nt abody sb ]
+    | None -> [])
+    @ List.map
+        (fun { ind; mat } -> Mat.mm_left (mult_indicator_nt abody ind) mat)
+        bbody.parts
+  in
+  Dense.hcat blocks
+
+(* Aᵀ·B for bodies sharing the row dimension (appendix C's AᵀB rewrite):
+   a d_A×d_B block matrix over the column groups of A and B. *)
+let tdmm_nt abody bbody =
+  if base_rows abody <> base_rows bbody then
+    invalid_arg "Dmm.tdmm: row dimension mismatch" ;
+  let block gi gj =
+    match (gi, gj) with
+    | Rewrite.G_ent sa, Rewrite.G_ent sb -> Rewrite.dense_tmm (Mat.dense sa) sb
+    | gi, gj -> Rewrite.cross_block gi gj
+  in
+  let gsa = Array.of_list (Rewrite.groups abody) in
+  let gsb = Array.of_list (Rewrite.groups bbody) in
+  let wa = Array.map Rewrite.group_cols gsa in
+  let wb = Array.map Rewrite.group_cols gsb in
+  let da = Array.fold_left ( + ) 0 wa and db = Array.fold_left ( + ) 0 wb in
+  let oa = Array.make (Array.length gsa) 0 in
+  for i = 1 to Array.length gsa - 1 do
+    oa.(i) <- oa.(i - 1) + wa.(i - 1)
+  done ;
+  let ob = Array.make (Array.length gsb) 0 in
+  for j = 1 to Array.length gsb - 1 do
+    ob.(j) <- ob.(j - 1) + wb.(j - 1)
+  done ;
+  let out = Dense.create da db in
+  Array.iteri
+    (fun i gi ->
+      Array.iteri
+        (fun j gj ->
+          Dense.blit_block ~src:(block gi gj) ~dst:out ~row:oa.(i) ~col:ob.(j))
+        gsb)
+    gsa ;
+  out
+
+(* A·Bᵀ (appendix C's ABᵀ rewrite, handling all alignment cases by
+   refining both column partitions to their common segments): for each
+   aligned column segment g, the contribution is
+   I_A·(M_A,g · M_B,gᵀ)·I_Bᵀ, applied by a two-sided gather. *)
+let gramian_nt abody bbody =
+  if base_cols abody <> base_cols bbody then
+    invalid_arg "Dmm.gramian: column dimension mismatch" ;
+  let na = base_rows abody and nb = base_rows bbody in
+  let out = Dense.create na nb in
+  let od = Dense.data out in
+  (* refine segment boundaries *)
+  let bounds =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun (_, lo, hi) -> [ lo; hi ])
+         (segments abody @ segments bbody))
+  in
+  let rec pairs = function
+    | lo :: (hi :: _ as rest) -> (lo, hi) :: pairs rest
+    | _ -> []
+  in
+  let seg_of body lo hi =
+    (* the (group, local lo, local hi) containing columns [lo,hi) *)
+    let g, glo, _ =
+      List.find (fun (_, glo, ghi) -> glo <= lo && hi <= ghi) (segments body)
+    in
+    (g, lo - glo, hi - glo)
+  in
+  List.iter
+    (fun (lo, hi) ->
+      let ga, alo, ahi = seg_of abody lo hi in
+      let gb, blo, bhi = seg_of bbody lo hi in
+      let slice g l h =
+        match g with
+        | Rewrite.G_ent s -> (None, Mat.dense (Mat.sub_cols s ~lo:l ~hi:h))
+        | Rewrite.G_part { ind; mat } ->
+          (Some (Indicator.mapping ind), Mat.dense (Mat.sub_cols mat ~lo:l ~hi:h))
+      in
+      let map_a, ma = slice ga alo ahi in
+      let map_b, mb = slice gb blo bhi in
+      let c = Blas.gemm_nt ma mb in
+      let rc = Dense.cols c in
+      Flops.add (na * nb) ;
+      for i = 0 to na - 1 do
+        let ci = match map_a with None -> i | Some m -> m.(i) in
+        let cbase = ci * rc and obase = i * nb in
+        for j = 0 to nb - 1 do
+          let cj = match map_b with None -> j | Some m -> m.(j) in
+          Array.unsafe_set od (obase + j)
+            (Array.unsafe_get od (obase + j)
+            +. Array.unsafe_get (Dense.data c) (cbase + cj))
+        done
+      done)
+    (pairs bounds) ;
+  out
+
+(* Public entry point dispatching on both transpose flags. *)
+let mult a b =
+  match (a.trans, b.trans) with
+  | false, false -> mult_nt a.body b.body
+  | true, true -> Dense.transpose (mult_nt b.body a.body) (* AᵀBᵀ = (BA)ᵀ *)
+  | true, false -> tdmm_nt a.body b.body
+  | false, true -> gramian_nt a.body b.body

@@ -1,0 +1,28 @@
+(** Double matrix multiplication (appendix C): products where both
+    operands are normalized matrices, in all four transpose
+    combinations, so the framework is closed under multiplication of
+    normalized matrices. *)
+
+open La
+
+val mult : Normalized.t -> Normalized.t -> Dense.t
+(** [mult a b] dispatches on the operands' transpose flags:
+
+    - [A·B] (neither transposed; needs [cols a = rows b]):
+      [\[A·S_B | (A·K_B,i)·R_B,i | …\]];
+    - [Aᵀ·Bᵀ = (B·A)ᵀ];
+    - [Aᵀ·B] (shared row dimension): the block matrix of appendix C;
+    - [A·Bᵀ] (shared column dimension): per aligned column segment,
+      [I_A·(M_A,g·M_B,gᵀ)·I_Bᵀ] applied as a two-sided gather —
+      covering the aligned and misaligned cases of appendix C.
+
+    Raises [Invalid_argument] on dimension mismatch. *)
+
+(** {1 Building blocks (exposed for tests)} *)
+
+val mult_indicator_nt : Normalized.body -> Sparse.Indicator.t -> Dense.t
+(** [T·K] for an indicator over T's columns, factorized per column
+    group. *)
+
+val mult_mat_nt : Normalized.body -> Sparse.Mat.t -> Dense.t
+(** [T·X] with [X] itself possibly sparse, row-sliced per group. *)

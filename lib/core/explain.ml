@@ -1,0 +1,165 @@
+(* EXPLAIN for factorized linear algebra: given an operator and a
+   normalized matrix, render the rewrite that would fire (with the
+   actual block structure), the Table-3 cost estimates for both
+   execution paths, and the §3.7 decision — the LA counterpart of a
+   database EXPLAIN plan. Purely informational; nothing is executed. *)
+
+open Sparse
+
+type op =
+  | Scalar_op
+  | Row_sums
+  | Col_sums
+  | Sum
+  | Lmm of int (* columns of the multiplier *)
+  | Rmm of int (* rows of the multiplier *)
+  | Crossprod
+  | Ginv
+
+let op_name = function
+  | Scalar_op -> "element-wise scalar op"
+  | Row_sums -> "rowSums"
+  | Col_sums -> "colSums"
+  | Sum -> "sum"
+  | Lmm k -> Printf.sprintf "LMM (T x X, d_X = %d)" k
+  | Rmm k -> Printf.sprintf "RMM (X x T, n_X = %d)" k
+  | Crossprod -> "crossprod"
+  | Ginv -> "pseudo-inverse"
+
+let cost_op = function
+  | Scalar_op -> Cost.Scalar_op
+  | Row_sums | Col_sums | Sum -> Cost.Aggregation
+  | Lmm k -> Cost.Lmm k
+  | Rmm k -> Cost.Rmm k
+  | Crossprod -> Cost.Crossprod
+  | Ginv -> Cost.Pseudo_inverse
+
+(* Names for the parts: S, R1..Rq (or S', R' under I_S/I_R for M:N). *)
+let part_names t =
+  let q = List.length (Normalized.parts t) in
+  match Normalized.ent t with
+  | Some _ -> List.init q (fun i -> Printf.sprintf "R%d" (i + 1))
+  | None ->
+    (* M:N shape: first part is the entity table behind I_S *)
+    List.init q (fun i -> if i = 0 then "S" else Printf.sprintf "R%d" i)
+
+let ind_names t =
+  let q = List.length (Normalized.parts t) in
+  match Normalized.ent t with
+  | Some _ -> List.init q (fun i -> Printf.sprintf "K%d" (i + 1))
+  | None ->
+    List.init q (fun i -> if i = 0 then "I_S" else Printf.sprintf "I_R%d" i)
+
+let rewrite_formula t op =
+  let rs = part_names t and ks = ind_names t in
+  let with_ent f_ent parts_terms join =
+    let ent_term = match Normalized.ent t with Some _ -> [ f_ent ] | None -> [] in
+    String.concat join (ent_term @ parts_terms)
+  in
+  match op with
+  | Scalar_op ->
+    let terms = List.map (fun r -> "f(" ^ r ^ ")") rs in
+    "(" ^ with_ent "f(S)" terms ", " ^ ")   [closure: result stays normalized]"
+  | Row_sums ->
+    with_ent "rowSums(S)"
+      (List.map2 (fun k r -> k ^ "*rowSums(" ^ r ^ ")") ks rs)
+      " + "
+  | Col_sums ->
+    "[" ^ with_ent "colSums(S)"
+      (List.map2 (fun k r -> "colSums(" ^ k ^ ")*" ^ r) ks rs)
+      ", " ^ "]"
+  | Sum ->
+    with_ent "sum(S)"
+      (List.map2 (fun k r -> "colSums(" ^ k ^ ")*rowSums(" ^ r ^ ")") ks rs)
+      " + "
+  | Lmm _ ->
+    with_ent "S*X[1:dS,]"
+      (List.map2 (fun k r -> k ^ "*(" ^ r ^ "*X[slice,])") ks rs)
+      " + "
+  | Rmm _ ->
+    "[" ^ with_ent "X*S"
+      (List.map2 (fun k r -> "(X*" ^ k ^ ")*" ^ r) ks rs)
+      ", " ^ "]"
+  | Crossprod ->
+    let diag =
+      List.map2
+        (fun k r ->
+          Printf.sprintf "%s'diag(colSums %s)%s" r k r)
+        ks rs
+    in
+    "block[" ^ with_ent "crossprod(S)" diag "; "
+    ^ "; off-diagonals via (S'Ki)Ri and Ri'(Ki'Kj)Rj]"
+  | Ginv ->
+    let n, d = Normalized.dims t in
+    if d < n then "ginv(crossprod(T)) * T'   [d < n branch]"
+    else "T' * ginv(crossprod(T'))   [d >= n branch]"
+
+type report = {
+  operator : string;
+  rewrite : string;
+  standard_flops : float;
+  factorized_flops : float;
+  predicted_speedup : float;
+  decision : Decision.choice;
+  tuple_ratio : float;
+  feature_ratio : float;
+}
+
+let analyze ?tau ?rho t op =
+  let dims = Decision.cost_dims t in
+  let c = cost_op op in
+  { operator = op_name op;
+    rewrite = rewrite_formula t op;
+    standard_flops = Cost.standard dims c;
+    factorized_flops = Cost.factorized dims c;
+    predicted_speedup = Cost.speedup dims c;
+    decision = Decision.heuristic ?tau ?rho t;
+    tuple_ratio = Normalized.tuple_ratio t;
+    feature_ratio = Normalized.feature_ratio t }
+
+let to_string r =
+  Printf.sprintf
+    "operator          : %s\n\
+     rewrite           : %s\n\
+     standard cost     : %.3g arithmetic ops\n\
+     factorized cost   : %.3g arithmetic ops\n\
+     predicted speedup : %.2fx\n\
+     tuple ratio       : %.2f, feature ratio: %.2f\n\
+     decision (3.7)    : %s"
+    r.operator r.rewrite r.standard_flops r.factorized_flops
+    r.predicted_speedup r.tuple_ratio r.feature_ratio
+    (Decision.to_string r.decision)
+
+let explain ?tau ?rho t op = to_string (analyze ?tau ?rho t op)
+
+(* Describe the normalized matrix itself: shape, parts, storage. *)
+let describe t =
+  let buf = Buffer.create 256 in
+  let n, d = Normalized.dims t in
+  Buffer.add_string buf
+    (Printf.sprintf "normalized matrix: %d x %d%s\n" n d
+       (if Normalized.is_transposed t then " (transposed)" else "")) ;
+  (match Normalized.ent t with
+  | Some s ->
+    Buffer.add_string buf
+      (Printf.sprintf "  entity S: %d x %d (%s, %d stored)\n" (Mat.rows s)
+         (Mat.cols s)
+         (if Mat.is_sparse s then "sparse" else "dense")
+         (Mat.storage_size s))
+  | None -> Buffer.add_string buf "  no plain entity part (M:N shape)\n") ;
+  List.iteri
+    (fun i (p : Normalized.part) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  part %d: indicator %d -> %d rows; attribute %d x %d (%s, %d stored)\n"
+           (i + 1)
+           (Indicator.rows p.Normalized.ind)
+           (Indicator.cols p.Normalized.ind)
+           (Mat.rows p.Normalized.mat) (Mat.cols p.Normalized.mat)
+           (if Mat.is_sparse p.Normalized.mat then "sparse" else "dense")
+           (Mat.storage_size p.Normalized.mat)))
+    (Normalized.parts t) ;
+  Buffer.add_string buf
+    (Printf.sprintf "  stored scalars %d vs materialized %d (redundancy ratio %.2f)"
+       (Normalized.storage_size t) (n * d)
+       (Normalized.redundancy_ratio t)) ;
+  Buffer.contents buf

@@ -1,0 +1,35 @@
+(** EXPLAIN for factorized linear algebra: render the rewrite that would
+    fire for an operator over a given normalized matrix, the Table-3
+    cost estimates for both paths, and the §3.7 decision — the LA
+    counterpart of a database EXPLAIN plan. Purely informational. *)
+
+type op =
+  | Scalar_op
+  | Row_sums
+  | Col_sums
+  | Sum
+  | Lmm of int  (** columns of the multiplier *)
+  | Rmm of int  (** rows of the multiplier *)
+  | Crossprod
+  | Ginv
+
+type report = {
+  operator : string;
+  rewrite : string;  (** the rewrite with this matrix's actual parts *)
+  standard_flops : float;
+  factorized_flops : float;
+  predicted_speedup : float;
+  decision : Decision.choice;
+  tuple_ratio : float;
+  feature_ratio : float;
+}
+
+val analyze : ?tau:float -> ?rho:float -> Normalized.t -> op -> report
+
+val to_string : report -> string
+
+val explain : ?tau:float -> ?rho:float -> Normalized.t -> op -> string
+(** [to_string (analyze t op)]. *)
+
+val describe : Normalized.t -> string
+(** Shape, parts, representations, and storage of the normalized matrix. *)

@@ -1,0 +1,439 @@
+(* A deep-embedded LA expression language with automatic factorization —
+   the OCaml rendering of Figure 1(c): the user writes the *standard*
+   script against logical matrices; the evaluator dispatches every
+   operator to the factorized rewrites when an operand is a normalized
+   matrix, to plain kernels otherwise, and materializes only where the
+   paper's rules require it (element-wise matrix ops, §3.3.7).
+
+   In the R prototype this dispatch is S4 operator overloading; a deep
+   embedding additionally enables the algebraic simplifications below
+   (double-transpose elimination, scalar fusion, transpose pushdown),
+   which an overloading-based design cannot see. *)
+
+open La
+open Sparse
+
+type value =
+  | Scalar of float
+  | Regular of Mat.t
+  | Normalized of Normalized.t
+
+type t =
+  | Const of value
+  | Var of string
+  | Scale of float * t (* x · e *)
+  | Add_scalar of float * t
+  | Pow_scalar of t * float
+  | Map_scalar of string * (float -> float) * t (* named for printing *)
+  | Transpose of t
+  | Row_sums of t
+  | Col_sums of t
+  | Sum of t
+  | Mult of t * t
+  | Crossprod of t
+  | Ginv of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul_elem of t * t
+  | Div_elem of t * t
+
+(* ---- convenience constructors ---- *)
+
+let scalar x = Const (Scalar x)
+let regular m = Const (Regular m)
+let dense d = Const (Regular (Mat.of_dense d))
+let normalized n = Const (Normalized n)
+let var name = Var name
+
+let ( *@ ) a b = Mult (a, b)
+let ( +@ ) a b = Add (a, b)
+let ( -@ ) a b = Sub (a, b)
+let ( *.@ ) x e = Scale (x, e)
+let tr e = Transpose e
+
+(* ---- printing ---- *)
+
+let rec pp ppf = function
+  | Const (Scalar x) -> Fmt.pf ppf "%g" x
+  | Const (Regular m) -> Fmt.pf ppf "[%dx%d]" (Mat.rows m) (Mat.cols m)
+  | Const (Normalized n) ->
+    Fmt.pf ppf "T<%dx%d>" (Normalized.rows n) (Normalized.cols n)
+  | Var name -> Fmt.string ppf name
+  | Scale (x, e) -> Fmt.pf ppf "(%g * %a)" x pp e
+  | Add_scalar (x, e) -> Fmt.pf ppf "(%a + %g)" pp e x
+  | Pow_scalar (e, p) -> Fmt.pf ppf "(%a ^ %g)" pp e p
+  | Map_scalar (name, _, e) -> Fmt.pf ppf "%s(%a)" name pp e
+  | Transpose e -> Fmt.pf ppf "%a'" pp e
+  | Row_sums e -> Fmt.pf ppf "rowSums(%a)" pp e
+  | Col_sums e -> Fmt.pf ppf "colSums(%a)" pp e
+  | Sum e -> Fmt.pf ppf "sum(%a)" pp e
+  | Mult (a, b) -> Fmt.pf ppf "(%a %%*%% %a)" pp a pp b
+  | Crossprod e -> Fmt.pf ppf "crossprod(%a)" pp e
+  | Ginv e -> Fmt.pf ppf "ginv(%a)" pp e
+  | Add (a, b) -> Fmt.pf ppf "(%a + %a)" pp a pp b
+  | Sub (a, b) -> Fmt.pf ppf "(%a - %a)" pp a pp b
+  | Mul_elem (a, b) -> Fmt.pf ppf "(%a * %a)" pp a pp b
+  | Div_elem (a, b) -> Fmt.pf ppf "(%a / %a)" pp a pp b
+
+let to_string e = Fmt.str "%a" pp e
+
+(* ---- algebraic simplification ---- *)
+
+(* One bottom-up pass of local rules:
+   - (eᵀ)ᵀ → e
+   - a·(b·e) → (a·b)·e            (scalar fusion)
+   - (x·e)ᵀ → x·eᵀ                (transpose pushdown; exposes the
+                                    Appendix-A rules underneath)
+   - rowSums(eᵀ) → colSums(e)ᵀ and symmetrically (Appendix A)
+   - sum(eᵀ) → sum(e)
+   - crossprod(e) stays; ginv(ginv-free) stays. *)
+let rec simplify e =
+  let e =
+    match e with
+    | Const _ | Var _ -> e
+    | Scale (x, e) -> Scale (x, simplify e)
+    | Add_scalar (x, e) -> Add_scalar (x, simplify e)
+    | Pow_scalar (e, p) -> Pow_scalar (simplify e, p)
+    | Map_scalar (n, f, e) -> Map_scalar (n, f, simplify e)
+    | Transpose e -> Transpose (simplify e)
+    | Row_sums e -> Row_sums (simplify e)
+    | Col_sums e -> Col_sums (simplify e)
+    | Sum e -> Sum (simplify e)
+    | Mult (a, b) -> Mult (simplify a, simplify b)
+    | Crossprod e -> Crossprod (simplify e)
+    | Ginv e -> Ginv (simplify e)
+    | Add (a, b) -> Add (simplify a, simplify b)
+    | Sub (a, b) -> Sub (simplify a, simplify b)
+    | Mul_elem (a, b) -> Mul_elem (simplify a, simplify b)
+    | Div_elem (a, b) -> Div_elem (simplify a, simplify b)
+  in
+  match e with
+  | Transpose (Transpose e) -> e
+  | Scale (x, Scale (y, e)) -> Scale (Stdlib.( *. ) x y, e)
+  | Transpose (Scale (x, e)) -> Scale (x, simplify (Transpose e))
+  | Row_sums (Transpose e) -> Transpose (Col_sums e)
+  | Col_sums (Transpose e) -> Transpose (Row_sums e)
+  | Sum (Transpose e) -> Sum e
+  | e -> e
+
+(* ---- shape inference ---- *)
+
+exception Type_error of string
+
+let type_error fmt = Fmt.kstr (fun s -> raise (Type_error s)) fmt
+
+type shape = S_scalar | S_mat of int * int
+
+let value_shape = function
+  | Scalar _ -> S_scalar
+  | Regular m -> S_mat (Mat.rows m, Mat.cols m)
+  | Normalized n -> S_mat (Normalized.rows n, Normalized.cols n)
+
+let rec shape_of ~env = function
+  | Const v -> value_shape v
+  | Var name -> (
+    match List.assoc_opt name env with
+    | Some v -> value_shape v
+    | None -> type_error "unbound variable %s" name)
+  | Scale (_, e) | Add_scalar (_, e) | Pow_scalar (e, _) | Map_scalar (_, _, e)
+    ->
+    shape_of ~env e
+  | Transpose e -> (
+    match shape_of ~env e with
+    | S_scalar -> S_scalar
+    | S_mat (r, c) -> S_mat (c, r))
+  | Row_sums e -> (
+    match shape_of ~env e with
+    | S_scalar -> type_error "rowSums of scalar"
+    | S_mat (r, _) -> S_mat (r, 1))
+  | Col_sums e -> (
+    match shape_of ~env e with
+    | S_scalar -> type_error "colSums of scalar"
+    | S_mat (_, c) -> S_mat (1, c))
+  | Sum _ -> S_scalar
+  | Mult (a, b) -> (
+    match (shape_of ~env a, shape_of ~env b) with
+    | S_scalar, s | s, S_scalar -> s
+    | S_mat (r, k), S_mat (k', c) when k = k' -> S_mat (r, c)
+    | S_mat (r, k), S_mat (k', c) ->
+      type_error "product shape mismatch: %dx%d times %dx%d" r k k' c)
+  | Crossprod e -> (
+    match shape_of ~env e with
+    | S_scalar -> S_scalar
+    | S_mat (_, c) -> S_mat (c, c))
+  | Ginv e -> (
+    match shape_of ~env e with
+    | S_scalar -> S_scalar
+    | S_mat (r, c) -> S_mat (c, r))
+  | Add (a, b) | Sub (a, b) | Mul_elem (a, b) | Div_elem (a, b) -> (
+    match (shape_of ~env a, shape_of ~env b) with
+    | s, s' when s = s' -> s
+    | S_mat (r, c), S_mat (r', c') ->
+      type_error "elementwise shape mismatch: %dx%d vs %dx%d" r c r' c'
+    | _ -> type_error "elementwise op between scalar and matrix")
+
+(* ---- evaluation with automatic factorization ---- *)
+
+let as_dense = function
+  | Scalar _ -> type_error "expected a matrix, got a scalar"
+  | Regular m -> Mat.dense m
+  | Normalized n -> Materialize.to_dense n
+
+let as_mat = function
+  | Scalar _ -> type_error "expected a matrix, got a scalar"
+  | Regular m -> m
+  | Normalized n -> Materialize.to_mat n
+
+let as_scalar = function
+  | Scalar x -> x
+  | Regular m when Mat.rows m = 1 && Mat.cols m = 1 -> Mat.get m 0 0
+  | _ -> type_error "expected a scalar"
+
+(* scalar-function application preserving normalization (closure). *)
+let map_value f = function
+  | Scalar x -> Scalar (f x)
+  | Regular m -> Regular (Mat.map_scalar f m)
+  | Normalized n -> Normalized (Rewrite.map_scalar f n)
+
+let rec eval ?(env = []) e =
+  let ev e = eval ~env e in
+  match e with
+  | Const v -> v
+  | Var name -> (
+    match List.assoc_opt name env with
+    | Some v -> v
+    | None -> type_error "unbound variable %s" name)
+  | Scale (x, e) -> (
+    match ev e with
+    | Scalar y -> Scalar (Stdlib.( *. ) x y)
+    | Regular m -> Regular (Mat.scale x m)
+    | Normalized n -> Normalized (Rewrite.scale x n))
+  | Add_scalar (x, e) -> (
+    match ev e with
+    | Scalar y -> Scalar (x +. y)
+    | Regular m -> Regular (Mat.add_scalar x m)
+    | Normalized n -> Normalized (Rewrite.add_scalar x n))
+  | Pow_scalar (e, p) -> (
+    match ev e with
+    | Scalar y -> Scalar (y ** p)
+    | Regular m -> Regular (Mat.pow p m)
+    | Normalized n -> Normalized (Rewrite.pow n p))
+  | Map_scalar (_, f, e) -> map_value f (ev e)
+  | Transpose e -> (
+    match ev e with
+    | Scalar x -> Scalar x
+    | Regular m -> Regular (Mat.transpose m)
+    | Normalized n -> Normalized (Rewrite.transpose n))
+  | Row_sums e -> (
+    match ev e with
+    | Scalar _ -> type_error "rowSums of scalar"
+    | Regular m -> Regular (Mat.of_dense (Mat.row_sums m))
+    | Normalized n -> Regular (Mat.of_dense (Rewrite.row_sums n)))
+  | Col_sums e -> (
+    match ev e with
+    | Scalar _ -> type_error "colSums of scalar"
+    | Regular m -> Regular (Mat.of_dense (Mat.col_sums m))
+    | Normalized n -> Regular (Mat.of_dense (Rewrite.col_sums n)))
+  | Sum e -> (
+    match ev e with
+    | Scalar x -> Scalar x
+    | Regular m -> Scalar (Mat.sum m)
+    | Normalized n -> Scalar (Rewrite.sum n))
+  | Mult (a, b) -> eval_mult (ev a) (ev b)
+  | Crossprod e -> (
+    match ev e with
+    | Scalar x -> Scalar (x *. x)
+    | Regular m -> Regular (Mat.of_dense (Mat.crossprod m))
+    | Normalized n -> Regular (Mat.of_dense (Rewrite.crossprod n)))
+  | Ginv e -> (
+    match ev e with
+    | Scalar x -> Scalar (if x = 0.0 then 0.0 else 1.0 /. x)
+    | Regular m -> Regular (Mat.of_dense (Linalg.ginv (Mat.dense m)))
+    | Normalized n -> Regular (Mat.of_dense (Rewrite.ginv n)))
+  | Add (a, b) -> eval_elementwise "+" Mat.add Rewrite.add_mat (ev a) (ev b)
+  | Sub (a, b) -> eval_elementwise "-" Mat.sub Rewrite.sub_mat (ev a) (ev b)
+  | Mul_elem (a, b) ->
+    eval_elementwise "*" Mat.mul_elem Rewrite.mul_elem_mat (ev a) (ev b)
+  | Div_elem (a, b) ->
+    eval_elementwise "/" Mat.div_elem Rewrite.div_elem_mat (ev a) (ev b)
+
+(* Matrix product dispatch: the heart of the automatic factorization.
+   Any combination involving a normalized operand routes to the LMM,
+   RMM, or DMM rewrite; scalars distribute. *)
+and eval_mult a b =
+  match (a, b) with
+  | Scalar x, v | v, Scalar x -> (
+    match v with
+    | Scalar y -> Scalar (Stdlib.( *. ) x y)
+    | Regular m -> Regular (Mat.scale x m)
+    | Normalized n -> Normalized (Rewrite.scale x n))
+  | Regular m, Regular m' -> Regular (Mat.of_dense (Mat.mm m (Mat.dense m')))
+  | Normalized n, Regular m ->
+    Regular (Mat.of_dense (Rewrite.lmm n (Mat.dense m)))
+  | Regular m, Normalized n ->
+    Regular (Mat.of_dense (Rewrite.rmm (Mat.dense m) n))
+  | Normalized n, Normalized n' -> Regular (Mat.of_dense (Dmm.mult n n'))
+
+(* Element-wise matrix ops are non-factorizable (§3.3.7): a normalized
+   operand is materialized. Scalar operands fall back to scalar ops. *)
+and eval_elementwise name f_mat f_norm a b =
+  match (a, b) with
+  | Scalar x, Scalar y -> (
+    Scalar
+      (match name with
+      | "+" -> x +. y
+      | "-" -> x -. y
+      | "*" -> Stdlib.( *. ) x y
+      | "/" -> x /. y
+      | _ -> assert false))
+  | Scalar x, v | v, Scalar x when name = "+" -> map_value (fun y -> x +. y) v
+  | v, Scalar x when name = "-" -> map_value (fun y -> y -. x) v
+  | Scalar x, v | v, Scalar x when name = "*" ->
+    map_value (fun y -> Stdlib.( *. ) x y) v
+  | v, Scalar x when name = "/" -> map_value (fun y -> y /. x) v
+  | Normalized n, v -> Regular (f_norm n (as_mat v))
+  | v, Normalized n ->
+    (* materialize the normalized side; order matters for - and / *)
+    Regular (f_mat (as_mat v) (Materialize.to_mat n))
+  | Regular m, Regular m' -> Regular (f_mat m m')
+  | Scalar _, _ | _, Scalar _ ->
+    type_error "elementwise %s between scalar and matrix unsupported" name
+
+(* Evaluate to a dense matrix (convenience for callers and tests). *)
+let eval_dense ?env e = as_dense (eval ?env e)
+
+let eval_scalar ?env e = as_scalar (eval ?env e)
+
+(* ---- matrix-chain-order optimization ----
+
+   The paper's related work points at matrix-chain-product optimization
+   (Matlab's mmtimes, SystemML) as a natural companion to factorized
+   rewrites. [optimize] reassociates maximal Mult chains with the
+   classic O(m³) dynamic program, using a cost model that knows about
+   normalized operands: multiplying a normalized leaf on the left of an
+   (k×c) argument costs the *factorized* LMM count, not n·k·c, so the
+   chosen parenthesization reflects what will actually execute. *)
+
+let rec flatten_mult = function
+  | Mult (a, b) -> flatten_mult a @ flatten_mult b
+  | e -> [ e ]
+
+let rec rebuild_mult = function
+  | [ e ] -> e
+  | es ->
+    (* only used for even splits chosen by the DP *)
+    let n = List.length es in
+    let left = List.filteri (fun i _ -> i < n / 2) es in
+    let right = List.filteri (fun i _ -> i >= n / 2) es in
+    Mult (rebuild_mult left, rebuild_mult right)
+
+(* Cost of multiplying a (r×k) segment by a (k×c) segment, where the
+   left segment might be a single normalized leaf (factorized LMM) and
+   the right likewise (factorized RMM). *)
+let pair_cost left_seg right_seg r k c =
+  let f = float_of_int in
+  match (left_seg, right_seg) with
+  | [ Const (Normalized t) ], _ when not (Normalized.is_transposed t) ->
+    Cost.factorized (Decision.cost_dims t) (Cost.Lmm c)
+  | _, [ Const (Normalized t) ] when not (Normalized.is_transposed t) ->
+    Cost.factorized (Decision.cost_dims t) (Cost.Rmm r)
+  | _ -> f r *. f k *. f c
+
+let chain_order ~env leaves =
+  let leaves = Array.of_list leaves in
+  let m = Array.length leaves in
+  let dims =
+    Array.map
+      (fun e ->
+        match shape_of ~env e with
+        | S_mat (r, c) -> (r, c)
+        | S_scalar -> raise Exit)
+      leaves
+  in
+  (* dp.(i).(j) = (cost, split) for multiplying leaves i..j *)
+  let cost = Array.make_matrix m m 0.0 in
+  let split = Array.make_matrix m m 0 in
+  for len = 2 to m do
+    for i = 0 to m - len do
+      let j = i + len - 1 in
+      cost.(i).(j) <- infinity ;
+      for s = i to j - 1 do
+        let r = fst dims.(i) and k = snd dims.(s) and c = snd dims.(j) in
+        let left_seg = Array.to_list (Array.sub leaves i (s - i + 1)) in
+        let right_seg = Array.to_list (Array.sub leaves (s + 1) (j - s)) in
+        let total =
+          cost.(i).(s) +. cost.(s + 1).(j) +. pair_cost left_seg right_seg r k c
+        in
+        if total < cost.(i).(j) then begin
+          cost.(i).(j) <- total ;
+          split.(i).(j) <- s
+        end
+      done
+    done
+  done ;
+  let rec build i j =
+    if i = j then leaves.(i)
+    else begin
+      let s = split.(i).(j) in
+      Mult (build i s, build (s + 1) j)
+    end
+  in
+  build 0 (m - 1)
+
+(* Reassociate every maximal matrix-product chain of length >= 3; chains
+   containing scalar-shaped operands are left as written. *)
+let rec optimize ?(env = []) e =
+  let opt = optimize ~env in
+  match e with
+  | Mult _ as chain -> (
+    let leaves = List.map opt (flatten_mult chain) in
+    if List.length leaves < 3 then rebuild_mult leaves
+    else
+      match chain_order ~env leaves with
+      | reassociated -> reassociated
+      | exception (Exit | Type_error _) -> rebuild_mult leaves)
+  | Const _ | Var _ -> e
+  | Scale (x, e) -> Scale (x, opt e)
+  | Add_scalar (x, e) -> Add_scalar (x, opt e)
+  | Pow_scalar (e, p) -> Pow_scalar (opt e, p)
+  | Map_scalar (n, f, e) -> Map_scalar (n, f, opt e)
+  | Transpose e -> Transpose (opt e)
+  | Row_sums e -> Row_sums (opt e)
+  | Col_sums e -> Col_sums (opt e)
+  | Sum e -> Sum (opt e)
+  | Crossprod e -> Crossprod (opt e)
+  | Ginv e -> Ginv (opt e)
+  | Add (a, b) -> Add (opt a, opt b)
+  | Sub (a, b) -> Sub (opt a, opt b)
+  | Mul_elem (a, b) -> Mul_elem (opt a, opt b)
+  | Div_elem (a, b) -> Div_elem (opt a, opt b)
+
+(* Reference evaluator: materializes every normalized leaf up front and
+   uses only plain kernels — the "standard single-table script". Tests
+   compare [eval] against this to certify the automatic factorization
+   end-to-end. *)
+let eval_materialized ?(env = []) e =
+  let material = function
+    | Normalized n -> Regular (Materialize.to_mat n)
+    | v -> v
+  in
+  let rec mat_leaves = function
+    | Const v -> Const (material v)
+    | Var name -> Var name
+    | Scale (x, e) -> Scale (x, mat_leaves e)
+    | Add_scalar (x, e) -> Add_scalar (x, mat_leaves e)
+    | Pow_scalar (e, p) -> Pow_scalar (mat_leaves e, p)
+    | Map_scalar (n, f, e) -> Map_scalar (n, f, mat_leaves e)
+    | Transpose e -> Transpose (mat_leaves e)
+    | Row_sums e -> Row_sums (mat_leaves e)
+    | Col_sums e -> Col_sums (mat_leaves e)
+    | Sum e -> Sum (mat_leaves e)
+    | Mult (a, b) -> Mult (mat_leaves a, mat_leaves b)
+    | Crossprod e -> Crossprod (mat_leaves e)
+    | Ginv e -> Ginv (mat_leaves e)
+    | Add (a, b) -> Add (mat_leaves a, mat_leaves b)
+    | Sub (a, b) -> Sub (mat_leaves a, mat_leaves b)
+    | Mul_elem (a, b) -> Mul_elem (mat_leaves a, mat_leaves b)
+    | Div_elem (a, b) -> Div_elem (mat_leaves a, mat_leaves b)
+  in
+  eval ~env:(List.map (fun (k, v) -> (k, material v)) env) (mat_leaves e)

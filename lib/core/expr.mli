@@ -1,0 +1,100 @@
+(** A deep-embedded LA expression language with automatic factorization
+    — the OCaml rendering of Figure 1(c). Write the standard script
+    against logical matrices; {!eval} dispatches every operator to the
+    factorized rewrites when an operand is a normalized matrix, to plain
+    kernels otherwise, and materializes only where the paper requires it
+    (element-wise matrix ops, §3.3.7). *)
+
+open La
+open Sparse
+
+type value =
+  | Scalar of float
+  | Regular of Mat.t
+  | Normalized of Normalized.t
+
+type t =
+  | Const of value
+  | Var of string
+  | Scale of float * t
+  | Add_scalar of float * t
+  | Pow_scalar of t * float
+  | Map_scalar of string * (float -> float) * t  (** named for printing *)
+  | Transpose of t
+  | Row_sums of t
+  | Col_sums of t
+  | Sum of t
+  | Mult of t * t
+  | Crossprod of t
+  | Ginv of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul_elem of t * t
+  | Div_elem of t * t
+
+(** {1 Constructors} *)
+
+val scalar : float -> t
+val regular : Mat.t -> t
+val dense : Dense.t -> t
+val normalized : Normalized.t -> t
+val var : string -> t
+
+val ( *@ ) : t -> t -> t
+(** Matrix product (R's [%*%]). *)
+
+val ( +@ ) : t -> t -> t
+val ( -@ ) : t -> t -> t
+
+val ( *.@ ) : float -> t -> t
+(** Scalar multiple. *)
+
+val tr : t -> t
+(** Transpose. *)
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {1 Simplification}
+
+    Bottom-up local rules: double-transpose elimination, scalar fusion,
+    transpose pushdown, and the Appendix-A aggregation swaps
+    (rowSums(eᵀ) → colSums(e)ᵀ etc.). Semantics-preserving. *)
+
+val simplify : t -> t
+
+val optimize : ?env:(string * value) list -> t -> t
+(** Matrix-chain-order optimization (the related-work companion to the
+    rewrites: mmtimes / SystemML): reassociates every maximal product
+    chain of length ≥ 3 by the classic dynamic program, with a cost
+    model that charges normalized leaves their *factorized* LMM/RMM
+    counts. Associativity-preserving; chains containing scalar operands
+    or unresolvable shapes are left as written. *)
+
+(** {1 Shape inference} *)
+
+exception Type_error of string
+
+type shape = S_scalar | S_mat of int * int
+
+val shape_of : env:(string * value) list -> t -> shape
+(** Raises {!Type_error} on dimension mismatches or unbound variables. *)
+
+(** {1 Evaluation} *)
+
+val eval : ?env:(string * value) list -> t -> value
+(** Evaluate with automatic factorization. *)
+
+val eval_dense : ?env:(string * value) list -> t -> Dense.t
+val eval_scalar : ?env:(string * value) list -> t -> float
+
+val eval_materialized : ?env:(string * value) list -> t -> value
+(** Reference evaluator: every normalized leaf is materialized up
+    front, so only plain kernels run — the "standard single-table
+    script" baseline. *)
+
+val as_dense : value -> Dense.t
+val as_mat : value -> Mat.t
+val as_scalar : value -> float

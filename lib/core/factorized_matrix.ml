@@ -1,0 +1,26 @@
+(* The factorized instantiation of {!Data_matrix.S}: operators are the
+   Morpheus rewrites over the normalized matrix. Any ML functor applied
+   to this module is "automatically factorized" in the paper's sense. *)
+
+type t = Normalized.t
+
+let rows = Normalized.rows
+let cols = Normalized.cols
+
+let scale = Rewrite.scale
+let add_scalar = Rewrite.add_scalar
+let pow = Rewrite.pow
+let map_scalar = Rewrite.map_scalar
+
+let row_sums = Rewrite.row_sums
+let col_sums = Rewrite.col_sums
+let sum = Rewrite.sum
+
+let lmm = Rewrite.lmm
+let rmm = Rewrite.rmm
+let tlmm = Rewrite.tlmm
+let crossprod = Rewrite.crossprod
+
+let ginv = Rewrite.ginv
+
+let describe t = Fmt.str "%a" Normalized.pp t

@@ -1,0 +1,125 @@
+(* Persistence for normalized matrices: save/load the (S, Kᵢ, Rᵢ)
+   triple to a directory so a normalized dataset can be prepared once
+   and reused across sessions — the practical counterpart of §3.2's
+   construction snippet. Layout:
+
+     dir/meta          one line per component (kind + dims)
+     dir/ent.bin       entity matrix, if any
+     dir/part_<i>.ind  indicator mapping (int array)
+     dir/part_<i>.mat  attribute matrix
+
+   Matrices serialize as a small header plus the payload arrays via
+   Marshal (like the ORE chunk store); sparse matrices store their
+   triplets, so the on-disk size is O(nnz). *)
+
+open La
+open Sparse
+
+let write_value path v =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Marshal.to_channel oc v [])
+
+let read_value path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> Marshal.from_channel ic)
+
+type mat_payload =
+  | P_dense of int * int * float array
+  | P_sparse of int * int * (int * int * float) list
+
+let payload_of_mat = function
+  | Mat.D d -> P_dense (Dense.rows d, Dense.cols d, Dense.data d)
+  | Mat.S c ->
+    let triplets = ref [] in
+    Csr.iter_nz (fun i j v -> triplets := (i, j, v) :: !triplets) c ;
+    P_sparse (Csr.rows c, Csr.cols c, !triplets)
+
+let mat_of_payload = function
+  | P_dense (rows, cols, data) ->
+    Mat.of_dense (Dense.of_array ~rows ~cols (Array.copy data))
+  | P_sparse (rows, cols, triplets) ->
+    Mat.of_csr (Csr.of_triplets ~rows ~cols triplets)
+
+let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+
+(* Save a normalized matrix. Only non-transposed matrices are stored
+   (persist the logical T; re-apply transpose after loading). *)
+let save ~dir t =
+  if Normalized.is_transposed t then
+    invalid_arg "Io.save: transposed normalized matrix" ;
+  ensure_dir dir ;
+  let parts = Normalized.parts t in
+  let meta = Buffer.create 128 in
+  Buffer.add_string meta "morpheus-normalized v1\n" ;
+  (match Normalized.ent t with
+  | Some s ->
+    Buffer.add_string meta
+      (Printf.sprintf "ent %d %d\n" (Mat.rows s) (Mat.cols s)) ;
+    write_value (Filename.concat dir "ent.bin") (payload_of_mat s)
+  | None -> Buffer.add_string meta "no-ent\n") ;
+  Buffer.add_string meta (Printf.sprintf "parts %d\n" (List.length parts)) ;
+  List.iteri
+    (fun i (p : Normalized.part) ->
+      Buffer.add_string meta
+        (Printf.sprintf "part %d %d %d\n" i
+           (Indicator.rows p.Normalized.ind)
+           (Indicator.cols p.Normalized.ind)) ;
+      write_value
+        (Filename.concat dir (Printf.sprintf "part_%d.ind" i))
+        (Indicator.cols p.Normalized.ind, Indicator.mapping p.Normalized.ind) ;
+      write_value
+        (Filename.concat dir (Printf.sprintf "part_%d.mat" i))
+        (payload_of_mat p.Normalized.mat))
+    parts ;
+  let oc = open_out (Filename.concat dir "meta") in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Buffer.contents meta))
+
+let load ~dir =
+  let meta_path = Filename.concat dir "meta" in
+  if not (Sys.file_exists meta_path) then
+    invalid_arg ("Io.load: no normalized matrix at " ^ dir) ;
+  let lines =
+    In_channel.with_open_text meta_path In_channel.input_all
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+  in
+  (match lines with
+  | header :: _ when header = "morpheus-normalized v1" -> ()
+  | _ -> invalid_arg "Io.load: unrecognized format") ;
+  let ent =
+    if List.exists (fun l -> String.length l >= 3 && String.sub l 0 3 = "ent") lines
+    then Some (mat_of_payload (read_value (Filename.concat dir "ent.bin")))
+    else None
+  in
+  let nparts =
+    let line =
+      List.find (fun l -> String.length l > 6 && String.sub l 0 6 = "parts ") lines
+    in
+    int_of_string (String.sub line 6 (String.length line - 6))
+  in
+  let parts =
+    List.init nparts (fun i ->
+        let cols, mapping =
+          read_value (Filename.concat dir (Printf.sprintf "part_%d.ind" i))
+        in
+        let mat =
+          mat_of_payload
+            (read_value (Filename.concat dir (Printf.sprintf "part_%d.mat" i)))
+        in
+        (Indicator.create ~cols mapping, mat))
+  in
+  match ent with
+  | Some s -> Normalized.star ~s ~parts
+  | None -> Normalized.make parts
+
+let delete ~dir =
+  if Sys.file_exists dir && Sys.is_directory dir then begin
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir) ;
+    Sys.rmdir dir
+  end

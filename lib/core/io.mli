@@ -1,0 +1,14 @@
+(** Persistence for normalized matrices: save/load the (S, Kᵢ, Rᵢ)
+    components to a directory (binary, O(nnz) for sparse parts), so a
+    normalized dataset is prepared once and reused — the durable
+    counterpart of §3.2's construction snippet. *)
+
+val save : dir:string -> Normalized.t -> unit
+(** Persist a (non-transposed) normalized matrix. Creates [dir]. *)
+
+val load : dir:string -> Normalized.t
+(** Load a matrix saved by {!save}; raises [Invalid_argument] if the
+    directory does not hold one. *)
+
+val delete : dir:string -> unit
+(** Remove a saved matrix's files and directory. *)

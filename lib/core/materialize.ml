@@ -1,0 +1,24 @@
+(* Materialization: compute the denormalized T from a normalized matrix.
+   This is the paper's baseline "M" path — what a data scientist does
+   today by joining before ML — and the ground truth that every rewrite
+   rule is tested against. *)
+
+open Sparse
+
+(* K·R for one attribute part, preserving sparsity. *)
+let part_product (p : Normalized.part) =
+  match p.Normalized.mat with
+  | Mat.D d -> Mat.of_dense (Indicator.mult p.Normalized.ind d)
+  | Mat.S c -> Mat.of_csr (Indicator.mult_csr p.Normalized.ind c)
+
+(* The full T = [S?, I₁M₁, …, I_pM_p] as a regular matrix (§3.1:
+   "one can verify that T = [S, KR]"). Honors the transpose flag. *)
+let to_mat t =
+  let blocks =
+    (match Normalized.ent t with Some s -> [ s ] | None -> [])
+    @ List.map part_product (Normalized.parts t)
+  in
+  let m = Mat.hcat blocks in
+  if Normalized.is_transposed t then Mat.transpose m else m
+
+let to_dense t = Mat.dense (to_mat t)

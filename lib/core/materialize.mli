@@ -1,0 +1,16 @@
+(** Materialization: the denormalized T from a normalized matrix — the
+    baseline "M" path a data scientist runs today, and the ground truth
+    every rewrite rule is tested against. *)
+
+open La
+open Sparse
+
+val part_product : Normalized.part -> Mat.t
+(** [Kᵢ·Rᵢ] for one attribute part, preserving sparsity. *)
+
+val to_mat : Normalized.t -> Mat.t
+(** The full [T = \[S?, I₁M₁, …\]] (§3.1: "one can verify that
+    T = \[S, KR\]"). Honors the transpose flag. Sparse iff all base
+    matrices are sparse. *)
+
+val to_dense : Normalized.t -> Dense.t

@@ -1,0 +1,178 @@
+(* The normalized matrix (§3.1, §3.5, §3.6): the paper's new logical data
+   type. A normalized matrix represents the join output
+   T = [S, K₁R₁, …, K_qR_q] (star-schema PK-FK) or T = [I_S·S, I_R·R]
+   (M:N join) without materializing it.
+
+   One uniform representation covers all the paper's schema shapes: an
+   optional plain entity part S plus a list of attribute parts (Iᵢ, Mᵢ),
+   each an indicator matrix times a base-table feature matrix:
+
+     T  =  [ S? | I₁M₁ | … | I_pM_p ]
+
+   - single PK-FK join   : ent = Some S, parts = [(K, R)]
+   - star multi-table    : ent = Some S, parts = [(K₁,R₁); …; (K_q,R_q)]
+   - M:N join            : ent = None,   parts = [(I_S, S); (I_R, R)]
+
+   A [trans] flag records logical transposition, exactly as §3.2
+   describes ("we add a special binary flag"), so that transposed
+   operators reuse the same class via the Appendix-A rules. *)
+
+open Sparse
+
+type part = { ind : Indicator.t; mat : Mat.t }
+
+type body = {
+  ent : Mat.t option; (* the entity feature matrix S, if attached plainly *)
+  parts : part list; (* attribute parts, in column order *)
+}
+
+type t = { body : body; trans : bool }
+
+let body t = t.body
+let is_transposed t = t.trans
+let ent t = t.body.ent
+let parts t = t.body.parts
+
+(* ---- construction ---- *)
+
+let validate body =
+  let base_rows =
+    match (body.ent, body.parts) with
+    | Some s, _ -> Mat.rows s
+    | None, { ind; _ } :: _ -> Indicator.rows ind
+    | None, [] -> invalid_arg "Normalized: empty"
+  in
+  List.iter
+    (fun { ind; mat } ->
+      if Indicator.rows ind <> base_rows then
+        invalid_arg "Normalized: indicator row mismatch" ;
+      if Indicator.cols ind <> Mat.rows mat then
+        invalid_arg "Normalized: indicator/attribute dim mismatch")
+    body.parts ;
+  body
+
+let make ?ent parts =
+  { body = validate { ent; parts = List.map (fun (ind, mat) -> { ind; mat }) parts };
+    trans = false }
+
+(* Single PK-FK join (§3.1): TN = (S, K, R). *)
+let pkfk ~s ~k ~r = make ~ent:s [ (k, r) ]
+
+(* Star-schema multi-table PK-FK join (§3.5). *)
+let star ~s ~parts = make ~ent:s parts
+
+(* M:N join (§3.6): TN = (S, I_S, I_R, R); T = [I_S·S, I_R·R]. *)
+let mn ~is_ ~s ~ir ~r = make [ (is_, s); (ir, r) ]
+
+(* ---- logical dimensions of T (respecting the transpose flag) ---- *)
+
+let base_rows body =
+  match (body.ent, body.parts) with
+  | Some s, _ -> Mat.rows s
+  | None, { ind; _ } :: _ -> Indicator.rows ind
+  | None, [] -> assert false
+
+let base_cols body =
+  let ent_cols = match body.ent with Some s -> Mat.cols s | None -> 0 in
+  List.fold_left (fun acc { mat; _ } -> acc + Mat.cols mat) ent_cols body.parts
+
+let rows t = if t.trans then base_cols t.body else base_rows t.body
+let cols t = if t.trans then base_rows t.body else base_cols t.body
+let dims t = (rows t, cols t)
+
+(* Column ranges [lo, hi) of each block in T's column space: the entity
+   block (if any) first, then each attribute part. Used by LMM to slice
+   X "by the projection of w to the features from S (resp. R)" (§2). *)
+let col_ranges body =
+  let ent_cols = match body.ent with Some s -> Mat.cols s | None -> 0 in
+  let ranges = ref [] in
+  let off = ref ent_cols in
+  List.iter
+    (fun { mat; _ } ->
+      let w = Mat.cols mat in
+      ranges := (!off, !off + w) :: !ranges ;
+      off := !off + w)
+    body.parts ;
+  ((0, ent_cols), List.rev !ranges)
+
+(* Total stored scalars across base matrices — the "size of S and R put
+   together" that the paper compares against size(T) (§3.3.1, §3.7).
+   Indicators are excluded: their storage is one integer per row. *)
+let storage_size t =
+  let ent = match t.body.ent with Some s -> Mat.storage_size s | None -> 0 in
+  List.fold_left (fun acc { mat; _ } -> acc + Mat.storage_size mat) ent t.body.parts
+
+(* Redundancy ratio size(T) / (size(S)+size(R)): the speed-up predictor
+   of §3.3.1. *)
+let redundancy_ratio t =
+  let n = base_rows t.body and d = base_cols t.body in
+  float_of_int (n * d) /. float_of_int (max 1 (storage_size t))
+
+(* Row subset T[idx, ] as a normalized matrix: select the rows of S and
+   *compose* the indicator mappings — R is shared untouched, so the
+   subset costs O(|idx|·d_S), not O(|idx|·d). This is what makes
+   cross-validation folds and mini-batches (the paper's footnote-2 SGD
+   future work) factorized operations. *)
+let select_rows t idx =
+  if t.trans then invalid_arg "Normalized.select_rows: transposed input" ;
+  let n = base_rows t.body in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= n then invalid_arg "Normalized.select_rows: bad index")
+    idx ;
+  let ent = Option.map (fun s -> Mat.gather_rows s idx) t.body.ent in
+  let parts =
+    List.map
+      (fun { ind; mat } ->
+        let mapping = Indicator.mapping ind in
+        let mapping' = Array.map (fun i -> mapping.(i)) idx in
+        { ind = Indicator.create ~cols:(Indicator.cols ind) mapping'; mat })
+      t.body.parts
+  in
+  { body = { ent; parts }; trans = false }
+
+(* Map every base matrix through [f], keeping structure — the shape of
+   all element-wise scalar rewrites. The result is again a normalized
+   matrix: the closure property that lets Morpheus "propagate the
+   avoidance of data redundancy" (§3.2). *)
+let map_mats f t =
+  { t with
+    body =
+      { ent = Option.map f t.body.ent;
+        parts = List.map (fun p -> { p with mat = f p.mat }) t.body.parts } }
+
+(* Tuple ratio n_S/n_R and feature ratio d_R/d_S (§3.4). For multi-part
+   schemas the attribute sides are aggregated, which reduces to the
+   paper's definition in the two-table case. *)
+let tuple_ratio t =
+  let ns = float_of_int (base_rows t.body) in
+  let nr =
+    List.fold_left (fun acc { mat; _ } -> acc + Mat.rows mat) 0 t.body.parts
+  in
+  ns /. float_of_int (max 1 nr)
+
+let feature_ratio t =
+  let ds =
+    match t.body.ent with
+    | Some s -> Mat.cols s
+    | None ->
+      (* M:N: the entity table is carried as the first part *)
+      (match t.body.parts with { mat; _ } :: _ -> Mat.cols mat | [] -> 0)
+  in
+  let dr =
+    let all =
+      List.fold_left (fun acc { mat; _ } -> acc + Mat.cols mat) 0 t.body.parts
+    in
+    match t.body.ent with Some _ -> all | None -> all - ds
+  in
+  float_of_int dr /. float_of_int (max 1 ds)
+
+let pp ppf t =
+  let { ent; parts } = t.body in
+  Fmt.pf ppf "@[normalized %dx%d%s: ent=%a, parts=[%a]@]" (rows t) (cols t)
+    (if t.trans then " (transposed)" else "")
+    (Fmt.option ~none:(Fmt.any "none") Mat.pp)
+    ent
+    (Fmt.list ~sep:Fmt.semi (fun ppf p ->
+         Fmt.pf ppf "%a*%a" Indicator.pp p.ind Mat.pp p.mat))
+    parts

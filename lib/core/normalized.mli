@@ -1,0 +1,99 @@
+(** The normalized matrix (§3.1, §3.5, §3.6): the paper's new logical
+    data type. Represents the join output
+
+    {v T  =  [ S? | I₁M₁ | … | I_pM_p ] v}
+
+    without materializing it, where each attribute part is an indicator
+    matrix times a base-table feature matrix. One uniform representation
+    covers all the paper's schema shapes:
+
+    - single PK-FK join: [ent = Some s], parts [[(k, r)]];
+    - star multi-table PK-FK (§3.5): [ent = Some s], parts
+      [[(k1, r1); …; (kq, rq)]];
+    - M:N join (§3.6): [ent = None], parts [[(i_s, s); (i_r, r)]].
+
+    A [trans] flag records logical transposition (§3.2), so transposed
+    operators reuse the same type via the Appendix-A rules. *)
+
+open Sparse
+
+type part = { ind : Indicator.t; mat : Mat.t }
+
+type body = {
+  ent : Mat.t option;  (** the plain entity feature matrix S, if any *)
+  parts : part list;  (** attribute parts, in column order *)
+}
+
+type t = { body : body; trans : bool }
+
+(** {1 Accessors} *)
+
+val body : t -> body
+val is_transposed : t -> bool
+val ent : t -> Mat.t option
+val parts : t -> part list
+
+(** {1 Construction}
+
+    All constructors validate that indicators share the row count and
+    match their attribute matrices; they raise [Invalid_argument]
+    otherwise. *)
+
+val make : ?ent:Mat.t -> (Indicator.t * Mat.t) list -> t
+
+val pkfk : s:Mat.t -> k:Indicator.t -> r:Mat.t -> t
+(** Single PK-FK join: TN = (S, K, R). *)
+
+val star : s:Mat.t -> parts:(Indicator.t * Mat.t) list -> t
+(** Star-schema multi-table PK-FK join. *)
+
+val mn : is_:Indicator.t -> s:Mat.t -> ir:Indicator.t -> r:Mat.t -> t
+(** M:N join: T = [I_S·S, I_R·R]. *)
+
+(** {1 Logical dimensions (respect the transpose flag)} *)
+
+val rows : t -> int
+val cols : t -> int
+val dims : t -> int * int
+
+val base_rows : body -> int
+(** n_S (or |T'| for M:N), ignoring transposition. *)
+
+val base_cols : body -> int
+(** d = d_S + Σ d_Ri, ignoring transposition. *)
+
+val col_ranges : body -> (int * int) * (int * int) list
+(** Column ranges [lo, hi)[ of the entity block and of each attribute
+    part within T's column space — how LMM slices its multiplier. *)
+
+(** {1 Statistics} *)
+
+val storage_size : t -> int
+(** Stored scalars across base matrices (indicators excluded: they cost
+    one integer per row). *)
+
+val redundancy_ratio : t -> float
+(** size(T) / (size(S) + Σ size(Rᵢ)) — the speed-up predictor of
+    §3.3.1. *)
+
+val tuple_ratio : t -> float
+(** TR = n_S / Σ n_Ri (§3.4). *)
+
+val feature_ratio : t -> float
+(** FR = Σ d_Ri / d_S (§3.4). *)
+
+val select_rows : t -> int array -> t
+(** Row subset T[idx, ] as a normalized matrix: gathers S's rows and
+    composes the indicator mappings; the Rᵢ are shared untouched, so the
+    cost is O(|idx|·d_S). Duplicate and reordered indices are allowed
+    (mini-batches, bootstrap samples, CV folds). Raises on transposed
+    inputs or out-of-range indices. *)
+
+(** {1 Structure-preserving map} *)
+
+val map_mats : (Mat.t -> Mat.t) -> t -> t
+(** Map every base matrix, keeping indicators and shape: the form of
+    all element-wise scalar rewrites, and the closure property that
+    lets scalar ops return normalized matrices (§3.2). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+(* The standard single-table instantiation of {!Data_matrix.S}: operators
+   run directly on the materialized T (dense or sparse). This is the
+   paper's baseline "M" execution path. *)
+
+open La
+open Sparse
+
+type t = Mat.t
+
+let rows = Mat.rows
+let cols = Mat.cols
+
+let scale = Mat.scale
+let add_scalar = Mat.add_scalar
+let pow m p = Mat.pow p m
+let map_scalar = Mat.map_scalar
+
+let row_sums = Mat.row_sums
+let col_sums = Mat.col_sums
+let sum = Mat.sum
+
+let lmm = Mat.mm
+let rmm = Mat.mm_left
+let tlmm = Mat.tmm
+let crossprod = Mat.crossprod
+
+let ginv m = Linalg.ginv (Mat.dense m)
+
+let describe m = Fmt.str "%a" Mat.pp m

@@ -1,0 +1,102 @@
+(* Cross-product with a sparse result: crossprod(T) = TᵀT assembled as a
+   CSR matrix instead of a dense d×d block matrix. This is the form that
+   stays feasible at the real datasets' full one-hot widths (Table 6:
+   d up to ~5×10⁴, where a dense d×d output would need ~20 GB) — the
+   output of a one-hot cross-product is itself sparse (feature
+   co-occurrence counts).
+
+   The block structure is exactly Algorithm 2's (see Rewrite.crossprod);
+   only the accumulation differs: every block lands in one global
+   (row, col) → value table, and off-diagonal R_iᵀ·P·R_j blocks are
+   computed triplet-by-triplet through P = K_iᵀK_j without any dense
+   intermediate. *)
+
+open La
+open Sparse
+open Normalized
+
+(* iterate the (col, value) entries of row [i] of a Mat *)
+let iter_mat_row m i f =
+  match m with
+  | Mat.S c -> Csr.iter_row c i f
+  | Mat.D d ->
+    for j = 0 to Dense.cols d - 1 do
+      let v = Dense.unsafe_get d i j in
+      if v <> 0.0 then f j v
+    done
+
+let crossprod t =
+  let body = body t in
+  if is_transposed t then
+    invalid_arg "Sparse_crossprod.crossprod: use the Gram form for transposed input" ;
+  let gs = Array.of_list (Rewrite.groups body) in
+  let widths = Array.map Rewrite.group_cols gs in
+  let d = Array.fold_left ( + ) 0 widths in
+  let offsets = Array.make (Array.length gs) 0 in
+  for i = 1 to Array.length gs - 1 do
+    offsets.(i) <- offsets.(i - 1) + widths.(i - 1)
+  done ;
+  let tbl : (int * int, float) Hashtbl.t = Hashtbl.create 4096 in
+  let add i j v =
+    if v <> 0.0 then begin
+      let key = (i, j) in
+      let prev = Option.value (Hashtbl.find_opt tbl key) ~default:0.0 in
+      Hashtbl.replace tbl key (prev +. v)
+    end
+  in
+  (* add a block and its mirror below the diagonal *)
+  let add_block_dense ~ro ~co ~mirror (b : Dense.t) =
+    Dense.iteri
+      (fun i j v ->
+        if v <> 0.0 then begin
+          add (ro + i) (co + j) v ;
+          if mirror then add (co + j) (ro + i) v
+        end)
+      b
+  in
+  let add_block_csr ~ro ~co (b : Csr.t) =
+    Csr.iter_nz (fun i j v -> add (ro + i) (co + j) v) b
+  in
+  Array.iteri
+    (fun gi g ->
+      let o = offsets.(gi) in
+      (* diagonal block *)
+      (match g with
+      | Rewrite.G_ent (Mat.S c) -> add_block_csr ~ro:o ~co:o (Csr.crossprod_csr c)
+      | Rewrite.G_ent (Mat.D dm) ->
+        add_block_dense ~ro:o ~co:o ~mirror:false (Blas.crossprod dm)
+      | Rewrite.G_part { ind; mat = Mat.S c } ->
+        add_block_csr ~ro:o ~co:o
+          (Csr.crossprod_csr ~weights:(Indicator.col_counts ind) c)
+      | Rewrite.G_part { ind; mat = Mat.D dm } ->
+        add_block_dense ~ro:o ~co:o ~mirror:false
+          (Blas.weighted_crossprod dm (Indicator.col_counts ind))) ;
+      (* strictly-upper blocks, mirrored *)
+      for gj = gi + 1 to Array.length gs - 1 do
+        let oj = offsets.(gj) in
+        match (g, gs.(gj)) with
+        | Rewrite.G_ent s, Rewrite.G_part { ind; mat } ->
+          (* Sᵀ(K·R) = (KᵀS)ᵀ·R: KᵀS is n_R×d_S (d_S is small in
+             wide-one-hot schemas); keep the product sparse-aware *)
+          let g_acc = Rewrite.ind_tmult ind s in
+          let block = Rewrite.dense_tmm g_acc mat in
+          add_block_dense ~ro:o ~co:oj ~mirror:true block
+        | Rewrite.G_part a, Rewrite.G_part b ->
+          (* Rᵢᵀ·(KᵢᵀKⱼ)·Rⱼ via the co-occurrence triplets of P *)
+          let p = Indicator.cross a.ind b.ind in
+          Array.iter
+            (fun (ra, rb, v) ->
+              iter_mat_row a.mat ra (fun ca xa ->
+                  iter_mat_row b.mat rb (fun cb xb ->
+                      let contrib = v *. xa *. xb in
+                      add (o + ca) (oj + cb) contrib ;
+                      add (oj + cb) (o + ca) contrib)))
+            (Coo.entries p)
+        | Rewrite.G_ent _, Rewrite.G_ent _ | Rewrite.G_part _, Rewrite.G_ent _
+          ->
+          (* the entity group, when present, is always first *)
+          assert false
+      done)
+    gs ;
+  let triplets = Hashtbl.fold (fun (i, j) v acc -> (i, j, v) :: acc) tbl [] in
+  Csr.of_triplets ~rows:d ~cols:d triplets

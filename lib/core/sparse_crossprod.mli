@@ -1,0 +1,12 @@
+(** crossprod(T) with a sparse CSR result — the form that stays feasible
+    at the real datasets' full one-hot widths (Table 6: d up to ~5×10⁴),
+    where the dense d×d output of {!Rewrite.crossprod} would need tens
+    of gigabytes. Same Algorithm-2 block structure; off-diagonal blocks
+    are accumulated triplet-by-triplet through the co-occurrence matrix
+    P = KᵢᵀKⱼ with no dense intermediates. *)
+
+open Sparse
+
+val crossprod : Normalized.t -> Csr.t
+(** Raises [Invalid_argument] on transposed inputs (the Gram matrix
+    T·Tᵀ is n×n and dense-natured; use {!Rewrite.crossprod} for it). *)

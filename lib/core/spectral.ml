@@ -1,0 +1,121 @@
+(* Spectral operations over normalized data: economic SVD and PCA
+   without materializing T. The paper's conclusion lists "more complex
+   LA operations such as Cholesky decomposition and SVD" as future
+   work; they factorize through the same cross-product rewrites:
+
+     TᵀT = V Σ² Vᵀ           (d×d eigendecomposition of crossprod(T))
+     T   = U Σ Vᵀ  with  U = T·V·Σ⁻¹   (a factorized LMM)
+
+   so the only O(n·…) work is one LMM over the normalized matrix. PCA
+   handles mean-centering implicitly: the covariance is
+   (TᵀT − n·μμᵀ)/(n−1) with μ = colMeans(T), both factorized, so the
+   centered matrix is never formed (centering would densify and is
+   non-factorizable element-wise, §3.3.7). *)
+
+open La
+
+type svd = {
+  u : Dense.t; (* n×r, orthonormal columns *)
+  s : float array; (* r singular values, descending *)
+  v : Dense.t; (* d×r, orthonormal columns *)
+}
+
+(* Sort eigenpairs by descending eigenvalue, dropping those below
+   [cutoff]. Returns (values, vectors as columns). *)
+let top_eigen ?(cutoff = 1e-10) g =
+  let vals, vecs = Linalg.sym_eig g in
+  let order = Array.init (Array.length vals) Fun.id in
+  Array.sort (fun i j -> compare vals.(j) vals.(i)) order ;
+  let keep =
+    Array.of_list
+      (List.filter (fun i -> vals.(i) > cutoff) (Array.to_list order))
+  in
+  let values = Array.map (fun i -> vals.(i)) keep in
+  let vectors =
+    Dense.init (Dense.rows vecs) (Array.length keep) (fun r c ->
+        Dense.unsafe_get vecs r keep.(c))
+  in
+  (values, vectors)
+
+(* Economic SVD of the logical T. [rank] truncates; default keeps every
+   numerically nonzero singular value. O(d³ + n·d·r) — never O(n·d²)
+   like a direct SVD of the materialized T would be. *)
+let svd ?rank t =
+  let cp = Rewrite.crossprod t in
+  let values, v = top_eigen cp in
+  let r =
+    match rank with
+    | Some r -> min r (Array.length values)
+    | None -> Array.length values
+  in
+  let values = Array.sub values 0 r in
+  let v = Dense.sub_cols v ~lo:0 ~hi:r in
+  let s = Array.map sqrt values in
+  (* U = T·V·Σ⁻¹: one factorized LMM, then a cheap column scaling *)
+  let tv = Rewrite.lmm t v in
+  let u =
+    Dense.mapi (fun _ j x -> if s.(j) > 0.0 then x /. s.(j) else 0.0) tv
+  in
+  { u; s; v }
+
+type pca = {
+  components : Dense.t; (* d×k principal directions (columns) *)
+  explained_variance : float array; (* k eigenvalues of the covariance *)
+  mean : Dense.t; (* 1×d column means *)
+}
+
+(* Covariance matrix (TᵀT − n·μᵀμ)/(n−1) over the normalized matrix. *)
+let covariance t =
+  let n = float_of_int (Normalized.rows t) in
+  let cp = Rewrite.crossprod t in
+  let mu = Colops.col_means t in
+  let d = Dense.cols cp in
+  Dense.init d d (fun i j ->
+      (Dense.unsafe_get cp i j -. (n *. Dense.get mu 0 i *. Dense.get mu 0 j))
+      /. (n -. 1.0))
+
+(* Principal component analysis without materializing or centering T. *)
+let pca ~k t =
+  let cov = covariance t in
+  let values, vectors = top_eigen cov in
+  let k = min k (Array.length values) in
+  { components = Dense.sub_cols vectors ~lo:0 ~hi:k;
+    explained_variance = Array.sub values 0 k;
+    mean = Colops.col_means t }
+
+(* Project the normalized matrix onto the principal directions:
+   (T − 1μᵀ)·W = T·W − 1·(μ·W), i.e. one factorized LMM and a rank-one
+   correction applied to the (small) output. *)
+let transform t p =
+  let tw = Rewrite.lmm t p.components in
+  let muw = Blas.gemm p.mean p.components in
+  Dense.mapi (fun _ j x -> x -. Dense.get muw 0 j) tw
+
+(* Fraction of total variance captured by the first k components. *)
+let explained_ratio t p =
+  let total = Array.fold_left ( +. ) 0.0 (Dense.diag (covariance t)) in
+  Array.fold_left ( +. ) 0.0 p.explained_variance /. total
+
+(* Cholesky factor of crossprod(T) — the other "future work" operation,
+   useful for solving normal equations without eigendecomposition.
+   Raises [Linalg.Not_positive_definite] when TᵀT is singular. *)
+let cholesky_crossprod t = Linalg.cholesky (Rewrite.crossprod t)
+
+(* Exact normal-equations solve via Cholesky when TᵀT is SPD:
+   solve (TᵀT)·w = Tᵀb by two triangular solves. *)
+let solve t b =
+  let l = cholesky_crossprod t in
+  let tb = Rewrite.tlmm t b in
+  (* forward then backward substitution through the dense solver *)
+  let y = Linalg.solve l tb in
+  Linalg.solve (Dense.transpose l) y
+
+(* Ridge solve (TᵀT + λI)·w = Tᵀb — always SPD for λ > 0. *)
+let solve_ridge ~lambda t b =
+  if lambda <= 0.0 then invalid_arg "Spectral.solve_ridge: lambda must be > 0" ;
+  let cp = Rewrite.crossprod t in
+  let reg = Dense.mapi (fun i j x -> if i = j then x +. lambda else x) cp in
+  let l = Linalg.cholesky reg in
+  let tb = Rewrite.tlmm t b in
+  let y = Linalg.solve l tb in
+  Linalg.solve (Dense.transpose l) y

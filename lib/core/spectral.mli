@@ -1,0 +1,49 @@
+(** Spectral operations over normalized data — the paper's §7 "future
+    work" (SVD, Cholesky) implemented through the cross-product
+    rewrites: the only O(n·…) step is a factorized LMM, so T is never
+    materialized, and PCA's centering happens implicitly in the
+    covariance identity rather than on the data. *)
+
+open La
+
+type svd = {
+  u : Dense.t;  (** n×r, orthonormal columns *)
+  s : float array;  (** singular values, descending *)
+  v : Dense.t;  (** d×r, orthonormal columns *)
+}
+
+val top_eigen : ?cutoff:float -> Dense.t -> float array * Dense.t
+(** Eigenpairs of a symmetric matrix sorted by descending eigenvalue,
+    dropping those below [cutoff]. *)
+
+val svd : ?rank:int -> Normalized.t -> svd
+(** Economic SVD of the logical T via TᵀT = VΣ²Vᵀ and U = T·V·Σ⁻¹
+    (one factorized LMM). [rank] truncates. O(d³ + n·d·r). *)
+
+type pca = {
+  components : Dense.t;  (** d×k principal directions (columns) *)
+  explained_variance : float array;  (** covariance eigenvalues *)
+  mean : Dense.t;  (** 1×d column means *)
+}
+
+val covariance : Normalized.t -> Dense.t
+(** (TᵀT − n·μᵀμ)/(n−1), both terms factorized. *)
+
+val pca : k:int -> Normalized.t -> pca
+
+val transform : Normalized.t -> pca -> Dense.t
+(** Project onto the principal directions:
+    (T − 1μᵀ)·W = T·W − 1·(μW). *)
+
+val explained_ratio : Normalized.t -> pca -> float
+(** Fraction of total variance captured by the kept components. *)
+
+val cholesky_crossprod : Normalized.t -> Dense.t
+(** Cholesky factor of crossprod(T); raises
+    [Linalg.Not_positive_definite] when TᵀT is singular. *)
+
+val solve : Normalized.t -> Dense.t -> Dense.t
+(** Exact normal-equations solve (TᵀT)w = Tᵀb via Cholesky. *)
+
+val solve_ridge : lambda:float -> Normalized.t -> Dense.t -> Dense.t
+(** (TᵀT + λI)w = Tᵀb; requires λ > 0 (always SPD). *)

@@ -1,0 +1,325 @@
+(* Dense row-major matrices over [float array]. This is the base "regular
+   matrix" type of the whole system: the paper's R matrices. All heavy
+   kernels live in {!Blas} and {!Linalg}; this module provides
+   construction, access, shaping, element-wise maps and aggregations. *)
+
+type t = { rows : int; cols : int; data : float array }
+
+let rows m = m.rows
+let cols m = m.cols
+let dims m = (m.rows, m.cols)
+let data m = m.data
+let numel m = m.rows * m.cols
+
+let create rows cols =
+  if rows < 0 || cols < 0 then invalid_arg "Dense.create: negative dims" ;
+  { rows; cols; data = Array.make (rows * cols) 0.0 }
+
+let make rows cols x =
+  if rows < 0 || cols < 0 then invalid_arg "Dense.make: negative dims" ;
+  { rows; cols; data = Array.make (rows * cols) x }
+
+let init rows cols f =
+  let data = Array.make (rows * cols) 0.0 in
+  for i = 0 to rows - 1 do
+    let base = i * cols in
+    for j = 0 to cols - 1 do
+      Array.unsafe_set data (base + j) (f i j)
+    done
+  done ;
+  { rows; cols; data }
+
+(* Wrap an existing row-major array without copying. The caller gives up
+   ownership. *)
+let of_array ~rows ~cols data =
+  if Array.length data <> rows * cols then
+    invalid_arg "Dense.of_array: length mismatch" ;
+  { rows; cols; data }
+
+let zeros rows cols = create rows cols
+let ones rows cols = make rows cols 1.0
+
+let identity n = init n n (fun i j -> if i = j then 1.0 else 0.0)
+
+let get m i j =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+    invalid_arg
+      (Printf.sprintf "Dense.get: (%d,%d) out of %dx%d" i j m.rows m.cols) ;
+  Array.unsafe_get m.data ((i * m.cols) + j)
+
+let set m i j x =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+    invalid_arg
+      (Printf.sprintf "Dense.set: (%d,%d) out of %dx%d" i j m.rows m.cols) ;
+  Array.unsafe_set m.data ((i * m.cols) + j) x
+
+let unsafe_get m i j = Array.unsafe_get m.data ((i * m.cols) + j)
+let unsafe_set m i j x = Array.unsafe_set m.data ((i * m.cols) + j) x
+
+let copy m = { m with data = Array.copy m.data }
+
+let of_arrays a =
+  let rows = Array.length a in
+  if rows = 0 then create 0 0
+  else begin
+    let cols = Array.length a.(0) in
+    Array.iter
+      (fun r ->
+        if Array.length r <> cols then
+          invalid_arg "Dense.of_arrays: ragged rows")
+      a ;
+    init rows cols (fun i j -> a.(i).(j))
+  end
+
+let to_arrays m =
+  Array.init m.rows (fun i -> Array.sub m.data (i * m.cols) m.cols)
+
+(* A column vector from a float array. *)
+let of_col_array a =
+  { rows = Array.length a; cols = 1; data = Array.copy a }
+
+(* A row vector from a float array. *)
+let of_row_array a =
+  { rows = 1; cols = Array.length a; data = Array.copy a }
+
+let col_to_array m =
+  if m.cols <> 1 then invalid_arg "Dense.col_to_array: not a column vector" ;
+  Array.copy m.data
+
+let row_to_array m =
+  if m.rows <> 1 then invalid_arg "Dense.row_to_array: not a row vector" ;
+  Array.copy m.data
+
+(* Copy of row [i] as a fresh array. *)
+let row m i = Array.sub m.data (i * m.cols) m.cols
+
+let col m j = Array.init m.rows (fun i -> unsafe_get m i j)
+
+(* Rows [lo, hi) as a fresh matrix. Mirrors R's T[lo:hi, ]. *)
+let sub_rows m ~lo ~hi =
+  if lo < 0 || hi > m.rows || lo > hi then
+    invalid_arg "Dense.sub_rows: bad range" ;
+  { rows = hi - lo;
+    cols = m.cols;
+    data = Array.sub m.data (lo * m.cols) ((hi - lo) * m.cols) }
+
+(* Columns [lo, hi) as a fresh matrix. Mirrors R's T[, lo:hi]. *)
+let sub_cols m ~lo ~hi =
+  if lo < 0 || hi > m.cols || lo > hi then
+    invalid_arg "Dense.sub_cols: bad range" ;
+  init m.rows (hi - lo) (fun i j -> unsafe_get m i (lo + j))
+
+let transpose m = init m.cols m.rows (fun i j -> unsafe_get m j i)
+
+(* Horizontal concatenation [A | B | ...]; all blocks share row count. *)
+let hcat ms =
+  match ms with
+  | [] -> create 0 0
+  | first :: _ ->
+    let rows = first.rows in
+    List.iter
+      (fun m ->
+        if m.rows <> rows then invalid_arg "Dense.hcat: row mismatch")
+      ms ;
+    let cols = List.fold_left (fun acc m -> acc + m.cols) 0 ms in
+    let out = create rows cols in
+    let off = ref 0 in
+    List.iter
+      (fun m ->
+        for i = 0 to rows - 1 do
+          Array.blit m.data (i * m.cols) out.data ((i * cols) + !off) m.cols
+        done ;
+        off := !off + m.cols)
+      ms ;
+    out
+
+(* Vertical concatenation; all blocks share column count. *)
+let vcat ms =
+  match ms with
+  | [] -> create 0 0
+  | first :: _ ->
+    let cols = first.cols in
+    List.iter
+      (fun m ->
+        if m.cols <> cols then invalid_arg "Dense.vcat: col mismatch")
+      ms ;
+    let rows = List.fold_left (fun acc m -> acc + m.rows) 0 ms in
+    let out = create rows cols in
+    let off = ref 0 in
+    List.iter
+      (fun m ->
+        Array.blit m.data 0 out.data (!off * cols) (m.rows * cols) ;
+        off := !off + m.rows)
+      ms ;
+    out
+
+(* Write block [b] into [m] with top-left corner (i0, j0), in place. *)
+let blit_block ~src ~dst ~row ~col =
+  if row + src.rows > dst.rows || col + src.cols > dst.cols then
+    invalid_arg "Dense.blit_block: block out of range" ;
+  for i = 0 to src.rows - 1 do
+    Array.blit src.data (i * src.cols) dst.data
+      (((row + i) * dst.cols) + col)
+      src.cols
+  done
+
+let map f m = { m with data = Array.map f m.data }
+
+let mapi f m =
+  init m.rows m.cols (fun i j -> f i j (unsafe_get m i j))
+
+let map2 f a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg "Dense.map2: dim mismatch" ;
+  { a with data = Array.map2 f a.data b.data }
+
+let iteri f m =
+  for i = 0 to m.rows - 1 do
+    for j = 0 to m.cols - 1 do
+      f i j (unsafe_get m i j)
+    done
+  done
+
+let fold f init m = Array.fold_left f init m.data
+
+(* ---- element-wise scalar ops (paper §3.3.1 on regular matrices) ---- *)
+
+let scale x m =
+  Flops.add (numel m) ;
+  map (fun v -> x *. v) m
+
+let add_scalar x m =
+  Flops.add (numel m) ;
+  map (fun v -> x +. v) m
+
+let pow_scalar m p =
+  Flops.add (numel m) ;
+  if p = 2.0 then map (fun v -> v *. v) m else map (fun v -> v ** p) m
+
+let map_scalar f m =
+  Flops.add (numel m) ;
+  map f m
+
+let exp m = map_scalar Stdlib.exp m
+let log m = map_scalar Stdlib.log m
+
+(* ---- element-wise matrix ops ---- *)
+
+let binop name f a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg ("Dense." ^ name ^ ": dim mismatch") ;
+  Flops.add (numel a) ;
+  map2 f a b
+
+let add a b = binop "add" ( +. ) a b
+let sub a b = binop "sub" ( -. ) a b
+let mul_elem a b = binop "mul_elem" ( *. ) a b
+let div_elem a b = binop "div_elem" ( /. ) a b
+
+(* ---- aggregations (paper §3.3.2 on regular matrices) ---- *)
+
+let row_sums m =
+  Flops.add (numel m) ;
+  let out = Array.make m.rows 0.0 in
+  for i = 0 to m.rows - 1 do
+    let base = i * m.cols in
+    let acc = ref 0.0 in
+    for j = 0 to m.cols - 1 do
+      acc := !acc +. Array.unsafe_get m.data (base + j)
+    done ;
+    out.(i) <- !acc
+  done ;
+  of_col_array out
+
+let col_sums m =
+  Flops.add (numel m) ;
+  let out = Array.make m.cols 0.0 in
+  for i = 0 to m.rows - 1 do
+    let base = i * m.cols in
+    for j = 0 to m.cols - 1 do
+      Array.unsafe_set out j
+        (Array.unsafe_get out j +. Array.unsafe_get m.data (base + j))
+    done
+  done ;
+  of_row_array out
+
+let sum m =
+  Flops.add (numel m) ;
+  Array.fold_left ( +. ) 0.0 m.data
+
+(* Per-row minimum, as a column vector (R's rowMin, used by K-Means). *)
+let row_mins m =
+  if m.cols = 0 then invalid_arg "Dense.row_mins: empty" ;
+  let out = Array.make m.rows 0.0 in
+  for i = 0 to m.rows - 1 do
+    let base = i * m.cols in
+    let acc = ref (Array.unsafe_get m.data base) in
+    for j = 1 to m.cols - 1 do
+      let v = Array.unsafe_get m.data (base + j) in
+      if v < !acc then acc := v
+    done ;
+    out.(i) <- !acc
+  done ;
+  of_col_array out
+
+(* Index of the per-row minimum. *)
+let row_argmins m =
+  if m.cols = 0 then invalid_arg "Dense.row_argmins: empty" ;
+  Array.init m.rows (fun i ->
+      let base = i * m.cols in
+      let best = ref 0 in
+      for j = 1 to m.cols - 1 do
+        if Array.unsafe_get m.data (base + j)
+           < Array.unsafe_get m.data (base + !best)
+        then best := j
+      done ;
+      !best)
+
+let max_abs m = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 m.data
+
+let frobenius m = sqrt (Array.fold_left (fun acc v -> acc +. (v *. v)) 0.0 m.data)
+
+let max_abs_diff a b =
+  if a.rows <> b.rows || a.cols <> b.cols then infinity
+  else begin
+    let acc = ref 0.0 in
+    Array.iter2 (fun x y -> acc := Float.max !acc (Float.abs (x -. y))) a.data b.data ;
+    !acc
+  end
+
+let equal a b = a.rows = b.rows && a.cols = b.cols && a.data = b.data
+
+let approx_equal ?(tol = 1e-9) a b =
+  a.rows = b.rows && a.cols = b.cols && max_abs_diff a b <= tol
+
+(* Diagonal matrix from a vector (column, row, or plain array semantics). *)
+let diag_of_array v =
+  let n = Array.length v in
+  init n n (fun i j -> if i = j then v.(i) else 0.0)
+
+let diag m =
+  let n = min m.rows m.cols in
+  Array.init n (fun i -> unsafe_get m i i)
+
+(* ---- random matrices ---- *)
+
+let random ?(rng = Rng.create ()) rows cols =
+  init rows cols (fun _ _ -> Rng.float rng)
+
+let gaussian ?(rng = Rng.create ()) rows cols =
+  init rows cols (fun _ _ -> Rng.gaussian rng)
+
+let pp ppf m =
+  Fmt.pf ppf "@[<v>" ;
+  for i = 0 to min (m.rows - 1) 9 do
+    Fmt.pf ppf "[" ;
+    for j = 0 to min (m.cols - 1) 11 do
+      Fmt.pf ppf "%9.4f " (unsafe_get m i j)
+    done ;
+    if m.cols > 12 then Fmt.pf ppf "..." ;
+    Fmt.pf ppf "]@,"
+  done ;
+  if m.rows > 10 then Fmt.pf ppf "... (%dx%d)@," m.rows m.cols ;
+  Fmt.pf ppf "@]"
+
+let to_string m = Fmt.str "%a" pp m

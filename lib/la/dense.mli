@@ -1,0 +1,173 @@
+(** Dense row-major matrices over [float array] — the "regular matrix"
+    type of the whole system (the paper's plain R matrices). *)
+
+type t
+(** A dense matrix. Values are mutable through {!set}/{!unsafe_set};
+    all bulk operations return fresh matrices. *)
+
+(** {1 Dimensions and raw access} *)
+
+val rows : t -> int
+val cols : t -> int
+
+val dims : t -> int * int
+(** [(rows, cols)]. *)
+
+val data : t -> float array
+(** The underlying row-major buffer (shared, not copied). *)
+
+val numel : t -> int
+(** Number of entries, [rows * cols]. *)
+
+(** {1 Construction} *)
+
+val create : int -> int -> t
+(** [create rows cols] is the all-zero matrix. *)
+
+val make : int -> int -> float -> t
+(** [make rows cols x] fills every entry with [x]. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+(** [init rows cols f] sets entry [(i, j)] to [f i j]. *)
+
+val of_array : rows:int -> cols:int -> float array -> t
+(** Wrap an existing row-major buffer without copying; the caller gives
+    up ownership. Raises [Invalid_argument] on length mismatch. *)
+
+val zeros : int -> int -> t
+val ones : int -> int -> t
+
+val identity : int -> t
+(** [identity n] is the [n]×[n] identity matrix. *)
+
+val of_arrays : float array array -> t
+(** Rows from an array of arrays; raises on ragged input. *)
+
+val to_arrays : t -> float array array
+
+val of_col_array : float array -> t
+(** An [n]×1 column vector. *)
+
+val of_row_array : float array -> t
+(** A 1×[n] row vector. *)
+
+val col_to_array : t -> float array
+(** Contents of an [n]×1 matrix; raises if not a column vector. *)
+
+val row_to_array : t -> float array
+(** Contents of a 1×[n] matrix; raises if not a row vector. *)
+
+val copy : t -> t
+
+val random : ?rng:Rng.t -> int -> int -> t
+(** Entries uniform in [0, 1). *)
+
+val gaussian : ?rng:Rng.t -> int -> int -> t
+(** Entries standard normal. *)
+
+(** {1 Element access} *)
+
+val get : t -> int -> int -> float
+(** Bounds-checked; raises [Invalid_argument] out of range. *)
+
+val set : t -> int -> int -> float -> unit
+
+val unsafe_get : t -> int -> int -> float
+(** No bounds check — kernel use only. *)
+
+val unsafe_set : t -> int -> int -> float -> unit
+
+val row : t -> int -> float array
+(** Copy of row [i]. *)
+
+val col : t -> int -> float array
+(** Copy of column [j]. *)
+
+(** {1 Shaping} *)
+
+val sub_rows : t -> lo:int -> hi:int -> t
+(** Rows [lo, hi) as a fresh matrix (R's [T\[lo:hi, \]]). *)
+
+val sub_cols : t -> lo:int -> hi:int -> t
+(** Columns [lo, hi) as a fresh matrix (R's [T\[, lo:hi\]]). *)
+
+val transpose : t -> t
+
+val hcat : t list -> t
+(** Horizontal concatenation [[A | B | …]]; blocks must share rows. *)
+
+val vcat : t list -> t
+(** Vertical concatenation; blocks must share columns. *)
+
+val blit_block : src:t -> dst:t -> row:int -> col:int -> unit
+(** Write [src] into [dst] with its top-left corner at [(row, col)]. *)
+
+(** {1 Functional traversal} *)
+
+val map : (float -> float) -> t -> t
+val mapi : (int -> int -> float -> float) -> t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+val iteri : (int -> int -> float -> unit) -> t -> unit
+val fold : ('a -> float -> 'a) -> 'a -> t -> 'a
+
+(** {1 Element-wise scalar operators (paper §3.3.1, on regular matrices)} *)
+
+val scale : float -> t -> t
+(** [scale x m] is [x·m]; counts flops. *)
+
+val add_scalar : float -> t -> t
+val pow_scalar : t -> float -> t
+
+val map_scalar : (float -> float) -> t -> t
+(** Like {!map} but counted as one arithmetic pass in {!Flops}. *)
+
+val exp : t -> t
+val log : t -> t
+
+(** {1 Element-wise matrix operators} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul_elem : t -> t -> t
+val div_elem : t -> t -> t
+
+(** {1 Aggregations (paper §3.3.2, on regular matrices)} *)
+
+val row_sums : t -> t
+(** [n]×1 column of row sums (R's [rowSums]). *)
+
+val col_sums : t -> t
+(** 1×[d] row of column sums (R's [colSums]). *)
+
+val sum : t -> float
+
+val row_mins : t -> t
+(** Per-row minimum as an [n]×1 column (R's [rowMin], used by K-Means). *)
+
+val row_argmins : t -> int array
+(** Index of each row's minimum. *)
+
+(** {1 Norms, comparison, diagonal} *)
+
+val max_abs : t -> float
+val frobenius : t -> float
+
+val max_abs_diff : t -> t -> float
+(** [infinity] when shapes differ. *)
+
+val equal : t -> t -> bool
+(** Exact structural equality. *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+(** Shape equality and [max_abs_diff <= tol] (default [1e-9]). *)
+
+val diag_of_array : float array -> t
+(** Diagonal matrix from a vector (the paper's [diag]). *)
+
+val diag : t -> float array
+(** The main diagonal. *)
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,31 @@
+(* Global counter of floating-point arithmetic operations performed by the
+   LA kernels. The paper's Table 3 / Table 11 report "arithmetic
+   computations (multiplications and additions)" for the standard vs
+   factorized operators; this counter lets tests and the [table3] bench
+   check the implementation against those analytic expressions.
+
+   Kernels add bulk amounts (one [add] call per kernel invocation), so the
+   instrumentation cost is negligible. *)
+
+let counter = ref 0.0
+
+let enabled = ref true
+
+let reset () = counter := 0.0
+
+let add n = if !enabled then counter := !counter +. float_of_int n
+
+let addf n = if !enabled then counter := !counter +. n
+
+let get () = !counter
+
+(* Run [f] and return its result together with the flops it performed. *)
+let count f =
+  let before = !counter in
+  let x = f () in
+  (x, !counter -. before)
+
+let with_disabled f =
+  let was = !enabled in
+  enabled := false ;
+  Fun.protect ~finally:(fun () -> enabled := was) f

@@ -1,0 +1,28 @@
+(** Global counter of floating-point arithmetic operations performed by
+    the LA kernels. The paper's Tables 3/11 report "arithmetic
+    computations" per operator; this counter lets tests and the
+    [table3] bench check the implementation against those analytic
+    expressions. Kernels add bulk amounts, so overhead is negligible. *)
+
+val reset : unit -> unit
+
+val add : int -> unit
+(** Add an operation count (no-op while disabled). *)
+
+val addf : float -> unit
+(** Like {!add} for counts that overflow int arithmetic conveniently. *)
+
+val get : unit -> float
+
+val count : (unit -> 'a) -> 'a * float
+(** [count f] runs [f] and returns its result with the flops it
+    performed. *)
+
+val with_disabled : (unit -> 'a) -> 'a
+(** Run with counting off (e.g. inside timing loops). *)
+
+val enabled : bool ref
+(** Exposed for the benches; prefer {!with_disabled}. *)
+
+val counter : float ref
+(** The raw accumulator; prefer {!get}/{!reset}. *)

@@ -1,0 +1,61 @@
+(** Factorizations and (pseudo-)inversion — the LAPACK-shaped part of
+    the substrate. [ginv] is the Moore-Penrose pseudo-inverse through an
+    economic SVD, matching the paper's use of R/MASS ginv (Table 11). *)
+
+exception Singular
+(** Raised by the LU path when a pivot vanishes. *)
+
+exception Not_positive_definite
+(** Raised by {!cholesky}. *)
+
+type lu
+(** An LU factorization with partial pivoting. *)
+
+val lu_decompose : Dense.t -> lu
+(** O(n³/3) factorization of a square matrix; raises {!Singular}. *)
+
+val lu_solve : lu -> Dense.t -> Dense.t
+(** Solve for a matrix of right-hand-side columns. *)
+
+val solve : Dense.t -> Dense.t -> Dense.t
+(** R's [solve(A, B)]: exact solve of a nonsingular square system. *)
+
+val inverse : Dense.t -> Dense.t
+
+val determinant : Dense.t -> float
+(** 0 for singular matrices. *)
+
+val cholesky : Dense.t -> Dense.t
+(** Lower-triangular [L] with [A = L·Lᵀ] for symmetric positive-definite
+    [A]; raises {!Not_positive_definite} otherwise. *)
+
+val qr : Dense.t -> Dense.t * Dense.t
+(** Thin Householder QR of a matrix with [rows >= cols]: [(q, r)] with
+    [a = q·r], [q] having orthonormal columns and [r] upper-triangular. *)
+
+val lstsq_qr : Dense.t -> Dense.t -> Dense.t
+(** Least squares min ‖a·x − b‖ via QR + back substitution; raises
+    {!Singular} when [a] is column-rank-deficient. *)
+
+val sym_eig : ?max_sweeps:int -> ?tol:float -> Dense.t -> float array * Dense.t
+(** Cyclic-Jacobi eigendecomposition of a symmetric matrix:
+    [(vals, v)] with [A = V·diag(vals)·Vᵀ], [V] orthogonal. Eigenvalues
+    are unsorted. *)
+
+val ginv_sym : ?tol:float -> Dense.t -> Dense.t
+(** Moore-Penrose pseudo-inverse of a symmetric matrix via {!sym_eig}
+    (eigenvalues below [tol] are treated as zero). This is what the
+    factorized ginv rewrite applies to the d×d cross-product. *)
+
+val svd_tall : ?max_sweeps:int -> ?tol:float -> Dense.t -> Dense.t * float array * Dense.t
+(** One-sided-Jacobi thin SVD of a matrix with [rows >= cols]:
+    [(u, s, v)] with [a = u·diag(s)·vᵀ]. *)
+
+val svd : Dense.t -> Dense.t * float array * Dense.t
+(** Economic SVD of any matrix (transposes internally when wide). *)
+
+val ginv : ?tol:float -> Dense.t -> Dense.t
+(** Moore-Penrose pseudo-inverse via {!svd}, like R MASS::ginv. *)
+
+val lstsq : Dense.t -> Dense.t -> Dense.t
+(** Least-squares solve [x = ginv(a)·b]. *)

@@ -1,0 +1,52 @@
+(* Deterministic splittable PRNG (splitmix64) so that every workload
+   generator, test, and bench is reproducible without relying on the
+   global [Random] state. *)
+
+type t = { mutable state : int64 }
+
+let create ?(seed = 0x9E3779B97F4A7C15L) () = { state = seed }
+
+let of_int seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L ;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* Uniform float in [0, 1). 53 random bits. *)
+let float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+(* Uniform int in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive" ;
+  let m = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) land max_int in
+  m mod bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* Uniform float in [lo, hi). *)
+let uniform t ~lo ~hi = lo +. ((hi -. lo) *. float t)
+
+(* Standard normal via Box-Muller. *)
+let gaussian t =
+  let u1 = max (float t) 1e-300 in
+  let u2 = float t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let split t = { state = next_int64 t }
+
+(* Fisher-Yates shuffle of an int array, in place. *)
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j) ;
+    a.(j) <- tmp
+  done

@@ -1,0 +1,30 @@
+(** Deterministic splittable PRNG (splitmix64). Every generator, test,
+    and bench passes an explicit state so runs are reproducible. *)
+
+type t
+
+val create : ?seed:int64 -> unit -> t
+val of_int : int -> t
+val copy : t -> t
+
+val next_int64 : t -> int64
+(** The raw 64-bit stream. *)
+
+val float : t -> float
+(** Uniform in [0, 1), 53 random bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); [bound] must be positive. *)
+
+val bool : t -> bool
+
+val uniform : t -> lo:float -> hi:float -> float
+
+val gaussian : t -> float
+(** Standard normal (Box-Muller). *)
+
+val split : t -> t
+(** An independent child stream. *)
+
+val shuffle : t -> int array -> unit
+(** In-place Fisher-Yates. *)

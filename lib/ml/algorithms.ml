@@ -1,0 +1,29 @@
+(* Pre-applied instantiations of the four ML functors, one per execution
+   path. [Materialized.*] is the paper's "M" (standard single-table
+   script over the join output); [Factorized.*] is Morpheus's
+   automatically factorized "F"; [Adaptive.*] puts the heuristic
+   decision rule in front, which is the full system of Figure 1(c). *)
+
+module Materialized = struct
+  module Logreg = Logreg.Make (Morpheus.Regular_matrix)
+  module Linreg = Linreg.Make (Morpheus.Regular_matrix)
+  module Kmeans = Kmeans.Make (Morpheus.Regular_matrix)
+  module Gnmf = Gnmf.Make (Morpheus.Regular_matrix)
+  module Glm = Glm.Make (Morpheus.Regular_matrix)
+end
+
+module Factorized = struct
+  module Logreg = Logreg.Make (Morpheus.Factorized_matrix)
+  module Linreg = Linreg.Make (Morpheus.Factorized_matrix)
+  module Kmeans = Kmeans.Make (Morpheus.Factorized_matrix)
+  module Gnmf = Gnmf.Make (Morpheus.Factorized_matrix)
+  module Glm = Glm.Make (Morpheus.Factorized_matrix)
+end
+
+module Adaptive = struct
+  module Logreg = Logreg.Make (Morpheus.Adaptive_matrix)
+  module Linreg = Linreg.Make (Morpheus.Adaptive_matrix)
+  module Kmeans = Kmeans.Make (Morpheus.Adaptive_matrix)
+  module Gnmf = Gnmf.Make (Morpheus.Adaptive_matrix)
+  module Glm = Glm.Make (Morpheus.Adaptive_matrix)
+end

@@ -1,0 +1,67 @@
+(* Gaussian non-negative matrix factorization (paper Algorithms 8/16):
+   multiplicative updates
+     H ← H ∗ (TᵀW) / (H·crossprod(W))
+     W ← W ∗ (T·H) / (W·crossprod(H))
+   The factorized instantiation rewrites the RMM/LMM pair WᵀT and T·H;
+   like K-Means these are full matrix-matrix multiplications. *)
+
+open La
+
+module Make (M : Morpheus.Data_matrix.S) = struct
+  type factors = {
+    w : Dense.t; (* n×r *)
+    h : Dense.t; (* d×r *)
+  }
+
+  (* Deterministic strictly-positive initialization. *)
+  let init ?(rng = Rng.of_int 42) t r =
+    let n = M.rows t and d = M.cols t in
+    let pos rows cols =
+      Dense.init rows cols (fun _ _ -> 0.1 +. Rng.float rng)
+    in
+    { w = pos n r; h = pos d r }
+
+  let eps = 1e-12
+
+  let train ?(iters = 20) ?init:factors ~rank t =
+    let { w; h } = match factors with Some f -> f | None -> init t rank in
+    let w = ref w and h = ref h in
+    for _ = 1 to iters do
+      (* multiplicative update out = cur * num / (den + eps), fused *)
+      let update cur num den =
+        let out = Dense.create (Dense.rows cur) (Dense.cols cur) in
+        let od = Dense.data out
+        and cd = Dense.data cur
+        and nd = Dense.data num
+        and dd = Dense.data den in
+        for i = 0 to Array.length od - 1 do
+          Array.unsafe_set od i
+            (Array.unsafe_get cd i *. Array.unsafe_get nd i
+            /. (Array.unsafe_get dd i +. eps))
+        done ;
+        out
+      in
+      (* H update: P = (WᵀT)ᵀ = TᵀW *)
+      let p = M.tlmm t !w in
+      let denom_h = Blas.gemm !h (Blas.crossprod !w) in
+      h := update !h p denom_h ;
+      (* W update: P = T·H *)
+      let p = M.lmm t !h in
+      let denom_w = Blas.gemm !w (Blas.crossprod !h) in
+      w := update !w p denom_w
+    done ;
+    { w = !w; h = !h }
+
+  (* Frobenius reconstruction error ‖T − W·Hᵀ‖²_F, computed without
+     materializing W·Hᵀ when T is normalized:
+     ‖T‖² − 2·tr(HᵀTᵀW) + tr(cp(W)·cp(H)). *)
+  let reconstruction_error t { w; h } =
+    let t_norm = M.sum (M.pow t 2.0) in
+    let tw = M.tlmm t w (* d×r *) in
+    let cross = ref 0.0 in
+    Dense.iteri (fun i j v -> cross := !cross +. (v *. Dense.get h i j)) tw ;
+    let cpw = Blas.crossprod w and cph = Blas.crossprod h in
+    let trace = ref 0.0 in
+    Dense.iteri (fun i j v -> trace := !trace +. (v *. Dense.get cph j i)) cpw ;
+    t_norm -. (2.0 *. !cross) +. !trace
+end

@@ -1,0 +1,21 @@
+(** Gaussian non-negative matrix factorization (paper Algorithms 8/16):
+    multiplicative updates H ← H∗(TᵀW)/(H·cp(W)),
+    W ← W∗(T·H)/(W·cp(H)). *)
+
+open La
+
+module Make (M : Morpheus.Data_matrix.S) : sig
+  type factors = {
+    w : Dense.t;  (** n×r *)
+    h : Dense.t;  (** d×r *)
+  }
+
+  val init : ?rng:Rng.t -> M.t -> int -> factors
+  (** Strictly positive deterministic initialization. *)
+
+  val train : ?iters:int -> ?init:factors -> rank:int -> M.t -> factors
+
+  val reconstruction_error : M.t -> factors -> float
+  (** ‖T − W·Hᵀ‖²_F computed without materializing W·Hᵀ:
+      ‖T‖² − 2·tr(HᵀTᵀW) + tr(cp(W)·cp(H)). *)
+end

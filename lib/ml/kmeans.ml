@@ -1,0 +1,135 @@
+(* K-Means clustering (paper Algorithms 7/15). The distance computation
+   D = rowSums(T²)·1 + 1·colSums(C²) − 2·T·C is vectorized exactly as in
+   the paper, so the factorized instantiation exercises the element-wise
+   exponentiation, aggregation, and LMM/transposed-LMM rewrites —
+   full matrix-matrix multiplications, "a key benefit of the generality
+   of our approach" (§4). *)
+
+open La
+
+module Make (M : Morpheus.Data_matrix.S) = struct
+  type result = {
+    centroids : Dense.t; (* d×k *)
+    assignments : int array; (* cluster id per row of T *)
+    objective : float; (* sum of squared distances to assigned centroid *)
+  }
+
+  (* Initialize centroids from the data deterministically: spread k seed
+     rows of T across the row range. Works through the abstract
+     signature by multiplying Tᵀ with one-hot selectors. *)
+  let init_centroids t k =
+    let n = M.rows t in
+    let sel =
+      Dense.init n k (fun i j -> if i = j * (n / k) then 1.0 else 0.0)
+    in
+    M.tlmm t sel
+
+  (* Extract row [i] of T as a d×1 column through the signature. *)
+  let row_of t i =
+    let n = M.rows t in
+    let sel = Dense.init n 1 (fun r _ -> if r = i then 1.0 else 0.0) in
+    M.tlmm t sel
+
+  (* K-Means++ seeding (Arthur & Vassilvitskii): each next centroid is
+     sampled ∝ squared distance to the nearest chosen one. Distances are
+     computed with the same vectorized identity as the training loop, so
+     the whole procedure runs factorized on normalized inputs. *)
+  let init_plus_plus ?(rng = Rng.of_int 0) t k =
+    let n = M.rows t in
+    let dt = M.row_sums (M.pow t 2.0) in
+    let t2 = M.scale 2.0 t in
+    let chosen = ref [ row_of t (Rng.int rng n) ] in
+    while List.length !chosen < k do
+      let c = List.hd !chosen in
+      (* squared distance of every point to the latest centroid *)
+      let c2 = Dense.sum (Dense.pow_scalar c 2.0) in
+      let tc = M.lmm t2 c in
+      let d2 =
+        Dense.init n 1 (fun i _ ->
+            Float.max 0.0 (Dense.get dt i 0 +. c2 -. Dense.get tc i 0))
+      in
+      (* running minimum across all chosen centroids *)
+      let min_d2 =
+        match !chosen with
+        | [ _ ] -> d2
+        | _ ->
+          (* recompute against all chosen: keep it simple and exact *)
+          let all = Dense.hcat (List.map Fun.id !chosen) in
+          let c2s = Dense.col_sums (Dense.pow_scalar all 2.0) in
+          let tcs = M.lmm t2 all in
+          Dense.init n 1 (fun i _ ->
+              let best = ref infinity in
+              for j = 0 to Dense.cols all - 1 do
+                let v =
+                  Dense.get dt i 0 +. Dense.get c2s 0 j -. Dense.get tcs i j
+                in
+                if v < !best then best := v
+              done ;
+              Float.max 0.0 !best)
+      in
+      (* sample ∝ min_d2 *)
+      let total = Dense.sum min_d2 in
+      let next =
+        if total <= 0.0 then Rng.int rng n
+        else begin
+          let target = Rng.float rng *. total in
+          let acc = ref 0.0 and pick = ref (n - 1) in
+          (try
+             for i = 0 to n - 1 do
+               acc := !acc +. Dense.get min_d2 i 0 ;
+               if !acc >= target then begin
+                 pick := i ;
+                 raise Exit
+               end
+             done
+           with Exit -> ()) ;
+          !pick
+        end
+      in
+      chosen := row_of t next :: !chosen
+    done ;
+    Dense.hcat (List.rev !chosen)
+
+  let train ?(iters = 20) ?centroids ~k t =
+    let n = M.rows t in
+    let c = ref (match centroids with Some c -> Dense.copy c | None -> init_centroids t k) in
+    (* 1. Pre-compute squared l2-norms of the points: rowSums(T^2)·1₁ₓₖ *)
+    let dt = M.row_sums (M.pow t 2.0) in
+    let t2 = M.scale 2.0 t in
+    let assignments = ref [||] in
+    let objective = ref 0.0 in
+    for _ = 1 to iters do
+      (* 2. Pairwise squared distances D (n×k) *)
+      let c2 = Dense.col_sums (Dense.pow_scalar !c 2.0) in
+      let tc = M.lmm t2 !c in
+      let d = Dense.create n k in
+      let dd = Dense.data d
+      and dtd = Dense.data dt
+      and c2d = Dense.data c2
+      and tcd = Dense.data tc in
+      for i = 0 to n - 1 do
+        let base = i * k in
+        let dti = Array.unsafe_get dtd i in
+        for j = 0 to k - 1 do
+          Array.unsafe_set dd (base + j)
+            (dti +. Array.unsafe_get c2d j -. Array.unsafe_get tcd (base + j))
+        done
+      done ;
+      (* 3. Assign points to the nearest centroid: A (n×k) boolean *)
+      let args = Dense.row_argmins d in
+      assignments := args ;
+      objective := 0.0 ;
+      Array.iteri (fun i j -> objective := !objective +. Dense.get d i j) args ;
+      let a = Dense.create n k in
+      let ad = Dense.data a in
+      Array.iteri (fun i j -> Array.unsafe_set ad ((i * k) + j) 1.0) args ;
+      (* 4. New centroids: (TᵀA) / counts *)
+      let ta = M.tlmm t a in
+      let counts = Dense.col_sums a in
+      c :=
+        Dense.init (M.cols t) k (fun i j ->
+            let cnt = Dense.get counts 0 j in
+            if cnt > 0.0 then Dense.get ta i j /. cnt else Dense.get !c i j)
+    done ;
+    { centroids = !c; assignments = !assignments; objective = !objective }
+end

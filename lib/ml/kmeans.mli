@@ -1,0 +1,28 @@
+(** K-Means clustering (paper Algorithms 7/15), vectorized exactly as in
+    the paper: D = rowSums(T²)·1 + 1·colSums(C²) − 2·T·C, boolean
+    assignment matrix, centroid update (TᵀA)/counts. The factorized
+    instantiation exercises element-wise exponentiation, aggregations,
+    and full matrix-matrix LMM/transposed-LMM rewrites. *)
+
+open La
+
+module Make (M : Morpheus.Data_matrix.S) : sig
+  type result = {
+    centroids : Dense.t;  (** d×k *)
+    assignments : int array;  (** cluster id per data row *)
+    objective : float;  (** Σ squared distance to assigned centroid *)
+  }
+
+  val init_centroids : M.t -> int -> Dense.t
+  (** Deterministic seeding: k rows of T spread across the row range. *)
+
+  val row_of : M.t -> int -> Dense.t
+  (** Row [i] of T as a d×1 column, extracted through the signature. *)
+
+  val init_plus_plus : ?rng:Rng.t -> M.t -> int -> Dense.t
+  (** K-Means++ seeding: each next centroid sampled proportionally to
+      the squared distance from the nearest chosen one; the distance
+      computations run factorized on normalized inputs. *)
+
+  val train : ?iters:int -> ?centroids:Dense.t -> k:int -> M.t -> result
+end

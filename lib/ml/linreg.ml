@@ -1,0 +1,66 @@
+(* Least-squares linear regression, three ways, matching the paper:
+   - normal equations (Algorithms 5/6): w = ginv(crossprod(T))·(TᵀY),
+     where the factorized instantiation runs Algorithm 2's efficient
+     cross-product;
+   - gradient descent (appendix Algorithms 11/12): w ← w − α·Tᵀ(Tw − Y);
+   - the Schleich et al. SIGMOD'16 hybrid (appendix Algorithms 13/14):
+     build the co-factor matrix C = [YᵀT; crossprod(T)] once, then run
+     AdaGrad touching only C. *)
+
+open La
+
+module Make (M : Morpheus.Data_matrix.S) = struct
+  (* ---- normal equations ---- *)
+
+  let train_normal t y =
+    if Dense.rows y <> M.rows t || Dense.cols y <> 1 then
+      invalid_arg "Linreg.train_normal: bad target shape" ;
+    let cp = M.crossprod t in
+    let tty = M.tlmm t y in
+    Blas.gemm (Linalg.ginv_sym cp) tty
+
+  (* ---- gradient descent ---- *)
+
+  let train_gd ?(alpha = 1e-6) ?(iters = 20) ?w0 t y =
+    let d = M.cols t in
+    let w = ref (match w0 with Some w -> Dense.copy w | None -> Dense.create d 1) in
+    for _ = 1 to iters do
+      let residual = Dense.sub (M.lmm t !w) y in
+      let grad = M.tlmm t residual in
+      w := Dense.sub !w (Dense.scale alpha grad)
+    done ;
+    !w
+
+  (* ---- co-factor + AdaGrad hybrid (Schleich et al.) ---- *)
+
+  (* C = [YᵀT; crossprod(T)]: a (d+1)×d matrix whose rows contain the
+     sufficient statistics of the least-squares objective. *)
+  let cofactor t y =
+    let yt = M.rmm (Dense.transpose y) t in
+    Dense.vcat [ yt; M.crossprod t ]
+
+  (* AdaGrad over the co-factor only: gradient of ½‖Tw − Y‖² is
+     (crossprod T)·w − TᵀY = Cᵀ·[−1; w]. *)
+  let train_cofactor ?(alpha = 1e-2) ?(iters = 20) ?w0 t y =
+    let d = M.cols t in
+    let c = cofactor t y in
+    let w = ref (match w0 with Some w -> Dense.copy w | None -> Dense.create d 1) in
+    let g2 = Array.make d 1e-12 in
+    for _ = 1 to iters do
+      let v = Dense.vcat [ Dense.make 1 1 (-1.0); !w ] in
+      let grad = Blas.tgemm c v in
+      let step =
+        Dense.init d 1 (fun i _ ->
+            let g = Dense.get grad i 0 in
+            g2.(i) <- g2.(i) +. (g *. g) ;
+            alpha *. g /. sqrt g2.(i))
+      in
+      w := Dense.sub !w step
+    done ;
+    !w
+
+  (* Residual sum of squares, for tests and loss curves. *)
+  let rss t w y =
+    let r = Dense.sub (M.lmm t w) y in
+    Dense.sum (Dense.mul_elem r r)
+end

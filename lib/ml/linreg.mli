@@ -1,0 +1,25 @@
+(** Least-squares linear regression, three ways, as in the paper:
+    normal equations (Algorithms 5/6), gradient descent (appendix
+    Algorithms 11/12), and the Schleich et al. SIGMOD'16 co-factor +
+    AdaGrad hybrid (appendix Algorithms 13/14). *)
+
+open La
+
+module Make (M : Morpheus.Data_matrix.S) : sig
+  val train_normal : M.t -> Dense.t -> Dense.t
+  (** [w = ginv(crossprod(T))·(TᵀY)]; the factorized instantiation runs
+      Algorithm 2's efficient cross-product. *)
+
+  val train_gd : ?alpha:float -> ?iters:int -> ?w0:Dense.t -> M.t -> Dense.t -> Dense.t
+  (** [w ← w − α·Tᵀ(Tw − Y)]. *)
+
+  val cofactor : M.t -> Dense.t -> Dense.t
+  (** The (d+1)×d co-factor matrix [C = \[YᵀT; crossprod(T)\]]. *)
+
+  val train_cofactor :
+    ?alpha:float -> ?iters:int -> ?w0:Dense.t -> M.t -> Dense.t -> Dense.t
+  (** AdaGrad touching only [C]: the gradient is [Cᵀ·\[−1; w\]]. *)
+
+  val rss : M.t -> Dense.t -> Dense.t -> float
+  (** Residual sum of squares ‖Tw − Y‖². *)
+end

@@ -1,0 +1,62 @@
+(* Logistic regression with gradient descent (paper Algorithms 3/4).
+   Written once against the abstract data-matrix signature; applying the
+   functor to [Morpheus.Factorized_matrix] yields exactly the paper's
+   factorized Algorithm 4 — the LMM rewrite fires on T·w and the
+   transposed-LMM rewrite on Tᵀ·P — with no change to this code. *)
+
+open La
+
+module Make (M : Morpheus.Data_matrix.S) = struct
+  type model = {
+    w : Dense.t; (* d×1 weights *)
+    losses : float list; (* per-iteration logistic loss (most recent last) *)
+  }
+
+  (* Logistic loss sum log(1 + exp(-y·s)) for labels y ∈ {-1, +1}. *)
+  let loss scores y =
+    let n = Dense.rows scores in
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      let s = Dense.get scores i 0 and yi = Dense.get y i 0 in
+      acc := !acc +. Stdlib.log (1.0 +. Stdlib.exp (-.yi *. s))
+    done ;
+    !acc /. float_of_int n
+
+  (* The paper's iteration: w ← w + α · Tᵀ(Y / (1 + exp(T·w))).
+     With labels in {-1,+1} folded into Y this is plain gradient descent
+     on the logistic loss. *)
+  let train ?(alpha = 1e-4) ?(iters = 20) ?w0 ?(record_loss = false) t y =
+    let d = M.cols t in
+    if Dense.rows y <> M.rows t || Dense.cols y <> 1 then
+      invalid_arg "Logreg.train: bad target shape" ;
+    let w = ref (match w0 with Some w -> Dense.copy w | None -> Dense.create d 1) in
+    let losses = ref [] in
+    for _ = 1 to iters do
+      let scores = M.lmm t !w in
+      if record_loss then losses := loss scores y :: !losses ;
+      (* P = Y / (1 + exp(Y·scores)) — the gradient weights *)
+      let p = Dense.create (Dense.rows y) 1 in
+      let pd = Dense.data p and yd = Dense.data y and sd = Dense.data scores in
+      for i = 0 to Array.length pd - 1 do
+        let yi = Array.unsafe_get yd i in
+        Array.unsafe_set pd i
+          (yi /. (1.0 +. Stdlib.exp (yi *. Array.unsafe_get sd i)))
+      done ;
+      let grad = M.tlmm t p in
+      w := Dense.add !w (Dense.scale alpha grad)
+    done ;
+    { w = !w; losses = List.rev !losses }
+
+  let predict t model = M.lmm t model.w
+
+  (* Classification accuracy against ±1 labels. *)
+  let accuracy t model y =
+    let scores = predict t model in
+    let n = Dense.rows scores in
+    let correct = ref 0 in
+    for i = 0 to n - 1 do
+      let s = Dense.get scores i 0 and yi = Dense.get y i 0 in
+      if (s >= 0.0 && yi > 0.0) || (s < 0.0 && yi < 0.0) then incr correct
+    done ;
+    float_of_int !correct /. float_of_int n
+end

@@ -1,0 +1,28 @@
+(** Logistic regression with gradient descent (paper Algorithms 3/4).
+    Written once against the abstract data-matrix signature: applying
+    the functor to [Morpheus.Regular_matrix] gives the standard
+    single-table algorithm, to [Morpheus.Factorized_matrix] exactly the
+    paper's factorized Algorithm 4 — with no change to the algorithm. *)
+
+open La
+
+module Make (M : Morpheus.Data_matrix.S) : sig
+  type model = {
+    w : Dense.t;  (** d×1 weights *)
+    losses : float list;  (** per-iteration logistic loss, if recorded *)
+  }
+
+  val loss : Dense.t -> Dense.t -> float
+  (** Mean logistic loss of scores against ±1 labels. *)
+
+  val train :
+    ?alpha:float -> ?iters:int -> ?w0:Dense.t -> ?record_loss:bool ->
+    M.t -> Dense.t -> model
+  (** The paper's iteration [w ← w + α·Tᵀ(Y / (1 + exp(T·w)))] with
+    labels in {-1, +1}. *)
+
+  val predict : M.t -> model -> Dense.t
+
+  val accuracy : M.t -> model -> Dense.t -> float
+  (** Sign agreement with ±1 labels. *)
+end

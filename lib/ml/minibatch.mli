@@ -1,0 +1,22 @@
+(** Factorized mini-batch SGD — the paper's footnote 2 lists SGD as
+    future work because it updates per mini-batch of T; with
+    [Normalized.select_rows] each batch is a small normalized matrix
+    sharing the attribute tables, so every step runs the factorized
+    rewrites. *)
+
+open La
+open Morpheus
+
+type config = {
+  batch_size : int;
+  alpha : float;
+  epochs : int;
+  seed : int;
+}
+
+val default_config : config
+(** 256-row batches, α = 1e-3, 3 epochs. *)
+
+val train :
+  ?config:config -> family:Glm.family -> Normalized.t -> Dense.t -> Dense.t
+(** Shuffled-epoch mini-batch gradient descent; returns the weights. *)

@@ -1,0 +1,30 @@
+(** Gaussian Naive Bayes over normalized matrices: per-class feature
+    means/variances come from factorized column statistics of per-class
+    row subsets ([Normalized.select_rows] + [Colops]), so training never
+    materializes T. *)
+
+open La
+open Morpheus
+
+type class_stats = {
+  label : float;
+  prior : float;
+  mean : float array;
+  variance : float array;  (** floored at 1e-9 *)
+}
+
+type model = { classes : class_stats list; d : int }
+
+val train : Normalized.t -> Dense.t -> model
+(** Targets are arbitrary class labels as floats (≥ 2 distinct). *)
+
+val log_joint : class_stats -> float array -> float
+(** log p(c) + Σ log N(xⱼ | μⱼ, σⱼ²) for one example. *)
+
+val predict_dense : model -> Dense.t -> float array
+(** Predict labels for the rows of a dense feature matrix. *)
+
+val predict : model -> Normalized.t -> float array
+(** Score the normalized matrix row by row (1×d slices only). *)
+
+val accuracy : model -> Normalized.t -> Dense.t -> float

@@ -1,0 +1,72 @@
+(* Reimplementation of Orion's "factorized learning" for GLMs (Kumar et
+   al., SIGMOD 2015 [26]) — the ML-algorithm-specific comparator of the
+   paper's Table 8. The key difference from Morpheus (§3.3.3): Orion
+   stores the partial inner products over R in an *associative array*
+   keyed by the foreign key, rather than using matrix multiplications;
+   the paper attributes Orion's lower speed-ups to these hashing
+   overheads, which we reproduce faithfully with a Hashtbl keyed by the
+   R-row id. Dense features and a single PK-FK join only, like Orion. *)
+
+open La
+open Sparse
+
+(* One iteration of factorized logistic-regression GD over (S, K, R). *)
+let logreg_iteration ~alpha ~s ~k ~r ~y w =
+  let ns = Dense.rows s and ds = Dense.cols s in
+  let nr = Dense.rows r and dr = Dense.cols r in
+  let ws = Array.init ds (fun j -> Dense.get w j 0) in
+  let wr = Array.init dr (fun j -> Dense.get w (ds + j) 0) in
+  (* Phase 1: partial inner products over R, stored in an associative
+     array keyed by RID (Orion's HR statistics table). *)
+  let hr : (int, float) Hashtbl.t = Hashtbl.create (2 * nr) in
+  for rid = 0 to nr - 1 do
+    let acc = ref 0.0 in
+    for j = 0 to dr - 1 do
+      acc := !acc +. (Dense.unsafe_get r rid j *. wr.(j))
+    done ;
+    Hashtbl.replace hr rid !acc
+  done ;
+  (* Phase 2: scan S, probe the associative array for the partial inner
+     product, accumulate the gradient over S's features and a per-RID
+     gradient weight for R (a dense accumulator: RIDs are dense row
+     numbers after the §3.1 preprocessing). *)
+  let grad_s = Array.make ds 0.0 in
+  let gr = Array.make nr 0.0 in
+  for i = 0 to ns - 1 do
+    let rid = Indicator.col_of_row k i in
+    let partial_r =
+      match Hashtbl.find_opt hr rid with
+      | Some v -> v
+      | None -> invalid_arg "Orion: missing RID in associative array"
+    in
+    let inner = ref partial_r in
+    for j = 0 to ds - 1 do
+      inner := !inner +. (Dense.unsafe_get s i j *. ws.(j))
+    done ;
+    let yi = Dense.get y i 0 in
+    let p = yi /. (1.0 +. Stdlib.exp (yi *. !inner)) in
+    for j = 0 to ds - 1 do
+      grad_s.(j) <- grad_s.(j) +. (p *. Dense.unsafe_get s i j)
+    done ;
+    gr.(rid) <- gr.(rid) +. p
+  done ;
+  (* Phase 3: expand the per-RID gradient weights over R's features. *)
+  let grad_r = Array.make dr 0.0 in
+  for rid = 0 to nr - 1 do
+    let p = gr.(rid) in
+    if p <> 0.0 then
+      for j = 0 to dr - 1 do
+        grad_r.(j) <- grad_r.(j) +. (p *. Dense.unsafe_get r rid j)
+      done
+  done ;
+  Dense.init (ds + dr) 1 (fun i _ ->
+      let g = if i < ds then grad_s.(i) else grad_r.(i - ds) in
+      Dense.get w i 0 +. (alpha *. g))
+
+let train_logreg ?(alpha = 1e-4) ?(iters = 20) ?w0 ~s ~k ~r ~y () =
+  let d = Dense.cols s + Dense.cols r in
+  let w = ref (match w0 with Some w -> Dense.copy w | None -> Dense.create d 1) in
+  for _ = 1 to iters do
+    w := logreg_iteration ~alpha ~s ~k ~r ~y !w
+  done ;
+  !w

@@ -1,0 +1,17 @@
+(** Reimplementation of Orion's factorized learning for GLMs (Kumar et
+    al., SIGMOD 2015) — the algorithm-specific comparator of Table 8.
+    Unlike Morpheus it stores partial inner products over R in an
+    associative array (Hashtbl) keyed by RID, reproducing the hashing
+    overheads the paper measures. Dense features, single PK-FK join. *)
+
+open La
+open Sparse
+
+val logreg_iteration :
+  alpha:float -> s:Dense.t -> k:Indicator.t -> r:Dense.t -> y:Dense.t ->
+  Dense.t -> Dense.t
+(** One factorized gradient-descent step over (S, K, R). *)
+
+val train_logreg :
+  ?alpha:float -> ?iters:int -> ?w0:Dense.t ->
+  s:Dense.t -> k:Indicator.t -> r:Dense.t -> y:Dense.t -> unit -> Dense.t

@@ -1,0 +1,110 @@
+(* File-backed row-chunked dense matrices: the stand-in for Oracle R
+   Enterprise's larger-than-memory ore.frame (paper §5.2.4, appendix N).
+   A matrix lives on disk as a directory of row-chunk files; operators
+   stream one chunk at a time through memory, which is exactly the
+   ore.rowapply execution model the paper built Morpheus-on-ORE with. *)
+
+open La
+
+type t = {
+  dir : string;
+  cols : int;
+  chunk_rows : int list; (* row count per chunk, in order *)
+}
+
+let dir t = t.dir
+let cols t = t.cols
+let nchunks t = List.length t.chunk_rows
+let rows t = List.fold_left ( + ) 0 t.chunk_rows
+
+let chunk_path t i = Filename.concat t.dir (Printf.sprintf "chunk_%06d.bin" i)
+
+(* Row ranges [(lo, hi)] of each chunk, from metadata (no file reads). *)
+let boundaries t =
+  let acc = ref [] and off = ref 0 in
+  List.iter
+    (fun n ->
+      acc := (!off, !off + n) :: !acc ;
+      off := !off + n)
+    t.chunk_rows ;
+  List.rev !acc
+
+let create ~dir ~cols =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755 ;
+  { dir; cols; chunk_rows = [] }
+
+(* Append a chunk (written immediately to disk). *)
+let append t chunk =
+  if Dense.cols chunk <> t.cols then
+    invalid_arg "Chunk_store.append: column mismatch" ;
+  let i = nchunks t in
+  let t = { t with chunk_rows = t.chunk_rows @ [ Dense.rows chunk ] } in
+  let oc = open_out_bin (chunk_path t i) in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_binary_int oc (Dense.rows chunk) ;
+      output_binary_int oc (Dense.cols chunk) ;
+      Marshal.to_channel oc (Dense.data chunk) []) ;
+  t
+
+let get t i =
+  if i < 0 || i >= nchunks t then invalid_arg "Chunk_store.get: bad index" ;
+  let ic = open_in_bin (chunk_path t i) in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rows = input_binary_int ic in
+      let cols = input_binary_int ic in
+      let data : float array = Marshal.from_channel ic in
+      Dense.of_array ~rows ~cols data)
+
+(* Stream all chunks through [f], accumulating. [f acc index chunk]. *)
+let fold t ~init ~f =
+  let acc = ref init in
+  for i = 0 to nchunks t - 1 do
+    acc := f !acc i (get t i)
+  done ;
+  !acc
+
+let iter t ~f = fold t ~init:() ~f:(fun () i c -> f i c)
+
+(* Split an in-memory matrix into chunks of [chunk_size] rows. *)
+let of_dense ~dir ~chunk_size m =
+  let t = create ~dir ~cols:(Dense.cols m) in
+  let n = Dense.rows m in
+  let rec go t lo =
+    if lo >= n then t
+    else begin
+      let hi = min n (lo + chunk_size) in
+      go (append t (Dense.sub_rows m ~lo ~hi)) hi
+    end
+  in
+  go t 0
+
+let to_dense t =
+  Dense.vcat (List.init (nchunks t) (get t))
+
+(* ore.rowapply: apply a chunk-wise transformation, writing the result
+   as a new chunked matrix. *)
+let rowapply t ~dir ~f =
+  let out = ref None in
+  iter t ~f:(fun _ chunk ->
+      let r = f chunk in
+      let store =
+        match !out with
+        | None -> create ~dir ~cols:(Dense.cols r)
+        | Some s -> s
+      in
+      out := Some (append store r)) ;
+  match !out with
+  | Some s -> s
+  | None -> create ~dir ~cols:0
+
+let delete t =
+  for i = 0 to nchunks t - 1 do
+    let p = chunk_path t i in
+    if Sys.file_exists p then Sys.remove p
+  done ;
+  if Sys.file_exists t.dir && Sys.is_directory t.dir then
+    try Sys.rmdir t.dir with Sys_error _ -> ()

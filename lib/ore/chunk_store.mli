@@ -1,0 +1,42 @@
+(** File-backed row-chunked dense matrices: the stand-in for ORE's
+    larger-than-memory ore.frame (paper §5.2.4, appendix N). A matrix is
+    a directory of row-chunk files; operators stream one chunk at a time
+    through memory. *)
+
+open La
+
+type t
+
+val dir : t -> string
+val cols : t -> int
+val nchunks : t -> int
+val rows : t -> int
+
+val boundaries : t -> (int * int) list
+(** Row ranges [lo, hi) of each chunk, from metadata (no file reads). *)
+
+val create : dir:string -> cols:int -> t
+(** An empty store (creates the directory). *)
+
+val append : t -> Dense.t -> t
+(** Write a chunk to disk and return the extended store. *)
+
+val get : t -> int -> Dense.t
+(** Read chunk [i] back from disk. *)
+
+val fold : t -> init:'a -> f:('a -> int -> Dense.t -> 'a) -> 'a
+(** Stream every chunk through [f acc index chunk]. *)
+
+val iter : t -> f:(int -> Dense.t -> unit) -> unit
+
+val of_dense : dir:string -> chunk_size:int -> Dense.t -> t
+(** Spill an in-memory matrix into chunks of [chunk_size] rows. *)
+
+val to_dense : t -> Dense.t
+
+val rowapply : t -> dir:string -> f:(Dense.t -> Dense.t) -> t
+(** ore.rowapply: apply a chunk-wise transformation, writing the result
+    as a new chunked matrix. *)
+
+val delete : t -> unit
+(** Remove the chunk files (and the directory if then empty). *)

@@ -1,0 +1,201 @@
+(* Morpheus-on-ORE (§5.2.4): the normalized matrix whose entity side S is
+   a chunked on-disk matrix while the (much smaller) attribute matrices
+   R_i stay in memory. The factorized operators stream S's chunks and
+   apply the rewrite rules per chunk: the K·(R·X) term only needs the
+   indicator mapping restricted to the chunk's rows. The materialized
+   baseline instead streams the (1+FR)× wider T chunks — that width
+   difference is exactly the paper's Tables 9/10 speed-up at scale.
+
+   Covers both PK-FK (parts indexed by row mappings over R) and M:N
+   (ent absent; S itself addressed through I_S) by reusing the uniform
+   part representation. *)
+
+open La
+open Sparse
+
+type part = {
+  mapping : int array; (* indicator column per T-row, full length n *)
+  r : Dense.t; (* in-memory attribute matrix *)
+}
+
+type t = {
+  s : Chunk_store.t option; (* chunked entity matrix, or None for M:N *)
+  n : int; (* logical row count of T *)
+  chunk_size : int; (* row granularity when ent is absent *)
+  parts : part list;
+}
+
+let of_pkfk ~s ~parts =
+  let n = Chunk_store.rows s in
+  List.iter
+    (fun { mapping; _ } ->
+      if Array.length mapping <> n then
+        invalid_arg "Chunked_normalized: mapping length mismatch")
+    parts ;
+  { s = Some s; n; chunk_size = max 1 n; parts }
+
+(* M:N: all feature matrices are attribute parts (I_S·S, I_R·R); rows
+   are streamed in [chunk_size] windows. *)
+let of_mn ~chunk_size ~parts =
+  match parts with
+  | [] -> invalid_arg "Chunked_normalized.of_mn: no parts"
+  | { mapping; _ } :: _ ->
+    let n = Array.length mapping in
+    { s = None; n; chunk_size; parts }
+
+let rows t = t.n
+
+let cols t =
+  let ent = match t.s with Some s -> Chunk_store.cols s | None -> 0 in
+  List.fold_left (fun acc p -> acc + Dense.cols p.r) ent t.parts
+
+(* Chunk boundaries [(lo, hi)] over T's rows. *)
+let windows t =
+  match t.s with
+  | Some s -> Chunk_store.boundaries s
+  | None ->
+    let rec go lo acc =
+      if lo >= t.n then List.rev acc
+      else begin
+        let hi = min t.n (lo + t.chunk_size) in
+        go hi ((lo, hi) :: acc)
+      end
+    in
+    go 0 []
+
+let col_ranges t =
+  let ent = match t.s with Some s -> Chunk_store.cols s | None -> 0 in
+  let ranges = ref [] and off = ref ent in
+  List.iter
+    (fun p ->
+      let w = Dense.cols p.r in
+      ranges := (!off, !off + w) :: !ranges ;
+      off := !off + w)
+    t.parts ;
+  ((0, ent), List.rev !ranges)
+
+(* Factorized T·X: per chunk, S_chunk·X_S plus row-gathers of the
+   precomputed R_i·X_i (computed once per call, not per chunk). *)
+let lmm t x =
+  if Dense.rows x <> cols t then invalid_arg "Chunked_normalized.lmm" ;
+  let (elo, ehi), ranges = col_ranges t in
+  let k = Dense.cols x in
+  let part_products =
+    List.map2
+      (fun p (lo, hi) -> (p, Blas.gemm p.r (Dense.sub_rows x ~lo ~hi)))
+      t.parts ranges
+  in
+  let out = Dense.create t.n k in
+  let chunk_index = ref 0 in
+  List.iter
+    (fun (lo, hi) ->
+      let base =
+        match t.s with
+        | Some s ->
+          let c = Chunk_store.get s !chunk_index in
+          incr chunk_index ;
+          Blas.gemm c (Dense.sub_rows x ~lo:elo ~hi:ehi)
+        | None -> Dense.create (hi - lo) k
+      in
+      List.iter
+        (fun (p, z) ->
+          Flops.add ((hi - lo) * k) ;
+          for i = lo to hi - 1 do
+            let zrow = p.mapping.(i) in
+            for j = 0 to k - 1 do
+              Dense.unsafe_set base (i - lo) j
+                (Dense.unsafe_get base (i - lo) j +. Dense.unsafe_get z zrow j)
+            done
+          done)
+        part_products ;
+      Dense.blit_block ~src:base ~dst:out ~row:lo ~col:0)
+    (windows t) ;
+  out
+
+(* Factorized Tᵀ·P: stream chunks once, accumulating the S-part with
+   tgemm and the R-parts with scatter-adds, then multiply through R_i. *)
+let tlmm t p =
+  if Dense.rows p <> t.n then invalid_arg "Chunked_normalized.tlmm" ;
+  let k = Dense.cols p in
+  let ent_cols = match t.s with Some s -> Chunk_store.cols s | None -> 0 in
+  let ent_acc = Dense.create ent_cols k in
+  let scatter =
+    List.map (fun part -> (part, Dense.create (Dense.rows part.r) k)) t.parts
+  in
+  let chunk_index = ref 0 in
+  List.iter
+    (fun (lo, hi) ->
+      let pslice = Dense.sub_rows p ~lo ~hi in
+      (match t.s with
+      | Some s ->
+        let c = Chunk_store.get s !chunk_index in
+        incr chunk_index ;
+        let contrib = Blas.tgemm c pslice in
+        let ad = Dense.data ent_acc and cd = Dense.data contrib in
+        for i = 0 to Array.length ad - 1 do
+          Array.unsafe_set ad i
+            (Array.unsafe_get ad i +. Array.unsafe_get cd i)
+        done
+      | None -> ()) ;
+      List.iter
+        (fun (part, acc) ->
+          Flops.add ((hi - lo) * k) ;
+          for i = lo to hi - 1 do
+            let row = part.mapping.(i) in
+            for j = 0 to k - 1 do
+              Dense.unsafe_set acc row j
+                (Dense.unsafe_get acc row j +. Dense.unsafe_get pslice (i - lo) j)
+            done
+          done)
+        scatter)
+    (windows t) ;
+  let blocks =
+    (if ent_cols > 0 then [ ent_acc ] else [])
+    @ List.map (fun (part, acc) -> Blas.tgemm part.r acc) scatter
+  in
+  Dense.vcat blocks
+
+(* Materialize T to a chunked store — the baseline path's input. *)
+let materialize ~dir t =
+  let store = ref (Chunk_store.create ~dir ~cols:(cols t)) in
+  let chunk_index = ref 0 in
+  List.iter
+    (fun (lo, hi) ->
+      let ent_block =
+        match t.s with
+        | Some s ->
+          let c = Chunk_store.get s !chunk_index in
+          incr chunk_index ;
+          [ c ]
+        | None -> []
+      in
+      let part_blocks =
+        List.map
+          (fun p ->
+            Dense.init (hi - lo) (Dense.cols p.r) (fun i j ->
+                Dense.unsafe_get p.r p.mapping.(lo + i) j))
+          t.parts
+      in
+      store := Chunk_store.append !store (Dense.hcat (ent_block @ part_blocks)))
+    (windows t) ;
+  !store
+
+(* Remove the on-disk entity chunks (no-op for M:N, which has none). *)
+let cleanup t =
+  match t.s with Some s -> Chunk_store.delete s | None -> ()
+
+(* Convenience: build from an in-memory normalized matrix by spilling
+   the entity matrix to disk. *)
+let of_normalized ~dir ~chunk_size nm =
+  let parts =
+    List.map
+      (fun (p : Morpheus.Normalized.part) ->
+        { mapping = Indicator.mapping p.Morpheus.Normalized.ind;
+          r = Mat.dense p.Morpheus.Normalized.mat })
+      (Morpheus.Normalized.parts nm)
+  in
+  match Morpheus.Normalized.ent nm with
+  | Some s ->
+    let store = Chunk_store.of_dense ~dir ~chunk_size (Mat.dense s) in
+    of_pkfk ~s:store ~parts
+  | None -> of_mn ~chunk_size ~parts

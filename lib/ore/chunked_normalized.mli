@@ -1,0 +1,43 @@
+(** Morpheus-on-ORE (§5.2.4): a normalized matrix whose entity side is a
+    chunked on-disk matrix while the small attribute matrices stay in
+    memory. Factorized operators stream the chunks and apply the rewrite
+    rules per chunk; the materialized baseline instead streams the
+    (1+FR)× wider T — that width difference is Tables 9/10's speed-up. *)
+
+open La
+
+type part = {
+  mapping : int array;  (** indicator column per T-row, full length *)
+  r : Dense.t;  (** in-memory attribute matrix *)
+}
+
+type t
+
+val of_pkfk : s:Chunk_store.t -> parts:part list -> t
+
+val of_mn : chunk_size:int -> parts:part list -> t
+(** M:N shape: no entity store; rows are streamed in [chunk_size]
+    windows. *)
+
+val of_normalized : dir:string -> chunk_size:int -> Morpheus.Normalized.t -> t
+(** Spill an in-memory normalized matrix's entity part to disk. *)
+
+val rows : t -> int
+val cols : t -> int
+
+val windows : t -> (int * int) list
+(** Streaming row windows (chunk boundaries). *)
+
+val lmm : t -> Dense.t -> Dense.t
+(** Factorized T·X: per chunk, S_chunk·X_S plus row-gathers of the
+    precomputed Rᵢ·Xᵢ. *)
+
+val tlmm : t -> Dense.t -> Dense.t
+(** Factorized Tᵀ·P: one streaming pass accumulating the S part with a
+    transposed product and the R parts with scatter-adds. *)
+
+val materialize : dir:string -> t -> Chunk_store.t
+(** Write the denormalized T chunk by chunk — the baseline's input. *)
+
+val cleanup : t -> unit
+(** Delete the on-disk entity chunks (no-op for M:N). *)

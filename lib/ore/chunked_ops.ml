@@ -1,0 +1,59 @@
+(* Streaming LA operators over chunked matrices — the operator layer the
+   paper builds on top of ore.rowapply ("This function is used to build
+   LA operators (such [as] matrix multiplications) for larger-than-
+   memory data", appendix N). Skinny results (vectors, d×k matrices)
+   stay in memory; n-row results are aligned with the input chunks. *)
+
+open La
+
+(* T·X for skinny dense X: one pass, output n×k in memory. *)
+let lmm store x =
+  if Dense.rows x <> Chunk_store.cols store then
+    invalid_arg "Chunked_ops.lmm: dim mismatch" ;
+  let blocks =
+    List.rev
+      (Chunk_store.fold store ~init:[] ~f:(fun acc _ chunk ->
+           Blas.gemm chunk x :: acc))
+  in
+  Dense.vcat blocks
+
+(* Tᵀ·P for P (n×k) in memory: stream chunks, slice P, accumulate d×k. *)
+let tlmm store p =
+  if Dense.rows p <> Chunk_store.rows store then
+    invalid_arg "Chunked_ops.tlmm: dim mismatch" ;
+  let d = Chunk_store.cols store and k = Dense.cols p in
+  let acc = Dense.create d k in
+  let offset = ref 0 in
+  Chunk_store.iter store ~f:(fun _ chunk ->
+      let lo = !offset in
+      let hi = lo + Dense.rows chunk in
+      offset := hi ;
+      let slice = Dense.sub_rows p ~lo ~hi in
+      let contrib = Blas.tgemm chunk slice in
+      let ad = Dense.data acc and cd = Dense.data contrib in
+      for i = 0 to Array.length ad - 1 do
+        Array.unsafe_set ad i (Array.unsafe_get ad i +. Array.unsafe_get cd i)
+      done) ;
+  acc
+
+(* crossprod(T): stream chunks, accumulate the d×d Gram blocks. *)
+let crossprod store =
+  let d = Chunk_store.cols store in
+  Chunk_store.fold store ~init:(Dense.create d d) ~f:(fun acc _ chunk ->
+      Dense.add acc (Blas.crossprod chunk))
+
+let row_sums store =
+  let blocks =
+    List.rev
+      (Chunk_store.fold store ~init:[] ~f:(fun acc _ chunk ->
+           Dense.row_sums chunk :: acc))
+  in
+  Dense.vcat blocks
+
+let col_sums store =
+  Chunk_store.fold store ~init:(Dense.create 1 (Chunk_store.cols store))
+    ~f:(fun acc _ chunk -> Dense.add acc (Dense.col_sums chunk))
+
+let sum store =
+  Chunk_store.fold store ~init:0.0 ~f:(fun acc _ chunk ->
+      acc +. Dense.sum chunk)

@@ -1,0 +1,18 @@
+(** Streaming LA operators over chunked matrices — the operator layer
+    built on ore.rowapply (appendix N). Skinny results stay in memory;
+    n-row results align with the input chunks. *)
+
+open La
+
+val lmm : Chunk_store.t -> Dense.t -> Dense.t
+(** T·X for skinny dense X, one pass over the chunks. *)
+
+val tlmm : Chunk_store.t -> Dense.t -> Dense.t
+(** Tᵀ·P for in-memory P (n×k): stream, slice, accumulate d×k. *)
+
+val crossprod : Chunk_store.t -> Dense.t
+(** TᵀT accumulated chunk by chunk. *)
+
+val row_sums : Chunk_store.t -> Dense.t
+val col_sums : Chunk_store.t -> Dense.t
+val sum : Chunk_store.t -> float

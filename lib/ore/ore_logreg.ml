@@ -1,0 +1,40 @@
+(* Logistic regression over chunked data, both execution paths of the
+   paper's §5.2.4 scalability experiment (Tables 9 and 10): the
+   materialized path streams the wide T from disk; the Morpheus path
+   streams only the narrow S (PK-FK) or nothing but indicator windows
+   (M:N) while R stays in memory. *)
+
+open La
+
+let gradient_weights y scores =
+  Dense.init (Dense.rows y) 1 (fun i _ ->
+      let yi = Dense.get y i 0 and s = Dense.get scores i 0 in
+      yi /. (1.0 +. Stdlib.exp (yi *. s)))
+
+(* One GD iteration over a materialized chunk store. *)
+let iteration_materialized ~alpha t_store y w =
+  let scores = Chunked_ops.lmm t_store w in
+  let p = gradient_weights y scores in
+  let grad = Chunked_ops.tlmm t_store p in
+  Dense.add w (Dense.scale alpha grad)
+
+(* One GD iteration over the chunked normalized matrix. *)
+let iteration_factorized ~alpha t y w =
+  let scores = Chunked_normalized.lmm t w in
+  let p = gradient_weights y scores in
+  let grad = Chunked_normalized.tlmm t p in
+  Dense.add w (Dense.scale alpha grad)
+
+let train_materialized ?(alpha = 1e-4) ?(iters = 5) t_store y =
+  let w = ref (Dense.create (Chunk_store.cols t_store) 1) in
+  for _ = 1 to iters do
+    w := iteration_materialized ~alpha t_store y !w
+  done ;
+  !w
+
+let train_factorized ?(alpha = 1e-4) ?(iters = 5) t y =
+  let w = ref (Dense.create (Chunked_normalized.cols t) 1) in
+  for _ = 1 to iters do
+    w := iteration_factorized ~alpha t y !w
+  done ;
+  !w

@@ -1,0 +1,24 @@
+(** Logistic regression over chunked data: both execution paths of the
+    paper's §5.2.4 scalability experiment (Tables 9/10). The
+    materialized path streams the wide T from disk; the Morpheus path
+    streams only the narrow S (or indicator windows for M:N) with R in
+    memory. *)
+
+open La
+
+val gradient_weights : Dense.t -> Dense.t -> Dense.t
+(** g = Y / (1 + exp(Y·scores)) for ±1 labels. *)
+
+val iteration_materialized :
+  alpha:float -> Chunk_store.t -> Dense.t -> Dense.t -> Dense.t
+(** One GD step streaming the materialized T. *)
+
+val iteration_factorized :
+  alpha:float -> Chunked_normalized.t -> Dense.t -> Dense.t -> Dense.t
+(** One GD step over the chunked normalized matrix. *)
+
+val train_materialized :
+  ?alpha:float -> ?iters:int -> Chunk_store.t -> Dense.t -> Dense.t
+
+val train_factorized :
+  ?alpha:float -> ?iters:int -> Chunked_normalized.t -> Dense.t -> Dense.t

@@ -1,0 +1,89 @@
+(* Minimal CSV reader/writer (RFC-4180 quoting for the cases our data
+   produces). The paper's §3.2 snippet starts from read.csv("S.csv");
+   this module is that entry point. *)
+
+let split_line line =
+  let buf = Buffer.create 16 in
+  let fields = ref [] in
+  let in_quotes = ref false in
+  let n = String.length line in
+  let i = ref 0 in
+  while !i < n do
+    let c = line.[!i] in
+    if !in_quotes then begin
+      if c = '"' then
+        if !i + 1 < n && line.[!i + 1] = '"' then begin
+          Buffer.add_char buf '"' ;
+          incr i
+        end
+        else in_quotes := false
+      else Buffer.add_char buf c
+    end
+    else if c = '"' then in_quotes := true
+    else if c = ',' then begin
+      fields := Buffer.contents buf :: !fields ;
+      Buffer.clear buf
+    end
+    else Buffer.add_char buf c ;
+    incr i
+  done ;
+  fields := Buffer.contents buf :: !fields ;
+  List.rev !fields
+
+let escape_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+(* Read a CSV with a header line into (header, rows of values). *)
+let read path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let header =
+        match In_channel.input_line ic with
+        | Some line -> split_line line
+        | None -> invalid_arg ("Csv.read: empty file " ^ path)
+      in
+      let rows = ref [] in
+      let rec loop () =
+        match In_channel.input_line ic with
+        | None -> ()
+        | Some "" -> loop ()
+        | Some line ->
+          rows :=
+            Array.of_list (List.map Value.of_string (split_line line))
+            :: !rows ;
+          loop ()
+      in
+      loop () ;
+      (header, List.rev !rows))
+
+(* Read a CSV into a table, assigning roles via [role_of] on the header
+   names (defaults to numeric features). *)
+let read_table ?(role_of = fun _ -> Schema.Numeric_feature) ~table_name path =
+  let header, rows = read path in
+  let schema =
+    Schema.create ~table_name
+      (List.map (fun n -> Schema.column ~name:n ~role:(role_of n)) header)
+  in
+  Table.of_rows schema rows
+
+let write_table path table =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc
+        (String.concat ","
+           (List.map escape_field (Schema.names (Table.schema table)))) ;
+      output_char oc '\n' ;
+      for i = 0 to Table.nrows table - 1 do
+        let row = Table.row table i in
+        output_string oc
+          (String.concat ","
+             (Array.to_list
+                (Array.map (fun v -> escape_field (Value.to_string v)) row))) ;
+        output_char oc '\n'
+      done)

@@ -1,0 +1,17 @@
+(** Minimal CSV reader/writer (RFC-4180 quoting) — the paper's §3.2
+    pipelines start from [read.csv]. *)
+
+val split_line : string -> string list
+(** Split one CSV record, honoring quotes and escaped quotes. *)
+
+val escape_field : string -> string
+
+val read : string -> string list * Value.t array list
+(** [(header, rows)]; values are parsed with {!Value.of_string}. *)
+
+val read_table :
+  ?role_of:(string -> Schema.role) -> table_name:string -> string -> Table.t
+(** Read into a table, assigning roles by header name (default:
+    numeric features). *)
+
+val write_table : string -> Table.t -> unit

@@ -1,0 +1,87 @@
+(* Feature encoding: turn a table's feature columns into a matrix.
+   Numeric features map to one column each; nominal features are one-hot
+   encoded, which is how the paper's real datasets become "sparse feature
+   matrices to handle nominal features" (§5, Table 6). *)
+
+open La
+open Sparse
+
+type feature_map = {
+  (* for each encoded output column: (source column, optional category) *)
+  output_names : string array;
+  width : int;
+}
+
+(* Distinct categories of a column in first-appearance order. *)
+let categories col =
+  let seen = Hashtbl.create 64 in
+  let order = ref [] in
+  Array.iter
+    (fun v ->
+      if not (Hashtbl.mem seen v) then begin
+        Hashtbl.add seen v (Hashtbl.length seen) ;
+        order := v :: !order
+      end)
+    col ;
+  (seen, Array.of_list (List.rev !order))
+
+(* Encode the feature columns of [table] into a matrix. [sparse] forces a
+   CSR result (always advisable when nominal features are present). *)
+let features ?(sparse = false) table =
+  let cols = Schema.feature_columns (Table.schema table) in
+  let n = Table.nrows table in
+  let blocks =
+    List.map
+      (fun (c : Schema.column) ->
+        let data = Table.column table c.Schema.name in
+        match c.Schema.role with
+        | Schema.Numeric_feature ->
+          let names = [| c.Schema.name |] in
+          let triplets = ref [] in
+          Array.iteri
+            (fun i v ->
+              let f = Value.to_float v in
+              if f <> 0.0 then triplets := (i, 0, f) :: !triplets)
+            data ;
+          (names, Csr.of_triplets ~rows:n ~cols:1 !triplets)
+        | Schema.Nominal_feature ->
+          let index, order = categories data in
+          let width = Array.length order in
+          let names =
+            Array.map
+              (fun v -> c.Schema.name ^ "=" ^ Value.to_string v)
+              order
+          in
+          let triplets = ref [] in
+          Array.iteri
+            (fun i v -> triplets := (i, Hashtbl.find index v, 1.0) :: !triplets)
+            data ;
+          (names, Csr.of_triplets ~rows:n ~cols:width !triplets)
+        | _ -> assert false)
+      cols
+  in
+  let names = Array.concat (List.map fst blocks) in
+  let csr = Csr.hcat (List.map snd blocks) in
+  let fmap = { output_names = names; width = Array.length names } in
+  let mat =
+    if sparse then Mat.of_csr csr else Mat.of_dense (Csr.to_dense csr)
+  in
+  (mat, fmap)
+
+(* Extract the target column Y as an n×1 dense matrix. *)
+let target table =
+  match Schema.target (Table.schema table) with
+  | None -> invalid_arg ("Encode.target: no target in " ^ Table.name table)
+  | Some name ->
+    Dense.of_col_array (Array.map Value.to_float (Table.column table name))
+
+(* Binarize a numeric target at its median, for logistic regression on
+   datasets whose target is numeric (paper §5: "numeric target features
+   ... which we binarize for logistic regression"). Yields ±1 labels. *)
+let binarize y =
+  let v = Dense.col_to_array y in
+  let sorted = Array.copy v in
+  Array.sort compare sorted ;
+  let median = sorted.(Array.length sorted / 2) in
+  Dense.of_col_array
+    (Array.map (fun x -> if x > median then 1.0 else -1.0) v)

@@ -1,0 +1,21 @@
+(** Feature encoding: numeric columns map to one matrix column each,
+    nominal columns are one-hot encoded — how the paper's real datasets
+    become "sparse feature matrices" (Table 6). *)
+
+open La
+open Sparse
+
+type feature_map = {
+  output_names : string array;  (** encoded column names, e.g. ["Country=US"] *)
+  width : int;
+}
+
+val features : ?sparse:bool -> Table.t -> Mat.t * feature_map
+(** Encode a table's feature columns. [sparse] forces a CSR result. *)
+
+val target : Table.t -> Dense.t
+(** The declared target column as an n×1 matrix; raises if absent. *)
+
+val binarize : Dense.t -> Dense.t
+(** Median split into ±1 labels (the paper's treatment of numeric
+    targets for logistic regression, §5). *)

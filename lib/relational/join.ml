@@ -1,0 +1,218 @@
+(* Join machinery. This is the substrate step the paper's §3.1/§3.6
+   describe: instead of materializing T = S ⋈ R, build the indicator
+   matrices (K for PK-FK, I_S/I_R for M:N) that the normalized matrix
+   carries. The materializing joins are also provided — they are the
+   baseline "M" path and the ground truth for tests. *)
+
+open Sparse
+
+(* ---- PK-FK ---- *)
+
+(* Row numbers of R indexed by primary-key value. *)
+let pk_index r ~pk =
+  let tbl = Hashtbl.create (Table.nrows r) in
+  let col = Table.column r pk in
+  Array.iteri
+    (fun i v ->
+      if Hashtbl.mem tbl v then
+        invalid_arg
+          (Printf.sprintf "Join.pk_index: duplicate primary key %s"
+             (Value.to_string v)) ;
+      Hashtbl.add tbl v i)
+    col ;
+  tbl
+
+(* The indicator matrix K of §3.1 for S ⋈_{fk = pk} R: K[i, j] = 1 iff
+   S.fk of row i equals the pk of R's row j. Raises if a foreign key is
+   dangling (the paper assumes referential integrity). *)
+let pkfk_indicator s ~fk r ~pk =
+  let idx = pk_index r ~pk in
+  let col = Table.column s fk in
+  let mapping =
+    Array.map
+      (fun v ->
+        match Hashtbl.find_opt idx v with
+        | Some j -> j
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Join.pkfk_indicator: dangling key %s"
+               (Value.to_string v)))
+      col
+  in
+  Indicator.create ~cols:(Table.nrows r) mapping
+
+(* Drop R tuples never referenced by S and re-map K accordingly
+   (pre-processing of §3.1: "we can remove from R all the tuples that are
+   never referred to in S"). Returns the trimmed R and indicator. *)
+let trim_unreferenced s ~fk r ~pk =
+  let k = pkfk_indicator s ~fk r ~pk in
+  let counts = Indicator.col_counts k in
+  let keep =
+    Array.of_list
+      (List.filter
+         (fun j -> counts.(j) > 0.0)
+         (List.init (Table.nrows r) Fun.id))
+  in
+  if Array.length keep = Table.nrows r then (r, k)
+  else begin
+    let new_index = Array.make (Table.nrows r) (-1) in
+    Array.iteri (fun new_j old_j -> new_index.(old_j) <- new_j) keep ;
+    let mapping =
+      Array.map (fun j -> new_index.(j)) (Indicator.mapping k)
+    in
+    (Table.select_rows r keep, Indicator.create ~cols:(Array.length keep) mapping)
+  end
+
+(* Materialized PK-FK join: π(S ⋈ R) keeping all of S's columns and R's
+   non-key columns, in S-row order (the T table of §2). *)
+let materialize_pkfk s ~fk r ~pk =
+  let k = pkfk_indicator s ~fk r ~pk in
+  let r_cols =
+    List.filter
+      (fun n -> not (String.equal n pk))
+      (Schema.names (Table.schema r))
+  in
+  let r_proj = Table.project r r_cols in
+  let s_schema = Table.schema s in
+  let schema =
+    Schema.create ~table_name:(Table.name s ^ "_join_" ^ Table.name r)
+      (s_schema.Schema.columns @ (Table.schema r_proj).Schema.columns)
+  in
+  let rows =
+    List.init (Table.nrows s) (fun i ->
+        Array.append (Table.row s i)
+          (Table.row r_proj (Indicator.col_of_row k i)))
+  in
+  Table.of_rows schema rows
+
+(* ---- M:N ---- *)
+
+(* General equi-join S ⋈_{js = jr} R. Computes T' = π(S) ⋈ π(R) with
+   non-deduplicating projections (§3.6) and returns the two indicator
+   matrices (I_S, I_R): row t of the join output is (S row I_S(t),
+   R row I_R(t)). Output rows are ordered by S row then R row. *)
+let mn_indicators s ~js r ~jr =
+  let by_key = Hashtbl.create (Table.nrows r) in
+  let jr_col = Table.column r jr in
+  Array.iteri
+    (fun j v ->
+      let prev = Option.value (Hashtbl.find_opt by_key v) ~default:[] in
+      Hashtbl.replace by_key v (j :: prev))
+    jr_col ;
+  Hashtbl.iter (fun k v -> Hashtbl.replace by_key k (List.rev v)) by_key ;
+  let js_col = Table.column s js in
+  let is_rev = ref [] and ir_rev = ref [] and count = ref 0 in
+  Array.iteri
+    (fun i v ->
+      match Hashtbl.find_opt by_key v with
+      | None -> ()
+      | Some rjs ->
+        List.iter
+          (fun j ->
+            is_rev := i :: !is_rev ;
+            ir_rev := j :: !ir_rev ;
+            incr count)
+          rjs)
+    js_col ;
+  let is_map = Array.of_list (List.rev !is_rev) in
+  let ir_map = Array.of_list (List.rev !ir_rev) in
+  ( Indicator.create ~cols:(Table.nrows s) is_map,
+    Indicator.create ~cols:(Table.nrows r) ir_map )
+
+(* Drop S and R tuples that contribute to no output tuple, per §3.6. *)
+let mn_trim s ~js r ~jr =
+  let is_, ir = mn_indicators s ~js r ~jr in
+  let trim tbl ind =
+    let counts = Indicator.col_counts ind in
+    let keep =
+      Array.of_list
+        (List.filter
+           (fun j -> counts.(j) > 0.0)
+           (List.init (Table.nrows tbl) Fun.id))
+    in
+    if Array.length keep = Table.nrows tbl then (tbl, ind)
+    else begin
+      let new_index = Array.make (Table.nrows tbl) (-1) in
+      Array.iteri (fun nj oj -> new_index.(oj) <- nj) keep ;
+      let mapping = Array.map (fun j -> new_index.(j)) (Indicator.mapping ind) in
+      (Table.select_rows tbl keep, Indicator.create ~cols:(Array.length keep) mapping)
+    end
+  in
+  let s', is' = trim s is_ in
+  let r', ir' = trim r ir in
+  (s', is', r', ir')
+
+(* ---- multi-table M:N chains (appendix E) ----
+
+   T = R₁ ⋈ R₂ ⋈ … ⋈ R_q with equi-join conditions linking consecutive
+   tables: conditions.(j) = (column of R_{j+1}, column of R_{j+2}).
+   Returns one indicator matrix per table, so the normalized matrix is
+   (I_R1, …, I_Rq, R₁, …, R_q) with T = [I_R1·R₁, …, I_Rq·R_q]. Output
+   tuples are ordered lexicographically by (row of R₁, row of R₂, …). *)
+let chain_indicators tables conditions =
+  let tables = Array.of_list tables in
+  let q = Array.length tables in
+  if List.length conditions <> q - 1 then
+    invalid_arg "Join.chain_indicators: need one condition per adjacent pair" ;
+  (* paths.(t) = reversed list of row ids through tables 0..current *)
+  let paths = ref (List.init (Table.nrows tables.(0)) (fun i -> [ i ])) in
+  List.iteri
+    (fun j (left_col, right_col) ->
+      let left = tables.(j) and right = tables.(j + 1) in
+      let by_key = Hashtbl.create (Table.nrows right) in
+      Array.iteri
+        (fun r v ->
+          let prev = Option.value (Hashtbl.find_opt by_key v) ~default:[] in
+          Hashtbl.replace by_key v (r :: prev))
+        (Table.column right right_col) ;
+      Hashtbl.iter (fun k v -> Hashtbl.replace by_key k (List.rev v)) by_key ;
+      let left_vals = Table.column left left_col in
+      paths :=
+        List.concat_map
+          (fun path ->
+            let cur = List.hd path in
+            match Hashtbl.find_opt by_key left_vals.(cur) with
+            | None -> []
+            | Some rs -> List.map (fun r -> r :: path) rs)
+          !paths)
+    conditions ;
+  let out = Array.of_list (List.map (fun p -> Array.of_list (List.rev p)) !paths) in
+  List.init q (fun j ->
+      Indicator.create ~cols:(Table.nrows tables.(j))
+        (Array.map (fun path -> path.(j)) out))
+
+(* Materialized multi-table chain join, same row order. *)
+let materialize_chain tables conditions =
+  let inds = chain_indicators tables conditions in
+  let tables_a = Array.of_list tables in
+  let schema =
+    Schema.create
+      ~table_name:
+        (String.concat "_chain_" (List.map Table.name tables))
+      (List.concat_map (fun t -> (Table.schema t).Schema.columns) tables)
+  in
+  let n = Indicator.rows (List.hd inds) in
+  let rows =
+    List.init n (fun t ->
+        Array.concat
+          (List.mapi
+             (fun j ind -> Table.row tables_a.(j) (Indicator.col_of_row ind t))
+             inds))
+  in
+  Table.of_rows schema rows
+
+(* Materialized M:N join with the same row order as [mn_indicators]. *)
+let materialize_mn s ~js r ~jr =
+  let is_, ir = mn_indicators s ~js r ~jr in
+  let schema =
+    Schema.create ~table_name:(Table.name s ^ "_mnjoin_" ^ Table.name r)
+      ((Table.schema s).Schema.columns @ (Table.schema r).Schema.columns)
+  in
+  let n = Indicator.rows is_ in
+  let rows =
+    List.init n (fun t ->
+        Array.append
+          (Table.row s (Indicator.col_of_row is_ t))
+          (Table.row r (Indicator.col_of_row ir t)))
+  in
+  Table.of_rows schema rows

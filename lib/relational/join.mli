@@ -1,0 +1,49 @@
+(** Join machinery: instead of materializing T = S ⋈ R, build the
+    indicator matrices the normalized matrix carries (K for PK-FK,
+    §3.1; I_S/I_R for M:N, §3.6; one per table for chains, appendix E).
+    Materializing joins are also provided — the baseline "M" path and
+    the ground truth for tests. *)
+
+open Sparse
+
+(** {1 PK-FK} *)
+
+val pk_index : Table.t -> pk:string -> (Value.t, int) Hashtbl.t
+(** Row numbers of R keyed by primary-key value; raises on duplicate
+    keys. *)
+
+val pkfk_indicator : Table.t -> fk:string -> Table.t -> pk:string -> Indicator.t
+(** The K of §3.1 for S ⋈_{fk=pk} R; raises on dangling foreign keys. *)
+
+val trim_unreferenced :
+  Table.t -> fk:string -> Table.t -> pk:string -> Table.t * Indicator.t
+(** Drop R tuples never referenced by S and re-map K (§3.1's
+    pre-processing). Returns the trimmed R with its indicator. *)
+
+val materialize_pkfk : Table.t -> fk:string -> Table.t -> pk:string -> Table.t
+(** π(S ⋈ R) with S's columns and R's non-key columns, in S-row order. *)
+
+(** {1 M:N} *)
+
+val mn_indicators :
+  Table.t -> js:string -> Table.t -> jr:string -> Indicator.t * Indicator.t
+(** (I_S, I_R) for the general equi-join S ⋈_{js=jr} R (§3.6); output
+    tuples ordered by (S row, R row). *)
+
+val mn_trim :
+  Table.t -> js:string -> Table.t -> jr:string ->
+  Table.t * Indicator.t * Table.t * Indicator.t
+(** Additionally drop S and R tuples contributing to no output tuple. *)
+
+val materialize_mn : Table.t -> js:string -> Table.t -> jr:string -> Table.t
+
+(** {1 Multi-table M:N chains (appendix E)} *)
+
+val chain_indicators :
+  Table.t list -> (string * string) list -> Indicator.t list
+(** [chain_indicators \[R₁; …; R_q\] conditions] for the chain join
+    R₁ ⋈ R₂ ⋈ … ⋈ R_q, where [conditions] links consecutive tables as
+    [(column of Rⱼ, column of Rⱼ₊₁)]. Returns one indicator per table:
+    T = [I_R1·R₁, …, I_Rq·R_q]. *)
+
+val materialize_chain : Table.t list -> (string * string) list -> Table.t

@@ -1,0 +1,66 @@
+(* Column types and schemas. A schema describes a base table in a
+   normalized database: which column is the primary key, which are
+   foreign keys, which are numeric features, which are nominal features
+   (to be one-hot encoded, as the paper does for the real datasets), and
+   which is the ML target Y. *)
+
+type role =
+  | Primary_key
+  | Foreign_key of string (* name of the referenced table *)
+  | Numeric_feature
+  | Nominal_feature
+  | Target
+  | Ignored
+
+type column = { name : string; role : role }
+
+type t = { table_name : string; columns : column list }
+
+let create ~table_name columns = { table_name; columns }
+
+let column ~name ~role = { name; role }
+
+let names t = List.map (fun c -> c.name) t.columns
+
+let find t name =
+  match List.find_opt (fun c -> String.equal c.name name) t.columns with
+  | Some c -> c
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Schema.find: no column %s in %s" name t.table_name)
+
+let index_of t name =
+  let rec go i = function
+    | [] ->
+      invalid_arg
+        (Printf.sprintf "Schema.index_of: no column %s in %s" name
+           t.table_name)
+    | c :: rest -> if String.equal c.name name then i else go (i + 1) rest
+  in
+  go 0 t.columns
+
+let columns_with_role t role =
+  List.filter (fun c -> c.role = role) t.columns
+
+let primary_key t =
+  match columns_with_role t Primary_key with
+  | [ c ] -> c.name
+  | [] -> invalid_arg ("Schema: no primary key in " ^ t.table_name)
+  | _ -> invalid_arg ("Schema: multiple primary keys in " ^ t.table_name)
+
+let foreign_keys t =
+  List.filter_map
+    (fun c ->
+      match c.role with Foreign_key target -> Some (c.name, target) | _ -> None)
+    t.columns
+
+let feature_columns t =
+  List.filter
+    (fun c -> c.role = Numeric_feature || c.role = Nominal_feature)
+    t.columns
+
+let target t =
+  match columns_with_role t Target with
+  | [ c ] -> Some c.name
+  | [] -> None
+  | _ -> invalid_arg ("Schema: multiple targets in " ^ t.table_name)

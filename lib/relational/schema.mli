@@ -1,0 +1,39 @@
+(** Column roles and schemas: which column is the key, which are
+    numeric/nominal features (nominal get one-hot encoded, as the paper
+    does for the real datasets), and which is the ML target Y. *)
+
+type role =
+  | Primary_key
+  | Foreign_key of string  (** name of the referenced table *)
+  | Numeric_feature
+  | Nominal_feature
+  | Target
+  | Ignored
+
+type column = { name : string; role : role }
+
+type t = { table_name : string; columns : column list }
+
+val create : table_name:string -> column list -> t
+val column : name:string -> role:role -> column
+
+val names : t -> string list
+
+val find : t -> string -> column
+(** Raises [Invalid_argument] on unknown names. *)
+
+val index_of : t -> string -> int
+
+val columns_with_role : t -> role -> column list
+
+val primary_key : t -> string
+(** Raises unless exactly one primary key is declared. *)
+
+val foreign_keys : t -> (string * string) list
+(** [(column, referenced table)] pairs. *)
+
+val feature_columns : t -> column list
+(** Numeric and nominal features, in declaration order. *)
+
+val target : t -> string option
+(** Raises if several targets are declared. *)

@@ -1,0 +1,59 @@
+(* In-memory column-store tables: the entity table S and attribute tables
+   R_i of the paper live here before being encoded into matrices. *)
+
+type t = {
+  schema : Schema.t;
+  columns : Value.t array array; (* columns.(c).(row) *)
+  nrows : int;
+}
+
+let schema t = t.schema
+let nrows t = t.nrows
+let ncols t = Array.length t.columns
+let name t = t.schema.Schema.table_name
+
+let create schema columns =
+  let ncols = List.length schema.Schema.columns in
+  if Array.length columns <> ncols then
+    invalid_arg "Table.create: column count mismatch with schema" ;
+  let nrows = if ncols = 0 then 0 else Array.length columns.(0) in
+  Array.iter
+    (fun col ->
+      if Array.length col <> nrows then invalid_arg "Table.create: ragged")
+    columns ;
+  { schema; columns; nrows }
+
+let of_rows schema rows =
+  let ncols = List.length schema.Schema.columns in
+  let nrows = List.length rows in
+  let columns = Array.init ncols (fun _ -> Array.make nrows Value.Null) in
+  List.iteri
+    (fun i row ->
+      if Array.length row <> ncols then invalid_arg "Table.of_rows: ragged" ;
+      Array.iteri (fun c v -> columns.(c).(i) <- v) row)
+    rows ;
+  { schema; columns; nrows }
+
+let column t name = t.columns.(Schema.index_of t.schema name)
+
+let get t ~row ~col_name = (column t col_name).(row)
+
+let row t i = Array.map (fun col -> col.(i)) t.columns
+
+let rows t = List.init t.nrows (row t)
+
+(* Keep only the rows at the given indices (used to drop tuples that do
+   not contribute to the join output, §3.1 / §3.7). *)
+let select_rows t idx =
+  { t with
+    columns = Array.map (fun col -> Array.map (fun i -> col.(i)) idx) t.columns;
+    nrows = Array.length idx }
+
+(* Project to a subset of columns (keeps schema roles). *)
+let project t names =
+  let cols =
+    List.map (fun n -> Schema.find t.schema n) names
+  in
+  let schema = Schema.create ~table_name:(name t) cols in
+  let columns = Array.of_list (List.map (fun n -> column t n) names) in
+  { schema; columns; nrows = t.nrows }

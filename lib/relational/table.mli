@@ -1,0 +1,29 @@
+(** In-memory column-store tables: the entity table S and attribute
+    tables Rᵢ before they are encoded into matrices. *)
+
+type t
+
+val schema : t -> Schema.t
+val nrows : t -> int
+val ncols : t -> int
+val name : t -> string
+
+val create : Schema.t -> Value.t array array -> t
+(** From columns ([columns.(c).(row)]); raises on ragged input. *)
+
+val of_rows : Schema.t -> Value.t array list -> t
+
+val column : t -> string -> Value.t array
+(** The named column (shared, do not mutate). *)
+
+val get : t -> row:int -> col_name:string -> Value.t
+
+val row : t -> int -> Value.t array
+
+val rows : t -> Value.t array list
+
+val select_rows : t -> int array -> t
+(** Keep only the rows at the given indices (the §3.1/§3.7 trimming). *)
+
+val project : t -> string list -> t
+(** Keep only the named columns (roles preserved). *)

@@ -1,0 +1,67 @@
+(* Cell values for the relational substrate. The paper's pipelines start
+   from base tables with numeric and nominal (categorical) features plus
+   integer keys; this small algebra is all the joins and encoders need. *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | String of string
+
+let to_string = function
+  | Null -> ""
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%.12g" f
+  | String s -> s
+
+let of_string s =
+  let s = String.trim s in
+  if s = "" then Null
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> (
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> String s)
+
+let to_float = function
+  | Null -> 0.0
+  | Int i -> float_of_int i
+  | Float f -> f
+  | String s -> (
+    match float_of_string_opt s with
+    | Some f -> f
+    | None -> invalid_arg ("Value.to_float: non-numeric " ^ s))
+
+let to_int = function
+  | Int i -> i
+  | Float f when Float.is_integer f -> int_of_float f
+  | v -> invalid_arg ("Value.to_int: " ^ to_string v)
+
+let equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | Int x, Float y | Float y, Int x -> float_of_int x = y
+  | String x, String y -> String.equal x y
+  | _ -> false
+
+let compare a b =
+  let rank = function Null -> 0 | Int _ | Float _ -> 1 | String _ -> 2 in
+  match (a, b) with
+  | Int x, Int y -> Stdlib.compare x y
+  | Float x, Float y -> Stdlib.compare x y
+  | Int x, Float y -> Stdlib.compare (float_of_int x) y
+  | Float x, Int y -> Stdlib.compare x (float_of_int y)
+  | String x, String y -> String.compare x y
+  | a, b -> Stdlib.compare (rank a) (rank b)
+
+let hash = function
+  | Null -> 0
+  | Int i -> Hashtbl.hash (float_of_int i)
+  | Float f -> Hashtbl.hash f
+  | String s -> Hashtbl.hash s
+
+let pp ppf v = Fmt.string ppf (to_string v)

@@ -1,0 +1,31 @@
+(** Cell values for the relational substrate: numeric and nominal
+    (categorical) features plus integer keys — all the joins and
+    encoders need. *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | String of string
+
+val to_string : t -> string
+
+val of_string : string -> t
+(** Parses ints, then floats, then falls back to strings; blank input
+    is [Null]. *)
+
+val to_float : t -> float
+(** [Null] is 0; raises on non-numeric strings. *)
+
+val to_int : t -> int
+(** Accepts exact-integer floats; raises otherwise. *)
+
+val equal : t -> t -> bool
+(** Numeric equality crosses [Int]/[Float]. *)
+
+val compare : t -> t -> int
+
+val hash : t -> int
+(** Consistent with {!equal} (ints hash as their float value). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,67 @@
+(* Coordinate-format sparse matrices. Used for the intermediate
+   P = K_aᵀ K_b of the cross-product / DMM rewrites (paper appendix C):
+   P is built by counting co-occurrences and immediately consumed by
+   R_aᵀ (P R_b), so a lightweight triplet form is the right tool. *)
+
+open La
+
+type t = {
+  rows : int;
+  cols : int;
+  entries : (int * int * float) array;
+}
+
+let rows m = m.rows
+let cols m = m.cols
+let nnz m = Array.length m.entries
+let entries m = m.entries
+
+let of_triplets ~rows ~cols triplets =
+  List.iter
+    (fun (i, j, _) ->
+      if i < 0 || i >= rows || j < 0 || j >= cols then
+        invalid_arg "Coo.of_triplets: index out of range")
+    triplets ;
+  { rows; cols; entries = Array.of_list triplets }
+
+let to_dense m =
+  let d = Dense.create m.rows m.cols in
+  Array.iter
+    (fun (i, j, v) -> Dense.unsafe_set d i j (Dense.unsafe_get d i j +. v))
+    m.entries ;
+  d
+
+(* C = P * X for dense X: C[i,:] += v · X[j,:]. *)
+let mult m x =
+  if Dense.rows x <> m.cols then invalid_arg "Coo.mult: dim mismatch" ;
+  let k = Dense.cols x in
+  Flops.add (2 * nnz m * k) ;
+  let c = Dense.create m.rows k in
+  let cd = Dense.data c and xd = Dense.data x in
+  Array.iter
+    (fun (i, j, v) ->
+      let cbase = i * k and xbase = j * k in
+      for q = 0 to k - 1 do
+        Array.unsafe_set cd (cbase + q)
+          (Array.unsafe_get cd (cbase + q)
+          +. (v *. Array.unsafe_get xd (xbase + q)))
+      done)
+    m.entries ;
+  c
+
+(* C = P * A for sparse A (CSR): C[i,:] += v · A[j,:], dense output. *)
+let mult_csr m a =
+  if Csr.rows a <> m.cols then invalid_arg "Coo.mult_csr: dim mismatch" ;
+  let k = Csr.cols a in
+  let c = Dense.create m.rows k in
+  let cd = Dense.data c in
+  Array.iter
+    (fun (i, j, v) ->
+      let cbase = i * k in
+      Csr.iter_row a j (fun col x ->
+          Array.unsafe_set cd (cbase + col)
+            (Array.unsafe_get cd (cbase + col) +. (v *. x))))
+    m.entries ;
+  c
+
+let pp ppf m = Fmt.pf ppf "coo %dx%d (nnz=%d)" m.rows m.cols (nnz m)

@@ -1,0 +1,25 @@
+(** Coordinate-format sparse matrices: the intermediate
+    [P = K_aᵀ·K_b] of the cross-product and DMM rewrites (appendix C),
+    built once and immediately consumed. *)
+
+open La
+
+type t
+
+val rows : t -> int
+val cols : t -> int
+val nnz : t -> int
+val entries : t -> (int * int * float) array
+
+val of_triplets : rows:int -> cols:int -> (int * int * float) list -> t
+(** Raises on out-of-range indices; duplicates are kept (they add). *)
+
+val to_dense : t -> Dense.t
+
+val mult : t -> Dense.t -> Dense.t
+(** [mult p x] is [P·X]. *)
+
+val mult_csr : t -> Csr.t -> Dense.t
+(** [P·A] for sparse [A], dense output. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,408 @@
+(* Compressed Sparse Row matrices. The real datasets of the paper
+   (Table 6) are sparse one-hot feature matrices, and Morpheus "supports
+   both dense and sparse matrices" (§3.1); this module is the sparse half
+   of that claim, playing the role of R's Matrix package. *)
+
+open La
+
+type t = {
+  rows : int;
+  cols : int;
+  row_ptr : int array; (* length rows+1 *)
+  col_idx : int array; (* length nnz, sorted within each row *)
+  values : float array; (* length nnz *)
+}
+
+let rows m = m.rows
+let cols m = m.cols
+let dims m = (m.rows, m.cols)
+let nnz m = Array.length m.values
+
+let check m =
+  assert (Array.length m.row_ptr = m.rows + 1) ;
+  assert (m.row_ptr.(0) = 0) ;
+  assert (m.row_ptr.(m.rows) = nnz m) ;
+  for i = 0 to m.rows - 1 do
+    assert (m.row_ptr.(i) <= m.row_ptr.(i + 1))
+  done ;
+  Array.iter (fun j -> assert (j >= 0 && j < m.cols)) m.col_idx ;
+  m
+
+(* Build from (row, col, value) triplets; duplicate entries are summed. *)
+let of_triplets ~rows ~cols triplets =
+  List.iter
+    (fun (i, j, _) ->
+      if i < 0 || i >= rows || j < 0 || j >= cols then
+        invalid_arg "Csr.of_triplets: index out of range")
+    triplets ;
+  let sorted =
+    List.sort
+      (fun (i1, j1, _) (i2, j2, _) -> compare (i1, j1) (i2, j2))
+      triplets
+  in
+  (* merge duplicates *)
+  let merged =
+    List.fold_left
+      (fun acc (i, j, v) ->
+        match acc with
+        | (i', j', v') :: rest when i = i' && j = j' -> (i, j, v +. v') :: rest
+        | _ -> (i, j, v) :: acc)
+      [] sorted
+    |> List.rev
+    |> List.filter (fun (_, _, v) -> v <> 0.0)
+  in
+  let n = List.length merged in
+  let row_ptr = Array.make (rows + 1) 0 in
+  let col_idx = Array.make n 0 in
+  let values = Array.make n 0.0 in
+  List.iteri
+    (fun k (i, j, v) ->
+      row_ptr.(i + 1) <- row_ptr.(i + 1) + 1 ;
+      col_idx.(k) <- j ;
+      values.(k) <- v)
+    merged ;
+  for i = 0 to rows - 1 do
+    row_ptr.(i + 1) <- row_ptr.(i + 1) + row_ptr.(i)
+  done ;
+  check { rows; cols; row_ptr; col_idx; values }
+
+let of_dense d =
+  let triplets = ref [] in
+  Dense.iteri (fun i j v -> if v <> 0.0 then triplets := (i, j, v) :: !triplets) d ;
+  of_triplets ~rows:(Dense.rows d) ~cols:(Dense.cols d) !triplets
+
+let to_dense m =
+  let d = Dense.create m.rows m.cols in
+  for i = 0 to m.rows - 1 do
+    for p = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+      Dense.unsafe_set d i m.col_idx.(p)
+        (Dense.unsafe_get d i m.col_idx.(p) +. m.values.(p))
+    done
+  done ;
+  d
+
+let get m i j =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+    invalid_arg "Csr.get: out of range" ;
+  let acc = ref 0.0 in
+  for p = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+    if m.col_idx.(p) = j then acc := !acc +. m.values.(p)
+  done ;
+  !acc
+
+(* Iterate the stored entries of row [i] as (col, value). *)
+let iter_row m i f =
+  if i < 0 || i >= m.rows then invalid_arg "Csr.iter_row: bad row" ;
+  for p = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+    f m.col_idx.(p) m.values.(p)
+  done
+
+let iter_nz f m =
+  for i = 0 to m.rows - 1 do
+    for p = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+      f i m.col_idx.(p) m.values.(p)
+    done
+  done
+
+(* Map over stored values only; [f 0.] must be 0 for this to be a
+   faithful element-wise map (callers enforce this, see {!Mat}). *)
+let map_values f m =
+  Flops.add (nnz m) ;
+  { m with values = Array.map f m.values }
+
+let scale x m = map_values (fun v -> x *. v) m
+
+let transpose m =
+  let n = nnz m in
+  let row_ptr = Array.make (m.cols + 1) 0 in
+  iter_nz (fun _ j _ -> row_ptr.(j + 1) <- row_ptr.(j + 1) + 1) m ;
+  for j = 0 to m.cols - 1 do
+    row_ptr.(j + 1) <- row_ptr.(j + 1) + row_ptr.(j)
+  done ;
+  let col_idx = Array.make n 0 in
+  let values = Array.make n 0.0 in
+  let fill = Array.copy row_ptr in
+  iter_nz
+    (fun i j v ->
+      let p = fill.(j) in
+      col_idx.(p) <- i ;
+      values.(p) <- v ;
+      fill.(j) <- p + 1)
+    m ;
+  check { rows = m.cols; cols = m.rows; row_ptr; col_idx; values }
+
+(* ---- aggregations ---- *)
+
+let row_sums m =
+  Flops.add (nnz m) ;
+  let out = Array.make m.rows 0.0 in
+  iter_nz (fun i _ v -> out.(i) <- out.(i) +. v) m ;
+  Dense.of_col_array out
+
+let col_sums m =
+  Flops.add (nnz m) ;
+  let out = Array.make m.cols 0.0 in
+  iter_nz (fun _ j v -> out.(j) <- out.(j) +. v) m ;
+  Dense.of_row_array out
+
+let sum m =
+  Flops.add (nnz m) ;
+  Array.fold_left ( +. ) 0.0 m.values
+
+(* Per-row sum of squares, used by K-Means' rowSums(T^2). *)
+let row_sums_sq m =
+  Flops.add (2 * nnz m) ;
+  let out = Array.make m.rows 0.0 in
+  iter_nz (fun i _ v -> out.(i) <- out.(i) +. (v *. v)) m ;
+  Dense.of_col_array out
+
+(* ---- multiplications ---- *)
+
+(* C = A * X with X dense: the sparse LMM kernel. *)
+let smm m x =
+  if Dense.rows x <> m.cols then invalid_arg "Csr.smm: dim mismatch" ;
+  let k = Dense.cols x in
+  Flops.add (2 * nnz m * k) ;
+  let c = Dense.create m.rows k in
+  let cd = Dense.data c and xd = Dense.data x in
+  if k = 1 then
+    (* vector case: accumulate in a register, one store per row *)
+    for i = 0 to m.rows - 1 do
+      let acc = ref 0.0 in
+      for p = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+        acc :=
+          !acc
+          +. (Array.unsafe_get m.values p
+             *. Array.unsafe_get xd (Array.unsafe_get m.col_idx p))
+      done ;
+      Array.unsafe_set cd i !acc
+    done
+  else
+    for i = 0 to m.rows - 1 do
+      let cbase = i * k in
+      for p = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+        let j = Array.unsafe_get m.col_idx p in
+        let v = Array.unsafe_get m.values p in
+        let xbase = j * k in
+        for q = 0 to k - 1 do
+          Array.unsafe_set cd (cbase + q)
+            (Array.unsafe_get cd (cbase + q)
+            +. (v *. Array.unsafe_get xd (xbase + q)))
+        done
+      done
+    done ;
+  c
+
+(* C = Aᵀ * X with X dense, by scatter; avoids materializing Aᵀ. *)
+let t_smm m x =
+  if Dense.rows x <> m.rows then invalid_arg "Csr.t_smm: dim mismatch" ;
+  let k = Dense.cols x in
+  Flops.add (2 * nnz m * k) ;
+  let c = Dense.create m.cols k in
+  let cd = Dense.data c and xd = Dense.data x in
+  for i = 0 to m.rows - 1 do
+    let xbase = i * k in
+    for p = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+      let j = Array.unsafe_get m.col_idx p in
+      let v = Array.unsafe_get m.values p in
+      let cbase = j * k in
+      for q = 0 to k - 1 do
+        Array.unsafe_set cd (cbase + q)
+          (Array.unsafe_get cd (cbase + q)
+          +. (v *. Array.unsafe_get xd (xbase + q)))
+      done
+    done
+  done ;
+  c
+
+(* C = X * A with X dense: the sparse RMM kernel; C[i, col] += X[i, r]·v. *)
+let dense_smm x m =
+  if Dense.cols x <> m.rows then invalid_arg "Csr.dense_smm: dim mismatch" ;
+  let n = Dense.rows x in
+  Flops.add (2 * nnz m * n) ;
+  let c = Dense.create n m.cols in
+  let cd = Dense.data c and xd = Dense.data x in
+  for r = 0 to m.rows - 1 do
+    for p = m.row_ptr.(r) to m.row_ptr.(r + 1) - 1 do
+      let j = Array.unsafe_get m.col_idx p in
+      let v = Array.unsafe_get m.values p in
+      for i = 0 to n - 1 do
+        Array.unsafe_set cd ((i * m.cols) + j)
+          (Array.unsafe_get cd ((i * m.cols) + j)
+          +. (Array.unsafe_get xd ((i * Dense.cols x) + r) *. v))
+      done
+    done
+  done ;
+  c
+
+let weighted_crossprod_impl m w =
+  let d = m.cols in
+  let c = Dense.create d d in
+  let cd = Dense.data c in
+  for i = 0 to m.rows - 1 do
+    let wi = match w with None -> 1.0 | Some w -> Array.unsafe_get w i in
+    if wi <> 0.0 then begin
+      let lo = m.row_ptr.(i) and hi = m.row_ptr.(i + 1) - 1 in
+      Flops.add ((hi - lo + 1) * (hi - lo + 1) * 2) ;
+      for p = lo to hi do
+        let jp = Array.unsafe_get m.col_idx p in
+        let vp = wi *. Array.unsafe_get m.values p in
+        for q = lo to hi do
+          let jq = Array.unsafe_get m.col_idx q in
+          if jq >= jp then
+            Array.unsafe_set cd ((jp * d) + jq)
+              (Array.unsafe_get cd ((jp * d) + jq)
+              +. (vp *. Array.unsafe_get m.values q))
+        done
+      done
+    end
+  done ;
+  for i = 0 to d - 1 do
+    for j = 0 to i - 1 do
+      Array.unsafe_set cd ((i * d) + j) (Array.unsafe_get cd ((j * d) + i))
+    done
+  done ;
+  c
+
+(* crossprod(A) = Aᵀ A as a dense matrix (outputs of cross-products are
+   small d×d matrices in all Morpheus uses). *)
+let crossprod m = weighted_crossprod_impl m None
+
+(* crossprod with a *sparse* result: Aᵀ·diag(w)·A accumulated into a
+   hash table of upper-triangle entries. For one-hot-style data the
+   output has O(Σ nnz_row²) entries, so this stays feasible when the
+   d×d dense output would not (d in the tens of thousands). *)
+let crossprod_csr ?weights m =
+  (match weights with
+  | Some w when Array.length w <> m.rows ->
+    invalid_arg "Csr.crossprod_csr: weight length mismatch"
+  | _ -> ()) ;
+  let tbl : (int * int, float) Hashtbl.t = Hashtbl.create 1024 in
+  for i = 0 to m.rows - 1 do
+    let wi = match weights with None -> 1.0 | Some w -> Array.unsafe_get w i in
+    if wi <> 0.0 then begin
+      let lo = m.row_ptr.(i) and hi = m.row_ptr.(i + 1) - 1 in
+      Flops.add ((hi - lo + 1) * (hi - lo + 1)) ;
+      for p = lo to hi do
+        let jp = Array.unsafe_get m.col_idx p in
+        let vp = wi *. Array.unsafe_get m.values p in
+        for q = lo to hi do
+          let jq = Array.unsafe_get m.col_idx q in
+          if jq >= jp then begin
+            let key = (jp, jq) in
+            let prev = Option.value (Hashtbl.find_opt tbl key) ~default:0.0 in
+            Hashtbl.replace tbl key (prev +. (vp *. Array.unsafe_get m.values q))
+          end
+        done
+      done
+    end
+  done ;
+  let triplets =
+    Hashtbl.fold
+      (fun (i, j) v acc ->
+        if i = j then (i, j, v) :: acc else (i, j, v) :: (j, i, v) :: acc)
+      tbl []
+  in
+  of_triplets ~rows:m.cols ~cols:m.cols triplets
+
+(* Aᵀ diag(w) A, dense output. *)
+let weighted_crossprod m w =
+  if Array.length w <> m.rows then
+    invalid_arg "Csr.weighted_crossprod: weight length mismatch" ;
+  weighted_crossprod_impl m (Some w)
+
+(* tcrossprod(A) = A Aᵀ as dense. Only used for the (small-n) Gram
+   matrix rewrite tests; O(n² d̄). *)
+let tcrossprod m = Blas.tcrossprod (to_dense m)
+
+(* Select rows [idx.(i)] of [m]; the sparse row-gather behind K·R. *)
+let gather_rows m idx =
+  let n = Array.length idx in
+  let row_ptr = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    let r = idx.(i) in
+    if r < 0 || r >= m.rows then invalid_arg "Csr.gather_rows: bad index" ;
+    row_ptr.(i + 1) <- row_ptr.(i) + (m.row_ptr.(r + 1) - m.row_ptr.(r))
+  done ;
+  let total = row_ptr.(n) in
+  let col_idx = Array.make total 0 in
+  let values = Array.make total 0.0 in
+  for i = 0 to n - 1 do
+    let r = idx.(i) in
+    let src = m.row_ptr.(r) and len = m.row_ptr.(r + 1) - m.row_ptr.(r) in
+    Array.blit m.col_idx src col_idx row_ptr.(i) len ;
+    Array.blit m.values src values row_ptr.(i) len
+  done ;
+  check { rows = n; cols = m.cols; row_ptr; col_idx; values }
+
+(* Contiguous row slice [lo, hi) — O(rows + nnz of slice). *)
+let sub_rows m ~lo ~hi =
+  if lo < 0 || hi > m.rows || lo > hi then invalid_arg "Csr.sub_rows" ;
+  let p0 = m.row_ptr.(lo) and p1 = m.row_ptr.(hi) in
+  let row_ptr = Array.init (hi - lo + 1) (fun i -> m.row_ptr.(lo + i) - p0) in
+  check
+    { rows = hi - lo;
+      cols = m.cols;
+      row_ptr;
+      col_idx = Array.sub m.col_idx p0 (p1 - p0);
+      values = Array.sub m.values p0 (p1 - p0) }
+
+(* C = A · K for an indicator K given as a column mapping over A's
+   columns: scatter A's columns into [ncols] buckets. This is the
+   T·K_B building block of double matrix multiplication (appendix C). *)
+let col_scatter m ~mapping ~ncols =
+  if Array.length mapping <> m.cols then invalid_arg "Csr.col_scatter" ;
+  Flops.add (nnz m) ;
+  let c = Dense.create m.rows ncols in
+  iter_nz
+    (fun i j v ->
+      let b = mapping.(j) in
+      Dense.unsafe_set c i b (Dense.unsafe_get c i b +. v))
+    m ;
+  c
+
+(* Horizontal concatenation of sparse blocks. *)
+let hcat ms =
+  match ms with
+  | [] -> of_triplets ~rows:0 ~cols:0 []
+  | first :: _ ->
+    let rows = first.rows in
+    List.iter
+      (fun m -> if m.rows <> rows then invalid_arg "Csr.hcat: row mismatch")
+      ms ;
+    let cols = List.fold_left (fun acc m -> acc + m.cols) 0 ms in
+    let total = List.fold_left (fun acc m -> acc + nnz m) 0 ms in
+    let row_ptr = Array.make (rows + 1) 0 in
+    List.iter
+      (fun m ->
+        for i = 0 to rows - 1 do
+          row_ptr.(i + 1) <-
+            row_ptr.(i + 1) + (m.row_ptr.(i + 1) - m.row_ptr.(i))
+        done)
+      ms ;
+    for i = 0 to rows - 1 do
+      row_ptr.(i + 1) <- row_ptr.(i + 1) + row_ptr.(i)
+    done ;
+    let col_idx = Array.make total 0 in
+    let values = Array.make total 0.0 in
+    let fill = Array.copy row_ptr in
+    let off = ref 0 in
+    List.iter
+      (fun m ->
+        for i = 0 to rows - 1 do
+          for p = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+            col_idx.(fill.(i)) <- m.col_idx.(p) + !off ;
+            values.(fill.(i)) <- m.values.(p) ;
+            fill.(i) <- fill.(i) + 1
+          done
+        done ;
+        off := !off + m.cols)
+      ms ;
+    check { rows; cols; row_ptr; col_idx; values }
+
+let approx_equal ?(tol = 1e-9) a b =
+  a.rows = b.rows && a.cols = b.cols
+  && Dense.max_abs_diff (to_dense a) (to_dense b) <= tol
+
+let pp ppf m =
+  Fmt.pf ppf "csr %dx%d (nnz=%d)" m.rows m.cols (nnz m)

@@ -1,0 +1,100 @@
+(** Compressed Sparse Row matrices — the sparse half of the paper's
+    claim that "any of R, S, and T can be dense or sparse" (§3.1).
+    The real datasets' one-hot feature matrices (Table 6) live here. *)
+
+open La
+
+type t
+
+(** {1 Dimensions} *)
+
+val rows : t -> int
+val cols : t -> int
+val dims : t -> int * int
+
+val nnz : t -> int
+(** Number of stored (nonzero) entries. *)
+
+(** {1 Construction and conversion} *)
+
+val of_triplets : rows:int -> cols:int -> (int * int * float) list -> t
+(** Build from (row, col, value) triplets; duplicates are summed and
+    exact zeros dropped. Raises on out-of-range indices. *)
+
+val of_dense : Dense.t -> t
+val to_dense : t -> Dense.t
+
+(** {1 Access and traversal} *)
+
+val get : t -> int -> int -> float
+(** Bounds-checked; 0 for absent entries. *)
+
+val iter_row : t -> int -> (int -> float -> unit) -> unit
+(** Stored entries of row [i] as (col, value). *)
+
+val iter_nz : (int -> int -> float -> unit) -> t -> unit
+
+(** {1 Element-wise} *)
+
+val map_values : (float -> float) -> t -> t
+(** Map over stored values only; a faithful element-wise map iff
+    [f 0. = 0.] (enforced by callers, see {!Mat.map_scalar}). *)
+
+val scale : float -> t -> t
+
+(** {1 Structure} *)
+
+val transpose : t -> t
+
+val gather_rows : t -> int array -> t
+(** [gather_rows m idx] selects rows [idx.(i)] — the sparse row-gather
+    behind [K·R]. *)
+
+val sub_rows : t -> lo:int -> hi:int -> t
+(** Contiguous row slice [lo, hi); O(rows + nnz of slice). *)
+
+val hcat : t list -> t
+
+(** {1 Aggregations} *)
+
+val row_sums : t -> Dense.t
+val col_sums : t -> Dense.t
+val sum : t -> float
+
+val row_sums_sq : t -> Dense.t
+(** Per-row sum of squares — K-Means' [rowSums(T^2)] without an
+    intermediate. *)
+
+(** {1 Multiplications (dense results)} *)
+
+val smm : t -> Dense.t -> Dense.t
+(** [smm a x] is [a·x] — the sparse LMM kernel. *)
+
+val t_smm : t -> Dense.t -> Dense.t
+(** [t_smm a x] is [aᵀ·x] by scatter, without materializing [aᵀ]. *)
+
+val dense_smm : Dense.t -> t -> Dense.t
+(** [dense_smm x a] is [x·a] — the sparse RMM kernel. *)
+
+val crossprod : t -> Dense.t
+(** [aᵀ·a] as a dense d×d matrix. *)
+
+val weighted_crossprod : t -> float array -> Dense.t
+(** [aᵀ·diag(w)·a], dense output. *)
+
+val crossprod_csr : ?weights:float array -> t -> t
+(** [aᵀ·diag(w)·a] with a *sparse* result (O(Σ nnz_row²) stored
+    entries): the form to use when d is too large for a dense d×d
+    output, e.g. wide one-hot feature matrices. *)
+
+val tcrossprod : t -> Dense.t
+(** [a·aᵀ], dense output (Gram-matrix rewrites only). *)
+
+val col_scatter : t -> mapping:int array -> ncols:int -> Dense.t
+(** [a·K] for an indicator over [a]'s columns given as a bucket per
+    column — the [T·K_B] building block of DMM (appendix C). *)
+
+(** {1 Comparison and printing} *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

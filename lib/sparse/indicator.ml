@@ -1,0 +1,197 @@
+(* Indicator matrices: the paper's K (PK-FK, §3.1) and I_S / I_R (M:N,
+   §3.6). Every row has exactly one 1, so instead of a generic sparse
+   matrix we store the column index per row — the "logical" sparse format
+   that makes K·R a row gather and Kᵀ·X a scatter-add. nnz = rows by
+   construction, exactly as the paper observes. *)
+
+open La
+
+type t = {
+  rows : int; (* n_S, or |T'| for M:N *)
+  cols : int; (* n_R *)
+  col_of_row : int array; (* length rows; the position of the 1 in each row *)
+}
+
+let rows k = k.rows
+let cols k = k.cols
+let dims k = (k.rows, k.cols)
+let nnz k = k.rows
+let col_of_row k i = k.col_of_row.(i)
+let mapping k = k.col_of_row
+
+let create ~cols col_of_row =
+  Array.iter
+    (fun j ->
+      if j < 0 || j >= cols then invalid_arg "Indicator.create: bad column")
+    col_of_row ;
+  { rows = Array.length col_of_row; cols; col_of_row = Array.copy col_of_row }
+
+let identity n = { rows = n; cols = n; col_of_row = Array.init n Fun.id }
+
+let random ?(rng = Rng.create ()) ~rows ~cols () =
+  (* ensure every column is referenced at least once, as the paper assumes
+     (tuples of R never referenced are dropped a priori, §3.1). *)
+  if rows < cols then
+    invalid_arg "Indicator.random: needs rows >= cols to cover all columns" ;
+  let col_of_row = Array.init rows (fun _ -> Rng.int rng cols) in
+  let perm = Array.init rows Fun.id in
+  Rng.shuffle rng perm ;
+  for j = 0 to cols - 1 do
+    col_of_row.(perm.(j)) <- j
+  done ;
+  { rows; cols; col_of_row }
+
+let to_csr k =
+  Csr.of_triplets ~rows:k.rows ~cols:k.cols
+    (Array.to_list (Array.mapi (fun i j -> (i, j, 1.0)) k.col_of_row))
+
+let to_dense k = Csr.to_dense (to_csr k)
+
+(* ---- multiplications ---- *)
+
+(* K * R for dense R: gather rows — the core of avoided materialization. *)
+let mult k r =
+  if Dense.rows r <> k.cols then invalid_arg "Indicator.mult: dim mismatch" ;
+  let d = Dense.cols r in
+  Flops.add (k.rows * d) ;
+  let out = Dense.create k.rows d in
+  let od = Dense.data out and rd = Dense.data r in
+  if d <= 64 then
+    (* manual copy beats Array.blit's call overhead for short rows *)
+    for i = 0 to k.rows - 1 do
+      let rbase = Array.unsafe_get k.col_of_row i * d and obase = i * d in
+      for j = 0 to d - 1 do
+        Array.unsafe_set od (obase + j) (Array.unsafe_get rd (rbase + j))
+      done
+    done
+  else
+    for i = 0 to k.rows - 1 do
+      Array.blit rd (k.col_of_row.(i) * d) od (i * d) d
+    done ;
+  out
+
+(* K * R for sparse R: gather sparse rows. *)
+let mult_csr k r =
+  if Csr.rows r <> k.cols then invalid_arg "Indicator.mult_csr: dim mismatch" ;
+  Flops.add k.rows ;
+  Csr.gather_rows r k.col_of_row
+
+(* Kᵀ * X for dense X: scatter-add rows of X into the buckets. *)
+let tmult k x =
+  if Dense.rows x <> k.rows then invalid_arg "Indicator.tmult: dim mismatch" ;
+  let d = Dense.cols x in
+  Flops.add (k.rows * d) ;
+  let out = Dense.create k.cols d in
+  let od = Dense.data out and xd = Dense.data x in
+  for i = 0 to k.rows - 1 do
+    let obase = k.col_of_row.(i) * d and xbase = i * d in
+    for j = 0 to d - 1 do
+      Array.unsafe_set od (obase + j)
+        (Array.unsafe_get od (obase + j) +. Array.unsafe_get xd (xbase + j))
+    done
+  done ;
+  out
+
+(* acc += K · Z, fused gather-accumulate: acc is n_S×k, Z is n_R×k.
+   Saves the intermediate matrix and one memory pass in factorized LMM. *)
+let gather_add k z acc =
+  if Dense.rows z <> k.cols || Dense.rows acc <> k.rows
+     || Dense.cols z <> Dense.cols acc
+  then invalid_arg "Indicator.gather_add: dim mismatch" ;
+  let d = Dense.cols z in
+  Flops.add (k.rows * d) ;
+  let zd = Dense.data z and ad = Dense.data acc in
+  if d = 1 then
+    for i = 0 to k.rows - 1 do
+      Array.unsafe_set ad i
+        (Array.unsafe_get ad i
+        +. Array.unsafe_get zd (Array.unsafe_get k.col_of_row i))
+    done
+  else
+    for i = 0 to k.rows - 1 do
+      let zbase = Array.unsafe_get k.col_of_row i * d and abase = i * d in
+      for j = 0 to d - 1 do
+        Array.unsafe_set ad (abase + j)
+          (Array.unsafe_get ad (abase + j) +. Array.unsafe_get zd (zbase + j))
+      done
+    done
+
+(* Kᵀ * A for sparse A: scatter sparse rows into a dense accumulator
+   (the output K ᵀS of Algorithm 1/2 is dense-sized n_R × d_S anyway). *)
+let tmult_csr k a =
+  if Csr.rows a <> k.rows then invalid_arg "Indicator.tmult_csr: dim mismatch" ;
+  let d = Csr.cols a in
+  Flops.add (Csr.nnz a) ;
+  let out = Dense.create k.cols d in
+  for i = 0 to k.rows - 1 do
+    let c = k.col_of_row.(i) in
+    Csr.iter_row a i (fun j v ->
+        Dense.unsafe_set out c j (Dense.unsafe_get out c j +. v))
+  done ;
+  out
+
+(* X * K for dense X (the RMM building block (XK)): scatter-add columns of
+   X; out[:, col_of_row t] += X[:, t]. *)
+let xmult x k =
+  if Dense.cols x <> k.rows then invalid_arg "Indicator.xmult: dim mismatch" ;
+  let m = Dense.rows x in
+  Flops.add (m * k.rows) ;
+  let out = Dense.create m k.cols in
+  let od = Dense.data out and xd = Dense.data x in
+  for i = 0 to m - 1 do
+    let xbase = i * k.rows and obase = i * k.cols in
+    for t = 0 to k.rows - 1 do
+      let c = Array.unsafe_get k.col_of_row t in
+      Array.unsafe_set od (obase + c)
+        (Array.unsafe_get od (obase + c) +. Array.unsafe_get xd (xbase + t))
+    done
+  done ;
+  out
+
+(* ---- vector forms ---- *)
+
+(* K * v (gather) for a length-n_R vector. *)
+let gather k v =
+  if Array.length v <> k.cols then invalid_arg "Indicator.gather" ;
+  Flops.add k.rows ;
+  Array.init k.rows (fun i -> v.(k.col_of_row.(i)))
+
+(* Kᵀ * v (scatter-add) for a length-n_S vector. *)
+let scatter_add k v =
+  if Array.length v <> k.rows then invalid_arg "Indicator.scatter_add" ;
+  Flops.add k.rows ;
+  let out = Array.make k.cols 0.0 in
+  for i = 0 to k.rows - 1 do
+    let c = k.col_of_row.(i) in
+    out.(c) <- out.(c) +. v.(i)
+  done ;
+  out
+
+(* colSums(K) — K_p's diagonal: how many S-rows reference each R-row. *)
+let col_counts k =
+  Flops.add k.rows ;
+  let out = Array.make k.cols 0.0 in
+  Array.iter (fun c -> out.(c) <- out.(c) +. 1.0) k.col_of_row ;
+  out
+
+(* K_aᵀ K_b as COO co-occurrence counts (appendix C: the matrix P whose
+   nnz is bounded by Theorems C.1/C.2). Both indicators must share the
+   row dimension. *)
+let cross a b =
+  if a.rows <> b.rows then invalid_arg "Indicator.cross: row mismatch" ;
+  Flops.add a.rows ;
+  let tbl = Hashtbl.create (max 16 (a.rows / 4)) in
+  for t = 0 to a.rows - 1 do
+    let key = (a.col_of_row.(t), b.col_of_row.(t)) in
+    let prev = Option.value (Hashtbl.find_opt tbl key) ~default:0.0 in
+    Hashtbl.replace tbl key (prev +. 1.0)
+  done ;
+  let triplets =
+    Hashtbl.fold (fun (i, j) v acc -> (i, j, v) :: acc) tbl []
+  in
+  Coo.of_triplets ~rows:a.cols ~cols:b.cols triplets
+
+let approx_equal a b =
+  a.rows = b.rows && a.cols = b.cols && a.col_of_row = b.col_of_row
+
+let pp ppf k = Fmt.pf ppf "indicator %dx%d" k.rows k.cols

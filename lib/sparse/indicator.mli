@@ -1,0 +1,84 @@
+(** Indicator matrices: the paper's K (PK-FK join, §3.1) and I_S / I_R
+    (M:N join, §3.6). Every row has exactly one 1 — [nnz = rows] by
+    construction, as the paper observes — so the representation is just
+    the column index of each row, making [K·R] a row gather and [Kᵀ·X]
+    a scatter-add. *)
+
+open La
+
+type t
+
+(** {1 Dimensions} *)
+
+val rows : t -> int
+val cols : t -> int
+val dims : t -> int * int
+
+val nnz : t -> int
+(** Always [rows]. *)
+
+val col_of_row : t -> int -> int
+(** Position of the 1 in the given row. *)
+
+val mapping : t -> int array
+(** The full row→column mapping (shared, do not mutate). *)
+
+(** {1 Construction} *)
+
+val create : cols:int -> int array -> t
+(** [create ~cols mapping]; raises if any entry is out of range. *)
+
+val identity : int -> t
+
+val random : ?rng:Rng.t -> rows:int -> cols:int -> unit -> t
+(** Uniform mapping guaranteed to reference every column at least once
+    (the paper's assumption after trimming, §3.1); needs
+    [rows >= cols]. *)
+
+val to_csr : t -> Csr.t
+val to_dense : t -> Dense.t
+
+(** {1 Matrix products} *)
+
+val mult : t -> Dense.t -> Dense.t
+(** [mult k r] is [K·R]: a row gather — the core of avoided
+    materialization. *)
+
+val mult_csr : t -> Csr.t -> Csr.t
+(** [K·R] for sparse [R]. *)
+
+val tmult : t -> Dense.t -> Dense.t
+(** [tmult k x] is [Kᵀ·X]: scatter-add of [X]'s rows. *)
+
+val tmult_csr : t -> Csr.t -> Dense.t
+(** [Kᵀ·A] for sparse [A], dense accumulator. *)
+
+val xmult : Dense.t -> t -> Dense.t
+(** [xmult x k] is [X·K]: column scatter-add — the RMM building block
+    [(X·K)]. *)
+
+val gather_add : t -> Dense.t -> Dense.t -> unit
+(** [gather_add k z acc] performs [acc += K·Z] in place, fusing the
+    gather and the accumulation (factorized LMM's inner step). *)
+
+(** {1 Vector forms} *)
+
+val gather : t -> float array -> float array
+(** [K·v] for a length-[cols] vector. *)
+
+val scatter_add : t -> float array -> float array
+(** [Kᵀ·v] for a length-[rows] vector. *)
+
+val col_counts : t -> float array
+(** [colSums(K)] — the diagonal of [KᵀK], i.e. how many rows reference
+    each column (Algorithm 2's [diag(colSums(K))]). *)
+
+(** {1 Indicator-indicator products} *)
+
+val cross : t -> t -> Coo.t
+(** [cross a b] is [aᵀ·b] as co-occurrence counts — the matrix P of
+    appendix C, with [max(cols a, cols b) <= nnz(P) <= rows]
+    (Theorems C.1/C.2). *)
+
+val approx_equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

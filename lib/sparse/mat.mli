@@ -1,0 +1,94 @@
+(** The "regular matrix" type of Morpheus: dense or CSR-sparse behind
+    one operator set, so the rewrite rules are written once for both
+    representations (§3.1: "any of R, S, and T can be dense or
+    sparse"). *)
+
+open La
+
+type t =
+  | D of Dense.t
+  | S of Csr.t
+
+val of_dense : Dense.t -> t
+val of_csr : Csr.t -> t
+
+val dense : t -> Dense.t
+(** Densify (copy for sparse inputs). *)
+
+val rows : t -> int
+val cols : t -> int
+val dims : t -> int * int
+val is_sparse : t -> bool
+
+val storage_size : t -> int
+(** Stored scalars: [numel] when dense, [nnz] when sparse — the
+    paper's size(·) in the redundancy ratios. *)
+
+val get : t -> int -> int -> float
+
+(** {1 Element-wise scalar ops (Table 1)} *)
+
+val scale : float -> t -> t
+
+val map_scalar : (float -> float) -> t -> t
+(** Zero-preserving functions keep the sparse representation; others
+    (exp, [+x]) densify, as in R. *)
+
+val add_scalar : float -> t -> t
+val pow : float -> t -> t
+val sq : t -> t
+val exp : t -> t
+
+(** {1 Aggregations} *)
+
+val row_sums : t -> Dense.t
+val col_sums : t -> Dense.t
+val sum : t -> float
+
+val row_sums_sq : t -> Dense.t
+(** [rowSums(T²)] without the squared intermediate when sparse. *)
+
+(** {1 Multiplications (regular dense results, as in Table 1)} *)
+
+val mm : t -> Dense.t -> Dense.t
+(** [mm m x] is [m·x] (the LMM direction). *)
+
+val tmm : t -> Dense.t -> Dense.t
+(** [tmm m x] is [mᵀ·x]. *)
+
+val mm_left : Dense.t -> t -> Dense.t
+(** [mm_left x m] is [x·m] (the RMM direction). *)
+
+val crossprod : t -> Dense.t
+val weighted_crossprod : t -> float array -> Dense.t
+val tcrossprod : t -> Dense.t
+
+val transpose : t -> t
+
+(** {1 Element-wise matrix ops (non-factorizable, Table 1 last row)} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul_elem : t -> t -> t
+val div_elem : t -> t -> t
+
+(** {1 Structure} *)
+
+val gather_rows : t -> int array -> t
+(** Row gather by index — [K·M] with an explicit mapping. *)
+
+val sub_rows : t -> lo:int -> hi:int -> t
+val sub_cols : t -> lo:int -> hi:int -> t
+
+val col_scatter : t -> mapping:int array -> ncols:int -> Dense.t
+(** [M·K] for an indicator over [M]'s columns (DMM building block). *)
+
+val hcat : t list -> t
+(** Sparse iff all blocks are sparse. *)
+
+(** {1 Misc} *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+val random : ?rng:Rng.t -> int -> int -> t
+val random_sparse : ?rng:Rng.t -> density:float -> int -> int -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,40 @@
+(** Simulated versions of the paper's seven real-world datasets
+    (Table 6). The raw data is not redistributable; these generators
+    produce sparse one-hot feature matrices matching the published
+    per-table statistics (n, d, nnz), which is what the factorized-vs-
+    materialized runtime ratio depends on (see DESIGN.md's substitution
+    table). *)
+
+open La
+open Morpheus
+
+type table_stats = { n : int; d : int; nnz : int }
+
+type spec = {
+  name : string;
+  s : table_stats;  (** the entity table S *)
+  atts : table_stats list;  (** the attribute tables R_i *)
+}
+
+(** The Table 6 rows, verbatim. *)
+
+val expedia : spec
+val movies : spec
+val yelp : spec
+val walmart : spec
+val lastfm : spec
+val books : spec
+val flights : spec
+
+val all : spec list
+(** All seven, in the paper's order. *)
+
+val find : string -> spec
+(** Case-insensitive lookup; raises on unknown names. *)
+
+val load :
+  ?seed:int -> ?scale_rows:float -> ?scale_cols:float -> spec ->
+  Normalized.t * Dense.t * Dense.t
+(** Instantiate a spec as a star-schema normalized matrix plus (±1,
+    numeric) targets. [scale_rows]/[scale_cols] shrink uniformly;
+    nnz-per-row and the tuple ratio are preserved. *)

@@ -1,0 +1,111 @@
+(* Synthetic data generators mirroring the paper's §5 setup:
+   - PK-FK joins parameterized by tuple ratio TR = n_S/n_R and feature
+     ratio FR = d_R/d_S (Table 4);
+   - M:N joins parameterized by the join-attribute domain size n_U
+     (Table 5), where the "join attribute uniqueness degree" is n_U/n_S. *)
+
+open La
+open Sparse
+open Morpheus
+
+type pkfk = {
+  t : Normalized.t;
+  y : Dense.t; (* ±1 labels aligned with S's rows *)
+  y_numeric : Dense.t; (* numeric target for regression *)
+}
+
+(* Random ±1 labels. *)
+let labels rng n =
+  Dense.init n 1 (fun _ _ -> if Rng.bool rng then 1.0 else -1.0)
+
+(* Single PK-FK join with the given dimensions. *)
+let pkfk ?(seed = 1) ~ns ~ds ~nr ~dr () =
+  let rng = Rng.of_int seed in
+  let s = Mat.of_dense (Dense.gaussian ~rng ns ds) in
+  let r = Mat.of_dense (Dense.gaussian ~rng nr dr) in
+  let k = Indicator.random ~rng ~rows:ns ~cols:nr () in
+  { t = Normalized.pkfk ~s ~k ~r;
+    y = labels rng ns;
+    y_numeric = Dense.gaussian ~rng ns 1 }
+
+(* Multi-table star-schema PK-FK join (used by the Table 7 shape tests):
+   one entity table and q attribute tables. *)
+let star ?(seed = 1) ~ns ~ds ~atts () =
+  let rng = Rng.of_int seed in
+  let s = Mat.of_dense (Dense.gaussian ~rng ns ds) in
+  let parts =
+    List.map
+      (fun (nr, dr) ->
+        let k = Indicator.random ~rng ~rows:ns ~cols:nr () in
+        let r = Mat.of_dense (Dense.gaussian ~rng nr dr) in
+        (k, r))
+      atts
+  in
+  { t = Normalized.star ~s ~parts;
+    y = labels rng ns;
+    y_numeric = Dense.gaussian ~rng ns 1 }
+
+(* M:N equi-join: S and R both draw their join attribute uniformly from
+   a domain of size n_U; every pair of matching tuples joins. Returns
+   the normalized matrix (ent = None; parts = [(I_S,S); (I_R,R)]) plus
+   targets aligned with the join output. *)
+let mn ?(seed = 1) ~ns ~nr ~ds ~dr ~nu () =
+  let rng = Rng.of_int seed in
+  if nu <= 0 then invalid_arg "Synthetic.mn: nu must be positive" ;
+  let js = Array.init ns (fun _ -> Rng.int rng nu) in
+  let jr = Array.init nr (fun _ -> Rng.int rng nu) in
+  (* bucket R rows by join value *)
+  let buckets = Array.make nu [] in
+  Array.iteri (fun j v -> buckets.(v) <- j :: buckets.(v)) jr ;
+  Array.iteri (fun v l -> buckets.(v) <- List.rev l) buckets ;
+  let is_rev = ref [] and ir_rev = ref [] in
+  Array.iteri
+    (fun i v ->
+      List.iter
+        (fun j ->
+          is_rev := i :: !is_rev ;
+          ir_rev := j :: !ir_rev)
+        buckets.(v))
+    js ;
+  let is_map = Array.of_list (List.rev !is_rev) in
+  let ir_map = Array.of_list (List.rev !ir_rev) in
+  if Array.length is_map = 0 then invalid_arg "Synthetic.mn: empty join output" ;
+  (* drop S/R tuples that never joined, as §3.6 assumes *)
+  let compact map n =
+    let used = Array.make n false in
+    Array.iter (fun j -> used.(j) <- true) map ;
+    let new_idx = Array.make n (-1) in
+    let count = ref 0 in
+    for j = 0 to n - 1 do
+      if used.(j) then begin
+        new_idx.(j) <- !count ;
+        incr count
+      end
+    done ;
+    (Array.map (fun j -> new_idx.(j)) map, new_idx, !count)
+  in
+  let is_map, _, ns' = compact is_map ns in
+  let ir_map, _, nr' = compact ir_map nr in
+  let s = Mat.of_dense (Dense.gaussian ~rng ns' ds) in
+  let r = Mat.of_dense (Dense.gaussian ~rng nr' dr) in
+  let is_ = Indicator.create ~cols:ns' is_map in
+  let ir = Indicator.create ~cols:nr' ir_map in
+  let t = Normalized.mn ~is_ ~s ~ir ~r in
+  let n_out = Indicator.rows is_ in
+  { t; y = labels rng n_out; y_numeric = Dense.gaussian ~rng n_out 1 }
+
+(* The Table 4 presets: tuple-ratio sweep fixes (d_S, n_R) = (20, 1e6)
+   and d_R ∈ {40, 80}; feature-ratio sweep fixes n_S ∈ {1e7, 2e7},
+   (d_S, n_R) = (20, 1e6). [base] rescales every row count so the sweep
+   shapes run at laptop scale; ratios are unchanged. *)
+let table4_tuple_ratio ?(base = 10_000) ~tr ~fr () =
+  let nr = base in
+  let ns = tr * nr in
+  let ds = 20 in
+  let dr = int_of_float (fr *. float_of_int ds) in
+  pkfk ~seed:(tr + (97 * dr)) ~ns ~ds ~nr ~dr ()
+
+let table5_mn ?(base = 20_000) ~uniqueness () =
+  let ns = base and nr = base in
+  let nu = max 1 (int_of_float (uniqueness *. float_of_int ns)) in
+  mn ~seed:(nu + 3) ~ns ~nr ~ds:20 ~dr:20 ~nu ()

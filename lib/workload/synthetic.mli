@@ -1,0 +1,31 @@
+(** Synthetic data generators mirroring the paper's §5 setup: PK-FK
+    joins parameterized by tuple/feature ratio (Table 4) and M:N joins
+    parameterized by the join-attribute domain size (Table 5). All
+    generators are deterministic in [seed]. *)
+
+open La
+open Morpheus
+
+type pkfk = {
+  t : Normalized.t;
+  y : Dense.t;  (** ±1 labels aligned with the data rows *)
+  y_numeric : Dense.t;  (** numeric target for regression *)
+}
+
+val pkfk : ?seed:int -> ns:int -> ds:int -> nr:int -> dr:int -> unit -> pkfk
+(** Single PK-FK join with dense Gaussian features. *)
+
+val star : ?seed:int -> ns:int -> ds:int -> atts:(int * int) list -> unit -> pkfk
+(** Star schema; each attribute table given as (n_Ri, d_Ri). *)
+
+val mn : ?seed:int -> ns:int -> nr:int -> ds:int -> dr:int -> nu:int -> unit -> pkfk
+(** M:N equi-join with join attributes uniform over a domain of size
+    [nu]; base tuples that never join are dropped (§3.6). Targets align
+    with the join output's rows. *)
+
+val table4_tuple_ratio : ?base:int -> tr:int -> fr:float -> unit -> pkfk
+(** The Table 4 shape at laptop scale: n_R = [base], n_S = TR·n_R,
+    d_S = 20, d_R = FR·d_S. *)
+
+val table5_mn : ?base:int -> uniqueness:float -> unit -> pkfk
+(** The Table 5 shape: n_S = n_R = [base], n_U = uniqueness·n_S. *)

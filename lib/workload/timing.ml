@@ -1,0 +1,37 @@
+(* Wall-clock measurement helpers shared by the benches: warmup + median
+   of repeated runs, which is enough to read off the speed-up *ratios*
+   the paper reports. *)
+
+let now () = Unix.gettimeofday ()
+
+(* Wall-clock seconds of one run of [f], plus its result. A full major
+   collection runs first so that garbage left over from previous
+   measurements is not charged to [f] — without this, large temporary
+   matrices freed by one path distort the other path's numbers. *)
+let time f =
+  Gc.full_major () ;
+  let t0 = now () in
+  let x = f () in
+  (x, now () -. t0)
+
+(* Median wall-clock seconds over [runs] measured executions after
+   [warmup] unmeasured ones. *)
+let measure ?(warmup = 1) ?(runs = 3) f =
+  for _ = 1 to warmup do
+    ignore (f ())
+  done ;
+  let samples =
+    List.init runs (fun _ ->
+        let _, dt = time f in
+        dt)
+  in
+  let sorted = List.sort compare samples in
+  List.nth sorted (runs / 2)
+
+(* Speed-up of [fast] over [slow] (the paper's F-vs-M ratio). *)
+let speedup ~materialized ~factorized = materialized /. factorized
+
+let pp_seconds ppf s =
+  if s < 1e-3 then Fmt.pf ppf "%.1fus" (s *. 1e6)
+  else if s < 1.0 then Fmt.pf ppf "%.2fms" (s *. 1e3)
+  else Fmt.pf ppf "%.2fs" s

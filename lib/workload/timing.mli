@@ -1,0 +1,18 @@
+(** Wall-clock measurement for the benches: GC-isolated single runs and
+    warmup + median-of-runs, enough to read off the speed-up ratios the
+    paper reports. *)
+
+val now : unit -> float
+
+val time : (unit -> 'a) -> 'a * float
+(** One run's result and wall-clock seconds. A full major collection
+    runs first so leftover garbage from previous measurements is not
+    charged to this one. *)
+
+val measure : ?warmup:int -> ?runs:int -> (unit -> 'a) -> float
+(** Median seconds over [runs] measured executions after [warmup]
+    unmeasured ones (defaults 1 and 3). *)
+
+val speedup : materialized:float -> factorized:float -> float
+
+val pp_seconds : Format.formatter -> float -> unit

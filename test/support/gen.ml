@@ -1,0 +1,88 @@
+(* Shared generators for the test suites: random normalized matrices in
+   every schema shape the paper covers (single PK-FK, star multi-table,
+   M:N), with dense or sparse base matrices, plus the corresponding
+   ground-truth materialization. *)
+
+open La
+open Sparse
+open Morpheus
+
+type shape = Pkfk | Star2 | Star3 | Mn
+
+let shapes = [ Pkfk; Star2; Star3; Mn ]
+
+let shape_name = function
+  | Pkfk -> "pkfk"
+  | Star2 -> "star2"
+  | Star3 -> "star3"
+  | Mn -> "mn"
+
+let mat rng ~sparse r c =
+  if sparse then Mat.random_sparse ~rng ~density:0.4 r c
+  else Mat.of_dense (Dense.random ~rng r c)
+
+(* A random normalized matrix; dimensions are kept small so exhaustive
+   comparison against the materialized T is cheap. *)
+let normalized ?(seed = 0) ?(sparse = false) shape =
+  let rng = Rng.of_int (seed + Hashtbl.hash (shape_name shape) + if sparse then 7919 else 0) in
+  let dim lo hi = lo + Rng.int rng (hi - lo + 1) in
+  match shape with
+  | Pkfk ->
+    let nr = dim 2 6 in
+    let ns = nr + dim 2 14 in
+    let s = mat rng ~sparse ns (dim 1 5) in
+    let r = mat rng ~sparse nr (dim 1 5) in
+    let k = Indicator.random ~rng ~rows:ns ~cols:nr () in
+    Normalized.pkfk ~s ~k ~r
+  | Star2 | Star3 ->
+    let q = if shape = Star2 then 2 else 3 in
+    let ns = dim 8 20 in
+    let s = mat rng ~sparse ns (dim 1 4) in
+    let parts =
+      List.init q (fun _ ->
+          let nr = dim 2 (min 6 ns) in
+          let k = Indicator.random ~rng ~rows:ns ~cols:nr () in
+          (k, mat rng ~sparse nr (dim 1 4)))
+    in
+    Normalized.star ~s ~parts
+  | Mn ->
+    let ns = dim 3 8 and nr = dim 3 8 in
+    let n_out = dim (max ns nr) 24 in
+    (* every base row must appear at least once *)
+    let covering rng ~rows ~cols = Indicator.random ~rng ~rows ~cols () in
+    let is_ = covering rng ~rows:n_out ~cols:ns in
+    let ir = covering rng ~rows:n_out ~cols:nr in
+    let s = mat rng ~sparse ns (dim 1 4) in
+    let r = mat rng ~sparse nr (dim 1 4) in
+    Normalized.mn ~is_ ~s ~ir ~r
+
+(* All shape × sparsity × transposed combinations for a given seed. *)
+let all_cases ~seed =
+  List.concat_map
+    (fun shape ->
+      List.concat_map
+        (fun sparse ->
+          List.map
+            (fun trans ->
+              let t = normalized ~seed ~sparse shape in
+              let t = if trans then Rewrite.transpose t else t in
+              let label =
+                Printf.sprintf "%s%s%s (seed %d)" (shape_name shape)
+                  (if sparse then "/sparse" else "/dense")
+                  (if trans then "/transposed" else "")
+                  seed
+              in
+              (label, t))
+            [ false; true ])
+        [ false; true ])
+    shapes
+
+(* The ground-truth denormalized matrix. *)
+let ground_truth t = Materialize.to_dense t
+
+let check_close ?(tol = 1e-8) msg expected actual =
+  if not (Dense.approx_equal ~tol expected actual) then
+    Alcotest.failf "%s: max|diff| = %g (dims %dx%d vs %dx%d)" msg
+      (Dense.max_abs_diff expected actual)
+      (Dense.rows expected) (Dense.cols expected) (Dense.rows actual)
+      (Dense.cols actual)

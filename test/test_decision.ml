@@ -1,0 +1,161 @@
+(* Tests for the heuristic decision rule (§3.7/§5.1), the Table-3 cost
+   model, and its agreement with the instrumented flop counters. *)
+
+open La
+open Sparse
+open Morpheus
+
+let pkfk ~ns ~ds ~nr ~dr =
+  let rng = Rng.of_int (ns + ds + nr + dr) in
+  let s = Mat.of_dense (Dense.random ~rng ns ds) in
+  let r = Mat.of_dense (Dense.random ~rng nr dr) in
+  let k = Indicator.random ~rng ~rows:ns ~cols:nr () in
+  Normalized.pkfk ~s ~k ~r
+
+(* ---- heuristic rule ---- *)
+
+let test_heuristic_high_redundancy () =
+  (* TR = 10, FR = 2: comfortably factorized *)
+  let t = pkfk ~ns:200 ~ds:4 ~nr:20 ~dr:8 in
+  Alcotest.(check string) "factorized" "factorized"
+    (Decision.to_string (Decision.heuristic t))
+
+let test_heuristic_low_tuple_ratio () =
+  (* TR = 2 < τ = 5 → materialized *)
+  let t = pkfk ~ns:40 ~ds:4 ~nr:20 ~dr:8 in
+  Alcotest.(check string) "materialized" "materialized"
+    (Decision.to_string (Decision.heuristic t))
+
+let test_heuristic_low_feature_ratio () =
+  (* FR = 0.5 < ρ = 1 → materialized *)
+  let t = pkfk ~ns:200 ~ds:8 ~nr:20 ~dr:4 in
+  Alcotest.(check string) "materialized" "materialized"
+    (Decision.to_string (Decision.heuristic t))
+
+let test_heuristic_custom_thresholds () =
+  let t = pkfk ~ns:40 ~ds:4 ~nr:20 ~dr:8 in
+  (* TR = 2: rejected at τ=5 but accepted at τ=1.5 *)
+  Alcotest.(check string) "accepted" "factorized"
+    (Decision.to_string (Decision.heuristic ~tau:1.5 t))
+
+let test_tuple_feature_ratio () =
+  let t = pkfk ~ns:200 ~ds:4 ~nr:20 ~dr:8 in
+  Alcotest.(check (float 1e-9)) "TR" 10.0 (Normalized.tuple_ratio t) ;
+  Alcotest.(check (float 1e-9)) "FR" 2.0 (Normalized.feature_ratio t)
+
+let test_redundancy_ratio () =
+  let t = pkfk ~ns:200 ~ds:4 ~nr:20 ~dr:8 in
+  (* size(T)/(size(S)+size(R)) = 200*12 / (800+160) = 2.5 *)
+  Alcotest.(check (float 1e-9)) "ratio" 2.5 (Normalized.redundancy_ratio t)
+
+(* ---- adaptive matrix ---- *)
+
+let test_adaptive_routes () =
+  let hi = pkfk ~ns:200 ~ds:4 ~nr:20 ~dr:8 in
+  let lo = pkfk ~ns:40 ~ds:8 ~nr:20 ~dr:4 in
+  Alcotest.(check string) "hi → F" "factorized"
+    (Decision.to_string (Adaptive_matrix.choice (Adaptive_matrix.of_normalized hi))) ;
+  Alcotest.(check string) "lo → M" "materialized"
+    (Decision.to_string (Adaptive_matrix.choice (Adaptive_matrix.of_normalized lo)))
+
+let test_adaptive_same_results () =
+  (* whichever path is chosen, the numbers agree with the rewrites *)
+  List.iter
+    (fun t ->
+      let a = Adaptive_matrix.of_normalized t in
+      let x = Dense.random ~rng:(Rng.of_int 3) (Normalized.cols t) 2 in
+      if not (Dense.approx_equal ~tol:1e-8 (Rewrite.lmm t x) (Adaptive_matrix.lmm a x))
+      then Alcotest.fail "adaptive lmm differs" ;
+      if not
+           (Dense.approx_equal ~tol:1e-8 (Rewrite.crossprod t)
+              (Adaptive_matrix.crossprod a))
+      then Alcotest.fail "adaptive crossprod differs")
+    [ pkfk ~ns:200 ~ds:4 ~nr:20 ~dr:8; pkfk ~ns:40 ~ds:8 ~nr:20 ~dr:4 ]
+
+(* ---- cost model vs analytic expectations ---- *)
+
+let dims = { Cost.ns = 100_000; ds = 20; nr = 10_000; dr = 40 }
+
+let test_cost_speedups_positive () =
+  List.iter
+    (fun op ->
+      let sp = Cost.speedup dims op in
+      Alcotest.(check bool) "speedup > 1 at TR=10,FR=2" true (sp > 1.0))
+    [ Cost.Scalar_op; Cost.Aggregation; Cost.Lmm 1; Cost.Rmm 1; Cost.Crossprod ]
+
+let test_cost_asymptotics () =
+  (* as TR → ∞ the linear-op speed-up approaches 1 + FR (Table 11) *)
+  let fr = 2.0 in
+  let big = { Cost.ns = 100_000_000; ds = 20; nr = 100; dr = 40 } in
+  let sp = Cost.speedup big (Cost.Lmm 1) in
+  Alcotest.(check bool) "≈ 1+FR" true (Float.abs (sp -. (1.0 +. fr)) < 0.01) ;
+  let spc = Cost.speedup big Cost.Crossprod in
+  Alcotest.(check bool) "crossprod ≈ (1+FR)²" true
+    (Float.abs (spc -. ((1.0 +. fr) ** 2.0)) < 0.05) ;
+  Alcotest.(check (float 1e-9)) "limit helper" 9.0
+    (Cost.limit_tuple_ratio ~feature_ratio:2.0 Cost.Crossprod)
+
+(* ---- cost model vs instrumented flops ---- *)
+
+(* Run a factorized operator under the flop counter and compare with the
+   Table 3 expression; lower-order terms allow a loose factor. *)
+let measured_close ?(slack = 0.35) name expected measured =
+  let rel = Float.abs (measured -. expected) /. expected in
+  if rel > slack then
+    Alcotest.failf "%s: measured %g vs model %g (rel %.2f)" name measured
+      expected rel
+
+let test_flops_match_model () =
+  let ns = 2000 and ds = 8 and nr = 100 and dr = 16 in
+  let t = pkfk ~ns ~ds ~nr ~dr in
+  let d = { Cost.ns; ds; nr; dr } in
+  let x1 = Dense.random ~rng:(Rng.of_int 5) (ds + dr) 1 in
+  (* factorized LMM: model dX(nS dS + nR dR); count one mult+add = 2 flops,
+     model counts "arithmetic computations" similarly at 2 per pair *)
+  let _, f_lmm = Flops.count (fun () -> ignore (Rewrite.lmm t x1)) in
+  measured_close "factorized LMM" (2.0 *. Cost.factorized d (Cost.Lmm 1)) f_lmm ;
+  let m = Materialize.to_dense t in
+  let _, m_lmm = Flops.count (fun () -> ignore (Blas.gemm m x1)) in
+  measured_close "standard LMM" (2.0 *. Cost.standard d (Cost.Lmm 1)) m_lmm ;
+  (* scalar op *)
+  let _, f_sc = Flops.count (fun () -> ignore (Rewrite.scale 2.0 t)) in
+  measured_close "factorized scalar" (Cost.factorized d Cost.Scalar_op) f_sc ;
+  let _, m_sc = Flops.count (fun () -> ignore (Dense.scale 2.0 m)) in
+  measured_close "standard scalar" (Cost.standard d Cost.Scalar_op) m_sc ;
+  (* crossprod: model (1/2)d²nS vs counted nS·d(d+1) ≈ 2× model *)
+  let _, m_cp = Flops.count (fun () -> ignore (Blas.crossprod m)) in
+  measured_close "standard crossprod" (2.0 *. Cost.standard d Cost.Crossprod) m_cp ;
+  let _, f_cp = Flops.count (fun () -> ignore (Rewrite.crossprod t)) in
+  measured_close "factorized crossprod" (2.0 *. Cost.factorized d Cost.Crossprod)
+    f_cp
+
+let test_flop_ratio_tracks_speedup_model () =
+  (* the measured flop ratio F/M should approximate the model speed-up *)
+  let ns = 4000 and ds = 10 and nr = 200 and dr = 30 in
+  let t = pkfk ~ns ~ds ~nr ~dr in
+  let m = Materialize.to_dense t in
+  let x = Dense.random ~rng:(Rng.of_int 5) (ds + dr) 2 in
+  let _, f = Flops.count (fun () -> ignore (Rewrite.lmm t x)) in
+  let _, s = Flops.count (fun () -> ignore (Blas.gemm m x)) in
+  let measured_speedup = s /. f in
+  let model = Cost.speedup { Cost.ns; ds; nr; dr } (Cost.Lmm 2) in
+  if Float.abs (measured_speedup -. model) /. model > 0.3 then
+    Alcotest.failf "flop ratio %.2f vs model %.2f" measured_speedup model
+
+let () =
+  Alcotest.run "decision"
+    [ ( "heuristic",
+        [ Alcotest.test_case "high redundancy → F" `Quick test_heuristic_high_redundancy;
+          Alcotest.test_case "low TR → M" `Quick test_heuristic_low_tuple_ratio;
+          Alcotest.test_case "low FR → M" `Quick test_heuristic_low_feature_ratio;
+          Alcotest.test_case "custom thresholds" `Quick test_heuristic_custom_thresholds;
+          Alcotest.test_case "TR/FR accessors" `Quick test_tuple_feature_ratio;
+          Alcotest.test_case "redundancy ratio" `Quick test_redundancy_ratio ] );
+      ( "adaptive",
+        [ Alcotest.test_case "routing" `Quick test_adaptive_routes;
+          Alcotest.test_case "identical results" `Quick test_adaptive_same_results ] );
+      ( "cost-model",
+        [ Alcotest.test_case "speedups > 1" `Quick test_cost_speedups_positive;
+          Alcotest.test_case "asymptotics (Table 11)" `Quick test_cost_asymptotics;
+          Alcotest.test_case "matches flop counters" `Quick test_flops_match_model;
+          Alcotest.test_case "ratio tracks model" `Quick test_flop_ratio_tracks_speedup_model ] ) ]

@@ -1,0 +1,142 @@
+(* Tests for double matrix multiplication (appendix C): products of two
+   normalized matrices in all four transpose combinations, checked
+   against the materialized products. *)
+
+open La
+open Sparse
+open Morpheus
+open Test_support
+
+(* A random normalized matrix with prescribed row and column counts so
+   we can make shapes compose. *)
+let normalized_with rng ~sparse ~n ~parts_spec ~ent_cols =
+  let mat r c = Gen.mat rng ~sparse r c in
+  let ent = if ent_cols > 0 then Some (mat n ent_cols) else None in
+  let parts =
+    List.map
+      (fun (nr, dr) ->
+        let nr = min nr n in
+        (Indicator.random ~rng ~rows:n ~cols:nr (), mat nr dr))
+      parts_spec
+  in
+  match ent with
+  | Some s -> Normalized.star ~s ~parts
+  | None -> Normalized.make parts
+
+let cases =
+  (* (seed, sparse_a, sparse_b) *)
+  [ (1, false, false); (2, true, false); (3, false, true); (4, true, true); (5, false, false) ]
+
+let check_product name fa fb expected_of got_of =
+  List.iter
+    (fun (seed, sparse_a, sparse_b) ->
+      let rng = Rng.of_int (seed * 131) in
+      let a = fa rng sparse_a in
+      let b = fb rng sparse_b a in
+      let ma = Gen.ground_truth a and mb = Gen.ground_truth b in
+      let expected = expected_of ma mb in
+      let got = got_of a b in
+      Gen.check_close ~tol:1e-8
+        (Printf.sprintf "%s (seed %d, sparse %b/%b)" name seed sparse_a sparse_b)
+        expected got)
+    cases
+
+(* A·B: B's row count must equal A's column count. *)
+let test_dmm_ab () =
+  check_product "A·B"
+    (fun rng sparse ->
+      normalized_with rng ~sparse ~n:12 ~parts_spec:[ (4, 3) ] ~ent_cols:2)
+    (fun rng sparse a ->
+      (* n_B = d_A = 5 *)
+      let da = Normalized.cols a in
+      normalized_with rng ~sparse ~n:da ~parts_spec:[ (3, 2); (2, 2) ] ~ent_cols:1)
+    (fun ma mb -> Blas.gemm ma mb)
+    (fun a b -> Dmm.mult a b)
+
+(* AᵀBᵀ = (BA)ᵀ *)
+let test_dmm_atbt () =
+  check_product "Aᵀ·Bᵀ"
+    (fun rng sparse ->
+      normalized_with rng ~sparse ~n:10 ~parts_spec:[ (4, 2) ] ~ent_cols:2)
+    (fun rng sparse a ->
+      let na = Normalized.rows a in
+      (* B has d_B = n_A so Bᵀ has n_A columns... B: n_B × n_A *)
+      normalized_with rng ~sparse ~n:7 ~parts_spec:[ (3, na - 2) ] ~ent_cols:2)
+    (fun ma mb -> Blas.gemm (Dense.transpose ma) (Dense.transpose mb))
+    (fun a b -> Dmm.mult (Rewrite.transpose a) (Rewrite.transpose b))
+
+(* Aᵀ·B with shared row dimension (generalized Gramian over features). *)
+let test_dmm_atb () =
+  check_product "Aᵀ·B"
+    (fun rng sparse ->
+      normalized_with rng ~sparse ~n:14 ~parts_spec:[ (5, 3) ] ~ent_cols:2)
+    (fun rng sparse a ->
+      let n = Normalized.rows a in
+      normalized_with rng ~sparse ~n ~parts_spec:[ (4, 2); (3, 2) ] ~ent_cols:1)
+    (fun ma mb -> Blas.tgemm ma mb)
+    (fun a b -> Dmm.mult (Rewrite.transpose a) b)
+
+(* A·Bᵀ with shared column dimension, aligned splits (case 1). *)
+let test_dmm_abt_aligned () =
+  check_product "A·Bᵀ aligned"
+    (fun rng sparse ->
+      normalized_with rng ~sparse ~n:9 ~parts_spec:[ (4, 3) ] ~ent_cols:2)
+    (fun rng sparse _ ->
+      normalized_with rng ~sparse ~n:11 ~parts_spec:[ (5, 3) ] ~ent_cols:2)
+    (fun ma mb -> Blas.gemm_nt ma mb)
+    (fun a b -> Dmm.mult a (Rewrite.transpose b))
+
+(* A·Bᵀ with misaligned splits (cases 2/3 of appendix C). *)
+let test_dmm_abt_misaligned () =
+  check_product "A·Bᵀ misaligned"
+    (fun rng sparse ->
+      (* d_A = 2 + 4 = 6 with split at 2 *)
+      normalized_with rng ~sparse ~n:9 ~parts_spec:[ (4, 4) ] ~ent_cols:2)
+    (fun rng sparse _ ->
+      (* d_B = 4 + 2 = 6 with split at 4 *)
+      normalized_with rng ~sparse ~n:11 ~parts_spec:[ (5, 2) ] ~ent_cols:4)
+    (fun ma mb -> Blas.gemm_nt ma mb)
+    (fun a b -> Dmm.mult a (Rewrite.transpose b))
+
+(* A·Bᵀ where one side is M:N-shaped (no plain entity part). *)
+let test_dmm_abt_mn_shape () =
+  check_product "A·Bᵀ M:N shape"
+    (fun rng sparse ->
+      normalized_with rng ~sparse ~n:8 ~parts_spec:[ (3, 2); (4, 3) ] ~ent_cols:0)
+    (fun rng sparse _ ->
+      normalized_with rng ~sparse ~n:10 ~parts_spec:[ (4, 5) ] ~ent_cols:0)
+    (fun ma mb -> Blas.gemm_nt ma mb)
+    (fun a b -> Dmm.mult a (Rewrite.transpose b))
+
+(* degenerate A = B: AᵀA must agree with the crossprod rewrite *)
+let test_dmm_degenerate_crossprod () =
+  List.iter
+    (fun seed ->
+      let a = Gen.normalized ~seed Gen.Star2 in
+      Gen.check_close ~tol:1e-8
+        (Printf.sprintf "AᵀA = crossprod (seed %d)" seed)
+        (Rewrite.crossprod a)
+        (Dmm.mult (Rewrite.transpose a) a))
+    [ 0; 1; 2 ]
+
+let test_dmm_dim_mismatch () =
+  let rng = Rng.of_int 1 in
+  let a = normalized_with rng ~sparse:false ~n:5 ~parts_spec:[ (2, 2) ] ~ent_cols:1 in
+  let b = normalized_with rng ~sparse:false ~n:5 ~parts_spec:[ (2, 2) ] ~ent_cols:1 in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Dmm.mult a b) ;
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "dmm"
+    [ ( "double-multiplication",
+        [ Alcotest.test_case "A·B" `Quick test_dmm_ab;
+          Alcotest.test_case "Aᵀ·Bᵀ" `Quick test_dmm_atbt;
+          Alcotest.test_case "Aᵀ·B" `Quick test_dmm_atb;
+          Alcotest.test_case "A·Bᵀ aligned" `Quick test_dmm_abt_aligned;
+          Alcotest.test_case "A·Bᵀ misaligned" `Quick test_dmm_abt_misaligned;
+          Alcotest.test_case "A·Bᵀ M:N shape" `Quick test_dmm_abt_mn_shape;
+          Alcotest.test_case "AᵀA = crossprod" `Quick test_dmm_degenerate_crossprod;
+          Alcotest.test_case "dimension mismatch" `Quick test_dmm_dim_mismatch ] ) ]

@@ -1,0 +1,113 @@
+(* Tests for the EXPLAIN facility: the rendered plans must reflect the
+   actual matrix structure, the cost numbers must agree with the Cost
+   module, and the decision must match Decision.heuristic. *)
+
+open La
+open Sparse
+open Morpheus
+open Test_support
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let check_contains msg hay needle =
+  if not (contains hay needle) then
+    Alcotest.failf "%s: %S not found in:\n%s" msg needle hay
+
+let pkfk () =
+  let rng = Rng.of_int 7 in
+  let s = Mat.of_dense (Dense.random ~rng 200 4) in
+  let r = Mat.of_dense (Dense.random ~rng 20 8) in
+  let k = Indicator.random ~rng ~rows:200 ~cols:20 () in
+  Normalized.pkfk ~s ~k ~r
+
+let test_lmm_plan () =
+  let t = pkfk () in
+  let s = Explain.explain t (Explain.Lmm 1) in
+  check_contains "op" s "LMM" ;
+  check_contains "rule structure" s "S*X[1:dS,]" ;
+  check_contains "K(RX) order" s "K1*(R1*X[slice,])" ;
+  check_contains "decision" s "factorized"
+
+let test_crossprod_plan () =
+  let t = pkfk () in
+  let s = Explain.explain t Explain.Crossprod in
+  check_contains "efficient diag" s "diag(colSums K1)" ;
+  check_contains "off-diagonal note" s "(S'Ki)Ri"
+
+let test_aggregation_plans () =
+  let t = pkfk () in
+  check_contains "rowSums" (Explain.explain t Explain.Row_sums) "K1*rowSums(R1)" ;
+  check_contains "colSums" (Explain.explain t Explain.Col_sums) "colSums(K1)*R1" ;
+  check_contains "sum" (Explain.explain t Explain.Sum) "colSums(K1)*rowSums(R1)"
+
+let test_ginv_branches () =
+  let t = pkfk () in
+  check_contains "tall branch" (Explain.explain t Explain.Ginv) "[d < n branch]" ;
+  let wide = Rewrite.transpose t in
+  check_contains "wide branch" (Explain.explain wide Explain.Ginv) "[d >= n branch]"
+
+let test_costs_match_cost_module () =
+  let t = pkfk () in
+  let r = Explain.analyze t (Explain.Lmm 2) in
+  let dims = Decision.cost_dims t in
+  Alcotest.(check (float 1e-9)) "standard" (Cost.standard dims (Cost.Lmm 2))
+    r.Explain.standard_flops ;
+  Alcotest.(check (float 1e-9)) "factorized" (Cost.factorized dims (Cost.Lmm 2))
+    r.Explain.factorized_flops ;
+  Alcotest.(check bool) "speedup consistent" true
+    (Float.abs
+       (r.Explain.predicted_speedup
+       -. (r.Explain.standard_flops /. r.Explain.factorized_flops))
+    < 1e-9)
+
+let test_decision_matches () =
+  let t = pkfk () in
+  let r = Explain.analyze t Explain.Scalar_op in
+  Alcotest.(check string) "same decision"
+    (Decision.to_string (Decision.heuristic t))
+    (Decision.to_string r.Explain.decision) ;
+  (* forcing thresholds flips it *)
+  let r' = Explain.analyze ~tau:1000.0 t Explain.Scalar_op in
+  Alcotest.(check string) "forced materialize" "materialized"
+    (Decision.to_string r'.Explain.decision)
+
+let test_mn_plan_names () =
+  let t = Gen.normalized ~seed:3 Gen.Mn in
+  let s = Explain.explain t Explain.Row_sums in
+  check_contains "I_S name" s "I_S" ;
+  check_contains "I_R name" s "I_R1"
+
+let test_star_plan_names () =
+  let t = Gen.normalized ~seed:4 Gen.Star3 in
+  let s = Explain.explain t (Explain.Lmm 1) in
+  check_contains "K1" s "K1" ;
+  check_contains "K2" s "K2" ;
+  check_contains "K3" s "K3"
+
+let test_describe () =
+  let t = pkfk () in
+  let s = Explain.describe t in
+  check_contains "dims" s "200 x 12" ;
+  check_contains "entity line" s "entity S: 200 x 4" ;
+  check_contains "part line" s "attribute 20 x 8" ;
+  check_contains "redundancy" s "redundancy ratio" ;
+  let mn = Gen.normalized ~seed:5 Gen.Mn in
+  check_contains "mn note" (Explain.describe mn) "no plain entity part"
+
+let () =
+  Alcotest.run "explain"
+    [ ( "plans",
+        [ Alcotest.test_case "LMM" `Quick test_lmm_plan;
+          Alcotest.test_case "crossprod" `Quick test_crossprod_plan;
+          Alcotest.test_case "aggregations" `Quick test_aggregation_plans;
+          Alcotest.test_case "ginv branches" `Quick test_ginv_branches ] );
+      ( "consistency",
+        [ Alcotest.test_case "costs" `Quick test_costs_match_cost_module;
+          Alcotest.test_case "decision" `Quick test_decision_matches ] );
+      ( "naming",
+        [ Alcotest.test_case "M:N names" `Quick test_mn_plan_names;
+          Alcotest.test_case "star names" `Quick test_star_plan_names;
+          Alcotest.test_case "describe" `Quick test_describe ] ) ]

@@ -1,0 +1,278 @@
+(* Tests for the extensions beyond the paper's Table 1: column-wise
+   operators (Colops), spectral operations / PCA / Cholesky solve
+   (Spectral — the paper's "future work" §7), and multi-table M:N chain
+   joins (appendix E) through the relational layer. *)
+
+open La
+open Sparse
+open Morpheus
+open Relational
+open Test_support
+
+let check_close = Gen.check_close
+
+(* ---- Colops ---- *)
+
+let test_scale_cols () =
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun shape ->
+          let t = Gen.normalized ~seed shape in
+          let d = Normalized.cols t in
+          let rng = Rng.of_int (seed + 100) in
+          let v = Array.init d (fun _ -> Rng.uniform rng ~lo:0.5 ~hi:2.0) in
+          let m = Gen.ground_truth t in
+          let expected = Dense.mapi (fun _ j x -> x *. v.(j)) m in
+          let got = Gen.ground_truth (Colops.scale_cols t v) in
+          check_close
+            (Printf.sprintf "scale_cols %s seed %d" (Gen.shape_name shape) seed)
+            expected got)
+        Gen.shapes)
+    [ 0; 1; 2 ]
+
+let test_scale_cols_sparse_stays_sparse () =
+  let t = Gen.normalized ~seed:4 ~sparse:true Gen.Star2 in
+  let v = Array.make (Normalized.cols t) 2.0 in
+  let t' = Colops.scale_cols t v in
+  List.iter
+    (fun (p : Normalized.part) ->
+      Alcotest.(check bool) "sparse preserved" true (Mat.is_sparse p.Normalized.mat))
+    (Normalized.parts t')
+
+let test_col_means_stds () =
+  let t = Gen.normalized ~seed:5 Gen.Pkfk in
+  let m = Gen.ground_truth t in
+  let n = float_of_int (Dense.rows m) in
+  let means = Colops.col_means t in
+  check_close "col_means" (Dense.scale (1.0 /. n) (Dense.col_sums m)) means ;
+  let stds = Colops.col_stds t in
+  (* reference: population std per column *)
+  let expected =
+    Dense.init 1 (Dense.cols m) (fun _ j ->
+        let mu = Dense.get means 0 j in
+        let acc = ref 0.0 in
+        for i = 0 to Dense.rows m - 1 do
+          acc := !acc +. ((Dense.get m i j -. mu) ** 2.0)
+        done ;
+        sqrt (!acc /. n))
+  in
+  check_close ~tol:1e-7 "col_stds" expected stds
+
+let test_standardize_scale () =
+  let t = Gen.normalized ~seed:6 Gen.Star2 in
+  let t' = Colops.standardize_scale t in
+  let stds = Dense.row_to_array (Colops.col_stds t') in
+  Array.iter
+    (fun s ->
+      if Float.abs (s -. 1.0) > 1e-6 && s > 1e-9 then
+        Alcotest.failf "column std %g after standardization" s)
+    stds
+
+let test_with_intercept () =
+  List.iter
+    (fun shape ->
+      let t = Gen.normalized ~seed:7 shape in
+      let t1 = Colops.with_intercept t in
+      Alcotest.(check int) "one more column" (Normalized.cols t + 1)
+        (Normalized.cols t1) ;
+      let m1 = Gen.ground_truth t1 in
+      for i = 0 to Dense.rows m1 - 1 do
+        Alcotest.(check (float 0.)) "ones column" 1.0 (Dense.get m1 i 0)
+      done ;
+      check_close "rest unchanged"
+        (Gen.ground_truth t)
+        (Dense.sub_cols m1 ~lo:1 ~hi:(Dense.cols m1)))
+    Gen.shapes
+
+let test_intercept_still_factorized () =
+  (* the intercept-extended matrix must still run the rewrites *)
+  let t = Colops.with_intercept (Gen.normalized ~seed:8 Gen.Mn) in
+  let x = Dense.random ~rng:(Rng.of_int 3) (Normalized.cols t) 2 in
+  check_close "lmm with intercept"
+    (Blas.gemm (Gen.ground_truth t) x)
+    (Rewrite.lmm t x)
+
+(* ---- Spectral ---- *)
+
+let pkfk_tall seed =
+  let rng = Rng.of_int seed in
+  let s = Mat.of_dense (Dense.gaussian ~rng 60 3) in
+  let r = Mat.of_dense (Dense.gaussian ~rng 8 4) in
+  let k = Indicator.random ~rng ~rows:60 ~cols:8 () in
+  Normalized.pkfk ~s ~k ~r
+
+let test_svd_reconstructs () =
+  let t = pkfk_tall 11 in
+  let m = Gen.ground_truth t in
+  let { Spectral.u; s; v } = Spectral.svd t in
+  let recon = Blas.gemm_nt (Blas.gemm u (Dense.diag_of_array s)) v in
+  check_close ~tol:1e-6 "USVᵀ = T" m recon ;
+  (* descending singular values *)
+  Array.iteri
+    (fun i x -> if i > 0 then Alcotest.(check bool) "descending" true (x <= s.(i - 1)))
+    s ;
+  check_close ~tol:1e-8 "U orthonormal" (Dense.identity (Array.length s))
+    (Blas.crossprod u) ;
+  check_close ~tol:1e-8 "V orthonormal" (Dense.identity (Array.length s))
+    (Blas.crossprod v)
+
+let test_svd_matches_direct () =
+  let t = pkfk_tall 12 in
+  let m = Gen.ground_truth t in
+  let _, s_direct, _ = Linalg.svd m in
+  let { Spectral.s; _ } = Spectral.svd t in
+  Array.sort (fun a b -> compare b a) s_direct ;
+  Array.iteri
+    (fun i x ->
+      if Float.abs (x -. s_direct.(i)) > 1e-6 *. (1.0 +. x) then
+        Alcotest.failf "singular value %d: %g vs %g" i x s_direct.(i))
+    s
+
+let test_svd_truncated () =
+  let t = pkfk_tall 13 in
+  let r = Spectral.svd ~rank:2 t in
+  Alcotest.(check int) "rank" 2 (Array.length r.Spectral.s) ;
+  Alcotest.(check int) "u cols" 2 (Dense.cols r.Spectral.u)
+
+let test_pca_matches_materialized () =
+  let t = pkfk_tall 14 in
+  let m = Gen.ground_truth t in
+  let p = Spectral.pca ~k:3 t in
+  (* reference covariance from the centered materialized matrix *)
+  let n = Dense.rows m in
+  let mu = Dense.scale (1.0 /. float_of_int n) (Dense.col_sums m) in
+  let centered = Dense.mapi (fun _ j x -> x -. Dense.get mu 0 j) m in
+  let cov_ref = Dense.scale (1.0 /. float_of_int (n - 1)) (Blas.crossprod centered) in
+  check_close ~tol:1e-7 "covariance" cov_ref (Spectral.covariance t) ;
+  (* projections match centered multiplication *)
+  let proj_ref = Blas.gemm centered p.Spectral.components in
+  check_close ~tol:1e-7 "transform" proj_ref (Spectral.transform t p) ;
+  let ratio = Spectral.explained_ratio t p in
+  Alcotest.(check bool) "ratio in (0,1]" true (ratio > 0.0 && ratio <= 1.0 +. 1e-9)
+
+let test_pca_variance_ordering () =
+  let t = pkfk_tall 15 in
+  let p = Spectral.pca ~k:4 t in
+  Array.iteri
+    (fun i v ->
+      if i > 0 then
+        Alcotest.(check bool) "descending variance" true
+          (v <= p.Spectral.explained_variance.(i - 1)))
+    p.Spectral.explained_variance
+
+let test_cholesky_solve () =
+  let t = pkfk_tall 16 in
+  let m = Gen.ground_truth t in
+  let rng = Rng.of_int 17 in
+  let w_true = Dense.random ~rng 7 1 in
+  let y = Blas.gemm m w_true in
+  check_close ~tol:1e-7 "Cholesky solve recovers w" w_true (Spectral.solve t y)
+
+let test_ridge_solve () =
+  let t = pkfk_tall 18 in
+  let m = Gen.ground_truth t in
+  let y = Dense.random ~rng:(Rng.of_int 19) (Dense.rows m) 1 in
+  let w = Spectral.solve_ridge ~lambda:0.5 t y in
+  (* reference: (TᵀT + λI)⁻¹ Tᵀy on the materialized matrix *)
+  let cp = Blas.crossprod m in
+  let reg = Dense.mapi (fun i j x -> if i = j then x +. 0.5 else x) cp in
+  let expected = Linalg.solve reg (Blas.tgemm m y) in
+  check_close ~tol:1e-7 "ridge" expected w ;
+  Alcotest.(check bool) "lambda > 0 enforced" true
+    (try
+       ignore (Spectral.solve_ridge ~lambda:0.0 t y) ;
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- multi-table M:N chains (appendix E) ---- *)
+
+let chain_table name n ~key_vals ~feature_base =
+  let schema =
+    Schema.create ~table_name:name
+      [ Schema.column ~name:"a" ~role:Schema.Ignored;
+        Schema.column ~name:"b" ~role:Schema.Ignored;
+        Schema.column ~name:"x" ~role:Schema.Numeric_feature ]
+  in
+  Table.of_rows schema
+    (List.init n (fun i ->
+         [| Value.Int (key_vals i);
+            Value.Int ((key_vals i + 1) mod 3);
+            Value.Float (feature_base +. float_of_int i) |]))
+
+let test_chain_matches_nested_loop () =
+  let t1 = chain_table "R1" 4 ~key_vals:(fun i -> i mod 2) ~feature_base:10.0 in
+  let t2 = chain_table "R2" 5 ~key_vals:(fun i -> i mod 3) ~feature_base:20.0 in
+  let t3 = chain_table "R3" 4 ~key_vals:(fun i -> i mod 2) ~feature_base:30.0 in
+  let tables = [ t1; t2; t3 ] in
+  let conditions = [ ("a", "a"); ("b", "b") ] in
+  let inds = Join.chain_indicators tables conditions in
+  Alcotest.(check int) "one indicator per table" 3 (List.length inds) ;
+  (* nested-loop ground truth *)
+  let count = ref 0 in
+  for i = 0 to 3 do
+    for j = 0 to 4 do
+      for k = 0 to 3 do
+        let v t row col = Table.get t ~row ~col_name:col in
+        if Value.equal (v t1 i "a") (v t2 j "a") && Value.equal (v t2 j "b") (v t3 k "b")
+        then incr count
+      done
+    done
+  done ;
+  Alcotest.(check int) "cardinality" !count (Indicator.rows (List.hd inds)) ;
+  (* materialized chain has the same cardinality *)
+  let mat = Join.materialize_chain tables conditions in
+  Alcotest.(check int) "materialized cardinality" !count (Table.nrows mat)
+
+let test_chain_normalized_rewrites () =
+  let t1 = chain_table "R1" 6 ~key_vals:(fun i -> i mod 2) ~feature_base:1.0 in
+  let t2 = chain_table "R2" 5 ~key_vals:(fun i -> i mod 2) ~feature_base:2.0 in
+  let t3 = chain_table "R3" 4 ~key_vals:(fun i -> i mod 2) ~feature_base:3.0 in
+  let ds = Builder.mn_chain ~tables:[ t1; t2; t3 ] ~conditions:[ ("a", "a"); ("b", "b") ] () in
+  let t = ds.Builder.matrix in
+  Alcotest.(check int) "3 parts" 3 (List.length (Normalized.parts t)) ;
+  let m = Materialize.to_dense t in
+  let x = Dense.random ~rng:(Rng.of_int 20) (Normalized.cols t) 2 in
+  check_close "chain lmm" (Blas.gemm m x) (Rewrite.lmm t x) ;
+  check_close "chain crossprod" (Blas.crossprod m) (Rewrite.crossprod t) ;
+  check_close "chain rowSums" (Dense.row_sums m) (Rewrite.row_sums t) ;
+  (* appendix E's transposed Gram rewrite too *)
+  check_close "chain gram" (Blas.tcrossprod m)
+    (Rewrite.crossprod (Rewrite.transpose t))
+
+let test_chain_empty_join () =
+  let t1 = chain_table "R1" 3 ~key_vals:(fun _ -> 0) ~feature_base:1.0 in
+  let t2 = chain_table "R2" 3 ~key_vals:(fun _ -> 1) ~feature_base:2.0 in
+  let inds = Join.chain_indicators [ t1; t2 ] [ ("a", "a") ] in
+  Alcotest.(check int) "empty output" 0 (Indicator.rows (List.hd inds))
+
+let test_chain_condition_arity () =
+  let t1 = chain_table "R1" 2 ~key_vals:(fun i -> i) ~feature_base:0.0 in
+  Alcotest.(check bool) "arity checked" true
+    (try
+       ignore (Join.chain_indicators [ t1; t1 ] []) ;
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "extensions"
+    [ ( "colops",
+        [ Alcotest.test_case "scale_cols" `Quick test_scale_cols;
+          Alcotest.test_case "sparsity preserved" `Quick test_scale_cols_sparse_stays_sparse;
+          Alcotest.test_case "col means/stds" `Quick test_col_means_stds;
+          Alcotest.test_case "standardize" `Quick test_standardize_scale;
+          Alcotest.test_case "with_intercept" `Quick test_with_intercept;
+          Alcotest.test_case "intercept factorized" `Quick test_intercept_still_factorized ] );
+      ( "spectral",
+        [ Alcotest.test_case "svd reconstructs" `Quick test_svd_reconstructs;
+          Alcotest.test_case "svd matches direct" `Quick test_svd_matches_direct;
+          Alcotest.test_case "svd truncated" `Quick test_svd_truncated;
+          Alcotest.test_case "pca matches materialized" `Quick test_pca_matches_materialized;
+          Alcotest.test_case "pca variance ordering" `Quick test_pca_variance_ordering;
+          Alcotest.test_case "cholesky solve" `Quick test_cholesky_solve;
+          Alcotest.test_case "ridge solve" `Quick test_ridge_solve ] );
+      ( "mn-chain",
+        [ Alcotest.test_case "matches nested loop" `Quick test_chain_matches_nested_loop;
+          Alcotest.test_case "rewrites correct" `Quick test_chain_normalized_rewrites;
+          Alcotest.test_case "empty join" `Quick test_chain_empty_join;
+          Alcotest.test_case "condition arity" `Quick test_chain_condition_arity ] ) ]

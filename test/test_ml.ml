@@ -1,0 +1,258 @@
+(* Tests for the ML algorithms (§4): the factorized and materialized
+   instantiations of each functor must produce identical models (the
+   paper's exact-arithmetic claim applied end-to-end), training must make
+   progress, and Orion must agree with Morpheus. *)
+
+open La
+open Sparse
+open Morpheus
+open Ml_algs
+open Ml_algs.Algorithms
+open Test_support
+
+let check_close ?(tol = 1e-6) msg a b =
+  if not (Dense.approx_equal ~tol a b) then
+    Alcotest.failf "%s: max|diff| = %g" msg (Dense.max_abs_diff a b)
+
+(* small PK-FK dataset with a learnable signal *)
+let dataset ?(seed = 3) ?(ns = 120) ?(nr = 12) ?(ds = 3) ?(dr = 4) () =
+  let rng = Rng.of_int seed in
+  let s = Dense.gaussian ~rng ns ds in
+  let r = Dense.gaussian ~rng nr dr in
+  let k = Indicator.random ~rng ~rows:ns ~cols:nr () in
+  let t = Normalized.pkfk ~s:(Mat.of_dense s) ~k ~r:(Mat.of_dense r) in
+  let m = Materialize.to_dense t in
+  let w_true = Dense.gaussian ~rng (ds + dr) 1 in
+  let scores = Blas.gemm m w_true in
+  let y = Dense.map (fun v -> if v >= 0.0 then 1.0 else -1.0) scores in
+  let y_num =
+    Dense.add scores (Dense.scale 0.1 (Dense.gaussian ~rng ns 1))
+  in
+  (t, m, y, y_num, w_true)
+
+(* ---- logistic regression ---- *)
+
+let test_logreg_f_equals_m () =
+  let t, m, y, _, _ = dataset () in
+  let f = Factorized.Logreg.train ~alpha:1e-3 ~iters:15 t y in
+  let s = Materialized.Logreg.train ~alpha:1e-3 ~iters:15 (Mat.of_dense m) y in
+  check_close "identical weights" s.Materialized.Logreg.w f.Factorized.Logreg.w
+
+let test_logreg_loss_decreases () =
+  let t, _, y, _, _ = dataset () in
+  let f = Factorized.Logreg.train ~alpha:1e-3 ~iters:25 ~record_loss:true t y in
+  match (f.losses, List.rev f.losses) with
+  | first :: _, last :: _ ->
+    Alcotest.(check bool)
+      (Printf.sprintf "loss %.4f → %.4f" first last)
+      true (last < first)
+  | _ -> Alcotest.fail "no losses recorded"
+
+let test_logreg_learns () =
+  let t, _, y, _, _ = dataset ~ns:300 () in
+  let f = Factorized.Logreg.train ~alpha:1e-2 ~iters:120 t y in
+  let acc = Factorized.Logreg.accuracy t f y in
+  Alcotest.(check bool) (Printf.sprintf "accuracy %.2f > 0.9" acc) true (acc > 0.9)
+
+let test_logreg_sparse () =
+  (* same algorithm over sparse base matrices *)
+  let t = Gen.normalized ~seed:11 ~sparse:true Gen.Star2 in
+  let y =
+    Dense.init (Normalized.rows t) 1 (fun i _ -> if i mod 2 = 0 then 1.0 else -1.0)
+  in
+  let f = Factorized.Logreg.train ~alpha:1e-3 ~iters:10 t y in
+  let m = Mat.of_dense (Materialize.to_dense t) in
+  let s = Materialized.Logreg.train ~alpha:1e-3 ~iters:10 m y in
+  check_close "sparse = dense path" s.Materialized.Logreg.w f.Factorized.Logreg.w
+
+(* ---- linear regression ---- *)
+
+let test_linreg_normal_f_equals_m () =
+  let t, m, _, y, _ = dataset () in
+  let wf = Factorized.Linreg.train_normal t y in
+  let wm = Materialized.Linreg.train_normal (Mat.of_dense m) y in
+  check_close ~tol:1e-5 "identical weights" wm wf
+
+let test_linreg_recovers_truth () =
+  (* noiseless targets → exact recovery via normal equations *)
+  let t, m, _, _, w_true = dataset ~ns:200 () in
+  let y = Blas.gemm m w_true in
+  let w = Factorized.Linreg.train_normal t y in
+  check_close ~tol:1e-5 "recovers w*" w_true w
+
+let test_linreg_gd_f_equals_m () =
+  let t, m, _, y, _ = dataset () in
+  let wf = Factorized.Linreg.train_gd ~alpha:1e-4 ~iters:30 t y in
+  let wm = Materialized.Linreg.train_gd ~alpha:1e-4 ~iters:30 (Mat.of_dense m) y in
+  check_close "identical weights" wm wf
+
+let test_linreg_cofactor () =
+  let t, m, _, y, _ = dataset () in
+  let wf = Factorized.Linreg.train_cofactor ~alpha:0.05 ~iters:60 t y in
+  let wm = Materialized.Linreg.train_cofactor ~alpha:0.05 ~iters:60 (Mat.of_dense m) y in
+  check_close "identical weights" wm wf ;
+  (* AdaGrad over the co-factor reduces the RSS *)
+  let rss0 = Factorized.Linreg.rss t (Dense.create (Normalized.cols t) 1) y in
+  let rss = Factorized.Linreg.rss t wf y in
+  Alcotest.(check bool) "rss decreases" true (rss < rss0)
+
+let test_linreg_gd_converges_towards_normal () =
+  let t, _, _, y, _ = dataset ~ns:150 () in
+  let w_exact = Factorized.Linreg.train_normal t y in
+  let w_gd = Factorized.Linreg.train_gd ~alpha:2e-4 ~iters:4000 t y in
+  let rss_exact = Factorized.Linreg.rss t w_exact y in
+  let rss_gd = Factorized.Linreg.rss t w_gd y in
+  Alcotest.(check bool)
+    (Printf.sprintf "gd rss %.4f within 5%% of exact %.4f" rss_gd rss_exact)
+    true
+    (rss_gd < rss_exact *. 1.05 +. 1e-9)
+
+(* ---- K-Means ---- *)
+
+let blobs_dataset () =
+  (* two well-separated clusters determined by which R-row a tuple joins *)
+  let rng = Rng.of_int 17 in
+  let ns = 100 and nr = 2 in
+  let s = Dense.init ns 2 (fun _ _ -> Rng.gaussian rng *. 0.1) in
+  let r =
+    Dense.of_arrays [| [| 10.0; 10.0 |]; [| -10.0; -10.0 |] |]
+  in
+  let k = Indicator.random ~rng ~rows:ns ~cols:nr () in
+  (Normalized.pkfk ~s:(Mat.of_dense s) ~k ~r:(Mat.of_dense r), k)
+
+let test_kmeans_f_equals_m () =
+  let t, _ = blobs_dataset () in
+  let m = Mat.of_dense (Materialize.to_dense t) in
+  let f = Factorized.Kmeans.train ~iters:8 ~k:2 t in
+  let s = Materialized.Kmeans.train ~iters:8 ~k:2 m in
+  check_close "identical centroids" s.Materialized.Kmeans.centroids
+    f.Factorized.Kmeans.centroids ;
+  Alcotest.(check (array int)) "identical assignments"
+    s.Materialized.Kmeans.assignments f.Factorized.Kmeans.assignments
+
+let test_kmeans_separates_blobs () =
+  let t, k = blobs_dataset () in
+  let f = Factorized.Kmeans.train ~iters:10 ~k:2 t in
+  (* all tuples joined to the same R-row must land in the same cluster *)
+  let cluster_of_rrow = Array.make 2 (-1) in
+  Array.iteri
+    (fun i c ->
+      let rr = Sparse.Indicator.col_of_row k i in
+      if cluster_of_rrow.(rr) = -1 then cluster_of_rrow.(rr) <- c
+      else Alcotest.(check int) "consistent cluster" cluster_of_rrow.(rr) c)
+    f.Factorized.Kmeans.assignments ;
+  Alcotest.(check bool) "two distinct clusters" true
+    (cluster_of_rrow.(0) <> cluster_of_rrow.(1))
+
+let test_kmeans_objective_decreases () =
+  let t, _, _, _, _ = dataset ~ns:150 () in
+  let r1 = Factorized.Kmeans.train ~iters:1 ~k:3 t in
+  let r10 = Factorized.Kmeans.train ~iters:10 ~k:3 t in
+  Alcotest.(check bool) "objective decreases" true
+    (r10.Factorized.Kmeans.objective <= r1.Factorized.Kmeans.objective +. 1e-9)
+
+(* ---- GNMF ---- *)
+
+let nonneg_dataset () =
+  (* GNMF needs a non-negative T *)
+  let rng = Rng.of_int 23 in
+  let ns = 60 and nr = 6 in
+  let s = Dense.random ~rng ns 3 in
+  let r = Dense.random ~rng nr 4 in
+  let k = Indicator.random ~rng ~rows:ns ~cols:nr () in
+  Normalized.pkfk ~s:(Mat.of_dense s) ~k ~r:(Mat.of_dense r)
+
+let test_gnmf_f_equals_m () =
+  let t = nonneg_dataset () in
+  let m = Mat.of_dense (Materialize.to_dense t) in
+  let init = Factorized.Gnmf.init t 3 in
+  let init_m =
+    { Materialized.Gnmf.w = Dense.copy init.Factorized.Gnmf.w;
+      h = Dense.copy init.Factorized.Gnmf.h }
+  in
+  let f = Factorized.Gnmf.train ~iters:10 ~init ~rank:3 t in
+  let s = Materialized.Gnmf.train ~iters:10 ~init:init_m ~rank:3 m in
+  check_close ~tol:1e-5 "identical W" s.Materialized.Gnmf.w f.Factorized.Gnmf.w ;
+  check_close ~tol:1e-5 "identical H" s.Materialized.Gnmf.h f.Factorized.Gnmf.h
+
+let test_gnmf_nonnegative () =
+  let t = nonneg_dataset () in
+  let f = Factorized.Gnmf.train ~iters:10 ~rank:3 t in
+  Dense.iteri (fun _ _ v -> Alcotest.(check bool) "W >= 0" true (v >= 0.0))
+    f.Factorized.Gnmf.w ;
+  Dense.iteri (fun _ _ v -> Alcotest.(check bool) "H >= 0" true (v >= 0.0))
+    f.Factorized.Gnmf.h
+
+let test_gnmf_error_decreases () =
+  let t = nonneg_dataset () in
+  let e1 =
+    Factorized.Gnmf.reconstruction_error t (Factorized.Gnmf.train ~iters:1 ~rank:3 t)
+  in
+  let e20 =
+    Factorized.Gnmf.reconstruction_error t (Factorized.Gnmf.train ~iters:20 ~rank:3 t)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "error %.3f → %.3f" e1 e20)
+    true (e20 < e1)
+
+let test_gnmf_reconstruction_error_matches_direct () =
+  let t = nonneg_dataset () in
+  let f = Factorized.Gnmf.train ~iters:5 ~rank:3 t in
+  let m = Materialize.to_dense t in
+  let direct =
+    let approx = Blas.gemm_nt f.Factorized.Gnmf.w f.Factorized.Gnmf.h in
+    let diff = Dense.sub m approx in
+    Dense.sum (Dense.mul_elem diff diff)
+  in
+  let via_rewrites = Factorized.Gnmf.reconstruction_error t f in
+  if Float.abs (direct -. via_rewrites) > 1e-6 *. (1.0 +. direct) then
+    Alcotest.failf "error %.6f vs %.6f" direct via_rewrites
+
+(* ---- Orion ---- *)
+
+let test_orion_matches_morpheus () =
+  let t, _, y, _, _ = dataset () in
+  let s, k, r =
+    match (Normalized.ent t, Normalized.parts t) with
+    | Some s, [ p ] -> (Mat.dense s, p.Normalized.ind, Mat.dense p.Normalized.mat)
+    | _ -> Alcotest.fail "expected single pkfk"
+  in
+  let w_orion = Orion.train_logreg ~alpha:1e-3 ~iters:15 ~s ~k ~r ~y () in
+  let f = Factorized.Logreg.train ~alpha:1e-3 ~iters:15 t y in
+  check_close "Orion = Morpheus weights" f.Factorized.Logreg.w w_orion
+
+(* ---- adaptive instantiation ---- *)
+
+let test_adaptive_logreg_matches () =
+  let t, _, y, _, _ = dataset ~ns:200 () in
+  let a = Adaptive_matrix.of_normalized t in
+  let fa = Adaptive.Logreg.train ~alpha:1e-3 ~iters:10 a y in
+  let ff = Factorized.Logreg.train ~alpha:1e-3 ~iters:10 t y in
+  check_close "adaptive = factorized" ff.Factorized.Logreg.w fa.Adaptive.Logreg.w
+
+let () =
+  Alcotest.run "ml"
+    [ ( "logreg",
+        [ Alcotest.test_case "F = M" `Quick test_logreg_f_equals_m;
+          Alcotest.test_case "loss decreases" `Quick test_logreg_loss_decreases;
+          Alcotest.test_case "learns separable data" `Quick test_logreg_learns;
+          Alcotest.test_case "sparse inputs" `Quick test_logreg_sparse ] );
+      ( "linreg",
+        [ Alcotest.test_case "normal equations F = M" `Quick test_linreg_normal_f_equals_m;
+          Alcotest.test_case "recovers noiseless truth" `Quick test_linreg_recovers_truth;
+          Alcotest.test_case "GD F = M" `Quick test_linreg_gd_f_equals_m;
+          Alcotest.test_case "co-factor AdaGrad" `Quick test_linreg_cofactor;
+          Alcotest.test_case "GD → normal equations" `Slow test_linreg_gd_converges_towards_normal ] );
+      ( "kmeans",
+        [ Alcotest.test_case "F = M" `Quick test_kmeans_f_equals_m;
+          Alcotest.test_case "separates blobs" `Quick test_kmeans_separates_blobs;
+          Alcotest.test_case "objective decreases" `Quick test_kmeans_objective_decreases ] );
+      ( "gnmf",
+        [ Alcotest.test_case "F = M" `Quick test_gnmf_f_equals_m;
+          Alcotest.test_case "non-negativity" `Quick test_gnmf_nonnegative;
+          Alcotest.test_case "error decreases" `Quick test_gnmf_error_decreases;
+          Alcotest.test_case "factorized error formula" `Quick test_gnmf_reconstruction_error_matches_direct ] );
+      ( "orion",
+        [ Alcotest.test_case "matches Morpheus" `Quick test_orion_matches_morpheus ] );
+      ( "adaptive",
+        [ Alcotest.test_case "logreg matches" `Quick test_adaptive_logreg_matches ] ) ]

@@ -1,0 +1,188 @@
+(* Tests for the additional ML algorithms: hinge-loss linear SVM (via
+   the GLM functor), K-Means++ initialization, and Gaussian Naive Bayes
+   over normalized matrices. *)
+
+open La
+open Sparse
+open Morpheus
+open Ml_algs
+open Test_support
+
+let check_close = Gen.check_close
+
+module FG = Glm.Make (Factorized_matrix)
+module MG = Glm.Make (Regular_matrix)
+module FK = Kmeans.Make (Factorized_matrix)
+module MK = Kmeans.Make (Regular_matrix)
+
+(* separable two-class PK-FK dataset where the class depends on the
+   joined R features *)
+let separable ?(seed = 90) ?(ns = 120) () =
+  let rng = Rng.of_int seed in
+  let nr = 6 in
+  let s = Dense.gaussian ~rng ns 2 in
+  let r =
+    Dense.init nr 3 (fun i _ -> if i < nr / 2 then 4.0 else -4.0)
+  in
+  let k = Indicator.random ~rng ~rows:ns ~cols:nr () in
+  let t = Normalized.pkfk ~s:(Mat.of_dense s) ~k ~r:(Mat.of_dense r) in
+  let y =
+    Dense.init ns 1 (fun i _ ->
+        if Indicator.col_of_row k i < nr / 2 then 1.0 else -1.0)
+  in
+  (t, y)
+
+(* ---- hinge / linear SVM ---- *)
+
+let test_hinge_f_equals_m () =
+  let t, y = separable () in
+  let m = Mat.of_dense (Materialize.to_dense t) in
+  let f = FG.train ~alpha:1e-3 ~iters:20 ~family:Glm.Hinge t y in
+  let g = MG.train ~alpha:1e-3 ~iters:20 ~family:Glm.Hinge m y in
+  check_close "identical weights" g.MG.w f.FG.w
+
+let test_hinge_separates () =
+  let t, y = separable () in
+  let model = FG.train ~alpha:1e-2 ~iters:60 ~family:Glm.Hinge t y in
+  let preds = FG.predict_mean t model in
+  let correct = ref 0 in
+  Dense.iteri
+    (fun i _ p -> if p = Dense.get y i 0 then incr correct)
+    preds ;
+  let acc = float_of_int !correct /. float_of_int (Dense.rows y) in
+  Alcotest.(check bool) (Printf.sprintf "accuracy %.2f" acc) true (acc > 0.95)
+
+let test_hinge_loss_properties () =
+  (* correct side of margin: zero loss and zero gradient *)
+  Alcotest.(check (float 0.)) "beyond margin" 0.0
+    (Glm.nll Glm.Hinge ~score:2.0 ~y:1.0) ;
+  Alcotest.(check (float 0.)) "no gradient" 0.0
+    (Glm.gradient_weight Glm.Hinge ~score:2.0 ~y:1.0) ;
+  (* wrong side: linear loss, gradient = y *)
+  Alcotest.(check (float 1e-12)) "inside margin loss" 1.5
+    (Glm.nll Glm.Hinge ~score:(-0.5) ~y:1.0) ;
+  Alcotest.(check (float 0.)) "gradient is y" (-1.0)
+    (Glm.gradient_weight Glm.Hinge ~score:0.5 ~y:(-1.0))
+
+(* ---- K-Means++ ---- *)
+
+let test_kmeanspp_f_equals_m () =
+  let t, _ = separable ~seed:91 () in
+  let m = Mat.of_dense (Materialize.to_dense t) in
+  let cf = FK.init_plus_plus ~rng:(Rng.of_int 5) t 3 in
+  let cm = MK.init_plus_plus ~rng:(Rng.of_int 5) m 3 in
+  check_close "same seeds chosen" cm cf
+
+let test_kmeanspp_shape_and_distinct () =
+  let t, _ = separable ~seed:92 () in
+  let c = FK.init_plus_plus ~rng:(Rng.of_int 6) t 4 in
+  Alcotest.(check (pair int int)) "d×k" (Normalized.cols t, 4) (Dense.dims c) ;
+  (* each centroid is an actual data row *)
+  let m = Materialize.to_dense t in
+  for j = 0 to 3 do
+    let found = ref false in
+    for i = 0 to Dense.rows m - 1 do
+      let matches = ref true in
+      for f = 0 to Dense.cols m - 1 do
+        if Float.abs (Dense.get m i f -. Dense.get c f j) > 1e-12 then
+          matches := false
+      done ;
+      if !matches then found := true
+    done ;
+    Alcotest.(check bool) "centroid is a data row" true !found
+  done
+
+let test_kmeanspp_improves_or_matches () =
+  let t, _ = separable ~seed:93 ~ns:200 () in
+  let base = FK.train ~iters:6 ~k:2 t in
+  let pp =
+    FK.train ~iters:6 ~centroids:(FK.init_plus_plus ~rng:(Rng.of_int 7) t 2) ~k:2 t
+  in
+  (* on well-separated blobs both must find a near-perfect clustering;
+     check k-means++ is at least not catastrophically worse *)
+  Alcotest.(check bool)
+    (Printf.sprintf "objectives %.1f vs %.1f" pp.FK.objective base.FK.objective)
+    true
+    (pp.FK.objective <= base.FK.objective *. 1.5 +. 1e-6)
+
+let test_row_of () =
+  let t, _ = separable ~seed:94 () in
+  let m = Materialize.to_dense t in
+  let r = FK.row_of t 7 in
+  check_close "row extraction" (Dense.transpose (Dense.of_row_array (Dense.row m 7))) r
+
+(* ---- Naive Bayes ---- *)
+
+let test_nb_learns_separable () =
+  let t, y = separable ~seed:95 ~ns:200 () in
+  let model = Naive_bayes.train t y in
+  Alcotest.(check int) "two classes" 2 (List.length model.Naive_bayes.classes) ;
+  let acc = Naive_bayes.accuracy model t y in
+  Alcotest.(check bool) (Printf.sprintf "accuracy %.2f" acc) true (acc > 0.95)
+
+let test_nb_stats_match_materialized () =
+  let t, y = separable ~seed:96 () in
+  let model = Naive_bayes.train t y in
+  let m = Materialize.to_dense t in
+  let y_arr = Dense.col_to_array y in
+  List.iter
+    (fun (c : Naive_bayes.class_stats) ->
+      let idx =
+        Array.of_list
+          (List.filter (fun i -> y_arr.(i) = c.Naive_bayes.label)
+             (List.init (Dense.rows m) Fun.id))
+      in
+      let nc = float_of_int (Array.length idx) in
+      Alcotest.(check (float 1e-9)) "prior"
+        (nc /. float_of_int (Dense.rows m))
+        c.Naive_bayes.prior ;
+      (* reference mean per feature *)
+      Array.iteri
+        (fun j mu ->
+          let acc = ref 0.0 in
+          Array.iter (fun i -> acc := !acc +. Dense.get m i j) idx ;
+          Alcotest.(check (float 1e-9)) "mean" (!acc /. nc) mu)
+        c.Naive_bayes.mean)
+    model.Naive_bayes.classes
+
+let test_nb_priors_sum_to_one () =
+  let t, y = separable ~seed:97 () in
+  let model = Naive_bayes.train t y in
+  let total =
+    List.fold_left (fun a c -> a +. c.Naive_bayes.prior) 0.0 model.Naive_bayes.classes
+  in
+  Alcotest.(check (float 1e-12)) "priors" 1.0 total
+
+let test_nb_rejects_single_class () =
+  let t, _ = separable ~seed:98 () in
+  let y = Dense.make (Normalized.rows t) 1 1.0 in
+  Alcotest.(check bool) "single class rejected" true
+    (try
+       ignore (Naive_bayes.train t y) ;
+       false
+     with Invalid_argument _ -> true)
+
+let test_nb_predict_dense_matches () =
+  let t, y = separable ~seed:99 () in
+  let model = Naive_bayes.train t y in
+  let m = Materialize.to_dense t in
+  Alcotest.(check bool) "streaming = dense prediction" true
+    (Naive_bayes.predict model t = Naive_bayes.predict_dense model m)
+
+let () =
+  Alcotest.run "ml-more"
+    [ ( "hinge-svm",
+        [ Alcotest.test_case "F = M" `Quick test_hinge_f_equals_m;
+          Alcotest.test_case "separates blobs" `Quick test_hinge_separates;
+          Alcotest.test_case "loss/gradient" `Quick test_hinge_loss_properties ] );
+      ( "kmeans++",
+        [ Alcotest.test_case "F = M" `Quick test_kmeanspp_f_equals_m;
+          Alcotest.test_case "shape & membership" `Quick test_kmeanspp_shape_and_distinct;
+          Alcotest.test_case "objective sane" `Quick test_kmeanspp_improves_or_matches;
+          Alcotest.test_case "row extraction" `Quick test_row_of ] );
+      ( "naive-bayes",
+        [ Alcotest.test_case "learns separable" `Quick test_nb_learns_separable;
+          Alcotest.test_case "stats match materialized" `Quick test_nb_stats_match_materialized;
+          Alcotest.test_case "priors sum to 1" `Quick test_nb_priors_sum_to_one;
+          Alcotest.test_case "rejects single class" `Quick test_nb_rejects_single_class;
+          Alcotest.test_case "streaming predict" `Quick test_nb_predict_dense_matches ] ) ]

@@ -1,0 +1,187 @@
+(* Tests for Householder QR and the Expr matrix-chain optimizer, plus a
+   small finite-precision study (the paper's footnote 7 leaves numerical
+   analysis to future work; here we at least quantify that the
+   factorized and materialized paths drift by no more than a few ulps on
+   random data). *)
+
+open La
+open Morpheus
+open Test_support
+
+let check_close = Gen.check_close
+
+(* ---- QR ---- *)
+
+let test_qr_reconstructs () =
+  let a = Dense.random ~rng:(Rng.of_int 1) 12 5 in
+  let q, r = Linalg.qr a in
+  check_close ~tol:1e-9 "QR = A" a (Blas.gemm q r) ;
+  check_close ~tol:1e-9 "QᵀQ = I" (Dense.identity 5) (Blas.crossprod q) ;
+  (* R upper-triangular *)
+  Dense.iteri
+    (fun i j v ->
+      if j < i then Alcotest.(check (float 0.)) "lower zero" 0.0 v)
+    r
+
+let test_qr_square () =
+  let a = Dense.random ~rng:(Rng.of_int 2) 6 6 in
+  let q, r = Linalg.qr a in
+  check_close ~tol:1e-9 "square QR" a (Blas.gemm q r)
+
+let test_lstsq_qr_exact () =
+  let rng = Rng.of_int 3 in
+  let a = Dense.random ~rng 20 4 in
+  let x_true = Dense.random ~rng 4 2 in
+  let b = Blas.gemm a x_true in
+  check_close ~tol:1e-8 "recovers solution" x_true (Linalg.lstsq_qr a b)
+
+let test_lstsq_qr_matches_ginv () =
+  let rng = Rng.of_int 4 in
+  let a = Dense.random ~rng 15 3 in
+  let b = Dense.random ~rng 15 1 in
+  check_close ~tol:1e-7 "QR = pseudo-inverse solution" (Linalg.lstsq a b)
+    (Linalg.lstsq_qr a b)
+
+let test_lstsq_qr_singular_raises () =
+  let a = Dense.init 6 3 (fun i j -> float_of_int ((i + 1) * (j + 1))) in
+  Alcotest.(check bool) "rank-deficient raises" true
+    (try
+       ignore (Linalg.lstsq_qr a (Dense.create 6 1)) ;
+       false
+     with Linalg.Singular -> true)
+
+(* ---- matrix-chain optimizer ---- *)
+
+let mk r c seed = Expr.dense (Dense.random ~rng:(Rng.of_int seed) r c)
+
+let flops_of_eval e =
+  let _, f = Flops.count (fun () -> ignore (Expr.eval e)) in
+  f
+
+let test_chain_order_basic () =
+  (* A(10×200) · B(200×10) · C(10×300): left association is far cheaper *)
+  let a = mk 10 200 1 and b = mk 200 10 2 and c = mk 10 300 3 in
+  let bad = Expr.(a *@ (b *@ c)) in
+  let opt = Expr.optimize bad in
+  let f_bad = flops_of_eval bad and f_opt = flops_of_eval opt in
+  Alcotest.(check bool)
+    (Printf.sprintf "flops %.0f -> %.0f" f_bad f_opt)
+    true
+    (f_opt < f_bad /. 3.0) ;
+  check_close ~tol:1e-8 "same result" (Expr.eval_dense bad) (Expr.eval_dense opt)
+
+let test_chain_order_right () =
+  (* A(300×10) · B(10×200) · C(200×1): right association wins *)
+  let a = mk 300 10 4 and b = mk 10 200 5 and c = mk 200 1 6 in
+  let bad = Expr.((a *@ b) *@ c) in
+  let opt = Expr.optimize bad in
+  Alcotest.(check bool) "cheaper" true
+    (flops_of_eval opt < flops_of_eval bad /. 3.0) ;
+  check_close ~tol:1e-8 "same result" (Expr.eval_dense bad) (Expr.eval_dense opt)
+
+let test_chain_with_normalized () =
+  (* T(n×d) · X(d×k) · z(k×1): must choose T·(X·z), and the factorized
+     cost model must not trick it into materializing-like orders *)
+  let tn = Gen.normalized ~seed:7 Gen.Pkfk in
+  let d = Normalized.cols tn in
+  let x = mk d 6 8 and z = mk 6 1 9 in
+  let bad = Expr.((Expr.normalized tn *@ x) *@ z) in
+  let opt = Expr.optimize bad in
+  Alcotest.(check bool) "factorized-aware order cheaper" true
+    (flops_of_eval opt <= flops_of_eval bad +. 1.0) ;
+  check_close ~tol:1e-8 "same result" (Expr.eval_dense bad) (Expr.eval_dense opt)
+
+let test_optimize_preserves_everything () =
+  (* random chains: optimize must preserve semantics *)
+  List.iter
+    (fun seed ->
+      let rng = Rng.of_int seed in
+      let dims =
+        Array.init 5 (fun _ -> 1 + Rng.int rng 30)
+      in
+      let leaves =
+        List.init 4 (fun i -> mk dims.(i) dims.(i + 1) (seed + i))
+      in
+      let chain =
+        List.fold_left (fun acc e -> Expr.(acc *@ e)) (List.hd leaves)
+          (List.tl leaves)
+      in
+      let opt = Expr.optimize chain in
+      check_close ~tol:1e-7
+        (Printf.sprintf "seed %d" seed)
+        (Expr.eval_dense chain) (Expr.eval_dense opt))
+    [ 11; 12; 13; 14; 15 ]
+
+let test_optimize_skips_scalar_chains () =
+  let a = mk 4 4 20 in
+  let e = Expr.(scalar 2.0 *@ a *@ a) in
+  let opt = Expr.optimize e in
+  check_close ~tol:1e-9 "scalar chain ok" (Expr.eval_dense e) (Expr.eval_dense opt)
+
+let test_optimize_recurses () =
+  (* optimization applies inside other operators *)
+  let a = mk 5 40 21 and b = mk 40 5 22 and c = mk 5 60 23 in
+  let e = Expr.(Sum (a *@ (b *@ c))) in
+  let opt = Expr.optimize e in
+  let sa = Expr.eval_scalar e and sb = Expr.eval_scalar opt in
+  Alcotest.(check bool) "same sum" true (Float.abs (sa -. sb) < 1e-6 *. (1.0 +. Float.abs sa)) ;
+  Alcotest.(check bool) "inner chain reassociated" true
+    (flops_of_eval opt < flops_of_eval e)
+
+(* ---- finite-precision drift (footnote 7) ---- *)
+
+let test_numerical_drift_bounds () =
+  (* the factorized and materialized paths reorder float additions; the
+     drift on random data must stay within a few units of rounding *)
+  List.iter
+    (fun seed ->
+      let t = Gen.normalized ~seed Gen.Star2 in
+      let m = Gen.ground_truth t in
+      let x = Dense.random ~rng:(Rng.of_int (seed + 50)) (Normalized.cols t) 1 in
+      let f = Rewrite.lmm t x and g = Blas.gemm m x in
+      let scale = Float.max 1.0 (Dense.max_abs g) in
+      let drift = Dense.max_abs_diff f g /. scale in
+      if drift > 1e-13 then
+        Alcotest.failf "LMM drift %.3e exceeds 1e-13 (seed %d)" drift seed ;
+      let cf = Rewrite.crossprod t and cg = Blas.crossprod m in
+      let cscale = Float.max 1.0 (Dense.max_abs cg) in
+      let cdrift = Dense.max_abs_diff cf cg /. cscale in
+      if cdrift > 1e-12 then
+        Alcotest.failf "crossprod drift %.3e exceeds 1e-12 (seed %d)" cdrift seed)
+    [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+
+let test_ml_drift_after_many_iterations () =
+  (* drift compounds across iterations but stays tiny relative to w *)
+  let rng = Rng.of_int 60 in
+  let s = Sparse.Mat.of_dense (Dense.gaussian ~rng 100 3) in
+  let r = Sparse.Mat.of_dense (Dense.gaussian ~rng 8 4) in
+  let k = Sparse.Indicator.random ~rng ~rows:100 ~cols:8 () in
+  let t = Normalized.pkfk ~s ~k ~r in
+  let y = Dense.init 100 1 (fun i _ -> if i mod 2 = 0 then 1.0 else -1.0) in
+  let module F = Ml_algs.Logreg.Make (Factorized_matrix) in
+  let module M = Ml_algs.Logreg.Make (Regular_matrix) in
+  let wf = (F.train ~alpha:1e-2 ~iters:100 t y).F.w in
+  let wm =
+    (M.train ~alpha:1e-2 ~iters:100 (Sparse.Mat.of_dense (Materialize.to_dense t)) y).M.w
+  in
+  let rel = Dense.max_abs_diff wf wm /. Float.max 1e-9 (Dense.max_abs wm) in
+  if rel > 1e-10 then Alcotest.failf "100-iteration drift %.3e" rel
+
+let () =
+  Alcotest.run "optimizer"
+    [ ( "qr",
+        [ Alcotest.test_case "reconstructs" `Quick test_qr_reconstructs;
+          Alcotest.test_case "square" `Quick test_qr_square;
+          Alcotest.test_case "lstsq exact" `Quick test_lstsq_qr_exact;
+          Alcotest.test_case "matches ginv path" `Quick test_lstsq_qr_matches_ginv;
+          Alcotest.test_case "singular raises" `Quick test_lstsq_qr_singular_raises ] );
+      ( "matrix-chain",
+        [ Alcotest.test_case "left association" `Quick test_chain_order_basic;
+          Alcotest.test_case "right association" `Quick test_chain_order_right;
+          Alcotest.test_case "normalized-aware" `Quick test_chain_with_normalized;
+          Alcotest.test_case "semantics preserved" `Quick test_optimize_preserves_everything;
+          Alcotest.test_case "scalar chains" `Quick test_optimize_skips_scalar_chains;
+          Alcotest.test_case "recurses into operators" `Quick test_optimize_recurses ] );
+      ( "finite-precision",
+        [ Alcotest.test_case "operator drift bounds" `Quick test_numerical_drift_bounds;
+          Alcotest.test_case "100-iteration ML drift" `Quick test_ml_drift_after_many_iterations ] ) ]

@@ -1,0 +1,157 @@
+(* Tests for the out-of-core (ORE-style) substrate: chunk stores,
+   streaming operators, and the chunked normalized matrix used by the
+   Tables 9/10 scalability experiment. *)
+
+open La
+open Sparse
+open Morpheus
+open Ore
+
+let tmpdir prefix =
+  let d = Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "%s_%d_%d" prefix (Unix.getpid ()) (Random.int 100000))
+  in
+  d
+
+let with_store m chunk f =
+  let dir = tmpdir "morpheus_ore" in
+  let store = Chunk_store.of_dense ~dir ~chunk_size:chunk m in
+  Fun.protect ~finally:(fun () -> Chunk_store.delete store) (fun () -> f store)
+
+let check_close ?(tol = 1e-9) msg a b =
+  if not (Dense.approx_equal ~tol a b) then
+    Alcotest.failf "%s: max|diff| = %g" msg (Dense.max_abs_diff a b)
+
+let rng () = Rng.of_int 31415
+
+(* ---- chunk store ---- *)
+
+let test_store_roundtrip () =
+  let m = Dense.random ~rng:(rng ()) 23 4 in
+  with_store m 5 (fun store ->
+      Alcotest.(check int) "rows" 23 (Chunk_store.rows store) ;
+      Alcotest.(check int) "cols" 4 (Chunk_store.cols store) ;
+      Alcotest.(check int) "chunks" 5 (Chunk_store.nchunks store) ;
+      check_close "roundtrip" m (Chunk_store.to_dense store))
+
+let test_store_survives_reopen () =
+  let m = Dense.random ~rng:(rng ()) 10 3 in
+  with_store m 4 (fun store ->
+      (* chunks live on disk: re-read one directly *)
+      let c0 = Chunk_store.get store 0 in
+      check_close "chunk 0" (Dense.sub_rows m ~lo:0 ~hi:4) c0 ;
+      let c2 = Chunk_store.get store 2 in
+      check_close "chunk 2 (partial)" (Dense.sub_rows m ~lo:8 ~hi:10) c2)
+
+let test_rowapply () =
+  let m = Dense.random ~rng:(rng ()) 12 3 in
+  with_store m 5 (fun store ->
+      let dir = tmpdir "morpheus_ore_out" in
+      let out = Chunk_store.rowapply store ~dir ~f:(Dense.scale 2.0) in
+      Fun.protect
+        ~finally:(fun () -> Chunk_store.delete out)
+        (fun () -> check_close "rowapply 2x" (Dense.scale 2.0 m) (Chunk_store.to_dense out)))
+
+(* ---- streaming operators ---- *)
+
+let test_chunked_ops_match_in_memory () =
+  let m = Dense.random ~rng:(rng ()) 30 5 in
+  with_store m 7 (fun store ->
+      let x = Dense.random ~rng:(rng ()) 5 2 in
+      check_close "lmm" (Blas.gemm m x) (Chunked_ops.lmm store x) ;
+      let p = Dense.random ~rng:(rng ()) 30 2 in
+      check_close "tlmm" (Blas.tgemm m p) (Chunked_ops.tlmm store p) ;
+      check_close "crossprod" (Blas.crossprod m) (Chunked_ops.crossprod store) ;
+      check_close "row_sums" (Dense.row_sums m) (Chunked_ops.row_sums store) ;
+      check_close "col_sums" (Dense.col_sums m) (Chunked_ops.col_sums store) ;
+      Alcotest.(check (float 1e-9)) "sum" (Dense.sum m) (Chunked_ops.sum store))
+
+(* ---- chunked normalized matrix ---- *)
+
+let pkfk_case () =
+  let g = rng () in
+  let ns = 40 and nr = 5 and ds = 3 and dr = 4 in
+  let s = Dense.random ~rng:g ns ds in
+  let r = Dense.random ~rng:g nr dr in
+  let k = Indicator.random ~rng:g ~rows:ns ~cols:nr () in
+  Normalized.pkfk ~s:(Mat.of_dense s) ~k ~r:(Mat.of_dense r)
+
+let mn_case () =
+  let g = Rng.of_int 99 in
+  let n = 35 in
+  let is_ = Indicator.random ~rng:g ~rows:n ~cols:8 () in
+  let ir = Indicator.random ~rng:g ~rows:n ~cols:6 () in
+  let s = Mat.of_dense (Dense.random ~rng:g 8 3) in
+  let r = Mat.of_dense (Dense.random ~rng:g 6 2) in
+  Normalized.mn ~is_ ~s ~ir ~r
+
+let with_chunked nm chunk f =
+  let dir = tmpdir "morpheus_cn" in
+  let cn = Chunked_normalized.of_normalized ~dir ~chunk_size:chunk nm in
+  f cn
+
+let test_chunked_normalized_pkfk () =
+  let nm = pkfk_case () in
+  let m = Materialize.to_dense nm in
+  with_chunked nm 9 (fun cn ->
+      Alcotest.(check (pair int int)) "dims" (Dense.dims m)
+        (Chunked_normalized.rows cn, Chunked_normalized.cols cn) ;
+      let x = Dense.random ~rng:(rng ()) (Dense.cols m) 2 in
+      check_close "lmm" (Blas.gemm m x) (Chunked_normalized.lmm cn x) ;
+      let p = Dense.random ~rng:(rng ()) (Dense.rows m) 2 in
+      check_close "tlmm" (Blas.tgemm m p) (Chunked_normalized.tlmm cn p))
+
+let test_chunked_normalized_mn () =
+  let nm = mn_case () in
+  let m = Materialize.to_dense nm in
+  with_chunked nm 8 (fun cn ->
+      let x = Dense.random ~rng:(rng ()) (Dense.cols m) 1 in
+      check_close "mn lmm" (Blas.gemm m x) (Chunked_normalized.lmm cn x) ;
+      let p = Dense.random ~rng:(rng ()) (Dense.rows m) 1 in
+      check_close "mn tlmm" (Blas.tgemm m p) (Chunked_normalized.tlmm cn p))
+
+let test_chunked_materialize () =
+  let nm = pkfk_case () in
+  let m = Materialize.to_dense nm in
+  with_chunked nm 9 (fun cn ->
+      let dir = tmpdir "morpheus_cn_t" in
+      let t_store = Chunked_normalized.materialize ~dir cn in
+      Fun.protect
+        ~finally:(fun () -> Chunk_store.delete t_store)
+        (fun () ->
+          check_close "materialized store = T" m (Chunk_store.to_dense t_store)))
+
+(* ---- ORE logistic regression: factorized = materialized ---- *)
+
+let test_ore_logreg_paths_agree () =
+  let nm = pkfk_case () in
+  let n = Normalized.rows nm in
+  let g = rng () in
+  let y = Dense.init n 1 (fun _ _ -> if Rng.bool g then 1.0 else -1.0) in
+  with_chunked nm 9 (fun cn ->
+      let dir = tmpdir "morpheus_cn_t2" in
+      let t_store = Chunked_normalized.materialize ~dir cn in
+      Fun.protect
+        ~finally:(fun () -> Chunk_store.delete t_store)
+        (fun () ->
+          let wf = Ore_logreg.train_factorized ~alpha:1e-3 ~iters:6 cn y in
+          let wm = Ore_logreg.train_materialized ~alpha:1e-3 ~iters:6 t_store y in
+          check_close ~tol:1e-8 "F = M over chunks" wm wf ;
+          (* and both match the in-memory factorized trainer *)
+          let f = Ml_algs.Algorithms.Factorized.Logreg.train ~alpha:1e-3 ~iters:6 nm y in
+          check_close ~tol:1e-8 "chunked = in-memory" f.Ml_algs.Algorithms.Factorized.Logreg.w wf))
+
+let () =
+  Alcotest.run "ore"
+    [ ( "chunk-store",
+        [ Alcotest.test_case "roundtrip" `Quick test_store_roundtrip;
+          Alcotest.test_case "on-disk chunks" `Quick test_store_survives_reopen;
+          Alcotest.test_case "rowapply" `Quick test_rowapply ] );
+      ( "streaming-ops",
+        [ Alcotest.test_case "match in-memory" `Quick test_chunked_ops_match_in_memory ] );
+      ( "chunked-normalized",
+        [ Alcotest.test_case "pkfk lmm/tlmm" `Quick test_chunked_normalized_pkfk;
+          Alcotest.test_case "mn lmm/tlmm" `Quick test_chunked_normalized_mn;
+          Alcotest.test_case "materialize" `Quick test_chunked_materialize ] );
+      ( "ore-logreg",
+        [ Alcotest.test_case "paths agree" `Quick test_ore_logreg_paths_agree ] ) ]

@@ -1,0 +1,199 @@
+(* Dedicated qcheck property suite: algebraic laws that must hold for
+   the kernels and the rewrites — adjointness of the indicator products,
+   positive semi-definiteness of cross-products, linearity of the
+   factorized operators, closure-depth stability, and cost-model
+   monotonicity. *)
+
+open La
+open Sparse
+open Morpheus
+open Test_support
+
+let qc = QCheck_alcotest.to_alcotest
+
+let seed_gen = QCheck.make ~print:string_of_int QCheck.Gen.(int_range 0 100_000)
+
+let shape_of_seed seed = List.nth Gen.shapes (seed mod 4)
+
+(* <K·v, w> = <v, Kᵀ·w>: gather and scatter-add are adjoint. *)
+let prop_indicator_adjoint =
+  QCheck.Test.make ~name:"indicator adjointness" ~count:100 seed_gen (fun seed ->
+      let rng = Rng.of_int seed in
+      let rows = 5 + Rng.int rng 20 in
+      let cols = 1 + Rng.int rng (min rows 6) in
+      let k = Indicator.random ~rng ~rows ~cols () in
+      let v = Array.init cols (fun _ -> Rng.gaussian rng) in
+      let w = Array.init rows (fun _ -> Rng.gaussian rng) in
+      let lhs = Blas.dot (Indicator.gather k v) w in
+      let rhs = Blas.dot v (Indicator.scatter_add k w) in
+      Float.abs (lhs -. rhs) < 1e-9 *. (1.0 +. Float.abs lhs))
+
+(* crossprod(T) is positive semi-definite: xᵀ(TᵀT)x = ‖Tx‖² ≥ 0. *)
+let prop_crossprod_psd =
+  QCheck.Test.make ~name:"crossprod PSD" ~count:60 seed_gen (fun seed ->
+      let t = Gen.normalized ~seed (shape_of_seed seed) in
+      let cp = Rewrite.crossprod t in
+      let rng = Rng.of_int (seed + 1) in
+      let x = Array.init (Dense.rows cp) (fun _ -> Rng.gaussian rng) in
+      let cx = Blas.gemv cp x in
+      Blas.dot x cx >= -1e-8)
+
+(* crossprod is symmetric. *)
+let prop_crossprod_symmetric =
+  QCheck.Test.make ~name:"crossprod symmetric" ~count:60 seed_gen (fun seed ->
+      let t = Gen.normalized ~seed (shape_of_seed seed) in
+      let cp = Rewrite.crossprod t in
+      Dense.approx_equal ~tol:1e-10 cp (Dense.transpose cp))
+
+(* LMM is linear: T(αx + βz) = α·Tx + β·Tz. *)
+let prop_lmm_linear =
+  QCheck.Test.make ~name:"LMM linearity" ~count:60 seed_gen (fun seed ->
+      let t = Gen.normalized ~seed (shape_of_seed seed) in
+      let rng = Rng.of_int (seed + 2) in
+      let d = Normalized.cols t in
+      let x = Dense.gaussian ~rng d 1 and z = Dense.gaussian ~rng d 1 in
+      let a = Rng.uniform rng ~lo:(-2.0) ~hi:2.0 in
+      let b = Rng.uniform rng ~lo:(-2.0) ~hi:2.0 in
+      let combo = Dense.add (Dense.scale a x) (Dense.scale b z) in
+      let lhs = Rewrite.lmm t combo in
+      let rhs =
+        Dense.add (Dense.scale a (Rewrite.lmm t x)) (Dense.scale b (Rewrite.lmm t z))
+      in
+      Dense.approx_equal ~tol:1e-8 lhs rhs)
+
+(* scalar-op closure composes to any depth without error drift:
+   applying k alternating scale/add ops matches the dense result. *)
+let prop_closure_depth =
+  QCheck.Test.make ~name:"scalar-op closure depth" ~count:40
+    (QCheck.make
+       ~print:(fun (s, k) -> Printf.sprintf "seed=%d depth=%d" s k)
+       QCheck.Gen.(pair (int_range 0 10_000) (int_range 1 8)))
+    (fun (seed, depth) ->
+      let t = Gen.normalized ~seed (shape_of_seed seed) in
+      let m = Gen.ground_truth t in
+      let rng = Rng.of_int (seed + 3) in
+      let t' = ref t and m' = ref m in
+      for _ = 1 to depth do
+        let c = Rng.uniform rng ~lo:0.5 ~hi:1.5 in
+        if Rng.bool rng then begin
+          t' := Rewrite.scale c !t' ;
+          m' := Dense.scale c !m'
+        end
+        else begin
+          t' := Rewrite.add_scalar c !t' ;
+          m' := Dense.add_scalar c !m'
+        end
+      done ;
+      Dense.approx_equal ~tol:1e-8 !m' (Gen.ground_truth !t'))
+
+(* rowSums ∘ transpose = transpose ∘ colSums on normalized matrices. *)
+let prop_appendix_a_aggregation =
+  QCheck.Test.make ~name:"appendix A aggregation swap" ~count:60 seed_gen
+    (fun seed ->
+      let t = Gen.normalized ~seed (shape_of_seed seed) in
+      Dense.approx_equal ~tol:1e-9
+        (Rewrite.row_sums (Rewrite.transpose t))
+        (Dense.transpose (Rewrite.col_sums t)))
+
+(* sum(T) is invariant under transposition and row permutation. *)
+let prop_sum_invariances =
+  QCheck.Test.make ~name:"sum invariances" ~count:60 seed_gen (fun seed ->
+      let t = Gen.normalized ~seed (shape_of_seed seed) in
+      let n = Normalized.rows t in
+      let perm = Array.init n Fun.id in
+      Rng.shuffle (Rng.of_int (seed + 4)) perm ;
+      let s0 = Rewrite.sum t in
+      let s1 = Rewrite.sum (Rewrite.transpose t) in
+      let s2 = Rewrite.sum (Normalized.select_rows t perm) in
+      Float.abs (s0 -. s1) < 1e-8 *. (1.0 +. Float.abs s0)
+      && Float.abs (s0 -. s2) < 1e-8 *. (1.0 +. Float.abs s0))
+
+(* Cost model: factorized cost never exceeds standard once TR ≥ 1 and
+   FR ≥ 0 for linear operators (the model's crossing point is below
+   TR = 1 for these shapes). *)
+let prop_cost_monotone =
+  QCheck.Test.make ~name:"cost-model speed-up grows with TR" ~count:100
+    (QCheck.make
+       ~print:(fun (a, b) -> Printf.sprintf "tr=%d fr=%d" a b)
+       QCheck.Gen.(pair (int_range 2 50) (int_range 1 8)))
+    (fun (tr, fr) ->
+      let nr = 1000 in
+      let dims tr =
+        { Cost.ns = tr * nr; ds = 10; nr; dr = 10 * fr }
+      in
+      let s1 = Cost.speedup (dims tr) (Cost.Lmm 1) in
+      let s2 = Cost.speedup (dims (tr + 1)) (Cost.Lmm 1) in
+      s2 >= s1 -. 1e-9 && s1 > 1.0)
+
+(* select_rows composes: selecting idx2 of selecting idx1 = selecting
+   the composition. *)
+let prop_select_rows_compose =
+  QCheck.Test.make ~name:"select_rows composition" ~count:60 seed_gen
+    (fun seed ->
+      let t = Gen.normalized ~seed (shape_of_seed seed) in
+      let n = Normalized.rows t in
+      let rng = Rng.of_int (seed + 5) in
+      let idx1 = Array.init (max 1 (n / 2)) (fun _ -> Rng.int rng n) in
+      let idx2 =
+        Array.init (max 1 (Array.length idx1 / 2)) (fun _ ->
+            Rng.int rng (Array.length idx1))
+      in
+      let two_step =
+        Normalized.select_rows (Normalized.select_rows t idx1) idx2
+      in
+      let composed =
+        Normalized.select_rows t (Array.map (fun i -> idx1.(i)) idx2)
+      in
+      Dense.approx_equal ~tol:1e-12 (Gen.ground_truth two_step)
+        (Gen.ground_truth composed))
+
+(* Materialize ∘ Io roundtrip is the identity on the logical T. *)
+let prop_io_roundtrip =
+  QCheck.Test.make ~name:"io roundtrip" ~count:20 seed_gen (fun seed ->
+      let t = Gen.normalized ~seed ~sparse:(seed mod 2 = 0) (shape_of_seed seed) in
+      let dir =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "morpheus_prop_io_%d_%d" (Unix.getpid ()) seed)
+      in
+      Fun.protect
+        ~finally:(fun () -> Io.delete ~dir)
+        (fun () ->
+          Io.save ~dir t ;
+          Dense.approx_equal ~tol:0.0 (Gen.ground_truth t)
+            (Gen.ground_truth (Io.load ~dir))))
+
+(* Dmm A·B respects associativity against dense: (A·B)·x = A·(B·x). *)
+let prop_dmm_assoc =
+  QCheck.Test.make ~name:"DMM associativity with vectors" ~count:40 seed_gen
+    (fun seed ->
+      let rng = Rng.of_int seed in
+      let a = Gen.normalized ~seed Gen.Pkfk in
+      let da = Normalized.cols a in
+      (* b: normalized with rows = da *)
+      let nb = da in
+      let s = Mat.of_dense (Dense.gaussian ~rng nb 2) in
+      let nr = max 1 (nb / 2) in
+      let k = Indicator.random ~rng ~rows:nb ~cols:nr () in
+      let r = Mat.of_dense (Dense.gaussian ~rng nr 2) in
+      let b = Normalized.pkfk ~s ~k ~r in
+      let x = Dense.gaussian ~rng (Normalized.cols b) 1 in
+      let ab = Dmm.mult a b in
+      let lhs = Blas.gemm ab x in
+      let rhs = Rewrite.lmm a (Rewrite.lmm b x) in
+      Dense.approx_equal ~tol:1e-8 lhs rhs)
+
+let () =
+  Alcotest.run "properties"
+    [ ( "algebraic-laws",
+        [ qc prop_indicator_adjoint;
+          qc prop_crossprod_psd;
+          qc prop_crossprod_symmetric;
+          qc prop_lmm_linear;
+          qc prop_appendix_a_aggregation;
+          qc prop_sum_invariances ] );
+      ( "structural",
+        [ qc prop_closure_depth;
+          qc prop_select_rows_compose;
+          qc prop_io_roundtrip;
+          qc prop_dmm_assoc ] );
+      ("cost-model", [ qc prop_cost_monotone ]) ]

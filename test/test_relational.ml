@@ -1,0 +1,264 @@
+(* Tests for the relational substrate: values, tables, CSV, joins, and
+   feature encoding — the pipeline that turns base tables into a
+   normalized matrix. *)
+
+open La
+open Sparse
+open Relational
+
+let v_int i = Value.Int i
+let v_f f = Value.Float f
+let v_s s = Value.String s
+
+(* The paper's running example: Customers ⋈ Employers. *)
+let customers_schema =
+  Schema.create ~table_name:"Customers"
+    [ Schema.column ~name:"CustomerID" ~role:Schema.Primary_key;
+      Schema.column ~name:"Churn" ~role:Schema.Target;
+      Schema.column ~name:"Age" ~role:Schema.Numeric_feature;
+      Schema.column ~name:"Income" ~role:Schema.Numeric_feature;
+      Schema.column ~name:"EmployerID" ~role:(Schema.Foreign_key "Employers") ]
+
+let employers_schema =
+  Schema.create ~table_name:"Employers"
+    [ Schema.column ~name:"EmployerID" ~role:Schema.Primary_key;
+      Schema.column ~name:"Revenue" ~role:Schema.Numeric_feature;
+      Schema.column ~name:"Country" ~role:Schema.Nominal_feature ]
+
+let customers () =
+  Table.of_rows customers_schema
+    [ [| v_int 1; v_f 1.0; v_f 30.0; v_f 50.0; v_int 20 |];
+      [| v_int 2; v_f (-1.0); v_f 40.0; v_f 80.0; v_int 21 |];
+      [| v_int 3; v_f 1.0; v_f 25.0; v_f 40.0; v_int 20 |];
+      [| v_int 4; v_f (-1.0); v_f 55.0; v_f 120.0; v_int 22 |];
+      [| v_int 5; v_f 1.0; v_f 35.0; v_f 60.0; v_int 20 |] ]
+
+let employers () =
+  Table.of_rows employers_schema
+    [ [| v_int 20; v_f 1000.0; v_s "US" |];
+      [| v_int 21; v_f 2000.0; v_s "DE" |];
+      [| v_int 22; v_f 1500.0; v_s "US" |];
+      [| v_int 23; v_f 9999.0; v_s "FR" |] (* never referenced *) ]
+
+(* ---- Value ---- *)
+
+let test_value_parse () =
+  Alcotest.(check bool) "int" true (Value.equal (Value.of_string "42") (v_int 42)) ;
+  Alcotest.(check bool) "float" true (Value.equal (Value.of_string "4.5") (v_f 4.5)) ;
+  Alcotest.(check bool) "string" true (Value.equal (Value.of_string "abc") (v_s "abc")) ;
+  Alcotest.(check bool) "null" true (Value.equal (Value.of_string " ") Value.Null)
+
+let test_value_numeric_equal () =
+  Alcotest.(check bool) "int=float" true (Value.equal (v_int 3) (v_f 3.0)) ;
+  Alcotest.(check (float 0.)) "to_float" 3.0 (Value.to_float (v_int 3)) ;
+  Alcotest.(check int) "to_int of float" 4 (Value.to_int (v_f 4.0))
+
+(* ---- Table ---- *)
+
+let test_table_accessors () =
+  let t = customers () in
+  Alcotest.(check int) "nrows" 5 (Table.nrows t) ;
+  Alcotest.(check int) "ncols" 5 (Table.ncols t) ;
+  Alcotest.(check bool) "get" true
+    (Value.equal (Table.get t ~row:1 ~col_name:"Age") (v_f 40.0))
+
+let test_table_select_project () =
+  let t = customers () in
+  let sel = Table.select_rows t [| 0; 2 |] in
+  Alcotest.(check int) "selected" 2 (Table.nrows sel) ;
+  let proj = Table.project t [ "Age"; "Income" ] in
+  Alcotest.(check int) "projected cols" 2 (Table.ncols proj) ;
+  Alcotest.(check int) "projected rows" 5 (Table.nrows proj)
+
+(* ---- Csv ---- *)
+
+let test_csv_roundtrip () =
+  let t = customers () in
+  let path = Filename.temp_file "morpheus_test" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Csv.write_table path t ;
+      let roles n = (Schema.find customers_schema n).Schema.role in
+      let t' = Csv.read_table ~role_of:roles ~table_name:"Customers" path in
+      Alcotest.(check int) "rows" (Table.nrows t) (Table.nrows t') ;
+      for i = 0 to Table.nrows t - 1 do
+        Alcotest.(check bool) "cell" true
+          (Value.equal
+             (Table.get t ~row:i ~col_name:"Income")
+             (Table.get t' ~row:i ~col_name:"Income"))
+      done)
+
+let test_csv_quoting () =
+  let line = Csv.split_line "a,\"b,c\",\"d\"\"e\",f" in
+  Alcotest.(check (list string)) "quoted" [ "a"; "b,c"; "d\"e"; "f" ] line
+
+(* ---- Join: PK-FK ---- *)
+
+let test_pkfk_indicator () =
+  let k = Join.pkfk_indicator (customers ()) ~fk:"EmployerID" (employers ()) ~pk:"EmployerID" in
+  Alcotest.(check int) "rows" 5 (Indicator.rows k) ;
+  Alcotest.(check int) "cols" 4 (Indicator.cols k) ;
+  Alcotest.(check (array int)) "mapping" [| 0; 1; 0; 2; 0 |] (Indicator.mapping k)
+
+let test_pkfk_dangling () =
+  let bad =
+    Table.of_rows customers_schema
+      [ [| v_int 1; v_f 1.0; v_f 30.0; v_f 50.0; v_int 999 |] ]
+  in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Join.pkfk_indicator bad ~fk:"EmployerID" (employers ()) ~pk:"EmployerID") ;
+       false
+     with Invalid_argument _ -> true)
+
+let test_trim_unreferenced () =
+  let r, k = Join.trim_unreferenced (customers ()) ~fk:"EmployerID" (employers ()) ~pk:"EmployerID" in
+  (* employer 23 dropped *)
+  Alcotest.(check int) "trimmed rows" 3 (Table.nrows r) ;
+  Alcotest.(check int) "indicator cols" 3 (Indicator.cols k) ;
+  let counts = Indicator.col_counts k in
+  Array.iter (fun c -> Alcotest.(check bool) "all referenced" true (c > 0.0)) counts
+
+let test_materialize_pkfk () =
+  let t = Join.materialize_pkfk (customers ()) ~fk:"EmployerID" (employers ()) ~pk:"EmployerID" in
+  Alcotest.(check int) "rows preserved" 5 (Table.nrows t) ;
+  (* row 3 (customer 4) joins employer 22, revenue 1500 *)
+  Alcotest.(check bool) "joined value" true
+    (Value.equal (Table.get t ~row:3 ~col_name:"Revenue") (v_f 1500.0)) ;
+  Alcotest.(check bool) "country" true
+    (Value.equal (Table.get t ~row:3 ~col_name:"Country") (v_s "US"))
+
+(* [S, K·R] = materialized join, end to end through encoding *)
+let test_normalized_equals_join () =
+  let s = customers () and r = employers () in
+  let ds = Morpheus.Builder.pkfk ~s ~fk:"EmployerID" ~r ~pk:"EmployerID" () in
+  let direct = Morpheus.Materialize.to_dense ds.Morpheus.Builder.matrix in
+  (* encode the materialized join the same way *)
+  let joined = Join.materialize_pkfk s ~fk:"EmployerID" r ~pk:"EmployerID" in
+  let m, _ = Encode.features joined in
+  if not (Dense.approx_equal ~tol:1e-9 (Mat.dense m) direct) then
+    Alcotest.failf "normalized matrix differs from encoded join output"
+
+(* ---- Join: M:N ---- *)
+
+let mn_s () =
+  Table.of_rows
+    (Schema.create ~table_name:"S"
+       [ Schema.column ~name:"JS" ~role:Schema.Ignored;
+         Schema.column ~name:"XS" ~role:Schema.Numeric_feature ])
+    [ [| v_int 1; v_f 10.0 |];
+      [| v_int 2; v_f 20.0 |];
+      [| v_int 1; v_f 30.0 |];
+      [| v_int 3; v_f 40.0 |] ]
+
+let mn_r () =
+  Table.of_rows
+    (Schema.create ~table_name:"R"
+       [ Schema.column ~name:"JR" ~role:Schema.Ignored;
+         Schema.column ~name:"XR" ~role:Schema.Numeric_feature ])
+    [ [| v_int 1; v_f 1.0 |];
+      [| v_int 1; v_f 2.0 |];
+      [| v_int 2; v_f 3.0 |];
+      [| v_int 4; v_f 4.0 |] ]
+
+let test_mn_indicators () =
+  let is_, ir = Join.mn_indicators (mn_s ()) ~js:"JS" (mn_r ()) ~jr:"JR" in
+  (* S rows 0,2 (JS=1) match R rows 0,1; S row 1 (JS=2) matches R row 2;
+     S row 3 (JS=3) matches nothing → 5 output tuples *)
+  Alcotest.(check int) "output size" 5 (Indicator.rows is_) ;
+  Alcotest.(check (array int)) "I_S" [| 0; 0; 1; 2; 2 |] (Indicator.mapping is_) ;
+  Alcotest.(check (array int)) "I_R" [| 0; 1; 2; 0; 1 |] (Indicator.mapping ir)
+
+let test_mn_matches_nested_loop () =
+  let s = mn_s () and r = mn_r () in
+  let t = Join.materialize_mn s ~js:"JS" r ~jr:"JR" in
+  (* nested-loop ground truth *)
+  let expected = ref [] in
+  for i = 0 to Table.nrows s - 1 do
+    for j = 0 to Table.nrows r - 1 do
+      if Value.equal (Table.get s ~row:i ~col_name:"JS") (Table.get r ~row:j ~col_name:"JR")
+      then expected := (i, j) :: !expected
+    done
+  done ;
+  Alcotest.(check int) "cardinality" (List.length !expected) (Table.nrows t)
+
+let test_mn_normalized_equals_join () =
+  let s = mn_s () and r = mn_r () in
+  let ds = Morpheus.Builder.mn ~s ~js:"JS" ~r ~jr:"JR" () in
+  let direct = Morpheus.Materialize.to_dense ds.Morpheus.Builder.matrix in
+  Alcotest.(check (pair int int)) "dims" (5, 2) (Dense.dims direct) ;
+  (* first output tuple: S row 0 (XS=10), R row 0 (XR=1) *)
+  Alcotest.(check (float 1e-12)) "xs" 10.0 (Dense.get direct 0 0) ;
+  Alcotest.(check (float 1e-12)) "xr" 1.0 (Dense.get direct 0 1)
+
+let test_mn_cartesian () =
+  (* all join values equal → full cartesian product *)
+  let mk name vals =
+    Table.of_rows
+      (Schema.create ~table_name:name
+         [ Schema.column ~name:"J" ~role:Schema.Ignored;
+           Schema.column ~name:"X" ~role:Schema.Numeric_feature ])
+      (List.map (fun v -> [| v_int 1; v_f v |]) vals)
+  in
+  let s = mk "S" [ 1.; 2.; 3. ] and r = mk "R" [ 4.; 5. ] in
+  let is_, _ = Join.mn_indicators s ~js:"J" r ~jr:"J" in
+  Alcotest.(check int) "n_S × n_R" 6 (Indicator.rows is_)
+
+(* ---- Encode ---- *)
+
+let test_encode_numeric_and_nominal () =
+  let m, fmap = Encode.features (employers ()) in
+  (* Revenue (1 col) + Country one-hot (3 categories: US, DE, FR) *)
+  Alcotest.(check int) "width" 4 fmap.Encode.width ;
+  let d = Mat.dense m in
+  Alcotest.(check (float 0.)) "revenue" 1000.0 (Dense.get d 0 0) ;
+  Alcotest.(check (float 0.)) "US one-hot row0" 1.0 (Dense.get d 0 1) ;
+  Alcotest.(check (float 0.)) "DE one-hot row1" 1.0 (Dense.get d 1 2) ;
+  Alcotest.(check (float 0.)) "US one-hot row2" 1.0 (Dense.get d 2 1) ;
+  (* each row has exactly one active nominal column *)
+  for i = 0 to 3 do
+    let active = ref 0 in
+    for j = 1 to 3 do
+      if Dense.get d i j <> 0.0 then incr active
+    done ;
+    Alcotest.(check int) "one-hot" 1 !active
+  done
+
+let test_encode_sparse () =
+  let m, _ = Encode.features ~sparse:true (employers ()) in
+  Alcotest.(check bool) "sparse" true (Mat.is_sparse m)
+
+let test_target_binarize () =
+  let y = Encode.target (customers ()) in
+  Alcotest.(check (pair int int)) "shape" (5, 1) (Dense.dims y) ;
+  let yb = Encode.binarize (Dense.of_col_array [| 1.; 2.; 3.; 4.; 5. |]) in
+  let vals = Dense.col_to_array yb in
+  Array.iter (fun v -> Alcotest.(check bool) "±1" true (v = 1.0 || v = -1.0)) vals
+
+let () =
+  Alcotest.run "relational"
+    [ ( "value",
+        [ Alcotest.test_case "parse" `Quick test_value_parse;
+          Alcotest.test_case "numeric equality" `Quick test_value_numeric_equal ] );
+      ( "table",
+        [ Alcotest.test_case "accessors" `Quick test_table_accessors;
+          Alcotest.test_case "select/project" `Quick test_table_select_project ] );
+      ( "csv",
+        [ Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "quoting" `Quick test_csv_quoting ] );
+      ( "pkfk-join",
+        [ Alcotest.test_case "indicator" `Quick test_pkfk_indicator;
+          Alcotest.test_case "dangling key rejected" `Quick test_pkfk_dangling;
+          Alcotest.test_case "trim unreferenced" `Quick test_trim_unreferenced;
+          Alcotest.test_case "materialized join" `Quick test_materialize_pkfk;
+          Alcotest.test_case "[S,KR] = join output" `Quick test_normalized_equals_join ] );
+      ( "mn-join",
+        [ Alcotest.test_case "indicators" `Quick test_mn_indicators;
+          Alcotest.test_case "matches nested loop" `Quick test_mn_matches_nested_loop;
+          Alcotest.test_case "[I_S·S, I_R·R] = join" `Quick test_mn_normalized_equals_join;
+          Alcotest.test_case "cartesian product" `Quick test_mn_cartesian ] );
+      ( "encode",
+        [ Alcotest.test_case "numeric + nominal" `Quick test_encode_numeric_and_nominal;
+          Alcotest.test_case "sparse output" `Quick test_encode_sparse;
+          Alcotest.test_case "target + binarize" `Quick test_target_binarize ] ) ]

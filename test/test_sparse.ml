@@ -1,0 +1,302 @@
+(* Tests for the sparse substrate: CSR, indicator matrices, COO, and the
+   dense/sparse Mat wrapper. *)
+
+open La
+open Sparse
+
+let check_close ?(tol = 1e-9) msg a b =
+  if not (Dense.approx_equal ~tol a b) then
+    Alcotest.failf "%s: max|diff| = %g" msg (Dense.max_abs_diff a b)
+
+let rng () = Rng.of_int 4242
+
+let random_csr ?(density = 0.3) r c seed =
+  let g = Rng.of_int seed in
+  let triplets = ref [] in
+  for i = 0 to r - 1 do
+    for j = 0 to c - 1 do
+      if Rng.float g < density then
+        triplets := (i, j, Rng.uniform g ~lo:(-2.0) ~hi:2.0) :: !triplets
+    done
+  done ;
+  Csr.of_triplets ~rows:r ~cols:c !triplets
+
+(* ---- Csr ---- *)
+
+let test_triplets_roundtrip () =
+  let m = Csr.of_triplets ~rows:3 ~cols:4 [ (0, 1, 2.0); (2, 3, -1.0); (1, 0, 0.5) ] in
+  Alcotest.(check int) "nnz" 3 (Csr.nnz m) ;
+  Alcotest.(check (float 0.)) "get" 2.0 (Csr.get m 0 1) ;
+  Alcotest.(check (float 0.)) "zero" 0.0 (Csr.get m 0 0)
+
+let test_duplicate_triplets_sum () =
+  let m = Csr.of_triplets ~rows:2 ~cols:2 [ (0, 0, 1.0); (0, 0, 2.5) ] in
+  Alcotest.(check int) "merged" 1 (Csr.nnz m) ;
+  Alcotest.(check (float 0.)) "summed" 3.5 (Csr.get m 0 0)
+
+let test_zero_triplets_dropped () =
+  let m = Csr.of_triplets ~rows:2 ~cols:2 [ (0, 0, 1.0); (1, 1, -1.0); (1, 1, 1.0) ] in
+  Alcotest.(check int) "dropped" 1 (Csr.nnz m)
+
+let test_dense_roundtrip () =
+  let m = random_csr 7 5 11 in
+  let back = Csr.of_dense (Csr.to_dense m) in
+  Alcotest.(check bool) "roundtrip" true (Csr.approx_equal m back)
+
+let test_csr_transpose () =
+  let m = random_csr 6 4 12 in
+  check_close "transpose"
+    (Dense.transpose (Csr.to_dense m))
+    (Csr.to_dense (Csr.transpose m))
+
+let test_csr_aggregations () =
+  let m = random_csr 6 4 13 in
+  let d = Csr.to_dense m in
+  check_close "row_sums" (Dense.row_sums d) (Csr.row_sums m) ;
+  check_close "col_sums" (Dense.col_sums d) (Csr.col_sums m) ;
+  Alcotest.(check (float 1e-9)) "sum" (Dense.sum d) (Csr.sum m) ;
+  check_close "row_sums_sq" (Dense.row_sums (Dense.pow_scalar d 2.0)) (Csr.row_sums_sq m)
+
+let test_smm () =
+  let m = random_csr 6 4 14 in
+  let x = Dense.random ~rng:(rng ()) 4 3 in
+  check_close "smm" (Blas.gemm (Csr.to_dense m) x) (Csr.smm m x)
+
+let test_t_smm () =
+  let m = random_csr 6 4 15 in
+  let x = Dense.random ~rng:(rng ()) 6 2 in
+  check_close "t_smm" (Blas.tgemm (Csr.to_dense m) x) (Csr.t_smm m x)
+
+let test_dense_smm () =
+  let m = random_csr 5 6 16 in
+  let x = Dense.random ~rng:(rng ()) 3 5 in
+  check_close "dense_smm" (Blas.gemm x (Csr.to_dense m)) (Csr.dense_smm x m)
+
+let test_csr_crossprod () =
+  let m = random_csr 8 5 17 in
+  check_close "crossprod" (Blas.crossprod (Csr.to_dense m)) (Csr.crossprod m)
+
+let test_csr_weighted_crossprod () =
+  let m = random_csr 8 5 18 in
+  let g = rng () in
+  let w = Array.init 8 (fun _ -> Rng.float g) in
+  check_close "weighted"
+    (Blas.weighted_crossprod (Csr.to_dense m) w)
+    (Csr.weighted_crossprod m w)
+
+let test_csr_gather_sub_rows () =
+  let m = random_csr 6 4 19 in
+  let idx = [| 3; 0; 3; 5 |] in
+  let d = Csr.to_dense m in
+  let expected = Dense.init 4 4 (fun i j -> Dense.get d idx.(i) j) in
+  check_close "gather" expected (Csr.to_dense (Csr.gather_rows m idx)) ;
+  check_close "sub_rows"
+    (Dense.sub_rows d ~lo:2 ~hi:5)
+    (Csr.to_dense (Csr.sub_rows m ~lo:2 ~hi:5))
+
+let test_csr_hcat () =
+  let a = random_csr 5 3 20 and b = random_csr 5 2 21 in
+  check_close "hcat"
+    (Dense.hcat [ Csr.to_dense a; Csr.to_dense b ])
+    (Csr.to_dense (Csr.hcat [ a; b ]))
+
+let test_csr_col_scatter () =
+  let m = random_csr 5 6 22 in
+  let mapping = [| 0; 1; 0; 2; 1; 0 |] in
+  let d = Csr.to_dense m in
+  let expected = Dense.create 5 3 in
+  Dense.iteri (fun i j v ->
+      Dense.set expected i mapping.(j) (Dense.get expected i mapping.(j) +. v)) d ;
+  check_close "col_scatter" expected (Csr.col_scatter m ~mapping ~ncols:3)
+
+(* ---- Indicator ---- *)
+
+let test_indicator_covers_columns () =
+  let k = Indicator.random ~rng:(rng ()) ~rows:20 ~cols:7 () in
+  let counts = Indicator.col_counts k in
+  Array.iter (fun c -> Alcotest.(check bool) "referenced" true (c > 0.0)) counts ;
+  Alcotest.(check (float 0.)) "counts sum to rows" 20.0 (Array.fold_left ( +. ) 0.0 counts)
+
+let test_indicator_nnz () =
+  (* nnz(K) = n_S exactly (§3.1) *)
+  let k = Indicator.random ~rng:(rng ()) ~rows:15 ~cols:4 () in
+  Alcotest.(check int) "nnz = rows" 15 (Indicator.nnz k) ;
+  Alcotest.(check int) "csr nnz" 15 (Csr.nnz (Indicator.to_csr k))
+
+let test_indicator_mult () =
+  let g = rng () in
+  let k = Indicator.random ~rng:g ~rows:10 ~cols:4 () in
+  let r = Dense.random ~rng:g 4 3 in
+  check_close "K·R" (Blas.gemm (Indicator.to_dense k) r) (Indicator.mult k r)
+
+let test_indicator_mult_csr () =
+  let g = rng () in
+  let k = Indicator.random ~rng:g ~rows:10 ~cols:4 () in
+  let r = random_csr 4 3 23 in
+  check_close "K·R sparse"
+    (Blas.gemm (Indicator.to_dense k) (Csr.to_dense r))
+    (Csr.to_dense (Indicator.mult_csr k r))
+
+let test_indicator_tmult () =
+  let g = rng () in
+  let k = Indicator.random ~rng:g ~rows:10 ~cols:4 () in
+  let x = Dense.random ~rng:g 10 3 in
+  check_close "Kᵀ·X" (Blas.tgemm (Indicator.to_dense k) x) (Indicator.tmult k x)
+
+let test_indicator_tmult_csr () =
+  let g = rng () in
+  let k = Indicator.random ~rng:g ~rows:10 ~cols:4 () in
+  let x = random_csr 10 3 24 in
+  check_close "Kᵀ·X sparse"
+    (Blas.tgemm (Indicator.to_dense k) (Csr.to_dense x))
+    (Indicator.tmult_csr k x)
+
+let test_indicator_xmult () =
+  let g = rng () in
+  let k = Indicator.random ~rng:g ~rows:10 ~cols:4 () in
+  let x = Dense.random ~rng:g 3 10 in
+  check_close "X·K" (Blas.gemm x (Indicator.to_dense k)) (Indicator.xmult x k)
+
+let test_indicator_gather_scatter () =
+  let g = rng () in
+  let k = Indicator.random ~rng:g ~rows:8 ~cols:3 () in
+  let v = Array.init 3 (fun i -> float_of_int (i + 1)) in
+  let gathered = Indicator.gather k v in
+  Array.iteri
+    (fun i x ->
+      Alcotest.(check (float 0.)) "gather" v.(Indicator.col_of_row k i) x)
+    gathered ;
+  let w = Array.init 8 float_of_int in
+  let scattered = Indicator.scatter_add k w in
+  let expected = Array.make 3 0.0 in
+  Array.iteri (fun i x -> expected.(Indicator.col_of_row k i) <- expected.(Indicator.col_of_row k i) +. x) w ;
+  Alcotest.(check (array (float 1e-12))) "scatter_add" expected scattered
+
+let test_indicator_identity () =
+  let k = Indicator.identity 5 in
+  let r = Dense.random ~rng:(rng ()) 5 2 in
+  check_close "I·R = R" r (Indicator.mult k r)
+
+(* ---- Coo ---- *)
+
+let test_coo_mult () =
+  let g = rng () in
+  let p = Coo.of_triplets ~rows:4 ~cols:3 [ (0, 0, 2.0); (1, 2, 1.0); (3, 1, -1.0); (0, 2, 0.5) ] in
+  let x = Dense.random ~rng:g 3 2 in
+  check_close "P·X" (Blas.gemm (Coo.to_dense p) x) (Coo.mult p x)
+
+let test_coo_mult_csr () =
+  let p = Coo.of_triplets ~rows:3 ~cols:4 [ (0, 1, 1.0); (2, 3, 2.0) ] in
+  let a = random_csr 4 5 25 in
+  check_close "P·A" (Blas.gemm (Coo.to_dense p) (Csr.to_dense a)) (Coo.mult_csr p a)
+
+(* ---- Mat ---- *)
+
+let test_mat_dispatch () =
+  let d = Dense.random ~rng:(rng ()) 5 4 in
+  let c = random_csr 5 4 26 in
+  let md = Mat.of_dense d and ms = Mat.of_csr c in
+  Alcotest.(check bool) "dense not sparse" false (Mat.is_sparse md) ;
+  Alcotest.(check bool) "sparse" true (Mat.is_sparse ms) ;
+  Alcotest.(check int) "storage dense" 20 (Mat.storage_size md) ;
+  Alcotest.(check int) "storage sparse" (Csr.nnz c) (Mat.storage_size ms)
+
+let test_mat_scalar_sparsity () =
+  let c = random_csr 5 4 27 in
+  let ms = Mat.of_csr c in
+  (* zero-preserving map keeps sparsity *)
+  Alcotest.(check bool) "scale stays sparse" true (Mat.is_sparse (Mat.scale 2.0 ms)) ;
+  Alcotest.(check bool) "sq stays sparse" true (Mat.is_sparse (Mat.sq ms)) ;
+  (* non-zero-preserving map densifies *)
+  Alcotest.(check bool) "exp densifies" false (Mat.is_sparse (Mat.exp ms)) ;
+  Alcotest.(check bool) "+1 densifies" false (Mat.is_sparse (Mat.add_scalar 1.0 ms)) ;
+  check_close "exp values"
+    (Dense.exp (Csr.to_dense c))
+    (Mat.dense (Mat.exp ms))
+
+let test_mat_ops_agree () =
+  (* every Mat op gives the same answer through both representations *)
+  let d = Dense.random ~rng:(rng ()) 6 4 in
+  let pairs = [ (Mat.of_dense d, Mat.of_csr (Csr.of_dense d)) ] in
+  List.iter
+    (fun (a, b) ->
+      let x = Dense.random ~rng:(rng ()) 4 3 in
+      check_close "mm" (Mat.mm a x) (Mat.mm b x) ;
+      let y = Dense.random ~rng:(rng ()) 6 2 in
+      check_close "tmm" (Mat.tmm a y) (Mat.tmm b y) ;
+      let z = Dense.random ~rng:(rng ()) 2 6 in
+      check_close "mm_left" (Mat.mm_left z a) (Mat.mm_left z b) ;
+      check_close "crossprod" (Mat.crossprod a) (Mat.crossprod b) ;
+      check_close "row_sums" (Mat.row_sums a) (Mat.row_sums b) ;
+      check_close "col_sums" (Mat.col_sums a) (Mat.col_sums b) ;
+      Alcotest.(check (float 1e-9)) "sum" (Mat.sum a) (Mat.sum b))
+    pairs
+
+let test_mat_hcat_mixed () =
+  let d = Dense.random ~rng:(rng ()) 4 2 in
+  let c = random_csr 4 3 28 in
+  let h = Mat.hcat [ Mat.of_dense d; Mat.of_csr c ] in
+  Alcotest.(check bool) "mixed hcat densifies" false (Mat.is_sparse h) ;
+  check_close "values" (Dense.hcat [ d; Csr.to_dense c ]) (Mat.dense h) ;
+  let h2 = Mat.hcat [ Mat.of_csr c; Mat.of_csr c ] in
+  Alcotest.(check bool) "all-sparse hcat stays sparse" true (Mat.is_sparse h2)
+
+(* qcheck: CSR smm equals dense gemm over random matrices *)
+
+let qc_gen =
+  QCheck.make
+    ~print:(fun (r, c, k, seed) -> Printf.sprintf "%dx%dx%d seed=%d" r c k seed)
+    QCheck.Gen.(quad (int_range 1 10) (int_range 1 10) (int_range 1 5) (int_range 0 5000))
+
+let prop_smm =
+  QCheck.Test.make ~name:"qcheck: smm = gemm" ~count:60 qc_gen
+    (fun (r, c, k, seed) ->
+      let m = random_csr r c seed in
+      let x = Dense.random ~rng:(Rng.of_int (seed + 1)) c k in
+      Dense.approx_equal ~tol:1e-9 (Blas.gemm (Csr.to_dense m) x) (Csr.smm m x))
+
+let prop_transpose_involution =
+  QCheck.Test.make ~name:"qcheck: csr transpose involution" ~count:60 qc_gen
+    (fun (r, c, _, seed) ->
+      let m = random_csr r c seed in
+      Csr.approx_equal m (Csr.transpose (Csr.transpose m)))
+
+let qc = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "sparse"
+    [ ( "csr",
+        [ Alcotest.test_case "triplets roundtrip" `Quick test_triplets_roundtrip;
+          Alcotest.test_case "duplicates summed" `Quick test_duplicate_triplets_sum;
+          Alcotest.test_case "zeros dropped" `Quick test_zero_triplets_dropped;
+          Alcotest.test_case "dense roundtrip" `Quick test_dense_roundtrip;
+          Alcotest.test_case "transpose" `Quick test_csr_transpose;
+          Alcotest.test_case "aggregations" `Quick test_csr_aggregations;
+          Alcotest.test_case "smm" `Quick test_smm;
+          Alcotest.test_case "t_smm" `Quick test_t_smm;
+          Alcotest.test_case "dense_smm" `Quick test_dense_smm;
+          Alcotest.test_case "crossprod" `Quick test_csr_crossprod;
+          Alcotest.test_case "weighted crossprod" `Quick test_csr_weighted_crossprod;
+          Alcotest.test_case "gather/sub rows" `Quick test_csr_gather_sub_rows;
+          Alcotest.test_case "hcat" `Quick test_csr_hcat;
+          Alcotest.test_case "col_scatter" `Quick test_csr_col_scatter;
+          qc prop_smm;
+          qc prop_transpose_involution ] );
+      ( "indicator",
+        [ Alcotest.test_case "covers all columns" `Quick test_indicator_covers_columns;
+          Alcotest.test_case "nnz = rows" `Quick test_indicator_nnz;
+          Alcotest.test_case "K·R" `Quick test_indicator_mult;
+          Alcotest.test_case "K·R sparse" `Quick test_indicator_mult_csr;
+          Alcotest.test_case "Kᵀ·X" `Quick test_indicator_tmult;
+          Alcotest.test_case "Kᵀ·X sparse" `Quick test_indicator_tmult_csr;
+          Alcotest.test_case "X·K" `Quick test_indicator_xmult;
+          Alcotest.test_case "gather/scatter" `Quick test_indicator_gather_scatter;
+          Alcotest.test_case "identity" `Quick test_indicator_identity ] );
+      ( "coo",
+        [ Alcotest.test_case "P·X" `Quick test_coo_mult;
+          Alcotest.test_case "P·A sparse" `Quick test_coo_mult_csr ] );
+      ( "mat",
+        [ Alcotest.test_case "dispatch + storage" `Quick test_mat_dispatch;
+          Alcotest.test_case "scalar ops & sparsity" `Quick test_mat_scalar_sparsity;
+          Alcotest.test_case "ops agree across reps" `Quick test_mat_ops_agree;
+          Alcotest.test_case "hcat mixed" `Quick test_mat_hcat_mixed ] ) ]

@@ -1,0 +1,128 @@
+(* Tests for the sparse-output cross-product: it must agree exactly with
+   the dense rewrite (and hence with the materialized TᵀT) on every
+   schema shape, and it must scale to one-hot widths where a dense
+   output would be prohibitive. *)
+
+open La
+open Sparse
+open Morpheus
+open Test_support
+
+let check_close = Gen.check_close
+
+let test_matches_dense_rewrite () =
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun sparse ->
+          List.iter
+            (fun shape ->
+              let t = Gen.normalized ~seed ~sparse shape in
+              let dense_cp = Rewrite.crossprod t in
+              let sparse_cp = Sparse_crossprod.crossprod t in
+              check_close ~tol:1e-9
+                (Printf.sprintf "%s sparse=%b seed=%d" (Gen.shape_name shape)
+                   sparse seed)
+                dense_cp
+                (Csr.to_dense sparse_cp))
+            Gen.shapes)
+        [ false; true ])
+    [ 0; 1; 2 ]
+
+let test_matches_materialized () =
+  let t = Gen.normalized ~seed:5 ~sparse:true Gen.Star3 in
+  let m = Gen.ground_truth t in
+  check_close ~tol:1e-9 "= materialized TᵀT" (Blas.crossprod m)
+    (Csr.to_dense (Sparse_crossprod.crossprod t))
+
+let test_output_is_sparse_for_onehot () =
+  (* two one-hot attribute tables: the co-occurrence matrix must stay
+     far below d² stored entries *)
+  let rng = Rng.of_int 9 in
+  let ns = 400 in
+  let onehot n d =
+    Mat.of_csr
+      (Csr.of_triplets ~rows:n ~cols:d
+         (List.init n (fun i -> (i, Rng.int rng d, 1.0))))
+  in
+  let nr1 = 40 and d1 = 120 in
+  let nr2 = 30 and d2 = 150 in
+  let k1 = Indicator.random ~rng ~rows:ns ~cols:nr1 () in
+  let k2 = Indicator.random ~rng ~rows:ns ~cols:nr2 () in
+  let t =
+    Normalized.star
+      ~s:(Mat.of_csr (Csr.of_triplets ~rows:ns ~cols:0 []))
+      ~parts:[ (k1, onehot nr1 d1); (k2, onehot nr2 d2) ]
+  in
+  let cp = Sparse_crossprod.crossprod t in
+  let d = d1 + d2 in
+  Alcotest.(check (pair int int)) "dims" (d, d) (Csr.dims cp) ;
+  Alcotest.(check bool)
+    (Printf.sprintf "nnz %d << d² = %d" (Csr.nnz cp) (d * d))
+    true
+    (Csr.nnz cp < d * d / 10) ;
+  (* still exact *)
+  check_close ~tol:1e-9 "exact" (Rewrite.crossprod t) (Csr.to_dense cp)
+
+let test_wide_onehot_smoke () =
+  (* d large enough that callers would not want the dense path: the
+     sparse output must be symmetric with the right diagonal mass *)
+  let rng = Rng.of_int 10 in
+  let ns = 3000 and nr = 300 and dr = 5000 in
+  let r =
+    Mat.of_csr
+      (Csr.of_triplets ~rows:nr ~cols:dr
+         (List.init nr (fun i -> (i, Rng.int rng dr, 1.0))))
+  in
+  let k = Indicator.random ~rng ~rows:ns ~cols:nr () in
+  let s = Mat.of_csr (Csr.of_triplets ~rows:ns ~cols:0 []) in
+  let t = Normalized.star ~s ~parts:[ (k, r) ] in
+  let cp = Sparse_crossprod.crossprod t in
+  Alcotest.(check (pair int int)) "dims" (dr, dr) (Csr.dims cp) ;
+  (* diagonal sums to the total count of ones in T = ns *)
+  let diag_sum = ref 0.0 in
+  for j = 0 to dr - 1 do
+    diag_sum := !diag_sum +. Csr.get cp j j
+  done ;
+  Alcotest.(check (float 1e-9)) "diagonal mass" (float_of_int ns) !diag_sum ;
+  (* symmetric *)
+  Alcotest.(check bool) "symmetric" true
+    (Csr.approx_equal cp (Csr.transpose cp))
+
+let test_rejects_transposed () =
+  let t = Rewrite.transpose (Gen.normalized ~seed:11 Gen.Pkfk) in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Sparse_crossprod.crossprod t) ;
+       false
+     with Invalid_argument _ -> true)
+
+let test_csr_crossprod_csr_kernel () =
+  (* kernel-level check incl. weights *)
+  let rng = Rng.of_int 12 in
+  let triplets = ref [] in
+  for i = 0 to 19 do
+    for j = 0 to 7 do
+      if Rng.float rng < 0.3 then
+        triplets := (i, j, Rng.uniform rng ~lo:(-1.0) ~hi:1.0) :: !triplets
+    done
+  done ;
+  let c = Csr.of_triplets ~rows:20 ~cols:8 !triplets in
+  check_close ~tol:1e-10 "unweighted"
+    (Csr.crossprod c)
+    (Csr.to_dense (Csr.crossprod_csr c)) ;
+  let w = Array.init 20 (fun _ -> Rng.float rng) in
+  check_close ~tol:1e-10 "weighted"
+    (Csr.weighted_crossprod c w)
+    (Csr.to_dense (Csr.crossprod_csr ~weights:w c))
+
+let () =
+  Alcotest.run "sparse-crossprod"
+    [ ( "correctness",
+        [ Alcotest.test_case "= dense rewrite (all shapes)" `Quick test_matches_dense_rewrite;
+          Alcotest.test_case "= materialized" `Quick test_matches_materialized;
+          Alcotest.test_case "csr kernel" `Quick test_csr_crossprod_csr_kernel;
+          Alcotest.test_case "rejects transposed" `Quick test_rejects_transposed ] );
+      ( "scale",
+        [ Alcotest.test_case "one-hot output sparse" `Quick test_output_is_sparse_for_onehot;
+          Alcotest.test_case "wide one-hot smoke" `Quick test_wide_onehot_smoke ] ) ]
