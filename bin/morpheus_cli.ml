@@ -269,9 +269,73 @@ let explain_cmd =
     Term.(const explain $ dir_arg $ fk_arg $ pk_arg $ target_arg $ nominal_arg
           $ sparse_arg $ op)
 
+(* ---- check: static plan checker over plan files ---- *)
+
+(* Exit codes: 0 all checks clean (warnings allowed unless --strict),
+   1 diagnostics with error severity (or warnings under --strict),
+   2 unreadable/unparsable plan. *)
+let check_plans expr_opt strict files =
+  if expr_opt = None && files = [] then begin
+    Fmt.epr "morpheus check: nothing to do (give plan FILEs and/or --expr)@." ;
+    exit 2
+  end ;
+  let failed = ref false in
+  let run_report name ~env e =
+    let report = Morpheus.Check.analyze_abstract ~env e in
+    print_string (Morpheus.Check.report_to_string ~name report) ;
+    print_newline () ;
+    if not (Morpheus.Check.is_ok report) then failed := true ;
+    if strict && Morpheus.Check.warnings report <> [] then failed := true
+  in
+  List.iter
+    (fun file ->
+      match Morpheus.Plan.parse_file file with
+      | Error msg ->
+        Fmt.epr "%s: %s@." file msg ;
+        exit 2
+      | Ok plan ->
+        let env = Morpheus.Plan.env plan in
+        (match Morpheus.Plan.checks plan with
+        | [] -> Fmt.epr "%s: no check statements@." file
+        | checks ->
+          List.iter
+            (fun (name, e) ->
+              run_report (Printf.sprintf "%s: %s" file name) ~env e)
+            checks))
+    files ;
+  (match expr_opt with
+  | None -> ()
+  | Some src -> (
+    match Morpheus.Plan.parse_expr src with
+    | Error msg ->
+      Fmt.epr "--expr: %s@." msg ;
+      exit 2
+    | Ok e -> run_report src ~env:[] e)) ;
+  if !failed then exit 1
+
+let check_cmd =
+  let files =
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE"
+           ~doc:"Plan files to check (see docs/CHECKER.md for the syntax).")
+  in
+  let expr =
+    Arg.(value & opt (some string) None & info [ "expr"; "e" ] ~docv:"EXPR"
+           ~doc:"Check a single expression with no declared operands.")
+  in
+  let strict =
+    Arg.(value & flag & info [ "strict" ]
+           ~doc:"Treat warnings (W001-W003) as errors.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Statically check LA plans: shapes, rewrite preconditions, \
+             per-node cost estimates, and structured diagnostics.")
+    Term.(const check_plans $ expr $ strict $ files)
+
 let () =
   let doc = "factorized linear algebra over normalized data (Morpheus)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "morpheus" ~version:"1.0.0" ~doc)
-          [ generate_cmd; info_cmd; train_cmd; cv_cmd; pca_cmd; explain_cmd ]))
+          [ generate_cmd; info_cmd; train_cmd; cv_cmd; pca_cmd; explain_cmd;
+            check_cmd ]))

@@ -1,0 +1,185 @@
+(* The abstract syntax of the deep-embedded LA expression language —
+   the OCaml rendering of Figure 1(c)'s standard script, shared by the
+   static plan checker (Check, which abstractly interprets it) and the
+   evaluator (Expr, which dispatches every operator to the factorized
+   rewrites and re-exports this module). Keeping the syntax separate
+   breaks the dependency cycle that a single Expr module would create:
+   Expr's shape inference is a thin wrapper over Check, and Check needs
+   the expression type. *)
+
+open Sparse
+
+type value =
+  | Scalar of float
+  | Regular of Mat.t
+  | Normalized of Normalized.t
+
+type t =
+  | Const of value
+  | Var of string
+  | Scale of float * t (* x · e *)
+  | Add_scalar of float * t
+  | Pow_scalar of t * float
+  | Map_scalar of string * (float -> float) * t (* named for printing *)
+  | Transpose of t
+  | Row_sums of t
+  | Col_sums of t
+  | Sum of t
+  | Mult of t * t
+  | Crossprod of t
+  | Ginv of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul_elem of t * t
+  | Div_elem of t * t
+
+(* ---- convenience constructors ---- *)
+
+let scalar x = Const (Scalar x)
+let regular m = Const (Regular m)
+let dense d = Const (Regular (Mat.of_dense d))
+let normalized n = Const (Normalized n)
+let var name = Var name
+
+let ( *@ ) a b = Mult (a, b)
+let ( +@ ) a b = Add (a, b)
+let ( -@ ) a b = Sub (a, b)
+let ( *.@ ) x e = Scale (x, e)
+let tr e = Transpose e
+
+(* ---- printing ---- *)
+
+let rec pp ppf = function
+  | Const (Scalar x) -> Fmt.pf ppf "%g" x
+  | Const (Regular m) -> Fmt.pf ppf "[%dx%d]" (Mat.rows m) (Mat.cols m)
+  | Const (Normalized n) ->
+    Fmt.pf ppf "T<%dx%d>" (Normalized.rows n) (Normalized.cols n)
+  | Var name -> Fmt.string ppf name
+  | Scale (x, e) -> Fmt.pf ppf "(%g * %a)" x pp e
+  | Add_scalar (x, e) -> Fmt.pf ppf "(%a + %g)" pp e x
+  | Pow_scalar (e, p) -> Fmt.pf ppf "(%a ^ %g)" pp e p
+  | Map_scalar (name, _, e) -> Fmt.pf ppf "%s(%a)" name pp e
+  | Transpose e -> Fmt.pf ppf "%a'" pp e
+  | Row_sums e -> Fmt.pf ppf "rowSums(%a)" pp e
+  | Col_sums e -> Fmt.pf ppf "colSums(%a)" pp e
+  | Sum e -> Fmt.pf ppf "sum(%a)" pp e
+  | Mult (a, b) -> Fmt.pf ppf "(%a %%*%% %a)" pp a pp b
+  | Crossprod e -> Fmt.pf ppf "crossprod(%a)" pp e
+  | Ginv e -> Fmt.pf ppf "ginv(%a)" pp e
+  | Add (a, b) -> Fmt.pf ppf "(%a + %a)" pp a pp b
+  | Sub (a, b) -> Fmt.pf ppf "(%a - %a)" pp a pp b
+  | Mul_elem (a, b) -> Fmt.pf ppf "(%a * %a)" pp a pp b
+  | Div_elem (a, b) -> Fmt.pf ppf "(%a / %a)" pp a pp b
+
+let to_string e = Fmt.str "%a" pp e
+
+(* ---- algebraic simplification ---- *)
+
+(* One bottom-up pass of local rules:
+   - (eᵀ)ᵀ → e
+   - a·(b·e) → (a·b)·e            (scalar fusion)
+   - (x·e)ᵀ → x·eᵀ                (transpose pushdown; exposes the
+                                    Appendix-A rules underneath)
+   - rowSums(eᵀ) → colSums(e)ᵀ and symmetrically (Appendix A)
+   - sum(eᵀ) → sum(e)
+   - crossprod(e) stays; ginv(ginv-free) stays. *)
+let rec simplify e =
+  let e =
+    match e with
+    | Const _ | Var _ -> e
+    | Scale (x, e) -> Scale (x, simplify e)
+    | Add_scalar (x, e) -> Add_scalar (x, simplify e)
+    | Pow_scalar (e, p) -> Pow_scalar (simplify e, p)
+    | Map_scalar (n, f, e) -> Map_scalar (n, f, simplify e)
+    | Transpose e -> Transpose (simplify e)
+    | Row_sums e -> Row_sums (simplify e)
+    | Col_sums e -> Col_sums (simplify e)
+    | Sum e -> Sum (simplify e)
+    | Mult (a, b) -> Mult (simplify a, simplify b)
+    | Crossprod e -> Crossprod (simplify e)
+    | Ginv e -> Ginv (simplify e)
+    | Add (a, b) -> Add (simplify a, simplify b)
+    | Sub (a, b) -> Sub (simplify a, simplify b)
+    | Mul_elem (a, b) -> Mul_elem (simplify a, simplify b)
+    | Div_elem (a, b) -> Div_elem (simplify a, simplify b)
+  in
+  match e with
+  | Transpose (Transpose e) -> e
+  | Scale (x, Scale (y, e)) -> Scale (Stdlib.( *. ) x y, e)
+  | Transpose (Scale (x, e)) -> Scale (x, simplify (Transpose e))
+  | Row_sums (Transpose e) -> Transpose (Col_sums e)
+  | Col_sums (Transpose e) -> Transpose (Row_sums e)
+  | Sum (Transpose e) -> Sum e
+  | e -> e
+
+(* ---- tree structure and paths ---- *)
+
+type path = int list
+
+let children = function
+  | Const _ | Var _ -> []
+  | Scale (_, e)
+  | Add_scalar (_, e)
+  | Pow_scalar (e, _)
+  | Map_scalar (_, _, e)
+  | Transpose e
+  | Row_sums e
+  | Col_sums e
+  | Sum e
+  | Crossprod e
+  | Ginv e ->
+    [ e ]
+  | Mult (a, b) | Add (a, b) | Sub (a, b) | Mul_elem (a, b) | Div_elem (a, b)
+    ->
+    [ a; b ]
+
+let node_label = function
+  | Const (Scalar x) -> Printf.sprintf "const %g" x
+  | Const (Regular m) ->
+    Printf.sprintf "const [%dx%d]" (Mat.rows m) (Mat.cols m)
+  | Const (Normalized n) ->
+    Printf.sprintf "normalized T<%dx%d>" (Normalized.rows n)
+      (Normalized.cols n)
+  | Var name -> "var " ^ name
+  | Scale (x, _) -> Printf.sprintf "scale %g" x
+  | Add_scalar (x, _) -> Printf.sprintf "add-scalar %g" x
+  | Pow_scalar (_, p) -> Printf.sprintf "pow %g" p
+  | Map_scalar (name, _, _) -> "map " ^ name
+  | Transpose _ -> "transpose"
+  | Row_sums _ -> "rowSums"
+  | Col_sums _ -> "colSums"
+  | Sum _ -> "sum"
+  | Mult _ -> "mult"
+  | Crossprod _ -> "crossprod"
+  | Ginv _ -> "ginv"
+  | Add _ -> "add"
+  | Sub _ -> "sub"
+  | Mul_elem _ -> "mul-elem"
+  | Div_elem _ -> "div-elem"
+
+let rec subterm e = function
+  | [] -> Some e
+  | i :: rest -> (
+    match List.nth_opt (children e) i with
+    | Some c -> subterm c rest
+    | None -> None)
+
+(* Edge names: "left"/"right" for binary nodes, "arg" for unary. *)
+let edge_name e i =
+  match children e with
+  | [ _ ] -> "arg"
+  | [ _; _ ] -> if i = 0 then "left" else "right"
+  | _ -> string_of_int i
+
+let path_string root path =
+  let rec go e = function
+    | [] -> []
+    | i :: rest -> (
+      let step = Printf.sprintf "%s/%s" (node_label e) (edge_name e i) in
+      match List.nth_opt (children e) i with
+      | Some c -> step :: go c rest
+      | None -> [ step ^ "?" ])
+  in
+  match go root path with
+  | [] -> "root"
+  | steps -> String.concat " › " steps

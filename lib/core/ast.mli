@@ -1,0 +1,87 @@
+(** The abstract syntax of the LA expression DSL, split out of {!Expr}
+    so that the static plan checker ({!Check}) and the evaluator
+    ({!Expr}) share a single definition without a dependency cycle:
+    [Ast] is pure syntax (constructors, printing, syntactic
+    simplification, tree paths); [Check] abstractly interprets it;
+    [Expr] evaluates it and re-exports everything here. *)
+
+open La
+open Sparse
+
+type value =
+  | Scalar of float
+  | Regular of Mat.t
+  | Normalized of Normalized.t
+
+type t =
+  | Const of value
+  | Var of string
+  | Scale of float * t
+  | Add_scalar of float * t
+  | Pow_scalar of t * float
+  | Map_scalar of string * (float -> float) * t  (** named for printing *)
+  | Transpose of t
+  | Row_sums of t
+  | Col_sums of t
+  | Sum of t
+  | Mult of t * t
+  | Crossprod of t
+  | Ginv of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul_elem of t * t
+  | Div_elem of t * t
+
+(** {1 Constructors} *)
+
+val scalar : float -> t
+val regular : Mat.t -> t
+val dense : Dense.t -> t
+val normalized : Normalized.t -> t
+val var : string -> t
+
+val ( *@ ) : t -> t -> t
+(** Matrix product (R's [%*%]). *)
+
+val ( +@ ) : t -> t -> t
+val ( -@ ) : t -> t -> t
+
+val ( *.@ ) : float -> t -> t
+(** Scalar multiple. *)
+
+val tr : t -> t
+(** Transpose. *)
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {1 Simplification}
+
+    Bottom-up local rules: double-transpose elimination, scalar fusion,
+    transpose pushdown, and the Appendix-A aggregation swaps
+    (rowSums(eᵀ) → colSums(e)ᵀ etc.). Semantics-preserving. *)
+
+val simplify : t -> t
+
+(** {1 Tree structure and paths}
+
+    A path addresses a subterm as the sequence of child indices from the
+    root; the checker attaches every diagnostic and annotation to one. *)
+
+type path = int list
+
+val children : t -> t list
+
+val node_label : t -> string
+(** Short operator head for annotations, e.g. ["mult"], ["crossprod"],
+    ["var w"]. *)
+
+val subterm : t -> path -> t option
+(** The subterm a path points at, or [None] if the path runs off the
+    tree. *)
+
+val path_string : t -> path -> string
+(** Human-readable rendering of a path within a given root, e.g.
+    ["mult/left › ginv/arg"]; ["root"] for the empty path. *)

@@ -18,13 +18,24 @@ let target_of table =
   | None -> None
   | Some _ -> Some (Encode.target table)
 
+(* Every constructor re-checks the full structural invariants on its
+   result (indicator key bounds included, which Normalized.make alone
+   does not re-verify) so a bad join/encoding pipeline fails loudly at
+   build time, not mid-training. *)
+let validated matrix =
+  match Normalized.validate matrix with
+  | [] -> matrix
+  | problems ->
+    invalid_arg
+      ("Builder: invalid normalized matrix: " ^ String.concat "; " problems)
+
 (* Single PK-FK join (the paper's running example): S(Y, X_S, K) joined
    with R(RID, X_R). *)
 let pkfk ?(sparse = false) ~s ~fk ~r ~pk () =
   let r, k = Join.trim_unreferenced s ~fk r ~pk in
   let s_mat, _ = Encode.features ~sparse s in
   let r_mat, _ = Encode.features ~sparse r in
-  { matrix = Normalized.pkfk ~s:s_mat ~k ~r:r_mat; target = target_of s }
+  { matrix = validated (Normalized.pkfk ~s:s_mat ~k ~r:r_mat); target = target_of s }
 
 (* Star-schema multi-table PK-FK join (§3.5): one entity table, q
    attribute tables given as (foreign key in S, table, its primary key). *)
@@ -38,7 +49,7 @@ let star ?(sparse = false) ~s ~atts () =
       atts
   in
   let s_mat, _ = Encode.features ~sparse s in
-  { matrix = Normalized.star ~s:s_mat ~parts; target = target_of s }
+  { matrix = validated (Normalized.star ~s:s_mat ~parts); target = target_of s }
 
 (* M:N equi-join (§3.6). The target Y (if any) lives on S and is mapped
    through I_S so it aligns with the join output's rows. *)
@@ -53,7 +64,7 @@ let mn ?(sparse = false) ~s ~js ~r ~jr () =
           (Indicator.gather is_ (Dense.col_to_array y)))
       (target_of s)
   in
-  { matrix = Normalized.mn ~is_ ~s:s_mat ~ir ~r:r_mat; target }
+  { matrix = validated (Normalized.mn ~is_ ~s:s_mat ~ir ~r:r_mat); target }
 
 (* Multi-table M:N chain join (appendix E): T = R₁ ⋈ R₂ ⋈ … ⋈ R_q with
    the given adjacent equi-join conditions; the normalized matrix is
@@ -80,7 +91,7 @@ let mn_chain ?(sparse = false) ~tables ~conditions () =
             (Indicator.gather (List.hd inds) (Dense.col_to_array y)))
         (target_of first)
   in
-  { matrix = Normalized.make parts; target }
+  { matrix = validated (Normalized.make parts); target }
 
 (* Load S.csv / R.csv with a role assignment and build the PK-FK
    normalized matrix — the complete §3.2 snippet. *)

@@ -1,0 +1,152 @@
+(** Static plan checker: one abstract-interpretation pass over the LA
+    expression DAG, with structured diagnostics.
+
+    Unlike {!Expr.shape_of} (which raises at the first problem), the
+    checker is {e total}: it interprets every node over an abstract
+    domain of shape × representation × estimated sparsity × cost,
+    collects {e all} diagnostics — each with a stable code, a severity,
+    and a path into the expression tree — and annotates every node with
+    the Table-3 standard-vs-factorized FLOP estimates, the §3.7
+    decision, and the Table-1 / Appendix-C rewrite that would fire.
+    It never raises and never evaluates anything, so malformed plans
+    are rejected before any kernel runs.
+
+    Diagnostic codes (see [docs/CHECKER.md]):
+    - [E001] dimension mismatch (product or element-wise)
+    - [E002] unbound variable
+    - [E003] matrix operator applied to a scalar operand
+    - [E004] normalized-matrix invariant violation
+      ({!Normalized.validate})
+    - [W001] element-wise op forces materialization (§3.3.7)
+    - [W002] product-chain order left unoptimized: unresolvable shape
+    - [W003] factorization predicted slower than materialized (§3.7
+      heuristic) *)
+
+val log_src : Logs.src
+(** Log source shared with {!Expr.optimize}'s W002 reports. *)
+
+(** {1 Abstract domain} *)
+
+type dim = int option
+(** A matrix dimension; [None] when it cannot be resolved statically. *)
+
+type shape = Scalar | Matrix of dim * dim | Top
+(** [Top] is the unknown shape (e.g. of an unbound variable). *)
+
+type repr = R_scalar | R_dense | R_sparse | R_normalized | R_top
+(** Abstract representation: which physical kind of value the node
+    evaluates to. Normalized operands stay [R_normalized] through the
+    closed (Table-1) rewrites and decay to [R_dense] where the paper
+    materializes. *)
+
+type norm_info = {
+  n_dims : Cost.dims;  (** two-table cost dims (multi-part aggregated) *)
+  transposed : bool;
+  tuple_ratio : float;
+  feature_ratio : float;
+}
+(** What the cost model needs to know about a normalized operand —
+    either extracted from an actual {!Normalized.t} or declared
+    abstractly (plan files). *)
+
+type absval = {
+  shape : shape;
+  repr : repr;
+  density : float option;  (** estimated fraction of nonzeros *)
+  norm : norm_info option;  (** present iff [repr = R_normalized] *)
+}
+
+val scalar_value : absval
+val dense_value : ?density:float -> int -> int -> absval
+val sparse_value : ?density:float -> int -> int -> absval
+
+val normalized_value :
+  ?transposed:bool -> ?density:float ->
+  ns:int -> ds:int -> nr:int -> dr:int -> unit -> absval
+(** An abstract normalized matrix declared by its four Table-3
+    dimensions (no data attached) — what plan files bind. *)
+
+val of_value : Ast.value -> absval
+(** Abstract a concrete value (measures actual density and normalized
+    structure). *)
+
+(** {1 Diagnostics} *)
+
+type code = E001 | E002 | E003 | E004 | W001 | W002 | W003
+type severity = Error | Warning
+
+val severity_of : code -> severity
+val code_name : code -> string
+
+val code_doc : code -> string
+(** One-line description of what the code means. *)
+
+type diagnostic = {
+  code : code;
+  path : Ast.path;  (** where in the tree *)
+  where : string;  (** [Ast.path_string] rendering of [path] *)
+  message : string;
+  subterm : string;  (** pretty-printed offending subterm *)
+}
+
+val diagnostic_to_string : diagnostic -> string
+
+(** {1 Per-node annotations} *)
+
+type annot = {
+  a_path : Ast.path;
+  a_label : string;  (** operator head ({!Ast.node_label}) *)
+  a_value : absval;
+  a_standard : float option;  (** standard-path FLOPs for this node *)
+  a_factorized : float option;  (** factorized-path FLOPs *)
+  a_decision : Decision.choice option;
+      (** §3.7 verdict, when a normalized operand is involved *)
+  a_rule : string option;  (** the Table-1/Appendix-C rewrite that fires *)
+}
+
+type report = {
+  expr : Ast.t;
+  result : absval;  (** abstract value of the whole plan *)
+  nodes : annot list;  (** preorder *)
+  diagnostics : diagnostic list;
+      (** post-order (sub-term diagnostics before their parents'), which
+          matches the raising order of the legacy [shape_of] *)
+}
+
+(** {1 Analysis (total: never raises, never evaluates)} *)
+
+val analyze : ?env:(string * Ast.value) list -> Ast.t -> report
+(** Check an expression against concrete bindings (the {!Expr.eval}
+    environment). Normalized values are additionally run through
+    {!Normalized.validate} (E004). *)
+
+val analyze_abstract : ?env:(string * absval) list -> Ast.t -> report
+(** Check against purely abstract bindings — no data required; this is
+    what [morpheus check] runs on plan files. *)
+
+val errors : report -> diagnostic list
+val warnings : report -> diagnostic list
+
+val is_ok : report -> bool
+(** No error-severity diagnostics ([warnings] allowed). *)
+
+val totals : report -> float * float
+(** Whole-plan (standard, factorized) FLOP totals over all annotated
+    nodes. *)
+
+val infer_shape :
+  ?env:(string * Ast.value) list -> Ast.t -> (shape, string) result
+(** Total shape inference: [Ok] with the abstract result shape when no
+    shape/type error was diagnosed, [Error] with the first (innermost,
+    leftmost) error message otherwise. {!Expr.shape_of} and
+    {!Expr.optimize} route through this, so there is a single
+    shape-inference code path. *)
+
+(** {1 Rendering} *)
+
+val report_to_string : ?name:string -> report -> string
+(** The annotated plan (one line per node: shape, representation,
+    density, standard/factorized FLOPs, decision, rewrite rule),
+    followed by all diagnostics and the whole-plan cost totals. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -162,4 +162,11 @@ let describe t =
     (Printf.sprintf "  stored scalars %d vs materialized %d (redundancy ratio %.2f)"
        (Normalized.storage_size t) (n * d)
        (Normalized.redundancy_ratio t)) ;
+  (match Normalized.validate t with
+  | [] -> Buffer.add_string buf "\n  invariants: ok"
+  | problems ->
+    Buffer.add_string buf "\n  invariants: VIOLATED" ;
+    List.iter
+      (fun p -> Buffer.add_string buf (Printf.sprintf "\n    - %s" p))
+      problems) ;
   Buffer.contents buf

@@ -32,4 +32,7 @@ val explain : ?tau:float -> ?rho:float -> Normalized.t -> op -> string
 (** [to_string (analyze t op)]. *)
 
 val describe : Normalized.t -> string
-(** Shape, parts, representations, and storage of the normalized matrix. *)
+(** Shape, parts, representations, and storage of the normalized
+    matrix, ending with the {!Normalized.validate} verdict
+    ([invariants: ok] or the list of violations) so [morpheus info]
+    reports corruption on hand-built matrices. *)

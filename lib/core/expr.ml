@@ -1,120 +1,23 @@
-(* A deep-embedded LA expression language with automatic factorization —
-   the OCaml rendering of Figure 1(c): the user writes the *standard*
+(* The evaluator for the deep-embedded LA expression language — the
+   OCaml rendering of Figure 1(c): the user writes the *standard*
    script against logical matrices; the evaluator dispatches every
    operator to the factorized rewrites when an operand is a normalized
    matrix, to plain kernels otherwise, and materializes only where the
    paper's rules require it (element-wise matrix ops, §3.3.7).
 
+   The syntax lives in Ast (re-exported below); static analysis lives
+   in Check, of which [shape_of] here is a thin raising wrapper — one
+   shape-inference code path for the evaluator, the optimizer, and the
+   plan checker.
+
    In the R prototype this dispatch is S4 operator overloading; a deep
-   embedding additionally enables the algebraic simplifications below
-   (double-transpose elimination, scalar fusion, transpose pushdown),
-   which an overloading-based design cannot see. *)
+   embedding additionally enables the algebraic simplifications of
+   [Ast.simplify] and the chain-order optimization below, which an
+   overloading-based design cannot see. *)
 
 open La
 open Sparse
-
-type value =
-  | Scalar of float
-  | Regular of Mat.t
-  | Normalized of Normalized.t
-
-type t =
-  | Const of value
-  | Var of string
-  | Scale of float * t (* x · e *)
-  | Add_scalar of float * t
-  | Pow_scalar of t * float
-  | Map_scalar of string * (float -> float) * t (* named for printing *)
-  | Transpose of t
-  | Row_sums of t
-  | Col_sums of t
-  | Sum of t
-  | Mult of t * t
-  | Crossprod of t
-  | Ginv of t
-  | Add of t * t
-  | Sub of t * t
-  | Mul_elem of t * t
-  | Div_elem of t * t
-
-(* ---- convenience constructors ---- *)
-
-let scalar x = Const (Scalar x)
-let regular m = Const (Regular m)
-let dense d = Const (Regular (Mat.of_dense d))
-let normalized n = Const (Normalized n)
-let var name = Var name
-
-let ( *@ ) a b = Mult (a, b)
-let ( +@ ) a b = Add (a, b)
-let ( -@ ) a b = Sub (a, b)
-let ( *.@ ) x e = Scale (x, e)
-let tr e = Transpose e
-
-(* ---- printing ---- *)
-
-let rec pp ppf = function
-  | Const (Scalar x) -> Fmt.pf ppf "%g" x
-  | Const (Regular m) -> Fmt.pf ppf "[%dx%d]" (Mat.rows m) (Mat.cols m)
-  | Const (Normalized n) ->
-    Fmt.pf ppf "T<%dx%d>" (Normalized.rows n) (Normalized.cols n)
-  | Var name -> Fmt.string ppf name
-  | Scale (x, e) -> Fmt.pf ppf "(%g * %a)" x pp e
-  | Add_scalar (x, e) -> Fmt.pf ppf "(%a + %g)" pp e x
-  | Pow_scalar (e, p) -> Fmt.pf ppf "(%a ^ %g)" pp e p
-  | Map_scalar (name, _, e) -> Fmt.pf ppf "%s(%a)" name pp e
-  | Transpose e -> Fmt.pf ppf "%a'" pp e
-  | Row_sums e -> Fmt.pf ppf "rowSums(%a)" pp e
-  | Col_sums e -> Fmt.pf ppf "colSums(%a)" pp e
-  | Sum e -> Fmt.pf ppf "sum(%a)" pp e
-  | Mult (a, b) -> Fmt.pf ppf "(%a %%*%% %a)" pp a pp b
-  | Crossprod e -> Fmt.pf ppf "crossprod(%a)" pp e
-  | Ginv e -> Fmt.pf ppf "ginv(%a)" pp e
-  | Add (a, b) -> Fmt.pf ppf "(%a + %a)" pp a pp b
-  | Sub (a, b) -> Fmt.pf ppf "(%a - %a)" pp a pp b
-  | Mul_elem (a, b) -> Fmt.pf ppf "(%a * %a)" pp a pp b
-  | Div_elem (a, b) -> Fmt.pf ppf "(%a / %a)" pp a pp b
-
-let to_string e = Fmt.str "%a" pp e
-
-(* ---- algebraic simplification ---- *)
-
-(* One bottom-up pass of local rules:
-   - (eᵀ)ᵀ → e
-   - a·(b·e) → (a·b)·e            (scalar fusion)
-   - (x·e)ᵀ → x·eᵀ                (transpose pushdown; exposes the
-                                    Appendix-A rules underneath)
-   - rowSums(eᵀ) → colSums(e)ᵀ and symmetrically (Appendix A)
-   - sum(eᵀ) → sum(e)
-   - crossprod(e) stays; ginv(ginv-free) stays. *)
-let rec simplify e =
-  let e =
-    match e with
-    | Const _ | Var _ -> e
-    | Scale (x, e) -> Scale (x, simplify e)
-    | Add_scalar (x, e) -> Add_scalar (x, simplify e)
-    | Pow_scalar (e, p) -> Pow_scalar (simplify e, p)
-    | Map_scalar (n, f, e) -> Map_scalar (n, f, simplify e)
-    | Transpose e -> Transpose (simplify e)
-    | Row_sums e -> Row_sums (simplify e)
-    | Col_sums e -> Col_sums (simplify e)
-    | Sum e -> Sum (simplify e)
-    | Mult (a, b) -> Mult (simplify a, simplify b)
-    | Crossprod e -> Crossprod (simplify e)
-    | Ginv e -> Ginv (simplify e)
-    | Add (a, b) -> Add (simplify a, simplify b)
-    | Sub (a, b) -> Sub (simplify a, simplify b)
-    | Mul_elem (a, b) -> Mul_elem (simplify a, simplify b)
-    | Div_elem (a, b) -> Div_elem (simplify a, simplify b)
-  in
-  match e with
-  | Transpose (Transpose e) -> e
-  | Scale (x, Scale (y, e)) -> Scale (Stdlib.( *. ) x y, e)
-  | Transpose (Scale (x, e)) -> Scale (x, simplify (Transpose e))
-  | Row_sums (Transpose e) -> Transpose (Col_sums e)
-  | Col_sums (Transpose e) -> Transpose (Row_sums e)
-  | Sum (Transpose e) -> Sum e
-  | e -> e
+include Ast
 
 (* ---- shape inference ---- *)
 
@@ -124,53 +27,15 @@ let type_error fmt = Fmt.kstr (fun s -> raise (Type_error s)) fmt
 
 type shape = S_scalar | S_mat of int * int
 
-let value_shape = function
-  | Scalar _ -> S_scalar
-  | Regular m -> S_mat (Mat.rows m, Mat.cols m)
-  | Normalized n -> S_mat (Normalized.rows n, Normalized.cols n)
-
-let rec shape_of ~env = function
-  | Const v -> value_shape v
-  | Var name -> (
-    match List.assoc_opt name env with
-    | Some v -> value_shape v
-    | None -> type_error "unbound variable %s" name)
-  | Scale (_, e) | Add_scalar (_, e) | Pow_scalar (e, _) | Map_scalar (_, _, e)
-    ->
-    shape_of ~env e
-  | Transpose e -> (
-    match shape_of ~env e with
-    | S_scalar -> S_scalar
-    | S_mat (r, c) -> S_mat (c, r))
-  | Row_sums e -> (
-    match shape_of ~env e with
-    | S_scalar -> type_error "rowSums of scalar"
-    | S_mat (r, _) -> S_mat (r, 1))
-  | Col_sums e -> (
-    match shape_of ~env e with
-    | S_scalar -> type_error "colSums of scalar"
-    | S_mat (_, c) -> S_mat (1, c))
-  | Sum _ -> S_scalar
-  | Mult (a, b) -> (
-    match (shape_of ~env a, shape_of ~env b) with
-    | S_scalar, s | s, S_scalar -> s
-    | S_mat (r, k), S_mat (k', c) when k = k' -> S_mat (r, c)
-    | S_mat (r, k), S_mat (k', c) ->
-      type_error "product shape mismatch: %dx%d times %dx%d" r k k' c)
-  | Crossprod e -> (
-    match shape_of ~env e with
-    | S_scalar -> S_scalar
-    | S_mat (_, c) -> S_mat (c, c))
-  | Ginv e -> (
-    match shape_of ~env e with
-    | S_scalar -> S_scalar
-    | S_mat (r, c) -> S_mat (c, r))
-  | Add (a, b) | Sub (a, b) | Mul_elem (a, b) | Div_elem (a, b) -> (
-    match (shape_of ~env a, shape_of ~env b) with
-    | s, s' when s = s' -> s
-    | S_mat (r, c), S_mat (r', c') ->
-      type_error "elementwise shape mismatch: %dx%d vs %dx%d" r c r' c'
-    | _ -> type_error "elementwise op between scalar and matrix")
+(* Thin raising wrapper over the checker's total analysis: raise the
+   first (innermost, leftmost) shape/type error, otherwise convert the
+   abstract shape — fully resolved for concrete environments. *)
+let shape_of ~env e =
+  match Check.infer_shape ~env e with
+  | Error msg -> raise (Type_error msg)
+  | Ok Check.Scalar -> S_scalar
+  | Ok (Check.Matrix (Some r, Some c)) -> S_mat (r, c)
+  | Ok _ -> type_error "unresolved shape for %s" (to_string e)
 
 (* ---- evaluation with automatic factorization ---- *)
 
@@ -314,6 +179,8 @@ let eval_scalar ?env e = as_scalar (eval ?env e)
    (k×c) argument costs the *factorized* LMM count, not n·k·c, so the
    chosen parenthesization reflects what will actually execute. *)
 
+module Log = (val Logs.src_log Check.log_src)
+
 let rec flatten_mult = function
   | Mult (a, b) -> flatten_mult a @ flatten_mult b
   | e -> [ e ]
@@ -339,17 +206,23 @@ let pair_cost left_seg right_seg r k c =
     Cost.factorized (Decision.cost_dims t) (Cost.Rmm r)
   | _ -> f r *. f k *. f c
 
-let chain_order ~env leaves =
+(* The dims are resolved up front by the checker's *total* shape
+   analysis (no exceptions as control flow): [None] means the chain has
+   a scalar-shaped or unresolvable leaf and must be left as written. *)
+let chain_leaf_dims ~env leaves =
+  let dim_of leaf =
+    match Check.infer_shape ~env leaf with
+    | Ok (Check.Matrix (Some r, Some c)) -> Some (r, c)
+    | Ok _ | Error _ -> None
+  in
+  let dims = List.map dim_of leaves in
+  if List.for_all Option.is_some dims then
+    Some (Array.of_list (List.map Option.get dims))
+  else None
+
+let chain_order ~dims leaves =
   let leaves = Array.of_list leaves in
   let m = Array.length leaves in
-  let dims =
-    Array.map
-      (fun e ->
-        match shape_of ~env e with
-        | S_mat (r, c) -> (r, c)
-        | S_scalar -> raise Exit)
-      leaves
-  in
   (* dp.(i).(j) = (cost, split) for multiplying leaves i..j *)
   let cost = Array.make_matrix m m 0.0 in
   let split = Array.make_matrix m m 0 in
@@ -380,8 +253,9 @@ let chain_order ~env leaves =
   in
   build 0 (m - 1)
 
-(* Reassociate every maximal matrix-product chain of length >= 3; chains
-   containing scalar-shaped operands are left as written. *)
+(* Reassociate every maximal matrix-product chain of length >= 3.
+   Chains containing scalar-shaped or unresolvable operands are left as
+   written, reported as W002 on the checker's log source. *)
 let rec optimize ?(env = []) e =
   let opt = optimize ~env in
   match e with
@@ -389,9 +263,19 @@ let rec optimize ?(env = []) e =
     let leaves = List.map opt (flatten_mult chain) in
     if List.length leaves < 3 then rebuild_mult leaves
     else
-      match chain_order ~env leaves with
-      | reassociated -> reassociated
-      | exception (Exit | Type_error _) -> rebuild_mult leaves)
+      match chain_leaf_dims ~env leaves with
+      | Some dims -> chain_order ~dims leaves
+      | None ->
+        Log.warn (fun m ->
+            m
+              "W002 product-chain order left unoptimized: scalar or \
+               unresolvable shape in %s"
+              (to_string chain)) ;
+        (* keep the chain as written; resolvable sub-chains still get
+           reordered by the recursive calls *)
+        (match chain with
+        | Mult (a, b) -> Mult (opt a, opt b)
+        | _ -> rebuild_mult leaves))
   | Const _ | Var _ -> e
   | Scale (x, e) -> Scale (x, opt e)
   | Add_scalar (x, e) -> Add_scalar (x, opt e)

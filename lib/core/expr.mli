@@ -3,17 +3,22 @@
     against logical matrices; {!eval} dispatches every operator to the
     factorized rewrites when an operand is a normalized matrix, to plain
     kernels otherwise, and materializes only where the paper requires it
-    (element-wise matrix ops, §3.3.7). *)
+    (element-wise matrix ops, §3.3.7).
+
+    The syntax itself lives in {!Ast} (re-exported here, with type
+    equalities, so [Expr.t] and [Ast.t] interchange freely); the static
+    analysis lives in {!Check}, of which {!shape_of} is a thin raising
+    wrapper. *)
 
 open La
 open Sparse
 
-type value =
+type value = Ast.value =
   | Scalar of float
   | Regular of Mat.t
   | Normalized of Normalized.t
 
-type t =
+type t = Ast.t =
   | Const of value
   | Var of string
   | Scale of float * t
@@ -70,8 +75,10 @@ val optimize : ?env:(string * value) list -> t -> t
     rewrites: mmtimes / SystemML): reassociates every maximal product
     chain of length ≥ 3 by the classic dynamic program, with a cost
     model that charges normalized leaves their *factorized* LMM/RMM
-    counts. Associativity-preserving; chains containing scalar operands
-    or unresolvable shapes are left as written. *)
+    counts. Associativity-preserving. Leaf shapes are resolved by the
+    checker's total analysis; chains containing scalar operands or
+    unresolvable shapes are left as written and reported as W002 on
+    {!Check.log_src}. *)
 
 (** {1 Shape inference} *)
 
@@ -80,7 +87,10 @@ exception Type_error of string
 type shape = S_scalar | S_mat of int * int
 
 val shape_of : env:(string * value) list -> t -> shape
-(** Raises {!Type_error} on dimension mismatches or unbound variables. *)
+(** Raises {!Type_error} on dimension mismatches or unbound variables.
+    A thin wrapper over {!Check.infer_shape} — the single
+    shape-inference code path — raising the first (innermost, leftmost)
+    error the checker diagnoses. *)
 
 (** {1 Evaluation} *)
 

@@ -35,7 +35,7 @@ let parts t = t.body.parts
 
 (* ---- construction ---- *)
 
-let validate body =
+let check_body body =
   let base_rows =
     match (body.ent, body.parts) with
     | Some s, _ -> Mat.rows s
@@ -52,7 +52,7 @@ let validate body =
   body
 
 let make ?ent parts =
-  { body = validate { ent; parts = List.map (fun (ind, mat) -> { ind; mat }) parts };
+  { body = check_body { ent; parts = List.map (fun (ind, mat) -> { ind; mat }) parts };
     trans = false }
 
 (* Single PK-FK join (§3.1): TN = (S, K, R). *)
@@ -166,6 +166,53 @@ let feature_ratio t =
     match t.body.ent with Some _ -> all | None -> all - ds
   in
   float_of_int dr /. float_of_int (max 1 ds)
+
+(* Total re-check of the structural invariants that [check_body]
+   enforces at construction — plus the indicator key bounds, which only
+   Indicator.create guards. Returns human-readable violations instead
+   of raising, so the static checker (E004) and Explain.describe can
+   report corruption on hand-built or mutated matrices. *)
+let validate t =
+  let body = t.body in
+  let problems = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let base =
+    match (body.ent, body.parts) with
+    | Some s, _ -> Some (Mat.rows s)
+    | None, { ind; _ } :: _ -> Some (Indicator.rows ind)
+    | None, [] ->
+      add "empty: no entity part and no attribute parts" ;
+      None
+  in
+  (match base with
+  | Some 0 -> add "zero logical rows"
+  | Some _ when base_cols body = 0 -> add "zero logical columns"
+  | _ -> ()) ;
+  List.iteri
+    (fun i { ind; mat } ->
+      let pi = i + 1 in
+      (match base with
+      | Some n when Indicator.rows ind <> n ->
+        add "part %d: indicator has %d rows, expected %d" pi
+          (Indicator.rows ind) n
+      | _ -> ()) ;
+      let keys = Indicator.cols ind in
+      if keys <> Mat.rows mat then
+        add "part %d: indicator addresses %d base rows but the attribute matrix has %d"
+          pi keys (Mat.rows mat) ;
+      let mapping = Indicator.mapping ind in
+      let bad = ref None in
+      Array.iteri
+        (fun row key ->
+          if !bad = None && (key < 0 || key >= keys) then bad := Some (row, key))
+        mapping ;
+      match !bad with
+      | Some (row, key) ->
+        add "part %d: indicator row %d maps to key %d, outside [0, %d)" pi row
+          key keys
+      | None -> ())
+    body.parts ;
+  List.rev !problems
 
 let pp ppf t =
   let { ent; parts } = t.body in

@@ -50,6 +50,14 @@ val star : s:Mat.t -> parts:(Indicator.t * Mat.t) list -> t
 val mn : is_:Indicator.t -> s:Mat.t -> ir:Indicator.t -> r:Mat.t -> t
 (** M:N join: T = [I_S·S, I_R·R]. *)
 
+val validate : t -> string list
+(** Total re-check of the structural invariants: non-empty body,
+    consistent row counts across parts, indicator/attribute dimension
+    agreement, indicator key bounds, non-degenerate dims. Returns
+    human-readable violations ([[]] when sound) instead of raising —
+    run by {!Builder} after construction, by the static checker
+    ({!Check}, code E004), and surfaced in {!Explain.describe}. *)
+
 (** {1 Logical dimensions (respect the transpose flag)} *)
 
 val rows : t -> int

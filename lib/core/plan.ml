@@ -1,0 +1,388 @@
+(* Plan files for `morpheus check`: declarations of abstract operands
+   (shape, representation, sparsity, Table-3 dims — no data) plus
+   expressions to verify. Parsing never touches CSVs or kernels; the
+   result feeds Check.analyze_abstract. The surface syntax mirrors the
+   paper's R scripts (%*%, postfix ', crossprod, ginv), with numeric
+   literals folding to the scalar forms so `3 * X` means Scale, not an
+   ill-typed element-wise product. *)
+
+type stmt = Declare of string * Check.absval | Check of string * Ast.t
+type t = { stmts : stmt list }
+
+let env t =
+  List.filter_map
+    (function Declare (n, v) -> Some (n, v) | Check _ -> None)
+    t.stmts
+
+let checks t =
+  List.filter_map
+    (function Check (n, e) -> Some (n, e) | Declare _ -> None)
+    t.stmts
+
+(* ---- lexer ---- *)
+
+type token =
+  | Ident of string
+  | Num of float
+  | LParen
+  | RParen
+  | Quote
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Caret
+  | MatMul
+
+let token_str = function
+  | Ident s -> s
+  | Num x -> Printf.sprintf "%g" x
+  | LParen -> "("
+  | RParen -> ")"
+  | Quote -> "'"
+  | Plus -> "+"
+  | Minus -> "-"
+  | Star -> "*"
+  | Slash -> "/"
+  | Caret -> "^"
+  | MatMul -> "%*%"
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '.'
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' then incr i
+    else if is_ident_start c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char s.[!j] do incr j done ;
+      toks := Ident (String.sub s !i (!j - !i)) :: !toks ;
+      i := !j
+    end
+    else if is_digit c || (c = '.' && !i + 1 < n && is_digit s.[!i + 1]) then begin
+      let j = ref !i in
+      while
+        !j < n
+        && (is_digit s.[!j] || s.[!j] = '.' || s.[!j] = 'e' || s.[!j] = 'E'
+           || ((s.[!j] = '+' || s.[!j] = '-')
+              && !j > !i
+              && (s.[!j - 1] = 'e' || s.[!j - 1] = 'E')))
+      do
+        incr j
+      done ;
+      let text = String.sub s !i (!j - !i) in
+      (match float_of_string_opt text with
+      | Some x -> toks := Num x :: !toks
+      | None -> fail "bad number %S" text) ;
+      i := !j
+    end
+    else begin
+      (match c with
+      | '(' -> toks := LParen :: !toks
+      | ')' -> toks := RParen :: !toks
+      | '\'' -> toks := Quote :: !toks
+      | '+' -> toks := Plus :: !toks
+      | '-' -> toks := Minus :: !toks
+      | '*' -> toks := Star :: !toks
+      | '/' -> toks := Slash :: !toks
+      | '^' -> toks := Caret :: !toks
+      | '%' ->
+        if !i + 2 < n && s.[!i + 1] = '*' && s.[!i + 2] = '%' then begin
+          toks := MatMul :: !toks ;
+          i := !i + 2
+        end
+        else fail "expected %%*%% at %S" (String.sub s !i (min 3 (n - !i)))
+      | c -> fail "unexpected character %C" c) ;
+      incr i
+    end
+  done ;
+  List.rev !toks
+
+(* ---- expression parser ----
+
+   Precedence, tightest first (as in R): postfix ' > ^ > unary - >
+   %*% > * / > + -. Numeric literals stay symbolic until an operator
+   forces a choice, so scalar-literal arithmetic folds to the Scale /
+   Add_scalar / Pow_scalar forms the evaluator is closed under. *)
+
+type operand = P_num of float | P_expr of Ast.t
+
+let to_expr = function P_num x -> Ast.scalar x | P_expr e -> e
+
+let functions : (string * (Ast.t -> Ast.t)) list =
+  [ ("rowSums", fun e -> Ast.Row_sums e);
+    ("colSums", fun e -> Ast.Col_sums e);
+    ("sum", fun e -> Ast.Sum e);
+    ("crossprod", fun e -> Ast.Crossprod e);
+    ("ginv", fun e -> Ast.Ginv e);
+    ("t", Ast.tr);
+    ("exp", fun e -> Ast.Map_scalar ("exp", Stdlib.exp, e));
+    ("log", fun e -> Ast.Map_scalar ("log", Stdlib.log, e));
+    ("sqrt", fun e -> Ast.Map_scalar ("sqrt", Stdlib.sqrt, e)) ]
+
+let parse_tokens ~lets toks =
+  let toks = ref toks in
+  let peek () = match !toks with [] -> None | t :: _ -> Some t in
+  let advance () = match !toks with [] -> () | _ :: rest -> toks := rest in
+  let expect t =
+    match !toks with
+    | t' :: rest when t' = t -> toks := rest
+    | t' :: _ -> fail "expected %s, found %s" (token_str t) (token_str t')
+    | [] -> fail "expected %s, found end of line" (token_str t)
+  in
+  let rec primary () =
+    match !toks with
+    | Num x :: rest ->
+      toks := rest ;
+      P_num x
+    | Ident name :: LParen :: rest when List.mem_assoc name functions ->
+      toks := rest ;
+      let arg = add () in
+      expect RParen ;
+      P_expr ((List.assoc name functions) (to_expr arg))
+    | Ident name :: rest ->
+      toks := rest ;
+      P_expr
+        (match List.assoc_opt name lets with
+        | Some e -> e
+        | None -> Ast.var name)
+    | LParen :: rest ->
+      toks := rest ;
+      let e = add () in
+      expect RParen ;
+      e
+    | t :: _ -> fail "unexpected %s" (token_str t)
+    | [] -> fail "unexpected end of line"
+  and postfix () =
+    let e = ref (primary ()) in
+    while peek () = Some Quote do
+      advance () ;
+      e := P_expr (Ast.tr (to_expr !e))
+    done ;
+    !e
+  and power () =
+    let base = postfix () in
+    match peek () with
+    | Some Caret -> (
+      advance () ;
+      let exponent = unary () in
+      match (base, exponent) with
+      | P_num b, P_num p -> P_num (b ** p)
+      | _, P_num p -> P_expr (Ast.Pow_scalar (to_expr base, p))
+      | _ -> fail "exponent must be a numeric literal")
+    | _ -> base
+  and unary () =
+    match peek () with
+    | Some Minus -> (
+      advance () ;
+      match unary () with
+      | P_num x -> P_num (-.x)
+      | P_expr e -> P_expr (Ast.Scale (-1.0, e)))
+    | _ -> power ()
+  and matmul () =
+    let e = ref (unary ()) in
+    while peek () = Some MatMul do
+      advance () ;
+      let rhs = unary () in
+      e := P_expr (Ast.Mult (to_expr !e, to_expr rhs))
+    done ;
+    !e
+  and mul () =
+    let e = ref (matmul ()) in
+    let rec loop () =
+      match peek () with
+      | Some Star ->
+        advance () ;
+        let rhs = matmul () in
+        (e :=
+           match (!e, rhs) with
+           | P_num a, P_num b -> P_num (a *. b)
+           | P_num a, P_expr b | P_expr b, P_num a ->
+             P_expr (Ast.Scale (a, b))
+           | P_expr a, P_expr b -> P_expr (Ast.Mul_elem (a, b))) ;
+        loop ()
+      | Some Slash ->
+        advance () ;
+        let rhs = matmul () in
+        (e :=
+           match (!e, rhs) with
+           | P_num a, P_num b -> P_num (a /. b)
+           | P_expr a, P_num b -> P_expr (Ast.Scale (1.0 /. b, a))
+           | a, b ->
+             (* scalar / matrix: leave it to the checker (E003) *)
+             P_expr (Ast.Div_elem (to_expr a, to_expr b))) ;
+        loop ()
+      | _ -> ()
+    in
+    loop () ;
+    !e
+  and add () =
+    let e = ref (mul ()) in
+    let rec loop () =
+      match peek () with
+      | Some Plus ->
+        advance () ;
+        let rhs = mul () in
+        (e :=
+           match (!e, rhs) with
+           | P_num a, P_num b -> P_num (a +. b)
+           | P_num a, P_expr b | P_expr b, P_num a ->
+             P_expr (Ast.Add_scalar (a, b))
+           | P_expr a, P_expr b -> P_expr (Ast.Add (a, b))) ;
+        loop ()
+      | Some Minus ->
+        advance () ;
+        let rhs = mul () in
+        (e :=
+           match (!e, rhs) with
+           | P_num a, P_num b -> P_num (a -. b)
+           | P_expr a, P_num b -> P_expr (Ast.Add_scalar (-.b, a))
+           | P_num a, P_expr b ->
+             P_expr (Ast.Add_scalar (a, Ast.Scale (-1.0, b)))
+           | P_expr a, P_expr b -> P_expr (Ast.Sub (a, b))) ;
+        loop ()
+      | _ -> ()
+    in
+    loop () ;
+    !e
+  in
+  let e = add () in
+  (match !toks with
+  | [] -> ()
+  | t :: _ -> fail "trailing %s" (token_str t)) ;
+  to_expr e
+
+let parse_expr_exn ~lets src = parse_tokens ~lets (tokenize src)
+
+let parse_expr ?(lets = []) src =
+  match parse_expr_exn ~lets src with
+  | e -> Ok e
+  | exception Parse_error msg -> Error msg
+
+(* ---- statement parser ---- *)
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+(* key=value attributes of declaration lines *)
+let parse_attrs words =
+  List.map
+    (fun w ->
+      match String.index_opt w '=' with
+      | Some i ->
+        ( String.sub w 0 i,
+          Some (String.sub w (i + 1) (String.length w - i - 1)) )
+      | None -> (w, None))
+    words
+
+let attr_int attrs key =
+  match List.assoc_opt key attrs with
+  | Some (Some v) -> (
+    match int_of_string_opt v with
+    | Some n -> n
+    | None -> fail "%s must be an integer, got %S" key v)
+  | _ -> fail "missing %s=<int>" key
+
+let attr_float_opt attrs key =
+  match List.assoc_opt key attrs with
+  | Some (Some v) -> (
+    match float_of_string_opt v with
+    | Some x -> Some x
+    | None -> fail "%s must be a number, got %S" key v)
+  | Some None -> fail "%s needs a value" key
+  | None -> None
+
+let dims_of_words name = function
+  | r :: c :: attrs -> (
+    match (int_of_string_opt r, int_of_string_opt c) with
+    | Some r, Some c -> (r, c, parse_attrs attrs)
+    | _ -> fail "%s: expected <rows> <cols>" name)
+  | _ -> fail "%s: expected <rows> <cols>" name
+
+let parse_stmt ~lets line =
+  let line = String.trim (strip_comment line) in
+  if line = "" then `Skip
+  else
+    match words line with
+    | "normalized" :: name :: attr_words ->
+      let attrs = parse_attrs attr_words in
+      let ns = attr_int attrs "ns"
+      and ds = attr_int attrs "ds"
+      and nr = attr_int attrs "nr"
+      and dr = attr_int attrs "dr" in
+      let transposed = List.mem_assoc "transposed" attrs in
+      let v =
+        Check.normalized_value ~transposed
+          ?density:(attr_float_opt attrs "density")
+          ~ns ~ds ~nr ~dr ()
+      in
+      `Stmt (Declare (name, v))
+    | "dense" :: name :: rest ->
+      let r, c, attrs = dims_of_words "dense" rest in
+      `Stmt
+        (Declare
+           (name, Check.dense_value ?density:(attr_float_opt attrs "density") r c))
+    | "sparse" :: name :: rest ->
+      let r, c, attrs = dims_of_words "sparse" rest in
+      `Stmt
+        (Declare
+           (name, Check.sparse_value ?density:(attr_float_opt attrs "density") r c))
+    | [ "scalar"; name ] -> `Stmt (Declare (name, Check.scalar_value))
+    | "let" :: name :: "=" :: _ ->
+      let eq = String.index line '=' in
+      let body =
+        String.trim (String.sub line (eq + 1) (String.length line - eq - 1))
+      in
+      `Let (name, parse_expr_exn ~lets body)
+    | "check" :: _ ->
+      let body = String.trim (String.sub line 5 (String.length line - 5)) in
+      `Stmt (Check (body, parse_expr_exn ~lets body))
+    | first :: _ when String.contains line '=' && not (List.mem first [ "let" ])
+      ->
+      (* `name = expr` without the let keyword still reads naturally *)
+      let eq = String.index line '=' in
+      let name = String.trim (String.sub line 0 eq) in
+      if List.length (words name) = 1 && name <> "" then
+        let body =
+          String.trim (String.sub line (eq + 1) (String.length line - eq - 1))
+        in
+        `Let (name, parse_expr_exn ~lets body)
+      else fail "unrecognized statement %S" line
+    | _ -> fail "unrecognized statement %S" line
+
+let parse src =
+  let lines = String.split_on_char '\n' src in
+  let rec go lineno lets acc = function
+    | [] -> Ok { stmts = List.rev acc }
+    | line :: rest -> (
+      match parse_stmt ~lets line with
+      | `Skip -> go (lineno + 1) lets acc rest
+      | `Let (name, e) -> go (lineno + 1) ((name, e) :: lets) acc rest
+      | `Stmt s -> go (lineno + 1) lets (s :: acc) rest
+      | exception Parse_error msg ->
+        Error (Printf.sprintf "line %d: %s" lineno msg))
+  in
+  go 1 [] [] lines
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | src -> parse src
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,51 @@
+(** Plan files for [morpheus check]: a tiny declarative language that
+    declares abstract operands (no data attached) and the expressions
+    to check against them, so whole pipelines are validated before any
+    CSV is read or kernel run.
+
+    Grammar (line-oriented; [#] starts a comment):
+
+    {v
+    normalized T ns=100000 ds=5 nr=5000 dr=20 [transposed] [density=D]
+    dense      X 100000 3 [density=D]
+    sparse     Y 100000 20 [density=D]
+    scalar     alpha
+    let  w = ginv(crossprod(T)) %*% (T' %*% y)
+    check T %*% w
+    v}
+
+    Expressions use the R-flavoured surface syntax of the paper:
+    [%*%] (matrix product), postfix ['] (transpose), [+ - * / ^]
+    (element-wise), [rowSums(e)], [colSums(e)], [sum(e)],
+    [crossprod(e)], [ginv(e)], [exp(e)], parentheses, numeric literals.
+    A literal combined with [* + - / ^] folds to the scalar forms
+    ([Scale], [Add_scalar], …), mirroring how R dispatches
+    scalar-matrix arithmetic.
+
+    [let] bindings substitute inline (the DAG stays a tree);
+    identifiers that are neither declared nor let-bound stay free
+    variables, which the checker reports as E002. *)
+
+type stmt =
+  | Declare of string * Check.absval
+  | Check of string * Ast.t
+      (** the string is the source text of the checked expression *)
+
+type t = { stmts : stmt list }
+
+val env : t -> (string * Check.absval) list
+(** All declarations, in order. *)
+
+val checks : t -> (string * Ast.t) list
+(** All check statements, in order. *)
+
+val parse : string -> (t, string) result
+(** Parse plan source text; [Error] carries a message with a line
+    number. *)
+
+val parse_file : string -> (t, string) result
+
+val parse_expr :
+  ?lets:(string * Ast.t) list -> string -> (Ast.t, string) result
+(** Parse a single expression (the [--expr] form of [morpheus
+    check]). *)
