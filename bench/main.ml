@@ -34,6 +34,8 @@ let experiments : (string * string * (Harness.config -> unit)) list =
     ("table10", "Table 10: ORE-style chunked logreg, M:N", Ore_bench.run_table10);
     ("table12", "Table 12: data preparation vs logreg runtime", Tables.run_table12);
     ("ablate", "Ablations: crossprod method, LMM order, kernels, policy", Ablate.run);
+    ("scaling", "Parallel scaling: Exec domains vs wall-clock, JSON report",
+     Scaling.run);
     ("micro", "Bechamel micro-suite (one Test.make per experiment family)", Micro.run) ]
 
 let usage () =
@@ -74,7 +76,7 @@ let () =
   Printf.printf "Morpheus bench harness — %s mode, %d timed runs per measurement\n"
     (if !cfg.Harness.quick then "quick" else "full")
     !cfg.Harness.runs ;
-  let t0 = Unix.gettimeofday () in
+  let t0 = Workload.Timing.now () in
   List.iter
     (fun name ->
       match List.find_opt (fun (n, _, _) -> n = name) experiments with
@@ -84,4 +86,4 @@ let () =
         usage () ;
         exit 1)
     names ;
-  Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  Printf.printf "\ntotal bench time: %.1fs\n" (Workload.Timing.now () -. t0)

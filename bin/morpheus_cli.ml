@@ -37,6 +37,24 @@ let nominal_arg =
 let sparse_arg =
   Arg.(value & flag & info [ "sparse" ] ~doc:"Use sparse feature matrices.")
 
+let threads_arg =
+  Arg.(value & opt (some int) None & info [ "threads"; "j" ] ~docv:"N"
+         ~doc:"Domains for the LA execution engine (default: \
+               $(b,MORPHEUS_THREADS), else 1). 1 selects the sequential \
+               backend; results are bitwise-identical either way.")
+
+(* Install the requested backend as the process default, so every kernel
+   invoked below (including through the Data_matrix functors, which have
+   no [?exec] parameter) picks it up. *)
+let apply_threads = function
+  | None -> ()
+  | Some n ->
+    if n < 1 then begin
+      Fmt.epr "morpheus: --threads must be >= 1@." ;
+      exit 2
+    end ;
+    Exec.set_default (Exec.make n)
+
 (* ---- generate ---- *)
 
 let generate dir ns nr ds dr seed =
@@ -105,11 +123,13 @@ let load ~dir ~fk ~pk ~target ~nominal ~sparse =
 
 (* ---- info ---- *)
 
-let show_info dir fk pk target nominal sparse =
+let show_info dir fk pk target nominal sparse threads =
+  apply_threads threads ;
   let ds = load ~dir ~fk ~pk ~target ~nominal ~sparse in
   let t = ds.Builder.matrix in
   let n, d = Normalized.dims t in
   Fmt.pr "normalized matrix : %d x %d@." n d ;
+  Fmt.pr "execution backend : %s@." (Exec.name (Exec.default ())) ;
   Fmt.pr "stored scalars    : %d (materialized T: %d)@."
     (Normalized.storage_size t) (n * d) ;
   Fmt.pr "redundancy ratio  : %.2f@." (Normalized.redundancy_ratio t) ;
@@ -121,7 +141,8 @@ let show_info dir fk pk target nominal sparse =
 let info_cmd =
   Cmd.v
     (Cmd.info "info" ~doc:"Report normalized-matrix statistics and the decision rule.")
-    Term.(const show_info $ dir_arg $ fk_arg $ pk_arg $ target_arg $ nominal_arg $ sparse_arg)
+    Term.(const show_info $ dir_arg $ fk_arg $ pk_arg $ target_arg $ nominal_arg
+          $ sparse_arg $ threads_arg)
 
 (* ---- train ---- *)
 
@@ -136,7 +157,8 @@ let algo_conv =
   Arg.enum
     [ ("logreg", Logreg_a); ("linreg", Linreg_a); ("kmeans", Kmeans_a); ("gnmf", Gnmf_a) ]
 
-let train dir fk pk target nominal sparse algo path iters alpha k rank =
+let train dir fk pk target nominal sparse threads algo path iters alpha k rank =
+  apply_threads threads ;
   let ds = load ~dir ~fk ~pk ~target ~nominal ~sparse in
   let t = ds.Builder.matrix in
   let y = Option.get ds.Builder.target in
@@ -187,11 +209,12 @@ let train_cmd =
   Cmd.v
     (Cmd.info "train" ~doc:"Train an ML algorithm over the normalized data.")
     Term.(const train $ dir_arg $ fk_arg $ pk_arg $ target_arg $ nominal_arg
-          $ sparse_arg $ algo $ path $ iters $ alpha $ k $ rank)
+          $ sparse_arg $ threads_arg $ algo $ path $ iters $ alpha $ k $ rank)
 
 (* ---- cv: ridge-lambda selection by k-fold cross-validation ---- *)
 
-let cv dir fk pk target nominal sparse k lambdas =
+let cv dir fk pk target nominal sparse threads k lambdas =
+  apply_threads threads ;
   let ds = load ~dir ~fk ~pk ~target ~nominal ~sparse in
   let t = ds.Builder.matrix in
   let y = Option.get ds.Builder.target in
@@ -214,11 +237,12 @@ let cv_cmd =
   Cmd.v
     (Cmd.info "cv" ~doc:"Select a ridge penalty by factorized k-fold cross-validation.")
     Term.(const cv $ dir_arg $ fk_arg $ pk_arg $ target_arg $ nominal_arg
-          $ sparse_arg $ k $ lambdas)
+          $ sparse_arg $ threads_arg $ k $ lambdas)
 
 (* ---- pca: factorized principal component analysis ---- *)
 
-let pca dir fk pk target nominal sparse k =
+let pca dir fk pk target nominal sparse threads k =
+  apply_threads threads ;
   let ds = load ~dir ~fk ~pk ~target ~nominal ~sparse in
   let t = ds.Builder.matrix in
   let p, dt = Workload.Timing.time (fun () -> Morpheus.Spectral.pca ~k t) in
@@ -235,7 +259,7 @@ let pca_cmd =
   Cmd.v
     (Cmd.info "pca" ~doc:"Run factorized PCA over the normalized data.")
     Term.(const pca $ dir_arg $ fk_arg $ pk_arg $ target_arg $ nominal_arg
-          $ sparse_arg $ k)
+          $ sparse_arg $ threads_arg $ k)
 
 (* ---- explain: show the rewrite plan and cost estimates ---- *)
 

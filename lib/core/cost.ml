@@ -20,8 +20,26 @@ type op =
   | Crossprod
   | Pseudo_inverse
 
+(* Parallelizable fraction of each operator's arithmetic, for the
+   Amdahl adjustment below. The kernel work (row-partitioned maps and
+   chunked reductions in La.Exec) scales; final merges, mirroring and
+   block assembly do not. The pseudo-inverse runs through the
+   sequential Jacobi SVD, so only its Gram/assembly half scales. *)
+let parallel_fraction = function
+  | Scalar_op | Aggregation -> 0.90
+  | Lmm _ | Rmm _ -> 0.95
+  | Crossprod -> 0.95
+  | Pseudo_inverse -> 0.50
+
+(* Amdahl's law: serial part + parallel part spread over [threads]. *)
+let amdahl ~threads op cost =
+  if threads <= 1 then cost
+  else
+    let p = parallel_fraction op in
+    cost *. ((1.0 -. p) +. (p /. f threads))
+
 (* Arithmetic computations of the standard (materialized) operator. *)
-let standard dims op =
+let standard_arith dims op =
   let { ns; ds; nr = _; dr } = dims in
   let d = f (ds + dr) in
   match op with
@@ -34,7 +52,7 @@ let standard dims op =
     else (7.0 *. f ns *. f ns *. d) +. (20.0 *. (f ns ** 3.0))
 
 (* Arithmetic computations of the factorized operator. *)
-let factorized dims op =
+let factorized_arith dims op =
   let { ns; ds; nr; dr } = dims in
   let base = (f ns *. f ds) +. (f nr *. f dr) in
   match op with
@@ -59,8 +77,18 @@ let factorized dims op =
       +. (0.5 *. f nr *. f nr *. f dr)
       +. (f ns *. base)
 
-(* Predicted speed-up of the factorized operator. *)
-let speedup dims op = standard dims op /. factorized dims op
+let standard ?(threads = 1) dims op = amdahl ~threads op (standard_arith dims op)
+
+let factorized ?(threads = 1) dims op =
+  amdahl ~threads op (factorized_arith dims op)
+
+(* Predicted speed-up of the factorized operator. Both paths share the
+   same parallel fraction, so the Amdahl factors cancel for a fixed
+   operator — [threads] is kept in the signature because the decision
+   layer compares *whole-algorithm* costs where the pseudo-inverse's
+   serial share grows with the thread count. *)
+let speedup ?(threads = 1) dims op =
+  standard ~threads dims op /. factorized ~threads dims op
 
 (* Asymptotic speed-up limits from Table 11: 1 + FR as TR → ∞ (linear
    ops), (1 + FR)² for crossprod. *)

@@ -18,16 +18,26 @@ type op =
   | Crossprod
   | Pseudo_inverse
 
-val standard : dims -> op -> float
+val parallel_fraction : op -> float
+(** Fraction of the operator's arithmetic the execution engine can
+    spread over domains (Amdahl's parallelizable share): ~0.9–0.95 for
+    the row-partitioned kernels, 0.5 for the pseudo-inverse (its SVD
+    is sequential). *)
+
+val standard : ?threads:int -> dims -> op -> float
 (** Arithmetic computations of the materialized operator (Table 3,
-    "Standard" column). *)
+    "Standard" column). [?threads] (default 1) applies the Amdahl
+    adjustment [serial + parallel/threads] to model multi-domain
+    execution. *)
 
-val factorized : dims -> op -> float
+val factorized : ?threads:int -> dims -> op -> float
 (** Arithmetic computations of the factorized operator (Table 3,
-    "Factorized" column). *)
+    "Factorized" column), with the same Amdahl [?threads] knob. *)
 
-val speedup : dims -> op -> float
-(** [standard / factorized]. *)
+val speedup : ?threads:int -> dims -> op -> float
+(** [standard / factorized] at the given thread count. For a single
+    operator the Amdahl factors cancel; the knob matters when
+    comparing whole-algorithm costs mixing kernel and SVD work. *)
 
 val limit_tuple_ratio : feature_ratio:float -> op -> float
 (** Table 11's asymptotic speed-up as TR → ∞: [1 + FR] for linear ops,

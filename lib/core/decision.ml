@@ -49,9 +49,9 @@ let cost_dims t =
   let dr = match Normalized.ent t with Some _ -> dr | None -> dr - ds in
   { Cost.ns; ds; nr; dr }
 
-let cost_based ?(op = Cost.Lmm 1) t =
+let cost_based ?(op = Cost.Lmm 1) ?(threads = 1) t =
   let dims = cost_dims t in
-  if Cost.speedup dims op > 1.0 then Factorized else Materialized
+  if Cost.speedup ~threads dims op > 1.0 then Factorized else Materialized
 
 let to_string = function
   | Factorized -> "factorized"

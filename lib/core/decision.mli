@@ -22,8 +22,9 @@ val cost_dims : Normalized.t -> Cost.dims
 (** Two-table cost dimensions extracted from a normalized matrix
     (multi-part schemas aggregate their attribute sides). *)
 
-val cost_based : ?op:Cost.op -> Normalized.t -> choice
+val cost_based : ?op:Cost.op -> ?threads:int -> Normalized.t -> choice
 (** Compare Table-3 counts for a representative operator (default:
-    LMM with one weight vector, the GLM workhorse). *)
+    LMM with one weight vector, the GLM workhorse). [?threads]
+    evaluates both sides under the Amdahl-adjusted cost model. *)
 
 val to_string : choice -> string

@@ -14,6 +14,17 @@ open La
 open Sparse
 open Normalized
 
+(* acc += gathered, element-wise, partitioned over the flat buffer by
+   the execution engine (disjoint ranges; bitwise-deterministic). *)
+let accumulate_into acc gathered =
+  Flops.add (Dense.numel acc) ;
+  let ad = Dense.data acc and gd = Dense.data gathered in
+  Exec.parallel_for ~min_chunk:65_536 (Exec.default ()) ~lo:0
+    ~hi:(Array.length ad) (fun lo hi ->
+      for i = lo to hi - 1 do
+        Array.unsafe_set ad i (Array.unsafe_get ad i +. Array.unsafe_get gd i)
+      done)
+
 (* Column segmentation of a body: [(group, lo, hi)] over T's columns. *)
 let segments body =
   let gs = Rewrite.groups body in
@@ -34,13 +45,7 @@ let mult_indicator_nt body kb =
   let ncols = Indicator.cols kb in
   let mapping = Indicator.mapping kb in
   let acc = Dense.create n ncols in
-  let accumulate gathered =
-    Flops.add (n * ncols) ;
-    let ad = Dense.data acc and gd = Dense.data gathered in
-    for i = 0 to Array.length ad - 1 do
-      Array.unsafe_set ad i (Array.unsafe_get ad i +. Array.unsafe_get gd i)
-    done
-  in
+  let accumulate gathered = accumulate_into acc gathered in
   List.iter
     (fun (g, lo, hi) ->
       let sub_map = Array.sub mapping lo (hi - lo) in
@@ -58,13 +63,7 @@ let mult_mat_nt body m =
   let n = base_rows body in
   let k = Mat.cols m in
   let acc = Dense.create n k in
-  let accumulate gathered =
-    Flops.add (n * k) ;
-    let ad = Dense.data acc and gd = Dense.data gathered in
-    for i = 0 to Array.length ad - 1 do
-      Array.unsafe_set ad i (Array.unsafe_get ad i +. Array.unsafe_get gd i)
-    done
-  in
+  let accumulate gathered = accumulate_into acc gathered in
   List.iter
     (fun (g, lo, hi) ->
       let slice = Mat.sub_rows m ~lo ~hi in
@@ -166,18 +165,24 @@ let gramian_nt abody bbody =
       let map_a, ma = slice ga alo ahi in
       let map_b, mb = slice gb blo bhi in
       let c = Blas.gemm_nt ma mb in
+      let cd = Dense.data c in
       let rc = Dense.cols c in
       Flops.add (na * nb) ;
-      for i = 0 to na - 1 do
-        let ci = match map_a with None -> i | Some m -> m.(i) in
-        let cbase = ci * rc and obase = i * nb in
-        for j = 0 to nb - 1 do
-          let cj = match map_b with None -> j | Some m -> m.(j) in
-          Array.unsafe_set od (obase + j)
-            (Array.unsafe_get od (obase + j)
-            +. Array.unsafe_get (Dense.data c) (cbase + cj))
-        done
-      done)
+      (* two-sided gather: output rows are disjoint across tasks *)
+      Exec.parallel_for
+        ~min_chunk:(max 1 (65_536 / max 1 nb))
+        (Exec.default ()) ~lo:0 ~hi:na
+        (fun lo hi ->
+          for i = lo to hi - 1 do
+            let ci = match map_a with None -> i | Some m -> m.(i) in
+            let cbase = ci * rc and obase = i * nb in
+            for j = 0 to nb - 1 do
+              let cj = match map_b with None -> j | Some m -> m.(j) in
+              Array.unsafe_set od (obase + j)
+                (Array.unsafe_get od (obase + j)
+                +. Array.unsafe_get cd (cbase + cj))
+            done
+          done))
     (pairs bounds) ;
   out
 

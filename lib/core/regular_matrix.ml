@@ -19,10 +19,12 @@ let row_sums = Mat.row_sums
 let col_sums = Mat.col_sums
 let sum = Mat.sum
 
-let lmm = Mat.mm
-let rmm = Mat.mm_left
-let tlmm = Mat.tmm
-let crossprod = Mat.crossprod
+(* Eta-expanded so the [?exec] knob of the underlying kernels elides to
+   the process default, matching the plain {!Data_matrix.S} arrows. *)
+let lmm m x = Mat.mm m x
+let rmm x m = Mat.mm_left x m
+let tlmm m x = Mat.tmm m x
+let crossprod m = Mat.crossprod m
 
 let ginv m = Linalg.ginv (Mat.dense m)
 

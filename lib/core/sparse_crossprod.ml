@@ -82,16 +82,54 @@ let crossprod t =
           let block = Rewrite.dense_tmm g_acc mat in
           add_block_dense ~ro:o ~co:oj ~mirror:true block
         | Rewrite.G_part a, Rewrite.G_part b ->
-          (* Rᵢᵀ·(KᵢᵀKⱼ)·Rⱼ via the co-occurrence triplets of P *)
+          (* Rᵢᵀ·(KᵢᵀKⱼ)·Rⱼ via the co-occurrence triplets of P. The
+             triplet sweep is the hot loop of wide M:N schemas, so it
+             runs through the execution engine: per-chunk contribution
+             tables over slices of the entries array, merged in
+             canonical chunk order (deterministic per key), then folded
+             into the global table. *)
           let p = Indicator.cross a.ind b.ind in
-          Array.iter
-            (fun (ra, rb, v) ->
-              iter_mat_row a.mat ra (fun ca xa ->
-                  iter_mat_row b.mat rb (fun cb xb ->
-                      let contrib = v *. xa *. xb in
-                      add (o + ca) (oj + cb) contrib ;
-                      add (oj + cb) (o + ca) contrib)))
-            (Coo.entries p)
+          let entries = Coo.entries p in
+          if Array.length entries > 0 then begin
+            let body lo hi =
+              let local : (int * int, float) Hashtbl.t =
+                Hashtbl.create (4 * (hi - lo))
+              in
+              let ladd i j v =
+                if v <> 0.0 then begin
+                  let key = (i, j) in
+                  let prev =
+                    Option.value (Hashtbl.find_opt local key) ~default:0.0
+                  in
+                  Hashtbl.replace local key (prev +. v)
+                end
+              in
+              for e = lo to hi - 1 do
+                let ra, rb, v = entries.(e) in
+                iter_mat_row a.mat ra (fun ca xa ->
+                    iter_mat_row b.mat rb (fun cb xb ->
+                        let contrib = v *. xa *. xb in
+                        ladd (o + ca) (oj + cb) contrib ;
+                        ladd (oj + cb) (o + ca) contrib))
+              done ;
+              local
+            in
+            let merge acc part =
+              Hashtbl.iter
+                (fun key v ->
+                  let prev =
+                    Option.value (Hashtbl.find_opt acc key) ~default:0.0
+                  in
+                  Hashtbl.replace acc key (prev +. v))
+                part ;
+              acc
+            in
+            let block =
+              Exec.reduce (Exec.default ()) ~lo:0 ~hi:(Array.length entries)
+                ~body ~combine:merge
+            in
+            Hashtbl.iter (fun (i, j) v -> add i j v) block
+          end
         | Rewrite.G_ent _, Rewrite.G_ent _ | Rewrite.G_part _, Rewrite.G_ent _
           ->
           (* the entity group, when present, is always first *)

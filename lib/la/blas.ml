@@ -4,6 +4,13 @@
    these routines, so speed-up ratios between the two paths reflect the
    algorithms, not kernel differences.
 
+   Each kernel is a range-parameterized body executed through {!Exec}:
+   map-shaped kernels (gemm, gemm_nt, tcrossprod, gemv) partition their
+   *output* rows with [Exec.parallel_for]; reduction-shaped kernels
+   (tgemm, crossprod, weighted_crossprod) fold per-chunk partials over
+   *input* rows with [Exec.reduce]'s canonical grid. Both backends run
+   the same bodies and produce bitwise-identical results.
+
    All kernels use the cache-friendly i-k-j loop order over row-major
    data and count flops (one multiply-add pair counted as 2). *)
 
@@ -12,177 +19,237 @@ let dim_error name a b =
     (Printf.sprintf "Blas.%s: dim mismatch %dx%d * %dx%d" name (Dense.rows a)
        (Dense.cols a) (Dense.rows b) (Dense.cols b))
 
+(* Smallest row range worth scheduling as its own task, from the per-row
+   operation count: below this, chunking overhead beats the work. *)
+let min_rows per_row = max 1 (65_536 / max 1 per_row)
+
+(* acc += part, element-wise — the [combine] of every dense reduction.
+   Mutates and returns [acc]; Exec.reduce folds partials in canonical
+   chunk order, keeping the rounding schedule-independent. *)
+let add_into acc part =
+  let ad = Dense.data acc and pd = Dense.data part in
+  for i = 0 to Array.length ad - 1 do
+    Array.unsafe_set ad i (Array.unsafe_get ad i +. Array.unsafe_get pd i)
+  done ;
+  acc
+
+(* Mirror the upper triangle of a d×d matrix into the lower one. *)
+let mirror_lower c d =
+  let cd = Dense.data c in
+  for i = 0 to d - 1 do
+    for j = 0 to i - 1 do
+      Array.unsafe_set cd ((i * d) + j) (Array.unsafe_get cd ((j * d) + i))
+    done
+  done
+
 (* C = A * B. *)
-let gemm a b =
+let gemm ?exec a b =
   let m = Dense.rows a and ka = Dense.cols a in
   let kb = Dense.rows b and n = Dense.cols b in
   if ka <> kb then dim_error "gemm" a b ;
   Flops.addf (2.0 *. float_of_int m *. float_of_int ka *. float_of_int n) ;
   let c = Dense.create m n in
   let ad = Dense.data a and bd = Dense.data b and cd = Dense.data c in
-  for i = 0 to m - 1 do
-    let abase = i * ka and cbase = i * n in
-    for k = 0 to ka - 1 do
-      let aik = Array.unsafe_get ad (abase + k) in
-      if aik <> 0.0 then begin
-        let bbase = k * n in
-        for j = 0 to n - 1 do
-          Array.unsafe_set cd (cbase + j)
-            (Array.unsafe_get cd (cbase + j)
-            +. (aik *. Array.unsafe_get bd (bbase + j)))
-        done
-      end
+  let body lo hi =
+    for i = lo to hi - 1 do
+      let abase = i * ka and cbase = i * n in
+      for k = 0 to ka - 1 do
+        let aik = Array.unsafe_get ad (abase + k) in
+        if aik <> 0.0 then begin
+          let bbase = k * n in
+          for j = 0 to n - 1 do
+            Array.unsafe_set cd (cbase + j)
+              (Array.unsafe_get cd (cbase + j)
+              +. (aik *. Array.unsafe_get bd (bbase + j)))
+          done
+        end
+      done
     done
-  done ;
+  in
+  Exec.parallel_for
+    ~min_chunk:(min_rows (2 * ka * n))
+    (Exec.resolve exec) ~lo:0 ~hi:m body ;
   c
 
-(* C = Aᵀ * B, without materializing Aᵀ. *)
-let tgemm a b =
+(* C = Aᵀ * B, without materializing Aᵀ: a reduction over A's rows. *)
+let tgemm ?exec a b =
   let ka = Dense.rows a and m = Dense.cols a in
   let kb = Dense.rows b and n = Dense.cols b in
   if ka <> kb then dim_error "tgemm" a b ;
   Flops.addf (2.0 *. float_of_int m *. float_of_int ka *. float_of_int n) ;
-  let c = Dense.create m n in
-  let ad = Dense.data a and bd = Dense.data b and cd = Dense.data c in
-  for k = 0 to ka - 1 do
-    let abase = k * m and bbase = k * n in
-    for i = 0 to m - 1 do
-      let aki = Array.unsafe_get ad (abase + i) in
-      if aki <> 0.0 then begin
-        let cbase = i * n in
-        for j = 0 to n - 1 do
-          Array.unsafe_set cd (cbase + j)
-            (Array.unsafe_get cd (cbase + j)
-            +. (aki *. Array.unsafe_get bd (bbase + j)))
+  if ka = 0 then Dense.create m n
+  else begin
+    let ad = Dense.data a and bd = Dense.data b in
+    let body lo hi =
+      let c = Dense.create m n in
+      let cd = Dense.data c in
+      for k = lo to hi - 1 do
+        let abase = k * m and bbase = k * n in
+        for i = 0 to m - 1 do
+          let aki = Array.unsafe_get ad (abase + i) in
+          if aki <> 0.0 then begin
+            let cbase = i * n in
+            for j = 0 to n - 1 do
+              Array.unsafe_set cd (cbase + j)
+                (Array.unsafe_get cd (cbase + j)
+                +. (aki *. Array.unsafe_get bd (bbase + j)))
+            done
+          end
         done
-      end
-    done
-  done ;
-  c
+      done ;
+      c
+    in
+    Exec.reduce (Exec.resolve exec) ~lo:0 ~hi:ka ~body ~combine:add_into
+  end
 
 (* C = A * Bᵀ, without materializing Bᵀ. *)
-let gemm_nt a b =
+let gemm_nt ?exec a b =
   let m = Dense.rows a and ka = Dense.cols a in
   let n = Dense.rows b and kb = Dense.cols b in
   if ka <> kb then dim_error "gemm_nt" a b ;
   Flops.addf (2.0 *. float_of_int m *. float_of_int ka *. float_of_int n) ;
   let c = Dense.create m n in
   let ad = Dense.data a and bd = Dense.data b and cd = Dense.data c in
-  for i = 0 to m - 1 do
-    let abase = i * ka and cbase = i * n in
-    for j = 0 to n - 1 do
-      let bbase = j * kb in
-      let acc = ref 0.0 in
-      for k = 0 to ka - 1 do
-        acc :=
-          !acc
-          +. (Array.unsafe_get ad (abase + k) *. Array.unsafe_get bd (bbase + k))
-      done ;
-      Array.unsafe_set cd (cbase + j) !acc
+  let body lo hi =
+    for i = lo to hi - 1 do
+      let abase = i * ka and cbase = i * n in
+      for j = 0 to n - 1 do
+        let bbase = j * kb in
+        let acc = ref 0.0 in
+        for k = 0 to ka - 1 do
+          acc :=
+            !acc
+            +. (Array.unsafe_get ad (abase + k)
+               *. Array.unsafe_get bd (bbase + k))
+        done ;
+        Array.unsafe_set cd (cbase + j) !acc
+      done
     done
-  done ;
+  in
+  Exec.parallel_for
+    ~min_chunk:(min_rows (2 * ka * n))
+    (Exec.resolve exec) ~lo:0 ~hi:m body ;
   c
 
 (* crossprod(A) = Aᵀ A, exploiting symmetry: only the upper triangle is
    computed, then mirrored. This is the ~(1/2) n d² saving the paper's
    Algorithm 2 relies on when it calls crossprod(S) instead of SᵀS. *)
-let crossprod a =
+let crossprod ?exec a =
   let n = Dense.rows a and d = Dense.cols a in
   Flops.addf (float_of_int n *. float_of_int d *. float_of_int (d + 1)) ;
-  let c = Dense.create d d in
-  let ad = Dense.data a and cd = Dense.data c in
-  for r = 0 to n - 1 do
-    let base = r * d in
-    for i = 0 to d - 1 do
-      let ari = Array.unsafe_get ad (base + i) in
-      if ari <> 0.0 then begin
-        let cbase = i * d in
-        for j = i to d - 1 do
-          Array.unsafe_set cd (cbase + j)
-            (Array.unsafe_get cd (cbase + j)
-            +. (ari *. Array.unsafe_get ad (base + j)))
+  if n = 0 then Dense.create d d
+  else begin
+    let ad = Dense.data a in
+    let body lo hi =
+      let c = Dense.create d d in
+      let cd = Dense.data c in
+      for r = lo to hi - 1 do
+        let base = r * d in
+        for i = 0 to d - 1 do
+          let ari = Array.unsafe_get ad (base + i) in
+          if ari <> 0.0 then begin
+            let cbase = i * d in
+            for j = i to d - 1 do
+              Array.unsafe_set cd (cbase + j)
+                (Array.unsafe_get cd (cbase + j)
+                +. (ari *. Array.unsafe_get ad (base + j)))
+            done
+          end
         done
-      end
-    done
-  done ;
-  for i = 0 to d - 1 do
-    for j = 0 to i - 1 do
-      Array.unsafe_set cd ((i * d) + j) (Array.unsafe_get cd ((j * d) + i))
-    done
-  done ;
-  c
+      done ;
+      c
+    in
+    let c = Exec.reduce (Exec.resolve exec) ~lo:0 ~hi:n ~body ~combine:add_into in
+    mirror_lower c d ;
+    c
+  end
 
 (* Aᵀ diag(w) A — the weighted cross-product at the heart of the paper's
    efficient rewrite (Algorithm 2): crossprod(diag(colSums K)^(1/2) R)
    is computed here directly as Rᵀ diag(counts) R without forming the
    scaled copy of R. *)
-let weighted_crossprod a w =
+let weighted_crossprod ?exec a w =
   let n = Dense.rows a and d = Dense.cols a in
   if Array.length w <> n then
     invalid_arg "Blas.weighted_crossprod: weight length mismatch" ;
   Flops.addf (float_of_int n *. float_of_int d *. float_of_int (d + 2)) ;
-  let c = Dense.create d d in
-  let ad = Dense.data a and cd = Dense.data c in
-  for r = 0 to n - 1 do
-    let base = r * d in
-    let wr = Array.unsafe_get w r in
-    if wr <> 0.0 then
-      for i = 0 to d - 1 do
-        let ari = wr *. Array.unsafe_get ad (base + i) in
-        if ari <> 0.0 then begin
-          let cbase = i * d in
-          for j = i to d - 1 do
-            Array.unsafe_set cd (cbase + j)
-              (Array.unsafe_get cd (cbase + j)
-              +. (ari *. Array.unsafe_get ad (base + j)))
+  if n = 0 then Dense.create d d
+  else begin
+    let ad = Dense.data a in
+    let body lo hi =
+      let c = Dense.create d d in
+      let cd = Dense.data c in
+      for r = lo to hi - 1 do
+        let base = r * d in
+        let wr = Array.unsafe_get w r in
+        if wr <> 0.0 then
+          for i = 0 to d - 1 do
+            let ari = wr *. Array.unsafe_get ad (base + i) in
+            if ari <> 0.0 then begin
+              let cbase = i * d in
+              for j = i to d - 1 do
+                Array.unsafe_set cd (cbase + j)
+                  (Array.unsafe_get cd (cbase + j)
+                  +. (ari *. Array.unsafe_get ad (base + j)))
+              done
+            end
           done
-        end
-      done
-  done ;
-  for i = 0 to d - 1 do
-    for j = 0 to i - 1 do
-      Array.unsafe_set cd ((i * d) + j) (Array.unsafe_get cd ((j * d) + i))
-    done
-  done ;
-  c
+      done ;
+      c
+    in
+    let c = Exec.reduce (Exec.resolve exec) ~lo:0 ~hi:n ~body ~combine:add_into in
+    mirror_lower c d ;
+    c
+  end
 
-(* tcrossprod(A) = A Aᵀ (the Gram matrix when rows are examples). *)
-let tcrossprod a =
+(* tcrossprod(A) = A Aᵀ (the Gram matrix when rows are examples). Rows
+   [i] of the output (and their mirror column) are disjoint across
+   tasks, so this partitions output rows like gemm. *)
+let tcrossprod ?exec a =
   let n = Dense.rows a and d = Dense.cols a in
   Flops.addf (float_of_int n *. float_of_int (n + 1) *. float_of_int d) ;
   let c = Dense.create n n in
   let ad = Dense.data a and cd = Dense.data c in
-  for i = 0 to n - 1 do
-    let ibase = i * d in
-    for j = i to n - 1 do
-      let jbase = j * d in
-      let acc = ref 0.0 in
-      for k = 0 to d - 1 do
-        acc :=
-          !acc
-          +. (Array.unsafe_get ad (ibase + k) *. Array.unsafe_get ad (jbase + k))
-      done ;
-      Array.unsafe_set cd ((i * n) + j) !acc ;
-      Array.unsafe_set cd ((j * n) + i) !acc
+  let body lo hi =
+    for i = lo to hi - 1 do
+      let ibase = i * d in
+      for j = i to n - 1 do
+        let jbase = j * d in
+        let acc = ref 0.0 in
+        for k = 0 to d - 1 do
+          acc :=
+            !acc
+            +. (Array.unsafe_get ad (ibase + k)
+               *. Array.unsafe_get ad (jbase + k))
+        done ;
+        Array.unsafe_set cd ((i * n) + j) !acc ;
+        Array.unsafe_set cd ((j * n) + i) !acc
+      done
     done
-  done ;
+  in
+  Exec.parallel_for ~min_chunk:(min_rows (n * d)) (Exec.resolve exec) ~lo:0
+    ~hi:n body ;
   c
 
 (* y = A x for a plain float-array vector x. *)
-let gemv a x =
+let gemv ?exec a x =
   let m = Dense.rows a and k = Dense.cols a in
   if Array.length x <> k then invalid_arg "Blas.gemv: dim mismatch" ;
   Flops.add (2 * m * k) ;
   let y = Array.make m 0.0 in
   let ad = Dense.data a in
-  for i = 0 to m - 1 do
-    let base = i * k in
-    let acc = ref 0.0 in
-    for j = 0 to k - 1 do
-      acc := !acc +. (Array.unsafe_get ad (base + j) *. Array.unsafe_get x j)
-    done ;
-    y.(i) <- !acc
-  done ;
+  let body lo hi =
+    for i = lo to hi - 1 do
+      let base = i * k in
+      let acc = ref 0.0 in
+      for j = 0 to k - 1 do
+        acc := !acc +. (Array.unsafe_get ad (base + j) *. Array.unsafe_get x j)
+      done ;
+      y.(i) <- !acc
+    done
+  in
+  Exec.parallel_for ~min_chunk:(min_rows (2 * k)) (Exec.resolve exec) ~lo:0
+    ~hi:m body ;
   y
 
 let dot x y =

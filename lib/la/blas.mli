@@ -1,30 +1,36 @@
 (** Dense multiplication kernels — the BLAS-shaped substrate. Both the
     materialized and factorized execution paths funnel through these
     routines, so measured speed-ups reflect the algorithms, not kernel
-    differences. All kernels count flops in {!Flops}. *)
+    differences. All kernels count flops in {!Flops}.
 
-val gemm : Dense.t -> Dense.t -> Dense.t
+    Every kernel is a range-parameterized body executed through the
+    pluggable {!Exec} engine; [?exec] overrides the process default
+    ({!Exec.default}). Results are bitwise-identical across backends
+    and domain counts: map-shaped kernels partition output rows, and
+    reductions fold partials over {!Exec.reduce}'s canonical grid. *)
+
+val gemm : ?exec:Exec.t -> Dense.t -> Dense.t -> Dense.t
 (** [gemm a b] is [a·b]. Raises [Invalid_argument] on dim mismatch. *)
 
-val tgemm : Dense.t -> Dense.t -> Dense.t
+val tgemm : ?exec:Exec.t -> Dense.t -> Dense.t -> Dense.t
 (** [tgemm a b] is [aᵀ·b] without materializing [aᵀ]. *)
 
-val gemm_nt : Dense.t -> Dense.t -> Dense.t
+val gemm_nt : ?exec:Exec.t -> Dense.t -> Dense.t -> Dense.t
 (** [gemm_nt a b] is [a·bᵀ] without materializing [bᵀ]. *)
 
-val crossprod : Dense.t -> Dense.t
+val crossprod : ?exec:Exec.t -> Dense.t -> Dense.t
 (** [crossprod a] is [aᵀ·a], exploiting symmetry (half the multiplies —
     the saving the paper's Algorithm 2 relies on). *)
 
-val weighted_crossprod : Dense.t -> float array -> Dense.t
+val weighted_crossprod : ?exec:Exec.t -> Dense.t -> float array -> Dense.t
 (** [weighted_crossprod a w] is [aᵀ·diag(w)·a]; the heart of Algorithm
     2's [crossprod(diag(colSums K)^½ R)] without forming the scaled
     copy. Raises if [w] doesn't match [a]'s row count. *)
 
-val tcrossprod : Dense.t -> Dense.t
+val tcrossprod : ?exec:Exec.t -> Dense.t -> Dense.t
 (** [tcrossprod a] is [a·aᵀ] (the Gram matrix when rows are examples). *)
 
-val gemv : Dense.t -> float array -> float array
+val gemv : ?exec:Exec.t -> Dense.t -> float array -> float array
 (** Matrix-vector product. *)
 
 val dot : float array -> float array -> float

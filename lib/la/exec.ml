@@ -1,0 +1,175 @@
+(* Pluggable execution engine for the LA kernels.
+
+   Every kernel in the system is written as a range-parameterized body
+   (over output rows for map-shaped kernels, over input rows for
+   reductions) and handed to one of the two combinators here, so the
+   sequential and parallel backends execute the *same* kernel code —
+   the factorized/materialized speed-up ratios keep reflecting the
+   algorithms, not the substrate (the invariant blas.mli promises).
+
+   Two backends:
+   - [seq]: runs the body directly on the calling domain.
+   - [par ~domains]: runs chunks of the range on a persistent
+     {!Pool} of OCaml 5 domains.
+
+   Determinism. [parallel_for] bodies own disjoint output rows and each
+   element's accumulation order is internal to the body, so any
+   schedule produces bitwise-identical results. [reduce] combines
+   chunk results, and float addition is not associative — so the chunk
+   grid is *canonical*: a pure function of the range (never of the
+   domain count), and partials are always folded in ascending chunk
+   order. Both backends therefore produce bitwise-identical results
+   for every kernel, at any domain count.
+
+   Nesting. A kernel called from inside a parallel region (e.g.
+   [Blas.crossprod] inside a chunk of [Ore.Chunked_ops.crossprod]) must
+   not re-enter the pool: a domain-local flag downgrades nested regions
+   to sequential execution over the same canonical grid. *)
+
+type par_state = { domains : int; mutable pool : Pool.t option }
+
+type t =
+  | Sequential
+  | Parallel of par_state
+
+let seq = Sequential
+
+let par ~domains =
+  if domains < 1 then invalid_arg "Exec.par: domains must be >= 1" ;
+  if domains = 1 then Sequential else Parallel { domains; pool = None }
+
+let make n = if n <= 1 then Sequential else par ~domains:n
+
+let domains = function Sequential -> 1 | Parallel p -> p.domains
+
+let name = function
+  | Sequential -> "seq"
+  | Parallel p -> Printf.sprintf "par:%d" p.domains
+
+(* The pool is created on first use (so [par] backends are free to
+   construct) and only ever from outside a parallel region, hence from a
+   single domain at a time. *)
+let pool_of p =
+  match p.pool with
+  | Some q -> q
+  | None ->
+    let q = Pool.create p.domains in
+    p.pool <- Some q ;
+    q
+
+let shutdown = function
+  | Sequential -> ()
+  | Parallel p -> (
+    match p.pool with
+    | None -> ()
+    | Some q ->
+      Pool.shutdown q ;
+      p.pool <- None)
+
+(* ---- default backend: MORPHEUS_THREADS, overridable by the CLI ---- *)
+
+let env_threads () =
+  match Sys.getenv_opt "MORPHEUS_THREADS" with
+  | None -> 1
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | _ -> 1)
+
+let default_backend = ref None
+
+let default () =
+  match !default_backend with
+  | Some e -> e
+  | None ->
+    let e = make (env_threads ()) in
+    default_backend := Some e ;
+    e
+
+let set_default e = default_backend := Some e
+
+let resolve = function Some e -> e | None -> default ()
+
+(* ---- nested-region guard ---- *)
+
+let inside_key = Domain.DLS.new_key (fun () -> ref false)
+
+let inside () = !(Domain.DLS.get inside_key)
+
+let guarded f lo hi =
+  let flag = Domain.DLS.get inside_key in
+  flag := true ;
+  Fun.protect ~finally:(fun () -> flag := false) (fun () -> f lo hi)
+
+(* ---- chunk grids ---- *)
+
+(* Bounds of chunk [i] of [chunks] over [lo, hi): balanced to within one
+   element. *)
+let chunk_bounds ~lo ~hi ~chunks i =
+  let len = hi - lo in
+  (lo + (len * i / chunks), lo + (len * (i + 1) / chunks))
+
+(* The canonical reduction grid: a pure function of the range length and
+   the grain, never of the backend — this is what makes reduce results
+   bitwise-identical across backends and domain counts. *)
+let reduce_chunks ~grain len =
+  if len <= 0 then 0 else max 1 (min 64 (len / max 1 grain))
+
+let default_grain = 2048
+
+(* ---- combinators ---- *)
+
+let parallel_for ?(min_chunk = 1) e ~lo ~hi f =
+  let len = hi - lo in
+  if len > 0 then
+    match e with
+    | Sequential -> f lo hi
+    | Parallel p ->
+      if inside () then f lo hi
+      else begin
+        let chunks = min (4 * p.domains) (max 1 (len / max 1 min_chunk)) in
+        if chunks <= 1 then f lo hi
+        else
+          Pool.run (pool_of p) ~njobs:chunks (fun i ->
+              let clo, chi = chunk_bounds ~lo ~hi ~chunks i in
+              guarded f clo chi)
+      end
+
+let reduce ?(grain = default_grain) e ~lo ~hi ~body ~combine =
+  let len = hi - lo in
+  if len <= 0 then invalid_arg "Exec.reduce: empty range" ;
+  let chunks = reduce_chunks ~grain len in
+  if chunks = 1 then body lo hi
+  else begin
+    let fold_parts parts =
+      let acc = ref parts.(0) in
+      for i = 1 to chunks - 1 do
+        acc := combine !acc parts.(i)
+      done ;
+      !acc
+    in
+    let sequential () =
+      (* same grid, same fold order as the parallel path *)
+      let first =
+        let clo, chi = chunk_bounds ~lo ~hi ~chunks 0 in
+        body clo chi
+      in
+      let acc = ref first in
+      for i = 1 to chunks - 1 do
+        let clo, chi = chunk_bounds ~lo ~hi ~chunks i in
+        acc := combine !acc (body clo chi)
+      done ;
+      !acc
+    in
+    match e with
+    | Sequential -> sequential ()
+    | Parallel p ->
+      if inside () then sequential ()
+      else begin
+        let parts = Array.make chunks None in
+        Pool.run (pool_of p) ~njobs:chunks (fun i ->
+            let clo, chi = chunk_bounds ~lo ~hi ~chunks i in
+            parts.(i) <- Some (guarded body clo chi)) ;
+        fold_parts (Array.map Option.get parts)
+      end
+  end

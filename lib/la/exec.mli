@@ -1,0 +1,77 @@
+(** Pluggable execution engine for the LA kernels.
+
+    Kernels are written once as range-parameterized bodies and executed
+    through the combinators here, so the sequential ({!seq}) and
+    domain-pool ({!par}) backends run the {e same} kernel code — the
+    factorized/materialized speed-up ratios keep reflecting the
+    algorithms, not the substrate.
+
+    Both backends are bitwise-deterministic: {!parallel_for} bodies own
+    disjoint output rows, and {!reduce} always folds its partials over
+    a canonical chunk grid (a pure function of the range, never of the
+    domain count) in ascending chunk order. See docs/PARALLELISM.md. *)
+
+type t
+
+val seq : t
+(** Run bodies directly on the calling domain. *)
+
+val par : domains:int -> t
+(** A backend over a persistent pool of [domains] domains (the caller
+    participates, so [domains - 1] are spawned — lazily, on first use).
+    [par ~domains:1] is {!seq}. Raises [Invalid_argument] when
+    [domains < 1]. *)
+
+val make : int -> t
+(** [make n] is {!seq} for [n <= 1], [par ~domains:n] otherwise. *)
+
+val domains : t -> int
+
+val name : t -> string
+(** ["seq"] or ["par:N"], for logs and bench output. *)
+
+val shutdown : t -> unit
+(** Join the backend's pool domains, if any were started. The backend
+    remains usable: the pool is recreated on next use. *)
+
+(** {1 Default backend}
+
+    Kernels whose [?exec] argument is omitted use the process-wide
+    default: [MORPHEUS_THREADS] from the environment (read once, on
+    first use), overridable by {!set_default} (the CLI's [--threads]). *)
+
+val default : unit -> t
+val set_default : t -> unit
+
+val resolve : t option -> t
+(** [resolve exec] is the kernel-entry idiom:
+    [Option.value exec ~default:(default ())]. *)
+
+(** {1 Combinators} *)
+
+val parallel_for : ?min_chunk:int -> t -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+(** [parallel_for e ~lo ~hi body] executes [body] over sub-ranges
+    partitioning [lo, hi). The body must only write state owned by its
+    rows; each element's accumulation order is internal to one body
+    call, so results are bitwise-identical on every backend.
+    [min_chunk] bounds the smallest profitable sub-range (kernels
+    derive it from per-row flop counts). Nested calls — a kernel
+    invoked from inside a parallel region — run sequentially. *)
+
+val reduce :
+  ?grain:int ->
+  t ->
+  lo:int ->
+  hi:int ->
+  body:(int -> int -> 'a) ->
+  combine:('a -> 'a -> 'a) ->
+  'a
+(** [reduce e ~lo ~hi ~body ~combine] folds [combine] over the chunk
+    partials [body clo chi] of a canonical grid of [lo, hi), in
+    ascending chunk order — identical float operations on every
+    backend and domain count. [grain] is the target rows per chunk
+    (default 2048; chunked out-of-core operators pass [~grain:1] to get
+    one task per chunk index). A single-chunk grid calls [body lo hi]
+    alone, making the sequential backend's hot path identical to a
+    direct kernel call. Raises [Invalid_argument] on an empty range
+    (kernels special-case zero-row inputs). *)

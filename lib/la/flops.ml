@@ -1,29 +1,63 @@
-(* Global counter of floating-point arithmetic operations performed by the
-   LA kernels. The paper's Table 3 / Table 11 report "arithmetic
+(* Counter of floating-point arithmetic operations performed by the LA
+   kernels. The paper's Table 3 / Table 11 report "arithmetic
    computations (multiplications and additions)" for the standard vs
    factorized operators; this counter lets tests and the [table3] bench
    check the implementation against those analytic expressions.
 
-   Kernels add bulk amounts (one [add] call per kernel invocation), so the
-   instrumentation cost is negligible. *)
+   Kernel bodies run on whatever domain the {!Exec} backend schedules
+   them on, so a single global [float ref] would drop updates under the
+   parallel backend. Instead every domain accumulates into its own
+   domain-local cell ([Domain.DLS]); cells are registered in a global
+   list at creation and [get]/[reset] aggregate over it. Counts are
+   integer-valued floats well below 2^53, so per-domain partial sums are
+   exact and domain-count-independent.
 
-let counter = ref 0.0
+   [get]/[reset] are exact at quiescent points — i.e. whenever no
+   kernel is in flight, which {!Exec} guarantees on return from every
+   kernel call (the pool joins its batch). Kernels add bulk amounts
+   (one [add] per kernel or per chunk row), so instrumentation cost
+   stays negligible. *)
+
+let cells = ref []
+let cells_lock = Mutex.create ()
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      let cell = ref 0.0 in
+      Mutex.lock cells_lock ;
+      cells := cell :: !cells ;
+      Mutex.unlock cells_lock ;
+      cell)
 
 let enabled = ref true
 
-let reset () = counter := 0.0
+let add n =
+  if !enabled then begin
+    let c = Domain.DLS.get key in
+    c := !c +. float_of_int n
+  end
 
-let add n = if !enabled then counter := !counter +. float_of_int n
+let addf n =
+  if !enabled then begin
+    let c = Domain.DLS.get key in
+    c := !c +. n
+  end
 
-let addf n = if !enabled then counter := !counter +. n
+let snapshot () =
+  Mutex.lock cells_lock ;
+  let cs = !cells in
+  Mutex.unlock cells_lock ;
+  cs
 
-let get () = !counter
+let get () = List.fold_left (fun acc c -> acc +. !c) 0.0 (snapshot ())
+
+let reset () = List.iter (fun c -> c := 0.0) (snapshot ())
 
 (* Run [f] and return its result together with the flops it performed. *)
 let count f =
-  let before = !counter in
+  let before = get () in
   let x = f () in
-  (x, !counter -. before)
+  (x, get () -. before)
 
 let with_disabled f =
   let was = !enabled in

@@ -1,8 +1,14 @@
-(** Global counter of floating-point arithmetic operations performed by
-    the LA kernels. The paper's Tables 3/11 report "arithmetic
-    computations" per operator; this counter lets tests and the
-    [table3] bench check the implementation against those analytic
-    expressions. Kernels add bulk amounts, so overhead is negligible. *)
+(** Counter of floating-point arithmetic operations performed by the LA
+    kernels. The paper's Tables 3/11 report "arithmetic computations"
+    per operator; this counter lets tests and the [table3] bench check
+    the implementation against those analytic expressions.
+
+    Accumulation is per-domain ([Domain.DLS]) so counts stay exact when
+    kernels run on the parallel {!Exec} backend; {!get} and {!reset}
+    aggregate over every domain's cell and are exact at quiescent
+    points (no kernel in flight — guaranteed on return from any kernel
+    call). Counts are integer-valued floats < 2^53, so totals are
+    independent of the domain count and schedule. *)
 
 val reset : unit -> unit
 
@@ -23,6 +29,3 @@ val with_disabled : (unit -> 'a) -> 'a
 
 val enabled : bool ref
 (** Exposed for the benches; prefer {!with_disabled}. *)
-
-val counter : float ref
-(** The raw accumulator; prefer {!get}/{!reset}. *)

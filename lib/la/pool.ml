@@ -1,0 +1,144 @@
+(* A persistent pool of OCaml 5 domains executing indexed task batches.
+
+   Domains are expensive to spawn (~ms each, plus minor-heap setup), so
+   the pool spawns its workers once and keeps them parked on a condition
+   variable between kernel calls; a parallel region then costs only a
+   broadcast and an atomic fetch-and-add per task. This is the physical
+   substrate of {!Exec.par}; kernels never talk to the pool directly.
+
+   Scheduling is work-stealing-lite: a batch of [njobs] indexed tasks is
+   published, and every participant (the [size - 1] workers plus the
+   calling domain) claims indices from a shared atomic counter until the
+   batch is drained. Tasks must therefore be safe to run in any order
+   and on any domain — the deterministic chunk grids live one layer up,
+   in {!Exec}.
+
+   The caller side is single-domain by construction: {!run} is only ever
+   reached from code that is not itself inside a parallel region
+   ({!Exec} downgrades nested regions to sequential execution), so at
+   most one batch is in flight per pool. *)
+
+type job = {
+  njobs : int;
+  next : int Atomic.t;  (* next index to claim *)
+  completed : int Atomic.t;  (* finished tasks, for the caller's wait *)
+  run : int -> unit;
+}
+
+type t = {
+  size : int;  (* participating domains, including the caller *)
+  mutable job : job option;
+  mutable gen : int;  (* batch generation, so workers join each batch once *)
+  mutable stop : bool;
+  mutable failure : exn option;  (* first task exception, re-raised by run *)
+  lock : Mutex.t;
+  work : Condition.t;  (* workers park here between batches *)
+  idle : Condition.t;  (* the caller parks here until the batch drains *)
+  mutable workers : unit Domain.t array;
+}
+
+let size t = t.size
+
+let record_failure t e =
+  Mutex.lock t.lock ;
+  if t.failure = None then t.failure <- Some e ;
+  Mutex.unlock t.lock
+
+(* Claim and run tasks until the batch is exhausted. The completion
+   count (not the claim counter) gates the caller's wake-up, so a task
+   still running when the last index is claimed is always waited for. *)
+let drain t (j : job) =
+  let rec loop () =
+    let i = Atomic.fetch_and_add j.next 1 in
+    if i < j.njobs then begin
+      (try j.run i with e -> record_failure t e) ;
+      let c = 1 + Atomic.fetch_and_add j.completed 1 in
+      if c = j.njobs then begin
+        Mutex.lock t.lock ;
+        Condition.broadcast t.idle ;
+        Mutex.unlock t.lock
+      end ;
+      loop ()
+    end
+  in
+  loop ()
+
+let worker t () =
+  let seen = ref 0 in
+  let rec loop () =
+    Mutex.lock t.lock ;
+    while (not t.stop) && t.gen = !seen do
+      Condition.wait t.work t.lock
+    done ;
+    if t.stop then Mutex.unlock t.lock
+    else begin
+      seen := t.gen ;
+      let j = t.job in
+      Mutex.unlock t.lock ;
+      (* [job] may already be back to [None] if the batch drained between
+         our wake-up and the read; that is a completed batch, skip it. *)
+      (match j with Some j -> drain t j | None -> ()) ;
+      loop ()
+    end
+  in
+  loop ()
+
+(* Live pools, shut down via [at_exit] so worker domains never outlive
+   the main domain (a parked worker would otherwise keep the runtime's
+   domain machinery alive at exit). *)
+let registry = ref []
+let registry_lock = Mutex.create ()
+
+let shutdown t =
+  Mutex.lock t.lock ;
+  let first = not t.stop in
+  t.stop <- true ;
+  Condition.broadcast t.work ;
+  Mutex.unlock t.lock ;
+  if first then Array.iter Domain.join t.workers
+
+let () = at_exit (fun () -> List.iter shutdown !registry)
+
+let create size =
+  if size < 1 then invalid_arg "Pool.create: size must be >= 1" ;
+  let t =
+    { size;
+      job = None;
+      gen = 0;
+      stop = false;
+      failure = None;
+      lock = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      workers = [||] }
+  in
+  t.workers <- Array.init (size - 1) (fun _ -> Domain.spawn (worker t)) ;
+  Mutex.lock registry_lock ;
+  registry := t :: !registry ;
+  Mutex.unlock registry_lock ;
+  t
+
+let run t ~njobs f =
+  if njobs < 0 then invalid_arg "Pool.run: negative njobs" ;
+  if t.stop then invalid_arg "Pool.run: pool is shut down" ;
+  if njobs > 0 then begin
+    let j =
+      { njobs; next = Atomic.make 0; completed = Atomic.make 0; run = f }
+    in
+    Mutex.lock t.lock ;
+    t.failure <- None ;
+    t.job <- Some j ;
+    t.gen <- t.gen + 1 ;
+    Condition.broadcast t.work ;
+    Mutex.unlock t.lock ;
+    drain t j ;
+    Mutex.lock t.lock ;
+    while Atomic.get j.completed < njobs do
+      Condition.wait t.idle t.lock
+    done ;
+    t.job <- None ;
+    let fail = t.failure in
+    t.failure <- None ;
+    Mutex.unlock t.lock ;
+    match fail with Some e -> raise e | None -> ()
+  end

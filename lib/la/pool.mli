@@ -1,0 +1,29 @@
+(** A persistent pool of OCaml 5 domains. Workers are spawned once and
+    parked between kernel calls; {!run} publishes a batch of indexed
+    tasks that the workers and the calling domain drain together from a
+    shared atomic counter. This is the physical substrate behind
+    {!Exec.par} — kernels go through {!Exec}, never through the pool
+    directly. *)
+
+type t
+
+val create : int -> t
+(** [create size] spawns [size - 1] worker domains; the caller of {!run}
+    is the [size]-th participant. Raises [Invalid_argument] when
+    [size < 1]. Every pool is registered for [at_exit] shutdown. *)
+
+val size : t -> int
+(** Participating domains, including the caller. *)
+
+val run : t -> njobs:int -> (int -> unit) -> unit
+(** [run t ~njobs f] executes [f 0 … f (njobs - 1)], each exactly once,
+    on any participating domain and in any order, returning when all
+    have finished. Tasks must not themselves call [run] (the {!Exec}
+    layer downgrades nested parallel regions to sequential execution).
+    If tasks raise, the batch still drains and the first exception is
+    re-raised in the caller. Single-caller: only one batch may be in
+    flight per pool. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains. Idempotent; a pool is unusable
+    after shutdown ({!Exec} transparently recreates one on next use). *)

@@ -2,58 +2,95 @@
    paper builds on top of ore.rowapply ("This function is used to build
    LA operators (such [as] matrix multiplications) for larger-than-
    memory data", appendix N). Skinny results (vectors, d×k matrices)
-   stay in memory; n-row results are aligned with the input chunks. *)
+   stay in memory; n-row results are aligned with the input chunks.
+
+   Parallelism is across chunks: the execution engine schedules one
+   task per chunk index ([~grain:1]), so several chunks are read and
+   processed concurrently while reductions still combine per-chunk
+   partials in canonical chunk order (bitwise-deterministic across
+   backends). The in-memory kernels invoked inside a task detect the
+   enclosing parallel region and run sequentially. *)
 
 open La
 
+(* One task per chunk: process chunk [i] with [f]. *)
+let for_chunks exec store f =
+  Exec.parallel_for (Exec.resolve exec) ~lo:0 ~hi:(Chunk_store.nchunks store)
+    (fun lo hi ->
+      for i = lo to hi - 1 do
+        f i
+      done)
+
+(* Reduce per-chunk partials in canonical chunk order. *)
+let reduce_chunks exec store ~body ~combine =
+  Exec.reduce ~grain:1 (Exec.resolve exec) ~lo:0
+    ~hi:(Chunk_store.nchunks store)
+    ~body:(fun lo hi ->
+      let acc = ref (body lo) in
+      for i = lo + 1 to hi - 1 do
+        acc := combine !acc (body i)
+      done ;
+      !acc)
+    ~combine
+
+let add_into acc part =
+  let ad = Dense.data acc and pd = Dense.data part in
+  for i = 0 to Array.length ad - 1 do
+    Array.unsafe_set ad i (Array.unsafe_get ad i +. Array.unsafe_get pd i)
+  done ;
+  acc
+
 (* T·X for skinny dense X: one pass, output n×k in memory. *)
-let lmm store x =
+let lmm ?exec store x =
   if Dense.rows x <> Chunk_store.cols store then
     invalid_arg "Chunked_ops.lmm: dim mismatch" ;
-  let blocks =
-    List.rev
-      (Chunk_store.fold store ~init:[] ~f:(fun acc _ chunk ->
-           Blas.gemm chunk x :: acc))
-  in
-  Dense.vcat blocks
+  let blocks = Array.make (Chunk_store.nchunks store) None in
+  for_chunks exec store (fun i ->
+      blocks.(i) <- Some (Blas.gemm (Chunk_store.get store i) x)) ;
+  Dense.vcat (List.map Option.get (Array.to_list blocks))
 
 (* Tᵀ·P for P (n×k) in memory: stream chunks, slice P, accumulate d×k. *)
-let tlmm store p =
+let tlmm ?exec store p =
   if Dense.rows p <> Chunk_store.rows store then
     invalid_arg "Chunked_ops.tlmm: dim mismatch" ;
   let d = Chunk_store.cols store and k = Dense.cols p in
-  let acc = Dense.create d k in
-  let offset = ref 0 in
-  Chunk_store.iter store ~f:(fun _ chunk ->
-      let lo = !offset in
-      let hi = lo + Dense.rows chunk in
-      offset := hi ;
-      let slice = Dense.sub_rows p ~lo ~hi in
-      let contrib = Blas.tgemm chunk slice in
-      let ad = Dense.data acc and cd = Dense.data contrib in
-      for i = 0 to Array.length ad - 1 do
-        Array.unsafe_set ad i (Array.unsafe_get ad i +. Array.unsafe_get cd i)
-      done) ;
-  acc
+  if Chunk_store.nchunks store = 0 then Dense.create d k
+  else begin
+    let bounds = Array.of_list (Chunk_store.boundaries store) in
+    reduce_chunks exec store
+      ~body:(fun i ->
+        let lo, hi = bounds.(i) in
+        let slice = Dense.sub_rows p ~lo ~hi in
+        Blas.tgemm (Chunk_store.get store i) slice)
+      ~combine:add_into
+  end
 
 (* crossprod(T): stream chunks, accumulate the d×d Gram blocks. *)
-let crossprod store =
+let crossprod ?exec store =
   let d = Chunk_store.cols store in
-  Chunk_store.fold store ~init:(Dense.create d d) ~f:(fun acc _ chunk ->
-      Dense.add acc (Blas.crossprod chunk))
+  if Chunk_store.nchunks store = 0 then Dense.create d d
+  else
+    reduce_chunks exec store
+      ~body:(fun i -> Blas.crossprod (Chunk_store.get store i))
+      ~combine:add_into
 
-let row_sums store =
-  let blocks =
-    List.rev
-      (Chunk_store.fold store ~init:[] ~f:(fun acc _ chunk ->
-           Dense.row_sums chunk :: acc))
-  in
-  Dense.vcat blocks
+let row_sums ?exec store =
+  let blocks = Array.make (Chunk_store.nchunks store) None in
+  for_chunks exec store (fun i ->
+      blocks.(i) <- Some (Dense.row_sums (Chunk_store.get store i))) ;
+  Dense.vcat (List.map Option.get (Array.to_list blocks))
 
-let col_sums store =
-  Chunk_store.fold store ~init:(Dense.create 1 (Chunk_store.cols store))
-    ~f:(fun acc _ chunk -> Dense.add acc (Dense.col_sums chunk))
+let col_sums ?exec store =
+  if Chunk_store.nchunks store = 0 then
+    Dense.create 1 (Chunk_store.cols store)
+  else
+    reduce_chunks exec store
+      ~body:(fun i -> Dense.col_sums (Chunk_store.get store i))
+      ~combine:add_into
 
-let sum store =
-  Chunk_store.fold store ~init:0.0 ~f:(fun acc _ chunk ->
-      acc +. Dense.sum chunk)
+let sum ?exec store =
+  if Chunk_store.nchunks store = 0 then 0.0
+  else
+    reduce_chunks exec store
+      ~body:(fun i -> Dense.sum (Chunk_store.get store i))
+      ~combine:( +. )

@@ -1,18 +1,24 @@
 (** Streaming LA operators over chunked matrices — the operator layer
     built on ore.rowapply (appendix N). Skinny results stay in memory;
-    n-row results align with the input chunks. *)
+    n-row results align with the input chunks.
+
+    Work is parallel {e across chunks} (one execution-engine task per
+    chunk index, reading and processing several chunks concurrently);
+    reductions combine per-chunk partials in canonical chunk order, so
+    results are bitwise-identical across backends. [?exec] overrides
+    the process-default backend ({!La.Exec.default}). *)
 
 open La
 
-val lmm : Chunk_store.t -> Dense.t -> Dense.t
+val lmm : ?exec:Exec.t -> Chunk_store.t -> Dense.t -> Dense.t
 (** T·X for skinny dense X, one pass over the chunks. *)
 
-val tlmm : Chunk_store.t -> Dense.t -> Dense.t
+val tlmm : ?exec:Exec.t -> Chunk_store.t -> Dense.t -> Dense.t
 (** Tᵀ·P for in-memory P (n×k): stream, slice, accumulate d×k. *)
 
-val crossprod : Chunk_store.t -> Dense.t
+val crossprod : ?exec:Exec.t -> Chunk_store.t -> Dense.t
 (** TᵀT accumulated chunk by chunk. *)
 
-val row_sums : Chunk_store.t -> Dense.t
-val col_sums : Chunk_store.t -> Dense.t
-val sum : Chunk_store.t -> float
+val row_sums : ?exec:Exec.t -> Chunk_store.t -> Dense.t
+val col_sums : ?exec:Exec.t -> Chunk_store.t -> Dense.t
+val sum : ?exec:Exec.t -> Chunk_store.t -> float

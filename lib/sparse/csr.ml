@@ -156,147 +156,215 @@ let row_sums_sq m =
   iter_nz (fun i _ v -> out.(i) <- out.(i) +. (v *. v)) m ;
   Dense.of_col_array out
 
-(* ---- multiplications ---- *)
+(* ---- multiplications ----
+
+   Like the Blas kernels, each of these is a range-parameterized body
+   executed through {!Exec}: row-partitioned kernels (smm, dense_smm)
+   use [parallel_for] over output rows; scatter/accumulate kernels
+   (t_smm, the cross-products) fold per-chunk partials over input rows
+   with [Exec.reduce]'s canonical grid, so both backends produce
+   bitwise-identical results. *)
+
+(* Smallest row range worth scheduling as a task (see Blas.min_rows);
+   sparse rows are costed by the average nnz per row. *)
+let min_rows m per_nz =
+  let avg = max 1 (nnz m / max 1 m.rows) in
+  max 1 (65_536 / max 1 (avg * per_nz))
+
+let add_into acc part =
+  let ad = Dense.data acc and pd = Dense.data part in
+  for i = 0 to Array.length ad - 1 do
+    Array.unsafe_set ad i (Array.unsafe_get ad i +. Array.unsafe_get pd i)
+  done ;
+  acc
 
 (* C = A * X with X dense: the sparse LMM kernel. *)
-let smm m x =
+let smm ?exec m x =
   if Dense.rows x <> m.cols then invalid_arg "Csr.smm: dim mismatch" ;
   let k = Dense.cols x in
   Flops.add (2 * nnz m * k) ;
   let c = Dense.create m.rows k in
   let cd = Dense.data c and xd = Dense.data x in
-  if k = 1 then
-    (* vector case: accumulate in a register, one store per row *)
-    for i = 0 to m.rows - 1 do
-      let acc = ref 0.0 in
-      for p = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
-        acc :=
-          !acc
-          +. (Array.unsafe_get m.values p
-             *. Array.unsafe_get xd (Array.unsafe_get m.col_idx p))
-      done ;
-      Array.unsafe_set cd i !acc
-    done
-  else
-    for i = 0 to m.rows - 1 do
-      let cbase = i * k in
-      for p = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
-        let j = Array.unsafe_get m.col_idx p in
-        let v = Array.unsafe_get m.values p in
-        let xbase = j * k in
-        for q = 0 to k - 1 do
-          Array.unsafe_set cd (cbase + q)
-            (Array.unsafe_get cd (cbase + q)
-            +. (v *. Array.unsafe_get xd (xbase + q)))
+  let body =
+    if k = 1 then fun lo hi ->
+      (* vector case: accumulate in a register, one store per row *)
+      for i = lo to hi - 1 do
+        let acc = ref 0.0 in
+        for p = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+          acc :=
+            !acc
+            +. (Array.unsafe_get m.values p
+               *. Array.unsafe_get xd (Array.unsafe_get m.col_idx p))
+        done ;
+        Array.unsafe_set cd i !acc
+      done
+    else fun lo hi ->
+      for i = lo to hi - 1 do
+        let cbase = i * k in
+        for p = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+          let j = Array.unsafe_get m.col_idx p in
+          let v = Array.unsafe_get m.values p in
+          let xbase = j * k in
+          for q = 0 to k - 1 do
+            Array.unsafe_set cd (cbase + q)
+              (Array.unsafe_get cd (cbase + q)
+              +. (v *. Array.unsafe_get xd (xbase + q)))
+          done
         done
       done
-    done ;
+  in
+  Exec.parallel_for ~min_chunk:(min_rows m (2 * k)) (Exec.resolve exec) ~lo:0
+    ~hi:m.rows body ;
   c
 
-(* C = Aᵀ * X with X dense, by scatter; avoids materializing Aᵀ. *)
-let t_smm m x =
+(* C = Aᵀ * X with X dense, by scatter; avoids materializing Aᵀ. The
+   scatter rows race across input rows, so this reduces per-chunk
+   partials of the (small) d×k output. *)
+let t_smm ?exec m x =
   if Dense.rows x <> m.rows then invalid_arg "Csr.t_smm: dim mismatch" ;
   let k = Dense.cols x in
   Flops.add (2 * nnz m * k) ;
-  let c = Dense.create m.cols k in
-  let cd = Dense.data c and xd = Dense.data x in
-  for i = 0 to m.rows - 1 do
-    let xbase = i * k in
-    for p = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
-      let j = Array.unsafe_get m.col_idx p in
-      let v = Array.unsafe_get m.values p in
-      let cbase = j * k in
-      for q = 0 to k - 1 do
-        Array.unsafe_set cd (cbase + q)
-          (Array.unsafe_get cd (cbase + q)
-          +. (v *. Array.unsafe_get xd (xbase + q)))
-      done
-    done
-  done ;
-  c
+  if m.rows = 0 then Dense.create m.cols k
+  else begin
+    let xd = Dense.data x in
+    let body lo hi =
+      let c = Dense.create m.cols k in
+      let cd = Dense.data c in
+      for i = lo to hi - 1 do
+        let xbase = i * k in
+        for p = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+          let j = Array.unsafe_get m.col_idx p in
+          let v = Array.unsafe_get m.values p in
+          let cbase = j * k in
+          for q = 0 to k - 1 do
+            Array.unsafe_set cd (cbase + q)
+              (Array.unsafe_get cd (cbase + q)
+              +. (v *. Array.unsafe_get xd (xbase + q)))
+          done
+        done
+      done ;
+      c
+    in
+    Exec.reduce (Exec.resolve exec) ~lo:0 ~hi:m.rows ~body ~combine:add_into
+  end
 
-(* C = X * A with X dense: the sparse RMM kernel; C[i, col] += X[i, r]·v. *)
-let dense_smm x m =
+(* C = X * A with X dense: the sparse RMM kernel; C[i, col] += X[i, r]·v.
+   Partitioned over X's (= C's) rows: for a fixed output row, the
+   contribution order over A's entries matches the sequential kernel. *)
+let dense_smm ?exec x m =
   if Dense.cols x <> m.rows then invalid_arg "Csr.dense_smm: dim mismatch" ;
   let n = Dense.rows x in
   Flops.add (2 * nnz m * n) ;
+  let xcols = Dense.cols x in
   let c = Dense.create n m.cols in
   let cd = Dense.data c and xd = Dense.data x in
-  for r = 0 to m.rows - 1 do
-    for p = m.row_ptr.(r) to m.row_ptr.(r + 1) - 1 do
-      let j = Array.unsafe_get m.col_idx p in
-      let v = Array.unsafe_get m.values p in
-      for i = 0 to n - 1 do
-        Array.unsafe_set cd ((i * m.cols) + j)
-          (Array.unsafe_get cd ((i * m.cols) + j)
-          +. (Array.unsafe_get xd ((i * Dense.cols x) + r) *. v))
-      done
-    done
-  done ;
-  c
-
-let weighted_crossprod_impl m w =
-  let d = m.cols in
-  let c = Dense.create d d in
-  let cd = Dense.data c in
-  for i = 0 to m.rows - 1 do
-    let wi = match w with None -> 1.0 | Some w -> Array.unsafe_get w i in
-    if wi <> 0.0 then begin
-      let lo = m.row_ptr.(i) and hi = m.row_ptr.(i + 1) - 1 in
-      Flops.add ((hi - lo + 1) * (hi - lo + 1) * 2) ;
-      for p = lo to hi do
-        let jp = Array.unsafe_get m.col_idx p in
-        let vp = wi *. Array.unsafe_get m.values p in
-        for q = lo to hi do
-          let jq = Array.unsafe_get m.col_idx q in
-          if jq >= jp then
-            Array.unsafe_set cd ((jp * d) + jq)
-              (Array.unsafe_get cd ((jp * d) + jq)
-              +. (vp *. Array.unsafe_get m.values q))
+  let body lo hi =
+    for i = lo to hi - 1 do
+      let xbase = i * xcols and cbase = i * m.cols in
+      for r = 0 to m.rows - 1 do
+        let xv = Array.unsafe_get xd (xbase + r) in
+        for p = m.row_ptr.(r) to m.row_ptr.(r + 1) - 1 do
+          let j = Array.unsafe_get m.col_idx p in
+          Array.unsafe_set cd (cbase + j)
+            (Array.unsafe_get cd (cbase + j)
+            +. (xv *. Array.unsafe_get m.values p))
         done
       done
-    end
-  done ;
-  for i = 0 to d - 1 do
-    for j = 0 to i - 1 do
-      Array.unsafe_set cd ((i * d) + j) (Array.unsafe_get cd ((j * d) + i))
     done
-  done ;
+  in
+  Exec.parallel_for
+    ~min_chunk:(max 1 (65_536 / max 1 (2 * nnz m)))
+    (Exec.resolve exec) ~lo:0 ~hi:n body ;
   c
+
+let weighted_crossprod_impl ?exec m w =
+  let d = m.cols in
+  if m.rows = 0 then Dense.create d d
+  else begin
+    let body rlo rhi =
+      let c = Dense.create d d in
+      let cd = Dense.data c in
+      for i = rlo to rhi - 1 do
+        let wi = match w with None -> 1.0 | Some w -> Array.unsafe_get w i in
+        if wi <> 0.0 then begin
+          let lo = m.row_ptr.(i) and hi = m.row_ptr.(i + 1) - 1 in
+          Flops.add ((hi - lo + 1) * (hi - lo + 1) * 2) ;
+          for p = lo to hi do
+            let jp = Array.unsafe_get m.col_idx p in
+            let vp = wi *. Array.unsafe_get m.values p in
+            for q = lo to hi do
+              let jq = Array.unsafe_get m.col_idx q in
+              if jq >= jp then
+                Array.unsafe_set cd ((jp * d) + jq)
+                  (Array.unsafe_get cd ((jp * d) + jq)
+                  +. (vp *. Array.unsafe_get m.values q))
+            done
+          done
+        end
+      done ;
+      c
+    in
+    let c = Exec.reduce (Exec.resolve exec) ~lo:0 ~hi:m.rows ~body ~combine:add_into in
+    let cd = Dense.data c in
+    for i = 0 to d - 1 do
+      for j = 0 to i - 1 do
+        Array.unsafe_set cd ((i * d) + j) (Array.unsafe_get cd ((j * d) + i))
+      done
+    done ;
+    c
+  end
 
 (* crossprod(A) = Aᵀ A as a dense matrix (outputs of cross-products are
    small d×d matrices in all Morpheus uses). *)
-let crossprod m = weighted_crossprod_impl m None
+let crossprod ?exec m = weighted_crossprod_impl ?exec m None
 
 (* crossprod with a *sparse* result: Aᵀ·diag(w)·A accumulated into a
    hash table of upper-triangle entries. For one-hot-style data the
    output has O(Σ nnz_row²) entries, so this stays feasible when the
-   d×d dense output would not (d in the tens of thousands). *)
-let crossprod_csr ?weights m =
+   d×d dense output would not (d in the tens of thousands). Parallel
+   execution builds one table per row chunk; tables are merged in
+   canonical chunk order, so every key's additions happen in the same
+   order on both backends. *)
+let crossprod_csr ?exec ?weights m =
   (match weights with
   | Some w when Array.length w <> m.rows ->
     invalid_arg "Csr.crossprod_csr: weight length mismatch"
   | _ -> ()) ;
-  let tbl : (int * int, float) Hashtbl.t = Hashtbl.create 1024 in
-  for i = 0 to m.rows - 1 do
-    let wi = match weights with None -> 1.0 | Some w -> Array.unsafe_get w i in
-    if wi <> 0.0 then begin
-      let lo = m.row_ptr.(i) and hi = m.row_ptr.(i + 1) - 1 in
-      Flops.add ((hi - lo + 1) * (hi - lo + 1)) ;
-      for p = lo to hi do
-        let jp = Array.unsafe_get m.col_idx p in
-        let vp = wi *. Array.unsafe_get m.values p in
-        for q = lo to hi do
-          let jq = Array.unsafe_get m.col_idx q in
-          if jq >= jp then begin
-            let key = (jp, jq) in
-            let prev = Option.value (Hashtbl.find_opt tbl key) ~default:0.0 in
-            Hashtbl.replace tbl key (prev +. (vp *. Array.unsafe_get m.values q))
-          end
+  let body rlo rhi =
+    let tbl : (int * int, float) Hashtbl.t = Hashtbl.create 1024 in
+    for i = rlo to rhi - 1 do
+      let wi = match weights with None -> 1.0 | Some w -> Array.unsafe_get w i in
+      if wi <> 0.0 then begin
+        let lo = m.row_ptr.(i) and hi = m.row_ptr.(i + 1) - 1 in
+        Flops.add ((hi - lo + 1) * (hi - lo + 1)) ;
+        for p = lo to hi do
+          let jp = Array.unsafe_get m.col_idx p in
+          let vp = wi *. Array.unsafe_get m.values p in
+          for q = lo to hi do
+            let jq = Array.unsafe_get m.col_idx q in
+            if jq >= jp then begin
+              let key = (jp, jq) in
+              let prev = Option.value (Hashtbl.find_opt tbl key) ~default:0.0 in
+              Hashtbl.replace tbl key (prev +. (vp *. Array.unsafe_get m.values q))
+            end
+          done
         done
-      done
-    end
-  done ;
+      end
+    done ;
+    tbl
+  in
+  let merge into tbl =
+    Hashtbl.iter
+      (fun key v ->
+        let prev = Option.value (Hashtbl.find_opt into key) ~default:0.0 in
+        Hashtbl.replace into key (prev +. v))
+      tbl ;
+    into
+  in
+  let tbl =
+    if m.rows = 0 then Hashtbl.create 1
+    else Exec.reduce (Exec.resolve exec) ~lo:0 ~hi:m.rows ~body ~combine:merge
+  in
   let triplets =
     Hashtbl.fold
       (fun (i, j) v acc ->
@@ -306,14 +374,14 @@ let crossprod_csr ?weights m =
   of_triplets ~rows:m.cols ~cols:m.cols triplets
 
 (* Aᵀ diag(w) A, dense output. *)
-let weighted_crossprod m w =
+let weighted_crossprod ?exec m w =
   if Array.length w <> m.rows then
     invalid_arg "Csr.weighted_crossprod: weight length mismatch" ;
-  weighted_crossprod_impl m (Some w)
+  weighted_crossprod_impl ?exec m (Some w)
 
 (* tcrossprod(A) = A Aᵀ as dense. Only used for the (small-n) Gram
    matrix rewrite tests; O(n² d̄). *)
-let tcrossprod m = Blas.tcrossprod (to_dense m)
+let tcrossprod ?exec m = Blas.tcrossprod ?exec (to_dense m)
 
 (* Select rows [idx.(i)] of [m]; the sparse row-gather behind K·R. *)
 let gather_rows m idx =

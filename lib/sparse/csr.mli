@@ -65,29 +65,33 @@ val row_sums_sq : t -> Dense.t
 (** Per-row sum of squares — K-Means' [rowSums(T^2)] without an
     intermediate. *)
 
-(** {1 Multiplications (dense results)} *)
+(** {1 Multiplications (dense results)}
 
-val smm : t -> Dense.t -> Dense.t
+    Like {!Blas}, the multiplication kernels run through the pluggable
+    {!Exec} engine ([?exec] overrides the process default) and produce
+    bitwise-identical results on every backend. *)
+
+val smm : ?exec:Exec.t -> t -> Dense.t -> Dense.t
 (** [smm a x] is [a·x] — the sparse LMM kernel. *)
 
-val t_smm : t -> Dense.t -> Dense.t
+val t_smm : ?exec:Exec.t -> t -> Dense.t -> Dense.t
 (** [t_smm a x] is [aᵀ·x] by scatter, without materializing [aᵀ]. *)
 
-val dense_smm : Dense.t -> t -> Dense.t
+val dense_smm : ?exec:Exec.t -> Dense.t -> t -> Dense.t
 (** [dense_smm x a] is [x·a] — the sparse RMM kernel. *)
 
-val crossprod : t -> Dense.t
+val crossprod : ?exec:Exec.t -> t -> Dense.t
 (** [aᵀ·a] as a dense d×d matrix. *)
 
-val weighted_crossprod : t -> float array -> Dense.t
+val weighted_crossprod : ?exec:Exec.t -> t -> float array -> Dense.t
 (** [aᵀ·diag(w)·a], dense output. *)
 
-val crossprod_csr : ?weights:float array -> t -> t
+val crossprod_csr : ?exec:Exec.t -> ?weights:float array -> t -> t
 (** [aᵀ·diag(w)·a] with a *sparse* result (O(Σ nnz_row²) stored
     entries): the form to use when d is too large for a dense d×d
     output, e.g. wide one-hot feature matrices. *)
 
-val tcrossprod : t -> Dense.t
+val tcrossprod : ?exec:Exec.t -> t -> Dense.t
 (** [a·aᵀ], dense output (Gram-matrix rewrites only). *)
 
 val col_scatter : t -> mapping:int array -> ncols:int -> Dense.t

@@ -57,32 +57,33 @@ let row_sums_sq = function
   | S c -> Csr.row_sums_sq c
 
 (* ---- multiplications; results of LMM/RMM/crossprod are regular dense
-   matrices, mirroring Table 1's output types ---- *)
+   matrices, mirroring Table 1's output types. [?exec] flows through to
+   the Blas/Csr kernels ---- *)
 
 (* M * X (LMM direction) for dense X. *)
-let mm m x =
-  match m with D d -> Blas.gemm d x | S c -> Csr.smm c x
+let mm ?exec m x =
+  match m with D d -> Blas.gemm ?exec d x | S c -> Csr.smm ?exec c x
 
 (* Mᵀ * X for dense X. *)
-let tmm m x =
-  match m with D d -> Blas.tgemm d x | S c -> Csr.t_smm c x
+let tmm ?exec m x =
+  match m with D d -> Blas.tgemm ?exec d x | S c -> Csr.t_smm ?exec c x
 
 (* X * M (RMM direction) for dense X. *)
-let mm_left x m =
-  match m with D d -> Blas.gemm x d | S c -> Csr.dense_smm x c
+let mm_left ?exec x m =
+  match m with D d -> Blas.gemm ?exec x d | S c -> Csr.dense_smm ?exec x c
 
-let crossprod = function
-  | D d -> Blas.crossprod d
-  | S c -> Csr.crossprod c
+let crossprod ?exec = function
+  | D d -> Blas.crossprod ?exec d
+  | S c -> Csr.crossprod ?exec c
 
-let weighted_crossprod m w =
+let weighted_crossprod ?exec m w =
   match m with
-  | D d -> Blas.weighted_crossprod d w
-  | S c -> Csr.weighted_crossprod c w
+  | D d -> Blas.weighted_crossprod ?exec d w
+  | S c -> Csr.weighted_crossprod ?exec c w
 
-let tcrossprod = function
-  | D d -> Blas.tcrossprod d
-  | S c -> Csr.tcrossprod c
+let tcrossprod ?exec = function
+  | D d -> Blas.tcrossprod ?exec d
+  | S c -> Csr.tcrossprod ?exec c
 
 let transpose = function
   | D d -> D (Dense.transpose d)

@@ -48,20 +48,22 @@ val sum : t -> float
 val row_sums_sq : t -> Dense.t
 (** [rowSums(T²)] without the squared intermediate when sparse. *)
 
-(** {1 Multiplications (regular dense results, as in Table 1)} *)
+(** {1 Multiplications (regular dense results, as in Table 1)}
 
-val mm : t -> Dense.t -> Dense.t
+    [?exec] flows through to the underlying {!Blas}/{!Csr} kernels. *)
+
+val mm : ?exec:Exec.t -> t -> Dense.t -> Dense.t
 (** [mm m x] is [m·x] (the LMM direction). *)
 
-val tmm : t -> Dense.t -> Dense.t
+val tmm : ?exec:Exec.t -> t -> Dense.t -> Dense.t
 (** [tmm m x] is [mᵀ·x]. *)
 
-val mm_left : Dense.t -> t -> Dense.t
+val mm_left : ?exec:Exec.t -> Dense.t -> t -> Dense.t
 (** [mm_left x m] is [x·m] (the RMM direction). *)
 
-val crossprod : t -> Dense.t
-val weighted_crossprod : t -> float array -> Dense.t
-val tcrossprod : t -> Dense.t
+val crossprod : ?exec:Exec.t -> t -> Dense.t
+val weighted_crossprod : ?exec:Exec.t -> t -> float array -> Dense.t
+val tcrossprod : ?exec:Exec.t -> t -> Dense.t
 
 val transpose : t -> t
 

@@ -2,7 +2,11 @@
    of repeated runs, which is enough to read off the speed-up *ratios*
    the paper reports. *)
 
-let now () = Unix.gettimeofday ()
+(* Monotonic clock (bechamel's CLOCK_MONOTONIC binding, nanoseconds
+   since an arbitrary epoch): immune to NTP slews and wall-clock steps
+   that made Unix.gettimeofday occasionally report negative or wildly
+   wrong durations. Only differences of [now] are meaningful. *)
+let now () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
 
 (* Wall-clock seconds of one run of [f], plus its result. A full major
    collection runs first so that garbage left over from previous

@@ -3,6 +3,8 @@
     paper reports. *)
 
 val now : unit -> float
+(** Monotonic seconds since an arbitrary epoch (CLOCK_MONOTONIC).
+    Use only differences; never compare against calendar time. *)
 
 val time : (unit -> 'a) -> 'a * float
 (** One run's result and wall-clock seconds. A full major collection

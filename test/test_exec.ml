@@ -1,0 +1,277 @@
+(* Tests for the execution engine: the domain pool, the Exec
+   combinators, and the contract the whole kernel stack is built on —
+   the parallel backend is bitwise-identical to the sequential one, at
+   any domain count, including the flop counters. *)
+
+open La
+open Sparse
+open Morpheus
+
+let check_bitwise msg a b =
+  if Dense.to_arrays a <> Dense.to_arrays b then
+    Alcotest.failf "%s: backends differ (max|diff| = %g)" msg
+      (Dense.max_abs_diff a b)
+
+let check_farray_bitwise msg (a : float array) b =
+  Alcotest.(check bool) msg true (a = b)
+
+let rng () = Rng.of_int 2718
+
+(* Fresh 4-domain backend per test; shut down afterwards so parked
+   worker domains never outlive a test. *)
+let with_par4 f =
+  let e = Exec.make 4 in
+  Fun.protect ~finally:(fun () -> Exec.shutdown e) (fun () -> f e)
+
+(* ---- pool ---- *)
+
+let test_pool_runs_every_task () =
+  let pool = Pool.create 3 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      Alcotest.(check int) "size" 3 (Pool.size pool) ;
+      let hits = Array.make 100 0 in
+      Pool.run pool ~njobs:100 (fun i -> hits.(i) <- hits.(i) + 1) ;
+      Alcotest.(check bool) "each task ran once" true
+        (Array.for_all (( = ) 1) hits) ;
+      (* the pool is reusable for a second batch *)
+      Pool.run pool ~njobs:100 (fun i -> hits.(i) <- hits.(i) + 1) ;
+      Alcotest.(check bool) "second batch" true (Array.for_all (( = ) 2) hits))
+
+let test_pool_propagates_exceptions () =
+  let pool = Pool.create 2 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      Alcotest.check_raises "task failure reaches the caller"
+        (Failure "task 5") (fun () ->
+          Pool.run pool ~njobs:16 (fun i ->
+              if i = 5 then failwith "task 5")) ;
+      (* a failed batch must not poison the pool *)
+      let ok = ref 0 in
+      Pool.run pool ~njobs:8 (fun _ -> incr ok) ;
+      Alcotest.(check int) "pool survives a failure" 8 !ok)
+
+let test_pool_shutdown_idempotent () =
+  let pool = Pool.create 2 in
+  Pool.run pool ~njobs:4 (fun _ -> ()) ;
+  Pool.shutdown pool ;
+  Pool.shutdown pool
+
+(* ---- combinators ---- *)
+
+let test_parallel_for_partitions () =
+  with_par4 (fun e ->
+      let hits = Array.make 10_000 0 in
+      Exec.parallel_for ~min_chunk:16 e ~lo:0 ~hi:10_000 (fun lo hi ->
+          for i = lo to hi - 1 do
+            hits.(i) <- hits.(i) + 1
+          done) ;
+      Alcotest.(check bool) "disjoint cover" true (Array.for_all (( = ) 1) hits) ;
+      (* empty range: body never runs *)
+      Exec.parallel_for e ~lo:3 ~hi:3 (fun _ _ -> Alcotest.fail "ran on empty"))
+
+let test_reduce_canonical_grid () =
+  let v = Array.init 10_000 (fun i -> sin (float_of_int i)) in
+  let sum lo hi =
+    let s = ref 0.0 in
+    for i = lo to hi - 1 do
+      s := !s +. v.(i)
+    done ;
+    !s
+  in
+  let on e = Exec.reduce ~grain:64 e ~lo:0 ~hi:10_000 ~body:sum ~combine:( +. ) in
+  with_par4 (fun e ->
+      Alcotest.(check (float 0.0)) "same grid, same float ops" (on Exec.seq) (on e)) ;
+  Alcotest.check_raises "empty range"
+    (Invalid_argument "Exec.reduce: empty range") (fun () ->
+      ignore (Exec.reduce Exec.seq ~lo:0 ~hi:0 ~body:sum ~combine:( +. )))
+
+let test_make_and_name () =
+  Alcotest.(check string) "make 1 is seq" "seq" (Exec.name (Exec.make 1)) ;
+  Alcotest.(check string) "make 0 is seq" "seq" (Exec.name (Exec.make 0)) ;
+  let e = Exec.make 4 in
+  Alcotest.(check string) "par name" "par:4" (Exec.name e) ;
+  Alcotest.(check int) "domains" 4 (Exec.domains e) ;
+  Alcotest.check_raises "par 0 rejected"
+    (Invalid_argument "Exec.par: domains must be >= 1") (fun () ->
+      ignore (Exec.par ~domains:0))
+
+let test_exception_escapes_parallel_for () =
+  with_par4 (fun e ->
+      Alcotest.check_raises "body exception propagates" (Failure "body")
+        (fun () ->
+          Exec.parallel_for ~min_chunk:1 e ~lo:0 ~hi:64 (fun lo _ ->
+              if lo = 0 then failwith "body")))
+
+let test_shutdown_then_reuse () =
+  let e = Exec.make 4 in
+  let a = Dense.random ~rng:(rng ()) 500 30 in
+  let before = Blas.crossprod ~exec:e a in
+  Exec.shutdown e ;
+  (* the pool restarts lazily on next use *)
+  let after = Blas.crossprod ~exec:e a in
+  Exec.shutdown e ;
+  check_bitwise "restart preserves results" before after
+
+(* ---- bitwise determinism: dense kernels ---- *)
+
+(* Sizes chosen so every kernel's range really splits into several
+   chunks (parallel_for: len/min_chunk > 1; reduce: len > 2048). *)
+let test_dense_kernels_bitwise () =
+  let g = rng () in
+  let a = Dense.random ~rng:g 5_000 40 in
+  let b = Dense.random ~rng:g 40 7 in
+  let p = Dense.random ~rng:g 5_000 3 in
+  let w = Array.init 5_000 (fun i -> float_of_int (1 + (i mod 5))) in
+  let v = Array.init 40 (fun i -> cos (float_of_int i)) in
+  let narrow = Dense.random ~rng:g 300 40 in
+  with_par4 (fun e ->
+      check_bitwise "gemm" (Blas.gemm ~exec:Exec.seq a b) (Blas.gemm ~exec:e a b) ;
+      check_bitwise "tgemm" (Blas.tgemm ~exec:Exec.seq a p)
+        (Blas.tgemm ~exec:e a p) ;
+      check_bitwise "gemm_nt"
+        (Blas.gemm_nt ~exec:Exec.seq narrow a)
+        (Blas.gemm_nt ~exec:e narrow a) ;
+      check_bitwise "crossprod" (Blas.crossprod ~exec:Exec.seq a)
+        (Blas.crossprod ~exec:e a) ;
+      check_bitwise "weighted_crossprod"
+        (Blas.weighted_crossprod ~exec:Exec.seq a w)
+        (Blas.weighted_crossprod ~exec:e a w) ;
+      check_bitwise "tcrossprod"
+        (Blas.tcrossprod ~exec:Exec.seq narrow)
+        (Blas.tcrossprod ~exec:e narrow) ;
+      check_farray_bitwise "gemv" (Blas.gemv ~exec:Exec.seq a v)
+        (Blas.gemv ~exec:e a v))
+
+(* ---- bitwise determinism: sparse kernels ---- *)
+
+let test_sparse_kernels_bitwise () =
+  let g = rng () in
+  let c =
+    match Mat.random_sparse ~rng:g ~density:0.1 5_000 40 with
+    | Mat.S c -> c
+    | Mat.D _ -> Alcotest.fail "expected sparse"
+  in
+  let x = Dense.random ~rng:g 40 6 in
+  let p = Dense.random ~rng:g 5_000 3 in
+  let y = Dense.random ~rng:g 300 5_000 in
+  let w = Array.init 5_000 (fun i -> float_of_int (1 + (i mod 4))) in
+  with_par4 (fun e ->
+      check_bitwise "smm" (Csr.smm ~exec:Exec.seq c x) (Csr.smm ~exec:e c x) ;
+      check_bitwise "t_smm" (Csr.t_smm ~exec:Exec.seq c p)
+        (Csr.t_smm ~exec:e c p) ;
+      check_bitwise "dense_smm"
+        (Csr.dense_smm ~exec:Exec.seq y c)
+        (Csr.dense_smm ~exec:e y c) ;
+      check_bitwise "crossprod" (Csr.crossprod ~exec:Exec.seq c)
+        (Csr.crossprod ~exec:e c) ;
+      check_bitwise "weighted_crossprod"
+        (Csr.weighted_crossprod ~exec:Exec.seq c w)
+        (Csr.weighted_crossprod ~exec:e c w) ;
+      check_bitwise "crossprod_csr"
+        (Csr.to_dense (Csr.crossprod_csr ~exec:Exec.seq c))
+        (Csr.to_dense (Csr.crossprod_csr ~exec:e c)) ;
+      check_bitwise "crossprod_csr weighted"
+        (Csr.to_dense (Csr.crossprod_csr ~exec:Exec.seq ~weights:w c))
+        (Csr.to_dense (Csr.crossprod_csr ~exec:e ~weights:w c)))
+
+(* ---- bitwise determinism: rewrites through the default backend ---- *)
+
+let pkfk_case () =
+  let g = rng () in
+  let ns = 4_000 and nr = 40 and ds = 6 and dr = 8 in
+  let s = Dense.random ~rng:g ns ds in
+  let r = Dense.random ~rng:g nr dr in
+  let k = Indicator.random ~rng:g ~rows:ns ~cols:nr () in
+  Normalized.pkfk ~s:(Mat.of_dense s) ~k ~r:(Mat.of_dense r)
+
+(* The rewrite layer has no [?exec]: it reaches the backend through the
+   process default, exactly as the Data_matrix functors do. *)
+let with_default e f =
+  Exec.set_default e ;
+  Fun.protect ~finally:(fun () -> Exec.set_default Exec.seq) f
+
+let test_rewrites_bitwise_via_default () =
+  let t = pkfk_case () in
+  let x = Dense.random ~rng:(Rng.of_int 5) (Normalized.cols t) 2 in
+  let p = Dense.random ~rng:(Rng.of_int 6) (Normalized.rows t) 2 in
+  with_par4 (fun e ->
+      let seq_lmm = with_default Exec.seq (fun () -> Rewrite.lmm t x) in
+      let seq_tlmm = with_default Exec.seq (fun () -> Rewrite.tlmm t p) in
+      let seq_cp = with_default Exec.seq (fun () -> Rewrite.crossprod t) in
+      check_bitwise "Rewrite.lmm" seq_lmm
+        (with_default e (fun () -> Rewrite.lmm t x)) ;
+      check_bitwise "Rewrite.tlmm" seq_tlmm
+        (with_default e (fun () -> Rewrite.tlmm t p)) ;
+      check_bitwise "Rewrite.crossprod" seq_cp
+        (with_default e (fun () -> Rewrite.crossprod t)))
+
+(* ---- flop counters ---- *)
+
+let test_flops_match_across_backends () =
+  let a = Dense.random ~rng:(rng ()) 5_000 40 in
+  let b = Dense.random ~rng:(rng ()) 40 7 in
+  with_par4 (fun e ->
+      let flops exec =
+        Flops.reset () ;
+        ignore (Blas.gemm ~exec a b) ;
+        ignore (Blas.crossprod ~exec a) ;
+        Flops.get ()
+      in
+      let fs = flops Exec.seq in
+      Alcotest.(check (float 0.0)) "flops backend-independent" fs (flops e) ;
+      Alcotest.(check bool) "flops nonzero" true (fs > 0.0))
+
+(* qcheck: any shape, gemm is bitwise-identical and flop-identical
+   across backends. *)
+let prop_gemm_backends =
+  QCheck.Test.make ~count:25
+    ~name:"qcheck: gemm par = gemm seq (values and flops), any shape"
+    QCheck.(triple (int_range 1 400) (int_range 1 30) (int_range 1 8))
+    (fun (n, d, k) ->
+      let g = Rng.of_int ((n * 31) + (d * 7) + k) in
+      let a = Dense.random ~rng:g n d in
+      let b = Dense.random ~rng:g d k in
+      let e = Exec.make 4 in
+      Fun.protect
+        ~finally:(fun () -> Exec.shutdown e)
+        (fun () ->
+          Flops.reset () ;
+          let cs = Blas.gemm ~exec:Exec.seq a b in
+          let fs = Flops.get () in
+          Flops.reset () ;
+          let cp = Blas.gemm ~exec:e a b in
+          let fp = Flops.get () in
+          Dense.to_arrays cs = Dense.to_arrays cp && fs = fp))
+
+let () =
+  Alcotest.run "exec"
+    [ ( "pool",
+        [ Alcotest.test_case "runs every task" `Quick test_pool_runs_every_task;
+          Alcotest.test_case "propagates exceptions" `Quick
+            test_pool_propagates_exceptions;
+          Alcotest.test_case "shutdown idempotent" `Quick
+            test_pool_shutdown_idempotent ] );
+      ( "combinators",
+        [ Alcotest.test_case "parallel_for partitions" `Quick
+            test_parallel_for_partitions;
+          Alcotest.test_case "reduce canonical grid" `Quick
+            test_reduce_canonical_grid;
+          Alcotest.test_case "make / name" `Quick test_make_and_name;
+          Alcotest.test_case "exceptions escape" `Quick
+            test_exception_escapes_parallel_for;
+          Alcotest.test_case "shutdown then reuse" `Quick
+            test_shutdown_then_reuse ] );
+      ( "determinism",
+        [ Alcotest.test_case "dense kernels bitwise" `Quick
+            test_dense_kernels_bitwise;
+          Alcotest.test_case "sparse kernels bitwise" `Quick
+            test_sparse_kernels_bitwise;
+          Alcotest.test_case "rewrites via default backend" `Quick
+            test_rewrites_bitwise_via_default ] );
+      ( "flops",
+        [ Alcotest.test_case "backend-independent" `Quick
+            test_flops_match_across_backends;
+          QCheck_alcotest.to_alcotest prop_gemm_backends ] ) ]

