@@ -69,7 +69,7 @@ let run cfg =
     let y =
       Dense.init (Normalized.rows t) 1 (fun i _ -> if i mod 2 = 0 then 1.0 else -1.0)
     in
-    let m = Materialize.to_mat t in
+    let m = Materialize.to_regular t in
     let t_m =
       Timing.measure ~runs:cfg.Harness.runs (fun () ->
           ignore (Materialized.Logreg.train ~alpha:1e-4 ~iters:3 m y))
@@ -152,7 +152,7 @@ let run cfg =
         List.iteri
           (fun f _ ->
             let (t_train, y_train), _ = Ml_algs.Model_selection.split t y folds f in
-            let m_train = Mat.of_dense (Materialize.to_dense t_train) in
+            let m_train = Regular_matrix.of_dense (Materialize.to_dense t_train) in
             ignore (MLreg.train_gd ~alpha:1e-6 ~iters:3 m_train y_train))
           folds)
   in

@@ -5,7 +5,6 @@
    of centroids/topics, exactly the axes of the paper's plots. *)
 
 open La
-open Sparse
 open Morpheus
 open Ml_algs.Algorithms
 open Workload
@@ -16,7 +15,7 @@ let base_nr cfg = if cfg.Harness.quick then 500 else 2_000
 type algo = {
   name : string;
   fact : iters:int -> Normalized.t -> Dense.t -> Dense.t -> unit;
-  mat : iters:int -> Mat.t -> Dense.t -> Dense.t -> unit;
+  mat : iters:int -> Regular_matrix.t -> Dense.t -> Dense.t -> unit;
 }
 
 let algos =
@@ -38,7 +37,7 @@ let algos =
 
 let bench_case cfg algo ~iters (d : Synthetic.pkfk) =
   let t = d.Synthetic.t in
-  let m = Materialize.to_mat t in
+  let m = Materialize.to_regular t in
   let y = d.Synthetic.y and yn = d.Synthetic.y_numeric in
   Harness.time_fm cfg
     ~f:(fun () -> algo.fact ~iters t y yn)
@@ -87,7 +86,7 @@ let run_centroids_topics cfg =
   Harness.section "Figure 5(c2,d2): K-Means vs #centroids, GNMF vs #topics (TR=10, FR=4)" ;
   let d = Synthetic.table4_tuple_ratio ~base:(base_nr cfg) ~tr:10 ~fr:4.0 () in
   let t = d.Synthetic.t in
-  let m = Materialize.to_mat t in
+  let m = Materialize.to_regular t in
   let it = iters cfg in
   Harness.subsection "K-Means" ;
   Printf.printf "%10s %12s %12s %9s\n" "centroids" "M" "F" "speedup" ;

@@ -56,3 +56,25 @@ let ts s =
   if s < 1e-3 then Printf.sprintf "%.1fus" (s *. 1e6)
   else if s < 1.0 then Printf.sprintf "%.2fms" (s *. 1e3)
   else Printf.sprintf "%.2fs" s
+
+(* ---- allocation columns (the memo/in-place bench) ---- *)
+
+(* Word counts rendered like times: per-iteration minor/major heap
+   words, scaled to k/M for readability. *)
+let words w =
+  if w < 1e3 then Printf.sprintf "%.0fw" w
+  else if w < 1e6 then Printf.sprintf "%.1fkw" (w /. 1e3)
+  else Printf.sprintf "%.2fMw" (w /. 1e6)
+
+(* Time + allocation of [f], respecting the config's run count. *)
+let measure_alloc cfg f = Timing.measure_alloc ~warmup:1 ~runs:cfg.runs f
+
+let alloc_header () =
+  Printf.printf "%-28s %10s %10s %10s %10s\n" "variant" "time" "minor"
+    "major" "promoted"
+
+let alloc_row name (a : Timing.alloc) =
+  Printf.printf "%-28s %10s %10s %10s %10s\n" name (ts a.Timing.seconds)
+    (words a.Timing.minor_words)
+    (words a.Timing.major_words)
+    (words a.Timing.promoted_words)

@@ -36,6 +36,8 @@ let experiments : (string * string * (Harness.config -> unit)) list =
     ("ablate", "Ablations: crossprod method, LMM order, kernels, policy", Ablate.run);
     ("scaling", "Parallel scaling: Exec domains vs wall-clock, JSON report",
      Scaling.run);
+    ("memo", "Memoization + in-place kernels: per-iteration time/alloc, JSON report",
+     Memo_bench.run);
     ("micro", "Bechamel micro-suite (one Test.make per experiment family)", Micro.run) ]
 
 let usage () =
@@ -76,6 +78,11 @@ let () =
   Printf.printf "Morpheus bench harness — %s mode, %d timed runs per measurement\n"
     (if !cfg.Harness.quick then "quick" else "full")
     !cfg.Harness.runs ;
+  (* The paper benches time repeated applications of one operator on one
+     matrix; with the memo layer on, warmup would populate the caches and
+     the measured runs would see hits instead of kernels. Off globally;
+     the memo bench re-enables it for its "after" arm. *)
+  La.Memo.set_enabled false ;
   let t0 = Workload.Timing.now () in
   List.iter
     (fun name ->

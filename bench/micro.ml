@@ -36,7 +36,7 @@ let make_tests cfg =
     Test.make ~name:"fig4/mn-lmm:M" (stage (fun () -> ignore (Mat.mm mmn xm)));
     Test.make ~name:"fig4/mn-lmm:F" (stage (fun () -> ignore (Rewrite.lmm tmn xm)));
     Test.make ~name:"fig5/logreg-iter:M"
-      (stage (fun () -> ignore (ML.train ~alpha:1e-4 ~iters:1 m y)));
+      (stage (fun () -> ignore (ML.train ~alpha:1e-4 ~iters:1 (Regular_matrix.of_mat m) y)));
     Test.make ~name:"fig5/logreg-iter:F"
       (stage (fun () -> ignore (FL.train ~alpha:1e-4 ~iters:1 t y)));
     Test.make ~name:"tab3/rowsums:M" (stage (fun () -> ignore (Mat.row_sums m)));

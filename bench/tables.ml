@@ -34,7 +34,7 @@ let run_table7 cfg =
   List.iter
     (fun spec ->
       let t, y, yn = Realistic.load ~scale_rows ~scale_cols spec in
-      let m = Materialize.to_mat t in
+      let m = Materialize.to_regular t in
       let cell fact mat =
         let tf, tm = Harness.time_fm cfg ~f:fact ~m:mat in
         (tm, tm /. tf)
@@ -79,7 +79,7 @@ let run_table7_full cfg =
   List.iter
     (fun spec ->
       let t, y, _ = Realistic.load ~scale_rows:1.0 ~scale_cols:1.0 spec in
-      let m = Materialize.to_mat t in
+      let m = Materialize.to_regular t in
       let t_f =
         Timing.measure ~warmup:0 ~runs:1 (fun () ->
             ignore (Factorized.Logreg.train ~alpha:1e-4 ~iters t y))
@@ -114,7 +114,7 @@ let run_table8 cfg =
         | Some s, [ p ] -> (Mat.dense s, p.Normalized.ind, Mat.dense p.Normalized.mat)
         | _ -> assert false
       in
-      let m = Materialize.to_mat t in
+      let m = Materialize.to_regular t in
       let t_m =
         Timing.measure ~warmup:1 ~runs:cfg.Harness.runs (fun () ->
             ignore (Materialized.Logreg.train ~alpha:1e-4 ~iters m y))
@@ -162,7 +162,7 @@ let run_table12 cfg =
         Timing.measure ~warmup:1 ~runs:cfg.Harness.runs (fun () ->
             ignore (Materialize.to_mat t))
       in
-      let m = Materialize.to_mat t in
+      let m = Materialize.to_regular t in
       let log_m =
         Timing.measure ~warmup:1 ~runs:cfg.Harness.runs (fun () ->
             ignore (Materialized.Logreg.train ~alpha:1e-4 ~iters:it m y))

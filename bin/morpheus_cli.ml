@@ -177,7 +177,7 @@ let train dir fk pk target nominal sparse threads algo path iters alpha k rank =
     | Gnmf_a -> (F.Gnmf.train ~iters ~rank t).F.Gnmf.h
   in
   let mat () : Dense.t =
-    let m = Materialize.to_mat t in
+    let m = Materialize.to_regular t in
     match algo with
     | Logreg_a -> (M.Logreg.train ~alpha ~iters m y).M.Logreg.w
     | Linreg_a -> M.Linreg.train_gd ~alpha ~iters m y

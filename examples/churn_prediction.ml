@@ -102,7 +102,8 @@ let () =
     Workload.Timing.time (fun () -> F.train ~alpha:1e-5 ~iters:30 t y)
   in
   let model_m, dt_m =
-    Workload.Timing.time (fun () -> M.train ~alpha:1e-5 ~iters:30 t_mat y)
+    Workload.Timing.time (fun () ->
+        M.train ~alpha:1e-5 ~iters:30 (Regular_matrix.of_mat t_mat) y)
   in
   Fmt.pr "materialized: join %a + train %a@." Workload.Timing.pp_seconds prep_m
     Workload.Timing.pp_seconds dt_m ;

@@ -92,7 +92,8 @@ let () =
     Workload.Timing.time (fun () -> F.train ~alpha:1e-6 ~iters:10 t y)
   in
   let model_m, dt_m =
-    Workload.Timing.time (fun () -> M.train ~alpha:1e-6 ~iters:10 t_mat y)
+    Workload.Timing.time (fun () ->
+        M.train ~alpha:1e-6 ~iters:10 (Regular_matrix.of_mat t_mat) y)
   in
   Fmt.pr "@.logistic regression over the join output (10 iterations):@." ;
   Fmt.pr "  materialized %a | factorized %a | speed-up %.1fx@."

@@ -44,7 +44,8 @@ let () =
     Workload.Timing.time (fun () -> F.train ~alpha:1e-4 ~iters:10 t y)
   in
   let (model_m, dt_m) =
-    Workload.Timing.time (fun () -> M.train ~alpha:1e-4 ~iters:10 t_mat y)
+    Workload.Timing.time (fun () ->
+        M.train ~alpha:1e-4 ~iters:10 (Regular_matrix.of_mat t_mat) y)
   in
   Fmt.pr "logistic regression, 10 iterations:@." ;
   Fmt.pr "  materialized: %a@." Workload.Timing.pp_seconds dt_m ;

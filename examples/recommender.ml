@@ -27,7 +27,7 @@ let () =
   let module FG = Ml_algs.Gnmf.Make (Factorized_matrix) in
   let module MG = Ml_algs.Gnmf.Make (Regular_matrix) in
 
-  let t_mat = Materialize.to_mat t in
+  let t_mat = Materialize.to_regular t in
 
   (* ---- K-Means: segment the ratings by their joined features ---- *)
   let k = 10 in

@@ -2,58 +2,88 @@
    (§3.7 / §5.1) once at construction, and either keep the normalized
    matrix (factorized operators) or materialize T up front (standard
    operators). This mirrors Figure 1(c)'s "heuristic decision rule"
-   stage sitting in front of the rewrite rules. *)
+   stage sitting in front of the rewrite rules.
 
-open La
+   The materialized arm holds a {!Regular_matrix.t} — the wrapper with
+   per-instance invariant cells — so both routes of the rule share the
+   memoization layer. *)
+
 open Sparse
 
 type t =
   | Fact of Normalized.t
-  | Reg of Mat.t
+  | Reg of Regular_matrix.t
 
 let of_normalized ?tau ?rho nm =
   match Decision.heuristic ?tau ?rho nm with
   | Decision.Factorized -> Fact nm
-  | Decision.Materialized -> Reg (Materialize.to_mat nm)
+  | Decision.Materialized -> Reg (Materialize.to_regular nm)
 
 (* Force one path regardless of the rule (used by benches). *)
 let factorized nm = Fact nm
-let materialized nm = Reg (Materialize.to_mat nm)
+let materialized nm = Reg (Materialize.to_regular nm)
 
 let choice = function Fact _ -> Decision.Factorized | Reg _ -> Decision.Materialized
 
-let lift ff fr = function Fact n -> ff n | Reg m -> fr m
+(* The public dispatcher stays keyed on the raw Mat.t so existing custom
+   operations keep working; internal operators below dispatch on the
+   wrapper instead to keep its memo. *)
+let lift ff fr = function Fact n -> ff n | Reg r -> fr (Regular_matrix.to_mat r)
 
 let rows = lift Normalized.rows Mat.rows
 let cols = lift Normalized.cols Mat.cols
 
 let scale x = function
   | Fact n -> Fact (Rewrite.scale x n)
-  | Reg m -> Reg (Mat.scale x m)
+  | Reg r -> Reg (Regular_matrix.scale x r)
 
 let add_scalar x = function
   | Fact n -> Fact (Rewrite.add_scalar x n)
-  | Reg m -> Reg (Mat.add_scalar x m)
+  | Reg r -> Reg (Regular_matrix.add_scalar x r)
 
 let pow t p =
   match t with
   | Fact n -> Fact (Rewrite.pow n p)
-  | Reg m -> Reg (Mat.pow p m)
+  | Reg r -> Reg (Regular_matrix.pow r p)
 
 let map_scalar f = function
   | Fact n -> Fact (Rewrite.map_scalar f n)
-  | Reg m -> Reg (Mat.map_scalar f m)
+  | Reg r -> Reg (Regular_matrix.map_scalar f r)
 
-let row_sums = lift Rewrite.row_sums Mat.row_sums
-let col_sums = lift Rewrite.col_sums Mat.col_sums
-let sum = lift Rewrite.sum Mat.sum
+let select_rows t idx =
+  match t with
+  | Fact n -> Fact (Normalized.select_rows n idx)
+  | Reg r -> Reg (Regular_matrix.select_rows r idx)
 
-let lmm t x = lift (fun n -> Rewrite.lmm n x) (fun m -> Mat.mm m x) t
-let rmm x t = lift (fun n -> Rewrite.rmm x n) (fun m -> Mat.mm_left x m) t
-let tlmm t x = lift (fun n -> Rewrite.tlmm n x) (fun m -> Mat.tmm m x) t
-let crossprod = lift Rewrite.crossprod Mat.crossprod
-let ginv = lift Rewrite.ginv (fun m -> Linalg.ginv (Mat.dense m))
+let row_sums = function
+  | Fact n -> Rewrite.row_sums n
+  | Reg r -> Regular_matrix.row_sums r
+
+let col_sums = function
+  | Fact n -> Rewrite.col_sums n
+  | Reg r -> Regular_matrix.col_sums r
+
+let sum = function Fact n -> Rewrite.sum n | Reg r -> Regular_matrix.sum r
+
+let row_sums_sq = function
+  | Fact n -> Rewrite.row_sums_sq n
+  | Reg r -> Regular_matrix.row_sums_sq r
+
+let lmm t x =
+  match t with Fact n -> Rewrite.lmm n x | Reg r -> Regular_matrix.lmm r x
+
+let rmm x t =
+  match t with Fact n -> Rewrite.rmm x n | Reg r -> Regular_matrix.rmm x r
+
+let tlmm t x =
+  match t with Fact n -> Rewrite.tlmm n x | Reg r -> Regular_matrix.tlmm r x
+
+let crossprod = function
+  | Fact n -> Rewrite.crossprod n
+  | Reg r -> Regular_matrix.crossprod r
+
+let ginv = function Fact n -> Rewrite.ginv n | Reg r -> Regular_matrix.ginv r
 
 let describe = function
   | Fact n -> Fmt.str "adaptive->factorized: %a" Normalized.pp n
-  | Reg m -> Fmt.str "adaptive->materialized: %a" Mat.pp m
+  | Reg r -> Fmt.str "adaptive->materialized: %s" (Regular_matrix.describe r)

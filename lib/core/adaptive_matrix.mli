@@ -29,9 +29,11 @@ val scale : float -> t -> t
 val add_scalar : float -> t -> t
 val pow : t -> float -> t
 val map_scalar : (float -> float) -> t -> t
+val select_rows : t -> int array -> t
 val row_sums : t -> Dense.t
 val col_sums : t -> Dense.t
 val sum : t -> float
+val row_sums_sq : t -> Dense.t
 val lmm : t -> Dense.t -> Dense.t
 val rmm : Dense.t -> t -> Dense.t
 val tlmm : t -> Dense.t -> Dense.t
@@ -40,4 +42,6 @@ val ginv : t -> Dense.t
 val describe : t -> string
 
 val lift : (Normalized.t -> 'a) -> (Mat.t -> 'a) -> t -> 'a
-(** Dispatch a custom operation on whichever representation is held. *)
+(** Dispatch a custom operation on whichever representation is held.
+    The materialized arm is unwrapped to its raw {!Mat.t} — custom
+    operations bypass (but cannot corrupt) the memoized wrapper. *)

@@ -22,10 +22,19 @@ module type S = sig
   val pow : t -> float -> t
   val map_scalar : (float -> float) -> t -> t
 
-  (* aggregations *)
+  (* row selection: T[idx, ] as the same logical matrix type, so
+     mini-batches, folds, and K-Means' seed rows stay factorized *)
+  val select_rows : t -> int array -> t
+
+  (* aggregations — memoized per matrix instance where the
+     representation allows it (repeat calls cost zero flops) *)
   val row_sums : t -> Dense.t (* n×1 *)
   val col_sums : t -> Dense.t (* 1×d *)
   val sum : t -> float
+
+  val row_sums_sq : t -> Dense.t
+  (* rowSums(T²) as n×1 without materializing T²: the loop-invariant
+     half of K-Means' distances, factorized per Rewrite.row_sums_sq *)
 
   (* multiplications: outputs are regular matrices *)
   val lmm : t -> Dense.t -> Dense.t (* T·X *)

@@ -12,9 +12,12 @@ let add_scalar = Rewrite.add_scalar
 let pow = Rewrite.pow
 let map_scalar = Rewrite.map_scalar
 
+let select_rows = Normalized.select_rows
+
 let row_sums = Rewrite.row_sums
 let col_sums = Rewrite.col_sums
 let sum = Rewrite.sum
+let row_sums_sq = Rewrite.row_sums_sq
 
 let lmm = Rewrite.lmm
 let rmm = Rewrite.rmm

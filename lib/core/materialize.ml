@@ -22,3 +22,7 @@ let to_mat t =
   if Normalized.is_transposed t then Mat.transpose m else m
 
 let to_dense t = Mat.dense (to_mat t)
+
+(* The materialized T as the memoizing Data_matrix wrapper — what the
+   baseline "M" path of benches and the adaptive rule execute on. *)
+let to_regular t = Regular_matrix.of_mat (to_mat t)

@@ -14,3 +14,7 @@ val to_mat : Normalized.t -> Mat.t
     matrices are sparse. *)
 
 val to_dense : Normalized.t -> Dense.t
+
+val to_regular : Normalized.t -> Regular_matrix.t
+(** [to_mat] wrapped as the memoizing {!Regular_matrix.t} — the form the
+    ML functors' baseline path consumes. *)

@@ -26,8 +26,36 @@ type body = {
   parts : part list; (* attribute parts, in column order *)
 }
 
-type t = { body : body; trans : bool }
+(* Memoized loop-invariant quantities (one lazy cell per operation).
+   Every cell stores the result for the NON-transposed body — the
+   public operators in {!Rewrite} dispatch on the transpose flag before
+   touching a cell — so [Rewrite.transpose], which only flips the flag,
+   can share the memo of its argument: crossprod(T) computed through
+   [transpose (transpose t)] still hits the cache of [t]. Structural
+   edits ([map_mats], [select_rows]) build fresh cells because they
+   produce a different logical matrix. *)
+type memo = {
+  mc_crossprod : La.Dense.t La.Memo.cell; (* crossprod(T) = TᵀT, d×d *)
+  mc_gram : La.Dense.t La.Memo.cell; (* crossprod(Tᵀ) = TTᵀ, n×n *)
+  mc_row_sums : La.Dense.t La.Memo.cell; (* rowSums(T), n×1 *)
+  mc_col_sums : La.Dense.t La.Memo.cell; (* colSums(T), 1×d *)
+  mc_sum : float La.Memo.cell; (* sum(T) *)
+  mc_row_sums_sq : La.Dense.t La.Memo.cell; (* rowSums(T²), n×1 *)
+  mc_col_sums_sq : La.Dense.t La.Memo.cell; (* colSums(T²), 1×d *)
+}
 
+let fresh_memo () =
+  { mc_crossprod = La.Memo.cell ();
+    mc_gram = La.Memo.cell ();
+    mc_row_sums = La.Memo.cell ();
+    mc_col_sums = La.Memo.cell ();
+    mc_sum = La.Memo.cell ();
+    mc_row_sums_sq = La.Memo.cell ();
+    mc_col_sums_sq = La.Memo.cell () }
+
+type t = { body : body; trans : bool; memo : memo }
+
+let memo t = t.memo
 let body t = t.body
 let is_transposed t = t.trans
 let ent t = t.body.ent
@@ -53,7 +81,8 @@ let check_body body =
 
 let make ?ent parts =
   { body = check_body { ent; parts = List.map (fun (ind, mat) -> { ind; mat }) parts };
-    trans = false }
+    trans = false;
+    memo = fresh_memo () }
 
 (* Single PK-FK join (§3.1): TN = (S, K, R). *)
 let pkfk ~s ~k ~r = make ~ent:s [ (k, r) ]
@@ -129,7 +158,7 @@ let select_rows t idx =
         { ind = Indicator.create ~cols:(Indicator.cols ind) mapping'; mat })
       t.body.parts
   in
-  { body = { ent; parts }; trans = false }
+  { body = { ent; parts }; trans = false; memo = fresh_memo () }
 
 (* Map every base matrix through [f], keeping structure — the shape of
    all element-wise scalar rewrites. The result is again a normalized
@@ -139,7 +168,9 @@ let map_mats f t =
   { t with
     body =
       { ent = Option.map f t.body.ent;
-        parts = List.map (fun p -> { p with mat = f p.mat }) t.body.parts } }
+        parts = List.map (fun p -> { p with mat = f p.mat }) t.body.parts };
+    (* a different logical matrix: do NOT share the source's memo *)
+    memo = fresh_memo () }
 
 (* Tuple ratio n_S/n_R and feature ratio d_R/d_S (§3.4). For multi-part
    schemas the attribute sides are aggregated, which reduces to the

@@ -24,9 +24,30 @@ type body = {
   parts : part list;  (** attribute parts, in column order *)
 }
 
-type t = { body : body; trans : bool }
+(** Lazy caches of the loop-invariant factorized quantities (see
+    docs/PERFORMANCE.md). Each cell holds the result for the
+    {e non-transposed} body; {!Rewrite} dispatches on the transpose flag
+    before touching a cell, which is why [Rewrite.transpose] — a pure
+    flag flip — shares its argument's memo, while {!map_mats} and
+    {!select_rows} (different logical matrices) build fresh cells. *)
+type memo = {
+  mc_crossprod : La.Dense.t La.Memo.cell;  (** crossprod(T) = TᵀT, d×d *)
+  mc_gram : La.Dense.t La.Memo.cell;  (** crossprod(Tᵀ) = TTᵀ, n×n *)
+  mc_row_sums : La.Dense.t La.Memo.cell;  (** rowSums(T), n×1 *)
+  mc_col_sums : La.Dense.t La.Memo.cell;  (** colSums(T), 1×d *)
+  mc_sum : float La.Memo.cell;  (** sum(T) *)
+  mc_row_sums_sq : La.Dense.t La.Memo.cell;  (** rowSums(T²), n×1 *)
+  mc_col_sums_sq : La.Dense.t La.Memo.cell;  (** colSums(T²), 1×d *)
+}
+
+val fresh_memo : unit -> memo
+(** Empty cells for a new logical matrix. *)
+
+type t = { body : body; trans : bool; memo : memo }
 
 (** {1 Accessors} *)
+
+val memo : t -> memo
 
 val body : t -> body
 val is_transposed : t -> bool

@@ -87,14 +87,56 @@ let sum_nt body =
       acc +. Blas.dot counts rs)
     ent body.parts
 
+(* Squared body (S², Rᵢ²) sharing indicators: squaring distributes over
+   the gather K·R, so aggregations of T² reduce to aggregations of the
+   squared *base* matrices — O(size(S)+Σ size(Rᵢ)) work, never O(n·d). *)
+let sq_body body =
+  { ent = Option.map Mat.sq body.ent;
+    parts = List.map (fun p -> { p with mat = Mat.sq p.mat }) body.parts }
+
+(* rowSums(T²) = rowSums(S²) + Σᵢ Kᵢ·rowSums(Rᵢ²) — the loop-invariant
+   half of K-Means' distance computation (Algorithm 4's rowSums(T^2)). *)
+let row_sums_sq_nt body = row_sums_nt (sq_body body)
+
+(* colSums(T²) = [colSums(S²), colSums(Kᵢ)·Rᵢ², …] — per-column squared
+   norms, e.g. for feature scaling. *)
+let col_sums_sq_nt body = col_sums_nt (sq_body body)
+
+(* ------------------------------------------------------------------ *)
+(* Memoized dispatch. Every public aggregation/cross-product first
+   resolves the transpose flag (Appendix A), then serves the result from
+   the matrix's invariant cells (Normalized.memo): the cells are keyed
+   to the non-transposed body, so a transpose — which only flips the
+   flag and shares the memo — still hits the same cache. Cache hits run
+   no kernel and count zero flops; callers must not mutate returned
+   matrices (they are shared). *)
+
 (* Appendix A: colSums(Tᵀ) → rowSums(T)ᵀ, rowSums(Tᵀ) → colSums(T)ᵀ. *)
 let row_sums t =
-  if t.trans then Dense.transpose (col_sums_nt t.body) else row_sums_nt t.body
+  if t.trans then
+    Dense.transpose (Memo.force t.memo.mc_col_sums (fun () -> col_sums_nt t.body))
+  else Memo.force t.memo.mc_row_sums (fun () -> row_sums_nt t.body)
 
 let col_sums t =
-  if t.trans then Dense.transpose (row_sums_nt t.body) else col_sums_nt t.body
+  if t.trans then
+    Dense.transpose (Memo.force t.memo.mc_row_sums (fun () -> row_sums_nt t.body))
+  else Memo.force t.memo.mc_col_sums (fun () -> col_sums_nt t.body)
 
-let sum t = sum_nt t.body
+let sum t = Memo.force t.memo.mc_sum (fun () -> sum_nt t.body)
+
+(* rowSums(T²) and colSums(T²), with the same Appendix-A flip:
+   rowSums((Tᵀ)²) = colSums(T²)ᵀ. *)
+let row_sums_sq t =
+  if t.trans then
+    Dense.transpose
+      (Memo.force t.memo.mc_col_sums_sq (fun () -> col_sums_sq_nt t.body))
+  else Memo.force t.memo.mc_row_sums_sq (fun () -> row_sums_sq_nt t.body)
+
+let col_sums_sq t =
+  if t.trans then
+    Dense.transpose
+      (Memo.force t.memo.mc_row_sums_sq (fun () -> row_sums_sq_nt t.body))
+  else Memo.force t.memo.mc_col_sums_sq (fun () -> col_sums_sq_nt t.body)
 
 (* ------------------------------------------------------------------ *)
 (* LMM (§3.3.3 / §3.5): TX → S·X[1:dS,] + Σᵢ Kᵢ(Rᵢ·X[d'ᵢ₋₁+1:d'ᵢ,]).
@@ -280,7 +322,9 @@ let gram_nt body =
     body.parts ;
   out
 
-let crossprod t = if t.trans then gram_nt t.body else crossprod_nt t.body
+let crossprod t =
+  if t.trans then Memo.force t.memo.mc_gram (fun () -> gram_nt t.body)
+  else Memo.force t.memo.mc_crossprod (fun () -> crossprod_nt t.body)
 
 let crossprod_naive t =
   if t.trans then gram_nt t.body else crossprod_naive_nt t.body

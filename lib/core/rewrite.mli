@@ -30,7 +30,13 @@ val exp : Normalized.t -> Normalized.t
 val transpose : Normalized.t -> Normalized.t
 (** Flip the transpose flag (§3.2); no data is touched. *)
 
-(** {1 Aggregations (§3.3.2)} *)
+(** {1 Aggregations (§3.3.2)}
+
+    Aggregations and cross-products are memoized on the matrix's
+    invariant cells ({!Normalized.memo}): the first call computes, every
+    later call returns the cached result at zero flop cost — including
+    through {!transpose}, which shares the memo. Callers must not mutate
+    returned matrices. See docs/PERFORMANCE.md. *)
 
 val row_sums : Normalized.t -> Dense.t
 (** [rowSums(T) → rowSums(S) + Σ Kᵢ·rowSums(Rᵢ)], as an n×1 column. *)
@@ -40,6 +46,16 @@ val col_sums : Normalized.t -> Dense.t
 
 val sum : Normalized.t -> float
 (** [sum(T) → sum(S) + Σ colSums(Kᵢ)·rowSums(Rᵢ)]. *)
+
+val row_sums_sq : Normalized.t -> Dense.t
+(** [rowSums(T²) → rowSums(S²) + Σ Kᵢ·rowSums(Rᵢ²)]: squaring
+    distributes over the gather, so only the base matrices are squared
+    (O(size S + Σ size Rᵢ), never O(n·d)). The loop-invariant half of
+    K-Means' point-to-centroid distances. *)
+
+val col_sums_sq : Normalized.t -> Dense.t
+(** [colSums(T²) → \[colSums(S²), colSums(Kᵢ)·Rᵢ², …\]] — per-column
+    squared norms, as a 1×d row. *)
 
 (** {1 Multiplications (§3.3.3–3.3.4)} *)
 

@@ -42,13 +42,24 @@ let mirror_lower c d =
     done
   done
 
-(* C = A * B. *)
-let gemm ?exec a b =
+(* Prepare an accumulation destination for a [?beta] kernel: beta = 0
+   zero-fills (the pure-kernel case), beta = 1 accumulates as-is, any
+   other beta pre-scales the destination (counted as one pass). *)
+let apply_beta ?exec beta c =
+  if beta = 0.0 then Dense.fill c 0.0
+  else if beta <> 1.0 then Dense.scale_into ?exec beta c ~out:c
+
+(* C ← A·B + beta·C. The multiply body is shared with [gemm] — the pure
+   kernel is [gemm_into ~beta:0.] into a fresh C, so both are bitwise
+   identical by construction. [c] must not alias [a] or [b]. *)
+let gemm_into ?exec ?(beta = 0.0) a b ~c =
   let m = Dense.rows a and ka = Dense.cols a in
   let kb = Dense.rows b and n = Dense.cols b in
-  if ka <> kb then dim_error "gemm" a b ;
+  if ka <> kb then dim_error "gemm_into" a b ;
+  if Dense.rows c <> m || Dense.cols c <> n then
+    invalid_arg "Blas.gemm_into: output dim mismatch" ;
+  apply_beta ?exec beta c ;
   Flops.addf (2.0 *. float_of_int m *. float_of_int ka *. float_of_int n) ;
-  let c = Dense.create m n in
   let ad = Dense.data a and bd = Dense.data b and cd = Dense.data c in
   let body lo hi =
     for i = lo to hi - 1 do
@@ -68,7 +79,13 @@ let gemm ?exec a b =
   in
   Exec.parallel_for
     ~min_chunk:(min_rows (2 * ka * n))
-    (Exec.resolve exec) ~lo:0 ~hi:m body ;
+    (Exec.resolve exec) ~lo:0 ~hi:m body
+
+(* C = A * B. *)
+let gemm ?exec a b =
+  if Dense.cols a <> Dense.rows b then dim_error "gemm" a b ;
+  let c = Dense.create (Dense.rows a) (Dense.cols b) in
+  gemm_into ?exec ~beta:0.0 a b ~c ;
   c
 
 (* C = Aᵀ * B, without materializing Aᵀ: a reduction over A's rows. *)
@@ -231,12 +248,15 @@ let tcrossprod ?exec a =
     ~hi:n body ;
   c
 
-(* y = A x for a plain float-array vector x. *)
-let gemv ?exec a x =
+(* y ← A·x + beta·y for plain float-array vectors. The dot-product body
+   is shared with [gemv] (which is [gemv_into ~beta:0.] into a fresh y),
+   so both are bitwise identical. [y] must not alias [x]. *)
+let gemv_into ?exec ?(beta = 0.0) a x ~y =
   let m = Dense.rows a and k = Dense.cols a in
-  if Array.length x <> k then invalid_arg "Blas.gemv: dim mismatch" ;
+  if Array.length x <> k then invalid_arg "Blas.gemv_into: dim mismatch" ;
+  if Array.length y <> m then
+    invalid_arg "Blas.gemv_into: output dim mismatch" ;
   Flops.add (2 * m * k) ;
-  let y = Array.make m 0.0 in
   let ad = Dense.data a in
   let body lo hi =
     for i = lo to hi - 1 do
@@ -245,11 +265,19 @@ let gemv ?exec a x =
       for j = 0 to k - 1 do
         acc := !acc +. (Array.unsafe_get ad (base + j) *. Array.unsafe_get x j)
       done ;
-      y.(i) <- !acc
+      y.(i) <-
+        (if beta = 0.0 then !acc
+         else if beta = 1.0 then y.(i) +. !acc
+         else (beta *. y.(i)) +. !acc)
     done
   in
   Exec.parallel_for ~min_chunk:(min_rows (2 * k)) (Exec.resolve exec) ~lo:0
-    ~hi:m body ;
+    ~hi:m body
+
+(* y = A x for a plain float-array vector x. *)
+let gemv ?exec a x =
+  let y = Array.make (Dense.rows a) 0.0 in
+  gemv_into ?exec ~beta:0.0 a x ~y ;
   y
 
 let dot x y =

@@ -33,4 +33,20 @@ val tcrossprod : ?exec:Exec.t -> Dense.t -> Dense.t
 val gemv : ?exec:Exec.t -> Dense.t -> float array -> float array
 (** Matrix-vector product. *)
 
+(** {1 In-place / accumulating variants}
+
+    Allocation-free destinations for iteration loops (see
+    docs/PERFORMANCE.md). [?beta] (default [0.]) scales the existing
+    destination before accumulating: [0.] overwrites, [1.] accumulates,
+    anything else pre-scales (one extra counted pass). The destination
+    must not alias an input. The pure kernels delegate to these with a
+    fresh zero destination, so results are bitwise-identical. *)
+
+val gemm_into : ?exec:Exec.t -> ?beta:float -> Dense.t -> Dense.t -> c:Dense.t -> unit
+(** [gemm_into a b ~c] is [c ← a·b + beta·c]. *)
+
+val gemv_into :
+  ?exec:Exec.t -> ?beta:float -> Dense.t -> float array -> y:float array -> unit
+(** [gemv_into a x ~y] is [y ← a·x + beta·y]. *)
+
 val dot : float array -> float array -> float

@@ -216,6 +216,66 @@ let sub a b = binop "sub" ( -. ) a b
 let mul_elem a b = binop "mul_elem" ( *. ) a b
 let div_elem a b = binop "div_elem" ( /. ) a b
 
+(* ---- in-place / accumulating element-wise kernels ----
+
+   Conventions (docs/PERFORMANCE.md §"_into kernels"): the destination
+   is fully overwritten (or accumulated into) and must have exactly the
+   source shape; element-wise destinations may alias an input (each
+   element depends only on the same flat index). Bodies are
+   range-parameterized over the flat buffer and run through {!Exec}
+   like every other kernel — disjoint output ranges, so both backends
+   are bitwise-identical. *)
+
+(* One flop per element: below ~64k elements the chunking overhead
+   beats the work (same reasoning as Blas.min_rows). *)
+let elt_min_chunk = 65_536
+
+let fill m x = Array.fill m.data 0 (Array.length m.data) x
+
+(* y += alpha·x. *)
+let axpy ?exec ~alpha x y =
+  if x.rows <> y.rows || x.cols <> y.cols then
+    invalid_arg "Dense.axpy: dim mismatch" ;
+  Flops.add (2 * numel x) ;
+  let xd = x.data and yd = y.data in
+  let body lo hi =
+    for i = lo to hi - 1 do
+      Array.unsafe_set yd i
+        (Array.unsafe_get yd i +. (alpha *. Array.unsafe_get xd i))
+    done
+  in
+  Exec.parallel_for ~min_chunk:elt_min_chunk (Exec.resolve exec) ~lo:0
+    ~hi:(Array.length xd) body
+
+(* out ← alpha·src; out may alias src. *)
+let scale_into ?exec alpha src ~out =
+  if src.rows <> out.rows || src.cols <> out.cols then
+    invalid_arg "Dense.scale_into: dim mismatch" ;
+  Flops.add (numel src) ;
+  let sd = src.data and od = out.data in
+  let body lo hi =
+    for i = lo to hi - 1 do
+      Array.unsafe_set od i (alpha *. Array.unsafe_get sd i)
+    done
+  in
+  Exec.parallel_for ~min_chunk:elt_min_chunk (Exec.resolve exec) ~lo:0
+    ~hi:(Array.length sd) body
+
+(* out ← f a b element-wise; out may alias a or b. *)
+let map2_into ?exec f a b ~out =
+  if a.rows <> b.rows || a.cols <> b.cols || a.rows <> out.rows
+     || a.cols <> out.cols
+  then invalid_arg "Dense.map2_into: dim mismatch" ;
+  Flops.add (numel a) ;
+  let ad = a.data and bd = b.data and od = out.data in
+  let body lo hi =
+    for i = lo to hi - 1 do
+      Array.unsafe_set od i (f (Array.unsafe_get ad i) (Array.unsafe_get bd i))
+    done
+  in
+  Exec.parallel_for ~min_chunk:elt_min_chunk (Exec.resolve exec) ~lo:0
+    ~hi:(Array.length ad) body
+
 (* ---- aggregations (paper §3.3.2 on regular matrices) ---- *)
 
 let row_sums m =

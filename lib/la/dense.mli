@@ -131,6 +131,32 @@ val sub : t -> t -> t
 val mul_elem : t -> t -> t
 val div_elem : t -> t -> t
 
+(** {1 In-place / accumulating kernels}
+
+    Allocation-free variants for iteration loops (see
+    docs/PERFORMANCE.md): the destination is fully overwritten (or
+    accumulated into) and must have exactly the source shape. These
+    element-wise destinations {e may} alias an input — each element
+    depends only on its own flat index. Bodies run through {!Exec};
+    results are bitwise-identical to the pure counterparts on both
+    backends. *)
+
+val fill : t -> float -> unit
+(** Set every entry to the given value (workspace reset). Not counted
+    as flops. *)
+
+val axpy : ?exec:Exec.t -> alpha:float -> t -> t -> unit
+(** [axpy ~alpha x y] is [y ← y + alpha·x] — the allocation-free
+    gradient step [w ← w + α·g]. *)
+
+val scale_into : ?exec:Exec.t -> float -> t -> out:t -> unit
+(** [scale_into alpha src ~out] is [out ← alpha·src]; [out] may alias
+    [src]. *)
+
+val map2_into : ?exec:Exec.t -> (float -> float -> float) -> t -> t -> out:t -> unit
+(** [map2_into f a b ~out] applies [f] element-wise; [out] may alias
+    [a] or [b]. Counted as one arithmetic pass. *)
+
 (** {1 Aggregations (paper §3.3.2, on regular matrices)} *)
 
 val row_sums : t -> t

@@ -1,0 +1,49 @@
+(** Lazy, thread-safe invariant cells — the storage behind the
+    memoization layer that caches loop-invariant factorized quantities
+    (crossprod(T), rowSums(T²), the KᵀK fan-in diagonal, …) on
+    immutable matrix values.
+
+    Cells are attached to immutable owners (normalized matrices,
+    indicator matrices, the regular-matrix wrapper), so there is no
+    invalidation protocol: a cached value stays valid for the owner's
+    lifetime. Cache hits re-run no kernel, so the {!Flops} counters
+    record zero work for them — the observable the memo tests assert.
+
+    All reads and publications are serialized through one internal
+    mutex (rewrites can run on pool domains); the computation itself
+    runs outside the lock. Two domains racing on an empty cell may both
+    compute, but publications are first-wins and the kernels are
+    deterministic, so every reader sees the same value. *)
+
+type 'a cell
+
+val cell : unit -> 'a cell
+(** A fresh, empty cell. *)
+
+val force : 'a cell -> (unit -> 'a) -> 'a
+(** [force c f] returns the cached value, or computes [f ()], caches
+    and returns it. When memoization is globally disabled it is just
+    [f ()] — nothing is read or written. *)
+
+val peek : 'a cell -> 'a option
+(** The cached value, if any, without computing. *)
+
+val is_cached : 'a cell -> bool
+
+val clear : 'a cell -> unit
+(** Drop the cached value (benches use this to re-measure cold). *)
+
+(** {1 Global switch}
+
+    The paper-reproduction benches time repeated applications of one
+    operator on one matrix; with memoization on they would measure
+    cache hits instead of kernels, so they disable the layer. Library
+    default is enabled. *)
+
+val set_enabled : bool -> unit
+
+val is_enabled : unit -> bool
+
+val with_disabled : (unit -> 'a) -> 'a
+(** Run with memoization off ([force] neither reads nor writes),
+    restoring the previous state afterwards. *)

@@ -60,11 +60,12 @@ module Make (M : Morpheus.Data_matrix.S) = struct
   let train ?(alpha = 1e-4) ?(iters = 20) ?w0 ~family t y =
     if Dense.rows y <> M.rows t || Dense.cols y <> 1 then
       invalid_arg "Glm.train: bad target shape" ;
-    let w = ref (match w0 with Some w -> Dense.copy w | None -> Dense.create (M.cols t) 1) in
+    let w = match w0 with Some w -> Dense.copy w | None -> Dense.create (M.cols t) 1 in
     for _ = 1 to iters do
-      w := Dense.add !w (Dense.scale alpha (gradient family t !w y))
+      (* w ← w + α·grad in place (bitwise-identical to add∘scale) *)
+      Dense.axpy ~alpha (gradient family t w y) w
     done ;
-    { family; w = !w }
+    { family; w }
 
   let predict_scores t model = M.lmm t model.w
 

@@ -23,34 +23,43 @@ module Make (M : Morpheus.Data_matrix.S) = struct
 
   let eps = 1e-12
 
+  (* Multiplicative update out = cur * num / (den + eps), fused.
+     Element-wise with per-index reads only, so [out] may alias [cur]. *)
+  let update_into cur num den ~out =
+    let od = Dense.data out
+    and cd = Dense.data cur
+    and nd = Dense.data num
+    and dd = Dense.data den in
+    for i = 0 to Array.length od - 1 do
+      Array.unsafe_set od i
+        (Array.unsafe_get cd i *. Array.unsafe_get nd i
+        /. (Array.unsafe_get dd i +. eps))
+    done
+
   let train ?(iters = 20) ?init:factors ~rank t =
-    let { w; h } = match factors with Some f -> f | None -> init t rank in
-    let w = ref w and h = ref h in
+    (* Copy incoming factors: the loop below updates them in place, and
+       the caller's matrices must stay untouched. *)
+    let w, h =
+      match factors with
+      | Some f -> (Dense.copy f.w, Dense.copy f.h)
+      | None ->
+        let f = init t rank in
+        (f.w, f.h)
+    in
+    (* denominator workspaces, reused across iterations *)
+    let denom_h = Dense.create (Dense.rows h) (Dense.cols h) in
+    let denom_w = Dense.create (Dense.rows w) (Dense.cols w) in
     for _ = 1 to iters do
-      (* multiplicative update out = cur * num / (den + eps), fused *)
-      let update cur num den =
-        let out = Dense.create (Dense.rows cur) (Dense.cols cur) in
-        let od = Dense.data out
-        and cd = Dense.data cur
-        and nd = Dense.data num
-        and dd = Dense.data den in
-        for i = 0 to Array.length od - 1 do
-          Array.unsafe_set od i
-            (Array.unsafe_get cd i *. Array.unsafe_get nd i
-            /. (Array.unsafe_get dd i +. eps))
-        done ;
-        out
-      in
       (* H update: P = (WᵀT)ᵀ = TᵀW *)
-      let p = M.tlmm t !w in
-      let denom_h = Blas.gemm !h (Blas.crossprod !w) in
-      h := update !h p denom_h ;
+      let p = M.tlmm t w in
+      Blas.gemm_into h (Blas.crossprod w) ~c:denom_h ;
+      update_into h p denom_h ~out:h ;
       (* W update: P = T·H *)
-      let p = M.lmm t !h in
-      let denom_w = Blas.gemm !w (Blas.crossprod !h) in
-      w := update !w p denom_w
+      let p = M.lmm t h in
+      Blas.gemm_into w (Blas.crossprod h) ~c:denom_w ;
+      update_into w p denom_w ~out:w
     done ;
-    { w = !w; h = !h }
+    { w; h }
 
   (* Frobenius reconstruction error ‖T − W·Hᵀ‖²_F, computed without
      materializing W·Hᵀ when T is normalized:

@@ -15,20 +15,17 @@ module Make (M : Morpheus.Data_matrix.S) = struct
   }
 
   (* Initialize centroids from the data deterministically: spread k seed
-     rows of T across the row range. Works through the abstract
-     signature by multiplying Tᵀ with one-hot selectors. *)
+     rows of T across the row range. [select_rows] keeps the extraction
+     factorized (and O(k·d) instead of the dense n×k one-hot selector's
+     O(n·d·k)); the k×k identity converts the k selected rows to a d×k
+     dense column block through the signature. *)
   let init_centroids t k =
     let n = M.rows t in
-    let sel =
-      Dense.init n k (fun i j -> if i = j * (n / k) then 1.0 else 0.0)
-    in
-    M.tlmm t sel
+    let idx = Array.init k (fun j -> j * (n / k)) in
+    M.tlmm (M.select_rows t idx) (Dense.identity k)
 
   (* Extract row [i] of T as a d×1 column through the signature. *)
-  let row_of t i =
-    let n = M.rows t in
-    let sel = Dense.init n 1 (fun r _ -> if r = i then 1.0 else 0.0) in
-    M.tlmm t sel
+  let row_of t i = M.tlmm (M.select_rows t [| i |]) (Dense.make 1 1 1.0)
 
   (* K-Means++ seeding (Arthur & Vassilvitskii): each next centroid is
      sampled ∝ squared distance to the nearest chosen one. Distances are
@@ -36,17 +33,21 @@ module Make (M : Morpheus.Data_matrix.S) = struct
      the whole procedure runs factorized on normalized inputs. *)
   let init_plus_plus ?(rng = Rng.of_int 0) t k =
     let n = M.rows t in
-    let dt = M.row_sums (M.pow t 2.0) in
-    let t2 = M.scale 2.0 t in
+    (* rowSums(T²) through the factorized rewrite — no T² materialized,
+       and memoized on t, so training right after seeding reuses it. *)
+    let dt = M.row_sums_sq t in
+    (* the 2·(T·C) form: doubling after the multiply is exact in floating
+       point, so no scaled copy 2T of the matrix is ever built *)
     let chosen = ref [ row_of t (Rng.int rng n) ] in
     while List.length !chosen < k do
       let c = List.hd !chosen in
       (* squared distance of every point to the latest centroid *)
       let c2 = Dense.sum (Dense.pow_scalar c 2.0) in
-      let tc = M.lmm t2 c in
+      let tc = M.lmm t c in
       let d2 =
         Dense.init n 1 (fun i _ ->
-            Float.max 0.0 (Dense.get dt i 0 +. c2 -. Dense.get tc i 0))
+            Float.max 0.0
+              (Dense.get dt i 0 +. c2 -. (2.0 *. Dense.get tc i 0)))
       in
       (* running minimum across all chosen centroids *)
       let min_d2 =
@@ -56,12 +57,13 @@ module Make (M : Morpheus.Data_matrix.S) = struct
           (* recompute against all chosen: keep it simple and exact *)
           let all = Dense.hcat (List.map Fun.id !chosen) in
           let c2s = Dense.col_sums (Dense.pow_scalar all 2.0) in
-          let tcs = M.lmm t2 all in
+          let tcs = M.lmm t all in
           Dense.init n 1 (fun i _ ->
               let best = ref infinity in
               for j = 0 to Dense.cols all - 1 do
                 let v =
-                  Dense.get dt i 0 +. Dense.get c2s 0 j -. Dense.get tcs i j
+                  Dense.get dt i 0 +. Dense.get c2s 0 j
+                  -. (2.0 *. Dense.get tcs i j)
                 in
                 if v < !best then best := v
               done ;
@@ -93,16 +95,25 @@ module Make (M : Morpheus.Data_matrix.S) = struct
   let train ?(iters = 20) ?centroids ~k t =
     let n = M.rows t in
     let c = ref (match centroids with Some c -> Dense.copy c | None -> init_centroids t k) in
-    (* 1. Pre-compute squared l2-norms of the points: rowSums(T^2)·1₁ₓₖ *)
-    let dt = M.row_sums (M.pow t 2.0) in
-    let t2 = M.scale 2.0 t in
+    (* 1. Pre-compute squared l2-norms of the points, rowSums(T²),
+       through the factorized rewrite (no T² is materialized). Hoisted
+       out of the loop AND memoized on t, so even a later [train] call
+       on the same matrix skips it. The 2·T scaling of the paper's
+       identity is folded into the distance loop below (doubling after
+       the multiply is exact in floating point), so no scaled copy of
+       the data matrix is ever built. *)
+    let dt = M.row_sums_sq t in
     let assignments = ref [||] in
     let objective = ref 0.0 in
+    (* workspaces reused across iterations: distances and the one-hot
+       assignment matrix *)
+    let d = Dense.create n k in
+    let a = Dense.create n k in
     for _ = 1 to iters do
-      (* 2. Pairwise squared distances D (n×k) *)
+      (* 2. Pairwise squared distances D (n×k) =
+         rowSums(T²)·1 + 1·colSums(C²) − 2·T·C *)
       let c2 = Dense.col_sums (Dense.pow_scalar !c 2.0) in
-      let tc = M.lmm t2 !c in
-      let d = Dense.create n k in
+      let tc = M.lmm t !c in
       let dd = Dense.data d
       and dtd = Dense.data dt
       and c2d = Dense.data c2
@@ -112,7 +123,8 @@ module Make (M : Morpheus.Data_matrix.S) = struct
         let dti = Array.unsafe_get dtd i in
         for j = 0 to k - 1 do
           Array.unsafe_set dd (base + j)
-            (dti +. Array.unsafe_get c2d j -. Array.unsafe_get tcd (base + j))
+            (dti +. Array.unsafe_get c2d j
+            -. (2.0 *. Array.unsafe_get tcd (base + j)))
         done
       done ;
       (* 3. Assign points to the nearest centroid: A (n×k) boolean *)
@@ -120,7 +132,7 @@ module Make (M : Morpheus.Data_matrix.S) = struct
       assignments := args ;
       objective := 0.0 ;
       Array.iteri (fun i j -> objective := !objective +. Dense.get d i j) args ;
-      let a = Dense.create n k in
+      Dense.fill a 0.0 ;
       let ad = Dense.data a in
       Array.iteri (fun i j -> Array.unsafe_set ad ((i * k) + j) 1.0) args ;
       (* 4. New centroids: (TᵀA) / counts *)

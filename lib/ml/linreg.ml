@@ -23,13 +23,16 @@ module Make (M : Morpheus.Data_matrix.S) = struct
 
   let train_gd ?(alpha = 1e-6) ?(iters = 20) ?w0 t y =
     let d = M.cols t in
-    let w = ref (match w0 with Some w -> Dense.copy w | None -> Dense.create d 1) in
+    let w = match w0 with Some w -> Dense.copy w | None -> Dense.create d 1 in
     for _ = 1 to iters do
-      let residual = Dense.sub (M.lmm t !w) y in
-      let grad = M.tlmm t residual in
-      w := Dense.sub !w (Dense.scale alpha grad)
+      let scores = M.lmm t w in
+      (* residual in place of the scores buffer (map2_into allows the
+         out/input alias), then w ← w − α·grad without temporaries *)
+      Dense.map2_into ( -. ) scores y ~out:scores ;
+      let grad = M.tlmm t scores in
+      Dense.axpy ~alpha:(-.alpha) grad w
     done ;
-    !w
+    w
 
   (* ---- co-factor + AdaGrad hybrid (Schleich et al.) ---- *)
 
@@ -44,20 +47,22 @@ module Make (M : Morpheus.Data_matrix.S) = struct
   let train_cofactor ?(alpha = 1e-2) ?(iters = 20) ?w0 t y =
     let d = M.cols t in
     let c = cofactor t y in
-    let w = ref (match w0 with Some w -> Dense.copy w | None -> Dense.create d 1) in
+    let w = match w0 with Some w -> Dense.copy w | None -> Dense.create d 1 in
     let g2 = Array.make d 1e-12 in
+    let wd = Dense.data w in
     for _ = 1 to iters do
-      let v = Dense.vcat [ Dense.make 1 1 (-1.0); !w ] in
+      let v = Dense.vcat [ Dense.make 1 1 (-1.0); w ] in
       let grad = Blas.tgemm c v in
-      let step =
-        Dense.init d 1 (fun i _ ->
-            let g = Dense.get grad i 0 in
-            g2.(i) <- g2.(i) +. (g *. g) ;
-            alpha *. g /. sqrt g2.(i))
-      in
-      w := Dense.sub !w step
+      (* AdaGrad step applied in place: w ← w − α·g/√(Σg²) *)
+      let gd = Dense.data grad in
+      for i = 0 to d - 1 do
+        let g = Array.unsafe_get gd i in
+        g2.(i) <- g2.(i) +. (g *. g) ;
+        Array.unsafe_set wd i
+          (Array.unsafe_get wd i -. (alpha *. g /. sqrt g2.(i)))
+      done
     done ;
-    !w
+    w
 
   (* Residual sum of squares, for tests and loss curves. *)
   let rss t w y =

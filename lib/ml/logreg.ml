@@ -29,23 +29,26 @@ module Make (M : Morpheus.Data_matrix.S) = struct
     let d = M.cols t in
     if Dense.rows y <> M.rows t || Dense.cols y <> 1 then
       invalid_arg "Logreg.train: bad target shape" ;
-    let w = ref (match w0 with Some w -> Dense.copy w | None -> Dense.create d 1) in
+    let w = match w0 with Some w -> Dense.copy w | None -> Dense.create d 1 in
     let losses = ref [] in
+    (* gradient-weight workspace, reused every iteration *)
+    let p = Dense.create (Dense.rows y) 1 in
+    let pd = Dense.data p and yd = Dense.data y in
     for _ = 1 to iters do
-      let scores = M.lmm t !w in
+      let scores = M.lmm t w in
       if record_loss then losses := loss scores y :: !losses ;
       (* P = Y / (1 + exp(Y·scores)) — the gradient weights *)
-      let p = Dense.create (Dense.rows y) 1 in
-      let pd = Dense.data p and yd = Dense.data y and sd = Dense.data scores in
+      let sd = Dense.data scores in
       for i = 0 to Array.length pd - 1 do
         let yi = Array.unsafe_get yd i in
         Array.unsafe_set pd i
           (yi /. (1.0 +. Stdlib.exp (yi *. Array.unsafe_get sd i)))
       done ;
       let grad = M.tlmm t p in
-      w := Dense.add !w (Dense.scale alpha grad)
+      (* w ← w + α·grad in place (bitwise-identical to add∘scale) *)
+      Dense.axpy ~alpha grad w
     done ;
-    { w = !w; losses = List.rev !losses }
+    { w; losses = List.rev !losses }
 
   let predict t model = M.lmm t model.w
 

@@ -33,7 +33,7 @@ let train ?(config = default_config) ~family t y =
   let n = Normalized.rows t in
   if Dense.rows y <> n then invalid_arg "Minibatch.train: bad target shape" ;
   let rng = Rng.of_int config.seed in
-  let w = ref (Dense.create (Normalized.cols t) 1) in
+  let w = Dense.create (Normalized.cols t) 1 in
   let y_arr = Dense.col_to_array y in
   for _ = 1 to config.epochs do
     let order = epoch_order rng n in
@@ -44,14 +44,15 @@ let train ?(config = default_config) ~family t y =
       pos := !pos + b ;
       let t_b = Normalized.select_rows t idx in
       let y_b = Dense.of_col_array (Array.map (fun i -> y_arr.(i)) idx) in
-      let scores = Rewrite.lmm t_b !w in
+      let scores = Rewrite.lmm t_b w in
       let p =
         Dense.init b 1 (fun i _ ->
             Glm.gradient_weight family ~score:(Dense.get scores i 0)
               ~y:(Dense.get y_b i 0))
       in
       let grad = Rewrite.tlmm t_b p in
-      w := Dense.add !w (Dense.scale (config.alpha /. float_of_int b) grad)
+      (* w ← w + (α/b)·grad in place (bitwise-identical to add∘scale) *)
+      Dense.axpy ~alpha:(config.alpha /. float_of_int b) grad w
     done
   done ;
-  !w
+  w

@@ -178,13 +178,22 @@ let add_into acc part =
   done ;
   acc
 
-(* C = A * X with X dense: the sparse LMM kernel. *)
-let smm ?exec m x =
-  if Dense.rows x <> m.cols then invalid_arg "Csr.smm: dim mismatch" ;
+(* C ← A·X + beta·C with X dense: the sparse LMM kernel with an
+   accumulating destination. The k>1 body accumulates into whatever the
+   beta pre-pass left in C; the k=1 register body folds beta into its
+   single store. [smm] is [smm_into ~beta:0.] into a fresh C, so the
+   pure and in-place kernels are bitwise identical. [c] must not alias
+   [x]. *)
+let smm_into ?exec ?(beta = 0.0) m x ~c =
+  if Dense.rows x <> m.cols then invalid_arg "Csr.smm_into: dim mismatch" ;
   let k = Dense.cols x in
+  if Dense.rows c <> m.rows || Dense.cols c <> k then
+    invalid_arg "Csr.smm_into: output dim mismatch" ;
   Flops.add (2 * nnz m * k) ;
-  let c = Dense.create m.rows k in
   let cd = Dense.data c and xd = Dense.data x in
+  if k <> 1 then
+    if beta = 0.0 then Dense.fill c 0.0
+    else if beta <> 1.0 then Dense.scale_into ?exec beta c ~out:c ;
   let body =
     if k = 1 then fun lo hi ->
       (* vector case: accumulate in a register, one store per row *)
@@ -196,7 +205,10 @@ let smm ?exec m x =
             +. (Array.unsafe_get m.values p
                *. Array.unsafe_get xd (Array.unsafe_get m.col_idx p))
         done ;
-        Array.unsafe_set cd i !acc
+        Array.unsafe_set cd i
+          (if beta = 0.0 then !acc
+           else if beta = 1.0 then Array.unsafe_get cd i +. !acc
+           else (beta *. Array.unsafe_get cd i) +. !acc)
       done
     else fun lo hi ->
       for i = lo to hi - 1 do
@@ -214,7 +226,13 @@ let smm ?exec m x =
       done
   in
   Exec.parallel_for ~min_chunk:(min_rows m (2 * k)) (Exec.resolve exec) ~lo:0
-    ~hi:m.rows body ;
+    ~hi:m.rows body
+
+(* C = A * X with X dense: the sparse LMM kernel. *)
+let smm ?exec m x =
+  if Dense.rows x <> m.cols then invalid_arg "Csr.smm: dim mismatch" ;
+  let c = Dense.create m.rows (Dense.cols x) in
+  smm_into ?exec ~beta:0.0 m x ~c ;
   c
 
 (* C = Aᵀ * X with X dense, by scatter; avoids materializing Aᵀ. The

@@ -74,6 +74,12 @@ val row_sums_sq : t -> Dense.t
 val smm : ?exec:Exec.t -> t -> Dense.t -> Dense.t
 (** [smm a x] is [a·x] — the sparse LMM kernel. *)
 
+val smm_into : ?exec:Exec.t -> ?beta:float -> t -> Dense.t -> c:Dense.t -> unit
+(** [smm_into a x ~c] is [c ← a·x + beta·c] ([?beta] defaults to [0.]:
+    overwrite; [1.]: accumulate). Allocation-free variant of {!smm} —
+    bitwise-identical results; [c] must not alias [x]. See
+    docs/PERFORMANCE.md for the [_into] conventions. *)
+
 val t_smm : ?exec:Exec.t -> t -> Dense.t -> Dense.t
 (** [t_smm a x] is [aᵀ·x] by scatter, without materializing [aᵀ]. *)
 

@@ -10,6 +10,10 @@ type t = {
   rows : int; (* n_S, or |T'| for M:N *)
   cols : int; (* n_R *)
   col_of_row : int array; (* length rows; the position of the 1 in each row *)
+  counts : float array Memo.cell;
+      (* lazy colSums(K) — the KᵀK fan-in diagonal that Algorithm 2's
+         weighted cross-product and every aggregation rewrite reuse;
+         indicators are immutable, so the cache never invalidates *)
 }
 
 let rows k = k.rows
@@ -24,9 +28,13 @@ let create ~cols col_of_row =
     (fun j ->
       if j < 0 || j >= cols then invalid_arg "Indicator.create: bad column")
     col_of_row ;
-  { rows = Array.length col_of_row; cols; col_of_row = Array.copy col_of_row }
+  { rows = Array.length col_of_row;
+    cols;
+    col_of_row = Array.copy col_of_row;
+    counts = Memo.cell () }
 
-let identity n = { rows = n; cols = n; col_of_row = Array.init n Fun.id }
+let identity n =
+  { rows = n; cols = n; col_of_row = Array.init n Fun.id; counts = Memo.cell () }
 
 let random ?(rng = Rng.create ()) ~rows ~cols () =
   (* ensure every column is referenced at least once, as the paper assumes
@@ -39,7 +47,7 @@ let random ?(rng = Rng.create ()) ~rows ~cols () =
   for j = 0 to cols - 1 do
     col_of_row.(perm.(j)) <- j
   done ;
-  { rows; cols; col_of_row }
+  { rows; cols; col_of_row; counts = Memo.cell () }
 
 let to_csr k =
   Csr.of_triplets ~rows:k.rows ~cols:k.cols
@@ -167,12 +175,16 @@ let scatter_add k v =
   done ;
   out
 
-(* colSums(K) — K_p's diagonal: how many S-rows reference each R-row. *)
+(* colSums(K) — K_p's diagonal: how many S-rows reference each R-row.
+   Memoized on the indicator (callers must not mutate the result): a
+   cache hit costs zero flops, which is what makes steady-state
+   factorized iterations drop the fan-in recomputation entirely. *)
 let col_counts k =
-  Flops.add k.rows ;
-  let out = Array.make k.cols 0.0 in
-  Array.iter (fun c -> out.(c) <- out.(c) +. 1.0) k.col_of_row ;
-  out
+  Memo.force k.counts (fun () ->
+      Flops.add k.rows ;
+      let out = Array.make k.cols 0.0 in
+      Array.iter (fun c -> out.(c) <- out.(c) +. 1.0) k.col_of_row ;
+      out)
 
 (* K_aᵀ K_b as COO co-occurrence counts (appendix C: the matrix P whose
    nnz is bounded by Theorems C.1/C.2). Both indicators must share the

@@ -71,7 +71,9 @@ val scatter_add : t -> float array -> float array
 
 val col_counts : t -> float array
 (** [colSums(K)] — the diagonal of [KᵀK], i.e. how many rows reference
-    each column (Algorithm 2's [diag(colSums(K))]). *)
+    each column (Algorithm 2's [diag(colSums(K))]). Memoized on the
+    (immutable) indicator: repeat calls return the cached array at zero
+    flop cost. The caller must not mutate the result. *)
 
 (** {1 Indicator-indicator products} *)
 

@@ -52,8 +52,11 @@ let row_sums = function D d -> Dense.row_sums d | S c -> Csr.row_sums c
 let col_sums = function D d -> Dense.col_sums d | S c -> Csr.col_sums c
 let sum = function D d -> Dense.sum d | S c -> Csr.sum c
 
+(* Squares via [v *. v] (like {!sq}), not [v ** 2.0]: libm pow is not
+   guaranteed bit-identical to the product, and the factorized
+   rowSums(T²) rewrite squares with {!sq}. *)
 let row_sums_sq = function
-  | D d -> Dense.row_sums (Dense.pow_scalar d 2.0)
+  | D d -> Dense.row_sums (Dense.map_scalar (fun v -> v *. v) d)
   | S c -> Csr.row_sums_sq c
 
 (* ---- multiplications; results of LMM/RMM/crossprod are regular dense

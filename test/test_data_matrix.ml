@@ -52,7 +52,7 @@ let compare_runs name a b =
 
 let test_all_instances_agree () =
   let t = dataset () in
-  let reg = PR.run (Materialize.to_mat t) in
+  let reg = PR.run (Materialize.to_regular t) in
   let fact = PF.run t in
   let adap_f = PA.run (Adaptive_matrix.factorized t) in
   let adap_m = PA.run (Adaptive_matrix.materialized t) in
@@ -63,7 +63,7 @@ let test_all_instances_agree () =
 let test_describe_nonempty () =
   let t = dataset () in
   Alcotest.(check bool) "regular" true
-    (String.length (Regular_matrix.describe (Materialize.to_mat t)) > 0) ;
+    (String.length (Regular_matrix.describe (Materialize.to_regular t)) > 0) ;
   Alcotest.(check bool) "factorized" true
     (String.length (Factorized_matrix.describe t) > 0) ;
   Alcotest.(check bool) "adaptive" true

@@ -36,7 +36,7 @@ let test_zero_col_entity () =
   let module F = Ml_algs.Logreg.Make (Factorized_matrix) in
   let module M = Ml_algs.Logreg.Make (Regular_matrix) in
   let f = F.train ~alpha:1e-2 ~iters:5 t y in
-  let g = M.train ~alpha:1e-2 ~iters:5 (Mat.of_dense m) y in
+  let g = M.train ~alpha:1e-2 ~iters:5 (Regular_matrix.of_dense m) y in
   check_close "logreg with dS=0" g.M.w f.F.w
 
 (* ---- single-row / single-column shapes ---- *)

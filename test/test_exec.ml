@@ -177,6 +177,108 @@ let test_sparse_kernels_bitwise () =
         (Csr.to_dense (Csr.crossprod_csr ~exec:Exec.seq ~weights:w c))
         (Csr.to_dense (Csr.crossprod_csr ~exec:e ~weights:w c)))
 
+(* ---- in-place kernels: pure-counterpart identity + determinism ---- *)
+
+(* Every [_into]/accumulate kernel must be bitwise-identical to its
+   allocating counterpart (beta = 0 into a fresh destination IS the
+   pure kernel), and, like every other kernel, bitwise-identical
+   between the sequential and parallel backends at any beta. *)
+let test_dense_into_kernels_bitwise () =
+  let g = rng () in
+  let a = Dense.random ~rng:g 5_000 40 in
+  let b = Dense.random ~rng:g 40 7 in
+  let x = Dense.random ~rng:g 5_000 40 in
+  let y = Dense.random ~rng:g 5_000 40 in
+  let c0 = Dense.random ~rng:g 5_000 7 in
+  let v = Array.init 40 (fun i -> cos (float_of_int i)) in
+  let y0 = Array.init 5_000 (fun i -> sin (float_of_int i)) in
+  with_par4 (fun e ->
+      let c = Dense.create 5_000 7 in
+      Blas.gemm_into ~exec:e a b ~c ;
+      check_bitwise "gemm_into beta=0 = gemm" (Blas.gemm ~exec:Exec.seq a b) c ;
+      List.iter
+        (fun beta ->
+          let run exec =
+            let c = Dense.copy c0 in
+            Blas.gemm_into ~exec ~beta a b ~c ;
+            c
+          in
+          check_bitwise
+            (Printf.sprintf "gemm_into beta=%g par = seq" beta)
+            (run Exec.seq) (run e))
+        [ 0.0; 1.0; 2.5 ] ;
+      let yv = Array.make 5_000 nan in
+      Blas.gemv_into ~exec:e a v ~y:yv ;
+      check_farray_bitwise "gemv_into beta=0 = gemv"
+        (Blas.gemv ~exec:Exec.seq a v)
+        yv ;
+      List.iter
+        (fun beta ->
+          let run exec =
+            let y = Array.copy y0 in
+            Blas.gemv_into ~exec ~beta a v ~y ;
+            y
+          in
+          check_farray_bitwise
+            (Printf.sprintf "gemv_into beta=%g par = seq" beta)
+            (run Exec.seq) (run e))
+        [ 0.0; 1.0; 2.5 ] ;
+      (* axpy folds scale-then-add into one pass over the same
+         expression, so it must match the two-kernel composition *)
+      let t = Dense.copy y in
+      Dense.axpy ~exec:e ~alpha:0.37 x t ;
+      check_bitwise "axpy = add y (scale alpha x)"
+        (Dense.add y (Dense.scale 0.37 x))
+        t ;
+      let s = Dense.create 5_000 40 in
+      Dense.scale_into ~exec:e 1.7 x ~out:s ;
+      check_bitwise "scale_into = scale" (Dense.scale 1.7 x) s ;
+      let aliased = Dense.copy x in
+      Dense.scale_into ~exec:e 1.7 aliased ~out:aliased ;
+      check_bitwise "scale_into, out aliasing src" (Dense.scale 1.7 x) aliased ;
+      let m = Dense.create 5_000 40 in
+      Dense.map2_into ~exec:e ( -. ) x y ~out:m ;
+      check_bitwise "map2_into (-.) = sub" (Dense.sub x y) m ;
+      let m2 = Dense.copy x in
+      Dense.map2_into ~exec:e ( -. ) m2 y ~out:m2 ;
+      check_bitwise "map2_into, out aliasing a" (Dense.sub x y) m2)
+
+let test_sparse_into_kernels_bitwise () =
+  let g = rng () in
+  let c =
+    match Mat.random_sparse ~rng:g ~density:0.1 5_000 40 with
+    | Mat.S c -> c
+    | Mat.D _ -> Alcotest.fail "expected sparse"
+  in
+  let x = Dense.random ~rng:g 40 6 in
+  let x1 = Dense.random ~rng:g 40 1 in
+  let c0 = Dense.random ~rng:g 5_000 6 in
+  let c1 = Dense.random ~rng:g 5_000 1 in
+  with_par4 (fun e ->
+      let out = Dense.create 5_000 6 in
+      Csr.smm_into ~exec:e c x ~c:out ;
+      check_bitwise "smm_into beta=0 = smm" (Csr.smm ~exec:Exec.seq c x) out ;
+      (* the k = 1 kernel takes a separate register-accumulator path *)
+      let out1 = Dense.create 5_000 1 in
+      Csr.smm_into ~exec:e c x1 ~c:out1 ;
+      check_bitwise "smm_into k=1 beta=0 = smm"
+        (Csr.smm ~exec:Exec.seq c x1)
+        out1 ;
+      List.iter
+        (fun beta ->
+          let run dst rhs exec =
+            let o = Dense.copy dst in
+            Csr.smm_into ~exec ~beta c rhs ~c:o ;
+            o
+          in
+          check_bitwise
+            (Printf.sprintf "smm_into beta=%g par = seq" beta)
+            (run c0 x Exec.seq) (run c0 x e) ;
+          check_bitwise
+            (Printf.sprintf "smm_into k=1 beta=%g par = seq" beta)
+            (run c1 x1 Exec.seq) (run c1 x1 e))
+        [ 0.0; 1.0; 2.5 ])
+
 (* ---- bitwise determinism: rewrites through the default backend ---- *)
 
 let pkfk_case () =
@@ -269,6 +371,10 @@ let () =
             test_dense_kernels_bitwise;
           Alcotest.test_case "sparse kernels bitwise" `Quick
             test_sparse_kernels_bitwise;
+          Alcotest.test_case "dense _into kernels bitwise" `Quick
+            test_dense_into_kernels_bitwise;
+          Alcotest.test_case "sparse _into kernels bitwise" `Quick
+            test_sparse_into_kernels_bitwise;
           Alcotest.test_case "rewrites via default backend" `Quick
             test_rewrites_bitwise_via_default ] );
       ( "flops",

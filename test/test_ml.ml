@@ -35,7 +35,7 @@ let dataset ?(seed = 3) ?(ns = 120) ?(nr = 12) ?(ds = 3) ?(dr = 4) () =
 let test_logreg_f_equals_m () =
   let t, m, y, _, _ = dataset () in
   let f = Factorized.Logreg.train ~alpha:1e-3 ~iters:15 t y in
-  let s = Materialized.Logreg.train ~alpha:1e-3 ~iters:15 (Mat.of_dense m) y in
+  let s = Materialized.Logreg.train ~alpha:1e-3 ~iters:15 (Regular_matrix.of_dense m) y in
   check_close "identical weights" s.Materialized.Logreg.w f.Factorized.Logreg.w
 
 let test_logreg_loss_decreases () =
@@ -61,7 +61,7 @@ let test_logreg_sparse () =
     Dense.init (Normalized.rows t) 1 (fun i _ -> if i mod 2 = 0 then 1.0 else -1.0)
   in
   let f = Factorized.Logreg.train ~alpha:1e-3 ~iters:10 t y in
-  let m = Mat.of_dense (Materialize.to_dense t) in
+  let m = Materialize.to_regular t in
   let s = Materialized.Logreg.train ~alpha:1e-3 ~iters:10 m y in
   check_close "sparse = dense path" s.Materialized.Logreg.w f.Factorized.Logreg.w
 
@@ -70,7 +70,7 @@ let test_logreg_sparse () =
 let test_linreg_normal_f_equals_m () =
   let t, m, _, y, _ = dataset () in
   let wf = Factorized.Linreg.train_normal t y in
-  let wm = Materialized.Linreg.train_normal (Mat.of_dense m) y in
+  let wm = Materialized.Linreg.train_normal (Regular_matrix.of_dense m) y in
   check_close ~tol:1e-5 "identical weights" wm wf
 
 let test_linreg_recovers_truth () =
@@ -83,13 +83,13 @@ let test_linreg_recovers_truth () =
 let test_linreg_gd_f_equals_m () =
   let t, m, _, y, _ = dataset () in
   let wf = Factorized.Linreg.train_gd ~alpha:1e-4 ~iters:30 t y in
-  let wm = Materialized.Linreg.train_gd ~alpha:1e-4 ~iters:30 (Mat.of_dense m) y in
+  let wm = Materialized.Linreg.train_gd ~alpha:1e-4 ~iters:30 (Regular_matrix.of_dense m) y in
   check_close "identical weights" wm wf
 
 let test_linreg_cofactor () =
   let t, m, _, y, _ = dataset () in
   let wf = Factorized.Linreg.train_cofactor ~alpha:0.05 ~iters:60 t y in
-  let wm = Materialized.Linreg.train_cofactor ~alpha:0.05 ~iters:60 (Mat.of_dense m) y in
+  let wm = Materialized.Linreg.train_cofactor ~alpha:0.05 ~iters:60 (Regular_matrix.of_dense m) y in
   check_close "identical weights" wm wf ;
   (* AdaGrad over the co-factor reduces the RSS *)
   let rss0 = Factorized.Linreg.rss t (Dense.create (Normalized.cols t) 1) y in
@@ -122,7 +122,7 @@ let blobs_dataset () =
 
 let test_kmeans_f_equals_m () =
   let t, _ = blobs_dataset () in
-  let m = Mat.of_dense (Materialize.to_dense t) in
+  let m = Materialize.to_regular t in
   let f = Factorized.Kmeans.train ~iters:8 ~k:2 t in
   let s = Materialized.Kmeans.train ~iters:8 ~k:2 m in
   check_close "identical centroids" s.Materialized.Kmeans.centroids
@@ -164,7 +164,7 @@ let nonneg_dataset () =
 
 let test_gnmf_f_equals_m () =
   let t = nonneg_dataset () in
-  let m = Mat.of_dense (Materialize.to_dense t) in
+  let m = Materialize.to_regular t in
   let init = Factorized.Gnmf.init t 3 in
   let init_m =
     { Materialized.Gnmf.w = Dense.copy init.Factorized.Gnmf.w;

@@ -89,7 +89,7 @@ let test_glm_f_equals_m () =
     (fun family ->
       let t, m, y = glm_dataset family in
       let f = FG.train ~alpha:1e-3 ~iters:15 ~family t y in
-      let g = MG.train ~alpha:1e-3 ~iters:15 ~family (Mat.of_dense m) y in
+      let g = MG.train ~alpha:1e-3 ~iters:15 ~family (Regular_matrix.of_dense m) y in
       check_close "identical weights" g.MG.w f.FG.w)
     [ Glm.Logistic; Glm.Gaussian; Glm.Poisson ]
 
@@ -182,7 +182,7 @@ let test_cv_fold_models_match_materialized () =
   let wf = FL.train_gd ~alpha:1e-3 ~iters:10 t_train y_train in
   let wm =
     ML.train_gd ~alpha:1e-3 ~iters:10
-      (Mat.of_dense (Materialize.to_dense t_train))
+      (Materialize.to_regular t_train)
       y_train
   in
   check_close "fold training agrees" wm wf

@@ -36,7 +36,7 @@ let separable ?(seed = 90) ?(ns = 120) () =
 
 let test_hinge_f_equals_m () =
   let t, y = separable () in
-  let m = Mat.of_dense (Materialize.to_dense t) in
+  let m = Materialize.to_regular t in
   let f = FG.train ~alpha:1e-3 ~iters:20 ~family:Glm.Hinge t y in
   let g = MG.train ~alpha:1e-3 ~iters:20 ~family:Glm.Hinge m y in
   check_close "identical weights" g.MG.w f.FG.w
@@ -68,7 +68,7 @@ let test_hinge_loss_properties () =
 
 let test_kmeanspp_f_equals_m () =
   let t, _ = separable ~seed:91 () in
-  let m = Mat.of_dense (Materialize.to_dense t) in
+  let m = Materialize.to_regular t in
   let cf = FK.init_plus_plus ~rng:(Rng.of_int 5) t 3 in
   let cm = MK.init_plus_plus ~rng:(Rng.of_int 5) m 3 in
   check_close "same seeds chosen" cm cf

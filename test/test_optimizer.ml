@@ -162,7 +162,7 @@ let test_ml_drift_after_many_iterations () =
   let module M = Ml_algs.Logreg.Make (Regular_matrix) in
   let wf = (F.train ~alpha:1e-2 ~iters:100 t y).F.w in
   let wm =
-    (M.train ~alpha:1e-2 ~iters:100 (Sparse.Mat.of_dense (Materialize.to_dense t)) y).M.w
+    (M.train ~alpha:1e-2 ~iters:100 (Materialize.to_regular t) y).M.w
   in
   let rel = Dense.max_abs_diff wf wm /. Float.max 1e-9 (Dense.max_abs wm) in
   if rel > 1e-10 then Alcotest.failf "100-iteration drift %.3e" rel
