@@ -38,6 +38,8 @@ let experiments : (string * string * (Harness.config -> unit)) list =
      Scaling.run);
     ("memo", "Memoization + in-place kernels: per-iteration time/alloc, JSON report",
      Memo_bench.run);
+    ("serve", "Scoring server: micro-batched vs unbatched latency, JSON report",
+     Serve_bench.run);
     ("micro", "Bechamel micro-suite (one Test.make per experiment family)", Micro.run) ]
 
 let usage () =

@@ -15,6 +15,29 @@ open Relational
 open Morpheus
 open Cmdliner
 
+let version = "1.1.0"
+
+let cmd_info name ~doc = Cmd.info name ~version ~doc
+
+(* Runtime (as opposed to usage) failures exit 1, uniformly; usage
+   errors exit 2 (enforced here and via [Cmd.eval ~term_err]). *)
+let with_runtime_errors f =
+  try f () with
+  | Io.Corrupt msg ->
+    Fmt.epr "morpheus: corrupt file: %s@." msg ;
+    exit 1
+  | Sys_error msg ->
+    Fmt.epr "morpheus: %s@." msg ;
+    exit 1
+  | Unix.Unix_error (e, fn, arg) ->
+    Fmt.epr "morpheus: %s%s: %s@." fn
+      (if arg = "" then "" else " " ^ arg)
+      (Unix.error_message e) ;
+    exit 1
+  | Invalid_argument msg | Failure msg ->
+    Fmt.epr "morpheus: %s@." msg ;
+    exit 1
+
 (* ---- shared args ---- *)
 
 let dir_arg =
@@ -98,7 +121,7 @@ let generate_cmd =
   let dr = Arg.(value & opt int 20 & info [ "dr" ] ~doc:"Features of R.") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
   Cmd.v
-    (Cmd.info "generate" ~doc:"Generate a synthetic PK-FK pair of base-table CSVs.")
+    (cmd_info "generate" ~doc:"Generate a synthetic PK-FK pair of base-table CSVs.")
     Term.(const generate $ dir_arg $ ns $ nr $ ds $ dr $ seed)
 
 (* ---- loading ---- *)
@@ -140,7 +163,7 @@ let show_info dir fk pk target nominal sparse threads =
 
 let info_cmd =
   Cmd.v
-    (Cmd.info "info" ~doc:"Report normalized-matrix statistics and the decision rule.")
+    (cmd_info "info" ~doc:"Report normalized-matrix statistics and the decision rule.")
     Term.(const show_info $ dir_arg $ fk_arg $ pk_arg $ target_arg $ nominal_arg
           $ sparse_arg $ threads_arg)
 
@@ -157,8 +180,29 @@ let algo_conv =
   Arg.enum
     [ ("logreg", Logreg_a); ("linreg", Linreg_a); ("kmeans", Kmeans_a); ("gnmf", Gnmf_a) ]
 
-let train dir fk pk target nominal sparse threads algo path iters alpha k rank =
+let algo_name = function
+  | Logreg_a -> "logreg"
+  | Linreg_a -> "linreg"
+  | Kmeans_a -> "kmeans"
+  | Gnmf_a -> "gnmf"
+
+let train dir fk pk target nominal sparse threads algo path iters alpha k rank
+    save registry =
   apply_threads threads ;
+  if save <> None && registry = None then begin
+    Fmt.epr "morpheus train: --save requires --registry@." ;
+    exit 2
+  end ;
+  if save <> None && path = Materialized_path then begin
+    Fmt.epr "morpheus train: --save needs the factorized path (use --path \
+             factorized or both)@." ;
+    exit 2
+  end ;
+  if save <> None && algo = Gnmf_a then begin
+    Fmt.epr "morpheus train: gnmf has no servable artifact to save@." ;
+    exit 2
+  end ;
+  with_runtime_errors @@ fun () ->
   let ds = load ~dir ~fk ~pk ~target ~nominal ~sparse in
   let t = ds.Builder.matrix in
   let y = Option.get ds.Builder.target in
@@ -184,13 +228,41 @@ let train dir fk pk target nominal sparse threads algo path iters alpha k rank =
     | Kmeans_a -> (M.Kmeans.train ~iters ~k m).M.Kmeans.centroids
     | Gnmf_a -> (M.Gnmf.train ~iters ~rank m).M.Gnmf.h
   in
-  (match path with
-  | Factorized_path -> ignore (run_path "factorized" fact)
-  | Materialized_path -> ignore (run_path "materialized" mat)
-  | Both ->
-    let wf = run_path "factorized" fact in
-    let wm = run_path "materialized" mat in
-    Fmt.pr "max |difference| between paths: %.3e@." (Dense.max_abs_diff wf wm)) ;
+  let trained =
+    match path with
+    | Factorized_path -> Some (run_path "factorized" fact)
+    | Materialized_path ->
+      ignore (run_path "materialized" mat) ;
+      None
+    | Both ->
+      let wf = run_path "factorized" fact in
+      let wm = run_path "materialized" mat in
+      Fmt.pr "max |difference| between paths: %.3e@." (Dense.max_abs_diff wf wm) ;
+      Some wf
+  in
+  (match (save, registry, trained) with
+  | Some name, Some reg, Some w ->
+    let artifact =
+      match algo with
+      | Logreg_a -> Morpheus_serve.Artifact.Logreg w
+      | Linreg_a -> Morpheus_serve.Artifact.Linreg w
+      | Kmeans_a -> Morpheus_serve.Artifact.Kmeans w
+      | Gnmf_a -> assert false (* rejected above *)
+    in
+    let entry =
+      Morpheus_serve.Registry.save ~dir:reg ~name
+        ~schema_hash:(Morpheus_serve.Registry.schema_hash t)
+        ~meta:
+          [ ("algorithm", algo_name algo);
+            ("iters", string_of_int iters);
+            ("alpha", Printf.sprintf "%g" alpha);
+            ("source", dir)
+          ]
+        artifact
+    in
+    Fmt.pr "saved %s to %s (%s)@." entry.Morpheus_serve.Registry.id reg
+      (Morpheus_serve.Artifact.describe artifact)
+  | _ -> ()) ;
   Fmt.pr "done.@."
 
 let train_cmd =
@@ -206,10 +278,19 @@ let train_cmd =
   let alpha = Arg.(value & opt float 1e-4 & info [ "alpha" ] ~doc:"Step size.") in
   let k = Arg.(value & opt int 5 & info [ "k" ] ~doc:"K-Means centroids.") in
   let rank = Arg.(value & opt int 5 & info [ "rank" ] ~doc:"GNMF rank.") in
+  let save =
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"NAME"
+           ~doc:"Persist the factorized model to the registry under $(docv).")
+  in
+  let registry =
+    Arg.(value & opt (some string) None & info [ "registry" ] ~docv:"DIR"
+           ~doc:"Model registry directory (required with --save).")
+  in
   Cmd.v
-    (Cmd.info "train" ~doc:"Train an ML algorithm over the normalized data.")
+    (cmd_info "train" ~doc:"Train an ML algorithm over the normalized data.")
     Term.(const train $ dir_arg $ fk_arg $ pk_arg $ target_arg $ nominal_arg
-          $ sparse_arg $ threads_arg $ algo $ path $ iters $ alpha $ k $ rank)
+          $ sparse_arg $ threads_arg $ algo $ path $ iters $ alpha $ k $ rank
+          $ save $ registry)
 
 (* ---- cv: ridge-lambda selection by k-fold cross-validation ---- *)
 
@@ -235,7 +316,7 @@ let cv_cmd =
            & info [ "lambdas" ] ~doc:"Ridge penalties to evaluate.")
   in
   Cmd.v
-    (Cmd.info "cv" ~doc:"Select a ridge penalty by factorized k-fold cross-validation.")
+    (cmd_info "cv" ~doc:"Select a ridge penalty by factorized k-fold cross-validation.")
     Term.(const cv $ dir_arg $ fk_arg $ pk_arg $ target_arg $ nominal_arg
           $ sparse_arg $ threads_arg $ k $ lambdas)
 
@@ -257,7 +338,7 @@ let pca dir fk pk target nominal sparse threads k =
 let pca_cmd =
   let k = Arg.(value & opt int 5 & info [ "k" ] ~doc:"Number of components.") in
   Cmd.v
-    (Cmd.info "pca" ~doc:"Run factorized PCA over the normalized data.")
+    (cmd_info "pca" ~doc:"Run factorized PCA over the normalized data.")
     Term.(const pca $ dir_arg $ fk_arg $ pk_arg $ target_arg $ nominal_arg
           $ sparse_arg $ threads_arg $ k)
 
@@ -288,7 +369,7 @@ let explain_cmd =
                ~doc:"Operator: scalar, rowsums, colsums, sum, lmm, rmm, crossprod, ginv.")
   in
   Cmd.v
-    (Cmd.info "explain"
+    (cmd_info "explain"
        ~doc:"Show the rewrite plan, cost estimates, and decision for an operator.")
     Term.(const explain $ dir_arg $ fk_arg $ pk_arg $ target_arg $ nominal_arg
           $ sparse_arg $ op)
@@ -351,15 +432,236 @@ let check_cmd =
            ~doc:"Treat warnings (W001-W003) as errors.")
   in
   Cmd.v
-    (Cmd.info "check"
+    (cmd_info "check"
        ~doc:"Statically check LA plans: shapes, rewrite preconditions, \
              per-node cost estimates, and structured diagnostics.")
     Term.(const check_plans $ expr $ strict $ files)
 
+(* ---- export: persist a normalized dataset for serving ---- *)
+
+let export dir fk pk target nominal sparse out =
+  with_runtime_errors @@ fun () ->
+  let ds = load ~dir ~fk ~pk ~target ~nominal ~sparse in
+  let t = ds.Builder.matrix in
+  Io.save ~dir:out t ;
+  let n, d = Normalized.dims t in
+  Fmt.pr "wrote normalized dataset %s (%d x %d, schema %s)@." out n d
+    (Morpheus_serve.Registry.schema_hash t)
+
+let export_cmd =
+  let out =
+    Arg.(required & opt (some string) None & info [ "out" ] ~docv:"DIR"
+           ~doc:"Output directory for the normalized binary dataset.")
+  in
+  Cmd.v
+    (cmd_info "export"
+       ~doc:"Build the normalized matrix from CSVs and persist it in the \
+             binary format morpheus serve scores from.")
+    Term.(const export $ dir_arg $ fk_arg $ pk_arg $ target_arg $ nominal_arg
+          $ sparse_arg $ out)
+
+(* ---- serve: the scoring server ---- *)
+
+let registry_arg =
+  Arg.(required & opt (some string) None & info [ "registry" ] ~docv:"DIR"
+         ~doc:"Model registry directory.")
+
+let socket_arg =
+  Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Unix domain socket path.")
+
+let serve registry socket threads max_batch max_wait_ms queue_bound handlers
+    cache_capacity deadline_ms =
+  apply_threads threads ;
+  if max_batch < 1 || queue_bound < 1 || handlers < 1 || cache_capacity < 1
+     || max_wait_ms < 0.0
+  then begin
+    Fmt.epr "morpheus serve: batch/queue/handler/cache sizes must be positive@." ;
+    exit 2
+  end ;
+  with_runtime_errors @@ fun () ->
+  Morpheus_serve.Server.run
+    { Morpheus_serve.Server.registry;
+      socket;
+      max_batch;
+      max_wait = max_wait_ms /. 1e3;
+      queue_bound;
+      handlers;
+      cache_capacity;
+      default_deadline_ms = deadline_ms
+    }
+
+let serve_cmd =
+  let max_batch =
+    Arg.(value & opt int 64 & info [ "max-batch" ]
+           ~doc:"Requests per micro-batch before it closes.")
+  in
+  let max_wait =
+    Arg.(value & opt float 2.0 & info [ "max-wait-ms" ]
+           ~doc:"Micro-batch linger, milliseconds.")
+  in
+  let queue_bound =
+    Arg.(value & opt int 1024 & info [ "queue-bound" ]
+           ~doc:"Pending requests before overload shedding.")
+  in
+  let handlers =
+    Arg.(value & opt int 4 & info [ "handlers" ]
+           ~doc:"Connection-handler threads.")
+  in
+  let cache =
+    Arg.(value & opt int 4 & info [ "cache" ]
+           ~doc:"Normalized datasets kept in the LRU cache.")
+  in
+  let deadline =
+    Arg.(value & opt (some float) None & info [ "default-deadline-ms" ]
+           ~doc:"Deadline applied to requests that carry none.")
+  in
+  Cmd.v
+    (cmd_info "serve"
+       ~doc:"Serve models from a registry over a Unix domain socket with \
+             micro-batched factorized scoring.")
+    Term.(const serve $ registry_arg $ socket_arg $ threads_arg $ max_batch
+          $ max_wait $ queue_bound $ handlers $ cache $ deadline)
+
+(* ---- score: client for the scoring server ---- *)
+
+let protocol_error (code, message) =
+  Fmt.epr "morpheus score: [%s] %s@." code message ;
+  exit 1
+
+let print_predictions = Array.iter (fun p -> Fmt.pr "%.17g@." p)
+
+let score socket model rows dataset ids deadline_ms op_ping op_list op_stats
+    op_shutdown =
+  let module C = Morpheus_serve.Client in
+  let module P = Morpheus_serve.Protocol in
+  let module J = Morpheus_serve.Json in
+  with_runtime_errors @@ fun () ->
+  C.with_client ~socket @@ fun c ->
+  if op_ping then
+    match C.call c P.Ping with
+    | Ok _ -> Fmt.pr "pong@."
+    | Error e -> protocol_error e
+  else if op_stats then
+    match C.call c P.Stats with
+    | Ok j ->
+      print_endline
+        (J.to_string (Option.value ~default:J.Null (J.member "stats" j)))
+    | Error e -> protocol_error e
+  else if op_list then
+    match C.call c P.List_models with
+    | Error e -> protocol_error e
+    | Ok j ->
+      let models =
+        Option.bind (J.member "models" j) J.to_list |> Option.value ~default:[]
+      in
+      List.iter
+        (fun m ->
+          let str k =
+            Option.value ~default:"?" (Option.bind (J.member k m) J.to_str)
+          in
+          let num k =
+            Option.value ~default:0 (Option.bind (J.member k m) J.to_int)
+          in
+          Fmt.pr "%-24s %-12s d=%d@." (str "id") (str "kind") (num "feature_dim"))
+        models
+  else if op_shutdown then
+    match C.call c P.Shutdown with
+    | Ok _ -> Fmt.pr "server stopping@."
+    | Error e -> protocol_error e
+  else begin
+    let model =
+      match model with
+      | Some m -> m
+      | None ->
+        Fmt.epr "morpheus score: --model is required to score@." ;
+        exit 2
+    in
+    match (rows, dataset) with
+    | [], None ->
+      Fmt.epr "morpheus score: give --row (repeatable) or --dataset + --ids@." ;
+      exit 2
+    | _ :: _, Some _ ->
+      Fmt.epr "morpheus score: give --row or --dataset, not both@." ;
+      exit 2
+    | rows, None -> (
+      let rows = Array.of_list (List.map Array.of_list rows) in
+      match C.score_rows c ~model ?deadline_ms rows with
+      | Ok preds -> print_predictions preds
+      | Error e -> protocol_error e)
+    | [], Some ds -> (
+      if ids = [] then begin
+        Fmt.epr "morpheus score: --dataset requires --ids@." ;
+        exit 2
+      end ;
+      match C.score_ids c ~model ~dataset:ds ?deadline_ms (Array.of_list ids) with
+      | Ok preds -> print_predictions preds
+      | Error e -> protocol_error e)
+  end
+
+let score_cmd =
+  let model =
+    Arg.(value & opt (some string) None & info [ "model" ] ~docv:"NAME"
+           ~doc:"Model to score with: name (latest version) or name@vN.")
+  in
+  let row =
+    Arg.(value & opt_all (list float) [] & info [ "row" ] ~docv:"V,V,..."
+           ~doc:"A dense feature row (repeatable).")
+  in
+  let dataset =
+    Arg.(value & opt (some string) None & info [ "dataset" ] ~docv:"DIR"
+           ~doc:"Server-side normalized dataset directory to score from.")
+  in
+  let ids =
+    Arg.(value & opt (list int) [] & info [ "ids" ] ~docv:"I,I,..."
+           ~doc:"Row ids of --dataset to score.")
+  in
+  let deadline =
+    Arg.(value & opt (some float) None & info [ "deadline-ms" ]
+           ~doc:"Per-request deadline, milliseconds.")
+  in
+  let ping = Arg.(value & flag & info [ "ping" ] ~doc:"Health check only.") in
+  let list_ = Arg.(value & flag & info [ "list" ] ~doc:"List served models.") in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print the server's metrics JSON.")
+  in
+  let shutdown =
+    Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the server to stop.")
+  in
+  Cmd.v
+    (cmd_info "score"
+       ~doc:"Score rows against a running morpheus serve instance.")
+    Term.(const score $ socket_arg $ model $ row $ dataset $ ids $ deadline
+          $ ping $ list_ $ stats $ shutdown)
+
+(* ---- models: offline registry listing ---- *)
+
+let models registry =
+  with_runtime_errors @@ fun () ->
+  match Morpheus_serve.Registry.list ~dir:registry with
+  | [] -> Fmt.pr "no models in %s@." registry
+  | entries ->
+    List.iter
+      (fun (e : Morpheus_serve.Registry.entry) ->
+        let m = e.manifest in
+        Fmt.pr "%-24s %-12s d=%-5d %s@." e.id m.kind m.feature_dim
+          (String.concat " "
+             (List.map (fun (k, v) -> k ^ "=" ^ v) m.meta)))
+      entries
+
+let models_cmd =
+  Cmd.v
+    (cmd_info "models" ~doc:"List the models in a registry directory.")
+    Term.(const models $ registry_arg)
+
 let () =
   let doc = "factorized linear algebra over normalized data (Morpheus)" in
-  exit
-    (Cmd.eval
-       (Cmd.group (Cmd.info "morpheus" ~version:"1.0.0" ~doc)
-          [ generate_cmd; info_cmd; train_cmd; cv_cmd; pca_cmd; explain_cmd;
-            check_cmd ]))
+  let code =
+    Cmd.eval ~term_err:2
+      (Cmd.group (Cmd.info "morpheus" ~version ~doc)
+         [ generate_cmd; info_cmd; train_cmd; cv_cmd; pca_cmd; explain_cmd;
+           check_cmd; export_cmd; serve_cmd; score_cmd; models_cmd ])
+  in
+  (* cmdliner reports command-line misuse as its fixed 124; fold it into
+     the documented usage-error code *)
+  exit (if code = Cmd.Exit.cli_error then 2 else code)

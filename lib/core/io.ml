@@ -8,22 +8,83 @@
      dir/part_<i>.ind  indicator mapping (int array)
      dir/part_<i>.mat  attribute matrix
 
-   Matrices serialize as a small header plus the payload arrays via
+   Matrices serialize as a framed payload: a magic + format-version
+   header line identifying the payload kind, then the arrays via
    Marshal (like the ORE chunk store); sparse matrices store their
-   triplets, so the on-disk size is O(nnz). *)
+   triplets, so the on-disk size is O(nnz).
+
+   Durability discipline (shared with the model registry, which frames
+   its artifacts through {!write_payload}): every file is written to a
+   [.tmp] sibling and renamed into place, so a reader never observes a
+   half-written file; [meta] is written last, making it the commit
+   point of a multi-file save. A truncated, foreign, or mislabelled
+   file raises {!Corrupt} instead of marshalling garbage. *)
 
 open La
 open Sparse
 
-let write_value path v =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> Marshal.to_channel oc v [])
+exception Corrupt of string
 
-let read_value path =
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+(* ---- framed, atomic single-file payloads ---- *)
+
+(* One shared magic so [file] can cheaply recognize any Morpheus binary
+   file; the per-payload [kind] tag keeps an indicator file from being
+   read as a matrix (or a registry artifact as either). *)
+let magic = "MORPHEUS-BIN"
+let format_version = 1
+
+let header ~kind = Printf.sprintf "%s v%d %s\n" magic format_version kind
+
+(* Atomic text write: tmp sibling + rename, so a reader (or a crash)
+   never observes a half-written file at [path]. *)
+let write_text_atomic path contents =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc contents ;
+     close_out oc
+   with e ->
+     close_out_noerr oc ;
+     (try Sys.remove tmp with Sys_error _ -> ()) ;
+     raise e) ;
+  Sys.rename tmp path
+
+let write_payload ~kind path v =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc (header ~kind) ;
+     Marshal.to_channel oc v [] ;
+     close_out oc
+   with e ->
+     close_out_noerr oc ;
+     (try Sys.remove tmp with Sys_error _ -> ()) ;
+     raise e) ;
+  Sys.rename tmp path
+
+let read_payload ~kind path =
   let ic = open_in_bin path in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> Marshal.from_channel ic)
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let line =
+        try input_line ic
+        with End_of_file -> corrupt "%s: empty file" path
+      in
+      (match String.split_on_char ' ' line with
+      | [ m; v; k ] when m = magic ->
+        if v <> Printf.sprintf "v%d" format_version then
+          corrupt "%s: unsupported format version %s" path v ;
+        if k <> kind then
+          corrupt "%s: payload kind %S, expected %S" path k kind
+      | _ -> corrupt "%s: not a Morpheus binary file" path) ;
+      try Marshal.from_channel ic
+      with End_of_file | Failure _ ->
+        corrupt "%s: truncated or damaged payload" path)
+
+(* ---- matrix payloads ---- *)
 
 type mat_payload =
   | P_dense of int * int * float array
@@ -38,9 +99,18 @@ let payload_of_mat = function
 
 let mat_of_payload = function
   | P_dense (rows, cols, data) ->
+    if Array.length data <> rows * cols then
+      corrupt "dense payload: %d values for a %dx%d matrix"
+        (Array.length data) rows cols ;
     Mat.of_dense (Dense.of_array ~rows ~cols (Array.copy data))
   | P_sparse (rows, cols, triplets) ->
     Mat.of_csr (Csr.of_triplets ~rows ~cols triplets)
+
+let mat_kind = "matrix"
+let ind_kind = "indicator"
+
+let write_mat path m = write_payload ~kind:mat_kind path (payload_of_mat m)
+let read_mat path = mat_of_payload (read_payload ~kind:mat_kind path)
 
 let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
 
@@ -52,12 +122,12 @@ let save ~dir t =
   ensure_dir dir ;
   let parts = Normalized.parts t in
   let meta = Buffer.create 128 in
-  Buffer.add_string meta "morpheus-normalized v1\n" ;
+  Buffer.add_string meta "morpheus-normalized v2\n" ;
   (match Normalized.ent t with
   | Some s ->
     Buffer.add_string meta
       (Printf.sprintf "ent %d %d\n" (Mat.rows s) (Mat.cols s)) ;
-    write_value (Filename.concat dir "ent.bin") (payload_of_mat s)
+    write_mat (Filename.concat dir "ent.bin") s
   | None -> Buffer.add_string meta "no-ent\n") ;
   Buffer.add_string meta (Printf.sprintf "parts %d\n" (List.length parts)) ;
   List.iteri
@@ -66,17 +136,16 @@ let save ~dir t =
         (Printf.sprintf "part %d %d %d\n" i
            (Indicator.rows p.Normalized.ind)
            (Indicator.cols p.Normalized.ind)) ;
-      write_value
+      write_payload ~kind:ind_kind
         (Filename.concat dir (Printf.sprintf "part_%d.ind" i))
         (Indicator.cols p.Normalized.ind, Indicator.mapping p.Normalized.ind) ;
-      write_value
+      write_mat
         (Filename.concat dir (Printf.sprintf "part_%d.mat" i))
-        (payload_of_mat p.Normalized.mat))
+        p.Normalized.mat)
     parts ;
-  let oc = open_out (Filename.concat dir "meta") in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (Buffer.contents meta))
+  (* the commit point: a crash before this rename leaves no meta, so
+     [load] refuses the directory rather than reading partial parts *)
+  write_text_atomic (Filename.concat dir "meta") (Buffer.contents meta)
 
 let load ~dir =
   let meta_path = Filename.concat dir "meta" in
@@ -88,28 +157,36 @@ let load ~dir =
     |> List.filter (fun l -> l <> "")
   in
   (match lines with
-  | header :: _ when header = "morpheus-normalized v1" -> ()
-  | _ -> invalid_arg "Io.load: unrecognized format") ;
+  | header :: _
+    when header = "morpheus-normalized v2" || header = "morpheus-normalized v1"
+    -> ()
+  | _ -> corrupt "%s: unrecognized meta header" meta_path) ;
   let ent =
     if List.exists (fun l -> String.length l >= 3 && String.sub l 0 3 = "ent") lines
-    then Some (mat_of_payload (read_value (Filename.concat dir "ent.bin")))
+    then Some (read_mat (Filename.concat dir "ent.bin"))
     else None
   in
   let nparts =
     let line =
-      List.find (fun l -> String.length l > 6 && String.sub l 0 6 = "parts ") lines
+      match
+        List.find_opt
+          (fun l -> String.length l > 6 && String.sub l 0 6 = "parts ")
+          lines
+      with
+      | Some l -> l
+      | None -> corrupt "%s: missing parts line" meta_path
     in
-    int_of_string (String.sub line 6 (String.length line - 6))
+    match int_of_string_opt (String.sub line 6 (String.length line - 6)) with
+    | Some n -> n
+    | None -> corrupt "%s: malformed parts line" meta_path
   in
   let parts =
     List.init nparts (fun i ->
         let cols, mapping =
-          read_value (Filename.concat dir (Printf.sprintf "part_%d.ind" i))
+          read_payload ~kind:ind_kind
+            (Filename.concat dir (Printf.sprintf "part_%d.ind" i))
         in
-        let mat =
-          mat_of_payload
-            (read_value (Filename.concat dir (Printf.sprintf "part_%d.mat" i)))
-        in
+        let mat = read_mat (Filename.concat dir (Printf.sprintf "part_%d.mat" i)) in
         (Indicator.create ~cols mapping, mat))
   in
   match ent with

@@ -1,14 +1,55 @@
 (** Persistence for normalized matrices: save/load the (S, Kᵢ, Rᵢ)
     components to a directory (binary, O(nnz) for sparse parts), so a
     normalized dataset is prepared once and reused — the durable
-    counterpart of §3.2's construction snippet. *)
+    counterpart of §3.2's construction snippet.
+
+    Every file is framed with a magic + format-version header and
+    written atomically (tmp sibling + rename); [meta] is written last,
+    so a crashed save never leaves a loadable-but-partial directory. *)
+
+open Sparse
+
+exception Corrupt of string
+(** A file exists but is not a valid Morpheus payload: wrong magic,
+    unsupported format version, mismatched payload kind, or a truncated
+    / damaged body. Distinct from [Invalid_argument] (caller misuse:
+    saving a transposed matrix, loading a directory that holds
+    nothing). *)
 
 val save : dir:string -> Normalized.t -> unit
 (** Persist a (non-transposed) normalized matrix. Creates [dir]. *)
 
 val load : dir:string -> Normalized.t
 (** Load a matrix saved by {!save}; raises [Invalid_argument] if the
-    directory does not hold one. *)
+    directory does not hold one and {!Corrupt} if it does but the files
+    are damaged. *)
 
 val delete : dir:string -> unit
 (** Remove a saved matrix's files and directory. *)
+
+(** {1 Framed payload files}
+
+    The building blocks behind {!save}/{!load}, exposed so other
+    on-disk formats (the model registry in [lib/serve]) share the same
+    magic, versioning, atomicity, and corruption discipline. *)
+
+val write_payload : kind:string -> string -> 'a -> unit
+(** [write_payload ~kind path v] writes a header line
+    ["MORPHEUS-BIN v1 <kind>"] followed by [v] marshalled, atomically
+    (tmp + rename). [kind] must not contain spaces or newlines. *)
+
+val read_payload : kind:string -> string -> 'a
+(** Read a payload written by {!write_payload} with the same [kind];
+    raises {!Corrupt} on foreign, truncated, version-mismatched, or
+    wrongly-tagged files. The caller asserts the payload type, as with
+    [Marshal]. *)
+
+val write_text_atomic : string -> string -> unit
+(** [write_text_atomic path contents] writes a text file atomically
+    (tmp sibling + rename). *)
+
+val write_mat : string -> Mat.t -> unit
+(** A single regular matrix as a framed payload (dense values or sparse
+    triplets). *)
+
+val read_mat : string -> Mat.t

@@ -18,6 +18,23 @@ open La
 
 type family = Logistic | Gaussian | Poisson | Hinge
 
+(* Stable names for manifests and wire formats (the serving layer's
+   model registry); [family_of_string] is total over these. *)
+let family_to_string = function
+  | Logistic -> "logistic"
+  | Gaussian -> "gaussian"
+  | Poisson -> "poisson"
+  | Hinge -> "hinge"
+
+let family_of_string = function
+  | "logistic" -> Some Logistic
+  | "gaussian" -> Some Gaussian
+  | "poisson" -> Some Poisson
+  | "hinge" -> Some Hinge
+  | _ -> None
+
+let all_families = [ Logistic; Gaussian; Poisson; Hinge ]
+
 let gradient_weight family ~score ~y =
   match family with
   | Logistic -> y /. (1.0 +. Stdlib.exp (y *. score))

@@ -11,6 +11,14 @@ type family =
   | Poisson  (** log link; g(s,y) = y − exp(s) *)
   | Hinge  (** linear SVM subgradient; labels ±1; loss = hinge *)
 
+val family_to_string : family -> string
+(** Stable lowercase name ("logistic", …) for manifests and wire
+    formats (the model registry persists it). *)
+
+val family_of_string : string -> family option
+
+val all_families : family list
+
 val gradient_weight : family -> score:float -> y:float -> float
 
 val nll : family -> score:float -> y:float -> float

@@ -92,6 +92,37 @@ module Make (M : Morpheus.Data_matrix.S) = struct
     done ;
     Dense.hcat (List.rev !chosen)
 
+  (* The distance fill shared by training and serving: writes the n×k
+     pairwise squared distances rowSums(T²)·1 + 1·colSums(C²) − 2·T·C
+     into [d]. One code path keeps assignment bitwise-identical whether
+     a row is scored inside [train], alone, or inside a server batch. *)
+  let fill_distances t ~dt ~c ~d =
+    let n = M.rows t and k = Dense.cols c in
+    let c2 = Dense.col_sums (Dense.pow_scalar c 2.0) in
+    let tc = M.lmm t c in
+    let dd = Dense.data d
+    and dtd = Dense.data dt
+    and c2d = Dense.data c2
+    and tcd = Dense.data tc in
+    for i = 0 to n - 1 do
+      let base = i * k in
+      let dti = Array.unsafe_get dtd i in
+      for j = 0 to k - 1 do
+        Array.unsafe_set dd (base + j)
+          (dti +. Array.unsafe_get c2d j
+          -. (2.0 *. Array.unsafe_get tcd (base + j)))
+      done
+    done
+
+  let distances t c =
+    if Dense.rows c <> M.cols t then
+      invalid_arg "Kmeans.distances: centroid rows must equal data columns" ;
+    let d = Dense.create (M.rows t) (Dense.cols c) in
+    fill_distances t ~dt:(M.row_sums_sq t) ~c ~d ;
+    d
+
+  let assign t c = Dense.row_argmins (distances t c)
+
   let train ?(iters = 20) ?centroids ~k t =
     let n = M.rows t in
     let c = ref (match centroids with Some c -> Dense.copy c | None -> init_centroids t k) in
@@ -112,21 +143,7 @@ module Make (M : Morpheus.Data_matrix.S) = struct
     for _ = 1 to iters do
       (* 2. Pairwise squared distances D (n×k) =
          rowSums(T²)·1 + 1·colSums(C²) − 2·T·C *)
-      let c2 = Dense.col_sums (Dense.pow_scalar !c 2.0) in
-      let tc = M.lmm t !c in
-      let dd = Dense.data d
-      and dtd = Dense.data dt
-      and c2d = Dense.data c2
-      and tcd = Dense.data tc in
-      for i = 0 to n - 1 do
-        let base = i * k in
-        let dti = Array.unsafe_get dtd i in
-        for j = 0 to k - 1 do
-          Array.unsafe_set dd (base + j)
-            (dti +. Array.unsafe_get c2d j
-            -. (2.0 *. Array.unsafe_get tcd (base + j)))
-        done
-      done ;
+      fill_distances t ~dt ~c:!c ~d ;
       (* 3. Assign points to the nearest centroid: A (n×k) boolean *)
       let args = Dense.row_argmins d in
       assignments := args ;

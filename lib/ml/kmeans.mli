@@ -24,5 +24,16 @@ module Make (M : Morpheus.Data_matrix.S) : sig
       the squared distance from the nearest chosen one; the distance
       computations run factorized on normalized inputs. *)
 
+  val distances : M.t -> Dense.t -> Dense.t
+  (** [distances t c] is the n×k pairwise squared-distance matrix of
+      T's rows against the d×k centroids [c] — the training loop's
+      exact distance computation, exposed for scoring a trained model
+      (the serving layer's K-Means path). *)
+
+  val assign : M.t -> Dense.t -> int array
+  (** Nearest-centroid id per row, [Dense.row_argmins] of
+      {!distances} — bitwise-identical to the assignment [train]
+      computes with the same centroids. *)
+
   val train : ?iters:int -> ?centroids:Dense.t -> k:int -> M.t -> result
 end

@@ -20,6 +20,25 @@ type model = { classes : class_stats list; d : int }
 
 let variance_floor = 1e-9
 
+let feature_dim model = model.d
+
+(* Rebuild a model from persisted class statistics (the registry's
+   load path), re-validating the invariants [train] guarantees. *)
+let make ~d classes =
+  if d <= 0 then invalid_arg "Naive_bayes.make: non-positive dimension" ;
+  if List.length classes < 2 then
+    invalid_arg "Naive_bayes.make: need at least two classes" ;
+  List.iter
+    (fun c ->
+      if Array.length c.mean <> d || Array.length c.variance <> d then
+        invalid_arg "Naive_bayes.make: class statistics width mismatch" ;
+      if c.prior <= 0.0 || c.prior > 1.0 then
+        invalid_arg "Naive_bayes.make: prior out of (0, 1]" ;
+      if Array.exists (fun v -> v < variance_floor) c.variance then
+        invalid_arg "Naive_bayes.make: variance below floor")
+    classes ;
+  { classes; d }
+
 (* Distinct labels in order of first appearance. *)
 let distinct_labels y =
   let seen = Hashtbl.create 8 in

@@ -18,6 +18,14 @@ type model = { classes : class_stats list; d : int }
 val train : Normalized.t -> Dense.t -> model
 (** Targets are arbitrary class labels as floats (≥ 2 distinct). *)
 
+val feature_dim : model -> int
+
+val make : d:int -> class_stats list -> model
+(** Rebuild a model from persisted per-class statistics (the model
+    registry's load path); raises [Invalid_argument] unless the
+    invariants of {!train} hold (width [d] everywhere, ≥ 2 classes,
+    priors in (0, 1], variances at least the floor). *)
+
 val log_joint : class_stats -> float array -> float
 (** log p(c) + Σ log N(xⱼ | μⱼ, σⱼ²) for one example. *)
 

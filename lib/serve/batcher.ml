@@ -1,0 +1,214 @@
+(* Micro-batching queue. One mutex guards the queue and every request's
+   state; the batching thread is the only caller of [exec], so kernels
+   that assume a single caller (the La.Pool substrate) are safe.
+
+   OCaml's Condition has no timed wait, so the close-the-batch timeout
+   is implemented by polling: when a batch is open but neither full nor
+   expired, the worker sleeps a quantum (max_wait/8, clamped to
+   [50µs, 1ms]) and re-checks. The quantum only bounds how precisely
+   max_wait is honored, not correctness. *)
+
+type error = Overloaded | Deadline_exceeded | Rejected of string
+
+let error_code = function
+  | Overloaded -> "overloaded"
+  | Deadline_exceeded -> "deadline_exceeded"
+  | Rejected _ -> "rejected"
+
+type 'b state = Waiting | Done of 'b | Failed of error
+
+type ('k, 'a, 'b) request = {
+  key : 'k;
+  payload : 'a;
+  deadline : float option;
+  enqueued : float;
+  mutable state : 'b state;
+}
+
+type ('k, 'a, 'b) t = {
+  m : Mutex.t;
+  work : Condition.t;  (* signaled on submit and stop *)
+  done_ : Condition.t;  (* broadcast when any request completes *)
+  max_batch : int;
+  max_wait : float;
+  queue_bound : int;
+  metrics : Metrics.t;
+  size : 'a -> int;
+  exec : 'k -> 'a array -> ('b, string) result array;
+  queue : ('k, 'a, 'b) request Queue.t;
+  mutable stopped : bool;
+  mutable thread : Thread.t option;
+}
+
+let now () = Unix.gettimeofday ()
+
+let finish t req outcome =
+  req.state <- outcome ;
+  match outcome with
+  | Failed e -> Metrics.record_error t.metrics ~code:(error_code e)
+  | _ -> ()
+
+(* Remove and complete every queued request whose deadline has passed. *)
+let drop_expired t at =
+  let keep = Queue.create () in
+  let dropped = ref false in
+  Queue.iter
+    (fun req ->
+      match req.deadline with
+      | Some d when d < at ->
+        finish t req (Failed Deadline_exceeded) ;
+        dropped := true
+      | _ -> Queue.push req keep)
+    t.queue ;
+  if !dropped then begin
+    Queue.clear t.queue ;
+    Queue.transfer keep t.queue ;
+    Condition.broadcast t.done_
+  end
+
+(* Extract up to [max_batch] requests whose key equals the head's,
+   preserving order; the rest stay queued. *)
+let take_batch t key =
+  let batch = ref [] and nbatch = ref 0 in
+  let keep = Queue.create () in
+  Queue.iter
+    (fun req ->
+      if !nbatch < t.max_batch && req.key = key then begin
+        batch := req :: !batch ;
+        incr nbatch
+      end
+      else Queue.push req keep)
+    t.queue ;
+  Queue.clear t.queue ;
+  Queue.transfer keep t.queue ;
+  Array.of_list (List.rev !batch)
+
+let same_key_pending t key =
+  let n = ref 0 in
+  Queue.iter (fun req -> if req.key = key then incr n) t.queue ;
+  !n
+
+let quantum t = Float.min 1e-3 (Float.max 5e-5 (t.max_wait /. 8.0))
+
+let run_batch t batch =
+  let payloads = Array.map (fun r -> r.payload) batch in
+  let key = batch.(0).key in
+  let rows = Array.fold_left (fun acc p -> acc + t.size p) 0 payloads in
+  let results =
+    match t.exec key payloads with
+    | results when Array.length results = Array.length batch -> results
+    | results ->
+      let msg =
+        Printf.sprintf "executor returned %d results for %d requests"
+          (Array.length results) (Array.length batch)
+      in
+      Array.map (fun _ -> Error msg) batch
+    | exception e -> Array.map (fun _ -> Error (Printexc.to_string e)) batch
+  in
+  Mutex.lock t.m ;
+  Metrics.record_batch t.metrics ~requests:(Array.length batch) ~rows ;
+  Array.iteri
+    (fun i req ->
+      match results.(i) with
+      | Ok b -> finish t req (Done b)
+      | Error msg -> finish t req (Failed (Rejected msg)))
+    batch ;
+  Condition.broadcast t.done_ ;
+  Mutex.unlock t.m
+
+let rec worker t =
+  Mutex.lock t.m ;
+  while Queue.is_empty t.queue && not t.stopped do
+    Condition.wait t.work t.m
+  done ;
+  if Queue.is_empty t.queue && t.stopped then Mutex.unlock t.m
+  else begin
+    drop_expired t (now ()) ;
+    if Queue.is_empty t.queue then begin
+      Mutex.unlock t.m ;
+      worker t
+    end
+    else begin
+      let head = Queue.peek t.queue in
+      let full = same_key_pending t head.key >= t.max_batch in
+      let expired = now () -. head.enqueued >= t.max_wait in
+      if full || expired || t.stopped then begin
+        let batch = take_batch t head.key in
+        Mutex.unlock t.m ;
+        if Array.length batch > 0 then run_batch t batch ;
+        worker t
+      end
+      else begin
+        Mutex.unlock t.m ;
+        Thread.delay (quantum t) ;
+        worker t
+      end
+    end
+  end
+
+let create ?(max_batch = 64) ?(max_wait = 2e-3) ?(queue_bound = 1024) ~metrics
+    ~size ~exec () =
+  if max_batch < 1 then invalid_arg "Batcher.create: max_batch < 1" ;
+  if max_wait < 0.0 then invalid_arg "Batcher.create: negative max_wait" ;
+  if queue_bound < 1 then invalid_arg "Batcher.create: queue_bound < 1" ;
+  let t =
+    { m = Mutex.create ();
+      work = Condition.create ();
+      done_ = Condition.create ();
+      max_batch;
+      max_wait;
+      queue_bound;
+      metrics;
+      size;
+      exec;
+      queue = Queue.create ();
+      stopped = false;
+      thread = None
+    }
+  in
+  t.thread <- Some (Thread.create worker t) ;
+  t
+
+let submit t ?deadline key payload =
+  Mutex.lock t.m ;
+  if t.stopped then begin
+    Mutex.unlock t.m ;
+    Metrics.record_error t.metrics ~code:"rejected" ;
+    Error (Rejected "server shutting down")
+  end
+  else if Queue.length t.queue >= t.queue_bound then begin
+    Mutex.unlock t.m ;
+    Metrics.record_error t.metrics ~code:"overloaded" ;
+    Error Overloaded
+  end
+  else begin
+    let req = { key; payload; deadline; enqueued = now (); state = Waiting } in
+    Queue.push req t.queue ;
+    Condition.signal t.work ;
+    let rec await () =
+      match req.state with
+      | Waiting ->
+        Condition.wait t.done_ t.m ;
+        await ()
+      | Done b -> Ok b
+      | Failed e -> Error e
+    in
+    let result = await () in
+    Mutex.unlock t.m ;
+    result
+  end
+
+let pending t =
+  Mutex.lock t.m ;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.m ;
+  n
+
+let stop t =
+  Mutex.lock t.m ;
+  let th = t.thread in
+  t.stopped <- true ;
+  t.thread <- None ;
+  Condition.broadcast t.work ;
+  Mutex.unlock t.m ;
+  match th with Some th -> Thread.join th | None -> ()

@@ -1,0 +1,68 @@
+type t = { fd : Unix.file_descr; buf : Buffer.t; chunk : Bytes.t }
+
+let connect ~socket =
+  let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+  (try Unix.connect fd (ADDR_UNIX socket)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ()) ;
+     raise e) ;
+  { fd; buf = Buffer.create 512; chunk = Bytes.create 4096 }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let write_all fd s =
+  let bytes = Bytes.of_string s in
+  let len = Bytes.length bytes in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd bytes !off (len - !off)
+  done
+
+let rec read_line t =
+  let contents = Buffer.contents t.buf in
+  match String.index_opt contents '\n' with
+  | Some i ->
+    Buffer.clear t.buf ;
+    Buffer.add_string t.buf
+      (String.sub contents (i + 1) (String.length contents - i - 1)) ;
+    Some (String.sub contents 0 i)
+  | None -> (
+    match Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) with
+    | 0 -> None
+    | n ->
+      Buffer.add_subbytes t.buf t.chunk 0 n ;
+      read_line t)
+
+let call t request =
+  match
+    write_all t.fd (Json.to_string (Protocol.request_to_json request) ^ "\n") ;
+    read_line t
+  with
+  | Some line -> (
+    match Json.of_string line with
+    | Ok j -> Protocol.response_result j
+    | Error msg -> Error ("transport", "unparseable response: " ^ msg))
+  | None -> Error ("transport", "connection closed by server")
+  | exception Unix.Unix_error (e, _, _) ->
+    Error ("transport", Unix.error_message e)
+
+let predictions = function
+  | Ok j -> (
+    match Option.bind (Json.member "predictions" j) Json.float_list with
+    | Some ps -> Ok (Array.of_list ps)
+    | None -> Error ("bad_response", "response missing predictions"))
+  | Error _ as e -> e
+
+let score_rows t ~model ?deadline_ms rows =
+  predictions
+    (call t (Protocol.Score { model; target = Protocol.Rows rows; deadline_ms }))
+
+let score_ids t ~model ~dataset ?deadline_ms ids =
+  predictions
+    (call t
+       (Protocol.Score
+          { model; target = Protocol.Dataset { dataset; ids }; deadline_ms }))
+
+let with_client ~socket f =
+  let t = connect ~socket in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -1,0 +1,35 @@
+(** Blocking client for the scoring server: one connection, one
+    request/response at a time over the line-delimited JSON protocol.
+    Used by [morpheus score], the smoke test, and the benchmark. *)
+
+type t
+
+val connect : socket:string -> t
+(** Raises [Unix.Unix_error] if the socket cannot be reached. *)
+
+val close : t -> unit
+
+val call : t -> Protocol.request -> (Json.t, string * string) result
+(** Send one request and block for its response. [Error (code, message)]
+    covers both protocol-level errors and transport failures (which
+    surface as code ["transport"]). *)
+
+val score_rows :
+  t ->
+  model:string ->
+  ?deadline_ms:float ->
+  float array array ->
+  (float array, string * string) result
+(** Score raw dense feature rows. *)
+
+val score_ids :
+  t ->
+  model:string ->
+  dataset:string ->
+  ?deadline_ms:float ->
+  int array ->
+  (float array, string * string) result
+(** Score rows of a server-side normalized dataset by row id. *)
+
+val with_client : socket:string -> (t -> 'a) -> 'a
+(** Connect, run, close (also on exception). *)

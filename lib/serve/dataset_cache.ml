@@ -1,0 +1,58 @@
+(* LRU cache as a recency-ordered association list under a mutex. The
+   capacity is single digits (loaded datasets are large), so O(n)
+   list surgery is noise next to what a hit saves. The lock is held
+   across [load] on a miss: concurrent readers of a cold key then wait
+   instead of loading the same dataset twice. *)
+
+type 'a t = {
+  m : Mutex.t;
+  capacity : int;
+  load : string -> 'a;
+  mutable entries : (string * 'a) list;  (* most-recently-used first *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity ~load =
+  if capacity < 1 then invalid_arg "Dataset_cache.create: capacity < 1" ;
+  { m = Mutex.create ();
+    capacity;
+    load;
+    entries = [];
+    hits = 0;
+    misses = 0;
+    evictions = 0
+  }
+
+let locked t f =
+  Mutex.lock t.m ;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let get t key =
+  locked t (fun () ->
+      match List.assoc_opt key t.entries with
+      | Some v ->
+        t.hits <- t.hits + 1 ;
+        t.entries <- (key, v) :: List.remove_assoc key t.entries ;
+        v
+      | None ->
+        t.misses <- t.misses + 1 ;
+        let v = t.load key in
+        let entries = (key, v) :: t.entries in
+        let n = List.length entries in
+        if n > t.capacity then begin
+          t.evictions <- t.evictions + (n - t.capacity) ;
+          t.entries <- List.filteri (fun i _ -> i < t.capacity) entries
+        end
+        else t.entries <- entries ;
+        v)
+
+let mem t key = locked t (fun () -> List.mem_assoc key t.entries)
+let keys t = locked t (fun () -> List.map fst t.entries)
+let hits t = locked t (fun () -> t.hits)
+let misses t = locked t (fun () -> t.misses)
+let evictions t = locked t (fun () -> t.evictions)
+let length t = locked t (fun () -> List.length t.entries)
+let capacity t = t.capacity
+let clear t = locked t (fun () -> t.entries <- [])

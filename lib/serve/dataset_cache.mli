@@ -1,0 +1,30 @@
+(** A small thread-safe LRU cache of loaded values keyed by string —
+    the server's cache of normalized datasets ({!Morpheus.Io.load} is
+    many orders of magnitude slower than a factorized scoring pass, so
+    repeated requests against the same dataset must not reload it).
+    Generic so tests can cache counters instead of datasets. *)
+
+type 'a t
+
+val create : capacity:int -> load:(string -> 'a) -> 'a t
+(** [capacity] ≥ 1; [load] fills misses (its exceptions propagate out
+    of {!get} and nothing is cached). *)
+
+val get : 'a t -> string -> 'a
+(** Hit: O(capacity), promotes the key to most-recently-used. Miss:
+    runs [load], inserts, evicts the least-recently-used entry when
+    over capacity. *)
+
+val mem : 'a t -> string -> bool
+(** Without promoting. *)
+
+val keys : 'a t -> string list
+(** Most-recently-used first. *)
+
+val hits : 'a t -> int
+val misses : 'a t -> int
+val evictions : 'a t -> int
+val length : 'a t -> int
+val capacity : 'a t -> int
+
+val clear : 'a t -> unit

@@ -1,0 +1,263 @@
+(* Minimal JSON: enough for the line-delimited scoring protocol and the
+   registry manifests. The printer never emits raw control characters,
+   so a rendered value is always a single protocol frame. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* ---- printing ---- *)
+
+let escape_into buf s =
+  Buffer.add_char buf '"' ;
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s ;
+  Buffer.add_char buf '"'
+
+let num_to_string x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else if Float.is_nan x then "null" (* JSON has no NaN *)
+  else if x = Float.infinity then "1e999"
+  else if x = Float.neg_infinity then "-1e999"
+  else Printf.sprintf "%.17g" x
+
+let rec render buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num x -> Buffer.add_string buf (num_to_string x)
+  | Str s -> escape_into buf s
+  | Arr items ->
+    Buffer.add_char buf '[' ;
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char buf ',' ;
+        render buf v)
+      items ;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{' ;
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',' ;
+        escape_into buf k ;
+        Buffer.add_char buf ':' ;
+        render buf v)
+      fields ;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  render buf v ;
+  Buffer.contents buf
+
+(* ---- parsing ---- *)
+
+exception Parse_error of int * string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let error msg = raise (Parse_error (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> error (Printf.sprintf "expected %C" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l ;
+      v
+    end
+    else error (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"' ;
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then error "unterminated string" ;
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+        advance () ;
+        (if !pos >= n then error "unterminated escape" ;
+         match s.[!pos] with
+         | '"' -> Buffer.add_char buf '"' ; advance ()
+         | '\\' -> Buffer.add_char buf '\\' ; advance ()
+         | '/' -> Buffer.add_char buf '/' ; advance ()
+         | 'b' -> Buffer.add_char buf '\b' ; advance ()
+         | 'f' -> Buffer.add_char buf '\012' ; advance ()
+         | 'n' -> Buffer.add_char buf '\n' ; advance ()
+         | 'r' -> Buffer.add_char buf '\r' ; advance ()
+         | 't' -> Buffer.add_char buf '\t' ; advance ()
+         | 'u' ->
+           advance () ;
+           if !pos + 4 > n then error "truncated \\u escape" ;
+           let hex = String.sub s !pos 4 in
+           let code =
+             match int_of_string_opt ("0x" ^ hex) with
+             | Some c -> c
+             | None -> error "bad \\u escape"
+           in
+           pos := !pos + 4 ;
+           (* encode the code point as UTF-8 (surrogates kept as-is) *)
+           if code < 0x80 then Buffer.add_char buf (Char.chr code)
+           else if code < 0x800 then begin
+             Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6))) ;
+             Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+           end
+           else begin
+             Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12))) ;
+             Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F))) ;
+             Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+           end
+         | c -> error (Printf.sprintf "bad escape \\%c" c)) ;
+        go ()
+      | c ->
+        Buffer.add_char buf c ;
+        advance () ;
+        go ()
+    in
+    go () ;
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = Some '-' then advance () ;
+    let digits () =
+      let d0 = !pos in
+      while !pos < n && (match s.[!pos] with '0' .. '9' -> true | _ -> false) do
+        advance ()
+      done ;
+      if !pos = d0 then error "expected digit"
+    in
+    digits () ;
+    if peek () = Some '.' then begin
+      advance () ;
+      digits ()
+    end ;
+    (match peek () with
+    | Some ('e' | 'E') ->
+      advance () ;
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ()) ;
+      digits ()
+    | _ -> ()) ;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some x -> x
+    | None -> error "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws () ;
+    match peek () with
+    | None -> error "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> Str (parse_string ())
+    | Some '[' ->
+      advance () ;
+      skip_ws () ;
+      if peek () = Some ']' then begin
+        advance () ;
+        Arr []
+      end
+      else begin
+        let items = ref [ parse_value () ] in
+        skip_ws () ;
+        while peek () = Some ',' do
+          advance () ;
+          items := parse_value () :: !items ;
+          skip_ws ()
+        done ;
+        expect ']' ;
+        Arr (List.rev !items)
+      end
+    | Some '{' ->
+      advance () ;
+      skip_ws () ;
+      if peek () = Some '}' then begin
+        advance () ;
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws () ;
+          let k = parse_string () in
+          skip_ws () ;
+          expect ':' ;
+          let v = parse_value () in
+          (k, v)
+        in
+        let fields = ref [ field () ] in
+        skip_ws () ;
+        while peek () = Some ',' do
+          advance () ;
+          fields := field () :: !fields ;
+          skip_ws ()
+        done ;
+        expect '}' ;
+        Obj (List.rev !fields)
+      end
+    | Some ('-' | '0' .. '9') -> Num (parse_number ())
+    | Some c -> error (Printf.sprintf "unexpected %C" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws () ;
+    if !pos <> n then error "trailing garbage" ;
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error (p, msg) ->
+    Error (Printf.sprintf "json: %s at position %d" msg p)
+
+(* ---- accessors ---- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_float = function Num x -> Some x | _ -> None
+
+let to_int = function
+  | Num x when Float.is_integer x -> Some (int_of_float x)
+  | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None
+let to_list = function Arr l -> Some l | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
+
+let float_list v =
+  match v with
+  | Arr items ->
+    let rec go acc = function
+      | [] -> Some (List.rev acc)
+      | Num x :: rest -> go (x :: acc) rest
+      | _ -> None
+    in
+    go [] items
+  | _ -> None

@@ -1,0 +1,39 @@
+(** A minimal JSON value type with a strict parser and printer — the
+    wire format of the scoring protocol (one value per line) and the
+    manifest format of the model registry. Self-contained so serving
+    adds no dependency beyond the stdlib. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering (never contains a raw newline, so a
+    value is always one protocol frame). Integral floats print without
+    a fraction; all others round-trip ([%.17g]). *)
+
+val of_string : string -> (t, string) result
+(** Strict parse of exactly one JSON value (trailing whitespace
+    allowed). Errors carry a character position. *)
+
+(** {1 Accessors}
+
+    Total lookups for protocol decoding: [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+(** Field of an object. *)
+
+val to_float : t -> float option
+val to_int : t -> int option
+(** [Num] with an integral value. *)
+
+val to_str : t -> string option
+val to_list : t -> t list option
+val to_bool : t -> bool option
+
+val float_list : t -> float list option
+(** An array of numbers. *)

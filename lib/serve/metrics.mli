@@ -1,0 +1,40 @@
+(** Serving metrics: request counters, log-bucketed latency histograms
+    (p50/p95/p99), the micro-batch size distribution, and cache/shed
+    counters. All recording paths are mutex-protected (handler threads
+    and the batching thread write concurrently) and O(1). *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> op:string -> seconds:float -> unit
+(** One completed request of kind [op] with its wall-clock latency. *)
+
+val record_error : t -> code:string -> unit
+(** One failed request by error code (["overloaded"],
+    ["deadline_exceeded"], ["unknown_model"], …). *)
+
+val record_batch : t -> requests:int -> rows:int -> unit
+(** One executed micro-batch: how many requests were coalesced and how
+    many data rows the fused product covered. *)
+
+val record_cache : t -> hit:bool -> unit
+(** A dataset-cache lookup. *)
+
+val requests : t -> int
+(** Total successful requests recorded. *)
+
+val errors : t -> int
+
+val quantile : t -> float -> float
+(** [quantile t q] (q in [0,1]) of all recorded latencies, in seconds,
+    read from the histogram (bucket upper edge — ≤ 12% overestimate by
+    construction). 0 when empty. *)
+
+val snapshot : t -> Json.t
+(** The stats payload: per-op counts, error counts, latency summary
+    (count/mean/p50/p95/p99/max), batch-size distribution, cache hit
+    rate. *)
+
+val summary : t -> string
+(** Human-readable multi-line dump (printed on server shutdown). *)

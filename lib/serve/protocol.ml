@@ -1,0 +1,125 @@
+(* Wire protocol: request/response (de)serialization. Kept free of any
+   I/O so both the server and the client (and the tests) share one
+   definition of the frames. *)
+
+type score_target =
+  | Rows of float array array
+  | Dataset of { dataset : string; ids : int array }
+
+type request =
+  | Ping
+  | List_models
+  | Stats
+  | Score of {
+      model : string;
+      target : score_target;
+      deadline_ms : float option;
+    }
+  | Shutdown
+
+let request_to_json = function
+  | Ping -> Json.Obj [ ("op", Json.Str "ping") ]
+  | List_models -> Json.Obj [ ("op", Json.Str "list") ]
+  | Stats -> Json.Obj [ ("op", Json.Str "stats") ]
+  | Shutdown -> Json.Obj [ ("op", Json.Str "shutdown") ]
+  | Score { model; target; deadline_ms } ->
+    let base = [ ("op", Json.Str "score"); ("model", Json.Str model) ] in
+    let target_fields =
+      match target with
+      | Rows rows ->
+        [ ( "rows",
+            Json.Arr
+              (Array.to_list rows
+              |> List.map (fun r ->
+                     Json.Arr (Array.to_list r |> List.map (fun x -> Json.Num x)))
+              ) )
+        ]
+      | Dataset { dataset; ids } ->
+        [ ("dataset", Json.Str dataset);
+          ( "ids",
+            Json.Arr
+              (Array.to_list ids
+              |> List.map (fun i -> Json.Num (float_of_int i))) )
+        ]
+    in
+    let deadline =
+      match deadline_ms with
+      | Some ms -> [ ("deadline_ms", Json.Num ms) ]
+      | None -> []
+    in
+    Json.Obj (base @ target_fields @ deadline)
+
+let ( let* ) = Result.bind
+
+let request_of_json j =
+  match Option.bind (Json.member "op" j) Json.to_str with
+  | None -> Error "missing op"
+  | Some "ping" -> Ok Ping
+  | Some "list" -> Ok List_models
+  | Some "stats" -> Ok Stats
+  | Some "shutdown" -> Ok Shutdown
+  | Some "score" ->
+    let* model =
+      match Option.bind (Json.member "model" j) Json.to_str with
+      | Some m -> Ok m
+      | None -> Error "score: missing model"
+    in
+    let deadline_ms =
+      match Option.bind (Json.member "deadline_ms" j) Json.to_float with
+      | Some ms when ms > 0.0 -> Some ms
+      | _ -> None
+    in
+    let* target =
+      match (Json.member "rows" j, Json.member "dataset" j) with
+      | Some _, Some _ -> Error "score: give rows or dataset+ids, not both"
+      | Some rows, None -> (
+        match Json.to_list rows with
+        | None -> Error "score: rows must be an array of arrays"
+        | Some items ->
+          let rec go acc = function
+            | [] -> Ok (Rows (Array.of_list (List.rev acc)))
+            | item :: rest -> (
+              match Json.float_list item with
+              | Some r -> go (Array.of_list r :: acc) rest
+              | None -> Error "score: rows must be arrays of numbers")
+          in
+          go [] items)
+      | None, Some ds -> (
+        match
+          ( Json.to_str ds,
+            Option.bind (Json.member "ids" j) Json.to_list )
+        with
+        | Some dataset, Some items ->
+          let rec go acc = function
+            | [] -> Ok (Dataset { dataset; ids = Array.of_list (List.rev acc) })
+            | item :: rest -> (
+              match Json.to_int item with
+              | Some i when i >= 0 -> go (i :: acc) rest
+              | _ -> Error "score: ids must be non-negative integers")
+          in
+          go [] items
+        | Some _, None -> Error "score: dataset requires ids"
+        | None, _ -> Error "score: dataset must be a string")
+      | None, None -> Error "score: missing rows or dataset+ids"
+    in
+    Ok (Score { model; target; deadline_ms })
+  | Some op -> Error (Printf.sprintf "unknown op %S" op)
+
+let ok fields = Json.Obj (("ok", Json.Bool true) :: fields)
+
+let error ~code ~message =
+  Json.Obj
+    [ ("ok", Json.Bool false);
+      ("code", Json.Str code);
+      ("message", Json.Str message)
+    ]
+
+let response_result j =
+  match Option.bind (Json.member "ok" j) Json.to_bool with
+  | Some true -> Ok j
+  | Some false ->
+    let get k =
+      Option.value ~default:"" (Option.bind (Json.member k j) Json.to_str)
+    in
+    Error (get "code", get "message")
+  | None -> Error ("bad_response", "response missing ok field")

@@ -1,0 +1,36 @@
+(** The scoring wire protocol: line-delimited JSON over a Unix domain
+    socket. Each request is one JSON object terminated by a newline;
+    the server answers with exactly one JSON object line per request,
+    in order; a connection carries any number of requests. See
+    docs/SERVING.md for the full specification. *)
+
+type score_target =
+  | Rows of float array array
+      (** raw dense feature rows carried in the request *)
+  | Dataset of { dataset : string; ids : int array }
+      (** rows of a server-side normalized dataset (saved with
+          [Io.save]); scored through the factorized rewrites *)
+
+type request =
+  | Ping
+  | List_models
+  | Stats
+  | Score of {
+      model : string;  (** registry reference: ["name"] or ["name@vN"] *)
+      target : score_target;
+      deadline_ms : float option;  (** relative per-request deadline *)
+    }
+  | Shutdown  (** ask the server to shut down gracefully *)
+
+val request_to_json : request -> Json.t
+val request_of_json : Json.t -> (request, string) result
+
+val ok : (string * Json.t) list -> Json.t
+(** [{"ok": true, …fields}] *)
+
+val error : code:string -> message:string -> Json.t
+(** [{"ok": false, "code": …, "message": …}] *)
+
+val response_result : Json.t -> (Json.t, string * string) result
+(** Split a response on its ["ok"] field; [Error (code, message)]
+    mirrors {!error}. *)

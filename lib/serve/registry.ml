@@ -1,0 +1,249 @@
+(* Versioned on-disk model registry over Io's framed-payload files.
+   Everything that matters for crash safety is inherited from Io:
+   artifact.bin and manifest.json are both tmp+rename atomic, and the
+   manifest is written second, making it the version's commit point. *)
+
+open Morpheus
+
+type manifest = {
+  name : string;
+  version : int;
+  kind : string;
+  feature_dim : int;
+  schema_hash : string option;
+  created : float;
+  meta : (string * string) list;
+}
+
+type entry = { id : string; manifest : manifest }
+
+let artifact_kind = "model-artifact"
+let artifact_file = "artifact.bin"
+let manifest_file = "manifest.json"
+
+let id_of ~name ~version = Printf.sprintf "%s@v%d" name version
+
+let valid_name name =
+  name <> ""
+  && String.for_all
+       (fun c ->
+         match c with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' -> true
+         | _ -> false)
+       name
+
+(* Column-structure digest: entity width + per-part attribute widths.
+   Row counts are deliberately excluded — a model trained on one
+   extract must match any same-schema dataset. *)
+let schema_hash t =
+  let body = Normalized.body t in
+  let buf = Buffer.create 64 in
+  (match body.Normalized.ent with
+  | Some s -> Buffer.add_string buf (Printf.sprintf "ent:%d" (Sparse.Mat.cols s))
+  | None -> Buffer.add_string buf "ent:none") ;
+  List.iter
+    (fun (p : Normalized.part) ->
+      Buffer.add_string buf
+        (Printf.sprintf "|part:%d" (Sparse.Mat.cols p.Normalized.mat)))
+    body.Normalized.parts ;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* ---- manifest (de)serialization ---- *)
+
+let manifest_to_json m =
+  Json.Obj
+    [ ("name", Json.Str m.name);
+      ("version", Json.Num (float_of_int m.version));
+      ("kind", Json.Str m.kind);
+      ("feature_dim", Json.Num (float_of_int m.feature_dim));
+      ( "schema_hash",
+        match m.schema_hash with Some h -> Json.Str h | None -> Json.Null );
+      ("created", Json.Num m.created);
+      ("meta", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) m.meta))
+    ]
+
+let manifest_of_json j =
+  let open Json in
+  let str k = Option.bind (member k j) to_str in
+  let int k = Option.bind (member k j) to_int in
+  match (str "name", int "version", str "kind", int "feature_dim") with
+  | Some name, Some version, Some kind, Some feature_dim ->
+    let schema_hash =
+      match member "schema_hash" j with Some (Str h) -> Some h | _ -> None
+    in
+    let created =
+      match Option.bind (member "created" j) to_float with
+      | Some c -> c
+      | None -> 0.0
+    in
+    let meta =
+      match member "meta" j with
+      | Some (Obj fields) ->
+        List.filter_map
+          (fun (k, v) -> Option.map (fun s -> (k, s)) (to_str v))
+          fields
+      | _ -> []
+    in
+    Ok { name; version; kind; feature_dim; schema_hash; created; meta }
+  | _ -> Error "manifest missing name/version/kind/feature_dim"
+
+let read_manifest path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | contents -> (
+    match Json.of_string (String.trim contents) with
+    | Ok j -> manifest_of_json j
+    | Error e -> Error (path ^ ": " ^ e))
+  | exception Sys_error e -> Error e
+
+(* ---- directory scanning ---- *)
+
+let versions_of ~dir name =
+  let model_dir = Filename.concat dir name in
+  if not (Sys.file_exists model_dir && Sys.is_directory model_dir) then []
+  else
+    Sys.readdir model_dir |> Array.to_list
+    |> List.filter_map (fun v ->
+           if String.length v > 1 && v.[0] = 'v' then
+             match int_of_string_opt (String.sub v 1 (String.length v - 1)) with
+             | Some n
+               when Sys.file_exists
+                      (Filename.concat (Filename.concat model_dir v)
+                         manifest_file) ->
+               Some n
+             | _ -> None
+           else None)
+    |> List.sort compare
+
+let version_dir ~dir ~name ~version =
+  Filename.concat (Filename.concat dir name) (Printf.sprintf "v%d" version)
+
+let entry_of ~dir ~name ~version =
+  let vd = version_dir ~dir ~name ~version in
+  match read_manifest (Filename.concat vd manifest_file) with
+  | Ok manifest -> Some { id = id_of ~name ~version; manifest }
+  | Error _ -> None
+
+let list ~dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list |> List.sort compare
+    |> List.concat_map (fun name ->
+           versions_of ~dir name
+           |> List.filter_map (fun version -> entry_of ~dir ~name ~version))
+
+(* ---- save ---- *)
+
+let ensure_dir d = if not (Sys.file_exists d) then Sys.mkdir d 0o755
+
+let save ~dir ~name ?schema_hash ?(meta = []) artifact =
+  if not (valid_name name) then
+    invalid_arg
+      ("Registry.save: invalid model name " ^ name
+     ^ " (use letters, digits, '_', '-', '.')") ;
+  ensure_dir dir ;
+  ensure_dir (Filename.concat dir name) ;
+  (* next version: committed or not, any existing vN directory is
+     skipped so a crashed save never gets overwritten *)
+  let model_dir = Filename.concat dir name in
+  let taken =
+    Sys.readdir model_dir |> Array.to_list
+    |> List.filter_map (fun v ->
+           if String.length v > 1 && v.[0] = 'v' then
+             int_of_string_opt (String.sub v 1 (String.length v - 1))
+           else None)
+  in
+  let version = 1 + List.fold_left max 0 taken in
+  let vd = version_dir ~dir ~name ~version in
+  ensure_dir vd ;
+  Io.write_payload ~kind:artifact_kind
+    (Filename.concat vd artifact_file)
+    (Artifact.to_payload artifact) ;
+  let manifest =
+    { name;
+      version;
+      kind = Artifact.kind artifact;
+      feature_dim = Artifact.feature_dim artifact;
+      schema_hash;
+      created = Unix.gettimeofday ();
+      meta
+    }
+  in
+  (* the commit point *)
+  Io.write_text_atomic
+    (Filename.concat vd manifest_file)
+    (Json.to_string (manifest_to_json manifest) ^ "\n") ;
+  { id = id_of ~name ~version; manifest }
+
+(* ---- resolve / load ---- *)
+
+let parse_ref r =
+  match String.index_opt r '@' with
+  | None -> Ok (r, None)
+  | Some i ->
+    let name = String.sub r 0 i in
+    let v = String.sub r (i + 1) (String.length r - i - 1) in
+    if String.length v > 1 && v.[0] = 'v' then
+      match int_of_string_opt (String.sub v 1 (String.length v - 1)) with
+      | Some n -> Ok (name, Some n)
+      | None -> Error (Printf.sprintf "malformed version in %S" r)
+    else Error (Printf.sprintf "malformed version in %S (want name@vN)" r)
+
+let resolve ~dir r =
+  match parse_ref r with
+  | Error _ as e -> e
+  | Ok (name, version) -> (
+    let version =
+      match version with
+      | Some v -> Some v
+      | None -> (
+        match List.rev (versions_of ~dir name) with
+        | latest :: _ -> Some latest
+        | [] -> None)
+    in
+    match version with
+    | None -> Error (Printf.sprintf "unknown model %S" r)
+    | Some version -> (
+      match entry_of ~dir ~name ~version with
+      | Some e -> Ok e
+      | None -> Error (Printf.sprintf "unknown model %S" r)))
+
+let load ~dir r =
+  match resolve ~dir r with
+  | Error _ as e -> e
+  | Ok { id; manifest } -> (
+    let vd = version_dir ~dir ~name:manifest.name ~version:manifest.version in
+    match
+      Io.read_payload ~kind:artifact_kind (Filename.concat vd artifact_file)
+    with
+    | exception Io.Corrupt msg -> Error msg
+    | exception Sys_error msg -> Error msg
+    | payload -> (
+      match Artifact.of_payload payload with
+      | Error msg -> Error (Printf.sprintf "%s: %s" id msg)
+      | Ok artifact ->
+        if Artifact.kind artifact <> manifest.kind then
+          Error
+            (Printf.sprintf "%s: manifest kind %S but artifact is %S" id
+               manifest.kind (Artifact.kind artifact))
+        else Ok (artifact, manifest)))
+
+(* ---- delete ---- *)
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path) ;
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let delete ~dir r =
+  match parse_ref r with
+  | Error _ as e -> e
+  | Ok (name, None) ->
+    let model_dir = Filename.concat dir name in
+    if Sys.file_exists model_dir then Ok (rm_rf model_dir)
+    else Error (Printf.sprintf "unknown model %S" r)
+  | Ok (name, Some version) ->
+    let vd = version_dir ~dir ~name ~version in
+    if Sys.file_exists vd then Ok (rm_rf vd)
+    else Error (Printf.sprintf "unknown model %S" r)

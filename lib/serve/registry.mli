@@ -1,0 +1,63 @@
+(** The model registry: versioned on-disk persistence for trained
+    artifacts, reusing {!Morpheus.Io}'s framed binary format and its
+    atomic tmp+rename discipline. Layout:
+
+    {v
+    registry/
+      <name>/
+        v1/
+          artifact.bin     framed Marshal payload (Io.write_payload)
+          manifest.json    kind, dims, schema hash, training metadata
+        v2/ …
+    v}
+
+    [manifest.json] is written last, so it is the commit point of a
+    save: a version directory without a manifest is invisible to
+    {!list}/{!resolve} (a crashed save can never be served). *)
+
+type manifest = {
+  name : string;
+  version : int;
+  kind : string;  (** {!Artifact.kind} *)
+  feature_dim : int;
+  schema_hash : string option;
+      (** digest of the training dataset's column structure; scoring
+          over a dataset with a different hash is refused *)
+  created : float;  (** unix time of the save *)
+  meta : (string * string) list;  (** free-form training metadata *)
+}
+
+type entry = { id : string; manifest : manifest }
+(** [id] is the canonical ["name@vN"]. *)
+
+val schema_hash : Morpheus.Normalized.t -> string
+(** Digest of the column structure (entity width + per-part attribute
+    widths) — invariant under row count and dense/sparse choice, so a
+    model trained on one extract matches any same-schema dataset. *)
+
+val save :
+  dir:string ->
+  name:string ->
+  ?schema_hash:string ->
+  ?meta:(string * string) list ->
+  Artifact.t ->
+  entry
+(** Persist the artifact as the next version of [name] (v1 when new),
+    creating directories as needed. Atomic: readers either see the
+    complete version or nothing. Raises [Invalid_argument] on a name
+    that is empty or contains [/], [@], or whitespace. *)
+
+val list : dir:string -> entry list
+(** Every committed version, sorted by name then version. An absent or
+    empty registry directory lists as []. *)
+
+val resolve : dir:string -> string -> (entry, string) result
+(** ["name"] resolves to its newest version, ["name@vN"] to exactly
+    that version. *)
+
+val load : dir:string -> string -> (Artifact.t * manifest, string) result
+(** {!resolve} + read + re-validate the artifact payload. Corrupt
+    files report as [Error], never as a crash or garbage model. *)
+
+val delete : dir:string -> string -> (unit, string) result
+(** Remove one version (["name@vN"]) or a whole model (["name"]). *)

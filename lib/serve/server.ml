@@ -1,0 +1,527 @@
+(* The scoring server. Data path of a score request:
+
+     handler thread: read frame → parse → resolve model (registry) →
+       validate shapes → Batcher.submit (blocks)
+     batching thread: coalesce same-(model, dataset) requests →
+       one factorized select_rows + lmm (or one dense gemm) →
+       split results per request
+     handler thread: render response frame → write
+
+   The batching thread is the only thread that runs LA kernels, so the
+   La.Pool single-caller contract holds; parallelism inside a batch
+   still comes from the Exec backend. *)
+
+open La
+open Morpheus
+
+type config = {
+  registry : string;
+  socket : string;
+  max_batch : int;
+  max_wait : float;
+  queue_bound : int;
+  handlers : int;
+  cache_capacity : int;
+  default_deadline_ms : float option;
+}
+
+let default_config ~registry ~socket =
+  { registry;
+    socket;
+    max_batch = 64;
+    max_wait = 2e-3;
+    queue_bound = 1024;
+    handlers = 4;
+    cache_capacity = 4;
+    default_deadline_ms = None
+  }
+
+(* Batches coalesce per (resolved model version, dataset): requests for
+   the same model over the same dataset fuse into one product. *)
+type batch_key = { bk_model : string; bk_dataset : string option }
+
+type batch_payload =
+  | P_rows of float array array
+  | P_ids of int array
+
+let payload_rows = function
+  | P_rows rows -> Array.length rows
+  | P_ids ids -> Array.length ids
+
+type t = {
+  cfg : config;
+  metrics : Metrics.t;
+  listen_fd : Unix.file_descr;
+  (* accepted connections awaiting a handler *)
+  conns : Unix.file_descr Queue.t;
+  conn_m : Mutex.t;
+  conn_cv : Condition.t;
+  (* loaded artifacts, keyed by resolved "name@vN" *)
+  models : (string, Artifact.t * Registry.manifest) Hashtbl.t;
+  model_m : Mutex.t;
+  (* loaded normalized datasets + their schema hash, LRU *)
+  datasets : (Normalized.t * string) Dataset_cache.t;
+  mutable batcher : (batch_key, batch_payload, float array) Batcher.t option;
+  stop_m : Mutex.t;
+  stop_cv : Condition.t;
+  mutable stopping : bool;
+  mutable threads : Thread.t list;
+  started : float;
+}
+
+let now () = Unix.gettimeofday ()
+
+(* ---- model / dataset loading ---- *)
+
+let load_model t id =
+  Mutex.lock t.model_m ;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.model_m)
+    (fun () ->
+      match Hashtbl.find_opt t.models id with
+      | Some am -> Ok am
+      | None -> (
+        match Registry.load ~dir:t.cfg.registry id with
+        | Ok (artifact, manifest) ->
+          Hashtbl.replace t.models id (artifact, manifest) ;
+          Ok (artifact, manifest)
+        | Error _ as e -> e))
+
+let get_dataset t path =
+  (* hit/miss recorded against the metrics before the (possibly slow)
+     load; only the batching thread calls this, so mem→get is atomic
+     enough *)
+  Metrics.record_cache t.metrics ~hit:(Dataset_cache.mem t.datasets path) ;
+  match Dataset_cache.get t.datasets path with
+  | v -> Ok v
+  | exception Invalid_argument msg -> Error msg
+  | exception Io.Corrupt msg -> Error msg
+  | exception Sys_error msg -> Error msg
+
+(* ---- the fused batch executor ---- *)
+
+let all_error payloads msg = Array.map (fun _ -> Error msg) payloads
+
+(* Split a flat prediction array back into per-request slices. *)
+let split_results payloads preds counts =
+  let results = Array.make (Array.length payloads) (Ok [||]) in
+  let off = ref 0 in
+  Array.iteri
+    (fun i count ->
+      match count with
+      | Error _ as e -> results.(i) <- e
+      | Ok c ->
+        results.(i) <- Ok (Array.sub preds !off c) ;
+        off := !off + c)
+    counts ;
+  results
+
+let exec_batch t key payloads =
+  match load_model t key.bk_model with
+  | Error msg -> all_error payloads msg
+  | Ok (artifact, manifest) -> (
+    match key.bk_dataset with
+    | None ->
+      (* raw dense rows: one gemm over the concatenated rows *)
+      let rows =
+        Array.to_list payloads
+        |> List.concat_map (function
+             | P_rows rows -> Array.to_list rows
+             | P_ids _ -> [])
+      in
+      let counts =
+        Array.map
+          (function
+            | P_rows rows -> Ok (Array.length rows)
+            | P_ids _ -> Error "row batch mixed with ids")
+          payloads
+      in
+      if rows = [] then Array.map (fun _ -> Ok [||]) payloads
+      else
+        let preds =
+          Artifact.score_dense artifact (Dense.of_arrays (Array.of_list rows))
+        in
+        split_results payloads preds counts
+    | Some path -> (
+      match get_dataset t path with
+      | Error msg -> all_error payloads msg
+      | Ok (tn, hash) -> (
+        match manifest.Registry.schema_hash with
+        | Some h when h <> hash ->
+          all_error payloads
+            (Printf.sprintf
+               "schema mismatch: model %s was trained on a different column \
+                structure than dataset %s"
+               key.bk_model path)
+        | _ ->
+          let n = Normalized.rows tn in
+          (* per-request id validation; only valid requests join the
+             fused gather *)
+          let counts =
+            Array.map
+              (function
+                | P_ids ids ->
+                  if Array.exists (fun i -> i < 0 || i >= n) ids then
+                    Error
+                      (Printf.sprintf "row id out of range (dataset has %d rows)"
+                         n)
+                  else Ok (Array.length ids)
+                | P_rows _ -> Error "id batch mixed with rows")
+              payloads
+          in
+          let ids =
+            Array.to_list payloads
+            |> List.concat_map (fun p ->
+                   match p with
+                   | P_ids ids
+                     when not (Array.exists (fun i -> i < 0 || i >= n) ids) ->
+                     Array.to_list ids
+                   | _ -> [])
+            |> Array.of_list
+          in
+          if Array.length ids = 0 then
+            split_results payloads [||] counts
+          else
+            (* the micro-batching payoff: one factorized select_rows +
+               one factorized product for the whole batch *)
+            let preds =
+              Artifact.score_normalized artifact (Normalized.select_rows tn ids)
+            in
+            split_results payloads preds counts)))
+
+(* ---- stop-aware socket reads ---- *)
+
+(* Buffered line reader that wakes every 100ms to honor a stop. *)
+type reader = {
+  fd : Unix.file_descr;
+  rbuf : Buffer.t;
+  chunk : Bytes.t;
+}
+
+let reader fd = { fd; rbuf = Buffer.create 512; chunk = Bytes.create 4096 }
+
+let rec read_frame t r =
+  let contents = Buffer.contents r.rbuf in
+  match String.index_opt contents '\n' with
+  | Some i ->
+    let line = String.sub contents 0 i in
+    Buffer.clear r.rbuf ;
+    Buffer.add_string r.rbuf
+      (String.sub contents (i + 1) (String.length contents - i - 1)) ;
+    Some line
+  | None ->
+    if t.stopping then None
+    else begin
+      match Unix.select [ r.fd ] [] [] 0.1 with
+      | [], _, _ -> read_frame t r
+      | _ -> (
+        match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+        | 0 -> None (* EOF; any partial line is dropped *)
+        | n ->
+          Buffer.add_subbytes r.rbuf r.chunk 0 n ;
+          read_frame t r
+        | exception Unix.Unix_error ((EBADF | ECONNRESET | EPIPE), _, _) -> None)
+      | exception Unix.Unix_error (EBADF, _, _) -> None
+    end
+
+let write_frame fd json =
+  let line = Json.to_string json ^ "\n" in
+  let bytes = Bytes.of_string line in
+  let len = Bytes.length bytes in
+  let off = ref 0 in
+  try
+    while !off < len do
+      off := !off + Unix.write fd bytes !off (len - !off)
+    done ;
+    true
+  with Unix.Unix_error _ -> false
+
+(* ---- request handling ---- *)
+
+let manifest_json (e : Registry.entry) =
+  let m = e.Registry.manifest in
+  Json.Obj
+    [ ("id", Json.Str e.Registry.id);
+      ("name", Json.Str m.Registry.name);
+      ("version", Json.Num (float_of_int m.Registry.version));
+      ("kind", Json.Str m.Registry.kind);
+      ("feature_dim", Json.Num (float_of_int m.Registry.feature_dim));
+      ( "schema_hash",
+        match m.Registry.schema_hash with
+        | Some h -> Json.Str h
+        | None -> Json.Null );
+      ("created", Json.Num m.Registry.created);
+      ( "meta",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) m.Registry.meta) )
+    ]
+
+let stats t =
+  let metrics = Metrics.snapshot t.metrics in
+  let server =
+    Json.Obj
+      [ ("uptime_s", Json.Num (now () -. t.started));
+        ( "models_loaded",
+          Json.Num
+            (float_of_int
+               (Mutex.lock t.model_m ;
+                let n = Hashtbl.length t.models in
+                Mutex.unlock t.model_m ;
+                n)) );
+        ( "dataset_cache",
+          Json.Obj
+            [ ("entries", Json.Num (float_of_int (Dataset_cache.length t.datasets)));
+              ("capacity", Json.Num (float_of_int (Dataset_cache.capacity t.datasets)));
+              ("evictions", Json.Num (float_of_int (Dataset_cache.evictions t.datasets)))
+            ] );
+        ( "queue",
+          Json.Obj
+            [ ( "pending",
+                Json.Num
+                  (float_of_int
+                     (match t.batcher with
+                     | Some b -> Batcher.pending b
+                     | None -> 0)) );
+              ("bound", Json.Num (float_of_int t.cfg.queue_bound))
+            ] )
+      ]
+  in
+  match metrics with
+  | Json.Obj fields -> Json.Obj (fields @ [ ("server", server) ])
+  | other -> Json.Obj [ ("metrics", other); ("server", server) ]
+
+let signal_stop t =
+  Mutex.lock t.stop_m ;
+  t.stopping <- true ;
+  Condition.broadcast t.stop_cv ;
+  Mutex.unlock t.stop_m ;
+  Mutex.lock t.conn_m ;
+  Condition.broadcast t.conn_cv ;
+  Mutex.unlock t.conn_m
+
+let handle_score t ~model ~target ~deadline_ms =
+  let t0 = now () in
+  let err code message =
+    Metrics.record_error t.metrics ~code ;
+    Protocol.error ~code ~message
+  in
+  match Registry.resolve ~dir:t.cfg.registry model with
+  | Error msg -> err "unknown_model" msg
+  | Ok entry -> (
+    let id = entry.Registry.id in
+    match load_model t id with
+    | Error msg -> err "unknown_model" msg
+    | Ok (_, manifest) -> (
+      let d = manifest.Registry.feature_dim in
+      let op, validated =
+        match target with
+        | Protocol.Rows rows ->
+          ( "score_rows",
+            if Array.exists (fun r -> Array.length r <> d) rows then
+              Error
+                (Printf.sprintf "every row must have %d features (model %s)" d id)
+            else
+              Ok ({ bk_model = id; bk_dataset = None }, P_rows rows) )
+        | Protocol.Dataset { dataset; ids } ->
+          ( "score_ids",
+            Ok ({ bk_model = id; bk_dataset = Some dataset }, P_ids ids) )
+      in
+      match validated with
+      | Error msg -> err "bad_request" msg
+      | Ok (key, payload) -> (
+        let deadline =
+          match
+            (deadline_ms, t.cfg.default_deadline_ms)
+          with
+          | Some ms, _ | None, Some ms -> Some (t0 +. (ms /. 1e3))
+          | None, None -> None
+        in
+        let batcher =
+          match t.batcher with Some b -> b | None -> assert false
+        in
+        match Batcher.submit batcher ?deadline key payload with
+        | Ok preds ->
+          Metrics.record t.metrics ~op ~seconds:(now () -. t0) ;
+          Protocol.ok
+            [ ("model", Json.Str id);
+              ( "predictions",
+                Json.Arr (Array.to_list preds |> List.map (fun x -> Json.Num x))
+              )
+            ]
+        | Error e ->
+          (* the batcher already recorded the error code *)
+          let message =
+            match e with
+            | Batcher.Overloaded -> "queue full, request shed"
+            | Batcher.Deadline_exceeded -> "deadline passed while queued"
+            | Batcher.Rejected msg -> msg
+          in
+          Protocol.error ~code:(Batcher.error_code e) ~message)))
+
+let handle_request t req =
+  match req with
+  | Protocol.Ping ->
+    Metrics.record t.metrics ~op:"ping" ~seconds:0.0 ;
+    Protocol.ok [ ("pong", Json.Bool true) ]
+  | Protocol.List_models ->
+    let t0 = now () in
+    let entries = Registry.list ~dir:t.cfg.registry in
+    Metrics.record t.metrics ~op:"list" ~seconds:(now () -. t0) ;
+    Protocol.ok [ ("models", Json.Arr (List.map manifest_json entries)) ]
+  | Protocol.Stats ->
+    Metrics.record t.metrics ~op:"stats" ~seconds:0.0 ;
+    Protocol.ok [ ("stats", stats t) ]
+  | Protocol.Shutdown ->
+    Metrics.record t.metrics ~op:"shutdown" ~seconds:0.0 ;
+    signal_stop t ;
+    Protocol.ok [ ("stopping", Json.Bool true) ]
+  | Protocol.Score { model; target; deadline_ms } ->
+    handle_score t ~model ~target ~deadline_ms
+
+let serve_connection t fd =
+  let r = reader fd in
+  let rec loop () =
+    match read_frame t r with
+    | None -> ()
+    | Some line ->
+      let response =
+        match Json.of_string line with
+        | Error msg ->
+          Metrics.record_error t.metrics ~code:"bad_request" ;
+          Protocol.error ~code:"bad_request" ~message:msg
+        | Ok j -> (
+          match Protocol.request_of_json j with
+          | Error msg ->
+            Metrics.record_error t.metrics ~code:"bad_request" ;
+            Protocol.error ~code:"bad_request" ~message:msg
+          | Ok req -> handle_request t req)
+      in
+      if write_frame fd response then loop ()
+  in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ()) loop
+
+(* ---- threads ---- *)
+
+let accept_loop t =
+  let rec loop () =
+    if t.stopping then ()
+    else begin
+      match Unix.select [ t.listen_fd ] [] [] 0.1 with
+      | [], _, _ -> loop ()
+      | _ -> (
+        match Unix.accept ~cloexec:true t.listen_fd with
+        | fd, _ ->
+          Mutex.lock t.conn_m ;
+          Queue.push fd t.conns ;
+          Condition.signal t.conn_cv ;
+          Mutex.unlock t.conn_m ;
+          loop ()
+        | exception Unix.Unix_error ((EBADF | EINVAL), _, _) -> ()
+        | exception Unix.Unix_error _ -> loop ())
+      | exception Unix.Unix_error _ -> ()
+    end
+  in
+  loop ()
+
+let handler_loop t =
+  let rec loop () =
+    Mutex.lock t.conn_m ;
+    while Queue.is_empty t.conns && not t.stopping do
+      Condition.wait t.conn_cv t.conn_m
+    done ;
+    let fd = if Queue.is_empty t.conns then None else Some (Queue.pop t.conns) in
+    Mutex.unlock t.conn_m ;
+    match fd with
+    | Some fd ->
+      serve_connection t fd ;
+      loop ()
+    | None -> () (* stopping and drained *)
+  in
+  loop ()
+
+(* ---- lifecycle ---- *)
+
+let start cfg =
+  if cfg.handlers < 1 then invalid_arg "Server.start: handlers < 1" ;
+  if cfg.cache_capacity < 1 then invalid_arg "Server.start: cache_capacity < 1" ;
+  (* a dead peer must surface as a write error, not kill the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()) ;
+  if Sys.file_exists cfg.socket then Sys.remove cfg.socket ;
+  let listen_fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+  (try
+     Unix.bind listen_fd (ADDR_UNIX cfg.socket) ;
+     Unix.listen listen_fd 64
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ()) ;
+     raise e) ;
+  let t =
+    { cfg;
+      metrics = Metrics.create ();
+      listen_fd;
+      conns = Queue.create ();
+      conn_m = Mutex.create ();
+      conn_cv = Condition.create ();
+      models = Hashtbl.create 8;
+      model_m = Mutex.create ();
+      datasets =
+        Dataset_cache.create ~capacity:cfg.cache_capacity ~load:(fun path ->
+            let tn = Io.load ~dir:path in
+            (tn, Registry.schema_hash tn));
+      batcher = None;
+      stop_m = Mutex.create ();
+      stop_cv = Condition.create ();
+      stopping = false;
+      threads = [];
+      started = now ()
+    }
+  in
+  t.batcher <-
+    Some
+      (Batcher.create ~max_batch:cfg.max_batch ~max_wait:cfg.max_wait
+         ~queue_bound:cfg.queue_bound ~metrics:t.metrics ~size:payload_rows
+         ~exec:(exec_batch t) ()) ;
+  let accept_t = Thread.create accept_loop t in
+  let handler_ts = List.init cfg.handlers (fun _ -> Thread.create handler_loop t) in
+  t.threads <- accept_t :: handler_ts ;
+  t
+
+let request_stop t = signal_stop t
+
+let wait t =
+  Mutex.lock t.stop_m ;
+  while not t.stopping do
+    Condition.wait t.stop_cv t.stop_m
+  done ;
+  Mutex.unlock t.stop_m
+
+let metrics t = t.metrics
+
+let stop t =
+  request_stop t ;
+  List.iter Thread.join t.threads ;
+  t.threads <- [] ;
+  (* reject queued-but-unserved connections cleanly *)
+  Queue.iter
+    (fun fd ->
+      ignore
+        (write_frame fd
+           (Protocol.error ~code:"rejected" ~message:"server shutting down")) ;
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    t.conns ;
+  Queue.clear t.conns ;
+  (match t.batcher with Some b -> Batcher.stop b | None -> ()) ;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ()) ;
+  if Sys.file_exists t.cfg.socket then
+    try Sys.remove t.cfg.socket with Sys_error _ -> ()
+
+let run cfg =
+  let t = start cfg in
+  let stop_signal _ = request_stop t in
+  let old_int = Sys.signal Sys.sigint (Sys.Signal_handle stop_signal) in
+  let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle stop_signal) in
+  Fmt.pr "morpheus serve: registry %s, socket %s (%d handlers, batch ≤ %d / %gms)@."
+    cfg.registry cfg.socket cfg.handlers cfg.max_batch (1e3 *. cfg.max_wait) ;
+  wait t ;
+  stop t ;
+  Sys.set_signal Sys.sigint old_int ;
+  Sys.set_signal Sys.sigterm old_term ;
+  Fmt.pr "@.-- serving metrics --@.%s@." (Metrics.summary t.metrics)

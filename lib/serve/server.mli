@@ -1,0 +1,56 @@
+(** The scoring server: a line-delimited-JSON protocol over a Unix
+    domain socket in front of the model registry and the micro-batching
+    scoring engine.
+
+    Threading: one accept thread, [handlers] connection-handler
+    threads, and one batching thread. Handler threads only parse,
+    validate, and block in {!Batcher.submit}; every LA kernel runs on
+    the batching thread, so the {!La.Pool} single-caller contract
+    holds and the kernels may still parallelize internally over
+    domains. Overload shedding and per-request deadlines are enforced
+    by the batcher; a shed or expired request gets an error response,
+    never silence. *)
+
+type config = {
+  registry : string;  (** registry directory ({!Registry}) *)
+  socket : string;  (** Unix domain socket path (created; replaced) *)
+  max_batch : int;  (** micro-batch close threshold (requests) *)
+  max_wait : float;  (** micro-batch max linger, seconds *)
+  queue_bound : int;  (** pending requests before shedding *)
+  handlers : int;  (** connection-handler threads *)
+  cache_capacity : int;  (** dataset LRU entries *)
+  default_deadline_ms : float option;
+      (** applied to requests that carry no deadline *)
+}
+
+val default_config : registry:string -> socket:string -> config
+(** max_batch 64, max_wait 2ms, queue_bound 1024, handlers 4,
+    cache_capacity 4, no default deadline. *)
+
+type t
+
+val start : config -> t
+(** Bind the socket and start the threads. Raises [Unix.Unix_error] if
+    the socket cannot be bound, [Invalid_argument] on nonsensical
+    config values. *)
+
+val request_stop : t -> unit
+(** Begin a graceful shutdown (idempotent, callable from any thread —
+    including a signal handler or a handler thread serving the
+    [shutdown] op): stop accepting, let in-flight requests finish. *)
+
+val wait : t -> unit
+(** Block until a stop has been requested. *)
+
+val stop : t -> unit
+(** {!request_stop} + join all threads + remove the socket file. *)
+
+val stats : t -> Json.t
+(** The [stats] payload: metrics snapshot + server section (uptime,
+    loaded models, dataset cache, queue). *)
+
+val metrics : t -> Metrics.t
+
+val run : config -> unit
+(** [start], install SIGINT/SIGTERM handlers that request a stop, block
+    until shutdown, then dump the metrics summary to stdout. *)

@@ -1,0 +1,206 @@
+(* Tests for the hardened persistence layer: bitwise round-trips over
+   dense and sparse representations, the framed-payload discipline
+   (magic, format version, kind tag), clean [Io.Corrupt] failures on
+   truncated / foreign / mislabeled files, and the atomicity contract
+   (no tmp siblings survive a save; meta is the commit point). *)
+
+open Sparse
+open Morpheus
+open Test_support
+
+let tmpdir () =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "morpheus_io_t_%d_%d" (Unix.getpid ()) (Random.int 1000000))
+
+let with_dir f =
+  let dir = tmpdir () in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun n -> Sys.remove (Filename.concat dir n))
+          (Sys.readdir dir) ;
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let check_bitwise msg a b =
+  if La.Dense.to_arrays a <> La.Dense.to_arrays b then
+    Alcotest.failf "%s: round-trip changed values" msg
+
+let expect_corrupt msg f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Io.Corrupt" msg
+  | exception Io.Corrupt _ -> ()
+
+(* ---- round-trips ---- *)
+
+let test_roundtrip_bitwise () =
+  List.iter
+    (fun (shape, sparse) ->
+      let t = Gen.normalized ~seed:97 ~sparse shape in
+      with_dir (fun dir ->
+          Io.save ~dir t ;
+          let t' = Io.load ~dir in
+          check_bitwise
+            (Printf.sprintf "%s sparse=%b" (Gen.shape_name shape) sparse)
+            (Gen.ground_truth t) (Gen.ground_truth t') ;
+          List.iter2
+            (fun (p : Normalized.part) (p' : Normalized.part) ->
+              Alcotest.(check bool) "sparsity preserved"
+                (Mat.is_sparse p.Normalized.mat)
+                (Mat.is_sparse p'.Normalized.mat))
+            (Normalized.parts t) (Normalized.parts t') ;
+          Io.delete ~dir))
+    [ (Gen.Pkfk, false); (Gen.Pkfk, true); (Gen.Star3, false);
+      (Gen.Star3, true); (Gen.Mn, false); (Gen.Mn, true) ]
+
+let test_save_rejects_transposed () =
+  let t = Rewrite.transpose (Gen.normalized ~seed:98 Gen.Pkfk) in
+  with_dir (fun dir ->
+      Alcotest.(check bool) "transposed save rejected" true
+        (try
+           Io.save ~dir t ;
+           false
+         with Invalid_argument _ -> true))
+
+let test_no_tmp_siblings () =
+  let t = Gen.normalized ~seed:99 Gen.Star2 in
+  with_dir (fun dir ->
+      Io.save ~dir t ;
+      Array.iter
+        (fun n ->
+          if Filename.check_suffix n ".tmp" then
+            Alcotest.failf "tmp sibling %s survived the save" n)
+        (Sys.readdir dir) ;
+      Io.delete ~dir)
+
+(* ---- framed payloads ---- *)
+
+let test_payload_roundtrip () =
+  with_dir (fun dir ->
+      Sys.mkdir dir 0o755 ;
+      let path = Filename.concat dir "p.bin" in
+      Io.write_payload ~kind:"probe" path (42, [| 1.5; 2.5 |]) ;
+      let n, xs = Io.read_payload ~kind:"probe" path in
+      Alcotest.(check int) "fst" 42 n ;
+      Alcotest.(check (array (float 0.0))) "snd" [| 1.5; 2.5 |] xs)
+
+let test_kind_mismatch () =
+  with_dir (fun dir ->
+      Sys.mkdir dir 0o755 ;
+      let path = Filename.concat dir "p.bin" in
+      Io.write_payload ~kind:"matrix" path 1 ;
+      expect_corrupt "wrong kind tag" (fun () ->
+          (Io.read_payload ~kind:"indicator" path : int)))
+
+let test_foreign_file () =
+  with_dir (fun dir ->
+      Sys.mkdir dir 0o755 ;
+      let path = Filename.concat dir "foreign.bin" in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc "this is not a morpheus file\n") ;
+      expect_corrupt "foreign magic" (fun () ->
+          (Io.read_payload ~kind:"matrix" path : int)))
+
+let test_future_version () =
+  with_dir (fun dir ->
+      Sys.mkdir dir 0o755 ;
+      let path = Filename.concat dir "v9.bin" in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc "MORPHEUS-BIN v9999 matrix\n" ;
+          Marshal.to_channel oc 1 []) ;
+      expect_corrupt "future format version" (fun () ->
+          (Io.read_payload ~kind:"matrix" path : int)))
+
+let test_truncated_body () =
+  with_dir (fun dir ->
+      Sys.mkdir dir 0o755 ;
+      let path = Filename.concat dir "t.bin" in
+      Io.write_payload ~kind:"matrix" path (Array.init 256 float_of_int) ;
+      let full = In_channel.with_open_bin path In_channel.input_all in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc
+            (String.sub full 0 (String.length full - 40))) ;
+      expect_corrupt "truncated payload" (fun () ->
+          (Io.read_payload ~kind:"matrix" path : float array)))
+
+(* ---- corrupted dataset directories ---- *)
+
+let test_missing_meta_is_invalid_arg () =
+  with_dir (fun dir ->
+      Sys.mkdir dir 0o755 ;
+      Alcotest.(check bool) "empty dir" true
+        (try
+           ignore (Io.load ~dir) ;
+           false
+         with Invalid_argument _ -> true))
+
+let test_corrupted_part_file () =
+  let t = Gen.normalized ~seed:100 Gen.Pkfk in
+  with_dir (fun dir ->
+      Io.save ~dir t ;
+      let victim = Filename.concat dir "part_0.mat" in
+      Out_channel.with_open_bin victim (fun oc ->
+          Out_channel.output_string oc "garbage") ;
+      expect_corrupt "clobbered part file" (fun () -> Io.load ~dir) ;
+      Io.delete ~dir)
+
+let test_truncated_part_file () =
+  let t = Gen.normalized ~seed:101 Gen.Star2 in
+  with_dir (fun dir ->
+      Io.save ~dir t ;
+      let victim = Filename.concat dir "part_0.ind" in
+      let full = In_channel.with_open_bin victim In_channel.input_all in
+      Out_channel.with_open_bin victim (fun oc ->
+          Out_channel.output_string oc
+            (String.sub full 0 (String.length full / 2))) ;
+      expect_corrupt "truncated indicator" (fun () -> Io.load ~dir) ;
+      Io.delete ~dir)
+
+let test_scribbled_meta () =
+  let t = Gen.normalized ~seed:102 Gen.Pkfk in
+  with_dir (fun dir ->
+      Io.save ~dir t ;
+      Out_channel.with_open_text (Filename.concat dir "meta") (fun oc ->
+          Out_channel.output_string oc "morpheus-normalized v2\nent nonsense\n") ;
+      expect_corrupt "scribbled meta" (fun () -> Io.load ~dir) ;
+      Io.delete ~dir)
+
+(* ---- write_text_atomic ---- *)
+
+let test_text_atomic () =
+  with_dir (fun dir ->
+      Sys.mkdir dir 0o755 ;
+      let path = Filename.concat dir "note.txt" in
+      Io.write_text_atomic path "first" ;
+      Io.write_text_atomic path "second" ;
+      Alcotest.(check string) "last write wins" "second"
+        (In_channel.with_open_text path In_channel.input_all) ;
+      Alcotest.(check bool) "no tmp left" false
+        (Sys.file_exists (path ^ ".tmp")))
+
+let () =
+  Random.self_init () ;
+  Alcotest.run "io"
+    [ ( "roundtrip",
+        [ Alcotest.test_case "bitwise, all shapes x density" `Quick
+            test_roundtrip_bitwise;
+          Alcotest.test_case "transposed rejected" `Quick
+            test_save_rejects_transposed;
+          Alcotest.test_case "no tmp siblings" `Quick test_no_tmp_siblings ] );
+      ( "framing",
+        [ Alcotest.test_case "payload roundtrip" `Quick test_payload_roundtrip;
+          Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch;
+          Alcotest.test_case "foreign file" `Quick test_foreign_file;
+          Alcotest.test_case "future version" `Quick test_future_version;
+          Alcotest.test_case "truncated body" `Quick test_truncated_body ] );
+      ( "directories",
+        [ Alcotest.test_case "missing meta" `Quick
+            test_missing_meta_is_invalid_arg;
+          Alcotest.test_case "corrupted part" `Quick test_corrupted_part_file;
+          Alcotest.test_case "truncated indicator" `Quick
+            test_truncated_part_file;
+          Alcotest.test_case "scribbled meta" `Quick test_scribbled_meta ] );
+      ( "text",
+        [ Alcotest.test_case "atomic text write" `Quick test_text_atomic ] ) ]
