@@ -37,6 +37,12 @@ let with_runtime_errors f =
   | Invalid_argument msg | Failure msg ->
     Fmt.epr "morpheus: %s@." msg ;
     exit 1
+  | Validate.Numeric_error i ->
+    Fmt.epr "morpheus: %s@." (Validate.message i) ;
+    exit 1
+  | Fault.Injected p ->
+    Fmt.epr "morpheus: injected fault at %s@." p ;
+    exit 1
 
 (* ---- shared args ---- *)
 
@@ -187,7 +193,7 @@ let algo_name = function
   | Gnmf_a -> "gnmf"
 
 let train dir fk pk target nominal sparse threads algo path iters alpha k rank
-    save registry =
+    save registry checkpoint every resume =
   apply_threads threads ;
   if save <> None && registry = None then begin
     Fmt.epr "morpheus train: --save requires --registry@." ;
@@ -202,7 +208,49 @@ let train dir fk pk target nominal sparse threads algo path iters alpha k rank
     Fmt.epr "morpheus train: gnmf has no servable artifact to save@." ;
     exit 2
   end ;
+  if resume && checkpoint = None then begin
+    Fmt.epr "morpheus train: --resume requires --checkpoint@." ;
+    exit 2
+  end ;
+  if checkpoint <> None && path <> Factorized_path then begin
+    Fmt.epr "morpheus train: --checkpoint needs --path factorized (snapshots \
+             describe one training run, not two)@." ;
+    exit 2
+  end ;
+  if every < 1 then begin
+    Fmt.epr "morpheus train: --checkpoint-every must be >= 1@." ;
+    exit 2
+  end ;
   with_runtime_errors @@ fun () ->
+  let module Ck = Ml_algs.Checkpoint in
+  (* a missing checkpoint under --resume starts fresh, so the same
+     command line works for the first attempt and every rerun after a
+     crash; a corrupt or mismatched one refuses loudly *)
+  let resumed =
+    match checkpoint with
+    | Some cpath when resume && Ck.exists ~path:cpath -> (
+      match Ck.load ~path:cpath with
+      | Error msg ->
+        Fmt.epr "morpheus train: cannot resume from %s: %s@." cpath msg ;
+        exit 1
+      | Ok st ->
+        if st.Ck.algorithm <> algo_name algo then begin
+          Fmt.epr
+            "morpheus train: checkpoint %s holds a %s run, not %s@." cpath
+            st.Ck.algorithm (algo_name algo) ;
+          exit 1
+        end ;
+        Some st)
+    | _ -> None
+  in
+  let start =
+    match resumed with Some st -> min st.Ck.completed iters | None -> 0
+  in
+  (match resumed with
+  | Some _ ->
+    Fmt.pr "resuming from %s: %d/%d iterations done@."
+      (Option.get checkpoint) start iters
+  | None -> ()) ;
   let ds = load ~dir ~fk ~pk ~target ~nominal ~sparse in
   let t = ds.Builder.matrix in
   let y = Option.get ds.Builder.target in
@@ -213,12 +261,51 @@ let train dir fk pk target nominal sparse threads algo path iters alpha k rank
     Fmt.pr "%-13s %a@." name Workload.Timing.pp_seconds dt ;
     result
   in
+  (* Checkpoint hook: [i] is 1-based within the (possibly resumed) run,
+     so [start + i] is the absolute iteration count the snapshot
+     records. The final iteration always snapshots, whatever [every]. *)
+  let on_iter_for mats =
+    Option.map
+      (fun cpath i live ->
+        let done_ = start + i in
+        if done_ mod every = 0 || done_ = iters then
+          Ck.save ~path:cpath
+            { Ck.algorithm = algo_name algo;
+              completed = done_;
+              total = iters;
+              mats = mats live;
+              scalars = [ ("alpha", alpha) ]
+            })
+      checkpoint
+  in
+  let remaining = iters - start in
   let fact () : Dense.t =
     match algo with
-    | Logreg_a -> (F.Logreg.train ~alpha ~iters t y).F.Logreg.w
-    | Linreg_a -> F.Linreg.train_gd ~alpha ~iters t y
-    | Kmeans_a -> (F.Kmeans.train ~iters ~k t).F.Kmeans.centroids
-    | Gnmf_a -> (F.Gnmf.train ~iters ~rank t).F.Gnmf.h
+    | Logreg_a ->
+      let w0 = Option.bind resumed (fun st -> Ck.dense st "w") in
+      let on_iter = on_iter_for (fun w -> [ ("w", Ck.of_dense w) ]) in
+      (F.Logreg.train ~alpha ~iters:remaining ?w0 ?on_iter t y).F.Logreg.w
+    | Linreg_a ->
+      let w0 = Option.bind resumed (fun st -> Ck.dense st "w") in
+      let on_iter = on_iter_for (fun w -> [ ("w", Ck.of_dense w) ]) in
+      F.Linreg.train_gd ~alpha ~iters:remaining ?w0 ?on_iter t y
+    | Kmeans_a ->
+      let centroids = Option.bind resumed (fun st -> Ck.dense st "centroids") in
+      let on_iter = on_iter_for (fun c -> [ ("centroids", Ck.of_dense c) ]) in
+      (F.Kmeans.train ~iters:remaining ?centroids ?on_iter ~k t)
+        .F.Kmeans.centroids
+    | Gnmf_a ->
+      let init =
+        Option.bind resumed (fun st ->
+            match (Ck.dense st "w", Ck.dense st "h") with
+            | Some w, Some h -> Some { F.Gnmf.w; h }
+            | _ -> None)
+      in
+      let on_iter =
+        on_iter_for (fun (f : F.Gnmf.factors) ->
+            [ ("w", Ck.of_dense f.F.Gnmf.w); ("h", Ck.of_dense f.F.Gnmf.h) ])
+      in
+      (F.Gnmf.train ~iters:remaining ?init ?on_iter ~rank t).F.Gnmf.h
   in
   let mat () : Dense.t =
     let m = Materialize.to_regular t in
@@ -286,11 +373,26 @@ let train_cmd =
     Arg.(value & opt (some string) None & info [ "registry" ] ~docv:"DIR"
            ~doc:"Model registry directory (required with --save).")
   in
+  let checkpoint =
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE"
+           ~doc:"Snapshot trainer state to $(docv) (atomic; factorized path \
+                 only). With --resume, continue from it; the resumed run is \
+                 bitwise-identical to an uninterrupted one.")
+  in
+  let every =
+    Arg.(value & opt int 1 & info [ "checkpoint-every" ] ~docv:"N"
+           ~doc:"Snapshot every $(docv) iterations (the last iteration \
+                 always snapshots).")
+  in
+  let resume =
+    Arg.(value & flag & info [ "resume" ]
+           ~doc:"Continue from --checkpoint if it exists (else start fresh).")
+  in
   Cmd.v
     (cmd_info "train" ~doc:"Train an ML algorithm over the normalized data.")
     Term.(const train $ dir_arg $ fk_arg $ pk_arg $ target_arg $ nominal_arg
           $ sparse_arg $ threads_arg $ algo $ path $ iters $ alpha $ k $ rank
-          $ save $ registry)
+          $ save $ registry $ checkpoint $ every $ resume)
 
 (* ---- cv: ridge-lambda selection by k-fold cross-validation ---- *)
 
@@ -471,12 +573,16 @@ let socket_arg =
          ~doc:"Unix domain socket path.")
 
 let serve registry socket threads max_batch max_wait_ms queue_bound handlers
-    cache_capacity deadline_ms =
+    cache_capacity deadline_ms breaker_threshold breaker_cooldown_ms =
   apply_threads threads ;
   if max_batch < 1 || queue_bound < 1 || handlers < 1 || cache_capacity < 1
      || max_wait_ms < 0.0
   then begin
     Fmt.epr "morpheus serve: batch/queue/handler/cache sizes must be positive@." ;
+    exit 2
+  end ;
+  if breaker_threshold < 1 || breaker_cooldown_ms < 0.0 then begin
+    Fmt.epr "morpheus serve: breaker threshold must be >= 1, cooldown >= 0@." ;
     exit 2
   end ;
   with_runtime_errors @@ fun () ->
@@ -488,7 +594,9 @@ let serve registry socket threads max_batch max_wait_ms queue_bound handlers
       queue_bound;
       handlers;
       cache_capacity;
-      default_deadline_ms = deadline_ms
+      default_deadline_ms = deadline_ms;
+      breaker_threshold;
+      breaker_cooldown = breaker_cooldown_ms /. 1e3
     }
 
 let serve_cmd =
@@ -516,12 +624,22 @@ let serve_cmd =
     Arg.(value & opt (some float) None & info [ "default-deadline-ms" ]
            ~doc:"Deadline applied to requests that carry none.")
   in
+  let breaker_threshold =
+    Arg.(value & opt int 5 & info [ "breaker-threshold" ]
+           ~doc:"Consecutive dataset-load failures before that dataset's \
+                 circuit opens.")
+  in
+  let breaker_cooldown =
+    Arg.(value & opt float 1000.0 & info [ "breaker-cooldown-ms" ]
+           ~doc:"How long an open circuit refuses fast before probing again.")
+  in
   Cmd.v
     (cmd_info "serve"
        ~doc:"Serve models from a registry over a Unix domain socket with \
              micro-batched factorized scoring.")
     Term.(const serve $ registry_arg $ socket_arg $ threads_arg $ max_batch
-          $ max_wait $ queue_bound $ handlers $ cache $ deadline)
+          $ max_wait $ queue_bound $ handlers $ cache $ deadline
+          $ breaker_threshold $ breaker_cooldown)
 
 (* ---- score: client for the scoring server ---- *)
 
@@ -532,11 +650,39 @@ let protocol_error (code, message) =
 let print_predictions = Array.iter (fun p -> Fmt.pr "%.17g@." p)
 
 let score socket model rows dataset ids deadline_ms op_ping op_list op_stats
-    op_shutdown =
+    op_shutdown op_health retries retry_budget_ms =
   let module C = Morpheus_serve.Client in
   let module P = Morpheus_serve.Protocol in
   let module J = Morpheus_serve.Json in
+  if retries < 1 || retry_budget_ms <= 0.0 then begin
+    Fmt.epr "morpheus score: --retries must be >= 1, --retry-budget-ms > 0@." ;
+    exit 2
+  end ;
+  let policy =
+    (* batch-level failures (dataset load blips, transient exec faults)
+       surface as "rejected"; the CLI treats them as retryable *)
+    { C.default_retry with
+      attempts = retries;
+      budget = retry_budget_ms /. 1e3;
+      retry_codes = "rejected" :: C.default_retry.C.retry_codes
+    }
+  in
   with_runtime_errors @@ fun () ->
+  if op_health then begin
+    match C.health ~socket with
+    | Error e -> protocol_error e
+    | Ok j ->
+      let status =
+        Option.value ~default:"?" (Option.bind (J.member "status" j) J.to_str)
+      in
+      let num k =
+        Option.value ~default:0 (Option.bind (J.member k j) J.to_int)
+      in
+      Fmt.pr "%s (open circuits %d, handler restarts %d)@." status
+        (num "open_circuits") (num "handler_restarts") ;
+      if status <> "ok" then exit 1
+  end
+  else
   C.with_client ~socket @@ fun c ->
   if op_ping then
     match C.call c P.Ping with
@@ -586,7 +732,12 @@ let score socket model rows dataset ids deadline_ms op_ping op_list op_stats
       exit 2
     | rows, None -> (
       let rows = Array.of_list (List.map Array.of_list rows) in
-      match C.score_rows c ~model ?deadline_ms rows with
+      let result =
+        if retries > 1 then
+          C.score_rows_retry ~policy ~socket ~model ?deadline_ms rows
+        else C.score_rows c ~model ?deadline_ms rows
+      in
+      match result with
       | Ok preds -> print_predictions preds
       | Error e -> protocol_error e)
     | [], Some ds -> (
@@ -594,7 +745,13 @@ let score socket model rows dataset ids deadline_ms op_ping op_list op_stats
         Fmt.epr "morpheus score: --dataset requires --ids@." ;
         exit 2
       end ;
-      match C.score_ids c ~model ~dataset:ds ?deadline_ms (Array.of_list ids) with
+      let ids = Array.of_list ids in
+      let result =
+        if retries > 1 then
+          C.score_ids_retry ~policy ~socket ~model ~dataset:ds ?deadline_ms ids
+        else C.score_ids c ~model ~dataset:ds ?deadline_ms ids
+      in
+      match result with
       | Ok preds -> print_predictions preds
       | Error e -> protocol_error e)
   end
@@ -628,16 +785,39 @@ let score_cmd =
   let shutdown =
     Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the server to stop.")
   in
+  let health =
+    Arg.(value & flag & info [ "health" ]
+           ~doc:"Print the server's self-healing status (exit 1 unless ok).")
+  in
+  let retries =
+    Arg.(value & opt int 1 & info [ "retries" ] ~docv:"N"
+           ~doc:"Total attempts per score request (transient errors retry \
+                 with exponential backoff; responses are bitwise-identical \
+                 across attempts).")
+  in
+  let retry_budget =
+    Arg.(value & opt float 5000.0 & info [ "retry-budget-ms" ]
+           ~doc:"Absolute time budget across all retry attempts.")
+  in
   Cmd.v
     (cmd_info "score"
        ~doc:"Score rows against a running morpheus serve instance.")
     Term.(const score $ socket_arg $ model $ row $ dataset $ ids $ deadline
-          $ ping $ list_ $ stats $ shutdown)
+          $ ping $ list_ $ stats $ shutdown $ health $ retries $ retry_budget)
 
 (* ---- models: offline registry listing ---- *)
 
-let models registry =
+let models registry recover =
   with_runtime_errors @@ fun () ->
+  if recover then begin
+    match Morpheus_serve.Registry.recover ~dir:registry with
+    | [] -> Fmt.pr "no crash litter in %s@." registry
+    | moved ->
+      List.iter
+        (fun (original, quarantined) ->
+          Fmt.pr "quarantined %s -> %s@." original quarantined)
+        moved
+  end ;
   match Morpheus_serve.Registry.list ~dir:registry with
   | [] -> Fmt.pr "no models in %s@." registry
   | entries ->
@@ -650,9 +830,14 @@ let models registry =
       entries
 
 let models_cmd =
+  let recover =
+    Arg.(value & flag & info [ "recover" ]
+           ~doc:"First quarantine crash litter (orphaned *.tmp files, \
+                 uncommitted version directories) into _quarantine/.")
+  in
   Cmd.v
     (cmd_info "models" ~doc:"List the models in a registry directory.")
-    Term.(const models $ registry_arg)
+    Term.(const models $ registry_arg $ recover)
 
 let () =
   let doc = "factorized linear algebra over normalized data (Morpheus)" in

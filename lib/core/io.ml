@@ -40,6 +40,7 @@ let header ~kind = Printf.sprintf "%s v%d %s\n" magic format_version kind
 (* Atomic text write: tmp sibling + rename, so a reader (or a crash)
    never observes a half-written file at [path]. *)
 let write_text_atomic path contents =
+  Fault.point "io.write" ;
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
   (try
@@ -52,6 +53,7 @@ let write_text_atomic path contents =
   Sys.rename tmp path
 
 let write_payload ~kind path v =
+  Fault.point "io.write" ;
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
   (try
@@ -65,6 +67,7 @@ let write_payload ~kind path v =
   Sys.rename tmp path
 
 let read_payload ~kind path =
+  Fault.point "io.read" ;
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
@@ -109,8 +112,26 @@ let mat_of_payload = function
 let mat_kind = "matrix"
 let ind_kind = "indicator"
 
+(* Numeric guard at the load boundary: a NaN/Inf that slipped into a
+   file (or was written by a buggy producer) is refused here, before it
+   can poison a factorized product. *)
+let check_payload path = function
+  | P_dense (_, _, data) -> Validate.check_array ~stage:("io.load " ^ path) data
+  | P_sparse (_, _, triplets) ->
+    List.iteri
+      (fun index (_, _, v) ->
+        if not (Float.is_finite v) then
+          raise
+            (Validate.Numeric_error
+               { Validate.stage = "io.load " ^ path; index; value = v }))
+      triplets
+
 let write_mat path m = write_payload ~kind:mat_kind path (payload_of_mat m)
-let read_mat path = mat_of_payload (read_payload ~kind:mat_kind path)
+
+let read_mat path =
+  let p = read_payload ~kind:mat_kind path in
+  check_payload path p ;
+  mat_of_payload p
 
 let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
 

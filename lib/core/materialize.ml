@@ -21,7 +21,9 @@ let to_mat t =
   let m = Mat.hcat blocks in
   if Normalized.is_transposed t then Mat.transpose m else m
 
-let to_dense t = Mat.dense (to_mat t)
+(* Materialization is a layer boundary: a NaN/Inf in any factor would
+   otherwise spread across the whole denormalized T silently. *)
+let to_dense t = La.Validate.check_dense ~stage:"materialize" (Mat.dense (to_mat t))
 
 (* The materialized T as the memoizing Data_matrix wrapper — what the
    baseline "M" path of benches and the adaptive rule execute on. *)

@@ -1,0 +1,192 @@
+(* Seeded fault injection. The firing decision at a point is a pure
+   function of (seed, point name, arrival index at that point): a
+   64-bit mix hashed down to a uniform [0,1) draw compared against the
+   configured probability. Per-point arrival counters make a replay
+   with the same seed hit the same arrivals even when unrelated points
+   interleave differently across threads.
+
+   The disabled fast path is one mutable-bool load, so injection points
+   can be left in production code paths. *)
+
+exception Injected of string
+
+type action = Fail | Delay of float (* seconds *)
+
+type rule = { pattern : string; prob : float; action : action }
+
+type config = { seed : int; rules : rule list }
+
+let empty = { seed = 0; rules = [] }
+
+(* Process-global state. [active] is the unsynchronized fast-path flag
+   (a plain bool load is atomic in OCaml); everything else lives under
+   the mutex. Injection points run on handler threads and pool domains
+   alike, so Stdlib.Mutex (domain-safe) is required. *)
+let active = ref false
+let state = ref empty
+let hits_tbl : (string, int) Hashtbl.t = Hashtbl.create 16
+let fired_tbl : (string, int) Hashtbl.t = Hashtbl.create 16
+let m = Mutex.create ()
+
+let locked f =
+  Mutex.lock m ;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* ---- deterministic firing ---- *)
+
+(* splitmix64 finalizer: full-avalanche 64-bit mix. *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xff51afd7ed558ccdL in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xc4ceb9fe1a85ec53L in
+  logxor z (shift_right_logical z 33)
+
+(* FNV-1a over the point name, then mixed. *)
+let hash_string s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s ;
+  mix64 !h
+
+let u01 ~seed ~name ~n =
+  let h =
+    mix64
+      (Int64.logxor (hash_string name)
+         (mix64 (Int64.logxor (Int64.of_int seed) (Int64.of_int n))))
+  in
+  (* top 53 bits -> uniform double in [0,1) *)
+  Int64.to_float (Int64.shift_right_logical h 11) *. 0x1p-53
+
+(* ---- configuration parsing ---- *)
+
+let matches pattern name =
+  let lp = String.length pattern in
+  if lp > 0 && pattern.[lp - 1] = '*' then
+    let prefix = String.sub pattern 0 (lp - 1) in
+    String.length name >= lp - 1 && String.sub name 0 (lp - 1) = prefix
+  else pattern = name
+
+let parse_action s =
+  if s = "fail" then Ok Fail
+  else if String.length s > 5 && String.sub s 0 5 = "delay" then
+    match float_of_string_opt (String.sub s 5 (String.length s - 5)) with
+    | Some ms when ms >= 0.0 -> Ok (Delay (ms /. 1e3))
+    | _ -> Error (Printf.sprintf "malformed delay %S (want delay<ms>)" s)
+  else Error (Printf.sprintf "unknown action %S (want fail or delay<ms>)" s)
+
+let parse_entry cfg entry =
+  match String.index_opt entry '=' with
+  | None ->
+    Error
+      (Printf.sprintf "malformed entry %S (want seed=N or point=prob[:action])"
+         entry)
+  | Some i -> (
+    let key = String.sub entry 0 i in
+    let value = String.sub entry (i + 1) (String.length entry - i - 1) in
+    if key = "seed" then
+      match int_of_string_opt value with
+      | Some seed -> Ok { cfg with seed }
+      | None -> Error (Printf.sprintf "malformed seed %S" value)
+    else
+      let prob_s, action_s =
+        match String.index_opt value ':' with
+        | None -> (value, "fail")
+        | Some j ->
+          ( String.sub value 0 j,
+            String.sub value (j + 1) (String.length value - j - 1) )
+      in
+      match float_of_string_opt prob_s with
+      | Some p when p >= 0.0 && p <= 1.0 -> (
+        match parse_action action_s with
+        | Ok action ->
+          Ok { cfg with rules = cfg.rules @ [ { pattern = key; prob = p; action } ] }
+        | Error _ as e -> e)
+      | _ ->
+        Error
+          (Printf.sprintf "probability %S for %S not in [0,1]" prob_s key))
+
+let parse spec =
+  String.split_on_char ',' spec
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+  |> List.fold_left
+       (fun acc entry ->
+         match acc with Error _ as e -> e | Ok cfg -> parse_entry cfg entry)
+       (Ok empty)
+
+(* ---- public API ---- *)
+
+let enabled () = !active
+
+let disable () =
+  locked (fun () ->
+      active := false ;
+      state := empty ;
+      Hashtbl.reset hits_tbl ;
+      Hashtbl.reset fired_tbl)
+
+let configure spec =
+  match parse spec with
+  | Error _ as e -> e
+  | Ok cfg ->
+    locked (fun () ->
+        state := cfg ;
+        Hashtbl.reset hits_tbl ;
+        Hashtbl.reset fired_tbl ;
+        active := cfg.rules <> []) ;
+    Ok ()
+
+let with_config spec f =
+  (match configure spec with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Fault.with_config: " ^ msg)) ;
+  Fun.protect ~finally:disable f
+
+let check name =
+  let decision =
+    locked (fun () ->
+        let cfg = !state in
+        match List.find_opt (fun r -> matches r.pattern name) cfg.rules with
+        | None -> None
+        | Some r ->
+          let n = Option.value ~default:0 (Hashtbl.find_opt hits_tbl name) in
+          Hashtbl.replace hits_tbl name (n + 1) ;
+          if u01 ~seed:cfg.seed ~name ~n < r.prob then begin
+            Hashtbl.replace fired_tbl name
+              (1 + Option.value ~default:0 (Hashtbl.find_opt fired_tbl name)) ;
+            Some r.action
+          end
+          else None)
+  in
+  match decision with
+  | None -> ()
+  | Some Fail -> raise (Injected name)
+  | Some (Delay s) -> if s > 0.0 then Unix.sleepf s
+
+let point name = if !active then check name
+
+let hits name =
+  locked (fun () -> Option.value ~default:0 (Hashtbl.find_opt hits_tbl name))
+
+let fired name =
+  locked (fun () -> Option.value ~default:0 (Hashtbl.find_opt fired_tbl name))
+
+let total_fired () =
+  locked (fun () -> Hashtbl.fold (fun _ n acc -> acc + n) fired_tbl 0)
+
+let () =
+  Printexc.register_printer (function
+    | Injected p -> Some (Printf.sprintf "Fault.Injected(%s)" p)
+    | _ -> None)
+
+(* Environment configuration, once at program start. A malformed spec
+   is a loud no-op: chaos runs must never silently run fault-free. *)
+let () =
+  match Sys.getenv_opt "MORPHEUS_FAULTS" with
+  | None | Some "" -> ()
+  | Some spec -> (
+    match configure spec with
+    | Ok () -> ()
+    | Error msg -> prerr_endline ("MORPHEUS_FAULTS ignored: " ^ msg))

@@ -1,0 +1,66 @@
+(** Deterministic, seeded fault injection.
+
+    Layers that touch the outside world declare named {e injection
+    points} ([Fault.point "io.read"]); a configuration maps point names
+    to a firing probability and an action (raise {!Injected} or sleep).
+    Whether a given arrival fires is a pure function of the configured
+    seed, the point name, and that point's arrival index — so a chaos
+    run replays identically for a fixed seed, regardless of thread or
+    domain interleavings at {e other} points.
+
+    Configuration comes from the [MORPHEUS_FAULTS] environment variable
+    (read once at program start) or from {!configure} (tests). The
+    syntax is a comma-separated list of entries:
+
+    {v
+    MORPHEUS_FAULTS="seed=42,io.read=0.05,registry.load=0.1:delay25,client.*=0.02"
+    v}
+
+    - [seed=N]            — the injection seed (default 0)
+    - [point=P]           — fire at [point] with probability [P] ∈ [0,1],
+                            raising {!Injected} (action [fail])
+    - [point=P:fail]      — the same, spelled out
+    - [point=P:delayMS]   — instead of raising, sleep [MS] milliseconds
+                            (e.g. [delay25] — slow I/O, not broken I/O)
+
+    A point name ending in ['*'] is a prefix wildcard; the first
+    matching entry wins. When no configuration is active, {!point}
+    is a single boolean load — safe to leave in production code. *)
+
+exception Injected of string
+(** Raised by a firing [fail]-action point; the payload is the point
+    name. Never raised when fault injection is disabled. *)
+
+val point : string -> unit
+(** [point name] does nothing (fast path) unless a configuration rule
+    matches [name], in which case it counts the arrival and — when the
+    seeded decision fires — raises [Injected name] or sleeps. *)
+
+val enabled : unit -> bool
+(** Is any fault configuration active? *)
+
+val configure : string -> (unit, string) result
+(** [configure spec] replaces the active configuration (and resets all
+    arrival/fired counters) with the parsed [spec], using the
+    [MORPHEUS_FAULTS] syntax above. [Error] describes the first
+    malformed entry; the previous configuration is kept on error. *)
+
+val disable : unit -> unit
+(** Drop the active configuration and reset all counters. *)
+
+val with_config : string -> (unit -> 'a) -> 'a
+(** [with_config spec f]: {!configure}, run [f], then {!disable} (also
+    on exception). Raises [Invalid_argument] on a malformed [spec].
+    The configuration is process-global — not scoped to the calling
+    thread. *)
+
+val hits : string -> int
+(** Arrivals counted at a point since the last (re)configuration. *)
+
+val fired : string -> int
+(** Faults actually injected at a point since the last
+    (re)configuration. *)
+
+val total_fired : unit -> int
+(** Faults injected across all points since the last
+    (re)configuration. *)

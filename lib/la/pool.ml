@@ -51,7 +51,10 @@ let drain t (j : job) =
   let rec loop () =
     let i = Atomic.fetch_and_add j.next 1 in
     if i < j.njobs then begin
-      (try j.run i with e -> record_failure t e) ;
+      (try
+         Fault.point "pool.task" ;
+         j.run i
+       with e -> record_failure t e) ;
       let c = 1 + Atomic.fetch_and_add j.completed 1 in
       if c = j.njobs then begin
         Mutex.lock t.lock ;

@@ -1,0 +1,35 @@
+(* NaN/Inf boundary scans. See the interface for the contract; the
+   implementation is a branch-per-element loop over the raw array —
+   [Float.is_finite] compiles to two compares, no allocation. *)
+
+type issue = { stage : string; index : int; value : float }
+
+exception Numeric_error of issue
+
+let message { stage; index; value } =
+  Printf.sprintf "non-finite value (%h) at index %d in %s" value index stage
+
+let () =
+  Printexc.register_printer (function
+    | Numeric_error i -> Some ("La.Validate.Numeric_error: " ^ message i)
+    | _ -> None)
+
+let scan a =
+  let n = Array.length a in
+  let rec go i =
+    if i >= n then None
+    else if Float.is_finite (Array.unsafe_get a i) then go (i + 1)
+    else Some i
+  in
+  go 0
+
+let array_ok a = scan a = None
+
+let check_array ~stage a =
+  match scan a with
+  | None -> ()
+  | Some index -> raise (Numeric_error { stage; index; value = a.(index) })
+
+let check_dense ~stage m =
+  check_array ~stage (Dense.data m) ;
+  m

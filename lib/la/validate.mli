@@ -1,0 +1,32 @@
+(** Numeric guards: cheap NaN/Inf scans at layer boundaries.
+
+    A non-finite value entering a factorized product poisons every
+    downstream aggregate silently; these scans turn that into a
+    structured {!Numeric_error} naming the stage that let it through
+    (a loaded file, a gradient step, a materialization). Scans are a
+    single pass over data that is already cache-hot at the boundary,
+    so the cost is one read per element. *)
+
+type issue = {
+  stage : string;  (** where the value was caught, e.g. ["logreg.step"] *)
+  index : int;  (** flat index of the first offending element *)
+  value : float;  (** the offending value (nan, infinity, …) *)
+}
+
+exception Numeric_error of issue
+
+val message : issue -> string
+(** Human-readable one-liner, used by error responses and the CLI. *)
+
+val scan : float array -> int option
+(** Index of the first non-finite element, if any. *)
+
+val array_ok : float array -> bool
+(** [scan a = None]. *)
+
+val check_array : stage:string -> float array -> unit
+(** Raise {!Numeric_error} on the first non-finite element. *)
+
+val check_dense : stage:string -> Dense.t -> Dense.t
+(** {!check_array} on the backing data; returns the input unchanged so
+    it chains inside expressions. *)

@@ -1,0 +1,75 @@
+(* Trainer snapshots over Io's framed payloads. Validation runs on both
+   save and load: the save-side check catches a diverged trainer before
+   it overwrites a good checkpoint; the load-side check refuses litter
+   left by a different program or a flipped bit that Marshal happened
+   to survive. *)
+
+open La
+
+type mat = { rows : int; cols : int; data : float array }
+
+type state = {
+  algorithm : string;
+  completed : int;
+  total : int;
+  mats : (string * mat) list;
+  scalars : (string * float) list;
+}
+
+let kind = "train-checkpoint"
+
+let of_dense m =
+  { rows = Dense.rows m; cols = Dense.cols m; data = Array.copy (Dense.data m) }
+
+let to_dense { rows; cols; data } = Dense.of_array ~rows ~cols (Array.copy data)
+
+let validate st =
+  if st.completed < 0 then Error "checkpoint: negative completed count"
+  else if st.total < st.completed then
+    Error
+      (Printf.sprintf "checkpoint: %d iterations completed of %d total"
+         st.completed st.total)
+  else
+    let rec check = function
+      | [] -> Ok ()
+      | (name, m) :: rest ->
+        if m.rows < 0 || m.cols < 0 || Array.length m.data <> m.rows * m.cols
+        then
+          Error
+            (Printf.sprintf "checkpoint: matrix %S has %d values for %dx%d"
+               name (Array.length m.data) m.rows m.cols)
+        else (
+          match Validate.scan m.data with
+          | Some i ->
+            Error
+              (Printf.sprintf
+                 "checkpoint: non-finite value in matrix %S at index %d" name i)
+          | None -> check rest)
+    in
+    if
+      List.exists
+        (fun (_, v) -> not (Float.is_finite v))
+        st.scalars
+    then Error "checkpoint: non-finite scalar"
+    else check st.mats
+
+let save ~path st =
+  (match validate st with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Checkpoint.save: " ^ msg)) ;
+  Morpheus.Io.write_payload ~kind path st
+
+let load ~path =
+  if not (Sys.file_exists path) then
+    Error (Printf.sprintf "no checkpoint at %s" path)
+  else
+    match (Morpheus.Io.read_payload ~kind path : state) with
+    | exception Morpheus.Io.Corrupt msg -> Error msg
+    | exception Sys_error msg -> Error msg
+    | st -> ( match validate st with Ok () -> Ok st | Error _ as e -> e)
+
+let exists ~path = Sys.file_exists path
+
+let dense st name = Option.map to_dense (List.assoc_opt name st.mats)
+
+let scalar st name = List.assoc_opt name st.scalars

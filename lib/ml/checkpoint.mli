@@ -1,0 +1,50 @@
+(** Training checkpoints: atomic per-iteration snapshots of trainer
+    state, persisted through {!Morpheus.Io}'s framed-payload API
+    (tmp+rename, so a crash mid-save leaves the previous checkpoint
+    intact — a checkpoint file is always either the old complete state
+    or the new complete state).
+
+    A snapshot records which algorithm produced it, how many
+    iterations are done, and the named matrices that fully determine
+    the rest of the run (weights, centroids, factors). Because every
+    iterative trainer's loop body depends only on its current state —
+    never on the iteration index — resuming means re-invoking the
+    trainer with the checkpointed matrices as the initial state and
+    the remaining iteration count: the resumed run is bitwise-identical
+    to the uninterrupted one. *)
+
+open La
+
+type mat = { rows : int; cols : int; data : float array }
+
+type state = {
+  algorithm : string;  (** e.g. ["logreg"]; checked on resume *)
+  completed : int;  (** iterations finished when the snapshot was taken *)
+  total : int;  (** iterations the full run targets *)
+  mats : (string * mat) list;  (** named state matrices *)
+  scalars : (string * float) list;  (** extra named state, e.g. alpha *)
+}
+
+val of_dense : Dense.t -> mat
+(** Snapshot a matrix (copies the data — safe to call on live training
+    buffers from an [on_iter] hook). *)
+
+val to_dense : mat -> Dense.t
+(** Rebuild a fresh matrix (copies). *)
+
+val save : path:string -> state -> unit
+(** Atomically persist the snapshot. Raises [Invalid_argument] on an
+    inconsistent state (negative counts, shape/data mismatch,
+    non-finite values) — a corrupt snapshot must never reach disk. *)
+
+val load : path:string -> (state, string) result
+(** Read and re-validate a snapshot. A missing file, foreign or
+    truncated payload, inconsistent shapes, or non-finite values all
+    report as [Error] — never as a crash or a garbage resume. *)
+
+val exists : path:string -> bool
+
+val dense : state -> string -> Dense.t option
+(** Look up a named matrix and rebuild it. *)
+
+val scalar : state -> string -> float option

@@ -74,13 +74,17 @@ module Make (M : Morpheus.Data_matrix.S) = struct
     done ;
     M.tlmm t p
 
-  let train ?(alpha = 1e-4) ?(iters = 20) ?w0 ~family t y =
+  let train ?(alpha = 1e-4) ?(iters = 20) ?w0 ?on_iter ~family t y =
     if Dense.rows y <> M.rows t || Dense.cols y <> 1 then
       invalid_arg "Glm.train: bad target shape" ;
     let w = match w0 with Some w -> Dense.copy w | None -> Dense.create (M.cols t) 1 in
-    for _ = 1 to iters do
+    for it = 1 to iters do
       (* w ← w + α·grad in place (bitwise-identical to add∘scale) *)
-      Dense.axpy ~alpha (gradient family t w y) w
+      Dense.axpy ~alpha (gradient family t w y) w ;
+      (* a diverged step (e.g. poisson's exp overflowing) must name
+         itself instead of poisoning later products *)
+      Validate.check_array ~stage:"glm.step" (Dense.data w) ;
+      match on_iter with Some f -> f it w | None -> ()
     done ;
     { family; w }
 

@@ -31,8 +31,14 @@ module Make (M : Morpheus.Data_matrix.S) : sig
   (** Tᵀ·g(T·w, Y). *)
 
   val train :
-    ?alpha:float -> ?iters:int -> ?w0:Dense.t -> family:family ->
+    ?alpha:float -> ?iters:int -> ?w0:Dense.t ->
+    ?on_iter:(int -> Dense.t -> unit) -> family:family ->
     M.t -> Dense.t -> model
+  (** [on_iter i w] observes the live weights after iteration [i]
+      (1-based) — the checkpoint hook; resuming from [w0] with the
+      remaining iteration count is bitwise-identical to the
+      uninterrupted run. Raises {!La.Validate.Numeric_error} if a
+      step produces a non-finite weight. *)
 
   val predict_scores : M.t -> model -> Dense.t
 

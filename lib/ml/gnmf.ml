@@ -36,7 +36,7 @@ module Make (M : Morpheus.Data_matrix.S) = struct
         /. (Array.unsafe_get dd i +. eps))
     done
 
-  let train ?(iters = 20) ?init:factors ~rank t =
+  let train ?(iters = 20) ?init:factors ?on_iter ~rank t =
     (* Copy incoming factors: the loop below updates them in place, and
        the caller's matrices must stay untouched. *)
     let w, h =
@@ -49,7 +49,7 @@ module Make (M : Morpheus.Data_matrix.S) = struct
     (* denominator workspaces, reused across iterations *)
     let denom_h = Dense.create (Dense.rows h) (Dense.cols h) in
     let denom_w = Dense.create (Dense.rows w) (Dense.cols w) in
-    for _ = 1 to iters do
+    for it = 1 to iters do
       (* H update: P = (WᵀT)ᵀ = TᵀW *)
       let p = M.tlmm t w in
       Blas.gemm_into h (Blas.crossprod w) ~c:denom_h ;
@@ -57,7 +57,11 @@ module Make (M : Morpheus.Data_matrix.S) = struct
       (* W update: P = T·H *)
       let p = M.lmm t h in
       Blas.gemm_into w (Blas.crossprod h) ~c:denom_w ;
-      update_into w p denom_w ~out:w
+      update_into w p denom_w ~out:w ;
+      Validate.check_array ~stage:"gnmf.step" (Dense.data w) ;
+      Validate.check_array ~stage:"gnmf.step" (Dense.data h) ;
+      (* the record aliases the live buffers; checkpointers must copy *)
+      match on_iter with Some f -> f it { w; h } | None -> ()
     done ;
     { w; h }
 

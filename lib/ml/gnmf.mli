@@ -13,7 +13,19 @@ module Make (M : Morpheus.Data_matrix.S) : sig
   val init : ?rng:Rng.t -> M.t -> int -> factors
   (** Strictly positive deterministic initialization. *)
 
-  val train : ?iters:int -> ?init:factors -> rank:int -> M.t -> factors
+  val train :
+    ?iters:int ->
+    ?init:factors ->
+    ?on_iter:(int -> factors -> unit) ->
+    rank:int ->
+    M.t ->
+    factors
+  (** [on_iter i f] observes the live factors after iteration [i]
+      (1-based) — the checkpoint hook; [f] aliases the training
+      buffers, so copy before storing. Resuming from [init] with the
+      remaining iteration count is bitwise-identical to the
+      uninterrupted run. Raises {!La.Validate.Numeric_error} if an
+      update produces a non-finite factor. *)
 
   val reconstruction_error : M.t -> factors -> float
   (** ‖T − W·Hᵀ‖²_F computed without materializing W·Hᵀ:

@@ -123,7 +123,7 @@ module Make (M : Morpheus.Data_matrix.S) = struct
 
   let assign t c = Dense.row_argmins (distances t c)
 
-  let train ?(iters = 20) ?centroids ~k t =
+  let train ?(iters = 20) ?centroids ?on_iter ~k t =
     let n = M.rows t in
     let c = ref (match centroids with Some c -> Dense.copy c | None -> init_centroids t k) in
     (* 1. Pre-compute squared l2-norms of the points, rowSums(T²),
@@ -140,7 +140,7 @@ module Make (M : Morpheus.Data_matrix.S) = struct
        assignment matrix *)
     let d = Dense.create n k in
     let a = Dense.create n k in
-    for _ = 1 to iters do
+    for it = 1 to iters do
       (* 2. Pairwise squared distances D (n×k) =
          rowSums(T²)·1 + 1·colSums(C²) − 2·T·C *)
       fill_distances t ~dt ~c:!c ~d ;
@@ -158,7 +158,9 @@ module Make (M : Morpheus.Data_matrix.S) = struct
       c :=
         Dense.init (M.cols t) k (fun i j ->
             let cnt = Dense.get counts 0 j in
-            if cnt > 0.0 then Dense.get ta i j /. cnt else Dense.get !c i j)
+            if cnt > 0.0 then Dense.get ta i j /. cnt else Dense.get !c i j) ;
+      Validate.check_array ~stage:"kmeans.step" (Dense.data !c) ;
+      (match on_iter with Some f -> f it !c | None -> ())
     done ;
     { centroids = !c; assignments = !assignments; objective = !objective }
 end

@@ -35,5 +35,16 @@ module Make (M : Morpheus.Data_matrix.S) : sig
       {!distances} — bitwise-identical to the assignment [train]
       computes with the same centroids. *)
 
-  val train : ?iters:int -> ?centroids:Dense.t -> k:int -> M.t -> result
+  val train :
+    ?iters:int ->
+    ?centroids:Dense.t ->
+    ?on_iter:(int -> Dense.t -> unit) ->
+    k:int ->
+    M.t ->
+    result
+  (** [on_iter i c] observes the centroids after iteration [i]
+      (1-based) — the checkpoint hook; resuming from [centroids] with
+      the remaining iteration count is bitwise-identical to the
+      uninterrupted run. Raises {!La.Validate.Numeric_error} if an
+      update produces a non-finite centroid. *)
 end

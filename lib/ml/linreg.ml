@@ -21,16 +21,18 @@ module Make (M : Morpheus.Data_matrix.S) = struct
 
   (* ---- gradient descent ---- *)
 
-  let train_gd ?(alpha = 1e-6) ?(iters = 20) ?w0 t y =
+  let train_gd ?(alpha = 1e-6) ?(iters = 20) ?w0 ?on_iter t y =
     let d = M.cols t in
     let w = match w0 with Some w -> Dense.copy w | None -> Dense.create d 1 in
-    for _ = 1 to iters do
+    for it = 1 to iters do
       let scores = M.lmm t w in
       (* residual in place of the scores buffer (map2_into allows the
          out/input alias), then w ← w − α·grad without temporaries *)
       Dense.map2_into ( -. ) scores y ~out:scores ;
       let grad = M.tlmm t scores in
-      Dense.axpy ~alpha:(-.alpha) grad w
+      Dense.axpy ~alpha:(-.alpha) grad w ;
+      Validate.check_array ~stage:"linreg.step" (Dense.data w) ;
+      match on_iter with Some f -> f it w | None -> ()
     done ;
     w
 

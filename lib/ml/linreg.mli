@@ -10,8 +10,16 @@ module Make (M : Morpheus.Data_matrix.S) : sig
   (** [w = ginv(crossprod(T))·(TᵀY)]; the factorized instantiation runs
       Algorithm 2's efficient cross-product. *)
 
-  val train_gd : ?alpha:float -> ?iters:int -> ?w0:Dense.t -> M.t -> Dense.t -> Dense.t
-  (** [w ← w − α·Tᵀ(Tw − Y)]. *)
+  val train_gd :
+    ?alpha:float -> ?iters:int -> ?w0:Dense.t ->
+    ?on_iter:(int -> Dense.t -> unit) ->
+    M.t -> Dense.t -> Dense.t
+  (** [w ← w − α·Tᵀ(Tw − Y)]. [on_iter i w] observes the live weights
+      after iteration [i] (1-based) — the checkpoint hook; resuming
+      from [w0] with the remaining iteration count is
+      bitwise-identical to the uninterrupted run. Raises
+      {!La.Validate.Numeric_error} if a step produces a non-finite
+      weight. *)
 
   val cofactor : M.t -> Dense.t -> Dense.t
   (** The (d+1)×d co-factor matrix [C = \[YᵀT; crossprod(T)\]]. *)

@@ -25,7 +25,8 @@ module Make (M : Morpheus.Data_matrix.S) = struct
   (* The paper's iteration: w ← w + α · Tᵀ(Y / (1 + exp(T·w))).
      With labels in {-1,+1} folded into Y this is plain gradient descent
      on the logistic loss. *)
-  let train ?(alpha = 1e-4) ?(iters = 20) ?w0 ?(record_loss = false) t y =
+  let train ?(alpha = 1e-4) ?(iters = 20) ?w0 ?(record_loss = false) ?on_iter
+      t y =
     let d = M.cols t in
     if Dense.rows y <> M.rows t || Dense.cols y <> 1 then
       invalid_arg "Logreg.train: bad target shape" ;
@@ -34,7 +35,7 @@ module Make (M : Morpheus.Data_matrix.S) = struct
     (* gradient-weight workspace, reused every iteration *)
     let p = Dense.create (Dense.rows y) 1 in
     let pd = Dense.data p and yd = Dense.data y in
-    for _ = 1 to iters do
+    for it = 1 to iters do
       let scores = M.lmm t w in
       if record_loss then losses := loss scores y :: !losses ;
       (* P = Y / (1 + exp(Y·scores)) — the gradient weights *)
@@ -46,7 +47,10 @@ module Make (M : Morpheus.Data_matrix.S) = struct
       done ;
       let grad = M.tlmm t p in
       (* w ← w + α·grad in place (bitwise-identical to add∘scale) *)
-      Dense.axpy ~alpha grad w
+      Dense.axpy ~alpha grad w ;
+      (* a diverged step must name itself, not poison later products *)
+      Validate.check_array ~stage:"logreg.step" (Dense.data w) ;
+      match on_iter with Some f -> f it w | None -> ()
     done ;
     { w; losses = List.rev !losses }
 

@@ -17,9 +17,15 @@ module Make (M : Morpheus.Data_matrix.S) : sig
 
   val train :
     ?alpha:float -> ?iters:int -> ?w0:Dense.t -> ?record_loss:bool ->
+    ?on_iter:(int -> Dense.t -> unit) ->
     M.t -> Dense.t -> model
   (** The paper's iteration [w ← w + α·Tᵀ(Y / (1 + exp(T·w)))] with
-    labels in {-1, +1}. *)
+    labels in {-1, +1}. [on_iter i w] observes the live weights after
+    iteration [i] (1-based) — the checkpoint hook: the loop body only
+    depends on the current weights, so resuming from [w0] with the
+    remaining iteration count is bitwise-identical to the
+    uninterrupted run. Raises {!La.Validate.Numeric_error} if a step
+    produces a non-finite weight. *)
 
   val predict : M.t -> model -> Dense.t
 

@@ -37,6 +37,7 @@ let create ~dir ~cols =
 let append t chunk =
   if Dense.cols chunk <> t.cols then
     invalid_arg "Chunk_store.append: column mismatch" ;
+  Fault.point "chunk_store.write" ;
   let i = nchunks t in
   let t = { t with chunk_rows = t.chunk_rows @ [ Dense.rows chunk ] } in
   let oc = open_out_bin (chunk_path t i) in
@@ -50,13 +51,29 @@ let append t chunk =
 
 let get t i =
   if i < 0 || i >= nchunks t then invalid_arg "Chunk_store.get: bad index" ;
-  let ic = open_in_bin (chunk_path t i) in
+  Fault.point "chunk_store.read" ;
+  let path = chunk_path t i in
+  let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let rows = input_binary_int ic in
-      let cols = input_binary_int ic in
-      let data : float array = Marshal.from_channel ic in
+      let corrupt fmt =
+        Printf.ksprintf (fun s -> raise (Morpheus.Io.Corrupt s)) fmt
+      in
+      let rows, cols, (data : float array) =
+        try
+          let rows = input_binary_int ic in
+          let cols = input_binary_int ic in
+          (rows, cols, Marshal.from_channel ic)
+        with End_of_file | Failure _ ->
+          corrupt "%s: truncated or damaged chunk" path
+      in
+      if rows < 0 || cols < 0 || Array.length data <> rows * cols then
+        corrupt "%s: %d values for a %dx%d chunk" path (Array.length data)
+          rows cols ;
+      (* streamed chunks feed factorized products directly; refuse a
+         poisoned chunk at the read boundary *)
+      Validate.check_array ~stage:("chunk_store.read " ^ path) data ;
       Dense.of_array ~rows ~cols data)
 
 (* Stream all chunks through [f], accumulating. [f acc index chunk]. *)

@@ -25,16 +25,34 @@ let iteration_factorized ~alpha t y w =
   let grad = Chunked_normalized.tlmm t p in
   Dense.add w (Dense.scale alpha grad)
 
-let train_materialized ?(alpha = 1e-4) ?(iters = 5) t_store y =
-  let w = ref (Dense.create (Chunk_store.cols t_store) 1) in
-  for _ = 1 to iters do
-    w := iteration_materialized ~alpha t_store y !w
+(* [w0] + the per-iteration [on_iter] hook carry checkpoint/resume: the
+   loop body only depends on the current weights, so re-invoking with
+   the checkpointed w and the remaining iteration count replays the
+   uninterrupted run bitwise. *)
+let train_materialized ?(alpha = 1e-4) ?(iters = 5) ?w0 ?on_iter t_store y =
+  let w =
+    ref
+      (match w0 with
+      | Some w -> Dense.copy w
+      | None -> Dense.create (Chunk_store.cols t_store) 1)
+  in
+  for it = 1 to iters do
+    w := iteration_materialized ~alpha t_store y !w ;
+    Validate.check_array ~stage:"ore_logreg.step" (Dense.data !w) ;
+    match on_iter with Some f -> f it !w | None -> ()
   done ;
   !w
 
-let train_factorized ?(alpha = 1e-4) ?(iters = 5) t y =
-  let w = ref (Dense.create (Chunked_normalized.cols t) 1) in
-  for _ = 1 to iters do
-    w := iteration_factorized ~alpha t y !w
+let train_factorized ?(alpha = 1e-4) ?(iters = 5) ?w0 ?on_iter t y =
+  let w =
+    ref
+      (match w0 with
+      | Some w -> Dense.copy w
+      | None -> Dense.create (Chunked_normalized.cols t) 1)
+  in
+  for it = 1 to iters do
+    w := iteration_factorized ~alpha t y !w ;
+    Validate.check_array ~stage:"ore_logreg.step" (Dense.data !w) ;
+    match on_iter with Some f -> f it !w | None -> ()
   done ;
   !w

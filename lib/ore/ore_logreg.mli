@@ -18,7 +18,26 @@ val iteration_factorized :
 (** One GD step over the chunked normalized matrix. *)
 
 val train_materialized :
-  ?alpha:float -> ?iters:int -> Chunk_store.t -> Dense.t -> Dense.t
+  ?alpha:float ->
+  ?iters:int ->
+  ?w0:Dense.t ->
+  ?on_iter:(int -> Dense.t -> unit) ->
+  Chunk_store.t ->
+  Dense.t ->
+  Dense.t
+(** [w0] seeds the weights (copied); [on_iter i w] observes the live
+    weights after iteration [i] (1-based) — the checkpoint hook.
+    Resuming with the checkpointed weights and the remaining iteration
+    count is bitwise-identical to the uninterrupted run. Raises
+    {!La.Validate.Numeric_error} if an update produces a non-finite
+    weight. *)
 
 val train_factorized :
-  ?alpha:float -> ?iters:int -> Chunked_normalized.t -> Dense.t -> Dense.t
+  ?alpha:float ->
+  ?iters:int ->
+  ?w0:Dense.t ->
+  ?on_iter:(int -> Dense.t -> unit) ->
+  Chunked_normalized.t ->
+  Dense.t ->
+  Dense.t
+(** Same contract as {!train_materialized} on the factorized path. *)

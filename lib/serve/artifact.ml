@@ -97,7 +97,13 @@ let dense_of_payload p =
     Error
       (Printf.sprintf "dense payload: %d values for a %dx%d matrix"
          (Array.length p.pd) p.pr p.pc)
-  else Ok (Dense.of_array ~rows:p.pr ~cols:p.pc (Array.copy p.pd))
+  else
+    match Validate.scan p.pd with
+    | Some i ->
+      Error
+        (Printf.sprintf "dense payload: non-finite value %h at index %d"
+           p.pd.(i) i)
+    | None -> Ok (Dense.of_array ~rows:p.pr ~cols:p.pc (Array.copy p.pd))
 
 let to_payload = function
   | Logreg w -> PL_logreg (dense_to_payload w)

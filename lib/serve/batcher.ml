@@ -95,7 +95,10 @@ let run_batch t batch =
   let key = batch.(0).key in
   let rows = Array.fold_left (fun acc p -> acc + t.size p) 0 payloads in
   let results =
-    match t.exec key payloads with
+    match
+      Fault.point "batcher.exec" ;
+      t.exec key payloads
+    with
     | results when Array.length results = Array.length batch -> results
     | results ->
       let msg =
@@ -170,6 +173,10 @@ let create ?(max_batch = 64) ?(max_wait = 2e-3) ?(queue_bound = 1024) ~metrics
   t
 
 let submit t ?deadline key payload =
+  (* before the enqueue: a fault here means the request was never
+     queued, so the caller's error reply is still its exactly-one
+     reply *)
+  Fault.point "batcher.submit" ;
   Mutex.lock t.m ;
   if t.stopped then begin
     Mutex.unlock t.m ;
@@ -179,6 +186,7 @@ let submit t ?deadline key payload =
   else if Queue.length t.queue >= t.queue_bound then begin
     Mutex.unlock t.m ;
     Metrics.record_error t.metrics ~code:"overloaded" ;
+    Metrics.record_shed t.metrics ;
     Error Overloaded
   end
   else begin

@@ -1,0 +1,77 @@
+(* Consecutive-failure circuit breaker. State is derived: [opened_at =
+   None] is closed; [Some at] is open until [at + cooldown], half-open
+   after. The half-open single-probe gate is the [probing] flag: the
+   first [allow] after the cooldown claims it, every other caller keeps
+   getting [false] until the probe reports success or failure. *)
+
+type state = Closed | Open | Half_open
+
+type t = {
+  m : Mutex.t;
+  threshold : int;
+  cooldown : float;
+  now : unit -> float;
+  mutable failures : int;  (* consecutive *)
+  mutable opened_at : float option;
+  mutable probing : bool;
+  mutable opens : int;
+}
+
+let create ?(threshold = 5) ?(cooldown = 1.0) ?(now = Unix.gettimeofday) () =
+  if threshold < 1 then invalid_arg "Breaker.create: threshold < 1" ;
+  if cooldown < 0.0 then invalid_arg "Breaker.create: negative cooldown" ;
+  { m = Mutex.create ();
+    threshold;
+    cooldown;
+    now;
+    failures = 0;
+    opened_at = None;
+    probing = false;
+    opens = 0
+  }
+
+let locked t f =
+  Mutex.lock t.m ;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let state t =
+  locked t (fun () ->
+      match t.opened_at with
+      | None -> Closed
+      | Some at -> if t.now () -. at >= t.cooldown then Half_open else Open)
+
+let allow t =
+  locked t (fun () ->
+      match t.opened_at with
+      | None -> true
+      | Some at ->
+        if t.now () -. at >= t.cooldown && not t.probing then begin
+          t.probing <- true ;
+          true
+        end
+        else false)
+
+let success t =
+  locked t (fun () ->
+      t.failures <- 0 ;
+      t.opened_at <- None ;
+      t.probing <- false)
+
+let failure t =
+  locked t (fun () ->
+      match t.opened_at with
+      | Some _ ->
+        (* a probe failed (or a straggler raced the trip): re-open with
+           a fresh cooldown *)
+        t.opened_at <- Some (t.now ()) ;
+        t.probing <- false ;
+        t.opens <- t.opens + 1
+      | None ->
+        t.failures <- t.failures + 1 ;
+        if t.failures >= t.threshold then begin
+          t.opened_at <- Some (t.now ()) ;
+          t.probing <- false ;
+          t.opens <- t.opens + 1
+        end)
+
+let opens t = locked t (fun () -> t.opens)

@@ -35,7 +35,9 @@ let rec read_line t =
 
 let call t request =
   match
+    Fault.point "client.write" ;
     write_all t.fd (Json.to_string (Protocol.request_to_json request) ^ "\n") ;
+    Fault.point "client.read" ;
     read_line t
   with
   | Some line -> (
@@ -45,6 +47,7 @@ let call t request =
   | None -> Error ("transport", "connection closed by server")
   | exception Unix.Unix_error (e, _, _) ->
     Error ("transport", Unix.error_message e)
+  | exception Fault.Injected p -> Error ("transport", "injected fault at " ^ p)
 
 let predictions = function
   | Ok j -> (
@@ -66,3 +69,78 @@ let score_ids t ~model ~dataset ?deadline_ms ids =
 let with_client ~socket f =
   let t = connect ~socket in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+(* ---- retrying calls ---- *)
+
+type retry = {
+  attempts : int;
+  base_backoff : float;
+  max_backoff : float;
+  jitter : float;
+  budget : float;
+  retry_codes : string list;
+}
+
+let default_retry =
+  { attempts = 5;
+    base_backoff = 0.01;
+    max_backoff = 0.5;
+    jitter = 0.5;
+    budget = 5.0;
+    retry_codes = [ "transport"; "overloaded"; "circuit_open"; "internal" ]
+  }
+
+(* One attempt = one fresh connection: a transport failure may have
+   left the old connection desynchronized (half a frame written), and
+   reconnecting over a Unix socket is cheap. *)
+let attempt_once ~socket request =
+  match with_client ~socket (fun t -> call t request) with
+  | r -> r
+  | exception Unix.Unix_error (e, _, _) ->
+    Error ("transport", Unix.error_message e)
+  | exception Fault.Injected p -> Error ("transport", "injected fault at " ^ p)
+
+let call_retry ?(policy = default_retry) ?metrics ?rng ~socket request =
+  if policy.attempts < 1 then invalid_arg "Client.call_retry: attempts < 1" ;
+  let rng = match rng with Some r -> r | None -> La.Rng.of_int 0x5eed in
+  let t0 = Unix.gettimeofday () in
+  let rec go k =
+    match attempt_once ~socket request with
+    | Ok _ as ok -> ok
+    | Error (code, _) as err ->
+      let elapsed = Unix.gettimeofday () -. t0 in
+      if
+        k >= policy.attempts
+        || (not (List.mem code policy.retry_codes))
+        || elapsed >= policy.budget
+      then err
+      else begin
+        (match metrics with Some m -> Metrics.record_retry m | None -> ()) ;
+        let base =
+          Float.min policy.max_backoff
+            (policy.base_backoff *. (2.0 ** float_of_int (k - 1)))
+        in
+        let jittered =
+          base
+          *. (1.0 -. (policy.jitter /. 2.0) +. (policy.jitter *. La.Rng.float rng))
+        in
+        (* never sleep past the budget: the last attempt still runs *)
+        Thread.delay (Float.max 0.0 (Float.min jittered (policy.budget -. elapsed))) ;
+        go (k + 1)
+      end
+  in
+  go 1
+
+let score_rows_retry ?policy ?metrics ?rng ~socket ~model ?deadline_ms rows =
+  predictions
+    (call_retry ?policy ?metrics ?rng ~socket
+       (Protocol.Score { model; target = Protocol.Rows rows; deadline_ms }))
+
+let score_ids_retry ?policy ?metrics ?rng ~socket ~model ~dataset ?deadline_ms
+    ids =
+  predictions
+    (call_retry ?policy ?metrics ?rng ~socket
+       (Protocol.Score
+          { model; target = Protocol.Dataset { dataset; ids }; deadline_ms }))
+
+let health ~socket = attempt_once ~socket Protocol.Health

@@ -33,3 +33,64 @@ val score_ids :
 
 val with_client : socket:string -> (t -> 'a) -> 'a
 (** Connect, run, close (also on exception). *)
+
+(** {1 Retrying calls}
+
+    Score requests are idempotent (pure functions of model + rows/ids),
+    so a retried request returns a bitwise-identical response — retries
+    can never produce a wrong answer, only a late one. *)
+
+type retry = {
+  attempts : int;  (** total attempts, including the first *)
+  base_backoff : float;  (** seconds before the first retry *)
+  max_backoff : float;  (** cap on the doubled backoff *)
+  jitter : float;
+      (** backoff is scaled uniformly in [1 − j/2, 1 + j/2] to
+          decorrelate concurrent retries *)
+  budget : float;  (** absolute seconds: no sleep extends past this *)
+  retry_codes : string list;  (** error codes worth another attempt *)
+}
+
+val default_retry : retry
+(** 5 attempts, 10ms base doubling to a 0.5s cap, jitter 0.5, 5s
+    budget; retries [transport], [overloaded], [circuit_open], and
+    [internal]. Permanent errors ([unknown_model], [bad_request],
+    [deadline_exceeded], schema mismatches) are never retried. *)
+
+val call_retry :
+  ?policy:retry ->
+  ?metrics:Metrics.t ->
+  ?rng:La.Rng.t ->
+  socket:string ->
+  Protocol.request ->
+  (Json.t, string * string) result
+(** One logical request with retries. Each attempt opens a fresh
+    connection (a transport failure may have desynchronized the old
+    one). [metrics] counts each retry ({!Metrics.record_retry});
+    [rng] drives the jitter deterministically (defaults to a fixed
+    seed). Returns the last error when the policy is exhausted. *)
+
+val score_rows_retry :
+  ?policy:retry ->
+  ?metrics:Metrics.t ->
+  ?rng:La.Rng.t ->
+  socket:string ->
+  model:string ->
+  ?deadline_ms:float ->
+  float array array ->
+  (float array, string * string) result
+
+val score_ids_retry :
+  ?policy:retry ->
+  ?metrics:Metrics.t ->
+  ?rng:La.Rng.t ->
+  socket:string ->
+  model:string ->
+  dataset:string ->
+  ?deadline_ms:float ->
+  int array ->
+  (float array, string * string) result
+
+val health : socket:string -> (Json.t, string * string) result
+(** One [health] request on a fresh connection (no retries — a health
+    probe wants the truth about right now). *)

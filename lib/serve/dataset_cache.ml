@@ -38,6 +38,9 @@ let get t key =
         v
       | None ->
         t.misses <- t.misses + 1 ;
+        (* a failed load caches nothing: the exception propagates and
+           the next lookup retries *)
+        Fault.point "dataset_cache.load" ;
         let v = t.load key in
         let entries = (key, v) :: t.entries in
         let n = List.length entries in

@@ -72,6 +72,11 @@ type t = {
   mutable max_batch_requests : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
+  (* robustness counters *)
+  mutable retries : int;  (* client-side retry attempts *)
+  mutable sheds : int;  (* requests shed at the queue bound *)
+  mutable restarts : int;  (* crashed handler threads restarted *)
+  mutable write_errors : int;  (* response writes to dead peers *)
 }
 
 let create () =
@@ -85,7 +90,11 @@ let create () =
     batched_rows = 0;
     max_batch_requests = 0;
     cache_hits = 0;
-    cache_misses = 0
+    cache_misses = 0;
+    retries = 0;
+    sheds = 0;
+    restarts = 0;
+    write_errors = 0
   }
 
 let locked t f =
@@ -121,6 +130,15 @@ let record_cache t ~hit =
   locked t (fun () ->
       if hit then t.cache_hits <- t.cache_hits + 1
       else t.cache_misses <- t.cache_misses + 1)
+
+let record_retry t = locked t (fun () -> t.retries <- t.retries + 1)
+let record_shed t = locked t (fun () -> t.sheds <- t.sheds + 1)
+let record_restart t = locked t (fun () -> t.restarts <- t.restarts + 1)
+let record_write_error t = locked t (fun () -> t.write_errors <- t.write_errors + 1)
+let retries t = locked t (fun () -> t.retries)
+let sheds t = locked t (fun () -> t.sheds)
+let restarts t = locked t (fun () -> t.restarts)
+let write_errors t = locked t (fun () -> t.write_errors)
 
 let requests t = locked t (fun () -> t.all.count)
 
@@ -188,6 +206,13 @@ let snapshot t =
                 ( "hit_rate",
                   Json.Num (fdiv t.cache_hits (t.cache_hits + t.cache_misses))
                 )
+              ] );
+          ( "robustness",
+            Json.Obj
+              [ ("retries", Json.Num (float_of_int t.retries));
+                ("sheds", Json.Num (float_of_int t.sheds));
+                ("handler_restarts", Json.Num (float_of_int t.restarts));
+                ("write_errors", Json.Num (float_of_int t.write_errors))
               ] )
         ])
 
@@ -237,5 +262,17 @@ let summary t =
       (Printf.sprintf "dataset cache : %.0f hits / %.0f misses (%.1f%% hit rate)\n"
          (f "hits") (f "misses")
          (100.0 *. f "hit_rate"))
+  | None -> ()) ;
+  (match Json.member "robustness" j with
+  | Some r ->
+    let f k =
+      match Option.bind (Json.member k r) Json.to_float with
+      | Some x -> x
+      | None -> 0.0
+    in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "robustness    : %.0f sheds, %.0f handler restarts, %.0f write errors\n"
+         (f "sheds") (f "handler_restarts") (f "write_errors"))
   | None -> ()) ;
   Buffer.contents buf

@@ -21,6 +21,24 @@ val record_batch : t -> requests:int -> rows:int -> unit
 val record_cache : t -> hit:bool -> unit
 (** A dataset-cache lookup. *)
 
+val record_retry : t -> unit
+(** One client-side retry attempt (recorded by {!Client.call_retry}
+    when handed this metrics instance). *)
+
+val record_shed : t -> unit
+(** One request shed at the queue bound. *)
+
+val record_restart : t -> unit
+(** One crashed handler thread restarted by the supervisor. *)
+
+val record_write_error : t -> unit
+(** One response write that failed (peer gone mid-write). *)
+
+val retries : t -> int
+val sheds : t -> int
+val restarts : t -> int
+val write_errors : t -> int
+
 val requests : t -> int
 (** Total successful requests recorded. *)
 

@@ -10,6 +10,7 @@ type request =
   | Ping
   | List_models
   | Stats
+  | Health
   | Score of {
       model : string;
       target : score_target;
@@ -21,6 +22,7 @@ let request_to_json = function
   | Ping -> Json.Obj [ ("op", Json.Str "ping") ]
   | List_models -> Json.Obj [ ("op", Json.Str "list") ]
   | Stats -> Json.Obj [ ("op", Json.Str "stats") ]
+  | Health -> Json.Obj [ ("op", Json.Str "health") ]
   | Shutdown -> Json.Obj [ ("op", Json.Str "shutdown") ]
   | Score { model; target; deadline_ms } ->
     let base = [ ("op", Json.Str "score"); ("model", Json.Str model) ] in
@@ -57,6 +59,7 @@ let request_of_json j =
   | Some "ping" -> Ok Ping
   | Some "list" -> Ok List_models
   | Some "stats" -> Ok Stats
+  | Some "health" -> Ok Health
   | Some "shutdown" -> Ok Shutdown
   | Some "score" ->
     let* model =

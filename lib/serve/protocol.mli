@@ -15,6 +15,9 @@ type request =
   | Ping
   | List_models
   | Stats
+  | Health
+      (** self-healing status: ok/degraded, open circuits, handler
+          restarts — cheap enough for a load balancer to poll *)
   | Score of {
       model : string;  (** registry reference: ["name"] or ["name@vN"] *)
       target : score_target;

@@ -23,8 +23,11 @@ let manifest_file = "manifest.json"
 
 let id_of ~name ~version = Printf.sprintf "%s@v%d" name version
 
+(* Leading '_' is reserved for registry-internal directories (the
+   recovery sweep's quarantine). *)
 let valid_name name =
   name <> ""
+  && name.[0] <> '_'
   && String.for_all
        (fun c ->
          match c with
@@ -127,6 +130,7 @@ let list ~dir =
   if not (Sys.file_exists dir && Sys.is_directory dir) then []
   else
     Sys.readdir dir |> Array.to_list |> List.sort compare
+    |> List.filter (fun name -> name <> "" && name.[0] <> '_')
     |> List.concat_map (fun name ->
            versions_of ~dir name
            |> List.filter_map (fun version -> entry_of ~dir ~name ~version))
@@ -139,7 +143,8 @@ let save ~dir ~name ?schema_hash ?(meta = []) artifact =
   if not (valid_name name) then
     invalid_arg
       ("Registry.save: invalid model name " ^ name
-     ^ " (use letters, digits, '_', '-', '.')") ;
+     ^ " (use letters, digits, '_', '-', '.'; no leading '_')") ;
+  Fault.point "registry.save" ;
   ensure_dir dir ;
   ensure_dir (Filename.concat dir name) ;
   (* next version: committed or not, any existing vN directory is
@@ -213,10 +218,13 @@ let load ~dir r =
   | Ok { id; manifest } -> (
     let vd = version_dir ~dir ~name:manifest.name ~version:manifest.version in
     match
+      Fault.point "registry.load" ;
       Io.read_payload ~kind:artifact_kind (Filename.concat vd artifact_file)
     with
     | exception Io.Corrupt msg -> Error msg
     | exception Sys_error msg -> Error msg
+    | exception Fault.Injected p -> Error ("injected fault at " ^ p)
+    | exception La.Validate.Numeric_error i -> Error (La.Validate.message i)
     | payload -> (
       match Artifact.of_payload payload with
       | Error msg -> Error (Printf.sprintf "%s: %s" id msg)
@@ -226,6 +234,81 @@ let load ~dir r =
             (Printf.sprintf "%s: manifest kind %S but artifact is %S" id
                manifest.kind (Artifact.kind artifact))
         else Ok (artifact, manifest)))
+
+(* ---- startup recovery sweep ---- *)
+
+let quarantine_dirname = "_quarantine"
+
+let is_version_name v =
+  String.length v > 1
+  && v.[0] = 'v'
+  && int_of_string_opt (String.sub v 1 (String.length v - 1)) <> None
+
+let has_suffix ~suffix s =
+  let ls = String.length s and lx = String.length suffix in
+  ls >= lx && String.sub s (ls - lx) lx = suffix
+
+(* Crash litter from the tmp+rename protocol: *.tmp files (a write that
+   never reached its rename) and vN directories without a manifest (a
+   save that never reached its commit point). [save] already refuses to
+   reuse an uncommitted vN, and [list]/[resolve] never surface one, but
+   litter still accumulates and an uncommitted vN silently pins a
+   version number forever. The sweep moves both kinds into
+   <dir>/_quarantine/ — renamed, never deleted, so an operator can
+   inspect what the crash left behind. *)
+let recover ~dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else begin
+    let quarantined = ref [] in
+    let qdir = Filename.concat dir quarantine_dirname in
+    let unique_target leaf =
+      let base = Filename.concat qdir leaf in
+      if not (Sys.file_exists base) then base
+      else
+        let rec go k =
+          let p = Printf.sprintf "%s.%d" base k in
+          if Sys.file_exists p then go (k + 1) else p
+        in
+        go 1
+    in
+    let quarantine path leaf =
+      ensure_dir qdir ;
+      let target = unique_target leaf in
+      (try
+         Sys.rename path target ;
+         quarantined := (path, target) :: !quarantined
+       with Sys_error _ -> ())
+      (* an unmovable entry stays; the sweep is best-effort *)
+    in
+    let sweep_version_dir ~name vd v =
+      (* stray tmp files inside a committed version *)
+      Array.iter
+        (fun f ->
+          if has_suffix ~suffix:".tmp" f then
+            quarantine (Filename.concat vd f)
+              (Printf.sprintf "%s-%s-%s" name v f))
+        (try Sys.readdir vd with Sys_error _ -> [||])
+    in
+    let sweep_model name =
+      let model_dir = Filename.concat dir name in
+      if Sys.is_directory model_dir then
+        Array.iter
+          (fun v ->
+            let path = Filename.concat model_dir v in
+            if has_suffix ~suffix:".tmp" v then
+              quarantine path (Printf.sprintf "%s-%s" name v)
+            else if is_version_name v && Sys.is_directory path then
+              if Sys.file_exists (Filename.concat path manifest_file) then
+                sweep_version_dir ~name path v
+              else quarantine path (Printf.sprintf "%s-%s" name v))
+          (try Sys.readdir model_dir with Sys_error _ -> [||])
+      else if has_suffix ~suffix:".tmp" name then quarantine model_dir name
+    in
+    Array.iter
+      (fun name -> if name <> "" && name.[0] <> '_' then sweep_model name)
+      (try Sys.readdir dir with Sys_error _ -> [||]) ;
+    List.rev !quarantined
+  end
 
 (* ---- delete ---- *)
 

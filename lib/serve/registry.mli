@@ -61,3 +61,13 @@ val load : dir:string -> string -> (Artifact.t * manifest, string) result
 
 val delete : dir:string -> string -> (unit, string) result
 (** Remove one version (["name@vN"]) or a whole model (["name"]). *)
+
+val recover : dir:string -> (string * string) list
+(** Startup recovery sweep: move crash litter from the tmp+rename
+    protocol — orphaned [*.tmp] files and version directories missing
+    [manifest.json] — into [<dir>/_quarantine/] (renamed, never
+    deleted). Returns [(original, quarantined)] pairs. Registry names
+    may not start with ['_'], so the quarantine directory can never
+    collide with a model; {!list} skips it. An absent registry sweeps
+    to []. Run by the server at startup and by
+    [morpheus models --recover]. *)

@@ -23,6 +23,8 @@ type config = {
   handlers : int;
   cache_capacity : int;
   default_deadline_ms : float option;
+  breaker_threshold : int;
+  breaker_cooldown : float;
 }
 
 let default_config ~registry ~socket =
@@ -33,7 +35,9 @@ let default_config ~registry ~socket =
     queue_bound = 1024;
     handlers = 4;
     cache_capacity = 4;
-    default_deadline_ms = None
+    default_deadline_ms = None;
+    breaker_threshold = 5;
+    breaker_cooldown = 1.0
   }
 
 (* Batches coalesce per (resolved model version, dataset): requests for
@@ -62,6 +66,14 @@ type t = {
   (* loaded normalized datasets + their schema hash, LRU *)
   datasets : (Normalized.t * string) Dataset_cache.t;
   mutable batcher : (batch_key, batch_payload, float array) Batcher.t option;
+  (* one circuit breaker per dataset path *)
+  breakers : (string, Breaker.t) Hashtbl.t;
+  breaker_m : Mutex.t;
+  (* handler supervision: slot i's thread, and whether it crashed *)
+  mutable slots : Thread.t array;
+  crashed : bool array;
+  sup_m : Mutex.t;
+  recovered : int;  (* registry litter quarantined at startup *)
   stop_m : Mutex.t;
   stop_cv : Condition.t;
   mutable stopping : bool;
@@ -87,16 +99,59 @@ let load_model t id =
           Ok (artifact, manifest)
         | Error _ as e -> e))
 
+let dataset_breaker t path =
+  Mutex.lock t.breaker_m ;
+  let b =
+    match Hashtbl.find_opt t.breakers path with
+    | Some b -> b
+    | None ->
+      let b =
+        Breaker.create ~threshold:t.cfg.breaker_threshold
+          ~cooldown:t.cfg.breaker_cooldown ()
+      in
+      Hashtbl.replace t.breakers path b ;
+      b
+  in
+  Mutex.unlock t.breaker_m ;
+  b
+
+let open_circuits t =
+  Mutex.lock t.breaker_m ;
+  let n =
+    Hashtbl.fold
+      (fun _ b acc -> if Breaker.state b = Breaker.Open then acc + 1 else acc)
+      t.breakers 0
+  in
+  Mutex.unlock t.breaker_m ;
+  n
+
 let get_dataset t path =
   (* hit/miss recorded against the metrics before the (possibly slow)
      load; only the batching thread calls this, so mem→get is atomic
-     enough *)
-  Metrics.record_cache t.metrics ~hit:(Dataset_cache.mem t.datasets path) ;
-  match Dataset_cache.get t.datasets path with
-  | v -> Ok v
-  | exception Invalid_argument msg -> Error msg
-  | exception Io.Corrupt msg -> Error msg
-  | exception Sys_error msg -> Error msg
+     enough. A breaker per path makes a persistently broken dataset
+     fail fast instead of hammering the filesystem on every batch. *)
+  let b = dataset_breaker t path in
+  if not (Breaker.allow b) then begin
+    Metrics.record_error t.metrics ~code:"circuit_open" ;
+    Error
+      (Printf.sprintf "circuit open for dataset %s (recent loads failed)" path)
+  end
+  else begin
+    Metrics.record_cache t.metrics ~hit:(Dataset_cache.mem t.datasets path) ;
+    let fail msg =
+      Breaker.failure b ;
+      Error msg
+    in
+    match Dataset_cache.get t.datasets path with
+    | v ->
+      Breaker.success b ;
+      Ok v
+    | exception Invalid_argument msg -> fail msg
+    | exception Io.Corrupt msg -> fail msg
+    | exception Sys_error msg -> fail msg
+    | exception Fault.Injected p -> fail ("injected fault at " ^ p)
+    | exception Validate.Numeric_error i -> fail (Validate.message i)
+  end
 
 (* ---- the fused batch executor ---- *)
 
@@ -115,6 +170,13 @@ let split_results payloads preds counts =
         off := !off + c)
     counts ;
   results
+
+(* A model or dataset that slipped past the load-time guards must still
+   never serve NaN: scan the fused prediction vector once before
+   splitting it back per request. *)
+let checked_preds payloads preds counts =
+  if Validate.array_ok preds then split_results payloads preds counts
+  else all_error payloads "non-finite prediction (corrupt model or dataset)"
 
 let exec_batch t key payloads =
   match load_model t key.bk_model with
@@ -141,7 +203,7 @@ let exec_batch t key payloads =
         let preds =
           Artifact.score_dense artifact (Dense.of_arrays (Array.of_list rows))
         in
-        split_results payloads preds counts
+        checked_preds payloads preds counts
     | Some path -> (
       match get_dataset t path with
       | Error msg -> all_error payloads msg
@@ -187,7 +249,7 @@ let exec_batch t key payloads =
             let preds =
               Artifact.score_normalized artifact (Normalized.select_rows tn ids)
             in
-            split_results payloads preds counts)))
+            checked_preds payloads preds counts)))
 
 (* ---- stop-aware socket reads ---- *)
 
@@ -224,17 +286,22 @@ let rec read_frame t r =
       | exception Unix.Unix_error (EBADF, _, _) -> None
     end
 
+(* SIGPIPE is ignored at startup, so a dead peer surfaces here as
+   EPIPE → [false], which the caller accounts as a write error. *)
 let write_frame fd json =
   let line = Json.to_string json ^ "\n" in
   let bytes = Bytes.of_string line in
   let len = Bytes.length bytes in
   let off = ref 0 in
   try
+    Fault.point "server.write" ;
     while !off < len do
       off := !off + Unix.write fd bytes !off (len - !off)
     done ;
     true
-  with Unix.Unix_error _ -> false
+  with
+  | Unix.Unix_error _ -> false
+  | Fault.Injected _ -> false
 
 (* ---- request handling ---- *)
 
@@ -282,7 +349,9 @@ let stats t =
                      | Some b -> Batcher.pending b
                      | None -> 0)) );
               ("bound", Json.Num (float_of_int t.cfg.queue_bound))
-            ] )
+            ] );
+        ("open_circuits", Json.Num (float_of_int (open_circuits t)));
+        ("recovered_at_startup", Json.Num (float_of_int t.recovered))
       ]
   in
   match metrics with
@@ -370,6 +439,16 @@ let handle_request t req =
   | Protocol.Stats ->
     Metrics.record t.metrics ~op:"stats" ~seconds:0.0 ;
     Protocol.ok [ ("stats", stats t) ]
+  | Protocol.Health ->
+    Metrics.record t.metrics ~op:"health" ~seconds:0.0 ;
+    let open_c = open_circuits t in
+    Protocol.ok
+      [ ("status", Json.Str (if open_c = 0 then "ok" else "degraded"));
+        ("open_circuits", Json.Num (float_of_int open_c));
+        ( "handler_restarts",
+          Json.Num (float_of_int (Metrics.restarts t.metrics)) );
+        ("uptime_s", Json.Num (now () -. t.started))
+      ]
   | Protocol.Shutdown ->
     Metrics.record t.metrics ~op:"shutdown" ~seconds:0.0 ;
     signal_stop t ;
@@ -393,11 +472,31 @@ let serve_connection t fd =
           | Error msg ->
             Metrics.record_error t.metrics ~code:"bad_request" ;
             Protocol.error ~code:"bad_request" ~message:msg
-          | Ok req -> handle_request t req)
+          | Ok req -> (
+            (* a failing handler answers ["internal"], it does not take
+               the connection (or its thread) down with it *)
+            match handle_request t req with
+            | response -> response
+            | exception (Fault.Injected _ as e) -> raise e
+            | exception e ->
+              Metrics.record_error t.metrics ~code:"internal" ;
+              Protocol.error ~code:"internal" ~message:(Printexc.to_string e)))
       in
       if write_frame fd response then loop ()
+      else begin
+        (* peer gone mid-write: account it; the request itself already
+           ran, so this is a delivery failure, not a scoring failure *)
+        Metrics.record_write_error t.metrics ;
+        Metrics.record_error t.metrics ~code:"client_write"
+      end
   in
-  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ()) loop
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* the supervision drill point: a crash here kills the handler
+         thread, which the supervisor detects and replaces *)
+      Fault.point "server.handler" ;
+      loop ())
 
 (* ---- threads ---- *)
 
@@ -438,6 +537,45 @@ let handler_loop t =
   in
   loop ()
 
+(* A handler slot: run the loop; if it dies (anything escaping
+   [serve_connection] — in practice an injected crash or a genuinely
+   unexpected bug), flag the slot for the supervisor and exit the
+   thread. The connection's fd was already closed by the Fun.protect
+   in [serve_connection]. *)
+let handler_slot t i =
+  try handler_loop t
+  with _ ->
+    Mutex.lock t.sup_m ;
+    t.crashed.(i) <- true ;
+    Mutex.unlock t.sup_m
+
+(* The supervisor: poll for crashed slots, join the dead thread,
+   respawn it, and count the restart. Polling (20ms) keeps the common
+   path free of any coordination; a crash only delays new connections
+   on that slot by at most one poll interval. *)
+let supervisor t =
+  let rec loop () =
+    Thread.delay 0.02 ;
+    Mutex.lock t.sup_m ;
+    let dead = ref [] in
+    Array.iteri
+      (fun i c ->
+        if c then begin
+          t.crashed.(i) <- false ;
+          dead := i :: !dead
+        end)
+      t.crashed ;
+    Mutex.unlock t.sup_m ;
+    List.iter
+      (fun i ->
+        Thread.join t.slots.(i) ;
+        Metrics.record_restart t.metrics ;
+        t.slots.(i) <- Thread.create (handler_slot t) i)
+      !dead ;
+    if not t.stopping then loop ()
+  in
+  loop ()
+
 (* ---- lifecycle ---- *)
 
 let start cfg =
@@ -445,6 +583,8 @@ let start cfg =
   if cfg.cache_capacity < 1 then invalid_arg "Server.start: cache_capacity < 1" ;
   (* a dead peer must surface as a write error, not kill the process *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()) ;
+  (* quarantine crash litter before anything reads the registry *)
+  let recovered = List.length (Registry.recover ~dir:cfg.registry) in
   if Sys.file_exists cfg.socket then Sys.remove cfg.socket ;
   let listen_fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
   (try
@@ -467,6 +607,12 @@ let start cfg =
             let tn = Io.load ~dir:path in
             (tn, Registry.schema_hash tn));
       batcher = None;
+      breakers = Hashtbl.create 8;
+      breaker_m = Mutex.create ();
+      slots = [||];
+      crashed = Array.make cfg.handlers false;
+      sup_m = Mutex.create ();
+      recovered;
       stop_m = Mutex.create ();
       stop_cv = Condition.create ();
       stopping = false;
@@ -480,8 +626,9 @@ let start cfg =
          ~queue_bound:cfg.queue_bound ~metrics:t.metrics ~size:payload_rows
          ~exec:(exec_batch t) ()) ;
   let accept_t = Thread.create accept_loop t in
-  let handler_ts = List.init cfg.handlers (fun _ -> Thread.create handler_loop t) in
-  t.threads <- accept_t :: handler_ts ;
+  t.slots <- Array.init cfg.handlers (fun i -> Thread.create (handler_slot t) i) ;
+  let sup_t = Thread.create supervisor t in
+  t.threads <- [ accept_t; sup_t ] ;
   t
 
 let request_stop t = signal_stop t
@@ -497,8 +644,12 @@ let metrics t = t.metrics
 
 let stop t =
   request_stop t ;
+  (* accept + supervisor first: once the supervisor has exited the
+     slots array is stable and every slot can be joined *)
   List.iter Thread.join t.threads ;
   t.threads <- [] ;
+  Array.iter Thread.join t.slots ;
+  t.slots <- [||] ;
   (* reject queued-but-unserved connections cleanly *)
   Queue.iter
     (fun fd ->
@@ -520,6 +671,9 @@ let run cfg =
   let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle stop_signal) in
   Fmt.pr "morpheus serve: registry %s, socket %s (%d handlers, batch ≤ %d / %gms)@."
     cfg.registry cfg.socket cfg.handlers cfg.max_batch (1e3 *. cfg.max_wait) ;
+  if t.recovered > 0 then
+    Fmt.pr "morpheus serve: quarantined %d crash-litter entries from the registry@."
+      t.recovered ;
   wait t ;
   stop t ;
   Sys.set_signal Sys.sigint old_int ;

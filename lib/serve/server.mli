@@ -3,13 +3,21 @@
     scoring engine.
 
     Threading: one accept thread, [handlers] connection-handler
-    threads, and one batching thread. Handler threads only parse,
-    validate, and block in {!Batcher.submit}; every LA kernel runs on
-    the batching thread, so the {!La.Pool} single-caller contract
-    holds and the kernels may still parallelize internally over
-    domains. Overload shedding and per-request deadlines are enforced
-    by the batcher; a shed or expired request gets an error response,
-    never silence. *)
+    threads, one supervisor thread, and one batching thread. Handler
+    threads only parse, validate, and block in {!Batcher.submit};
+    every LA kernel runs on the batching thread, so the {!La.Pool}
+    single-caller contract holds and the kernels may still parallelize
+    internally over domains. Overload shedding and per-request
+    deadlines are enforced by the batcher; a shed or expired request
+    gets an error response, never silence.
+
+    Self-healing: the supervisor joins and respawns any handler thread
+    that crashes (counted in {!Metrics.restarts}); each server-side
+    dataset gets a {!Breaker} so repeated load failures fail fast
+    instead of hammering the filesystem; {!start} runs
+    {!Registry.recover} to quarantine crash litter; and the [health]
+    protocol op reports ok/degraded with open-circuit and restart
+    counts. See docs/ROBUSTNESS.md. *)
 
 type config = {
   registry : string;  (** registry directory ({!Registry}) *)
@@ -21,11 +29,17 @@ type config = {
   cache_capacity : int;  (** dataset LRU entries *)
   default_deadline_ms : float option;
       (** applied to requests that carry no deadline *)
+  breaker_threshold : int;
+      (** consecutive dataset-load failures before that dataset's
+          circuit opens *)
+  breaker_cooldown : float;
+      (** seconds an open circuit refuses fast before probing again *)
 }
 
 val default_config : registry:string -> socket:string -> config
 (** max_batch 64, max_wait 2ms, queue_bound 1024, handlers 4,
-    cache_capacity 4, no default deadline. *)
+    cache_capacity 4, no default deadline, breaker threshold 5 /
+    cooldown 1s. *)
 
 type t
 
