@@ -573,8 +573,9 @@ let socket_arg =
          ~doc:"Unix domain socket path.")
 
 let serve registry socket threads max_batch max_wait_ms queue_bound handlers
-    cache_capacity deadline_ms breaker_threshold breaker_cooldown_ms =
+    cache_capacity deadline_ms breaker_threshold breaker_cooldown_ms lockdep =
   apply_threads threads ;
+  if lockdep then Analysis.Sync.enable_lockdep () ;
   if max_batch < 1 || queue_bound < 1 || handlers < 1 || cache_capacity < 1
      || max_wait_ms < 0.0
   then begin
@@ -633,13 +634,19 @@ let serve_cmd =
     Arg.(value & opt float 1000.0 & info [ "breaker-cooldown-ms" ]
            ~doc:"How long an open circuit refuses fast before probing again.")
   in
+  let lockdep =
+    Arg.(value & flag & info [ "lockdep" ]
+           ~doc:"Enable the lock-order analyzer (same as MORPHEUS_LOCKDEP=1): \
+                 record every lock acquisition and report ordering \
+                 violations as they are first observed.")
+  in
   Cmd.v
     (cmd_info "serve"
        ~doc:"Serve models from a registry over a Unix domain socket with \
              micro-batched factorized scoring.")
     Term.(const serve $ registry_arg $ socket_arg $ threads_arg $ max_batch
           $ max_wait $ queue_bound $ handlers $ cache $ deadline
-          $ breaker_threshold $ breaker_cooldown)
+          $ breaker_threshold $ breaker_cooldown $ lockdep)
 
 (* ---- score: client for the scoring server ---- *)
 
@@ -839,13 +846,49 @@ let models_cmd =
     (cmd_info "models" ~doc:"List the models in a registry directory.")
     Term.(const models $ registry_arg $ recover)
 
+(* ---- lint: source-invariant checks over lib/ and bin/ ---- *)
+
+let lint root =
+  with_runtime_errors @@ fun () ->
+  let cfg =
+    { Analysis.Lint.root;
+      protocol_ops = Morpheus_serve.Protocol.op_names;
+      (* the two diagnostic catalogues, for the E205 uniqueness rule *)
+      catalogues =
+        [ ("Check", List.map Check.code_name Check.all_codes);
+          ("Analysis", List.map Analysis.Diag.code_name Analysis.Diag.all_codes)
+        ]
+    }
+  in
+  match Analysis.Lint.run cfg with
+  | [] -> Fmt.pr "lint: clean@."
+  | findings ->
+    List.iter
+      (fun d -> print_endline (Analysis.Diag.to_string d))
+      findings ;
+    Fmt.epr "lint: %d finding(s)@." (List.length findings) ;
+    exit 1
+
+let lint_cmd =
+  let root =
+    Arg.(value & opt dir "." & info [ "root" ] ~docv:"DIR"
+           ~doc:"Repository root containing lib/, bin/, and docs/.")
+  in
+  Cmd.v
+    (cmd_info "lint"
+       ~doc:"Check source-tree invariants the type system cannot: fault \
+             points vs docs/ROBUSTNESS.md, protocol ops vs docs/SERVING.md, \
+             raw concurrency/clock primitives outside their sanctioned \
+             modules, and diagnostic-code uniqueness across catalogues.")
+    Term.(const lint $ root)
+
 let () =
   let doc = "factorized linear algebra over normalized data (Morpheus)" in
   let code =
     Cmd.eval ~term_err:2
       (Cmd.group (Cmd.info "morpheus" ~version ~doc)
          [ generate_cmd; info_cmd; train_cmd; cv_cmd; pca_cmd; explain_cmd;
-           check_cmd; export_cmd; serve_cmd; score_cmd; models_cmd ])
+           check_cmd; export_cmd; serve_cmd; score_cmd; models_cmd; lint_cmd ])
   in
   (* cmdliner reports command-line misuse as its fixed 124; fold it into
      the documented usage-error code *)

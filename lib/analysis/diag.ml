@@ -1,0 +1,69 @@
+(* Structured diagnostics for the runtime concurrency analyzer and the
+   source-invariant lint — the same E/W shape as the plan checker's
+   (Check, codes E001–E004 / W001–W003), but owned by the analysis
+   layer so that the libraries underneath the LA core (Fault, the Sync
+   layer itself) can report without a dependency cycle. Code numbers
+   are partitioned by subsystem — 0xx plan checker, 1xx concurrency
+   discipline, 2xx source lint — and `morpheus lint` (rule E205)
+   enforces that the union stays collision-free. *)
+
+type severity = Error | Warning
+
+type code =
+  (* concurrency discipline (lockdep) *)
+  | E101  (* lock-order inversion *)
+  | E102  (* lock held across a parallel region *)
+  | W101  (* nested parallel region downgraded to sequential *)
+  (* source-invariant lint *)
+  | E201  (* fault point in code but not documented *)
+  | E202  (* fault point documented but not in code *)
+  | E203  (* protocol op drift between Protocol and the docs *)
+  | E204  (* raw primitive outside its sanctioned module *)
+  | E205  (* duplicate diagnostic code across catalogues *)
+
+let all_codes = [ E101; E102; W101; E201; E202; E203; E204; E205 ]
+
+let severity_of = function
+  | E101 | E102 | E201 | E202 | E203 | E204 | E205 -> Error
+  | W101 -> Warning
+
+let code_name = function
+  | E101 -> "E101"
+  | E102 -> "E102"
+  | W101 -> "W101"
+  | E201 -> "E201"
+  | E202 -> "E202"
+  | E203 -> "E203"
+  | E204 -> "E204"
+  | E205 -> "E205"
+
+let code_doc = function
+  | E101 -> "lock-order inversion (potential deadlock)"
+  | E102 -> "lock held across a parallel region (La.Pool.run)"
+  | W101 -> "nested parallel region downgraded to sequential"
+  | E201 -> "fault point in code is undocumented in docs/ROBUSTNESS.md"
+  | E202 -> "fault point documented in docs/ROBUSTNESS.md is not in code"
+  | E203 -> "protocol op drift between Protocol and docs/SERVING.md"
+  | E204 -> "raw concurrency/clock/rng primitive outside its sanctioned module"
+  | E205 -> "diagnostic code defined by more than one catalogue"
+
+type t = {
+  code : code;
+  where : string;  (* "file:line", a lock name, or a region name *)
+  message : string;
+  detail : string list;  (* one line per involved site *)
+}
+
+let make ?(detail = []) code ~where fmt =
+  Printf.ksprintf (fun message -> { code; where; message; detail }) fmt
+
+let to_string d =
+  let head =
+    Printf.sprintf "%s %s: %s\n    at %s" (code_name d.code)
+      (match severity_of d.code with Error -> "error" | Warning -> "warning")
+      d.message d.where
+  in
+  match d.detail with
+  | [] -> head
+  | lines ->
+    head ^ "\n" ^ String.concat "\n" (List.map (fun l -> "    " ^ l) lines)

@@ -1,0 +1,55 @@
+(** Structured E/W diagnostics for the concurrency analyzer ({!Sync})
+    and the source-invariant lint ({!Lint}).
+
+    Same shape as the plan checker's diagnostics (codes E001–E004 /
+    W001–W003 in [Check]) but owned by the analysis layer, which sits
+    {e below} the LA core in the dependency order. Code numbers are
+    partitioned: 0xx plan checker, 1xx concurrency discipline, 2xx
+    source lint; lint rule E205 keeps the union collision-free.
+
+    Catalogue:
+    - [E101] lock-order inversion (potential deadlock) — two lock
+      classes were acquired in both orders; reported on the first bad
+      ordering ever observed, with both acquisition sites.
+    - [E102] lock held across a parallel region — a thread entered
+      [La.Pool.run] while holding a {!Sync} lock; a pool task that
+      takes the same lock would deadlock the batch.
+    - [W101] nested parallel region downgraded to sequential — the
+      [La.Exec] single-caller contract fired its downgrade path
+      (counted always; reported as a diagnostic under lockdep).
+    - [E201]/[E202] fault-point drift between the source tree and
+      [docs/ROBUSTNESS.md].
+    - [E203] protocol-op drift between [Protocol] and
+      [docs/SERVING.md].
+    - [E204] raw [Mutex]/[Condition]/wall-clock/[Random] use outside
+      the sanctioned modules.
+    - [E205] diagnostic code defined by more than one catalogue. *)
+
+type severity = Error | Warning
+
+type code = E101 | E102 | W101 | E201 | E202 | E203 | E204 | E205
+
+val all_codes : code list
+(** Every code this catalogue defines — what lint rule E205 compares
+    against the plan checker's catalogue. *)
+
+val severity_of : code -> severity
+val code_name : code -> string
+
+val code_doc : code -> string
+(** One-line description of what the code means. *)
+
+type t = {
+  code : code;
+  where : string;  (** "file:line", a lock name, or a region name *)
+  message : string;
+  detail : string list;  (** one line per involved acquisition site *)
+}
+
+val make :
+  ?detail:string list -> code -> where:string ->
+  ('a, unit, string, t) format4 -> 'a
+
+val to_string : t -> string
+(** [Check.diagnostic_to_string]-style rendering: code, severity,
+    message, then one indented line per site. *)

@@ -1,0 +1,436 @@
+(* Source-invariant lint: cross-cutting rules the type system cannot
+   express, run over lib/ and bin/ by `morpheus lint` (and the
+   @lint dune alias). The scanner is OCaml-aware enough to be
+   trustworthy — nested (* *) comments, string literals (with escapes
+   and {|quoted|} forms), char literals — but it is a lint, not a
+   parser: rules match tokens in comment-stripped text.
+
+   Rules (catalogue in Diag):
+   - E201/E202  every `Fault.point "name"` in code is documented in
+                docs/ROBUSTNESS.md, and every point the doc lists
+                exists in code.
+   - E203       the protocol op list, the Protocol parser, and the
+                docs/SERVING.md wire examples agree.
+   - E204       no raw Mutex/Condition, wall-clock, or
+                Random.self_init outside the sanctioned modules.
+   - E205       diagnostic codes are unique across catalogues.
+
+   The lint knows nothing about the modules above it: the CLI passes
+   in the protocol-op list and the diagnostic catalogues, so this
+   module stays at the bottom of the dependency order next to Sync. *)
+
+type config = {
+  root : string;  (* repo root; lib/ bin/ docs/ resolved under it *)
+  protocol_ops : string list;
+  catalogues : (string * string list) list;
+      (* catalogue name -> its diagnostic code names, for E205 *)
+}
+
+(* ---- source scanning ---- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* .ml files under dir, recursively, with root-relative paths using
+   '/' — stable report order. *)
+let ml_files root dir =
+  let out = ref [] in
+  let rec go rel =
+    let abs = Filename.concat root rel in
+    if Sys.file_exists abs then
+      if Sys.is_directory abs then
+        Array.iter
+          (fun e -> go (rel ^ "/" ^ e))
+          (let es = Sys.readdir abs in
+           Array.sort compare es ;
+           es)
+      else if Filename.check_suffix rel ".ml" then out := rel :: !out
+  in
+  go dir ;
+  List.rev !out
+
+(* Blank out comments (and, unless [keep_strings], string/char
+   literals) with spaces, preserving every '\n' so byte offsets and
+   line numbers survive. Handles nested comments, strings inside
+   comments (OCaml lexes them), escapes, {id|...|id} quoted strings,
+   and the char-literal / type-variable apostrophe ambiguity. *)
+let strip ~keep_strings src =
+  let n = String.length src in
+  let buf = Bytes.of_string src in
+  let blank i = if Bytes.get buf i <> '\n' then Bytes.set buf i ' ' in
+  let blank_range a b =
+    for i = a to b - 1 do
+      blank i
+    done
+  in
+  let i = ref 0 in
+  let peek k = if !i + k < n then src.[!i + k] else '\000' in
+  (* consume a string literal starting at the opening quote; returns
+     the index one past the closing quote *)
+  let skip_string start =
+    let j = ref (start + 1) in
+    let stop = ref false in
+    while (not !stop) && !j < n do
+      (match src.[!j] with
+      | '\\' -> incr j
+      | '"' -> stop := true
+      | _ -> ()) ;
+      incr j
+    done ;
+    !j
+  in
+  let skip_quoted start =
+    (* start points at the brace; find the quoted-string opener *)
+    let j = ref (start + 1) in
+    while
+      !j < n && (match src.[!j] with 'a' .. 'z' | '_' -> true | _ -> false)
+    do
+      incr j
+    done ;
+    if !j < n && src.[!j] = '|' then begin
+      let id = String.sub src (start + 1) (!j - start - 1) in
+      let closer = "|" ^ id ^ "}" in
+      let cl = String.length closer in
+      let k = ref (!j + 1) in
+      let stop = ref false in
+      while (not !stop) && !k + cl <= n do
+        if String.sub src !k cl = closer then stop := true else incr k
+      done ;
+      Some (if !stop then !k + cl else n)
+    end
+    else None
+  in
+  while !i < n do
+    match src.[!i] with
+    | '(' when peek 1 = '*' ->
+      (* comment: nested, and strings inside are lexed *)
+      let depth = ref 1 in
+      let j = ref (!i + 2) in
+      while !depth > 0 && !j < n do
+        if !j + 1 < n && src.[!j] = '(' && src.[!j + 1] = '*' then begin
+          incr depth ;
+          j := !j + 2
+        end
+        else if !j + 1 < n && src.[!j] = '*' && src.[!j + 1] = ')' then begin
+          decr depth ;
+          j := !j + 2
+        end
+        else if src.[!j] = '"' then j := skip_string !j
+        else incr j
+      done ;
+      blank_range !i !j ;
+      i := !j
+    | '"' ->
+      let j = skip_string !i in
+      if not keep_strings then blank_range !i j ;
+      i := j
+    | '{' -> (
+      match skip_quoted !i with
+      | Some j ->
+        if not keep_strings then blank_range !i j ;
+        i := j
+      | None -> incr i)
+    | '\'' ->
+      (* char literal iff '\x…' or 'c'; otherwise a type variable *)
+      if peek 1 = '\\' then begin
+        let j = ref (!i + 2) in
+        while !j < n && src.[!j] <> '\'' do
+          incr j
+        done ;
+        let j = min n (!j + 1) in
+        if not keep_strings then blank_range !i j ;
+        i := j
+      end
+      else if peek 2 = '\'' && peek 1 <> '\'' then begin
+        if not keep_strings then blank_range !i (!i + 3) ;
+        i := !i + 3
+      end
+      else incr i
+    | _ -> incr i
+  done ;
+  Bytes.to_string buf
+
+let line_at src off =
+  let l = ref 1 in
+  for k = 0 to min off (String.length src) - 1 do
+    if src.[k] = '\n' then incr l
+  done ;
+  !l
+
+let ident_char = function
+  | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '_' | '\'' -> true
+  | _ -> false
+
+(* Offsets of [pat] in [text] at token boundaries: the preceding char
+   is not an identifier char or '.', and — when [pat] doesn't end in
+   '.' — neither is the following one. *)
+let token_offsets text pat =
+  let pl = String.length pat and n = String.length text in
+  let tail_open = pl > 0 && pat.[pl - 1] = '.' in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i + pl <= n do
+    if
+      String.sub text !i pl = pat
+      && (!i = 0 || (not (ident_char text.[!i - 1])) && text.[!i - 1] <> '.')
+      && (tail_open || !i + pl >= n || not (ident_char text.[!i + pl]))
+    then out := !i :: !out ;
+    incr i
+  done ;
+  List.rev !out
+
+(* ---- rule E201/E202: fault points vs docs/ROBUSTNESS.md ---- *)
+
+(* The token is split so that scanning this very file (lint.ml is in
+   lib/) cannot mistake the pattern for a call site. *)
+let fault_point_token = "Fault." ^ "point"
+
+(* [(name, file:line)] for every Fault.point "name" in [text]
+   (comments stripped, strings kept). *)
+let fault_points_in rel text =
+  List.filter_map
+    (fun off ->
+      let j = ref (off + String.length fault_point_token) in
+      let n = String.length text in
+      while !j < n && (text.[!j] = ' ' || text.[!j] = '\n') do
+        incr j
+      done ;
+      if !j < n && text.[!j] = '"' then begin
+        let k = ref (!j + 1) in
+        while !k < n && text.[!k] <> '"' do
+          incr k
+        done ;
+        Some
+          ( String.sub text (!j + 1) (!k - !j - 1),
+            Printf.sprintf "%s:%d" rel (line_at text off) )
+      end
+      else None)
+    (token_offsets text fault_point_token)
+
+(* The doc's point catalogue is its markdown table: backticked
+   `a.b[.c]` tokens (lower-case, dotted, no wildcard) on `|`-prefixed
+   rows. Prose mentions of other dotted names (Validate stages, module
+   paths) are deliberately out of scope — only the table is
+   authoritative. *)
+let doc_points doc =
+  let is_point s =
+    String.contains s '.'
+    && (not (String.contains s '*'))
+    && s <> ""
+    && String.for_all
+         (function 'a' .. 'z' | '0' .. '9' | '_' | '.' -> true | _ -> false)
+         s
+  in
+  let out = ref [] in
+  List.iteri
+    (fun k line ->
+      if String.length line > 0 && line.[0] = '|' then begin
+        let n = String.length line in
+        let i = ref 0 in
+        while !i < n do
+          if line.[!i] = '`' then begin
+            let j = ref (!i + 1) in
+            while !j < n && line.[!j] <> '`' do
+              incr j
+            done ;
+            if !j < n then begin
+              let tok = String.sub line (!i + 1) (!j - !i - 1) in
+              if is_point tok then out := (tok, k + 1) :: !out ;
+              i := !j + 1
+            end
+            else i := !j
+          end
+          else incr i
+        done
+      end)
+    (String.split_on_char '\n' doc) ;
+  List.rev !out
+
+let check_fault_points ~root ~sources =
+  let doc_rel = "docs/ROBUSTNESS.md" in
+  let doc_path = Filename.concat root doc_rel in
+  if not (Sys.file_exists doc_path) then
+    [ Diag.make Diag.E202 ~where:doc_rel
+        "fault-point catalogue %s is missing" doc_rel ]
+  else begin
+    let doc = read_file doc_path in
+    let documented = doc_points doc in
+    let in_code =
+      List.concat_map
+        (fun (rel, text) -> fault_points_in rel text)
+        sources
+    in
+    let undocumented =
+      List.filter
+        (fun (name, _) -> not (List.mem_assoc name documented))
+        in_code
+    in
+    let phantom =
+      List.filter
+        (fun (name, _) -> not (List.exists (fun (n, _) -> n = name) in_code))
+        documented
+    in
+    List.map
+      (fun (name, where) ->
+        Diag.make Diag.E201 ~where
+          "fault point %S is not documented in %s" name doc_rel)
+      undocumented
+    @ List.map
+        (fun (name, line) ->
+          Diag.make Diag.E202
+            ~where:(Printf.sprintf "%s:%d" doc_rel line)
+            "documented fault point %S does not appear in lib/ or bin/" name)
+        phantom
+  end
+
+(* ---- rule E203: protocol ops vs parser vs docs/SERVING.md ---- *)
+
+let check_protocol_ops ~root ~ops =
+  let doc_rel = "docs/SERVING.md" in
+  let doc_path = Filename.concat root doc_rel in
+  let proto_rel = "lib/serve/protocol.ml" in
+  let proto_path = Filename.concat root proto_rel in
+  let missing_file rel =
+    [ Diag.make Diag.E203 ~where:rel "protocol reference %s is missing" rel ]
+  in
+  if not (Sys.file_exists doc_path) then missing_file doc_rel
+  else if not (Sys.file_exists proto_path) then missing_file proto_rel
+  else begin
+    let doc = read_file doc_path in
+    let proto = strip ~keep_strings:true (read_file proto_path) in
+    (* wire examples in the doc: "op":"NAME" (optionally spaced) *)
+    let doc_ops =
+      List.concat_map
+        (fun pat ->
+          List.map
+            (fun off ->
+              let start = off + String.length pat in
+              let k = ref start in
+              let n = String.length doc in
+              while !k < n && doc.[!k] <> '"' do
+                incr k
+              done ;
+              (String.sub doc start (!k - start), line_at doc off))
+            (let out = ref [] and i = ref 0 in
+             let pl = String.length pat and n = String.length doc in
+             while !i + pl <= n do
+               if String.sub doc !i pl = pat then out := !i :: !out ;
+               incr i
+             done ;
+             List.rev !out))
+        [ {|"op":"|}; {|"op": "|} ]
+    in
+    let undocumented =
+      List.filter (fun op -> not (List.mem_assoc op doc_ops)) ops
+    in
+    let phantom =
+      List.filter (fun (op, _) -> not (List.mem op ops)) doc_ops
+    in
+    let unparsed =
+      (* every op must have its parser case: Some "NAME" *)
+      List.filter
+        (fun op ->
+          token_offsets proto (Printf.sprintf "Some %S" op) = [])
+        ops
+    in
+    List.map
+      (fun op ->
+        Diag.make Diag.E203 ~where:doc_rel
+          "protocol op %S has no wire example in %s" op doc_rel)
+      undocumented
+    @ List.map
+        (fun (op, line) ->
+          Diag.make Diag.E203
+            ~where:(Printf.sprintf "%s:%d" doc_rel line)
+            "documented op %S is not in Protocol.op_names" op)
+        phantom
+    @ List.map
+        (fun op ->
+          Diag.make Diag.E203 ~where:proto_rel
+            "protocol op %S has no parser case (Some %S) in %s" op op
+            proto_rel)
+        unparsed
+  end
+
+(* ---- rule E204: raw primitives outside sanctioned modules ---- *)
+
+(* (token, sanctioned files, why) — matched against comment- and
+   string-stripped text, so mentioning a token in a docstring is
+   fine. *)
+let sanctioned =
+  [ ( "Mutex.",
+      [ "lib/analysis/sync.ml" ],
+      "locks must be named: use Analysis.Sync" );
+    ( "Condition.",
+      [ "lib/analysis/sync.ml" ],
+      "condition variables must pair with Sync locks: use Analysis.Sync" );
+    ( "Unix.gettimeofday",
+      [ "lib/serve/clock.ml"; "lib/workload/timing.ml" ],
+      "wall-clock reads go through Clock/Timing so tests can fake time" );
+    ( "Unix.time",
+      [ "lib/serve/clock.ml"; "lib/workload/timing.ml" ],
+      "wall-clock reads go through Clock/Timing so tests can fake time" );
+    ( "Random.self_init",
+      [],
+      "nondeterministic seeding breaks reproducibility: thread a seed" )
+  ]
+
+let check_primitives ~sources_bare =
+  List.concat_map
+    (fun (rel, text) ->
+      List.concat_map
+        (fun (tok, allowed, why) ->
+          if List.mem rel allowed then []
+          else
+            List.map
+              (fun off ->
+                Diag.make Diag.E204
+                  ~where:(Printf.sprintf "%s:%d" rel (line_at text off))
+                  "raw %s outside %s (%s)" tok
+                  (match allowed with
+                  | [] -> "any module"
+                  | l -> String.concat ", " l)
+                  why)
+              (token_offsets text tok))
+        sanctioned)
+    sources_bare
+
+(* ---- rule E205: diagnostic-code uniqueness across catalogues ---- *)
+
+let check_codes ~catalogues =
+  let seen : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  List.concat_map
+    (fun (cat, codes) ->
+      List.filter_map
+        (fun code ->
+          match Hashtbl.find_opt seen code with
+          | Some other ->
+            Some
+              (Diag.make Diag.E205
+                 ~where:(other ^ "/" ^ cat)
+                 "diagnostic code %s is defined by both %s and %s" code other
+                 cat)
+          | None ->
+            Hashtbl.add seen code cat ;
+            None)
+        codes)
+    catalogues
+
+(* ---- driver ---- *)
+
+let run cfg =
+  let files = ml_files cfg.root "lib" @ ml_files cfg.root "bin" in
+  let raw = List.map (fun rel -> (rel, read_file (Filename.concat cfg.root rel))) files in
+  let sources =
+    List.map (fun (rel, src) -> (rel, strip ~keep_strings:true src)) raw
+  in
+  let sources_bare =
+    List.map (fun (rel, src) -> (rel, strip ~keep_strings:false src)) raw
+  in
+  check_fault_points ~root:cfg.root ~sources
+  @ check_protocol_ops ~root:cfg.root ~ops:cfg.protocol_ops
+  @ check_primitives ~sources_bare
+  @ check_codes ~catalogues:cfg.catalogues

@@ -1,0 +1,27 @@
+(** Source-invariant lint behind [morpheus lint] and the [@lint] dune
+    alias: cross-cutting rules over [lib/] and [bin/] that the type
+    system cannot express. The scanner strips nested comments and
+    string/char literals, so doc-comments mentioning a banned token do
+    not trip the rules.
+
+    Rules (see {!Diag} for the catalogue):
+    - E201/E202 — [Fault.point] names in code vs [docs/ROBUSTNESS.md].
+    - E203 — protocol ops vs the [Protocol] parser and the
+      [docs/SERVING.md] wire examples.
+    - E204 — raw [Mutex]/[Condition]/wall-clock/[Random.self_init]
+      outside their sanctioned modules.
+    - E205 — diagnostic-code uniqueness across catalogues.
+
+    The lint sits at the bottom of the library order, next to {!Sync}:
+    facts owned by higher layers (the protocol-op list, the diagnostic
+    catalogues) are passed in by the CLI rather than depended upon. *)
+
+type config = {
+  root : string;  (** repo root; [lib/], [bin/], [docs/] live under it *)
+  protocol_ops : string list;  (** [Protocol.op_names] *)
+  catalogues : (string * string list) list;
+      (** catalogue name → its diagnostic code names *)
+}
+
+val run : config -> Diag.t list
+(** Runs every rule; returns all findings (empty = clean tree). *)

@@ -1,0 +1,302 @@
+(* Named locks with an optional lockdep instrumentation layer.
+
+   Every mutex and condition variable in the system is created here
+   (the source lint, rule E204, rejects raw [Mutex.create] anywhere
+   else), which gives each lock a *class name* — "serve.batcher",
+   "la.pool", … — stable across instances. When lockdep is enabled
+   (MORPHEUS_LOCKDEP=1, [--lockdep], or {!enable_lockdep}) every
+   acquisition records, per thread, the stack of held classes and adds
+   held→acquired edges to one global lock-order graph. A cycle in that
+   graph is a potential deadlock and is reported (E101) on the first
+   bad *ordering* ever observed — no two threads need to actually race
+   into the deadly embrace. Two more disciplines ride on the same
+   held-stack: entering a parallel region with any lock held (E102,
+   via {!enter_parallel_region} in [La.Pool.run]) and the nested-
+   region downgrade counter ({!note_nested_downgrade}, W101).
+
+   Disabled-mode cost is one [bool ref] load per operation — the same
+   fast-path idiom as [Fault.point] — so the wrappers stay in
+   production code paths.
+
+   The instrumentation cannot instrument itself: all lockdep state
+   lives under one raw [Mutex] ([big]), which is only ever the
+   innermost lock (no callback runs under it), so it can participate
+   in no cycle. Thread identity is (domain id, systhread id): domains
+   spawned by the LA pool and systhreads spawned by the server both
+   get private held-stacks. *)
+
+type t = { name : string; m : Mutex.t }
+
+let name l = l.name
+
+(* ---- lockdep state ---- *)
+
+let lockdep_on = ref false
+
+type held = { h_lock : t; h_site : string }
+
+let big = Mutex.create ()
+
+(* (domain id, thread id) -> held stack, innermost first *)
+let stacks : (int * int, held list ref) Hashtbl.t = Hashtbl.create 64
+
+(* (from class, to class) -> the first observed acquisition sites *)
+type edge = { e_from_site : string; e_to_site : string }
+
+let edges : (string * string, edge) Hashtbl.t = Hashtbl.create 64
+
+let violations : Diag.t list ref = ref []
+let reported : (string, unit) Hashtbl.t = Hashtbl.create 16
+
+(* Nested-region downgrades are counted unconditionally (an Atomic
+   increment on a rare path), so production `stats` can surface them
+   with lockdep off. *)
+let nested_counter = Atomic.make 0
+
+let nested_downgrades () = Atomic.get nested_counter
+
+let locked_big f =
+  Mutex.lock big ;
+  Fun.protect ~finally:(fun () -> Mutex.unlock big) f
+
+let thread_key () =
+  ((Domain.self () :> int), Thread.id (Thread.self ()))
+
+(* Must be called with [big] held. *)
+let stack_of key =
+  match Hashtbl.find_opt stacks key with
+  | Some s -> s
+  | None ->
+    let s = ref [] in
+    Hashtbl.add stacks key s ;
+    s
+
+(* The acquisition site: the first backtrace slot outside this module.
+   Needs debug info ([-g], on under dune's dev profile); degrades to
+   "<no debug info>" without it. *)
+let site () =
+  let bt = Printexc.get_callstack 12 in
+  match Printexc.backtrace_slots bt with
+  | None -> "<no debug info>"
+  | Some slots ->
+    let here = ref None in
+    Array.iter
+      (fun slot ->
+        if !here = None then
+          match Printexc.Slot.location slot with
+          | Some loc
+            when not (Filename.check_suffix loc.Printexc.filename "sync.ml")
+            ->
+            here :=
+              Some (Printf.sprintf "%s:%d" loc.Printexc.filename
+                      loc.Printexc.line_number)
+          | _ -> ())
+      slots ;
+    Option.value ~default:"<no debug info>" !here
+
+let emit d =
+  violations := d :: !violations ;
+  prerr_endline ("morpheus lockdep: " ^ Diag.to_string d)
+
+(* Is there a path [src] ->* [dst] in the order graph? Returns the
+   first edge of one such path (for the report). Called under [big];
+   the graph has tens of classes, so plain DFS is fine. *)
+let find_path src dst =
+  let visited = Hashtbl.create 16 in
+  let rec dfs node =
+    if node = dst then Some []
+    else if Hashtbl.mem visited node then None
+    else begin
+      Hashtbl.add visited node () ;
+      Hashtbl.fold
+        (fun (f, t) e acc ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+            if f = node then
+              match dfs t with
+              | Some rest -> Some (((f, t), e) :: rest)
+              | None -> None
+            else None)
+        edges None
+    end
+  in
+  dfs src
+
+(* Record [l] acquired at [s] by the thread owning [stack]: check each
+   held class for an order inversion, then push. Under [big]. *)
+let record_acquire stack l s =
+  List.iter
+    (fun h ->
+      let from_c = h.h_lock.name and to_c = l.name in
+      if from_c <> to_c && not (Hashtbl.mem edges (from_c, to_c)) then begin
+        (match find_path to_c from_c with
+        | Some (((pf, pt), first) :: _ as path) ->
+          let key =
+            "inv:" ^ String.concat "<" (List.sort compare [ from_c; to_c ])
+          in
+          if not (Hashtbl.mem reported key) then begin
+            Hashtbl.add reported key () ;
+            (* the existing path to_c ->* from_c, closed by the new
+               from_c -> to_c edge *)
+            let chain =
+              String.concat " -> "
+                ((to_c :: List.map (fun ((_, t), _) -> t) path) @ [ to_c ])
+            in
+            emit
+              (Diag.make Diag.E101 ~where:to_c
+                 ~detail:
+                   [ Printf.sprintf "%s acquired at %s while holding %s \
+                                     (acquired at %s)"
+                       to_c s from_c h.h_site;
+                     Printf.sprintf "conflicting order: %s acquired at %s \
+                                     while holding %s (acquired at %s)"
+                       pt first.e_to_site pf first.e_from_site ]
+                 "lock-order inversion between %s and %s (cycle %s)" from_c
+                 to_c chain)
+          end
+        | Some [] | None -> ()) ;
+        Hashtbl.replace edges (from_c, to_c)
+          { e_from_site = h.h_site; e_to_site = s }
+      end)
+    !stack ;
+  stack := { h_lock = l; h_site = s } :: !stack
+
+(* Pop the innermost entry for [l]. Under [big]. *)
+let record_release stack l =
+  let rec drop = function
+    | [] -> []
+    | h :: rest -> if h.h_lock == l then rest else h :: drop rest
+  in
+  stack := drop !stack
+
+(* ---- the wrappers ---- *)
+
+let create ~name () = { name; m = Mutex.create () }
+
+let lock_slow l =
+  Mutex.lock l.m ;
+  let s = site () in
+  locked_big (fun () -> record_acquire (stack_of (thread_key ())) l s)
+
+let lock l = if !lockdep_on then lock_slow l else Mutex.lock l.m
+
+let unlock_slow l =
+  locked_big (fun () -> record_release (stack_of (thread_key ())) l) ;
+  Mutex.unlock l.m
+
+let unlock l = if !lockdep_on then unlock_slow l else Mutex.unlock l.m
+
+let with_lock l f =
+  lock l ;
+  Fun.protect ~finally:(fun () -> unlock l) f
+
+type cond = Condition.t
+
+let condition = Condition.create
+
+(* [Condition.wait] releases and reacquires the mutex, so the held
+   stack must mirror that — otherwise every lock taken by another
+   thread while this one sleeps would appear nested under [l]. *)
+let wait c l =
+  if !lockdep_on then begin
+    let key = thread_key () in
+    locked_big (fun () -> record_release (stack_of key) l) ;
+    Condition.wait c l.m ;
+    let s = site () in
+    locked_big (fun () -> record_acquire (stack_of key) l s)
+  end
+  else Condition.wait c l.m
+
+let signal = Condition.signal
+let broadcast = Condition.broadcast
+
+(* ---- parallel-region discipline ---- *)
+
+let enter_parallel_region ~region =
+  if !lockdep_on then begin
+    let key = thread_key () in
+    locked_big (fun () ->
+        match !(stack_of key) with
+        | [] -> ()
+        | held ->
+          List.iter
+            (fun h ->
+              let rkey = "region:" ^ region ^ ":" ^ h.h_lock.name in
+              if not (Hashtbl.mem reported rkey) then begin
+                Hashtbl.add reported rkey () ;
+                emit
+                  (Diag.make Diag.E102 ~where:region
+                     ~detail:
+                       [ Printf.sprintf "%s acquired at %s and still held"
+                           h.h_lock.name h.h_site;
+                         Printf.sprintf "parallel region %s entered at %s"
+                           region (site ()) ]
+                     "lock %s held across parallel region %s (a pool task \
+                      taking it would deadlock the batch)"
+                     h.h_lock.name region)
+              end)
+            held)
+  end
+
+let note_nested_downgrade ~region =
+  Atomic.incr nested_counter ;
+  if !lockdep_on then
+    locked_big (fun () ->
+        let rkey = "nested:" ^ region in
+        if not (Hashtbl.mem reported rkey) then begin
+          Hashtbl.add reported rkey () ;
+          emit
+            (Diag.make Diag.W101 ~where:region
+               ~detail:[ Printf.sprintf "first downgrade at %s" (site ()) ]
+               "nested parallel region in %s downgraded to sequential \
+                execution (single-caller contract)"
+               region)
+        end)
+
+(* ---- lockdep control & reporting ---- *)
+
+let lockdep_enabled () = !lockdep_on
+
+let enable_lockdep () = lockdep_on := true
+
+let disable_lockdep () = lockdep_on := false
+
+let reset_lockdep () =
+  locked_big (fun () ->
+      Hashtbl.reset stacks ;
+      Hashtbl.reset edges ;
+      Hashtbl.reset reported ;
+      violations := [])
+
+let lockdep_report () = List.rev !violations
+
+let lockdep_violations () =
+  List.filter
+    (fun (d : Diag.t) -> Diag.severity_of d.Diag.code = Diag.Error)
+    (lockdep_report ())
+
+let lockdep_warnings () =
+  List.filter
+    (fun (d : Diag.t) -> Diag.severity_of d.Diag.code = Diag.Warning)
+    (lockdep_report ())
+
+(* MORPHEUS_LOCKDEP=1: enable at program start and make the process
+   fail at exit if any error-severity violation was observed — what
+   lets `dune` rules certify whole suites clean just by setting the
+   variable. (OCaml 5 runs each at_exit closure at most once, so the
+   nested [exit] cannot loop.) *)
+let () =
+  match Sys.getenv_opt "MORPHEUS_LOCKDEP" with
+  | Some ("1" | "true" | "on") ->
+    enable_lockdep () ;
+    at_exit (fun () ->
+        match lockdep_violations () with
+        | [] -> ()
+        | vs ->
+          Printf.eprintf
+            "morpheus lockdep: %d violation(s) observed (see diagnostics \
+             above)\n%!"
+            (List.length vs) ;
+          exit 3)
+  | _ -> ()

@@ -1,0 +1,87 @@
+(** Named locks with an optional lockdep instrumentation layer.
+
+    All mutexes and condition variables in the system are created
+    through this module (the source lint, rule E204, rejects raw
+    [Mutex.create] anywhere else). The [name] is the lock's {e class}:
+    instances created with the same name — e.g. one breaker per
+    dataset — share one node in the lock-order graph, so an ordering
+    proven for the class covers every instance.
+
+    With lockdep off (the default) every operation is a direct
+    [Mutex]/[Condition] call behind one [bool ref] load. With lockdep
+    on ([MORPHEUS_LOCKDEP=1], [morpheus serve --lockdep], or
+    {!enable_lockdep}) each acquisition records the acquiring thread's
+    held-lock stack into a global lock-order graph and reports, in the
+    {!Diag} E/W style with both acquisition sites:
+
+    - {b E101} — the first acquisition ordering that closes a cycle in
+      the graph (a potential deadlock; no two threads need to actually
+      race into it);
+    - {b E102} — a parallel region entered while the calling thread
+      holds any [Sync] lock ({!enter_parallel_region}, called by
+      [La.Pool.run]);
+    - {b W101} — a nested parallel region downgraded to sequential
+      execution ({!note_nested_downgrade}, called by [La.Exec]). *)
+
+type t
+(** A named mutex. *)
+
+val create : name:string -> unit -> t
+(** [create ~name ()] makes a lock of class [name]. Use dotted
+    lower-case names, [subsystem.module[.role]]: ["serve.batcher"],
+    ["la.pool.registry"]. *)
+
+val name : t -> string
+
+val lock : t -> unit
+val unlock : t -> unit
+
+val with_lock : t -> (unit -> 'a) -> 'a
+(** Runs the callback with the lock held; releases on exception. *)
+
+type cond
+(** A condition variable (uninstrumented; the bookkeeping lives in
+    {!wait}, which must pair it with a [Sync] lock). *)
+
+val condition : unit -> cond
+
+val wait : cond -> t -> unit
+(** [Condition.wait] with held-stack bookkeeping: the lock leaves the
+    acquiring thread's stack while it sleeps and rejoins on wakeup. *)
+
+val signal : cond -> unit
+val broadcast : cond -> unit
+
+(** {1 Parallel-region discipline} *)
+
+val enter_parallel_region : region:string -> unit
+(** Called by [La.Pool.run] on entry. Under lockdep, reports E102 for
+    every lock the calling thread still holds. *)
+
+val note_nested_downgrade : region:string -> unit
+(** Called by [La.Exec] when a nested parallel region is downgraded to
+    sequential execution. Always increments {!nested_downgrades}
+    (cheap; surfaced in serve [stats]); under lockdep additionally
+    reports W101, once per region. *)
+
+val nested_downgrades : unit -> int
+(** Process-lifetime count of nested-region downgrades. *)
+
+(** {1 Lockdep control and reporting} *)
+
+val lockdep_enabled : unit -> bool
+val enable_lockdep : unit -> unit
+val disable_lockdep : unit -> unit
+
+val reset_lockdep : unit -> unit
+(** Clears the order graph, held stacks, and recorded diagnostics
+    (tests use this between scenarios). Does not change enablement. *)
+
+val lockdep_report : unit -> Diag.t list
+(** All diagnostics recorded so far, oldest first. *)
+
+val lockdep_violations : unit -> Diag.t list
+(** Error-severity subset of {!lockdep_report} (E101/E102). *)
+
+val lockdep_warnings : unit -> Diag.t list
+(** Warning-severity subset of {!lockdep_report} (W101). *)

@@ -118,6 +118,10 @@ let of_value = function
 type code = E001 | E002 | E003 | E004 | W001 | W002 | W003
 type severity = Error | Warning
 
+(* The full catalogue, for the cross-catalogue uniqueness lint (E205):
+   `morpheus lint` compares these names against the analyzer's. *)
+let all_codes = [ E001; E002; E003; E004; W001; W002; W003 ]
+
 let severity_of = function
   | E001 | E002 | E003 | E004 -> Error
   | W001 | W002 | W003 -> Warning

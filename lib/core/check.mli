@@ -75,6 +75,10 @@ val of_value : Ast.value -> absval
 type code = E001 | E002 | E003 | E004 | W001 | W002 | W003
 type severity = Error | Warning
 
+val all_codes : code list
+(** Every code this catalogue defines — what [morpheus lint] (rule
+    E205) checks for collisions against the analyzer's catalogue. *)
+
 val severity_of : code -> severity
 val code_name : code -> string
 

@@ -20,17 +20,15 @@ let empty = { seed = 0; rules = [] }
 
 (* Process-global state. [active] is the unsynchronized fast-path flag
    (a plain bool load is atomic in OCaml); everything else lives under
-   the mutex. Injection points run on handler threads and pool domains
-   alike, so Stdlib.Mutex (domain-safe) is required. *)
+   the lock. Injection points run on handler threads and pool domains
+   alike, so a domain-safe lock is required. *)
 let active = ref false
 let state = ref empty
 let hits_tbl : (string, int) Hashtbl.t = Hashtbl.create 16
 let fired_tbl : (string, int) Hashtbl.t = Hashtbl.create 16
-let m = Mutex.create ()
+let m = Analysis.Sync.create ~name:"fault.state" ()
 
-let locked f =
-  Mutex.lock m ;
-  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+let locked f = Analysis.Sync.with_lock m f
 
 (* ---- deterministic firing ---- *)
 

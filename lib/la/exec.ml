@@ -24,7 +24,10 @@
    Nesting. A kernel called from inside a parallel region (e.g.
    [Blas.crossprod] inside a chunk of [Ore.Chunked_ops.crossprod]) must
    not re-enter the pool: a domain-local flag downgrades nested regions
-   to sequential execution over the same canonical grid. *)
+   to sequential execution over the same canonical grid. Each downgrade
+   is counted ([Analysis.Sync.nested_downgrades], surfaced in serve
+   stats) and reported as W101 under lockdep — intentional nesting
+   (Ore's chunked operators) shows up there rather than silently. *)
 
 type par_state = { domains : int; mutable pool : Pool.t option }
 
@@ -125,7 +128,10 @@ let parallel_for ?(min_chunk = 1) e ~lo ~hi f =
     match e with
     | Sequential -> f lo hi
     | Parallel p ->
-      if inside () then f lo hi
+      if inside () then begin
+        Analysis.Sync.note_nested_downgrade ~region:"Exec.parallel_for" ;
+        f lo hi
+      end
       else begin
         let chunks = min (4 * p.domains) (max 1 (len / max 1 min_chunk)) in
         if chunks <= 1 then f lo hi
@@ -164,7 +170,10 @@ let reduce ?(grain = default_grain) e ~lo ~hi ~body ~combine =
     match e with
     | Sequential -> sequential ()
     | Parallel p ->
-      if inside () then sequential ()
+      if inside () then begin
+        Analysis.Sync.note_nested_downgrade ~region:"Exec.reduce" ;
+        sequential ()
+      end
       else begin
         let parts = Array.make chunks None in
         Pool.run (pool_of p) ~njobs:chunks (fun i ->

@@ -19,14 +19,12 @@
    stays negligible. *)
 
 let cells = ref []
-let cells_lock = Mutex.create ()
+let cells_lock = Analysis.Sync.create ~name:"la.flops.cells" ()
 
 let key =
   Domain.DLS.new_key (fun () ->
       let cell = ref 0.0 in
-      Mutex.lock cells_lock ;
-      cells := cell :: !cells ;
-      Mutex.unlock cells_lock ;
+      Analysis.Sync.with_lock cells_lock (fun () -> cells := cell :: !cells) ;
       cell)
 
 let enabled = ref true
@@ -43,11 +41,7 @@ let addf n =
     c := !c +. n
   end
 
-let snapshot () =
-  Mutex.lock cells_lock ;
-  let cs = !cells in
-  Mutex.unlock cells_lock ;
-  cs
+let snapshot () = Analysis.Sync.with_lock cells_lock (fun () -> !cells)
 
 let get () = List.fold_left (fun acc c -> acc +. !c) 0.0 (snapshot ())
 

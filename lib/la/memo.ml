@@ -13,7 +13,7 @@
    Ore chunked operators call rewrites inside parallel regions), so a
    plain unsynchronized [ref] would be a data race under the OCaml 5
    memory model. All cell reads and publications go through one global
-   mutex; the *computation* itself runs outside the lock, so two domains
+   lock; the *computation* itself runs outside the lock, so two domains
    racing on an empty cell may both compute, but only the first
    publication wins and every kernel here is deterministic, so the loser
    computed the bitwise-same value. Critical sections are O(1) pointer
@@ -26,7 +26,7 @@
 
 type 'a cell = { mutable v : 'a option }
 
-let lock = Mutex.create ()
+let lock = Analysis.Sync.create ~name:"la.memo" ()
 
 let cell () = { v = None }
 
@@ -41,20 +41,20 @@ let with_disabled f =
   enabled := false ;
   Fun.protect ~finally:(fun () -> enabled := was) f
 
-let peek c = Mutex.protect lock (fun () -> c.v)
+let peek c = Analysis.Sync.with_lock lock (fun () -> c.v)
 
 let is_cached c = Option.is_some (peek c)
 
-let clear c = Mutex.protect lock (fun () -> c.v <- None)
+let clear c = Analysis.Sync.with_lock lock (fun () -> c.v <- None)
 
 let force c f =
   if not !enabled then f ()
   else
-    match Mutex.protect lock (fun () -> c.v) with
+    match Analysis.Sync.with_lock lock (fun () -> c.v) with
     | Some v -> v
     | None ->
       let v = f () in
-      Mutex.protect lock (fun () ->
+      Analysis.Sync.with_lock lock (fun () ->
           match c.v with
           | Some v' -> v'
           | None ->

@@ -31,18 +31,18 @@ type t = {
   mutable gen : int;  (* batch generation, so workers join each batch once *)
   mutable stop : bool;
   mutable failure : exn option;  (* first task exception, re-raised by run *)
-  lock : Mutex.t;
-  work : Condition.t;  (* workers park here between batches *)
-  idle : Condition.t;  (* the caller parks here until the batch drains *)
+  lock : Analysis.Sync.t;
+  work : Analysis.Sync.cond;  (* workers park here between batches *)
+  idle : Analysis.Sync.cond;  (* the caller parks here until the batch drains *)
   mutable workers : unit Domain.t array;
 }
 
 let size t = t.size
 
 let record_failure t e =
-  Mutex.lock t.lock ;
+  Analysis.Sync.lock t.lock ;
   if t.failure = None then t.failure <- Some e ;
-  Mutex.unlock t.lock
+  Analysis.Sync.unlock t.lock
 
 (* Claim and run tasks until the batch is exhausted. The completion
    count (not the claim counter) gates the caller's wake-up, so a task
@@ -57,9 +57,9 @@ let drain t (j : job) =
        with e -> record_failure t e) ;
       let c = 1 + Atomic.fetch_and_add j.completed 1 in
       if c = j.njobs then begin
-        Mutex.lock t.lock ;
-        Condition.broadcast t.idle ;
-        Mutex.unlock t.lock
+        Analysis.Sync.lock t.lock ;
+        Analysis.Sync.broadcast t.idle ;
+        Analysis.Sync.unlock t.lock
       end ;
       loop ()
     end
@@ -69,15 +69,15 @@ let drain t (j : job) =
 let worker t () =
   let seen = ref 0 in
   let rec loop () =
-    Mutex.lock t.lock ;
+    Analysis.Sync.lock t.lock ;
     while (not t.stop) && t.gen = !seen do
-      Condition.wait t.work t.lock
+      Analysis.Sync.wait t.work t.lock
     done ;
-    if t.stop then Mutex.unlock t.lock
+    if t.stop then Analysis.Sync.unlock t.lock
     else begin
       seen := t.gen ;
       let j = t.job in
-      Mutex.unlock t.lock ;
+      Analysis.Sync.unlock t.lock ;
       (* [job] may already be back to [None] if the batch drained between
          our wake-up and the read; that is a completed batch, skip it. *)
       (match j with Some j -> drain t j | None -> ()) ;
@@ -90,14 +90,14 @@ let worker t () =
    the main domain (a parked worker would otherwise keep the runtime's
    domain machinery alive at exit). *)
 let registry = ref []
-let registry_lock = Mutex.create ()
+let registry_lock = Analysis.Sync.create ~name:"la.pool.registry" ()
 
 let shutdown t =
-  Mutex.lock t.lock ;
+  Analysis.Sync.lock t.lock ;
   let first = not t.stop in
   t.stop <- true ;
-  Condition.broadcast t.work ;
-  Mutex.unlock t.lock ;
+  Analysis.Sync.broadcast t.work ;
+  Analysis.Sync.unlock t.lock ;
   if first then Array.iter Domain.join t.workers
 
 let () = at_exit (fun () -> List.iter shutdown !registry)
@@ -110,38 +110,40 @@ let create size =
       gen = 0;
       stop = false;
       failure = None;
-      lock = Mutex.create ();
-      work = Condition.create ();
-      idle = Condition.create ();
+      lock = Analysis.Sync.create ~name:"la.pool" ();
+      work = Analysis.Sync.condition ();
+      idle = Analysis.Sync.condition ();
       workers = [||] }
   in
   t.workers <- Array.init (size - 1) (fun _ -> Domain.spawn (worker t)) ;
-  Mutex.lock registry_lock ;
-  registry := t :: !registry ;
-  Mutex.unlock registry_lock ;
+  Analysis.Sync.with_lock registry_lock (fun () -> registry := t :: !registry) ;
   t
 
 let run t ~njobs f =
   if njobs < 0 then invalid_arg "Pool.run: negative njobs" ;
   if t.stop then invalid_arg "Pool.run: pool is shut down" ;
+  (* Pool-contract check: a caller holding any Sync lock across the
+     batch could deadlock against a task taking the same lock (E102
+     under lockdep). *)
+  Analysis.Sync.enter_parallel_region ~region:"La.Pool.run" ;
   if njobs > 0 then begin
     let j =
       { njobs; next = Atomic.make 0; completed = Atomic.make 0; run = f }
     in
-    Mutex.lock t.lock ;
+    Analysis.Sync.lock t.lock ;
     t.failure <- None ;
     t.job <- Some j ;
     t.gen <- t.gen + 1 ;
-    Condition.broadcast t.work ;
-    Mutex.unlock t.lock ;
+    Analysis.Sync.broadcast t.work ;
+    Analysis.Sync.unlock t.lock ;
     drain t j ;
-    Mutex.lock t.lock ;
+    Analysis.Sync.lock t.lock ;
     while Atomic.get j.completed < njobs do
-      Condition.wait t.idle t.lock
+      Analysis.Sync.wait t.idle t.lock
     done ;
     t.job <- None ;
     let fail = t.failure in
     t.failure <- None ;
-    Mutex.unlock t.lock ;
+    Analysis.Sync.unlock t.lock ;
     match fail with Some e -> raise e | None -> ()
   end

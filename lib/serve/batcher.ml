@@ -26,9 +26,9 @@ type ('k, 'a, 'b) request = {
 }
 
 type ('k, 'a, 'b) t = {
-  m : Mutex.t;
-  work : Condition.t;  (* signaled on submit and stop *)
-  done_ : Condition.t;  (* broadcast when any request completes *)
+  m : Analysis.Sync.t;
+  work : Analysis.Sync.cond;  (* signaled on submit and stop *)
+  done_ : Analysis.Sync.cond;  (* broadcast when any request completes *)
   max_batch : int;
   max_wait : float;
   queue_bound : int;
@@ -40,7 +40,7 @@ type ('k, 'a, 'b) t = {
   mutable thread : Thread.t option;
 }
 
-let now () = Unix.gettimeofday ()
+let now () = Clock.wall ()
 
 let finish t req outcome =
   req.state <- outcome ;
@@ -63,7 +63,7 @@ let drop_expired t at =
   if !dropped then begin
     Queue.clear t.queue ;
     Queue.transfer keep t.queue ;
-    Condition.broadcast t.done_
+    Analysis.Sync.broadcast t.done_
   end
 
 (* Extract up to [max_batch] requests whose key equals the head's,
@@ -108,7 +108,7 @@ let run_batch t batch =
       Array.map (fun _ -> Error msg) batch
     | exception e -> Array.map (fun _ -> Error (Printexc.to_string e)) batch
   in
-  Mutex.lock t.m ;
+  Analysis.Sync.lock t.m ;
   Metrics.record_batch t.metrics ~requests:(Array.length batch) ~rows ;
   Array.iteri
     (fun i req ->
@@ -116,19 +116,19 @@ let run_batch t batch =
       | Ok b -> finish t req (Done b)
       | Error msg -> finish t req (Failed (Rejected msg)))
     batch ;
-  Condition.broadcast t.done_ ;
-  Mutex.unlock t.m
+  Analysis.Sync.broadcast t.done_ ;
+  Analysis.Sync.unlock t.m
 
 let rec worker t =
-  Mutex.lock t.m ;
+  Analysis.Sync.lock t.m ;
   while Queue.is_empty t.queue && not t.stopped do
-    Condition.wait t.work t.m
+    Analysis.Sync.wait t.work t.m
   done ;
-  if Queue.is_empty t.queue && t.stopped then Mutex.unlock t.m
+  if Queue.is_empty t.queue && t.stopped then Analysis.Sync.unlock t.m
   else begin
     drop_expired t (now ()) ;
     if Queue.is_empty t.queue then begin
-      Mutex.unlock t.m ;
+      Analysis.Sync.unlock t.m ;
       worker t
     end
     else begin
@@ -137,12 +137,12 @@ let rec worker t =
       let expired = now () -. head.enqueued >= t.max_wait in
       if full || expired || t.stopped then begin
         let batch = take_batch t head.key in
-        Mutex.unlock t.m ;
+        Analysis.Sync.unlock t.m ;
         if Array.length batch > 0 then run_batch t batch ;
         worker t
       end
       else begin
-        Mutex.unlock t.m ;
+        Analysis.Sync.unlock t.m ;
         Thread.delay (quantum t) ;
         worker t
       end
@@ -155,9 +155,9 @@ let create ?(max_batch = 64) ?(max_wait = 2e-3) ?(queue_bound = 1024) ~metrics
   if max_wait < 0.0 then invalid_arg "Batcher.create: negative max_wait" ;
   if queue_bound < 1 then invalid_arg "Batcher.create: queue_bound < 1" ;
   let t =
-    { m = Mutex.create ();
-      work = Condition.create ();
-      done_ = Condition.create ();
+    { m = Analysis.Sync.create ~name:"serve.batcher" ();
+      work = Analysis.Sync.condition ();
+      done_ = Analysis.Sync.condition ();
       max_batch;
       max_wait;
       queue_bound;
@@ -177,14 +177,14 @@ let submit t ?deadline key payload =
      queued, so the caller's error reply is still its exactly-one
      reply *)
   Fault.point "batcher.submit" ;
-  Mutex.lock t.m ;
+  Analysis.Sync.lock t.m ;
   if t.stopped then begin
-    Mutex.unlock t.m ;
+    Analysis.Sync.unlock t.m ;
     Metrics.record_error t.metrics ~code:"rejected" ;
     Error (Rejected "server shutting down")
   end
   else if Queue.length t.queue >= t.queue_bound then begin
-    Mutex.unlock t.m ;
+    Analysis.Sync.unlock t.m ;
     Metrics.record_error t.metrics ~code:"overloaded" ;
     Metrics.record_shed t.metrics ;
     Error Overloaded
@@ -192,31 +192,31 @@ let submit t ?deadline key payload =
   else begin
     let req = { key; payload; deadline; enqueued = now (); state = Waiting } in
     Queue.push req t.queue ;
-    Condition.signal t.work ;
+    Analysis.Sync.signal t.work ;
     let rec await () =
       match req.state with
       | Waiting ->
-        Condition.wait t.done_ t.m ;
+        Analysis.Sync.wait t.done_ t.m ;
         await ()
       | Done b -> Ok b
       | Failed e -> Error e
     in
     let result = await () in
-    Mutex.unlock t.m ;
+    Analysis.Sync.unlock t.m ;
     result
   end
 
 let pending t =
-  Mutex.lock t.m ;
+  Analysis.Sync.lock t.m ;
   let n = Queue.length t.queue in
-  Mutex.unlock t.m ;
+  Analysis.Sync.unlock t.m ;
   n
 
 let stop t =
-  Mutex.lock t.m ;
+  Analysis.Sync.lock t.m ;
   let th = t.thread in
   t.stopped <- true ;
   t.thread <- None ;
-  Condition.broadcast t.work ;
-  Mutex.unlock t.m ;
+  Analysis.Sync.broadcast t.work ;
+  Analysis.Sync.unlock t.m ;
   match th with Some th -> Thread.join th | None -> ()

@@ -7,7 +7,7 @@
 type state = Closed | Open | Half_open
 
 type t = {
-  m : Mutex.t;
+  m : Analysis.Sync.t;
   threshold : int;
   cooldown : float;
   now : unit -> float;
@@ -17,10 +17,10 @@ type t = {
   mutable opens : int;
 }
 
-let create ?(threshold = 5) ?(cooldown = 1.0) ?(now = Unix.gettimeofday) () =
+let create ?(threshold = 5) ?(cooldown = 1.0) ?(now = Clock.wall) () =
   if threshold < 1 then invalid_arg "Breaker.create: threshold < 1" ;
   if cooldown < 0.0 then invalid_arg "Breaker.create: negative cooldown" ;
-  { m = Mutex.create ();
+  { m = Analysis.Sync.create ~name:"serve.breaker" ();
     threshold;
     cooldown;
     now;
@@ -31,8 +31,8 @@ let create ?(threshold = 5) ?(cooldown = 1.0) ?(now = Unix.gettimeofday) () =
   }
 
 let locked t f =
-  Mutex.lock t.m ;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+  Analysis.Sync.lock t.m ;
+  Fun.protect ~finally:(fun () -> Analysis.Sync.unlock t.m) f
 
 let state t =
   locked t (fun () ->

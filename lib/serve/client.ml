@@ -103,12 +103,12 @@ let attempt_once ~socket request =
 let call_retry ?(policy = default_retry) ?metrics ?rng ~socket request =
   if policy.attempts < 1 then invalid_arg "Client.call_retry: attempts < 1" ;
   let rng = match rng with Some r -> r | None -> La.Rng.of_int 0x5eed in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.wall () in
   let rec go k =
     match attempt_once ~socket request with
     | Ok _ as ok -> ok
     | Error (code, _) as err ->
-      let elapsed = Unix.gettimeofday () -. t0 in
+      let elapsed = Clock.wall () -. t0 in
       if
         k >= policy.attempts
         || (not (List.mem code policy.retry_codes))

@@ -1,0 +1,7 @@
+(* The serve stack's one sanctioned wall-clock source. Every other
+   module takes time as [Clock.wall] (or an injectable [~now] that
+   defaults to it), so the lint (rule E204) can guarantee no stray
+   [Unix.gettimeofday] creeps into code that tests would then be
+   unable to fake. *)
+
+let wall () = Unix.gettimeofday ()

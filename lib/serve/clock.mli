@@ -1,0 +1,9 @@
+(** The serve stack's sanctioned wall-clock source.
+
+    Raw [Unix.gettimeofday] outside this module (and the workload
+    generator's [Timing]) is a lint error (E204): time must flow
+    through a seam tests can fake, usually a [~now] parameter
+    defaulting to {!wall}. *)
+
+val wall : unit -> float
+(** Seconds since the epoch, as [Unix.gettimeofday]. *)

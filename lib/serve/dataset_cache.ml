@@ -5,7 +5,7 @@
    instead of loading the same dataset twice. *)
 
 type 'a t = {
-  m : Mutex.t;
+  m : Analysis.Sync.t;
   capacity : int;
   load : string -> 'a;
   mutable entries : (string * 'a) list;  (* most-recently-used first *)
@@ -16,7 +16,7 @@ type 'a t = {
 
 let create ~capacity ~load =
   if capacity < 1 then invalid_arg "Dataset_cache.create: capacity < 1" ;
-  { m = Mutex.create ();
+  { m = Analysis.Sync.create ~name:"serve.dataset_cache" ();
     capacity;
     load;
     entries = [];
@@ -26,8 +26,8 @@ let create ~capacity ~load =
   }
 
 let locked t f =
-  Mutex.lock t.m ;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+  Analysis.Sync.lock t.m ;
+  Fun.protect ~finally:(fun () -> Analysis.Sync.unlock t.m) f
 
 let get t key =
   locked t (fun () ->

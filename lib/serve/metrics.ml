@@ -61,7 +61,7 @@ let hist_quantile h q =
   end
 
 type t = {
-  m : Mutex.t;
+  m : Analysis.Sync.t;
   ops : (string, int * hist) Hashtbl.t;  (* per-op count + latencies *)
   all : hist;  (* all successful requests *)
   errors : (string, int) Hashtbl.t;
@@ -80,7 +80,7 @@ type t = {
 }
 
 let create () =
-  { m = Mutex.create ();
+  { m = Analysis.Sync.create ~name:"serve.metrics" ();
     ops = Hashtbl.create 8;
     all = hist ();
     errors = Hashtbl.create 8;
@@ -98,8 +98,8 @@ let create () =
   }
 
 let locked t f =
-  Mutex.lock t.m ;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+  Analysis.Sync.lock t.m ;
+  Fun.protect ~finally:(fun () -> Analysis.Sync.unlock t.m) f
 
 let record t ~op ~seconds =
   locked t (fun () ->
@@ -213,6 +213,26 @@ let snapshot t =
                 ("sheds", Json.Num (float_of_int t.sheds));
                 ("handler_restarts", Json.Num (float_of_int t.restarts));
                 ("write_errors", Json.Num (float_of_int t.write_errors))
+              ] );
+          (* concurrency-discipline counters: process-global (the pool
+             and lockdep are), not per-server *)
+          ( "concurrency",
+            Json.Obj
+              [ ( "nested_parallel_downgrades",
+                  Json.Num (float_of_int (Analysis.Sync.nested_downgrades ()))
+                );
+                ( "lockdep",
+                  Json.Str
+                    (if Analysis.Sync.lockdep_enabled () then "on" else "off")
+                );
+                ( "lockdep_violations",
+                  Json.Num
+                    (float_of_int
+                       (List.length (Analysis.Sync.lockdep_violations ()))) );
+                ( "lockdep_warnings",
+                  Json.Num
+                    (float_of_int
+                       (List.length (Analysis.Sync.lockdep_warnings ()))) )
               ] )
         ])
 
@@ -274,5 +294,26 @@ let summary t =
       (Printf.sprintf
          "robustness    : %.0f sheds, %.0f handler restarts, %.0f write errors\n"
          (f "sheds") (f "handler_restarts") (f "write_errors"))
+  | None -> ()) ;
+  (match Json.member "concurrency" j with
+  | Some c ->
+    let f k =
+      match Option.bind (Json.member k c) Json.to_float with
+      | Some x -> x
+      | None -> 0.0
+    in
+    let mode =
+      match Option.bind (Json.member "lockdep" c) Json.to_str with
+      | Some m -> m
+      | None -> "off"
+    in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "concurrency   : %.0f nested-region downgrades, lockdep %s%s\n"
+         (f "nested_parallel_downgrades") mode
+         (if mode = "on" then
+            Printf.sprintf " (%.0f violations, %.0f warnings)"
+              (f "lockdep_violations") (f "lockdep_warnings")
+          else ""))
   | None -> ()) ;
   Buffer.contents buf

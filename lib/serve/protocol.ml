@@ -18,6 +18,10 @@ type request =
     }
   | Shutdown
 
+(* Kept in parser order; `morpheus lint` (E203) cross-checks this list
+   against the request_of_json cases and the SERVING.md examples. *)
+let op_names = [ "ping"; "list"; "stats"; "health"; "score"; "shutdown" ]
+
 let request_to_json = function
   | Ping -> Json.Obj [ ("op", Json.Str "ping") ]
   | List_models -> Json.Obj [ ("op", Json.Str "list") ]

@@ -25,6 +25,11 @@ type request =
     }
   | Shutdown  (** ask the server to shut down gracefully *)
 
+val op_names : string list
+(** Every wire op, in parser order — the authoritative list that
+    [morpheus lint] (rule E203) checks the {!request_of_json} cases
+    and the docs/SERVING.md wire examples against. *)
+
 val request_to_json : request -> Json.t
 val request_of_json : Json.t -> (request, string) result
 

@@ -169,7 +169,7 @@ let save ~dir ~name ?schema_hash ?(meta = []) artifact =
       kind = Artifact.kind artifact;
       feature_dim = Artifact.feature_dim artifact;
       schema_hash;
-      created = Unix.gettimeofday ();
+      created = Clock.wall ();
       meta
     }
   in

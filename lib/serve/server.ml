@@ -58,37 +58,37 @@ type t = {
   listen_fd : Unix.file_descr;
   (* accepted connections awaiting a handler *)
   conns : Unix.file_descr Queue.t;
-  conn_m : Mutex.t;
-  conn_cv : Condition.t;
+  conn_m : Analysis.Sync.t;
+  conn_cv : Analysis.Sync.cond;
   (* loaded artifacts, keyed by resolved "name@vN" *)
   models : (string, Artifact.t * Registry.manifest) Hashtbl.t;
-  model_m : Mutex.t;
+  model_m : Analysis.Sync.t;
   (* loaded normalized datasets + their schema hash, LRU *)
   datasets : (Normalized.t * string) Dataset_cache.t;
   mutable batcher : (batch_key, batch_payload, float array) Batcher.t option;
   (* one circuit breaker per dataset path *)
   breakers : (string, Breaker.t) Hashtbl.t;
-  breaker_m : Mutex.t;
+  breaker_m : Analysis.Sync.t;
   (* handler supervision: slot i's thread, and whether it crashed *)
   mutable slots : Thread.t array;
   crashed : bool array;
-  sup_m : Mutex.t;
+  sup_m : Analysis.Sync.t;
   recovered : int;  (* registry litter quarantined at startup *)
-  stop_m : Mutex.t;
-  stop_cv : Condition.t;
+  stop_m : Analysis.Sync.t;
+  stop_cv : Analysis.Sync.cond;
   mutable stopping : bool;
   mutable threads : Thread.t list;
   started : float;
 }
 
-let now () = Unix.gettimeofday ()
+let now () = Clock.wall ()
 
 (* ---- model / dataset loading ---- *)
 
 let load_model t id =
-  Mutex.lock t.model_m ;
+  Analysis.Sync.lock t.model_m ;
   Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.model_m)
+    ~finally:(fun () -> Analysis.Sync.unlock t.model_m)
     (fun () ->
       match Hashtbl.find_opt t.models id with
       | Some am -> Ok am
@@ -100,7 +100,7 @@ let load_model t id =
         | Error _ as e -> e))
 
 let dataset_breaker t path =
-  Mutex.lock t.breaker_m ;
+  Analysis.Sync.lock t.breaker_m ;
   let b =
     match Hashtbl.find_opt t.breakers path with
     | Some b -> b
@@ -112,17 +112,17 @@ let dataset_breaker t path =
       Hashtbl.replace t.breakers path b ;
       b
   in
-  Mutex.unlock t.breaker_m ;
+  Analysis.Sync.unlock t.breaker_m ;
   b
 
 let open_circuits t =
-  Mutex.lock t.breaker_m ;
+  Analysis.Sync.lock t.breaker_m ;
   let n =
     Hashtbl.fold
       (fun _ b acc -> if Breaker.state b = Breaker.Open then acc + 1 else acc)
       t.breakers 0
   in
-  Mutex.unlock t.breaker_m ;
+  Analysis.Sync.unlock t.breaker_m ;
   n
 
 let get_dataset t path =
@@ -330,9 +330,9 @@ let stats t =
         ( "models_loaded",
           Json.Num
             (float_of_int
-               (Mutex.lock t.model_m ;
+               (Analysis.Sync.lock t.model_m ;
                 let n = Hashtbl.length t.models in
-                Mutex.unlock t.model_m ;
+                Analysis.Sync.unlock t.model_m ;
                 n)) );
         ( "dataset_cache",
           Json.Obj
@@ -359,13 +359,13 @@ let stats t =
   | other -> Json.Obj [ ("metrics", other); ("server", server) ]
 
 let signal_stop t =
-  Mutex.lock t.stop_m ;
+  Analysis.Sync.lock t.stop_m ;
   t.stopping <- true ;
-  Condition.broadcast t.stop_cv ;
-  Mutex.unlock t.stop_m ;
-  Mutex.lock t.conn_m ;
-  Condition.broadcast t.conn_cv ;
-  Mutex.unlock t.conn_m
+  Analysis.Sync.broadcast t.stop_cv ;
+  Analysis.Sync.unlock t.stop_m ;
+  Analysis.Sync.lock t.conn_m ;
+  Analysis.Sync.broadcast t.conn_cv ;
+  Analysis.Sync.unlock t.conn_m
 
 let handle_score t ~model ~target ~deadline_ms =
   let t0 = now () in
@@ -509,10 +509,10 @@ let accept_loop t =
       | _ -> (
         match Unix.accept ~cloexec:true t.listen_fd with
         | fd, _ ->
-          Mutex.lock t.conn_m ;
+          Analysis.Sync.lock t.conn_m ;
           Queue.push fd t.conns ;
-          Condition.signal t.conn_cv ;
-          Mutex.unlock t.conn_m ;
+          Analysis.Sync.signal t.conn_cv ;
+          Analysis.Sync.unlock t.conn_m ;
           loop ()
         | exception Unix.Unix_error ((EBADF | EINVAL), _, _) -> ()
         | exception Unix.Unix_error _ -> loop ())
@@ -523,12 +523,12 @@ let accept_loop t =
 
 let handler_loop t =
   let rec loop () =
-    Mutex.lock t.conn_m ;
+    Analysis.Sync.lock t.conn_m ;
     while Queue.is_empty t.conns && not t.stopping do
-      Condition.wait t.conn_cv t.conn_m
+      Analysis.Sync.wait t.conn_cv t.conn_m
     done ;
     let fd = if Queue.is_empty t.conns then None else Some (Queue.pop t.conns) in
-    Mutex.unlock t.conn_m ;
+    Analysis.Sync.unlock t.conn_m ;
     match fd with
     | Some fd ->
       serve_connection t fd ;
@@ -545,9 +545,9 @@ let handler_loop t =
 let handler_slot t i =
   try handler_loop t
   with _ ->
-    Mutex.lock t.sup_m ;
+    Analysis.Sync.lock t.sup_m ;
     t.crashed.(i) <- true ;
-    Mutex.unlock t.sup_m
+    Analysis.Sync.unlock t.sup_m
 
 (* The supervisor: poll for crashed slots, join the dead thread,
    respawn it, and count the restart. Polling (20ms) keeps the common
@@ -556,7 +556,7 @@ let handler_slot t i =
 let supervisor t =
   let rec loop () =
     Thread.delay 0.02 ;
-    Mutex.lock t.sup_m ;
+    Analysis.Sync.lock t.sup_m ;
     let dead = ref [] in
     Array.iteri
       (fun i c ->
@@ -565,7 +565,7 @@ let supervisor t =
           dead := i :: !dead
         end)
       t.crashed ;
-    Mutex.unlock t.sup_m ;
+    Analysis.Sync.unlock t.sup_m ;
     List.iter
       (fun i ->
         Thread.join t.slots.(i) ;
@@ -598,23 +598,23 @@ let start cfg =
       metrics = Metrics.create ();
       listen_fd;
       conns = Queue.create ();
-      conn_m = Mutex.create ();
-      conn_cv = Condition.create ();
+      conn_m = Analysis.Sync.create ~name:"serve.server.conns" ();
+      conn_cv = Analysis.Sync.condition ();
       models = Hashtbl.create 8;
-      model_m = Mutex.create ();
+      model_m = Analysis.Sync.create ~name:"serve.server.models" ();
       datasets =
         Dataset_cache.create ~capacity:cfg.cache_capacity ~load:(fun path ->
             let tn = Io.load ~dir:path in
             (tn, Registry.schema_hash tn));
       batcher = None;
       breakers = Hashtbl.create 8;
-      breaker_m = Mutex.create ();
+      breaker_m = Analysis.Sync.create ~name:"serve.server.breakers" ();
       slots = [||];
       crashed = Array.make cfg.handlers false;
-      sup_m = Mutex.create ();
+      sup_m = Analysis.Sync.create ~name:"serve.server.sup" ();
       recovered;
-      stop_m = Mutex.create ();
-      stop_cv = Condition.create ();
+      stop_m = Analysis.Sync.create ~name:"serve.server.stop" ();
+      stop_cv = Analysis.Sync.condition ();
       stopping = false;
       threads = [];
       started = now ()
@@ -634,11 +634,11 @@ let start cfg =
 let request_stop t = signal_stop t
 
 let wait t =
-  Mutex.lock t.stop_m ;
+  Analysis.Sync.lock t.stop_m ;
   while not t.stopping do
-    Condition.wait t.stop_cv t.stop_m
+    Analysis.Sync.wait t.stop_cv t.stop_m
   done ;
-  Mutex.unlock t.stop_m
+  Analysis.Sync.unlock t.stop_m
 
 let metrics t = t.metrics
 
