@@ -8,9 +8,12 @@ type config = {
   quick : bool; (* smaller grids and sizes *)
   runs : int; (* timed repetitions (median) *)
   runtimes : bool; (* print absolute runtimes alongside speed-ups *)
+  force : bool;
+      (* overwrite committed BENCH_*.json even when the host would
+         produce unrepresentative numbers (e.g. one core online) *)
 }
 
-let default = { quick = false; runs = 3; runtimes = false }
+let default = { quick = false; runs = 3; runtimes = false; force = false }
 
 (* Median-of-runs timing for the two paths of one operator instance. *)
 let time_fm cfg ~f ~m =

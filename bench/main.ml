@@ -36,6 +36,8 @@ let experiments : (string * string * (Harness.config -> unit)) list =
     ("ablate", "Ablations: crossprod method, LMM order, kernels, policy", Ablate.run);
     ("scaling", "Parallel scaling: Exec domains vs wall-clock, JSON report",
      Scaling.run);
+    ("planner", "Planner: pushed-down selection vs materialize-then-filter, JSON report",
+     Planner_bench.run);
     ("memo", "Memoization + in-place kernels: per-iteration time/alloc, JSON report",
      Memo_bench.run);
     ("serve", "Scoring server: micro-batched vs unbatched latency, JSON report",
@@ -46,7 +48,8 @@ let experiments : (string * string * (Harness.config -> unit)) list =
 
 let usage () =
   print_endline
-    "usage: main.exe [--quick] [--runs N] [--runtimes] [--list] [EXPERIMENT...]" ;
+    "usage: main.exe [--quick] [--runs N] [--runtimes] [--force] [--list] \
+     [EXPERIMENT...]" ;
   print_endline "experiments:" ;
   List.iter (fun (n, d, _) -> Printf.printf "  %-9s %s\n" n d) experiments ;
   print_endline "  all       every experiment above (default)"
@@ -62,6 +65,9 @@ let () =
       parse rest
     | "--runtimes" :: rest ->
       cfg := { !cfg with Harness.runtimes = true } ;
+      parse rest
+    | "--force" :: rest ->
+      cfg := { !cfg with Harness.force = true } ;
       parse rest
     | "--runs" :: n :: rest ->
       cfg := { !cfg with Harness.runs = int_of_string n } ;

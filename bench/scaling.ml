@@ -97,7 +97,18 @@ let run cfg =
     results ;
   Buffer.add_string buf "  ]\n}\n" ;
   let path = "BENCH_parallel.json" in
-  let oc = open_out path in
-  output_string oc (Buffer.contents buf) ;
-  close_out oc ;
-  Printf.printf "\nwrote %s\n" path
+  (* a single-core host measures no parallelism: silently replacing the
+     committed multi-core numbers with flat ones would look like a
+     regression, so refuse unless explicitly forced *)
+  if cores <= 1 && Sys.file_exists path && not cfg.Harness.force then
+    Printf.printf
+      "\nWARNING: host exposes only %d core online; NOT overwriting the \
+       committed %s with single-core numbers (re-run with --force to \
+       override)\n"
+      cores path
+  else begin
+    let oc = open_out path in
+    output_string oc (Buffer.contents buf) ;
+    close_out oc ;
+    Printf.printf "\nwrote %s\n" path
+  end

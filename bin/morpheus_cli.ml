@@ -481,7 +481,7 @@ let explain_cmd =
 (* Exit codes: 0 all checks clean (warnings allowed unless --strict),
    1 diagnostics with error severity (or warnings under --strict),
    2 unreadable/unparsable plan. *)
-let check_plans expr_opt strict files =
+let check_plans expr_opt strict explain files =
   if expr_opt = None && files = [] then begin
     Fmt.epr "morpheus check: nothing to do (give plan FILEs and/or --expr)@." ;
     exit 2
@@ -491,6 +491,15 @@ let check_plans expr_opt strict files =
     let report = Morpheus.Check.analyze_abstract ~env e in
     print_string (Morpheus.Check.report_to_string ~name report) ;
     print_newline () ;
+    if explain then begin
+      (* narrate the plan the evaluator would actually run: relational
+         pushdown (Ast.simplify) + chain/crossprod recognition, then
+         re-analyze so the rule annotations describe the rewritten tree *)
+      let optimized = Morpheus.Expr.optimize (Morpheus.Expr.simplify e) in
+      let opt_report = Morpheus.Check.analyze_abstract ~env optimized in
+      print_endline (Morpheus.Explain.describe_plan opt_report) ;
+      print_newline ()
+    end ;
     if not (Morpheus.Check.is_ok report) then failed := true ;
     if strict && Morpheus.Check.warnings report <> [] then failed := true
   in
@@ -531,13 +540,19 @@ let check_cmd =
   in
   let strict =
     Arg.(value & flag & info [ "strict" ]
-           ~doc:"Treat warnings (W001-W003) as errors.")
+           ~doc:"Treat warnings (W001-W004) as errors.")
+  in
+  let explain =
+    Arg.(value & flag & info [ "explain" ]
+           ~doc:"Also print the optimized plan narration: relational \
+                 pushdown (selection below join, projection pruning), \
+                 fired rewrite rules, and standard-vs-factorized totals.")
   in
   Cmd.v
     (cmd_info "check"
        ~doc:"Statically check LA plans: shapes, rewrite preconditions, \
              per-node cost estimates, and structured diagnostics.")
-    Term.(const check_plans $ expr $ strict $ files)
+    Term.(const check_plans $ expr $ strict $ explain $ files)
 
 (* ---- export: persist a normalized dataset for serving ---- *)
 
@@ -656,8 +671,8 @@ let protocol_error (code, message) =
 
 let print_predictions = Array.iter (fun p -> Fmt.pr "%.17g@." p)
 
-let score socket model rows dataset ids deadline_ms op_ping op_list op_stats
-    op_shutdown op_health retries retry_budget_ms =
+let score socket model rows dataset ids where deadline_ms op_ping op_list
+    op_stats op_shutdown op_health retries retry_budget_ms =
   let module C = Morpheus_serve.Client in
   let module P = Morpheus_serve.Protocol in
   let module J = Morpheus_serve.Json in
@@ -730,9 +745,19 @@ let score socket model rows dataset ids deadline_ms op_ping op_list op_stats
         Fmt.epr "morpheus score: --model is required to score@." ;
         exit 2
     in
+    (match where with
+    | Some _ when dataset = None ->
+      Fmt.epr "morpheus score: --where requires --dataset@." ;
+      exit 2
+    | Some _ when ids <> [] ->
+      Fmt.epr "morpheus score: give --ids or --where, not both@." ;
+      exit 2
+    | _ -> ()) ;
     match (rows, dataset) with
     | [], None ->
-      Fmt.epr "morpheus score: give --row (repeatable) or --dataset + --ids@." ;
+      Fmt.epr
+        "morpheus score: give --row (repeatable) or --dataset + \
+         --ids/--where@." ;
       exit 2
     | _ :: _, Some _ ->
       Fmt.epr "morpheus score: give --row or --dataset, not both@." ;
@@ -748,19 +773,39 @@ let score socket model rows dataset ids deadline_ms op_ping op_list op_stats
       | Ok preds -> print_predictions preds
       | Error e -> protocol_error e)
     | [], Some ds -> (
-      if ids = [] then begin
-        Fmt.epr "morpheus score: --dataset requires --ids@." ;
-        exit 2
-      end ;
-      let ids = Array.of_list ids in
-      let result =
-        if retries > 1 then
-          C.score_ids_retry ~policy ~socket ~model ~dataset:ds ?deadline_ms ids
-        else C.score_ids c ~model ~dataset:ds ?deadline_ms ids
-      in
-      match result with
-      | Ok preds -> print_predictions preds
-      | Error e -> protocol_error e)
+      match where with
+      | Some src -> (
+        let pred =
+          match Pred.parse src with
+          | Ok p -> p
+          | Error msg ->
+            Fmt.epr "morpheus score: bad --where predicate: %s@." msg ;
+            exit 2
+        in
+        let result =
+          if retries > 1 then
+            C.score_where_retry ~policy ~socket ~model ~dataset:ds ?deadline_ms
+              pred
+          else C.score_where c ~model ~dataset:ds ?deadline_ms pred
+        in
+        match result with
+        | Ok preds -> print_predictions preds
+        | Error e -> protocol_error e)
+      | None -> (
+        if ids = [] then begin
+          Fmt.epr "morpheus score: --dataset requires --ids or --where@." ;
+          exit 2
+        end ;
+        let ids = Array.of_list ids in
+        let result =
+          if retries > 1 then
+            C.score_ids_retry ~policy ~socket ~model ~dataset:ds ?deadline_ms
+              ids
+          else C.score_ids c ~model ~dataset:ds ?deadline_ms ids
+        in
+        match result with
+        | Ok preds -> print_predictions preds
+        | Error e -> protocol_error e))
   end
 
 let score_cmd =
@@ -779,6 +824,13 @@ let score_cmd =
   let ids =
     Arg.(value & opt (list int) [] & info [ "ids" ] ~docv:"I,I,..."
            ~doc:"Row ids of --dataset to score.")
+  in
+  let where =
+    Arg.(value & opt (some string) None & info [ "where" ] ~docv:"PRED"
+           ~doc:"Score every --dataset row matching this predicate (e.g. \
+                 'age >= 30 && region == 2'); the server selects the \
+                 segment with per-table masks and one factorized \
+                 select_rows. Mutually exclusive with --ids.")
   in
   let deadline =
     Arg.(value & opt (some float) None & info [ "deadline-ms" ]
@@ -809,8 +861,9 @@ let score_cmd =
   Cmd.v
     (cmd_info "score"
        ~doc:"Score rows against a running morpheus serve instance.")
-    Term.(const score $ socket_arg $ model $ row $ dataset $ ids $ deadline
-          $ ping $ list_ $ stats $ shutdown $ health $ retries $ retry_budget)
+    Term.(const score $ socket_arg $ model $ row $ dataset $ ids $ where
+          $ deadline $ ping $ list_ $ stats $ shutdown $ health $ retries
+          $ retry_budget)
 
 (* ---- models: offline registry listing ---- *)
 
@@ -857,7 +910,8 @@ let lint root =
       catalogues =
         [ ("Check", List.map Check.code_name Check.all_codes);
           ("Analysis", List.map Analysis.Diag.code_name Analysis.Diag.all_codes)
-        ]
+        ];
+      relational_nodes = Ast.relational_node_names
     }
   in
   match Analysis.Lint.run cfg with

@@ -20,11 +20,12 @@ type code =
   | E203  (* protocol op drift between Protocol and the docs *)
   | E204  (* raw primitive outside its sanctioned module *)
   | E205  (* duplicate diagnostic code across catalogues *)
+  | E206  (* relational Ast node drift between Ast and the docs *)
 
-let all_codes = [ E101; E102; W101; E201; E202; E203; E204; E205 ]
+let all_codes = [ E101; E102; W101; E201; E202; E203; E204; E205; E206 ]
 
 let severity_of = function
-  | E101 | E102 | E201 | E202 | E203 | E204 | E205 -> Error
+  | E101 | E102 | E201 | E202 | E203 | E204 | E205 | E206 -> Error
   | W101 -> Warning
 
 let code_name = function
@@ -36,6 +37,7 @@ let code_name = function
   | E203 -> "E203"
   | E204 -> "E204"
   | E205 -> "E205"
+  | E206 -> "E206"
 
 let code_doc = function
   | E101 -> "lock-order inversion (potential deadlock)"
@@ -46,6 +48,9 @@ let code_doc = function
   | E203 -> "protocol op drift between Protocol and docs/SERVING.md"
   | E204 -> "raw concurrency/clock/rng primitive outside its sanctioned module"
   | E205 -> "diagnostic code defined by more than one catalogue"
+  | E206 ->
+    "relational Ast node drift between Ast.relational_node_names and \
+     docs/REWRITE_RULES.md"
 
 type t = {
   code : code;

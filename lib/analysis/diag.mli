@@ -23,11 +23,15 @@
       [docs/SERVING.md].
     - [E204] raw [Mutex]/[Condition]/wall-clock/[Random] use outside
       the sanctioned modules.
-    - [E205] diagnostic code defined by more than one catalogue. *)
+    - [E205] diagnostic code defined by more than one catalogue.
+    - [E206] relational-node drift: every constructor named by
+      [Ast.relational_node_names] must appear in the "Relational
+      operators" section of [docs/REWRITE_RULES.md], and every node
+      that section documents must exist in the Ast. *)
 
 type severity = Error | Warning
 
-type code = E101 | E102 | W101 | E201 | E202 | E203 | E204 | E205
+type code = E101 | E102 | W101 | E201 | E202 | E203 | E204 | E205 | E206
 
 val all_codes : code list
 (** Every code this catalogue defines — what lint rule E205 compares

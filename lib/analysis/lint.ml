@@ -24,6 +24,8 @@ type config = {
   protocol_ops : string list;
   catalogues : (string * string list) list;
       (* catalogue name -> its diagnostic code names, for E205 *)
+  relational_nodes : string list;
+      (* Ast.relational_node_names, for E206; [] disables the rule *)
 }
 
 (* ---- source scanning ---- *)
@@ -398,6 +400,85 @@ let check_primitives ~sources_bare =
         sanctioned)
     sources_bare
 
+(* ---- rule E206: relational Ast nodes vs docs/REWRITE_RULES.md ---- *)
+
+let relational_heading = "## Relational operators"
+
+(* The documented node names are the backticked bare capitalized
+   identifiers on the `|`-table rows of the dedicated section — dotted
+   paths (`Relalg.filter`), formulas, and prose mentions of diagnostic
+   codes stay out of scope, exactly like the ROBUSTNESS table scan
+   above. *)
+let doc_relational_nodes doc =
+  let out = ref [] and in_section = ref false in
+  List.iteri
+    (fun k line ->
+      if String.starts_with ~prefix:relational_heading line then
+        in_section := true
+      else if String.starts_with ~prefix:"## " line then in_section := false
+      else if !in_section && String.starts_with ~prefix:"|" line then begin
+        let n = String.length line in
+        let i = ref 0 in
+        while !i < n do
+          if line.[!i] = '`' then begin
+            let j = ref (!i + 1) in
+            while !j < n && line.[!j] <> '`' do
+              incr j
+            done ;
+            if !j < n then begin
+              let tok = String.sub line (!i + 1) (!j - !i - 1) in
+              if
+                tok <> ""
+                && (match tok.[0] with 'A' .. 'Z' -> true | _ -> false)
+                && String.for_all ident_char tok
+              then out := (tok, k + 1) :: !out ;
+              i := !j + 1
+            end
+            else i := !j
+          end
+          else incr i
+        done
+      end)
+    (String.split_on_char '\n' doc) ;
+  List.rev !out
+
+let check_relational_nodes ~root ~nodes =
+  if nodes = [] then []
+  else begin
+    let doc_rel = "docs/REWRITE_RULES.md" in
+    let doc_path = Filename.concat root doc_rel in
+    if not (Sys.file_exists doc_path) then
+      [ Diag.make Diag.E206 ~where:doc_rel
+          "relational-operator catalogue %s is missing" doc_rel ]
+    else begin
+      let doc = read_file doc_path in
+      let has_section =
+        List.exists
+          (String.starts_with ~prefix:relational_heading)
+          (String.split_on_char '\n' doc)
+      in
+      if not has_section then
+        [ Diag.make Diag.E206 ~where:doc_rel
+            "%s has no %S section documenting the relational Ast nodes"
+            doc_rel relational_heading ]
+      else begin
+        let documented = doc_relational_nodes doc in
+        List.map
+          (fun node ->
+            Diag.make Diag.E206 ~where:doc_rel
+              "relational node %s is not documented under %S in %s" node
+              relational_heading doc_rel)
+          (List.filter (fun n -> not (List.mem_assoc n documented)) nodes)
+        @ List.map
+            (fun (node, line) ->
+              Diag.make Diag.E206
+                ~where:(Printf.sprintf "%s:%d" doc_rel line)
+                "documented relational node %s is not an Ast constructor" node)
+            (List.filter (fun (n, _) -> not (List.mem n nodes)) documented)
+      end
+    end
+  end
+
 (* ---- rule E205: diagnostic-code uniqueness across catalogues ---- *)
 
 let check_codes ~catalogues =
@@ -434,3 +515,4 @@ let run cfg =
   @ check_protocol_ops ~root:cfg.root ~ops:cfg.protocol_ops
   @ check_primitives ~sources_bare
   @ check_codes ~catalogues:cfg.catalogues
+  @ check_relational_nodes ~root:cfg.root ~nodes:cfg.relational_nodes

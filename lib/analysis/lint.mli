@@ -11,6 +11,8 @@
     - E204 — raw [Mutex]/[Condition]/wall-clock/[Random.self_init]
       outside their sanctioned modules.
     - E205 — diagnostic-code uniqueness across catalogues.
+    - E206 — relational Ast nodes vs the "Relational operators"
+      section of [docs/REWRITE_RULES.md], both directions.
 
     The lint sits at the bottom of the library order, next to {!Sync}:
     facts owned by higher layers (the protocol-op list, the diagnostic
@@ -21,6 +23,8 @@ type config = {
   protocol_ops : string list;  (** [Protocol.op_names] *)
   catalogues : (string * string list) list;
       (** catalogue name → its diagnostic code names *)
+  relational_nodes : string list;
+      (** [Ast.relational_node_names]; [[]] disables rule E206 *)
 }
 
 val run : config -> Diag.t list

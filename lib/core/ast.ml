@@ -32,6 +32,17 @@ type t =
   | Sub of t * t
   | Mul_elem of t * t
   | Div_elem of t * t
+  (* relational nodes (docs/PLANNER.md): first-class selection,
+     projection and group-by over the expression DAG, so the optimizer
+     can push them below the join instead of the relational layer
+     running them eagerly *)
+  | Filter of Pred.t * t
+  | Project of string list * t
+  | Group_agg of string list * Relalg.agg * t
+
+(* The Ast constructor names of the relational nodes — the fact the
+   source lint (E206) checks against docs/REWRITE_RULES.md. *)
+let relational_node_names = [ "Filter"; "Project"; "Group_agg" ]
 
 (* ---- convenience constructors ---- *)
 
@@ -46,6 +57,9 @@ let ( +@ ) a b = Add (a, b)
 let ( -@ ) a b = Sub (a, b)
 let ( *.@ ) x e = Scale (x, e)
 let tr e = Transpose e
+let filter p e = Filter (p, e)
+let project cols e = Project (cols, e)
+let group_agg keys agg e = Group_agg (keys, agg, e)
 
 (* ---- printing ---- *)
 
@@ -70,6 +84,12 @@ let rec pp ppf = function
   | Sub (a, b) -> Fmt.pf ppf "(%a - %a)" pp a pp b
   | Mul_elem (a, b) -> Fmt.pf ppf "(%a * %a)" pp a pp b
   | Div_elem (a, b) -> Fmt.pf ppf "(%a / %a)" pp a pp b
+  | Filter (p, e) -> Fmt.pf ppf "filter(%a, %s)" pp e (Pred.to_string p)
+  | Project (cols, e) ->
+    Fmt.pf ppf "project(%a, %s)" pp e (String.concat ", " cols)
+  | Group_agg (keys, agg, e) ->
+    Fmt.pf ppf "groupby(%a, %s, %s)" pp e (Relalg.agg_name agg)
+      (String.concat ", " keys)
 
 let to_string e = Fmt.str "%a" pp e
 
@@ -82,7 +102,11 @@ let to_string e = Fmt.str "%a" pp e
                                     Appendix-A rules underneath)
    - rowSums(eᵀ) → colSums(e)ᵀ and symmetrically (Appendix A)
    - sum(eᵀ) → sum(e)
-   - crossprod(e) stays; ginv(ginv-free) stays. *)
+   - crossprod(e) stays; ginv(ginv-free) stays
+   - σ_p(σ_q(e)) → σ_{p∧q}(e)         (filter fusion)
+   - σ_p(π_cs(e)) → π_cs(σ_p(e))      (selection below projection,
+                                        when p only reads kept columns)
+   - π_cs(π_ds(e)) → π_cs(e)          (projection collapse, cs ⊆ ds). *)
 let rec simplify e =
   let e =
     match e with
@@ -102,6 +126,9 @@ let rec simplify e =
     | Sub (a, b) -> Sub (simplify a, simplify b)
     | Mul_elem (a, b) -> Mul_elem (simplify a, simplify b)
     | Div_elem (a, b) -> Div_elem (simplify a, simplify b)
+    | Filter (p, e) -> Filter (p, simplify e)
+    | Project (cols, e) -> Project (cols, simplify e)
+    | Group_agg (keys, agg, e) -> Group_agg (keys, agg, simplify e)
   in
   match e with
   | Transpose (Transpose e) -> e
@@ -110,6 +137,13 @@ let rec simplify e =
   | Row_sums (Transpose e) -> Transpose (Col_sums e)
   | Col_sums (Transpose e) -> Transpose (Row_sums e)
   | Sum (Transpose e) -> Sum e
+  | Filter (p, Filter (q, e)) -> Filter (Pred.And (p, q), e)
+  | Filter (p, Project (cols, e))
+    when List.for_all (fun c -> List.mem c cols) (Pred.columns p) ->
+    Project (cols, simplify (Filter (p, e)))
+  | Project (cols, Project (inner, e))
+    when List.for_all (fun c -> List.mem c inner) cols ->
+    Project (cols, e)
   | e -> e
 
 (* ---- tree structure and paths ---- *)
@@ -127,7 +161,10 @@ let children = function
   | Col_sums e
   | Sum e
   | Crossprod e
-  | Ginv e ->
+  | Ginv e
+  | Filter (_, e)
+  | Project (_, e)
+  | Group_agg (_, _, e) ->
     [ e ]
   | Mult (a, b) | Add (a, b) | Sub (a, b) | Mul_elem (a, b) | Div_elem (a, b)
     ->
@@ -156,6 +193,12 @@ let node_label = function
   | Sub _ -> "sub"
   | Mul_elem _ -> "mul-elem"
   | Div_elem _ -> "div-elem"
+  | Filter (p, _) -> Printf.sprintf "filter [%s]" (Pred.to_string p)
+  | Project (cols, _) ->
+    Printf.sprintf "project [%s]" (String.concat ", " cols)
+  | Group_agg (keys, agg, _) ->
+    Printf.sprintf "groupby [%s; %s]" (Relalg.agg_name agg)
+      (String.concat ", " keys)
 
 let rec subterm e = function
   | [] -> Some e
@@ -183,3 +226,40 @@ let path_string root path =
   match go root path with
   | [] -> "root"
   | steps -> String.concat " › " steps
+
+(* ---- structural equality ---- *)
+
+(* Syntactic equality, safe on every constructor: polymorphic compare
+   would raise on Map_scalar's closure and is needlessly deep on Const
+   payloads, so constants compare physically (scalars by value) and
+   mapped functions by name + physical function. Used by the optimizer
+   to spot eᵀ·e patterns (σ_p(T)ᵀ · σ_p(T) → crossprod). *)
+let rec equal a b =
+  match (a, b) with
+  | Const (Scalar x), Const (Scalar y) -> x = y
+  | Const (Regular m1), Const (Regular m2) -> m1 == m2
+  | Const (Normalized n1), Const (Normalized n2) -> n1 == n2
+  | Var n1, Var n2 -> n1 = n2
+  | Scale (x, e1), Scale (y, e2) -> x = y && equal e1 e2
+  | Add_scalar (x, e1), Add_scalar (y, e2) -> x = y && equal e1 e2
+  | Pow_scalar (e1, x), Pow_scalar (e2, y) -> x = y && equal e1 e2
+  | Map_scalar (n1, f1, e1), Map_scalar (n2, f2, e2) ->
+    n1 = n2 && f1 == f2 && equal e1 e2
+  | Transpose e1, Transpose e2
+  | Row_sums e1, Row_sums e2
+  | Col_sums e1, Col_sums e2
+  | Sum e1, Sum e2
+  | Crossprod e1, Crossprod e2
+  | Ginv e1, Ginv e2 ->
+    equal e1 e2
+  | Mult (a1, b1), Mult (a2, b2)
+  | Add (a1, b1), Add (a2, b2)
+  | Sub (a1, b1), Sub (a2, b2)
+  | Mul_elem (a1, b1), Mul_elem (a2, b2)
+  | Div_elem (a1, b1), Div_elem (a2, b2) ->
+    equal a1 a2 && equal b1 b2
+  | Filter (p1, e1), Filter (p2, e2) -> Pred.equal p1 p2 && equal e1 e2
+  | Project (c1, e1), Project (c2, e2) -> c1 = c2 && equal e1 e2
+  | Group_agg (k1, g1, e1), Group_agg (k2, g2, e2) ->
+    k1 = k2 && g1 = g2 && equal e1 e2
+  | _ -> false

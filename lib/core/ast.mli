@@ -31,6 +31,16 @@ type t =
   | Sub of t * t
   | Mul_elem of t * t
   | Div_elem of t * t
+  | Filter of Pred.t * t
+      (** relational selection σ_p(e) over named columns *)
+  | Project of string list * t
+      (** relational projection π_cols(e), set semantics *)
+  | Group_agg of string list * Relalg.agg * t
+      (** group-by aggregation γ_{keys; agg}(e) *)
+
+val relational_node_names : string list
+(** Constructor names of the relational nodes, in declaration order —
+    checked against docs/REWRITE_RULES.md by [morpheus lint] (E206). *)
 
 (** {1 Constructors} *)
 
@@ -52,6 +62,10 @@ val ( *.@ ) : float -> t -> t
 val tr : t -> t
 (** Transpose. *)
 
+val filter : Pred.t -> t -> t
+val project : string list -> t -> t
+val group_agg : string list -> Relalg.agg -> t -> t
+
 (** {1 Printing} *)
 
 val pp : Format.formatter -> t -> unit
@@ -60,10 +74,17 @@ val to_string : t -> string
 (** {1 Simplification}
 
     Bottom-up local rules: double-transpose elimination, scalar fusion,
-    transpose pushdown, and the Appendix-A aggregation swaps
-    (rowSums(eᵀ) → colSums(e)ᵀ etc.). Semantics-preserving. *)
+    transpose pushdown, the Appendix-A aggregation swaps
+    (rowSums(eᵀ) → colSums(e)ᵀ etc.), and the relational fusion rules
+    (filter fusion, selection below projection, projection collapse —
+    docs/PLANNER.md). Semantics-preserving. *)
 
 val simplify : t -> t
+
+val equal : t -> t -> bool
+(** Syntactic equality, total on every constructor (constants and mapped
+    functions compare physically). The optimizer's test for
+    [σ_p(T)ᵀ · σ_p(T)] patterns. *)
 
 (** {1 Tree structure and paths}
 

@@ -29,13 +29,24 @@ let validated matrix =
     invalid_arg
       ("Builder: invalid normalized matrix: " ^ String.concat "; " problems)
 
+(* Column names over the global (non-transposed) column space: the
+   encoded names of every component, in T's column order — what the
+   relational operators (Filter/Project/Group_agg) resolve predicates
+   against. *)
+let named fmaps matrix =
+  Normalized.with_names
+    (Array.concat (List.map (fun fm -> fm.Encode.output_names) fmaps))
+    matrix
+
 (* Single PK-FK join (the paper's running example): S(Y, X_S, K) joined
    with R(RID, X_R). *)
 let pkfk ?(sparse = false) ~s ~fk ~r ~pk () =
   let r, k = Join.trim_unreferenced s ~fk r ~pk in
-  let s_mat, _ = Encode.features ~sparse s in
-  let r_mat, _ = Encode.features ~sparse r in
-  { matrix = validated (Normalized.pkfk ~s:s_mat ~k ~r:r_mat); target = target_of s }
+  let s_mat, s_fm = Encode.features ~sparse s in
+  let r_mat, r_fm = Encode.features ~sparse r in
+  { matrix =
+      named [ s_fm; r_fm ] (validated (Normalized.pkfk ~s:s_mat ~k ~r:r_mat));
+    target = target_of s }
 
 (* Star-schema multi-table PK-FK join (§3.5): one entity table, q
    attribute tables given as (foreign key in S, table, its primary key). *)
@@ -44,19 +55,23 @@ let star ?(sparse = false) ~s ~atts () =
     List.map
       (fun (fk, r, pk) ->
         let r, k = Join.trim_unreferenced s ~fk r ~pk in
-        let r_mat, _ = Encode.features ~sparse r in
-        (k, r_mat))
+        let r_mat, r_fm = Encode.features ~sparse r in
+        ((k, r_mat), r_fm))
       atts
   in
-  let s_mat, _ = Encode.features ~sparse s in
-  { matrix = validated (Normalized.star ~s:s_mat ~parts); target = target_of s }
+  let s_mat, s_fm = Encode.features ~sparse s in
+  { matrix =
+      named
+        (s_fm :: List.map snd parts)
+        (validated (Normalized.star ~s:s_mat ~parts:(List.map fst parts)));
+    target = target_of s }
 
 (* M:N equi-join (§3.6). The target Y (if any) lives on S and is mapped
    through I_S so it aligns with the join output's rows. *)
 let mn ?(sparse = false) ~s ~js ~r ~jr () =
   let s, is_, r, ir = Join.mn_trim s ~js r ~jr in
-  let s_mat, _ = Encode.features ~sparse s in
-  let r_mat, _ = Encode.features ~sparse r in
+  let s_mat, s_fm = Encode.features ~sparse s in
+  let r_mat, r_fm = Encode.features ~sparse r in
   let target =
     Option.map
       (fun y ->
@@ -64,7 +79,10 @@ let mn ?(sparse = false) ~s ~js ~r ~jr () =
           (Indicator.gather is_ (Dense.col_to_array y)))
       (target_of s)
   in
-  { matrix = validated (Normalized.mn ~is_ ~s:s_mat ~ir ~r:r_mat); target }
+  { matrix =
+      named [ s_fm; r_fm ]
+        (validated (Normalized.mn ~is_ ~s:s_mat ~ir ~r:r_mat));
+    target }
 
 (* Multi-table M:N chain join (appendix E): T = R₁ ⋈ R₂ ⋈ … ⋈ R_q with
    the given adjacent equi-join conditions; the normalized matrix is
@@ -74,10 +92,12 @@ let mn ?(sparse = false) ~s ~js ~r ~jr () =
    any, lives on the first table and is mapped through I_R1. *)
 let mn_chain ?(sparse = false) ~tables ~conditions () =
   let inds = Join.chain_indicators tables conditions in
+  let fmaps = ref [] in
   let parts =
     List.map2
       (fun ind table ->
-        let m, _ = Encode.features ~sparse table in
+        let m, fm = Encode.features ~sparse table in
+        fmaps := fm :: !fmaps ;
         (ind, m))
       inds tables
   in
@@ -91,7 +111,8 @@ let mn_chain ?(sparse = false) ~tables ~conditions () =
             (Indicator.gather (List.hd inds) (Dense.col_to_array y)))
         (target_of first)
   in
-  { matrix = validated (Normalized.make parts); target }
+  { matrix = named (List.rev !fmaps) (validated (Normalized.make parts));
+    target }
 
 (* Load S.csv / R.csv with a role assignment and build the PK-FK
    normalized matrix — the complete §3.2 snippet. *)

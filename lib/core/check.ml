@@ -32,27 +32,35 @@ type absval = {
   repr : repr;
   density : float option;
   norm : norm_info option;
+  columns : string array option;
+      (* explicit column names over the non-transposed column space;
+         [None] falls back to the positional c0…c{d-1} defaults when
+         the column count is known (Pred.resolve) *)
 }
 
-let top_value = { shape = Top; repr = R_top; density = None; norm = None }
+let top_value =
+  { shape = Top; repr = R_top; density = None; norm = None; columns = None }
 
 let scalar_value =
-  { shape = Scalar; repr = R_scalar; density = None; norm = None }
+  { shape = Scalar; repr = R_scalar; density = None; norm = None;
+    columns = None }
 
-let dense_value ?(density = 1.0) r c =
+let dense_value ?(density = 1.0) ?cols r c =
   { shape = Matrix (Some r, Some c);
     repr = R_dense;
     density = Some density;
-    norm = None }
+    norm = None;
+    columns = cols }
 
-let sparse_value ?(density = 0.1) r c =
+let sparse_value ?(density = 0.1) ?cols r c =
   { shape = Matrix (Some r, Some c);
     repr = R_sparse;
     density = Some density;
-    norm = None }
+    norm = None;
+    columns = cols }
 
-let normalized_value ?(transposed = false) ?(density = 1.0) ~ns ~ds ~nr ~dr ()
-    =
+let normalized_value ?(transposed = false) ?(density = 1.0) ?cols ~ns ~ds ~nr
+    ~dr () =
   let d = ds + dr in
   { shape =
       (if transposed then Matrix (Some d, Some ns)
@@ -64,7 +72,8 @@ let normalized_value ?(transposed = false) ?(density = 1.0) ~ns ~ds ~nr ~dr ()
         { n_dims = { Cost.ns; ds; nr; dr };
           transposed;
           tuple_ratio = fi ns /. fi (max 1 nr);
-          feature_ratio = fi dr /. fi (max 1 ds) } }
+          feature_ratio = fi dr /. fi (max 1 ds) };
+    columns = cols }
 
 let mat_density m =
   let numel = Mat.rows m * Mat.cols m in
@@ -101,7 +110,8 @@ let of_value = function
     { shape = Matrix (Some (Mat.rows m), Some (Mat.cols m));
       repr = (if Mat.is_sparse m then R_sparse else R_dense);
       density = Some (mat_density m);
-      norm = None }
+      norm = None;
+      columns = None }
   | Ast.Normalized n ->
     { shape = Matrix (Some (Normalized.rows n), Some (Normalized.cols n));
       repr = R_normalized;
@@ -111,38 +121,47 @@ let of_value = function
           { n_dims = Decision.cost_dims n;
             transposed = Normalized.is_transposed n;
             tuple_ratio = Normalized.tuple_ratio n;
-            feature_ratio = Normalized.feature_ratio n } }
+            feature_ratio = Normalized.feature_ratio n };
+      columns = Normalized.names n }
 
 (* ---- diagnostics ---- *)
 
-type code = E001 | E002 | E003 | E004 | W001 | W002 | W003
+type code = E001 | E002 | E003 | E004 | E005 | E006 | W001 | W002 | W003 | W004
 type severity = Error | Warning
 
 (* The full catalogue, for the cross-catalogue uniqueness lint (E205):
    `morpheus lint` compares these names against the analyzer's. *)
-let all_codes = [ E001; E002; E003; E004; W001; W002; W003 ]
+let all_codes = [ E001; E002; E003; E004; E005; E006; W001; W002; W003; W004 ]
 
 let severity_of = function
-  | E001 | E002 | E003 | E004 -> Error
-  | W001 | W002 | W003 -> Warning
+  | E001 | E002 | E003 | E004 | E005 | E006 -> Error
+  | W001 | W002 | W003 | W004 -> Warning
 
 let code_name = function
   | E001 -> "E001"
   | E002 -> "E002"
   | E003 -> "E003"
   | E004 -> "E004"
+  | E005 -> "E005"
+  | E006 -> "E006"
   | W001 -> "W001"
   | W002 -> "W002"
   | W003 -> "W003"
+  | W004 -> "W004"
 
 let code_doc = function
   | E001 -> "dimension mismatch"
   | E002 -> "unbound variable"
   | E003 -> "matrix operator applied to a scalar operand"
   | E004 -> "normalized-matrix invariant violation"
+  | E005 -> "unknown column in relational operator"
+  | E006 -> "relational operator misapplied (scalar/transposed operand, \
+             duplicate or empty column list)"
   | W001 -> "element-wise op forces materialization (§3.3.7)"
   | W002 -> "product-chain order left unoptimized: unresolvable shape"
   | W003 -> "factorization predicted slower than materialized (§3.7 heuristic)"
+  | W004 -> "filter over a materialized operand: post-hoc row mask, no \
+             pushdown"
 
 type diagnostic = {
   code : code;
@@ -205,6 +224,28 @@ let unify_dim a b =
 
 let dims_conflict a b =
   match (a, b) with Some x, Some y -> x <> y | _ -> false
+
+(* ---- relational helpers ---- *)
+
+(* Column count of the operand's (non-transposed) column space, when
+   statically known. *)
+let operand_ncols v =
+  match v.shape with Matrix (_, Some c) -> Some c | _ -> None
+
+(* Resolve a column list to ascending global indices; [None] when the
+   column space is unknown or any name fails to resolve (reported
+   separately as E005). *)
+let resolved_indices v cols =
+  match operand_ncols v with
+  | None -> None
+  | Some ncols ->
+    let idx =
+      List.filter_map
+        (fun c -> Pred.resolve ?names:v.columns ~ncols c)
+        cols
+    in
+    if List.length idx <> List.length cols then None
+    else Some (Array.of_list (List.sort_uniq compare idx))
 
 (* The §3.7 heuristic over declared ratios (no data needed). *)
 let decision_of info =
@@ -275,6 +316,30 @@ let analyze_with lookup root =
         opname info.tuple_ratio Decision.default_tau info.feature_ratio
         Decision.default_rho
   in
+  (* Relational operands must be non-scalar and, when normalized,
+     non-transposed (σ/π/γ are row/column operations over T, not Tᵀ). *)
+  let relational_operand rpath opname v =
+    match v.shape with
+    | Scalar ->
+      emit E006 rpath "%s applied to a scalar operand" opname;
+      false
+    | _ -> (
+      match v.norm with
+      | Some i when i.transposed ->
+        emit E006 rpath "%s over a transposed normalized matrix" opname;
+        false
+      | _ -> true)
+  in
+  let resolve_columns rpath what v cols =
+    match operand_ncols v with
+    | None -> ()
+    | Some ncols ->
+      List.iter
+        (fun c ->
+          if Pred.resolve ?names:v.columns ~ncols c = None then
+            emit E005 rpath "unknown column %S in %s" c what)
+        cols
+  in
   (* [go] returns the node's abstract value plus the flattened shapes of
      its product-chain leaves (singleton for non-Mult nodes) — what the
      W002 check at a maximal chain root needs. [in_chain] marks Mult
@@ -321,7 +386,7 @@ let analyze_with lookup root =
               Some (min 1.0 (1.0 -. ((1.0 -. (da *. db)) ** fi k)))
             | _ -> None
           in
-          let v = { shape; repr = R_dense; density; norm = None } in
+          let v = { shape; repr = R_dense; density; norm = None; columns = None } in
           let plain_cost =
             match (ra, k_dim, cb) with
             | Some r, Some k, Some c -> Some (fi r *. fi k *. fi c)
@@ -479,7 +544,7 @@ let analyze_with lookup root =
               Some (min 1.0 (1.0 -. ((1.0 -. (d *. d)) ** fi rows)))
             | _ -> None
           in
-          let v = { shape = Matrix (c, c); repr = R_dense; density; norm = None } in
+          let v = { shape = Matrix (c, c); repr = R_dense; density; norm = None; columns = None } in
           (match v1.norm with
           | Some info ->
             ( v,
@@ -513,7 +578,8 @@ let analyze_with lookup root =
             { shape = Matrix (c, r);
               repr = R_dense;
               density = Some 1.0;
-              norm = None }
+              norm = None;
+              columns = None }
           in
           (match v1.norm with
           | Some info ->
@@ -539,6 +605,162 @@ let analyze_with lookup root =
     | Ast.Sub (a, b) -> elementwise rpath e a b ~density:density_add
     | Ast.Mul_elem (a, b) -> elementwise rpath e a b ~density:density_mul
     | Ast.Div_elem (a, b) -> elementwise rpath e a b ~density:density_left
+    (* Relational nodes (docs/PLANNER.md): selection keeps the operand's
+       representation — a normalized operand STAYS normalized (mask +
+       select_rows), which is the whole point of lifting σ/π/γ into the
+       DAG — while rows become data-dependent. Column names resolve
+       against explicit names or the positional c0…c{d-1} defaults. *)
+    | Ast.Filter (p, e1) ->
+      let v1 = child rpath 0 e1 in
+      if not (relational_operand rpath "filter" v1) then begin
+        note rpath e top_value ();
+        top_value
+      end
+      else begin
+        resolve_columns rpath "filter predicate" v1 (Pred.columns p);
+        let sel = Pred.selectivity p in
+        let shape =
+          match v1.shape with Matrix (_, c) -> Matrix (None, c) | s -> s
+        in
+        let norm =
+          Option.map
+            (fun i ->
+              let ns = max 1 (int_of_float (ceil (sel *. fi i.n_dims.Cost.ns))) in
+              { i with
+                n_dims = { i.n_dims with Cost.ns };
+                tuple_ratio = fi ns /. fi (max 1 i.n_dims.Cost.nr) })
+            v1.norm
+        in
+        let v = { v1 with shape; norm } in
+        (match v1.norm with
+        | Some info ->
+          note rpath e v
+            ~standard:(Cost.standard info.n_dims Cost.Selection)
+            ~factorized:(Cost.factorized info.n_dims Cost.Selection)
+            ~decision:(decision_of info)
+            ~rule:
+              (Printf.sprintf
+                 "selection pushed below join: per-table masks → select_rows \
+                  (est. selectivity %.2f)"
+                 sel)
+            ()
+        | None ->
+          if v1.repr <> R_top then
+            emit W004 rpath
+              "filter over a materialized operand is a post-hoc row mask; \
+               no factorized pushdown applies";
+          note rpath e v ?standard:(numel v1.shape)
+            ~rule:"post-hoc row mask" ());
+        v
+      end
+    | Ast.Project (cols, e1) ->
+      let v1 = child rpath 0 e1 in
+      if not (relational_operand rpath "project" v1) then begin
+        note rpath e top_value ();
+        top_value
+      end
+      else begin
+        if cols = [] then emit E006 rpath "empty projection";
+        let rec dup = function
+          | c :: rest ->
+            if List.mem c rest then Some c else dup rest
+          | [] -> None
+        in
+        (match dup cols with
+        | Some c -> emit E006 rpath "duplicate column %S in projection" c
+        | None -> ());
+        resolve_columns rpath "projection" v1 cols;
+        let rows = match v1.shape with Matrix (r, _) -> r | _ -> None in
+        let kept = List.length cols in
+        (* columns metadata: the kept source names in T's column order *)
+        let columns =
+          match resolved_indices v1 cols with
+          | Some idx ->
+            let src =
+              match (v1.columns, v1.shape) with
+              | Some a, _ -> a
+              | None, Matrix (_, Some c) -> Pred.default_names c
+              | None, _ -> [||]
+            in
+            if Array.length src = 0 then None
+            else Some (Array.map (fun g -> src.(g)) idx)
+          | None -> None
+        in
+        let norm =
+          Option.map
+            (fun i ->
+              let ds_old = i.n_dims.Cost.ds in
+              let ds', dr' =
+                match resolved_indices v1 cols with
+                | Some idx ->
+                  let ents =
+                    Array.fold_left
+                      (fun acc g -> if g < ds_old then acc + 1 else acc)
+                      0 idx
+                  in
+                  (ents, Array.length idx - ents)
+                | None -> (min kept ds_old, max 0 (kept - ds_old))
+              in
+              { i with
+                n_dims = { i.n_dims with Cost.ds = ds'; dr = dr' };
+                feature_ratio = fi dr' /. fi (max 1 ds') })
+            v1.norm
+        in
+        let v =
+          { v1 with shape = Matrix (rows, Some kept); norm; columns }
+        in
+        (match v1.norm with
+        | Some info ->
+          note rpath e v
+            ~standard:(Cost.standard info.n_dims Cost.Scalar_op)
+            ~factorized:
+              (match norm with
+              | Some i -> Cost.factorized i.n_dims Cost.Scalar_op
+              | None -> Cost.factorized info.n_dims Cost.Scalar_op)
+            ~decision:(decision_of info)
+            ~rule:"projection → attribute-part pruning" ()
+        | None -> note rpath e v ?standard:(numel v.shape) ());
+        v
+      end
+    | Ast.Group_agg (keys, agg, e1) ->
+      let v1 = child rpath 0 e1 in
+      if not (relational_operand rpath "groupby" v1) then begin
+        note rpath e top_value ();
+        top_value
+      end
+      else begin
+        if keys = [] then emit E006 rpath "groupby needs at least one key";
+        resolve_columns rpath "groupby key" v1 keys;
+        let out_cols =
+          match agg with
+          | Relalg.Agg_count -> Some 1
+          | Relalg.Agg_sum | Relalg.Agg_mean -> (
+            match v1.shape with Matrix (_, c) -> c | _ -> None)
+        in
+        let columns =
+          match agg with
+          | Relalg.Agg_count -> None
+          | Relalg.Agg_sum | Relalg.Agg_mean -> v1.columns
+        in
+        let v =
+          { shape = Matrix (None, out_cols);
+            repr = R_dense;
+            density = Some 1.0;
+            norm = None;
+            columns }
+        in
+        (match v1.norm with
+        | Some info ->
+          note rpath e v
+            ~standard:(Cost.standard info.n_dims Cost.Group_by)
+            ~factorized:(Cost.factorized info.n_dims Cost.Group_by)
+            ~decision:(decision_of info)
+            ~rule:"factorized group-by: Gᵀ·S scatter + per-part count-matrix \
+                   products"
+            ()
+        | None -> note rpath e v ?standard:(numel v1.shape) ());
+        v
+      end
   (* Element-wise scalar ops (Scale/Add_scalar/Pow/Map): shape is
      preserved and normalized operands stay normalized (the closure
      property of §3.2). *)
@@ -569,7 +791,7 @@ let analyze_with lookup root =
         match v1.shape with Matrix (r, c) -> (r, c) | _ -> (None, None)
       in
       let v =
-        { shape = shape r c; repr = R_dense; density = Some 1.0; norm = None }
+        { shape = shape r c; repr = R_dense; density = Some 1.0; norm = None; columns = None }
       in
       let std, fact, decision, rule =
         match v1.norm with
@@ -628,7 +850,8 @@ let analyze_with lookup root =
         { shape = Matrix (unify_dim ra rb, unify_dim ca cb);
           repr;
           density = density va.density vb.density;
-          norm = None }
+          norm = None;
+          columns = None }
       in
       let rule = if normalized_side then Some "materialize (§3.3.7)" else None in
       note rpath e v ?standard:(numel v.shape) ?rule ();

@@ -17,10 +17,15 @@
     - [E003] matrix operator applied to a scalar operand
     - [E004] normalized-matrix invariant violation
       ({!Normalized.validate})
+    - [E005] unknown column name in a relational operator
+    - [E006] relational operator misapplied (scalar or transposed
+      operand, duplicate or empty column list)
     - [W001] element-wise op forces materialization (§3.3.7)
     - [W002] product-chain order left unoptimized: unresolvable shape
     - [W003] factorization predicted slower than materialized (§3.7
-      heuristic) *)
+      heuristic)
+    - [W004] filter over a materialized operand: post-hoc row mask,
+      no pushdown *)
 
 val log_src : Logs.src
 (** Log source shared with {!Expr.optimize}'s W002 reports. *)
@@ -54,17 +59,22 @@ type absval = {
   repr : repr;
   density : float option;  (** estimated fraction of nonzeros *)
   norm : norm_info option;  (** present iff [repr = R_normalized] *)
+  columns : string array option;
+      (** explicit column names over the non-transposed column space;
+          [None] means the positional defaults [c0..c{d-1}]
+          ({!Pred.default_names}) apply when the width is known *)
 }
 
 val scalar_value : absval
-val dense_value : ?density:float -> int -> int -> absval
-val sparse_value : ?density:float -> int -> int -> absval
+val dense_value : ?density:float -> ?cols:string array -> int -> int -> absval
+val sparse_value : ?density:float -> ?cols:string array -> int -> int -> absval
 
 val normalized_value :
-  ?transposed:bool -> ?density:float ->
+  ?transposed:bool -> ?density:float -> ?cols:string array ->
   ns:int -> ds:int -> nr:int -> dr:int -> unit -> absval
 (** An abstract normalized matrix declared by its four Table-3
-    dimensions (no data attached) — what plan files bind. *)
+    dimensions (no data attached) — what plan files bind. [?cols]
+    supplies explicit column names for relational operators. *)
 
 val of_value : Ast.value -> absval
 (** Abstract a concrete value (measures actual density and normalized
@@ -72,7 +82,7 @@ val of_value : Ast.value -> absval
 
 (** {1 Diagnostics} *)
 
-type code = E001 | E002 | E003 | E004 | W001 | W002 | W003
+type code = E001 | E002 | E003 | E004 | E005 | E006 | W001 | W002 | W003 | W004
 type severity = Error | Warning
 
 val all_codes : code list

@@ -19,6 +19,8 @@ type op =
   | Rmm of int (* n_X: rows of the multiplier *)
   | Crossprod
   | Pseudo_inverse
+  | Selection (* σ_p: predicate evaluation + row gather *)
+  | Group_by (* γ: group ids + per-part count-matrix products *)
 
 (* Parallelizable fraction of each operator's arithmetic, for the
    Amdahl adjustment below. The kernel work (row-partitioned maps and
@@ -30,6 +32,7 @@ let parallel_fraction = function
   | Lmm _ | Rmm _ -> 0.95
   | Crossprod -> 0.95
   | Pseudo_inverse -> 0.50
+  | Selection | Group_by -> 0.90
 
 (* Amdahl's law: serial part + parallel part spread over [threads]. *)
 let amdahl ~threads op cost =
@@ -50,6 +53,10 @@ let standard_arith dims op =
   | Pseudo_inverse ->
     if ns > ds + dr then (7.0 *. f ns *. d *. d) +. (20.0 *. (d ** 3.0))
     else (7.0 *. f ns *. f ns *. d) +. (20.0 *. (f ns ** 3.0))
+  (* post-hoc masking: the predicate runs over materialized rows and
+     the gather touches every surviving column — n·d either way *)
+  | Selection -> f ns *. d
+  | Group_by -> 2.0 *. f ns *. d
 
 (* Arithmetic computations of the factorized operator. *)
 let factorized_arith dims op =
@@ -59,6 +66,13 @@ let factorized_arith dims op =
   | Scalar_op | Aggregation -> base
   | Lmm dx -> f dx *. base
   | Rmm nx -> f nx *. base
+  (* pushed below the join: per-table predicate columns (entity rows +
+     attribute base rows), then a gather of S's columns only — the
+     attribute side rides along as composed indicator mappings *)
+  | Selection -> f ns +. f nr +. (f ns *. f ds)
+  (* group ids over n rows, Gᵀ·S scatter, and a (groups × n_R)·R
+     product bounded by n_R·d_R *)
+  | Group_by -> f ns +. (f ns *. f ds) +. (f nr *. f dr)
   | Crossprod ->
     (0.5 *. f ds *. f ds *. f ns)
     +. (0.5 *. f dr *. f dr *. f nr)
@@ -94,7 +108,8 @@ let speedup ?(threads = 1) dims op =
    ops), (1 + FR)² for crossprod. *)
 let limit_tuple_ratio ~feature_ratio op =
   match op with
-  | Scalar_op | Aggregation | Lmm _ | Rmm _ -> 1.0 +. feature_ratio
+  | Scalar_op | Aggregation | Lmm _ | Rmm _ | Selection | Group_by ->
+    1.0 +. feature_ratio
   | Crossprod -> (1.0 +. feature_ratio) ** 2.0
   | Pseudo_inverse ->
     14.0 *. ((1.0 +. feature_ratio) ** 2.0) /. ((2.0 *. feature_ratio) +. 3.0)

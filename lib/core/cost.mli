@@ -17,6 +17,15 @@ type op =
   | Rmm of int  (** rows of the multiplier, n_X *)
   | Crossprod
   | Pseudo_inverse
+  | Selection
+      (** relational σ_p: standard = post-hoc mask over materialized
+          rows (n·d); factorized = per-table predicate evaluation
+          through the indicators + an S-column gather (n + n_R + n·d_S)
+          — docs/PLANNER.md *)
+  | Group_by
+      (** relational γ: standard = group ids + scatter over
+          materialized rows (2·n·d); factorized = ids + Gᵀ·S + per-part
+          count-matrix products (n + n·d_S + n_R·d_R) *)
 
 val parallel_fraction : op -> float
 (** Fraction of the operator's arithmetic the execution engine can

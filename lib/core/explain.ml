@@ -15,6 +15,8 @@ type op =
   | Rmm of int (* rows of the multiplier *)
   | Crossprod
   | Ginv
+  | Selection (* relational σ_p *)
+  | Group_by (* relational γ *)
 
 let op_name = function
   | Scalar_op -> "element-wise scalar op"
@@ -25,6 +27,8 @@ let op_name = function
   | Rmm k -> Printf.sprintf "RMM (X x T, n_X = %d)" k
   | Crossprod -> "crossprod"
   | Ginv -> "pseudo-inverse"
+  | Selection -> "selection (filter)"
+  | Group_by -> "group-by aggregation"
 
 let cost_op = function
   | Scalar_op -> Cost.Scalar_op
@@ -33,6 +37,8 @@ let cost_op = function
   | Rmm k -> Cost.Rmm k
   | Crossprod -> Cost.Crossprod
   | Ginv -> Cost.Pseudo_inverse
+  | Selection -> Cost.Selection
+  | Group_by -> Cost.Group_by
 
 (* Names for the parts: S, R1..Rq (or S', R' under I_S/I_R for M:N). *)
 let part_names t =
@@ -93,6 +99,15 @@ let rewrite_formula t op =
     let n, d = Normalized.dims t in
     if d < n then "ginv(crossprod(T)) * T'   [d < n branch]"
     else "T' * ginv(crossprod(T'))   [d >= n branch]"
+  | Selection ->
+    with_ent "mask(S)"
+      (List.map2 (fun k r -> "mask(" ^ r ^ ") via " ^ k) ks rs)
+      " & "
+    ^ " -> select_rows   [selection pushed below join]"
+  | Group_by ->
+    "[" ^ with_ent "G'*S"
+      (List.map2 (fun k r -> "count(G," ^ k ^ ")*" ^ r) ks rs)
+      ", " ^ "]   [per-part count-matrix products]"
 
 type report = {
   operator : string;
@@ -169,4 +184,32 @@ let describe t =
     List.iter
       (fun p -> Buffer.add_string buf (Printf.sprintf "\n    - %s" p))
       problems) ;
+  Buffer.contents buf
+
+(* Narrate a checked plan: the expression, then — preorder — every node
+   a rewrite rule fires on, with both cost estimates. A filter pushed
+   below the join reads "selection pushed below join: per-table masks →
+   select_rows", straight from the checker's annotation, so `morpheus
+   check` output shows where the relational operators land in the
+   factorized execution. *)
+let describe_plan (r : Check.report) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "plan: %s\n" (Ast.to_string r.Check.expr)) ;
+  List.iter
+    (fun (a : Check.annot) ->
+      match a.Check.a_rule with
+      | None -> ()
+      | Some rule ->
+        let costs =
+          match (a.Check.a_standard, a.Check.a_factorized) with
+          | Some s, Some f ->
+            Printf.sprintf "  [standard %.3g vs factorized %.3g]" s f
+          | _ -> ""
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "  %-12s %s%s\n" a.Check.a_label rule costs))
+    r.Check.nodes ;
+  let std, fac = Check.totals r in
+  Buffer.add_string buf
+    (Printf.sprintf "  total: standard %.3g vs factorized %.3g arithmetic ops" std fac) ;
   Buffer.contents buf

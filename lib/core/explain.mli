@@ -12,6 +12,8 @@ type op =
   | Rmm of int  (** rows of the multiplier *)
   | Crossprod
   | Ginv
+  | Selection  (** relational σ_p: per-table masks + select_rows *)
+  | Group_by  (** relational γ: Gᵀ·S + per-part count-matrix products *)
 
 type report = {
   operator : string;
@@ -36,3 +38,10 @@ val describe : Normalized.t -> string
     matrix, ending with the {!Normalized.validate} verdict
     ([invariants: ok] or the list of violations) so [morpheus info]
     reports corruption on hand-built matrices. *)
+
+val describe_plan : Check.report -> string
+(** Narrate a checked plan: the expression, one line per node a
+    rewrite rule fires on (e.g. ["selection pushed below join:
+    per-table masks → select_rows"] for a filter over a normalized
+    operand), and the whole-plan standard-vs-factorized totals —
+    what [morpheus check --explain] prints. *)

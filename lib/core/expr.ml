@@ -60,6 +60,10 @@ let map_value f = function
   | Regular m -> Regular (Mat.map_scalar f m)
   | Normalized n -> Normalized (Rewrite.map_scalar f n)
 
+(* Relational misuse (unknown column, transposed operand, …) surfaces
+   as the evaluator's own exception, like every other type error. *)
+let rel f = try f () with Relalg.Rel_error msg -> raise (Type_error msg)
+
 let rec eval ?(env = []) e =
   let ev e = eval ~env e in
   match e with
@@ -121,6 +125,26 @@ let rec eval ?(env = []) e =
     eval_elementwise "*" Mat.mul_elem Rewrite.mul_elem_mat (ev a) (ev b)
   | Div_elem (a, b) ->
     eval_elementwise "/" Mat.div_elem Rewrite.div_elem_mat (ev a) (ev b)
+  (* Relational operators: the normalized paths never materialize the
+     join (per-table masks, part pruning, count-matrix group-by —
+     Relalg); Regular operands get the same semantics post hoc. *)
+  | Filter (p, e) -> (
+    match ev e with
+    | Scalar _ -> type_error "filter of scalar"
+    | Regular m -> Regular (rel (fun () -> Relalg.filter_mat m p))
+    | Normalized n -> Normalized (rel (fun () -> Relalg.filter n p)))
+  | Project (cols, e) -> (
+    match ev e with
+    | Scalar _ -> type_error "project of scalar"
+    | Regular m -> Regular (rel (fun () -> Relalg.project_mat m cols))
+    | Normalized n -> Normalized (rel (fun () -> Relalg.project n cols)))
+  | Group_agg (keys, agg, e) -> (
+    match ev e with
+    | Scalar _ -> type_error "groupby of scalar"
+    | Regular m ->
+      Regular (Mat.of_dense (rel (fun () -> Relalg.group_agg_mat m ~keys agg)))
+    | Normalized n ->
+      Regular (Mat.of_dense (rel (fun () -> Relalg.group_agg n ~keys agg))))
 
 (* Matrix product dispatch: the heart of the automatic factorization.
    Any combination involving a normalized operand routes to the LMM,
@@ -259,6 +283,11 @@ let chain_order ~dims leaves =
 let rec optimize ?(env = []) e =
   let opt = optimize ~env in
   match e with
+  (* σ_p(e)ᵀ · σ_p(e) → crossprod(σ_p(e)): one factorized masked
+     cross-product, no materialized intermediate. The syntactic-equality
+     test (Ast.equal) makes this safe for any matching operand, not just
+     filters. *)
+  | Mult (Transpose a, b) when Ast.equal a b -> Crossprod (opt a)
   | Mult _ as chain -> (
     let leaves = List.map opt (flatten_mult chain) in
     if List.length leaves < 3 then rebuild_mult leaves
@@ -291,6 +320,9 @@ let rec optimize ?(env = []) e =
   | Sub (a, b) -> Sub (opt a, opt b)
   | Mul_elem (a, b) -> Mul_elem (opt a, opt b)
   | Div_elem (a, b) -> Div_elem (opt a, opt b)
+  | Filter (p, e) -> Filter (p, opt e)
+  | Project (cols, e) -> Project (cols, opt e)
+  | Group_agg (keys, agg, e) -> Group_agg (keys, agg, opt e)
 
 (* Reference evaluator: materializes every normalized leaf up front and
    uses only plain kernels — the "standard single-table script". Tests
@@ -319,5 +351,8 @@ let eval_materialized ?(env = []) e =
     | Sub (a, b) -> Sub (mat_leaves a, mat_leaves b)
     | Mul_elem (a, b) -> Mul_elem (mat_leaves a, mat_leaves b)
     | Div_elem (a, b) -> Div_elem (mat_leaves a, mat_leaves b)
+    | Filter (p, e) -> Filter (p, mat_leaves e)
+    | Project (cols, e) -> Project (cols, mat_leaves e)
+    | Group_agg (keys, agg, e) -> Group_agg (keys, agg, mat_leaves e)
   in
   eval ~env:(List.map (fun (k, v) -> (k, material v)) env) (mat_leaves e)

@@ -36,6 +36,12 @@ type t = Ast.t =
   | Sub of t * t
   | Mul_elem of t * t
   | Div_elem of t * t
+  | Filter of Pred.t * t
+      (** relational selection σ_p(e) over named columns *)
+  | Project of string list * t
+      (** relational projection π_cols(e), set semantics *)
+  | Group_agg of string list * Relalg.agg * t
+      (** group-by aggregation γ_{keys; agg}(e) *)
 
 (** {1 Constructors} *)
 
@@ -56,6 +62,10 @@ val ( *.@ ) : float -> t -> t
 
 val tr : t -> t
 (** Transpose. *)
+
+val filter : Pred.t -> t -> t
+val project : string list -> t -> t
+val group_agg : string list -> Relalg.agg -> t -> t
 
 (** {1 Printing} *)
 
@@ -78,7 +88,16 @@ val optimize : ?env:(string * value) list -> t -> t
     counts. Associativity-preserving. Leaf shapes are resolved by the
     checker's total analysis; chains containing scalar operands or
     unresolvable shapes are left as written and reported as W002 on
-    {!Check.log_src}. *)
+    {!Check.log_src}.
+
+    Additionally recognizes the [σ_p(e)ᵀ · σ_p(e)] pattern
+    ([Mult (Transpose a, b)] with [a] syntactically equal to [b],
+    {!Ast.equal}) and rewrites it to [Crossprod a] — for a filtered
+    normalized operand this runs the factorized masked cross-product
+    with no materialized intermediate (docs/PLANNER.md). The
+    relational pushdown rules themselves (filter fusion, selection
+    below projection, projection collapse) live in {!Ast.simplify};
+    [morpheus check --explain] runs both. *)
 
 (** {1 Shape inference} *)
 

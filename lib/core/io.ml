@@ -164,6 +164,16 @@ let save ~dir t =
         (Filename.concat dir (Printf.sprintf "part_%d.mat" i))
         p.Normalized.mat)
     parts ;
+  (* column-name sidecar (one name per line), written before the commit
+     point so a committed save is never missing its names; older
+     datasets without the file load with names = None (positional
+     defaults apply) *)
+  (match Normalized.names t with
+  | Some names ->
+    write_text_atomic
+      (Filename.concat dir "columns")
+      (String.concat "\n" (Array.to_list names) ^ "\n")
+  | None -> ()) ;
   (* the commit point: a crash before this rename leaves no meta, so
      [load] refuses the directory rather than reading partial parts *)
   write_text_atomic (Filename.concat dir "meta") (Buffer.contents meta)
@@ -210,9 +220,24 @@ let load ~dir =
         let mat = read_mat (Filename.concat dir (Printf.sprintf "part_%d.mat" i)) in
         (Indicator.create ~cols mapping, mat))
   in
-  match ent with
-  | Some s -> Normalized.star ~s ~parts
-  | None -> Normalized.make parts
+  let t =
+    match ent with
+    | Some s -> Normalized.star ~s ~parts
+    | None -> Normalized.make parts
+  in
+  (* absent sidecar = unnamed columns (pre-sidecar datasets) *)
+  let columns_path = Filename.concat dir "columns" in
+  if not (Sys.file_exists columns_path) then t
+  else begin
+    let names =
+      In_channel.with_open_text columns_path In_channel.input_all
+      |> String.split_on_char '\n'
+      |> List.filter (fun l -> l <> "")
+      |> Array.of_list
+    in
+    try Normalized.with_names names t
+    with Invalid_argument msg -> corrupt "%s: %s" columns_path msg
+  end
 
 let delete ~dir =
   if Sys.file_exists dir && Sys.is_directory dir then begin

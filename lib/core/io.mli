@@ -17,12 +17,16 @@ exception Corrupt of string
     nothing). *)
 
 val save : dir:string -> Normalized.t -> unit
-(** Persist a (non-transposed) normalized matrix. Creates [dir]. *)
+(** Persist a (non-transposed) normalized matrix. Creates [dir].
+    Column names ({!Normalized.names}), when present, are written to a
+    [columns] sidecar (one name per line, before the [meta] commit
+    point) so server-side predicates resolve against the same names. *)
 
 val load : dir:string -> Normalized.t
 (** Load a matrix saved by {!save}; raises [Invalid_argument] if the
     directory does not hold one and {!Corrupt} if it does but the files
-    are damaged. *)
+    are damaged. A missing [columns] sidecar (pre-sidecar datasets)
+    loads with names [None] — the positional defaults apply. *)
 
 val delete : dir:string -> unit
 (** Remove a saved matrix's files and directory. *)

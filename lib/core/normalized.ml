@@ -53,13 +53,14 @@ let fresh_memo () =
     mc_row_sums_sq = La.Memo.cell ();
     mc_col_sums_sq = La.Memo.cell () }
 
-type t = { body : body; trans : bool; memo : memo }
+type t = { body : body; trans : bool; names : string array option; memo : memo }
 
 let memo t = t.memo
 let body t = t.body
 let is_transposed t = t.trans
 let ent t = t.body.ent
 let parts t = t.body.parts
+let names t = t.names
 
 (* ---- construction ---- *)
 
@@ -82,6 +83,7 @@ let check_body body =
 let make ?ent parts =
   { body = check_body { ent; parts = List.map (fun (ind, mat) -> { ind; mat }) parts };
     trans = false;
+    names = None;
     memo = fresh_memo () }
 
 (* Single PK-FK join (§3.1): TN = (S, K, R). *)
@@ -124,6 +126,19 @@ let col_ranges body =
     body.parts ;
   ((0, ent_cols), List.rev !ranges)
 
+(* Column names are metadata over the GLOBAL (non-transposed) column
+   space [S-cols | part₁-cols | …]; they ride along through transposes,
+   row subsets and scalar maps, and let predicates name encoded
+   features instead of positions. Matrices without names answer to the
+   positional defaults c0…c{d-1} (see Pred.resolve). *)
+let with_names names t =
+  let d = base_cols t.body in
+  if Array.length names <> d then
+    invalid_arg
+      (Printf.sprintf "Normalized.with_names: %d names for %d columns"
+         (Array.length names) d) ;
+  { t with names = Some names }
+
 (* Total stored scalars across base matrices — the "size of S and R put
    together" that the paper compares against size(T) (§3.3.1, §3.7).
    Indicators are excluded: their storage is one integer per row. *)
@@ -158,7 +173,7 @@ let select_rows t idx =
         { ind = Indicator.create ~cols:(Indicator.cols ind) mapping'; mat })
       t.body.parts
   in
-  { body = { ent; parts }; trans = false; memo = fresh_memo () }
+  { body = { ent; parts }; trans = false; names = t.names; memo = fresh_memo () }
 
 (* Map every base matrix through [f], keeping structure — the shape of
    all element-wise scalar rewrites. The result is again a normalized

@@ -43,7 +43,13 @@ type memo = {
 val fresh_memo : unit -> memo
 (** Empty cells for a new logical matrix. *)
 
-type t = { body : body; trans : bool; memo : memo }
+type t = {
+  body : body;
+  trans : bool;
+  names : string array option;
+      (** column names over the global (non-transposed) column space *)
+  memo : memo;
+}
 
 (** {1 Accessors} *)
 
@@ -53,6 +59,11 @@ val body : t -> body
 val is_transposed : t -> bool
 val ent : t -> Mat.t option
 val parts : t -> part list
+
+val names : t -> string array option
+(** Column names attached with {!with_names} (e.g. by {!Builder} from
+    the encoder's output names), or [None] — in which case the matrix
+    answers to the positional defaults [c0 … c{d-1}]. *)
 
 (** {1 Construction}
 
@@ -70,6 +81,10 @@ val star : s:Mat.t -> parts:(Indicator.t * Mat.t) list -> t
 
 val mn : is_:Indicator.t -> s:Mat.t -> ir:Indicator.t -> r:Mat.t -> t
 (** M:N join: T = [I_S·S, I_R·R]. *)
+
+val with_names : string array -> t -> t
+(** Attach column names (length must equal {!base_cols}). Names are
+    preserved by {!select_rows}, {!map_mats} and transposition. *)
 
 val validate : t -> string list
 (** Total re-check of the structural invariants: non-empty body,

@@ -33,6 +33,17 @@ type token =
   | Slash
   | Caret
   | MatMul
+  | Comma
+  (* predicate tokens (filter bodies — re-rendered and fed to Pred.parse) *)
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | EqEq
+  | Ne
+  | Bang
+  | AndAnd
+  | OrOr
 
 let token_str = function
   | Ident s -> s
@@ -46,6 +57,16 @@ let token_str = function
   | Slash -> "/"
   | Caret -> "^"
   | MatMul -> "%*%"
+  | Comma -> ","
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | EqEq -> "=="
+  | Ne -> "!="
+  | Bang -> "!"
+  | AndAnd -> "&&"
+  | OrOr -> "||"
 
 exception Parse_error of string
 
@@ -88,6 +109,7 @@ let tokenize s =
       i := !j
     end
     else begin
+      let two t = toks := t :: !toks ; incr i in
       (match c with
       | '(' -> toks := LParen :: !toks
       | ')' -> toks := RParen :: !toks
@@ -97,6 +119,23 @@ let tokenize s =
       | '*' -> toks := Star :: !toks
       | '/' -> toks := Slash :: !toks
       | '^' -> toks := Caret :: !toks
+      | ',' -> toks := Comma :: !toks
+      | '<' ->
+        if !i + 1 < n && s.[!i + 1] = '=' then two Le else toks := Lt :: !toks
+      | '>' ->
+        if !i + 1 < n && s.[!i + 1] = '=' then two Ge else toks := Gt :: !toks
+      | '=' ->
+        (* both = and == read as equality inside predicates *)
+        if !i + 1 < n && s.[!i + 1] = '=' then two EqEq
+        else toks := EqEq :: !toks
+      | '!' ->
+        if !i + 1 < n && s.[!i + 1] = '=' then two Ne else toks := Bang :: !toks
+      | '&' ->
+        if !i + 1 < n && s.[!i + 1] = '&' then two AndAnd
+        else fail "expected && (single & is not an operator)"
+      | '|' ->
+        if !i + 1 < n && s.[!i + 1] = '|' then two OrOr
+        else fail "expected || (single | is not an operator)"
       | '%' ->
         if !i + 2 < n && s.[!i + 1] = '*' && s.[!i + 2] = '%' then begin
           toks := MatMul :: !toks ;
@@ -141,11 +180,88 @@ let parse_tokens ~lets toks =
     | t' :: _ -> fail "expected %s, found %s" (token_str t) (token_str t')
     | [] -> fail "expected %s, found end of line" (token_str t)
   in
+  (* Collect the predicate of filter(e, <pred>) up to the call's closing
+     paren (left in place for the caller's [expect RParen]), re-render
+     it and hand it to the predicate parser. *)
+  let pred_until_rparen () =
+    let buf = Buffer.create 32 in
+    let depth = ref 0 in
+    let continue = ref true in
+    while !continue do
+      match !toks with
+      | [] -> fail "unterminated predicate"
+      | RParen :: _ when !depth = 0 -> continue := false
+      | t :: rest ->
+        (match t with
+        | LParen -> incr depth
+        | RParen -> decr depth
+        | _ -> ()) ;
+        if Buffer.length buf > 0 then Buffer.add_char buf ' ' ;
+        Buffer.add_string buf (token_str t) ;
+        toks := rest
+    done ;
+    let src = Buffer.contents buf in
+    match Pred.parse src with
+    | Ok p -> p
+    | Error msg -> fail "bad predicate %S: %s" src msg
+  in
+  (* Comma-separated column names, at least one. *)
+  let ident_list what =
+    let cols = ref [] in
+    let rec loop () =
+      match !toks with
+      | Ident c :: rest -> (
+        toks := rest ;
+        cols := c :: !cols ;
+        match !toks with
+        | Comma :: rest -> toks := rest ; loop ()
+        | _ -> ())
+      | t :: _ -> fail "%s: expected a column name, found %s" what (token_str t)
+      | [] -> fail "%s: expected a column name" what
+    in
+    loop () ;
+    List.rev !cols
+  in
   let rec primary () =
     match !toks with
     | Num x :: rest ->
       toks := rest ;
       P_num x
+    (* relational forms: filter(e, pred), project(e, c1, c2, ...),
+       groupby(e, sum|mean|count, k1, k2, ...) *)
+    | Ident "filter" :: LParen :: rest ->
+      toks := rest ;
+      let arg = add () in
+      expect Comma ;
+      let p = pred_until_rparen () in
+      expect RParen ;
+      P_expr (Ast.Filter (p, to_expr arg))
+    | Ident "project" :: LParen :: rest ->
+      toks := rest ;
+      let arg = add () in
+      expect Comma ;
+      let cols = ident_list "project" in
+      expect RParen ;
+      P_expr (Ast.Project (cols, to_expr arg))
+    | Ident "groupby" :: LParen :: rest ->
+      toks := rest ;
+      let arg = add () in
+      expect Comma ;
+      let agg =
+        match !toks with
+        | Ident a :: rest -> (
+          toks := rest ;
+          match Relalg.agg_of_string a with
+          | Some agg -> agg
+          | None -> fail "groupby: unknown aggregate %S (sum|mean|count)" a)
+        | t :: _ ->
+          fail "groupby: expected an aggregate, found %s" (token_str t)
+        | [] -> fail "groupby: expected an aggregate"
+      in
+      expect Comma ;
+      let keys = ident_list "groupby" in
+      expect RParen ;
+      P_expr (Ast.Group_agg (keys, agg, to_expr arg))
     | Ident name :: LParen :: rest when List.mem_assoc name functions ->
       toks := rest ;
       let arg = add () in
@@ -310,6 +426,20 @@ let attr_float_opt attrs key =
   | Some None -> fail "%s needs a value" key
   | None -> None
 
+(* cols=age,price,region — explicit column names for the relational
+   operators; must cover every column of the declared operand. *)
+let attr_cols attrs ~ncols =
+  match List.assoc_opt "cols" attrs with
+  | Some (Some v) ->
+    let cols =
+      String.split_on_char ',' v |> List.filter (fun c -> c <> "")
+    in
+    if List.length cols <> ncols then
+      fail "cols: %d names for %d columns" (List.length cols) ncols ;
+    Some (Array.of_list cols)
+  | Some None -> fail "cols needs a value, e.g. cols=age,price"
+  | None -> None
+
 let dims_of_words name = function
   | r :: c :: attrs -> (
     match (int_of_string_opt r, int_of_string_opt c) with
@@ -332,6 +462,7 @@ let parse_stmt ~lets line =
       let v =
         Check.normalized_value ~transposed
           ?density:(attr_float_opt attrs "density")
+          ?cols:(attr_cols attrs ~ncols:(ds + dr))
           ~ns ~ds ~nr ~dr ()
       in
       `Stmt (Declare (name, v))
@@ -339,12 +470,18 @@ let parse_stmt ~lets line =
       let r, c, attrs = dims_of_words "dense" rest in
       `Stmt
         (Declare
-           (name, Check.dense_value ?density:(attr_float_opt attrs "density") r c))
+           ( name,
+             Check.dense_value
+               ?density:(attr_float_opt attrs "density")
+               ?cols:(attr_cols attrs ~ncols:c) r c ))
     | "sparse" :: name :: rest ->
       let r, c, attrs = dims_of_words "sparse" rest in
       `Stmt
         (Declare
-           (name, Check.sparse_value ?density:(attr_float_opt attrs "density") r c))
+           ( name,
+             Check.sparse_value
+               ?density:(attr_float_opt attrs "density")
+               ?cols:(attr_cols attrs ~ncols:c) r c ))
     | [ "scalar"; name ] -> `Stmt (Declare (name, Check.scalar_value))
     | "let" :: name :: "=" :: _ ->
       let eq = String.index line '=' in

@@ -7,11 +7,15 @@
 
     {v
     normalized T ns=100000 ds=5 nr=5000 dr=20 [transposed] [density=D]
-    dense      X 100000 3 [density=D]
+                 [cols=age,price,...]          # ds+dr names, T's order
+    dense      X 100000 3 [density=D] [cols=a,b,c]
     sparse     Y 100000 20 [density=D]
     scalar     alpha
     let  w = ginv(crossprod(T)) %*% (T' %*% y)
     check T %*% w
+    check crossprod(filter(T, age >= 30 && price < 2))
+    check project(T, age, price)
+    check groupby(T, mean, region)
     v}
 
     Expressions use the R-flavoured surface syntax of the paper:
@@ -21,6 +25,13 @@
     A literal combined with [* + - / ^] folds to the scalar forms
     ([Scale], [Add_scalar], …), mirroring how R dispatches
     scalar-matrix arithmetic.
+
+    Relational forms (docs/PLANNER.md): [filter(e, pred)] with [pred]
+    over column names ([< <= > >= == != && || !], parentheses);
+    [project(e, c1, c2, ...)]; [groupby(e, sum|mean|count, k1, ...)].
+    Without a [cols=] declaration the positional names [c0 … c{d-1}]
+    apply. Unknown columns are diagnosed as E005, misapplied operators
+    as E006.
 
     [let] bindings substitute inline (the DAG stays a tree);
     identifiers that are neither declared nor let-bound stay free

@@ -1,0 +1,235 @@
+(* Typed predicates over named columns: the selection language of the
+   fused relational-LA planner. Kept deliberately tiny — comparisons of
+   encoded (numeric) columns against constants under and/or/not — so
+   that the same predicate evaluates identically on base tables (pushed
+   below the join through the indicator) and on materialized rows. *)
+
+type cmp =
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type t =
+  | Cmp of string * cmp * float
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+(* ---- printing ---- *)
+
+let cmp_string = function
+  | Eq -> "="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+(* Canonical form: fully parenthesized binary nodes, [=] for equality,
+   [%.17g] constants (round-trips every float). The serving tier uses
+   this string as a batch-fusion key, so the rendering must be a
+   function of the predicate alone. *)
+let rec to_string = function
+  | Cmp (col, op, x) -> Printf.sprintf "%s %s %.17g" col (cmp_string op) x
+  | And (a, b) -> Printf.sprintf "(%s && %s)" (to_string a) (to_string b)
+  | Or (a, b) -> Printf.sprintf "(%s || %s)" (to_string a) (to_string b)
+  | Not a -> Printf.sprintf "!(%s)" (to_string a)
+
+let equal (a : t) (b : t) = a = b
+
+(* ---- parsing ---- *)
+
+type token =
+  | T_ident of string
+  | T_num of float
+  | T_cmp of cmp
+  | T_and
+  | T_or
+  | T_not
+  | T_lparen
+  | T_rparen
+
+exception Bad of string
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let push t = toks := t :: !toks in
+  let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' in
+  let is_ident c = is_ident_start c || (c >= '0' && c <= '9') || c = '.' in
+  let is_num c =
+    (c >= '0' && c <= '9') || c = '.' || c = 'e' || c = 'E' || c = '+' || c = '-'
+  in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_ident_start c then begin
+      let j = ref !i in
+      while !j < n && is_ident src.[!j] do incr j done;
+      push (T_ident (String.sub src !i (!j - !i)));
+      i := !j
+    end
+    else if (c >= '0' && c <= '9') || c = '.' || ((c = '-' || c = '+') && !i + 1 < n && (let d = src.[!i + 1] in (d >= '0' && d <= '9') || d = '.')) then begin
+      let j = ref (!i + 1) in
+      while !j < n && is_num src.[!j] do incr j done;
+      let s = String.sub src !i (!j - !i) in
+      (match float_of_string_opt s with
+      | Some x -> push (T_num x)
+      | None -> raise (Bad (Printf.sprintf "bad number %S" s)));
+      i := !j
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      match two with
+      | "<=" -> push (T_cmp Le); i := !i + 2
+      | ">=" -> push (T_cmp Ge); i := !i + 2
+      | "==" -> push (T_cmp Eq); i := !i + 2
+      | "!=" -> push (T_cmp Ne); i := !i + 2
+      | "&&" -> push T_and; i := !i + 2
+      | "||" -> push T_or; i := !i + 2
+      | _ -> (
+        match c with
+        | '<' -> push (T_cmp Lt); incr i
+        | '>' -> push (T_cmp Gt); incr i
+        | '=' -> push (T_cmp Eq); incr i
+        | '!' -> push T_not; incr i
+        | '(' -> push T_lparen; incr i
+        | ')' -> push T_rparen; incr i
+        | c -> raise (Bad (Printf.sprintf "unexpected character %C" c)))
+    end
+  done;
+  List.rev !toks
+
+(* Recursive descent over the token list; precedence ! > && > ||. *)
+let parse src =
+  let parse_toks toks =
+    let toks = ref toks in
+    let peek () = match !toks with [] -> None | t :: _ -> Some t in
+    let advance () = match !toks with [] -> () | _ :: r -> toks := r in
+    let rec p_or () =
+      let a = p_and () in
+      match peek () with
+      | Some T_or -> advance (); Or (a, p_or ())
+      | _ -> a
+    and p_and () =
+      let a = p_unary () in
+      match peek () with
+      | Some T_and -> advance (); And (a, p_and ())
+      | _ -> a
+    and p_unary () =
+      match peek () with
+      | Some T_not -> advance (); Not (p_unary ())
+      | Some T_lparen ->
+        advance ();
+        let p = p_or () in
+        (match peek () with
+        | Some T_rparen -> advance (); p
+        | _ -> raise (Bad "expected ')'"))
+      | Some (T_ident col) ->
+        advance ();
+        let op =
+          match peek () with
+          | Some (T_cmp op) -> advance (); op
+          | _ -> raise (Bad (Printf.sprintf "expected comparison after %S" col))
+        in
+        let x =
+          match peek () with
+          | Some (T_num x) -> advance (); x
+          | _ -> raise (Bad (Printf.sprintf "expected number after %S %s" col (cmp_string op)))
+        in
+        Cmp (col, op, x)
+      | _ -> raise (Bad "expected predicate")
+    in
+    let p = p_or () in
+    if !toks <> [] then raise (Bad "trailing tokens after predicate");
+    p
+  in
+  match tokenize src with
+  | [] -> Error "empty predicate"
+  | toks -> ( try Ok (parse_toks toks) with Bad msg -> Error msg)
+  | exception Bad msg -> Error msg
+
+(* ---- semantics ---- *)
+
+let cmp_eval op (v : float) (x : float) =
+  match op with
+  | Eq -> v = x
+  | Ne -> v <> x
+  | Lt -> v < x
+  | Le -> v <= x
+  | Gt -> v > x
+  | Ge -> v >= x
+
+let rec eval lookup = function
+  | Cmp (col, op, x) -> cmp_eval op (lookup col) x
+  | And (a, b) -> eval lookup a && eval lookup b
+  | Or (a, b) -> eval lookup a || eval lookup b
+  | Not a -> not (eval lookup a)
+
+let columns p =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let rec go = function
+    | Cmp (col, _, _) ->
+      if not (Hashtbl.mem seen col) then begin
+        Hashtbl.add seen col ();
+        out := col :: !out
+      end
+    | And (a, b) | Or (a, b) -> go a; go b
+    | Not a -> go a
+  in
+  go p;
+  List.rev !out
+
+let rec selectivity = function
+  | Cmp (_, Eq, _) -> 0.1
+  | Cmp (_, Ne, _) -> 0.9
+  | Cmp (_, (Lt | Le | Gt | Ge), _) -> 0.5
+  | And (a, b) -> selectivity a *. selectivity b
+  | Or (a, b) ->
+    let sa = selectivity a and sb = selectivity b in
+    Float.min 1.0 (sa +. sb -. (sa *. sb))
+  | Not a -> 1.0 -. selectivity a
+
+(* ---- resolution ---- *)
+
+let default_names d = Array.init d (fun i -> "c" ^ string_of_int i)
+
+let positional ncols name =
+  let n = String.length name in
+  if n < 2 || name.[0] <> 'c' then None
+  else
+    let digits = String.sub name 1 (n - 1) in
+    if digits <> "0" && digits.[0] = '0' then None
+    else
+      match int_of_string_opt digits with
+      | Some i when i >= 0 && i < ncols -> Some i
+      | _ -> None
+
+let resolve ?names ~ncols name =
+  match names with
+  | Some names ->
+    let rec find i =
+      if i >= Array.length names then None
+      else if names.(i) = name then Some i
+      else find (i + 1)
+    in
+    find 0
+  | None -> positional ncols name
+
+let resolve_pred ?names ~ncols p =
+  let exception Unknown of string in
+  let out = ref [] in
+  let rec go = function
+    | Cmp (col, op, x) -> (
+      match resolve ?names ~ncols col with
+      | Some i -> out := (i, op, x) :: !out
+      | None -> raise (Unknown col))
+    | And (a, b) | Or (a, b) -> go a; go b
+    | Not a -> go a
+  in
+  try go p; Ok (List.rev !out) with Unknown col -> Error col

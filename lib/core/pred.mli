@@ -1,0 +1,85 @@
+(** A small typed predicate language over named matrix columns — the
+    selection half of the fused relational-LA planner (docs/PLANNER.md).
+
+    Predicates compare a {e column} against a {e constant}: after
+    encoding, every column of a (normalized) feature matrix is numeric,
+    so the comparison domain is [float]. Column names resolve against
+    the matrix they filter: explicit names carried by the matrix
+    (attached by {!Builder} from the encoder's output names) or, for
+    matrices without names, positional defaults [c0 … c{d-1}] over the
+    global column index. The same predicate therefore means the same
+    rows on a normalized matrix and on its materialized equivalent —
+    the property the pushdown-equivalence tests certify bitwise. *)
+
+type cmp =
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type t =
+  | Cmp of string * cmp * float  (** [column <op> constant] *)
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+(** {1 Parsing and printing} *)
+
+val parse : string -> (t, string) result
+(** Grammar (see docs/PLANNER.md):
+    {v
+      pred   := or
+      or     := and  { "||" and }
+      and    := unary { "&&" unary }
+      unary  := "!" unary | "(" pred ")" | cmp
+      cmp    := ident ( "==" | "=" | "!=" | "<" | "<=" | ">" | ">=" ) number
+    v}
+    Identifiers are [[A-Za-z_][A-Za-z0-9_.]*]. Returns a human-readable
+    error for malformed input. *)
+
+val to_string : t -> string
+(** Canonical rendering: [parse (to_string p)] yields a predicate equal
+    to [p], and two [Pred.t] built from equivalent canonical strings
+    print identically — the serving tier keys batch fusion on this
+    string. *)
+
+val equal : t -> t -> bool
+
+val cmp_string : cmp -> string
+(** Canonical operator spelling: [=], [!=], [<], [<=], [>], [>=]. *)
+
+(** {1 Semantics} *)
+
+val cmp_eval : cmp -> float -> float -> bool
+(** [cmp_eval op v x] applies [v <op> x]. *)
+
+val eval : (string -> float) -> t -> bool
+(** [eval lookup p] evaluates [p] with [lookup] supplying column
+    values. *)
+
+val columns : t -> string list
+(** Referenced column names, deduplicated, in first-appearance order. *)
+
+val selectivity : t -> float
+(** Cardinality heuristic in [0, 1] for {!Cost}: equality ≈ 0.1,
+    inequalities ≈ 0.5, [!=] ≈ 0.9; conjunction multiplies, disjunction
+    is inclusion–exclusion, negation complements. *)
+
+(** {1 Resolution against a column space} *)
+
+val default_names : int -> string array
+(** [default_names d] = [[|"c0"; …; "c{d-1}"|]] — the positional names
+    every unnamed matrix answers to. *)
+
+val resolve : ?names:string array -> ncols:int -> string -> int option
+(** Map a column name to a global column index: an explicit [names]
+    array wins; otherwise positional [c<i>] with [0 <= i < ncols].
+    [None] when unknown. *)
+
+val resolve_pred :
+  ?names:string array -> ncols:int -> t -> ((int * cmp * float) list, string) result
+(** Resolve every comparison's column. The list enumerates comparisons
+    in syntactic order (one entry per [Cmp], including duplicates);
+    [Error col] names the first unknown column. *)

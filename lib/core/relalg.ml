@@ -1,0 +1,306 @@
+(* Relational operators over (normalized) matrices: the execution layer
+   behind the Filter/Project/Group_agg nodes of the Expr DAG.
+
+   The point of this module is WHERE predicates and projections run.
+   A materialized engine filters T after paying O(n·d) to build it; here
+   every comparison is evaluated against the base table that owns the
+   column — entity columns on S's rows directly, attribute-part columns
+   on the part's n_Ri base rows, expanded to T's row space through the
+   indicator mapping (one array read per row). The combined row mask
+   then drives a single Normalized.select_rows, so the filtered matrix
+   is still normalized and everything downstream (crossprod, gemm,
+   scoring) keeps the paper's factorized rewrites. Selection is pushed
+   below the join by construction. *)
+
+open La
+open Sparse
+
+exception Rel_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Rel_error s)) fmt
+
+type agg =
+  | Agg_sum
+  | Agg_mean
+  | Agg_count
+
+let agg_name = function
+  | Agg_sum -> "sum"
+  | Agg_mean -> "mean"
+  | Agg_count -> "count"
+
+let agg_of_string = function
+  | "sum" -> Some Agg_sum
+  | "mean" -> Some Agg_mean
+  | "count" -> Some Agg_count
+  | _ -> None
+
+(* ---- column accessors ---- *)
+
+(* Locate global column [g] in the block structure: the entity block or
+   the owning attribute part. *)
+type block =
+  | B_ent of int (* column within S *)
+  | B_part of int * int (* part index, column within R_i *)
+
+let locate body g =
+  let (_, ent_hi), parts = Normalized.col_ranges body in
+  if g < ent_hi then B_ent g
+  else
+    let rec find i = function
+      | [] -> fail "column %d outside %d columns" g (Normalized.base_cols body)
+      | (lo, hi) :: rest ->
+        if g >= lo && g < hi then B_part (i, g - lo) else find (i + 1) rest
+    in
+    find 0 parts
+
+(* A row->value accessor for global column [g] of the non-transposed T.
+   Entity columns read S directly; part columns precompute the base
+   column once (O(n_Ri)) and compose through the indicator — this is the
+   per-table evaluation that makes pushdown cheap. *)
+let value_accessor t g =
+  let body = Normalized.body t in
+  match locate body g with
+  | B_ent j -> (
+    match body.Normalized.ent with
+    | Some s -> fun row -> Mat.get s row j
+    | None -> assert false)
+  | B_part (i, j) ->
+    let { Normalized.ind; mat } = List.nth body.Normalized.parts i in
+    let base = Array.init (Mat.rows mat) (fun k -> Mat.get mat k j) in
+    let mapping = Indicator.mapping ind in
+    fun row -> base.(mapping.(row))
+
+let resolve_col ?names ~ncols col =
+  match Pred.resolve ?names ~ncols col with
+  | Some g -> g
+  | None -> fail "unknown column %S" col
+
+(* Compile a predicate to a row->bool function over the normalized
+   matrix, resolving names against its (explicit or positional c<i>)
+   column space. *)
+let compile_pred t p =
+  let names = Normalized.names t in
+  let ncols = Normalized.base_cols (Normalized.body t) in
+  let rec go = function
+    | Pred.Cmp (col, op, x) ->
+      let acc = value_accessor t (resolve_col ?names ~ncols col) in
+      fun row -> Pred.cmp_eval op (acc row) x
+    | Pred.And (a, b) ->
+      let fa = go a and fb = go b in
+      fun row -> fa row && fb row
+    | Pred.Or (a, b) ->
+      let fa = go a and fb = go b in
+      fun row -> fa row || fb row
+    | Pred.Not a ->
+      let fa = go a in
+      fun row -> not (fa row)
+  in
+  go p
+
+let collect_mask n f =
+  let out = ref [] in
+  let count = ref 0 in
+  for row = n - 1 downto 0 do
+    if f row then begin
+      out := row :: !out;
+      incr count
+    end
+  done ;
+  let arr = Array.make !count 0 in
+  List.iteri (fun i r -> arr.(i) <- r) !out ;
+  arr
+
+(* ---- selection ---- *)
+
+let mask t p =
+  if Normalized.is_transposed t then
+    fail "filter over a transposed normalized matrix" ;
+  let f = compile_pred t p in
+  collect_mask (Normalized.base_rows (Normalized.body t)) f
+
+let mask_mat ?names m p =
+  let ncols = Mat.cols m in
+  let rec go = function
+    | Pred.Cmp (col, op, x) ->
+      let j = resolve_col ?names ~ncols col in
+      fun row -> Pred.cmp_eval op (Mat.get m row j) x
+    | Pred.And (a, b) ->
+      let fa = go a and fb = go b in
+      fun row -> fa row && fb row
+    | Pred.Or (a, b) ->
+      let fa = go a and fb = go b in
+      fun row -> fa row || fb row
+    | Pred.Not a ->
+      let fa = go a in
+      fun row -> not (fa row)
+  in
+  collect_mask (Mat.rows m) (go p)
+
+let filter t p = Normalized.select_rows t (mask t p)
+let filter_mat ?names m p = Mat.gather_rows m (mask_mat ?names m p)
+
+(* ---- projection ---- *)
+
+(* Resolve a projection list to ascending global indices (set
+   semantics: result columns keep T's order), rejecting duplicates. *)
+let resolve_projection ?names ~ncols cols =
+  if cols = [] then fail "empty projection" ;
+  let idx = List.map (fun c -> (resolve_col ?names ~ncols c, c)) cols in
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) idx in
+  let rec dups = function
+    | (a, ca) :: ((b, _) :: _ as rest) ->
+      if a = b then fail "duplicate column %S in projection" ca else dups rest
+    | _ -> ()
+  in
+  dups sorted ;
+  Array.of_list (List.map fst sorted)
+
+let project t cols =
+  if Normalized.is_transposed t then
+    fail "project over a transposed normalized matrix" ;
+  let body = Normalized.body t in
+  let names = Normalized.names t in
+  let ncols = Normalized.base_cols body in
+  let idx = resolve_projection ?names ~ncols cols in
+  let (_, ent_hi), ranges = Normalized.col_ranges body in
+  let ent_sel =
+    Array.of_list
+      (List.filter (fun g -> g < ent_hi) (Array.to_list idx))
+  in
+  let ent' =
+    match body.Normalized.ent with
+    | Some s when Array.length ent_sel > 0 -> Some (Mat.select_cols s ent_sel)
+    | _ -> None
+  in
+  (* Per part: local column selection; parts keeping no column are
+     pruned entirely — indicator and base matrix drop out of the plan. *)
+  let parts' =
+    List.map2
+      (fun { Normalized.ind; mat } (lo, hi) ->
+        let local =
+          Array.of_list
+            (List.filter_map
+               (fun g -> if g >= lo && g < hi then Some (g - lo) else None)
+               (Array.to_list idx))
+        in
+        if Array.length local = 0 then None
+        else Some (ind, Mat.select_cols mat local))
+      body.Normalized.parts ranges
+    |> List.filter_map Fun.id
+  in
+  if ent' = None && parts' = [] then fail "projection keeps no columns" ;
+  let t' = Normalized.make ?ent:ent' parts' in
+  let out_names =
+    let src = match names with
+      | Some a -> a
+      | None -> Pred.default_names ncols
+    in
+    Array.map (fun g -> src.(g)) idx
+  in
+  Normalized.with_names out_names t'
+
+let project_mat ?names m cols =
+  let idx = resolve_projection ?names ~ncols:(Mat.cols m) cols in
+  Mat.select_cols m idx
+
+(* ---- group-by aggregation ---- *)
+
+(* Distinct key tuples in ascending order -> dense group ids. The sort
+   makes the output row order a function of the data alone, so the
+   factorized and materialized paths lay groups out identically. *)
+let group_ids n key_of_row =
+  let tbl = Hashtbl.create 64 in
+  let tuples = ref [] in
+  let raw = Array.init n key_of_row in
+  Array.iter
+    (fun key ->
+      if not (Hashtbl.mem tbl key) then begin
+        Hashtbl.add tbl key (-1);
+        tuples := key :: !tuples
+      end)
+    raw ;
+  let sorted = List.sort compare !tuples in
+  List.iteri (fun id key -> Hashtbl.replace tbl key id) sorted ;
+  let gids = Array.map (fun key -> Hashtbl.find tbl key) raw in
+  (List.length sorted, gids)
+
+let finish_agg agg ngroups d gids sums =
+  let counts = Array.make ngroups 0.0 in
+  Array.iter (fun g -> counts.(g) <- counts.(g) +. 1.0) gids ;
+  match agg with
+  | Agg_count -> Dense.init ngroups 1 (fun g _ -> counts.(g))
+  | Agg_sum -> sums ()
+  | Agg_mean ->
+    let out = sums () in
+    Flops.add (ngroups * d) ;
+    Dense.init ngroups d (fun g j -> Dense.unsafe_get out g j /. counts.(g))
+
+let group_agg t ~keys agg =
+  if Normalized.is_transposed t then
+    fail "groupby over a transposed normalized matrix" ;
+  if keys = [] then fail "groupby needs at least one key column" ;
+  let body = Normalized.body t in
+  let names = Normalized.names t in
+  let ncols = Normalized.base_cols body in
+  let accessors =
+    List.map (fun c -> value_accessor t (resolve_col ?names ~ncols c)) keys
+  in
+  let n = Normalized.base_rows body in
+  let ngroups, gids =
+    group_ids n (fun row -> List.map (fun acc -> acc row) accessors)
+  in
+  let sums () =
+    (* Group sums block by block, never materializing T:
+       - entity block: Gᵀ·S where G is the (n × groups) one-hot of the
+         group ids — an indicator scatter-add;
+       - part i: (Gᵀ·Kᵢ)·Rᵢ — a (groups × n_Ri) count matrix (built in
+         O(n)) times the base table. *)
+    let d = ncols in
+    let out = Dense.create ngroups d in
+    let g_ind = Indicator.create ~cols:ngroups gids in
+    let _, ranges = Normalized.col_ranges body in
+    (match body.Normalized.ent with
+    | Some s ->
+      let block = Indicator.tmult g_ind (Mat.dense s) in
+      Dense.blit_block ~src:block ~dst:out ~row:0 ~col:0
+    | None -> ()) ;
+    List.iter2
+      (fun { Normalized.ind; mat } (lo, _hi) ->
+        let nr = Mat.rows mat in
+        let counts = Dense.create ngroups nr in
+        let mapping = Indicator.mapping ind in
+        Flops.add n ;
+        for row = 0 to n - 1 do
+          let g = gids.(row) and k = mapping.(row) in
+          Dense.unsafe_set counts g k (Dense.unsafe_get counts g k +. 1.0)
+        done ;
+        let block = Mat.mm_left counts mat in
+        Dense.blit_block ~src:block ~dst:out ~row:0 ~col:lo)
+      body.Normalized.parts ranges ;
+    out
+  in
+  finish_agg agg ngroups ncols gids sums
+
+let group_agg_mat ?names m ~keys agg =
+  if keys = [] then fail "groupby needs at least one key column" ;
+  let ncols = Mat.cols m in
+  let kidx =
+    List.map (fun c -> resolve_col ?names ~ncols c) keys
+  in
+  let n = Mat.rows m in
+  let ngroups, gids =
+    group_ids n (fun row -> List.map (fun j -> Mat.get m row j) kidx)
+  in
+  let sums () =
+    let out = Dense.create ngroups ncols in
+    Flops.add (n * ncols) ;
+    for row = 0 to n - 1 do
+      let g = gids.(row) in
+      for j = 0 to ncols - 1 do
+        Dense.unsafe_set out g j (Dense.unsafe_get out g j +. Mat.get m row j)
+      done
+    done ;
+    out
+  in
+  finish_agg agg ngroups ncols gids sums

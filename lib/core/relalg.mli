@@ -1,0 +1,70 @@
+(** Relational operators over (normalized) matrices — the execution
+    layer behind the {!Ast} nodes [Filter]/[Project]/[Group_agg]
+    (docs/PLANNER.md).
+
+    The factorized paths never materialize the join: selection
+    evaluates each comparison against the {e base table} owning the
+    column (entity rows directly; attribute-part rows once per base row,
+    expanded through the indicator mapping) and performs one
+    {!Normalized.select_rows}; projection prunes whole attribute parts
+    and column-gathers base matrices; group-by aggregates each attribute
+    part with a small (groups × base-rows) count-matrix product.
+
+    The [_mat] variants give the same semantics over a materialized
+    regular matrix — both the fallback for [Regular] operands and the
+    baseline the pushdown-equivalence tests compare against. Column
+    names default to the positional [c0 … c{d-1}] (see {!Pred}). *)
+
+open Sparse
+
+exception Rel_error of string
+(** Raised on unknown columns, transposed normalized inputs, duplicate
+    projections, and other relational misuse. *)
+
+type agg =
+  | Agg_sum
+  | Agg_mean
+  | Agg_count
+
+val agg_name : agg -> string
+(** ["sum"] / ["mean"] / ["count"]. *)
+
+val agg_of_string : string -> agg option
+
+(** {1 Selection} *)
+
+val mask : Normalized.t -> Pred.t -> int array
+(** Indices (ascending) of the rows of the non-transposed [T] that
+    satisfy the predicate, computed per base table through the
+    indicators — O(n_S·#cmps + Σ n_Ri), never O(n·d). *)
+
+val mask_mat : ?names:string array -> Mat.t -> Pred.t -> int array
+(** Post-hoc row mask over a materialized matrix. *)
+
+val filter : Normalized.t -> Pred.t -> Normalized.t
+(** [mask] + {!Normalized.select_rows}; the result is still normalized
+    (names preserved), so downstream crossprod/gemm/scoring stay
+    factorized. *)
+
+val filter_mat : ?names:string array -> Mat.t -> Pred.t -> Mat.t
+
+(** {1 Projection}
+
+    Set semantics: the kept columns appear in [T]'s column order;
+    duplicates are rejected. Attribute parts losing all columns are
+    dropped entirely (part pruning — their indicator and base matrix
+    leave the plan). *)
+
+val project : Normalized.t -> string list -> Normalized.t
+val project_mat : ?names:string array -> Mat.t -> string list -> Mat.t
+
+(** {1 Group-by aggregation}
+
+    Groups are the distinct key-tuples, ordered ascending — a
+    deterministic row order, so factorized and materialized runs of the
+    same plan agree on layout. [Agg_sum]/[Agg_mean] return
+    (groups × d) over all of [T]'s columns; [Agg_count] returns
+    (groups × 1). *)
+
+val group_agg : Normalized.t -> keys:string list -> agg -> La.Dense.t
+val group_agg_mat : ?names:string array -> Mat.t -> keys:string list -> agg -> La.Dense.t

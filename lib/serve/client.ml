@@ -66,6 +66,15 @@ let score_ids t ~model ~dataset ?deadline_ms ids =
        (Protocol.Score
           { model; target = Protocol.Dataset { dataset; ids }; deadline_ms }))
 
+let score_where t ~model ~dataset ?deadline_ms where =
+  predictions
+    (call t
+       (Protocol.Score
+          { model;
+            target = Protocol.Dataset_where { dataset; where };
+            deadline_ms
+          }))
+
 let with_client ~socket f =
   let t = connect ~socket in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
@@ -142,5 +151,15 @@ let score_ids_retry ?policy ?metrics ?rng ~socket ~model ~dataset ?deadline_ms
     (call_retry ?policy ?metrics ?rng ~socket
        (Protocol.Score
           { model; target = Protocol.Dataset { dataset; ids }; deadline_ms }))
+
+let score_where_retry ?policy ?metrics ?rng ~socket ~model ~dataset
+    ?deadline_ms where =
+  predictions
+    (call_retry ?policy ?metrics ?rng ~socket
+       (Protocol.Score
+          { model;
+            target = Protocol.Dataset_where { dataset; where };
+            deadline_ms
+          }))
 
 let health ~socket = attempt_once ~socket Protocol.Health

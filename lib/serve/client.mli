@@ -31,6 +31,18 @@ val score_ids :
   (float array, string * string) result
 (** Score rows of a server-side normalized dataset by row id. *)
 
+val score_where :
+  t ->
+  model:string ->
+  dataset:string ->
+  ?deadline_ms:float ->
+  Morpheus.Pred.t ->
+  (float array, string * string) result
+(** Score every dataset row satisfying the predicate (the [score_where]
+    op): the server runs per-table masks + one factorized [select_rows]
+    + one score for the whole segment. Predictions arrive in ascending
+    row-id order — identical to {!score_ids} with the matching ids. *)
+
 val with_client : socket:string -> (t -> 'a) -> 'a
 (** Connect, run, close (also on exception). *)
 
@@ -89,6 +101,17 @@ val score_ids_retry :
   dataset:string ->
   ?deadline_ms:float ->
   int array ->
+  (float array, string * string) result
+
+val score_where_retry :
+  ?policy:retry ->
+  ?metrics:Metrics.t ->
+  ?rng:La.Rng.t ->
+  socket:string ->
+  model:string ->
+  dataset:string ->
+  ?deadline_ms:float ->
+  Morpheus.Pred.t ->
   (float array, string * string) result
 
 val health : socket:string -> (Json.t, string * string) result

@@ -5,6 +5,7 @@
 type score_target =
   | Rows of float array array
   | Dataset of { dataset : string; ids : int array }
+  | Dataset_where of { dataset : string; where : Morpheus.Pred.t }
 
 type request =
   | Ping
@@ -20,7 +21,8 @@ type request =
 
 (* Kept in parser order; `morpheus lint` (E203) cross-checks this list
    against the request_of_json cases and the SERVING.md examples. *)
-let op_names = [ "ping"; "list"; "stats"; "health"; "score"; "shutdown" ]
+let op_names =
+  [ "ping"; "list"; "stats"; "health"; "score"; "score_where"; "shutdown" ]
 
 let request_to_json = function
   | Ping -> Json.Obj [ ("op", Json.Str "ping") ]
@@ -29,7 +31,11 @@ let request_to_json = function
   | Health -> Json.Obj [ ("op", Json.Str "health") ]
   | Shutdown -> Json.Obj [ ("op", Json.Str "shutdown") ]
   | Score { model; target; deadline_ms } ->
-    let base = [ ("op", Json.Str "score"); ("model", Json.Str model) ] in
+    (* the predicate form travels under its own op name, score_where *)
+    let opname =
+      match target with Dataset_where _ -> "score_where" | _ -> "score"
+    in
+    let base = [ ("op", Json.Str opname); ("model", Json.Str model) ] in
     let target_fields =
       match target with
       | Rows rows ->
@@ -46,6 +52,12 @@ let request_to_json = function
             Json.Arr
               (Array.to_list ids
               |> List.map (fun i -> Json.Num (float_of_int i))) )
+        ]
+      | Dataset_where { dataset; where } ->
+        (* canonical rendering: the same predicate always serializes
+           identically, so equal filters fuse into one batch *)
+        [ ("dataset", Json.Str dataset);
+          ("where", Json.Str (Morpheus.Pred.to_string where))
         ]
     in
     let deadline =
@@ -110,6 +122,31 @@ let request_of_json j =
       | None, None -> Error "score: missing rows or dataset+ids"
     in
     Ok (Score { model; target; deadline_ms })
+  | Some "score_where" ->
+    let* model =
+      match Option.bind (Json.member "model" j) Json.to_str with
+      | Some m -> Ok m
+      | None -> Error "score_where: missing model"
+    in
+    let deadline_ms =
+      match Option.bind (Json.member "deadline_ms" j) Json.to_float with
+      | Some ms when ms > 0.0 -> Some ms
+      | _ -> None
+    in
+    let* dataset =
+      match Option.bind (Json.member "dataset" j) Json.to_str with
+      | Some d -> Ok d
+      | None -> Error "score_where: missing dataset"
+    in
+    let* where =
+      match Option.bind (Json.member "where" j) Json.to_str with
+      | None -> Error "score_where: missing where"
+      | Some src -> (
+        match Morpheus.Pred.parse src with
+        | Ok p -> Ok p
+        | Error msg -> Error (Printf.sprintf "score_where: bad where: %s" msg))
+    in
+    Ok (Score { model; target = Dataset_where { dataset; where }; deadline_ms })
   | Some op -> Error (Printf.sprintf "unknown op %S" op)
 
 let ok fields = Json.Obj (("ok", Json.Bool true) :: fields)

@@ -10,6 +10,11 @@ type score_target =
   | Dataset of { dataset : string; ids : int array }
       (** rows of a server-side normalized dataset (saved with
           [Io.save]); scored through the factorized rewrites *)
+  | Dataset_where of { dataset : string; where : Morpheus.Pred.t }
+      (** the [score_where] op: every dataset row satisfying the
+          predicate, selected server-side by per-table masks + one
+          factorized [select_rows] — segmented scoring as one
+          factorized plan (docs/PLANNER.md) *)
 
 type request =
   | Ping

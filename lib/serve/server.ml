@@ -40,17 +40,26 @@ let default_config ~registry ~socket =
     breaker_cooldown = 1.0
   }
 
-(* Batches coalesce per (resolved model version, dataset): requests for
-   the same model over the same dataset fuse into one product. *)
-type batch_key = { bk_model : string; bk_dataset : string option }
+(* Batches coalesce per (resolved model version, dataset, canonical
+   predicate): requests for the same model over the same dataset fuse
+   into one product, and score_where requests with the same predicate
+   (canonically rendered by Pred.to_string) share one mask +
+   select_rows + score. *)
+type batch_key = {
+  bk_model : string;
+  bk_dataset : string option;
+  bk_where : string option;
+}
 
 type batch_payload =
   | P_rows of float array array
   | P_ids of int array
+  | P_where of Pred.t
 
 let payload_rows = function
   | P_rows rows -> Array.length rows
   | P_ids ids -> Array.length ids
+  | P_where _ -> 1 (* row count known only after the mask runs *)
 
 type t = {
   cfg : config;
@@ -189,13 +198,13 @@ let exec_batch t key payloads =
         Array.to_list payloads
         |> List.concat_map (function
              | P_rows rows -> Array.to_list rows
-             | P_ids _ -> [])
+             | P_ids _ | P_where _ -> [])
       in
       let counts =
         Array.map
           (function
             | P_rows rows -> Ok (Array.length rows)
-            | P_ids _ -> Error "row batch mixed with ids")
+            | P_ids _ | P_where _ -> Error "row batch mixed with ids")
           payloads
       in
       if rows = [] then Array.map (fun _ -> Ok [||]) payloads
@@ -215,41 +224,80 @@ let exec_batch t key payloads =
                "schema mismatch: model %s was trained on a different column \
                 structure than dataset %s"
                key.bk_model path)
-        | _ ->
-          let n = Normalized.rows tn in
-          (* per-request id validation; only valid requests join the
-             fused gather *)
-          let counts =
-            Array.map
-              (function
-                | P_ids ids ->
-                  if Array.exists (fun i -> i < 0 || i >= n) ids then
-                    Error
-                      (Printf.sprintf "row id out of range (dataset has %d rows)"
-                         n)
-                  else Ok (Array.length ids)
-                | P_rows _ -> Error "id batch mixed with rows")
-              payloads
-          in
-          let ids =
-            Array.to_list payloads
-            |> List.concat_map (fun p ->
-                   match p with
-                   | P_ids ids
-                     when not (Array.exists (fun i -> i < 0 || i >= n) ids) ->
-                     Array.to_list ids
-                   | _ -> [])
-            |> Array.of_list
-          in
-          if Array.length ids = 0 then
-            split_results payloads [||] counts
-          else
-            (* the micro-batching payoff: one factorized select_rows +
-               one factorized product for the whole batch *)
-            let preds =
-              Artifact.score_normalized artifact (Normalized.select_rows tn ids)
+        | _ -> (
+          match key.bk_where with
+          | Some _ -> (
+            (* every payload under this key carries the same canonical
+               predicate; evaluate the per-table masks and the
+               factorized select_rows + score once, then hand each
+               fused request the full segment's predictions *)
+            match
+              Array.find_opt
+                (function P_where _ -> true | _ -> false)
+                payloads
+            with
+            | None -> all_error payloads "where batch carries no predicate"
+            | Some (P_rows _ | P_ids _) -> assert false
+            | Some (P_where pred) -> (
+              match Relalg.mask tn pred with
+              | exception Relalg.Rel_error msg -> all_error payloads msg
+              | ids ->
+                if Array.length ids = 0 then
+                  Array.map
+                    (function
+                      | P_where _ -> Ok [||]
+                      | _ -> Error "where batch mixed with rows/ids")
+                    payloads
+                else
+                  let preds =
+                    Artifact.score_normalized artifact
+                      (Normalized.select_rows tn ids)
+                  in
+                  if Validate.array_ok preds then
+                    Array.map
+                      (function
+                        | P_where _ -> Ok (Array.copy preds)
+                        | _ -> Error "where batch mixed with rows/ids")
+                      payloads
+                  else
+                    all_error payloads
+                      "non-finite prediction (corrupt model or dataset)"))
+          | None ->
+            let n = Normalized.rows tn in
+            (* per-request id validation; only valid requests join the
+               fused gather *)
+            let counts =
+              Array.map
+                (function
+                  | P_ids ids ->
+                    if Array.exists (fun i -> i < 0 || i >= n) ids then
+                      Error
+                        (Printf.sprintf
+                           "row id out of range (dataset has %d rows)" n)
+                    else Ok (Array.length ids)
+                  | P_rows _ | P_where _ -> Error "id batch mixed with rows")
+                payloads
             in
-            checked_preds payloads preds counts)))
+            let ids =
+              Array.to_list payloads
+              |> List.concat_map (fun p ->
+                     match p with
+                     | P_ids ids
+                       when not (Array.exists (fun i -> i < 0 || i >= n) ids) ->
+                       Array.to_list ids
+                     | _ -> [])
+              |> Array.of_list
+            in
+            if Array.length ids = 0 then
+              split_results payloads [||] counts
+            else
+              (* the micro-batching payoff: one factorized select_rows +
+                 one factorized product for the whole batch *)
+              let preds =
+                Artifact.score_normalized artifact
+                  (Normalized.select_rows tn ids)
+              in
+              checked_preds payloads preds counts))))
 
 (* ---- stop-aware socket reads ---- *)
 
@@ -389,10 +437,24 @@ let handle_score t ~model ~target ~deadline_ms =
               Error
                 (Printf.sprintf "every row must have %d features (model %s)" d id)
             else
-              Ok ({ bk_model = id; bk_dataset = None }, P_rows rows) )
+              Ok
+                ( { bk_model = id; bk_dataset = None; bk_where = None },
+                  P_rows rows ) )
         | Protocol.Dataset { dataset; ids } ->
           ( "score_ids",
-            Ok ({ bk_model = id; bk_dataset = Some dataset }, P_ids ids) )
+            Ok
+              ( { bk_model = id; bk_dataset = Some dataset; bk_where = None },
+                P_ids ids ) )
+        | Protocol.Dataset_where { dataset; where } ->
+          (* the canonical predicate string is the fusion key: equal
+             filters batch into one mask + select_rows + score *)
+          ( "score_where",
+            Ok
+              ( { bk_model = id;
+                  bk_dataset = Some dataset;
+                  bk_where = Some (Pred.to_string where)
+                },
+                P_where where ) )
       in
       match validated with
       | Error msg -> err "bad_request" msg

@@ -421,6 +421,25 @@ let gather_rows m idx =
   done ;
   check { rows = n; cols = m.cols; row_ptr; col_idx; values }
 
+(* Select columns [idx.(j)] of [m], sparse-preserving: the projection
+   half of the relational planner's attribute-part pruning. Duplicate
+   selections are allowed; entries stay sorted because we emit them in
+   output-column order per row. *)
+let select_cols m idx =
+  let k = Array.length idx in
+  (* reverse map: source column -> list of output positions *)
+  let dests = Array.make m.cols [] in
+  Array.iteri
+    (fun out src ->
+      if src < 0 || src >= m.cols then invalid_arg "Csr.select_cols: bad index" ;
+      dests.(src) <- out :: dests.(src))
+    idx ;
+  let triplets = ref [] in
+  iter_nz
+    (fun i j v -> List.iter (fun out -> triplets := (i, out, v) :: !triplets) dests.(j))
+    m ;
+  of_triplets ~rows:m.rows ~cols:k !triplets
+
 (* Contiguous row slice [lo, hi) — O(rows + nnz of slice). *)
 let sub_rows m ~lo ~hi =
   if lo < 0 || hi > m.rows || lo > hi then invalid_arg "Csr.sub_rows" ;

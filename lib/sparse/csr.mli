@@ -50,6 +50,10 @@ val gather_rows : t -> int array -> t
 (** [gather_rows m idx] selects rows [idx.(i)] — the sparse row-gather
     behind [K·R]. *)
 
+val select_cols : t -> int array -> t
+(** [select_cols m idx] keeps columns [idx.(j)] in [idx] order,
+    sparse-preserving — relational projection over a base table. *)
+
 val sub_rows : t -> lo:int -> hi:int -> t
 (** Contiguous row slice [lo, hi); O(rows + nnz of slice). *)
 

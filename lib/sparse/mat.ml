@@ -151,6 +151,20 @@ let sub_cols m ~lo ~hi =
   | D d -> D (Dense.sub_cols d ~lo ~hi)
   | S _ -> D (Dense.sub_cols (dense m) ~lo ~hi)
 
+(* Column gather by index (representation-preserving): projection over a
+   base matrix, keeping the selected columns in [idx] order. *)
+let select_cols m idx =
+  match m with
+  | D d ->
+    let r = Dense.rows d in
+    Array.iter
+      (fun j ->
+        if j < 0 || j >= Dense.cols d then invalid_arg "Mat.select_cols: bad index")
+      idx ;
+    Flops.add (r * Array.length idx) ;
+    D (Dense.init r (Array.length idx) (fun i j -> Dense.unsafe_get d i idx.(j)))
+  | S c -> S (Csr.select_cols c idx)
+
 let approx_equal ?(tol = 1e-9) a b =
   rows a = rows b && cols a = cols b
   && Dense.max_abs_diff (dense a) (dense b) <= tol

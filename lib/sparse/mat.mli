@@ -82,6 +82,10 @@ val gather_rows : t -> int array -> t
 val sub_rows : t -> lo:int -> hi:int -> t
 val sub_cols : t -> lo:int -> hi:int -> t
 
+val select_cols : t -> int array -> t
+(** Column gather by index, representation-preserving — relational
+    projection over a base matrix. *)
+
 val col_scatter : t -> mapping:int array -> ncols:int -> Dense.t
 (** [M·K] for an indicator over [M]'s columns (DMM building block). *)
 

@@ -82,6 +82,39 @@ let () =
   | Ok preds ->
     let direct = Artifact.score_normalized artifact (Normalized.select_rows t ids) in
     if preds <> direct then fail "id predictions differ from direct scoring") ;
+  (* score_where over the wire: the server masks + select_rows + scores
+     the whole segment as one factorized plan; predictions must be
+     bitwise-identical both to score_ids with client-computed mask ids
+     and to direct in-process scoring *)
+  let pred =
+    match Pred.parse "c0 >= 0.5 && c3 < 0.9" with
+    | Ok p -> p
+    | Error msg -> fail "where predicate parse: %s" msg
+  in
+  (match Client.score_where c ~model:"smoke" ~dataset:ds_dir pred with
+  | Error (code, msg) -> fail "score where: [%s] %s" code msg
+  | Ok preds ->
+    let ids = Relalg.mask t pred in
+    if ids = [||] then fail "smoke predicate selected no rows" ;
+    (match Client.score_ids c ~model:"smoke" ~dataset:ds_dir ids with
+    | Error (code, msg) -> fail "score ids (where baseline): [%s] %s" code msg
+    | Ok by_ids ->
+      if preds <> by_ids then
+        fail "where predictions differ from score_ids over the mask") ;
+    let direct =
+      Artifact.score_normalized artifact (Normalized.select_rows t ids)
+    in
+    if preds <> direct then fail "where predictions differ from direct scoring") ;
+  (* an unknown predicate column is a per-request protocol error *)
+  (match
+     Client.score_where c ~model:"smoke" ~dataset:ds_dir
+       (match Pred.parse "nope > 0" with
+       | Ok p -> p
+       | Error msg -> fail "predicate parse: %s" msg)
+   with
+  | Error ("rejected", _) -> ()
+  | Ok _ -> fail "unknown-column predicate was scored"
+  | Error (code, msg) -> fail "unknown column: wrong error [%s] %s" code msg) ;
   (* errors come back as protocol errors, not hangs *)
   (match Client.score_ids c ~model:"smoke" ~dataset:ds_dir [| 100000 |] with
   | Error ("rejected", _) -> ()

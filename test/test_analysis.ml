@@ -26,6 +26,11 @@ let with_lockdep ?(on = true) f =
 
 let codes ds = List.map (fun (d : Diag.t) -> Diag.code_name d.Diag.code) ds
 
+let has_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
 let find_code c ds =
   match
     List.find_opt (fun (d : Diag.t) -> Diag.code_name d.Diag.code = c) ds
@@ -252,7 +257,8 @@ let lint_fixture ~robustness ~serving ~sources =
 let base_cfg root =
   { Lint.root;
     protocol_ops = [ "ping"; "score" ];
-    catalogues = [ ("Check", [ "E001" ]); ("Analysis", [ "E101" ]) ]
+    catalogues = [ ("Check", [ "E001" ]); ("Analysis", [ "E101" ]) ];
+    relational_nodes = []
   }
 
 let fault_call name = Printf.sprintf "let f () = Fault.point %S\n" name
@@ -326,6 +332,54 @@ let test_lint_raw_primitives () =
          && String.sub d.Diag.where 0 13 = "lib/la/bad.ml")
        e204)
 
+let rewrite_rules_section =
+  "# Rules\n\n## Relational operators\n\n| node | rewrite |\n|---|---|\n\
+   | `Filter` | masks + select_rows |\n| `Project` | part pruning |\n"
+
+let test_lint_relational_nodes_clean () =
+  let root = clean_fixture () in
+  write_file (Filename.concat root "docs/REWRITE_RULES.md") rewrite_rules_section ;
+  let cfg =
+    { (base_cfg root) with Lint.relational_nodes = [ "Filter"; "Project" ] }
+  in
+  Alcotest.(check (list string)) "documented nodes are clean" []
+    (codes (Lint.run cfg))
+
+let test_lint_relational_node_undocumented () =
+  let root = clean_fixture () in
+  write_file (Filename.concat root "docs/REWRITE_RULES.md") rewrite_rules_section ;
+  let cfg =
+    { (base_cfg root) with
+      Lint.relational_nodes = [ "Filter"; "Project"; "Group_agg" ]
+    }
+  in
+  let d = find_code "E206" (Lint.run cfg) in
+  Alcotest.(check bool) "names the missing node" true
+    (has_substring d.Diag.message "Group_agg")
+
+let test_lint_relational_node_phantom () =
+  let root = clean_fixture () in
+  write_file
+    (Filename.concat root "docs/REWRITE_RULES.md")
+    (rewrite_rules_section ^ "| `Ghost` | does not exist |\n") ;
+  let cfg =
+    { (base_cfg root) with Lint.relational_nodes = [ "Filter"; "Project" ] }
+  in
+  let d = find_code "E206" (Lint.run cfg) in
+  Alcotest.(check bool) "names the phantom node" true
+    (has_substring d.Diag.message "Ghost")
+
+let test_lint_relational_section_missing () =
+  let root = clean_fixture () in
+  write_file
+    (Filename.concat root "docs/REWRITE_RULES.md")
+    "# Rules\n\n## Multiplication\n" ;
+  let cfg = { (base_cfg root) with Lint.relational_nodes = [ "Filter" ] } in
+  ignore (find_code "E206" (Lint.run cfg)) ;
+  (* [] disables the rule: the same tree is clean without nodes *)
+  Alcotest.(check (list string)) "empty node list disables E206" []
+    (codes (Lint.run (base_cfg root)))
+
 let test_lint_duplicate_codes () =
   let root = clean_fixture () in
   let cfg =
@@ -363,5 +417,13 @@ let () =
             test_lint_undocumented_op;
           Alcotest.test_case "raw primitives" `Quick test_lint_raw_primitives;
           Alcotest.test_case "duplicate diagnostic codes" `Quick
-            test_lint_duplicate_codes ] )
+            test_lint_duplicate_codes;
+          Alcotest.test_case "relational nodes documented" `Quick
+            test_lint_relational_nodes_clean;
+          Alcotest.test_case "undocumented relational node" `Quick
+            test_lint_relational_node_undocumented;
+          Alcotest.test_case "phantom relational node" `Quick
+            test_lint_relational_node_phantom;
+          Alcotest.test_case "missing relational section" `Quick
+            test_lint_relational_section_missing ] )
     ]

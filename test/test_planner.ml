@@ -1,0 +1,285 @@
+(* Planner property suite: the fused relational-LA pipeline. Predicates
+   round-trip through their canonical string (the serving tier's batch
+   fusion key); the Filter → select_rows pushdown agrees with the
+   materialize-then-filter baseline — bitwise where both arms gather
+   the same floats (masks, filtered materializations, the factorized
+   kernels over filter vs mask + select_rows), to tight tolerance
+   across the factorized/materialized kernel boundary (different
+   accumulation orders); projection and group-by agree with their
+   [_mat] twins; the structural rewrites fire (filter fusion,
+   projection collapse, selection below projection, σᵀσ → masked
+   crossprod); the relational diagnostics trigger; and a plan file
+   with a predicate round-trips parse → check → optimize → explain
+   with the pushdown narrated. Registered under @parcheck at 1 and 4
+   domains: masks, gathers, and the kernels they feed must be
+   thread-count-invariant. *)
+
+open La
+open Sparse
+open Morpheus
+open Test_support
+
+let qc = QCheck_alcotest.to_alcotest
+
+let seed_gen = QCheck.make ~print:string_of_int QCheck.Gen.(int_range 0 100_000)
+
+let shape_of_seed seed = List.nth Gen.shapes (seed mod 4)
+
+(* naive substring test (avoid extra library deps) *)
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  m = 0 || at 0
+
+(* Both arms must gather the same floats: exact equality, not approx. *)
+let bits_equal a b = Dense.dims a = Dense.dims b && Dense.max_abs_diff a b = 0.0
+
+let gather_rows m ids =
+  Dense.of_arrays
+    (Array.map (fun i -> Array.init (Dense.cols m) (Dense.get m i)) ids)
+
+(* Random predicate over the positional names [c0 … c{d-1}]: constants
+   drawn from the bulk of the data distribution so the whole
+   selectivity range is exercised, including empty and full masks. *)
+let rec gen_pred rng ~d depth =
+  if depth <= 0 || Rng.int rng 3 = 0 then
+    let col = Printf.sprintf "c%d" (Rng.int rng d) in
+    let cmp =
+      match Rng.int rng 6 with
+      | 0 -> Pred.Eq
+      | 1 -> Pred.Ne
+      | 2 -> Pred.Lt
+      | 3 -> Pred.Le
+      | 4 -> Pred.Gt
+      | _ -> Pred.Ge
+    in
+    Pred.Cmp (col, cmp, Rng.uniform rng ~lo:(-1.5) ~hi:1.5)
+  else
+    match Rng.int rng 3 with
+    | 0 -> Pred.And (gen_pred rng ~d (depth - 1), gen_pred rng ~d (depth - 1))
+    | 1 -> Pred.Or (gen_pred rng ~d (depth - 1), gen_pred rng ~d (depth - 1))
+    | _ -> Pred.Not (gen_pred rng ~d (depth - 1))
+
+let case seed =
+  let t = Gen.normalized ~seed (shape_of_seed seed) in
+  let p = gen_pred (Rng.of_int (seed + 13)) ~d:(Normalized.cols t) 3 in
+  (t, p)
+
+(* ---- the canonical string is a faithful key ---- *)
+
+let prop_pred_roundtrip =
+  QCheck.Test.make ~name:"pred parse/print round-trip" ~count:200 seed_gen
+    (fun seed ->
+      let p = gen_pred (Rng.of_int seed) ~d:6 4 in
+      let s = Pred.to_string p in
+      match Pred.parse s with
+      | Error _ -> false
+      | Ok q -> Pred.equal p q && Pred.to_string q = s)
+
+(* ---- pushdown ≡ materialize-then-filter ---- *)
+
+let prop_mask_agree =
+  QCheck.Test.make ~name:"mask = mask_mat over materialization" ~count:100
+    seed_gen (fun seed ->
+      let t, p = case seed in
+      Relalg.mask t p = Relalg.mask_mat (Materialize.to_mat t) p)
+
+let prop_filter_bitwise =
+  QCheck.Test.make ~name:"filter materializes bitwise = row gather" ~count:100
+    seed_gen (fun seed ->
+      let t, p = case seed in
+      let ids = Relalg.mask t p in
+      if Array.length ids = 0 then true
+      else
+        bits_equal
+          (Materialize.to_dense (Relalg.filter t p))
+          (gather_rows (Materialize.to_dense t) ids))
+
+let prop_crossprod_pushdown =
+  QCheck.Test.make ~name:"masked crossprod: plan, kernel, baseline" ~count:60
+    seed_gen (fun seed ->
+      let t, p = case seed in
+      let leaf = Expr.normalized t in
+      let fe = Expr.filter p leaf in
+      let e = Expr.(tr fe *@ fe) in
+      let opt = Expr.optimize (Expr.simplify e) in
+      let structural =
+        match opt with Ast.Crossprod (Ast.Filter _) -> true | _ -> false
+      in
+      let ids = Relalg.mask t p in
+      structural
+      && (Array.length ids = 0
+         ||
+         let push = Rewrite.crossprod (Relalg.filter t p) in
+         (* filter is mask + select_rows and nothing else: same kernel
+            over the composed selection is bitwise-identical *)
+         bits_equal push (Rewrite.crossprod (Normalized.select_rows t ids))
+         (* the optimized plan evaluates to the same factorized result *)
+         && bits_equal push (Expr.eval_dense opt)
+         (* cross the kernel boundary: materialize-then-filter baseline *)
+         && Dense.approx_equal ~tol:1e-8 push
+              (Mat.crossprod (Relalg.filter_mat (Materialize.to_mat t) p))))
+
+let prop_scoring_pushdown =
+  QCheck.Test.make ~name:"masked scoring: LMM over filter" ~count:60 seed_gen
+    (fun seed ->
+      let t, p = case seed in
+      let ids = Relalg.mask t p in
+      if Array.length ids = 0 then true
+      else
+        let w = Dense.gaussian ~rng:(Rng.of_int (seed + 29)) (Normalized.cols t) 1 in
+        let push = Rewrite.lmm (Relalg.filter t p) w in
+        bits_equal push (Rewrite.lmm (Normalized.select_rows t ids) w)
+        && Dense.approx_equal ~tol:1e-8 push
+             (Mat.mm (Relalg.filter_mat (Materialize.to_mat t) p) w))
+
+let prop_project_pushdown =
+  QCheck.Test.make ~name:"project = column gather (part pruning)" ~count:100
+    seed_gen (fun seed ->
+      let t = Gen.normalized ~seed (shape_of_seed seed) in
+      let d = Normalized.cols t in
+      let rng = Rng.of_int (seed + 37) in
+      let keep = List.filter (fun _ -> Rng.bool rng) (List.init d Fun.id) in
+      let keep = if keep = [] then [ Rng.int rng d ] else keep in
+      let cols = List.map (Printf.sprintf "c%d") keep in
+      let dense = Materialize.to_dense t in
+      let baseline =
+        Dense.init (Dense.rows dense) (List.length keep) (fun i j ->
+            Dense.get dense i (List.nth keep j))
+      in
+      bits_equal (Materialize.to_dense (Relalg.project t cols)) baseline
+      && bits_equal
+           (Mat.dense (Relalg.project_mat (Materialize.to_mat t) cols))
+           baseline)
+
+let prop_group_agg =
+  QCheck.Test.make ~name:"group_agg = group_agg_mat" ~count:60 seed_gen
+    (fun seed ->
+      let t = Gen.normalized ~seed (shape_of_seed seed) in
+      let keys = [ "c0" ] in
+      List.for_all
+        (fun agg ->
+          Dense.approx_equal ~tol:1e-8
+            (Relalg.group_agg t ~keys agg)
+            (Relalg.group_agg_mat (Materialize.to_mat t) ~keys agg))
+        [ Relalg.Agg_sum; Relalg.Agg_mean; Relalg.Agg_count ])
+
+(* ---- structural rewrites ---- *)
+
+let p0 = Pred.Cmp ("c0", Pred.Ge, 0.25)
+let q0 = Pred.Cmp ("c1", Pred.Lt, 1.0)
+
+let check_ast name expected got =
+  Alcotest.(check bool) name true (Ast.equal expected got)
+
+let test_simplify_filter_fusion () =
+  let x = Expr.var "T" in
+  check_ast "σ_p(σ_q(T)) → σ_{p∧q}(T)"
+    (Expr.filter (Pred.And (p0, q0)) x)
+    (Expr.simplify (Expr.filter p0 (Expr.filter q0 x)))
+
+let test_simplify_project_collapse () =
+  let x = Expr.var "T" in
+  check_ast "π_a(π_ab(T)) → π_a(T)"
+    (Expr.project [ "c0" ] x)
+    (Expr.simplify (Expr.project [ "c0" ] (Expr.project [ "c0"; "c1" ] x)))
+
+let test_simplify_filter_below_project () =
+  let x = Expr.var "T" in
+  check_ast "σ_p(π(T)) → π(σ_p(T)) when p's columns are kept"
+    (Expr.project [ "c0"; "c1" ] (Expr.filter p0 x))
+    (Expr.simplify (Expr.filter p0 (Expr.project [ "c0"; "c1" ] x)))
+
+let test_optimize_masked_crossprod () =
+  let fe = Expr.filter p0 (Expr.var "T") in
+  let opt = Expr.optimize (Expr.simplify Expr.(tr fe *@ fe)) in
+  match opt with
+  | Ast.Crossprod (Ast.Filter (p, Ast.Var "T")) ->
+    Alcotest.(check bool) "predicate preserved" true (Pred.equal p p0)
+  | _ -> Alcotest.failf "expected Crossprod (Filter _), got %s" (Ast.to_string opt)
+
+(* ---- relational diagnostics ---- *)
+
+let codes_of report =
+  List.map (fun d -> Check.code_name d.Check.code) report.Check.diagnostics
+
+let norm_env () =
+  [ ("T", Check.normalized_value ~ns:100 ~ds:2 ~nr:10 ~dr:3 ()) ]
+
+let test_e005_unknown_column () =
+  let e = Expr.filter (Pred.Cmp ("nope", Pred.Gt, 0.0)) (Expr.var "T") in
+  let report = Check.analyze_abstract ~env:(norm_env ()) e in
+  Alcotest.(check bool) "E005 diagnosed" true (List.mem "E005" (codes_of report)) ;
+  Alcotest.(check bool) "is error" false (Check.is_ok report)
+
+let test_e006_scalar_operand () =
+  let e = Expr.filter p0 (Expr.scalar 1.0) in
+  let report = Check.analyze_abstract e in
+  Alcotest.(check bool) "E006 diagnosed" true (List.mem "E006" (codes_of report))
+
+let test_w004_materialized_filter () =
+  let e = Expr.filter p0 (Expr.var "M") in
+  let report =
+    Check.analyze_abstract ~env:[ ("M", Check.dense_value 10 3) ] e
+  in
+  Alcotest.(check bool) "W004 diagnosed" true (List.mem "W004" (codes_of report)) ;
+  Alcotest.(check bool) "warning only" true (Check.is_ok report)
+
+(* ---- plan-file pipeline: parse → check → optimize → explain ---- *)
+
+let test_plan_roundtrip () =
+  let path = Filename.temp_file "planner" ".plan" in
+  let oc = open_out path in
+  output_string oc
+    "normalized T ns=1000 ds=2 nr=50 dr=3 cols=age,income,region,price,stock\n\
+     let seg = filter(T, age >= 30 && price < 2)\n\
+     check seg' %*% seg\n" ;
+  close_out oc ;
+  let plan =
+    match Plan.parse_file path with
+    | Ok plan -> plan
+    | Error msg -> Alcotest.failf "plan parse: %s" msg
+  in
+  Sys.remove path ;
+  let env = Plan.env plan in
+  let _, e = List.hd (Plan.checks plan) in
+  Alcotest.(check bool) "as-written plan checks clean" true
+    (Check.is_ok (Check.analyze_abstract ~env e)) ;
+  let opt = Expr.optimize (Expr.simplify e) in
+  (match opt with
+  | Ast.Crossprod (Ast.Filter _) -> ()
+  | _ -> Alcotest.failf "expected masked crossprod, got %s" (Ast.to_string opt)) ;
+  let desc = Explain.describe_plan (Check.analyze_abstract ~env opt) in
+  Alcotest.(check bool) "explain narrates the pushdown" true
+    (contains ~sub:"pushed below join" desc) ;
+  (* the printed plan re-parses to the same tree *)
+  match Plan.parse_expr (Ast.to_string e) with
+  | Ok e2 -> Alcotest.(check bool) "print/parse round-trip" true (Ast.equal e e2)
+  | Error msg -> Alcotest.failf "re-parse of printed plan: %s" msg
+
+let () =
+  Alcotest.run "planner"
+    [ ("pred", [ qc prop_pred_roundtrip ]);
+      ( "pushdown",
+        [ qc prop_mask_agree;
+          qc prop_filter_bitwise;
+          qc prop_crossprod_pushdown;
+          qc prop_scoring_pushdown;
+          qc prop_project_pushdown;
+          qc prop_group_agg ] );
+      ( "rewrite",
+        [ Alcotest.test_case "filter fusion" `Quick test_simplify_filter_fusion;
+          Alcotest.test_case "projection collapse" `Quick
+            test_simplify_project_collapse;
+          Alcotest.test_case "selection below projection" `Quick
+            test_simplify_filter_below_project;
+          Alcotest.test_case "sigma'sigma -> masked crossprod" `Quick
+            test_optimize_masked_crossprod ] );
+      ( "diagnostics",
+        [ Alcotest.test_case "E005 unknown column" `Quick test_e005_unknown_column;
+          Alcotest.test_case "E006 scalar operand" `Quick test_e006_scalar_operand;
+          Alcotest.test_case "W004 materialized filter" `Quick
+            test_w004_materialized_filter ] );
+      ( "plan",
+        [ Alcotest.test_case "parse/check/optimize/explain" `Quick
+            test_plan_roundtrip ] ) ]
