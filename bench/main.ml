@@ -36,6 +36,8 @@ let experiments : (string * string * (Harness.config -> unit)) list =
     ("ablate", "Ablations: crossprod method, LMM order, kernels, policy", Ablate.run);
     ("scaling", "Parallel scaling: Exec domains vs wall-clock, JSON report",
      Scaling.run);
+    ("kernels", "Dense kernels: naive vs cache-blocked/tiled, JSON report",
+     Kernels.run);
     ("planner", "Planner: pushed-down selection vs materialize-then-filter, JSON report",
      Planner_bench.run);
     ("memo", "Memoization + in-place kernels: per-iteration time/alloc, JSON report",

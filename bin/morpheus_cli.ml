@@ -936,13 +936,61 @@ let lint_cmd =
              modules, and diagnostic-code uniqueness across catalogues.")
     Term.(const lint $ root)
 
+(* ---- tune: sweep tile profiles for the blocked dense kernels ---- *)
+
+let tune quick no_save =
+  with_runtime_errors @@ fun () ->
+  (match Tune.path () with
+  | Some p -> Fmt.pr "profile file: %s@." p
+  | None ->
+    Fmt.pr "profile file: none (set MORPHEUS_TUNE_FILE or XDG_CACHE_HOME)@.") ;
+  let winner, table = Blas.autotune ~quick ~now:Workload.Timing.now () in
+  Fmt.pr "@[<v>%-44s %12s@]@." "candidate" "seconds" ;
+  List.iter
+    (fun ((p : Tune.profile), dt) ->
+      let is_winner =
+        p.mc = winner.Tune.mc && p.kc = winner.Tune.kc && p.nc = winner.Tune.nc
+        && p.mr = winner.Tune.mr && p.nr = winner.Tune.nr
+      in
+      Fmt.pr "%-44s %12.4f%s@."
+        (Printf.sprintf "mc=%d kc=%d nc=%d mr=%d nr=%d" p.mc p.kc p.nc p.mr
+           p.nr)
+        dt
+        (if is_winner then "  <- winner" else ""))
+    table ;
+  Fmt.pr "winner: %s@." (Tune.describe winner) ;
+  if no_save then Fmt.pr "not saved (--no-save)@."
+  else
+    match Tune.save winner with
+    | Some path -> Fmt.pr "saved %s@." path
+    | None -> Fmt.epr "warning: no writable profile path; profile not saved@."
+
+let tune_cmd =
+  let quick =
+    Arg.(value & flag & info [ "quick" ]
+           ~doc:"Sweep a reduced candidate set on a smaller workload \
+                 (seconds instead of minutes; less precise).")
+  in
+  let no_save =
+    Arg.(value & flag & info [ "no-save" ]
+           ~doc:"Print the timing table without persisting the winner.")
+  in
+  Cmd.v
+    (cmd_info "tune"
+       ~doc:"Time candidate cache-blocking tile profiles for the dense \
+             kernels and persist the winner (see MORPHEUS_TUNE in \
+             docs/USAGE.md). Tile sizes are performance-only: every \
+             profile produces bitwise-identical results.")
+    Term.(const tune $ quick $ no_save)
+
 let () =
   let doc = "factorized linear algebra over normalized data (Morpheus)" in
   let code =
     Cmd.eval ~term_err:2
       (Cmd.group (Cmd.info "morpheus" ~version ~doc)
          [ generate_cmd; info_cmd; train_cmd; cv_cmd; pca_cmd; explain_cmd;
-           check_cmd; export_cmd; serve_cmd; score_cmd; models_cmd; lint_cmd ])
+           check_cmd; export_cmd; serve_cmd; score_cmd; models_cmd; lint_cmd;
+           tune_cmd ])
   in
   (* cmdliner reports command-line misuse as its fixed 124; fold it into
      the documented usage-error code *)

@@ -21,11 +21,12 @@ type code =
   | E204  (* raw primitive outside its sanctioned module *)
   | E205  (* duplicate diagnostic code across catalogues *)
   | E206  (* relational Ast node drift between Ast and the docs *)
+  | E207  (* unsafe array indexing outside the sanctioned kernels *)
 
-let all_codes = [ E101; E102; W101; E201; E202; E203; E204; E205; E206 ]
+let all_codes = [ E101; E102; W101; E201; E202; E203; E204; E205; E206; E207 ]
 
 let severity_of = function
-  | E101 | E102 | E201 | E202 | E203 | E204 | E205 | E206 -> Error
+  | E101 | E102 | E201 | E202 | E203 | E204 | E205 | E206 | E207 -> Error
   | W101 -> Warning
 
 let code_name = function
@@ -38,6 +39,7 @@ let code_name = function
   | E204 -> "E204"
   | E205 -> "E205"
   | E206 -> "E206"
+  | E207 -> "E207"
 
 let code_doc = function
   | E101 -> "lock-order inversion (potential deadlock)"
@@ -51,6 +53,9 @@ let code_doc = function
   | E206 ->
     "relational Ast node drift between Ast.relational_node_names and \
      docs/REWRITE_RULES.md"
+  | E207 ->
+    "Array.unsafe_get/unsafe_set outside the sanctioned kernel modules \
+     of docs/ANALYSIS.md"
 
 type t = {
   code : code;

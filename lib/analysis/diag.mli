@@ -27,11 +27,26 @@
     - [E206] relational-node drift: every constructor named by
       [Ast.relational_node_names] must appear in the "Relational
       operators" section of [docs/REWRITE_RULES.md], and every node
-      that section documents must exist in the Ast. *)
+      that section documents must exist in the Ast.
+    - [E207] unsafe-indexing discipline: [Array.unsafe_get]/
+      [Array.unsafe_set] may appear only in the kernel modules listed
+      in the "Sanctioned unsafe-indexing modules" table of
+      [docs/ANALYSIS.md], and every listed module must still use them
+      (both directions, like E201/E202). *)
 
 type severity = Error | Warning
 
-type code = E101 | E102 | W101 | E201 | E202 | E203 | E204 | E205 | E206
+type code =
+  | E101
+  | E102
+  | W101
+  | E201
+  | E202
+  | E203
+  | E204
+  | E205
+  | E206
+  | E207
 
 val all_codes : code list
 (** Every code this catalogue defines — what lint rule E205 compares

@@ -14,6 +14,9 @@
    - E204       no raw Mutex/Condition, wall-clock, or
                 Random.self_init outside the sanctioned modules.
    - E205       diagnostic codes are unique across catalogues.
+   - E207       Array.unsafe_get/unsafe_set only in the kernel modules
+                the docs/ANALYSIS.md table sanctions — and every
+                sanctioned module still uses them (both directions).
 
    The lint knows nothing about the modules above it: the CLI passes
    in the protocol-op list and the diagnostic catalogues, so this
@@ -479,6 +482,118 @@ let check_relational_nodes ~root ~nodes =
     end
   end
 
+(* ---- rule E207: unsafe indexing outside the sanctioned kernels ---- *)
+
+let unsafe_heading = "## Sanctioned unsafe-indexing modules"
+let unsafe_tokens = [ "Array.unsafe_get"; "Array.unsafe_set" ]
+
+(* The catalogue is the backticked root-relative `.ml` paths on the
+   `|`-table rows of the dedicated docs/ANALYSIS.md section — same
+   table-only scope as the ROBUSTNESS and REWRITE_RULES scans. *)
+let doc_unsafe_modules doc =
+  let is_module s =
+    Filename.check_suffix s ".ml"
+    && String.for_all
+         (function
+           | 'a' .. 'z' | '0' .. '9' | '_' | '.' | '/' -> true
+           | _ -> false)
+         s
+  in
+  let out = ref [] and in_section = ref false in
+  List.iteri
+    (fun k line ->
+      if String.starts_with ~prefix:unsafe_heading line then in_section := true
+      else if String.starts_with ~prefix:"## " line then in_section := false
+      else if !in_section && String.starts_with ~prefix:"|" line then begin
+        let n = String.length line in
+        let i = ref 0 in
+        while !i < n do
+          if line.[!i] = '`' then begin
+            let j = ref (!i + 1) in
+            while !j < n && line.[!j] <> '`' do
+              incr j
+            done ;
+            if !j < n then begin
+              let tok = String.sub line (!i + 1) (!j - !i - 1) in
+              if is_module tok then out := (tok, k + 1) :: !out ;
+              i := !j + 1
+            end
+            else i := !j
+          end
+          else incr i
+        done
+      end)
+    (String.split_on_char '\n' doc) ;
+  List.rev !out
+
+(* Both directions, like E201/E202: every raw [Array.unsafe_get/set]
+   token (comment- and string-stripped text) must sit in a module the
+   table sanctions, and every sanctioned module must still earn its row
+   — a file that dropped its unsafe indexing loses the exemption
+   rather than silently keeping a blanket license. *)
+let check_unsafe_indexing ~root ~sources_bare =
+  let doc_rel = "docs/ANALYSIS.md" in
+  let doc_path = Filename.concat root doc_rel in
+  if not (Sys.file_exists doc_path) then
+    [ Diag.make Diag.E207 ~where:doc_rel
+        "unsafe-indexing catalogue %s is missing" doc_rel ]
+  else begin
+    let doc = read_file doc_path in
+    let has_section =
+      List.exists
+        (String.starts_with ~prefix:unsafe_heading)
+        (String.split_on_char '\n' doc)
+    in
+    if not has_section then
+      [ Diag.make Diag.E207 ~where:doc_rel
+          "%s has no %S table sanctioning the unsafe-indexing kernels"
+          doc_rel unsafe_heading ]
+    else begin
+      let sanctioned = doc_unsafe_modules doc in
+      let offenders =
+        List.concat_map
+          (fun (rel, text) ->
+            if List.mem_assoc rel sanctioned then []
+            else
+              List.concat_map
+                (fun tok ->
+                  List.map
+                    (fun off ->
+                      Diag.make Diag.E207
+                        ~where:(Printf.sprintf "%s:%d" rel (line_at text off))
+                        "raw %s outside the sanctioned kernel modules of %s \
+                         (bounds-checked indexing, or earn a table row)"
+                        tok doc_rel)
+                    (token_offsets text tok))
+                unsafe_tokens)
+          sources_bare
+      in
+      let stale =
+        List.filter_map
+          (fun (m, line) ->
+            let where = Printf.sprintf "%s:%d" doc_rel line in
+            match List.assoc_opt m sources_bare with
+            | None ->
+              Some
+                (Diag.make Diag.E207 ~where
+                   "sanctioned module %s does not exist under lib/ or bin/" m)
+            | Some text ->
+              if
+                List.exists (fun tok -> token_offsets text tok <> [])
+                  unsafe_tokens
+              then None
+              else
+                Some
+                  (Diag.make Diag.E207 ~where
+                     "sanctioned module %s no longer uses unsafe indexing \
+                      (drop its table row)"
+                     m))
+          sanctioned
+      in
+      offenders @ stale
+    end
+  end
+
 (* ---- rule E205: diagnostic-code uniqueness across catalogues ---- *)
 
 let check_codes ~catalogues =
@@ -514,5 +629,6 @@ let run cfg =
   check_fault_points ~root:cfg.root ~sources
   @ check_protocol_ops ~root:cfg.root ~ops:cfg.protocol_ops
   @ check_primitives ~sources_bare
+  @ check_unsafe_indexing ~root:cfg.root ~sources_bare
   @ check_codes ~catalogues:cfg.catalogues
   @ check_relational_nodes ~root:cfg.root ~nodes:cfg.relational_nodes

@@ -13,6 +13,10 @@
     - E205 — diagnostic-code uniqueness across catalogues.
     - E206 — relational Ast nodes vs the "Relational operators"
       section of [docs/REWRITE_RULES.md], both directions.
+    - E207 — [Array.unsafe_get]/[Array.unsafe_set] only inside the
+      kernel modules the "Sanctioned unsafe-indexing modules" table of
+      [docs/ANALYSIS.md] lists, and every listed module still uses
+      them, both directions.
 
     The lint sits at the bottom of the library order, next to {!Sync}:
     facts owned by higher layers (the protocol-op list, the diagnostic

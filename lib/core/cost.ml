@@ -104,6 +104,61 @@ let factorized ?(threads = 1) dims op =
 let speedup ?(threads = 1) dims op =
   standard ~threads dims op /. factorized ~threads dims op
 
+(* ---- measured calibration (La.Tune profile → wall-clock model) ----
+
+   The arithmetic expressions above compare flop counts; two measured
+   host constants turn them into predicted seconds. [flops_per_sec] is
+   the tuned kernels' gemm throughput, [dispatch_overhead] the cost of
+   waking the domain pool for one kernel batch — both recorded by the
+   autotune sweep (La.Tune / `morpheus tune`). A 0.0 sentinel means
+   "unmeasured": predictions then stay in flop units, so the decision
+   rule's behavior without a tuned profile is exactly the historical
+   flops-ratio rule. *)
+
+type calibration = { flops_per_sec : float; dispatch_overhead : float }
+
+let uncalibrated = { flops_per_sec = 0.0; dispatch_overhead = 0.0 }
+
+let calibration = ref uncalibrated
+
+let set_calibration c =
+  calibration :=
+    { flops_per_sec =
+        (if Float.is_finite c.flops_per_sec then max 0.0 c.flops_per_sec
+         else 0.0);
+      dispatch_overhead =
+        (if Float.is_finite c.dispatch_overhead then
+           max 0.0 c.dispatch_overhead
+         else 0.0) }
+
+let get_calibration () = !calibration
+
+(* Kernel batches the operator dispatches through the pool: the
+   standard path runs one materialized kernel; the factorized rewrite
+   issues roughly one per base table plus the combining step (the
+   paper's S-part, R-part and assembly — ~3 for a two-table schema).
+   Per-invocation overhead is what makes factorization lose on tiny
+   inputs even when it saves flops. *)
+let invocations ~factorized:fzd _op = if fzd then 3.0 else 1.0
+
+let seconds ~arith ~fzd op =
+  let c = !calibration in
+  if c.flops_per_sec > 0.0 then
+    (arith /. c.flops_per_sec)
+    +. (invocations ~factorized:fzd op *. c.dispatch_overhead)
+  else arith
+
+let standard_seconds ?(threads = 1) dims op =
+  seconds ~arith:(standard ~threads dims op) ~fzd:false op
+
+let factorized_seconds ?(threads = 1) dims op =
+  seconds ~arith:(factorized ~threads dims op) ~fzd:true op
+
+(* Measured-time speed-up prediction: collapses to the flops ratio
+   when no calibration has been recorded. *)
+let speedup_measured ?(threads = 1) dims op =
+  standard_seconds ~threads dims op /. factorized_seconds ~threads dims op
+
 (* Asymptotic speed-up limits from Table 11: 1 + FR as TR → ∞ (linear
    ops), (1 + FR)² for crossprod. *)
 let limit_tuple_ratio ~feature_ratio op =

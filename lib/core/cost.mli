@@ -48,6 +48,43 @@ val speedup : ?threads:int -> dims -> op -> float
     operator the Amdahl factors cancel; the knob matters when
     comparing whole-algorithm costs mixing kernel and SVD work. *)
 
+(** {1 Measured calibration}
+
+    Two host constants recorded by the autotune sweep ({!La.Tune} /
+    [morpheus tune]) turn the flop expressions into predicted seconds.
+    With the default 0.0 sentinels ("unmeasured") every [_seconds]
+    function returns plain flop counts, so ratios — and therefore the
+    decision rule — are unchanged until a profile has been measured. *)
+
+type calibration = {
+  flops_per_sec : float;  (** tuned gemm throughput; 0 = unmeasured *)
+  dispatch_overhead : float;
+      (** seconds per kernel batch dispatched to the pool; 0 = unmeasured *)
+}
+
+val uncalibrated : calibration
+
+val set_calibration : calibration -> unit
+(** Install measured constants (negative/non-finite fields are clamped
+    to the unmeasured sentinel). *)
+
+val get_calibration : unit -> calibration
+
+val standard_seconds : ?threads:int -> dims -> op -> float
+(** Predicted wall-clock of the materialized operator: [flops/rate]
+    plus one kernel-batch dispatch. Falls back to {!standard} (flop
+    units) when uncalibrated. *)
+
+val factorized_seconds : ?threads:int -> dims -> op -> float
+(** Predicted wall-clock of the factorized operator: [flops/rate] plus
+    ~3 kernel-batch dispatches (per-table parts + assembly), which is
+    what makes factorization lose on tiny inputs even when it saves
+    flops. Falls back to {!factorized} when uncalibrated. *)
+
+val speedup_measured : ?threads:int -> dims -> op -> float
+(** [standard_seconds / factorized_seconds]; equals {!speedup} until a
+    calibration is installed. *)
+
 val limit_tuple_ratio : feature_ratio:float -> op -> float
 (** Table 11's asymptotic speed-up as TR → ∞: [1 + FR] for linear ops,
     [(1 + FR)²] for the cross-product, [14(1+FR)²/(2FR+3)] for the

@@ -49,9 +49,32 @@ let cost_dims t =
   let dr = match Normalized.ent t with Some _ -> dr | None -> dr - ds in
   { Cost.ns; ds; nr; dr }
 
+(* One-shot bridge from the autotuner: the first cost-based decision
+   copies the measured constants out of the resolved La.Tune profile
+   (written by [morpheus tune]) into Cost's calibration. An unmeasured
+   profile (the 0.0 sentinels) leaves Cost uncalibrated, which keeps
+   the historical pure flops-ratio rule. *)
+let calibration_synced = ref false
+
+let sync_calibration () =
+  if not !calibration_synced then begin
+    calibration_synced := true ;
+    let p = La.Tune.current () in
+    if p.La.Tune.flops_per_sec > 0.0 then
+      Cost.set_calibration
+        { Cost.flops_per_sec = p.La.Tune.flops_per_sec;
+          dispatch_overhead = p.La.Tune.dispatch_overhead }
+  end
+
+(* Seconds-based when a calibration has been measured (dispatch
+   overhead then penalizes the factorized path's extra kernel batches
+   on tiny inputs); identical to the historical flops-ratio rule when
+   uncalibrated. *)
 let cost_based ?(op = Cost.Lmm 1) ?(threads = 1) t =
+  sync_calibration () ;
   let dims = cost_dims t in
-  if Cost.speedup ~threads dims op > 1.0 then Factorized else Materialized
+  if Cost.speedup_measured ~threads dims op > 1.0 then Factorized
+  else Materialized
 
 let to_string = function
   | Factorized -> "factorized"

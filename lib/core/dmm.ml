@@ -19,7 +19,7 @@ open Normalized
 let accumulate_into acc gathered =
   Flops.add (Dense.numel acc) ;
   let ad = Dense.data acc and gd = Dense.data gathered in
-  Exec.parallel_for ~min_chunk:65_536 (Exec.default ()) ~lo:0
+  Exec.parallel_for ~min_chunk:(Tune.grain ()) (Exec.default ()) ~lo:0
     ~hi:(Array.length ad) (fun lo hi ->
       for i = lo to hi - 1 do
         Array.unsafe_set ad i (Array.unsafe_get ad i +. Array.unsafe_get gd i)
@@ -170,7 +170,7 @@ let gramian_nt abody bbody =
       Flops.add (na * nb) ;
       (* two-sided gather: output rows are disjoint across tasks *)
       Exec.parallel_for
-        ~min_chunk:(max 1 (65_536 / max 1 nb))
+        ~min_chunk:(max 1 (Tune.grain () / max 1 nb))
         (Exec.default ()) ~lo:0 ~hi:na
         (fun lo hi ->
           for i = lo to hi - 1 do

@@ -50,3 +50,22 @@ val gemv_into :
 (** [gemv_into a x ~y] is [y ← a·x + beta·y]. *)
 
 val dot : float array -> float array -> float
+
+(** {1 Autotuning}
+
+    The kernels read their cache-blocking tile sizes from the process
+    {!Tune} profile; tile sizes are performance-only (results are
+    bitwise-identical to {!Blas_ref} under every profile). *)
+
+val autotune :
+  ?quick:bool ->
+  ?now:(unit -> float) ->
+  unit ->
+  Tune.profile * (Tune.profile * float) list
+(** Sweep the candidate tile profiles over a fixed sequential gemm
+    workload, measure the domain-pool dispatch overhead, install the
+    winner as the process profile ({!Tune.set} — the caller persists
+    with {!Tune.save}), and return it with the full timing table
+    (profile, seconds — smaller is better). [?now] injects a wall
+    clock (default [Sys.time], CPU time — exact for the sequential
+    sweep). Backs the [morpheus tune] subcommand. *)

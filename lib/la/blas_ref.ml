@@ -1,0 +1,259 @@
+(* Reference dense kernels: the naive i-k-j triple loops the system
+   shipped with before the cache-blocked rewrite of {!Blas}. They are
+   kept verbatim as the semantic ground truth — {!Blas}'s tiled
+   kernels must be bitwise-identical to these at every shape, beta,
+   backend, domain count, and tile profile (test/test_kernels.ml, the
+   @kernelcheck alias) — and as the "naive" arm of the kernel bench
+   (BENCH_kernels.json).
+
+   Everything here mirrors the tiled module exactly: same Exec range
+   contracts (map kernels partition output rows, reductions fold the
+   canonical grid), same flop formulas, same zero-skips. Only the loop
+   order and memory traffic differ. Do not "improve" these kernels:
+   their value is being boring. *)
+
+let dim_error name a b =
+  invalid_arg
+    (Printf.sprintf "Blas_ref.%s: dim mismatch %dx%d * %dx%d" name
+       (Dense.rows a) (Dense.cols a) (Dense.rows b) (Dense.cols b))
+
+(* The historical fixed scheduling threshold (the tiled module derives
+   its own from the tuned profile; chunking never affects results). *)
+let min_rows per_row = max 1 (65_536 / max 1 per_row)
+
+let add_into acc part =
+  let ad = Dense.data acc and pd = Dense.data part in
+  for i = 0 to Array.length ad - 1 do
+    Array.unsafe_set ad i (Array.unsafe_get ad i +. Array.unsafe_get pd i)
+  done ;
+  acc
+
+let mirror_lower c d =
+  let cd = Dense.data c in
+  for i = 0 to d - 1 do
+    for j = 0 to i - 1 do
+      Array.unsafe_set cd ((i * d) + j) (Array.unsafe_get cd ((j * d) + i))
+    done
+  done
+
+let apply_beta ?exec beta c =
+  if beta = 0.0 then Dense.fill c 0.0
+  else if beta <> 1.0 then Dense.scale_into ?exec beta c ~out:c
+
+(* C ← A·B + beta·C, naive i-k-j. *)
+let gemm_into ?exec ?(beta = 0.0) a b ~c =
+  let m = Dense.rows a and ka = Dense.cols a in
+  let kb = Dense.rows b and n = Dense.cols b in
+  if ka <> kb then dim_error "gemm_into" a b ;
+  if Dense.rows c <> m || Dense.cols c <> n then
+    invalid_arg "Blas_ref.gemm_into: output dim mismatch" ;
+  apply_beta ?exec beta c ;
+  Flops.addf (2.0 *. float_of_int m *. float_of_int ka *. float_of_int n) ;
+  let ad = Dense.data a and bd = Dense.data b and cd = Dense.data c in
+  let body lo hi =
+    for i = lo to hi - 1 do
+      let abase = i * ka and cbase = i * n in
+      for k = 0 to ka - 1 do
+        let aik = Array.unsafe_get ad (abase + k) in
+        if aik <> 0.0 then begin
+          let bbase = k * n in
+          for j = 0 to n - 1 do
+            Array.unsafe_set cd (cbase + j)
+              (Array.unsafe_get cd (cbase + j)
+              +. (aik *. Array.unsafe_get bd (bbase + j)))
+          done
+        end
+      done
+    done
+  in
+  Exec.parallel_for
+    ~min_chunk:(min_rows (2 * ka * n))
+    (Exec.resolve exec) ~lo:0 ~hi:m body
+
+let gemm ?exec a b =
+  if Dense.cols a <> Dense.rows b then dim_error "gemm" a b ;
+  let c = Dense.create (Dense.rows a) (Dense.cols b) in
+  gemm_into ?exec ~beta:0.0 a b ~c ;
+  c
+
+(* C = Aᵀ · B as a reduction over A's rows. *)
+let tgemm ?exec a b =
+  let ka = Dense.rows a and m = Dense.cols a in
+  let kb = Dense.rows b and n = Dense.cols b in
+  if ka <> kb then dim_error "tgemm" a b ;
+  Flops.addf (2.0 *. float_of_int m *. float_of_int ka *. float_of_int n) ;
+  if ka = 0 then Dense.create m n
+  else begin
+    let ad = Dense.data a and bd = Dense.data b in
+    let body lo hi =
+      let c = Dense.create m n in
+      let cd = Dense.data c in
+      for k = lo to hi - 1 do
+        let abase = k * m and bbase = k * n in
+        for i = 0 to m - 1 do
+          let aki = Array.unsafe_get ad (abase + i) in
+          if aki <> 0.0 then begin
+            let cbase = i * n in
+            for j = 0 to n - 1 do
+              Array.unsafe_set cd (cbase + j)
+                (Array.unsafe_get cd (cbase + j)
+                +. (aki *. Array.unsafe_get bd (bbase + j)))
+            done
+          end
+        done
+      done ;
+      c
+    in
+    Exec.reduce (Exec.resolve exec) ~lo:0 ~hi:ka ~body ~combine:add_into
+  end
+
+(* C = A · Bᵀ. *)
+let gemm_nt ?exec a b =
+  let m = Dense.rows a and ka = Dense.cols a in
+  let n = Dense.rows b and kb = Dense.cols b in
+  if ka <> kb then dim_error "gemm_nt" a b ;
+  Flops.addf (2.0 *. float_of_int m *. float_of_int ka *. float_of_int n) ;
+  let c = Dense.create m n in
+  let ad = Dense.data a and bd = Dense.data b and cd = Dense.data c in
+  let body lo hi =
+    for i = lo to hi - 1 do
+      let abase = i * ka and cbase = i * n in
+      for j = 0 to n - 1 do
+        let bbase = j * kb in
+        let acc = ref 0.0 in
+        for k = 0 to ka - 1 do
+          acc :=
+            !acc
+            +. (Array.unsafe_get ad (abase + k)
+               *. Array.unsafe_get bd (bbase + k))
+        done ;
+        Array.unsafe_set cd (cbase + j) !acc
+      done
+    done
+  in
+  Exec.parallel_for
+    ~min_chunk:(min_rows (2 * ka * n))
+    (Exec.resolve exec) ~lo:0 ~hi:m body ;
+  c
+
+(* crossprod(A) = Aᵀ A, upper triangle then mirror. *)
+let crossprod ?exec a =
+  let n = Dense.rows a and d = Dense.cols a in
+  Flops.addf (float_of_int n *. float_of_int d *. float_of_int (d + 1)) ;
+  if n = 0 then Dense.create d d
+  else begin
+    let ad = Dense.data a in
+    let body lo hi =
+      let c = Dense.create d d in
+      let cd = Dense.data c in
+      for r = lo to hi - 1 do
+        let base = r * d in
+        for i = 0 to d - 1 do
+          let ari = Array.unsafe_get ad (base + i) in
+          if ari <> 0.0 then begin
+            let cbase = i * d in
+            for j = i to d - 1 do
+              Array.unsafe_set cd (cbase + j)
+                (Array.unsafe_get cd (cbase + j)
+                +. (ari *. Array.unsafe_get ad (base + j)))
+            done
+          end
+        done
+      done ;
+      c
+    in
+    let c = Exec.reduce (Exec.resolve exec) ~lo:0 ~hi:n ~body ~combine:add_into in
+    mirror_lower c d ;
+    c
+  end
+
+(* Aᵀ diag(w) A. *)
+let weighted_crossprod ?exec a w =
+  let n = Dense.rows a and d = Dense.cols a in
+  if Array.length w <> n then
+    invalid_arg "Blas_ref.weighted_crossprod: weight length mismatch" ;
+  Flops.addf (float_of_int n *. float_of_int d *. float_of_int (d + 2)) ;
+  if n = 0 then Dense.create d d
+  else begin
+    let ad = Dense.data a in
+    let body lo hi =
+      let c = Dense.create d d in
+      let cd = Dense.data c in
+      for r = lo to hi - 1 do
+        let base = r * d in
+        let wr = Array.unsafe_get w r in
+        if wr <> 0.0 then
+          for i = 0 to d - 1 do
+            let ari = wr *. Array.unsafe_get ad (base + i) in
+            if ari <> 0.0 then begin
+              let cbase = i * d in
+              for j = i to d - 1 do
+                Array.unsafe_set cd (cbase + j)
+                  (Array.unsafe_get cd (cbase + j)
+                  +. (ari *. Array.unsafe_get ad (base + j)))
+              done
+            end
+          done
+      done ;
+      c
+    in
+    let c = Exec.reduce (Exec.resolve exec) ~lo:0 ~hi:n ~body ~combine:add_into in
+    mirror_lower c d ;
+    c
+  end
+
+(* tcrossprod(A) = A Aᵀ. *)
+let tcrossprod ?exec a =
+  let n = Dense.rows a and d = Dense.cols a in
+  Flops.addf (float_of_int n *. float_of_int (n + 1) *. float_of_int d) ;
+  let c = Dense.create n n in
+  let ad = Dense.data a and cd = Dense.data c in
+  let body lo hi =
+    for i = lo to hi - 1 do
+      let ibase = i * d in
+      for j = i to n - 1 do
+        let jbase = j * d in
+        let acc = ref 0.0 in
+        for k = 0 to d - 1 do
+          acc :=
+            !acc
+            +. (Array.unsafe_get ad (ibase + k)
+               *. Array.unsafe_get ad (jbase + k))
+        done ;
+        Array.unsafe_set cd ((i * n) + j) !acc ;
+        Array.unsafe_set cd ((j * n) + i) !acc
+      done
+    done
+  in
+  Exec.parallel_for ~min_chunk:(min_rows (n * d)) (Exec.resolve exec) ~lo:0
+    ~hi:n body ;
+  c
+
+(* y ← A·x + beta·y. *)
+let gemv_into ?exec ?(beta = 0.0) a x ~y =
+  let m = Dense.rows a and k = Dense.cols a in
+  if Array.length x <> k then invalid_arg "Blas_ref.gemv_into: dim mismatch" ;
+  if Array.length y <> m then
+    invalid_arg "Blas_ref.gemv_into: output dim mismatch" ;
+  Flops.add (2 * m * k) ;
+  let ad = Dense.data a in
+  let body lo hi =
+    for i = lo to hi - 1 do
+      let base = i * k in
+      let acc = ref 0.0 in
+      for j = 0 to k - 1 do
+        acc := !acc +. (Array.unsafe_get ad (base + j) *. Array.unsafe_get x j)
+      done ;
+      y.(i) <-
+        (if beta = 0.0 then !acc
+         else if beta = 1.0 then y.(i) +. !acc
+         else (beta *. y.(i)) +. !acc)
+    done
+  in
+  Exec.parallel_for ~min_chunk:(min_rows (2 * k)) (Exec.resolve exec) ~lo:0
+    ~hi:m body
+
+let gemv ?exec a x =
+  let y = Array.make (Dense.rows a) 0.0 in
+  gemv_into ?exec ~beta:0.0 a x ~y ;
+  y

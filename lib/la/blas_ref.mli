@@ -1,0 +1,21 @@
+(** Naive reference kernels — the pre-blocking i-k-j triple loops,
+    frozen as ground truth. {!Blas}'s cache-blocked kernels must be
+    bitwise-identical to these at every shape, beta, backend, domain
+    count, and tile profile; test/test_kernels.ml (the [@kernelcheck]
+    alias) enforces it, and the kernel bench uses this module as the
+    "naive" arm. Same signatures, same flop accounting, same [Exec]
+    range contracts as {!Blas}. *)
+
+val gemm : ?exec:Exec.t -> Dense.t -> Dense.t -> Dense.t
+val tgemm : ?exec:Exec.t -> Dense.t -> Dense.t -> Dense.t
+val gemm_nt : ?exec:Exec.t -> Dense.t -> Dense.t -> Dense.t
+val crossprod : ?exec:Exec.t -> Dense.t -> Dense.t
+val weighted_crossprod : ?exec:Exec.t -> Dense.t -> float array -> Dense.t
+val tcrossprod : ?exec:Exec.t -> Dense.t -> Dense.t
+val gemv : ?exec:Exec.t -> Dense.t -> float array -> float array
+
+val gemm_into :
+  ?exec:Exec.t -> ?beta:float -> Dense.t -> Dense.t -> c:Dense.t -> unit
+
+val gemv_into :
+  ?exec:Exec.t -> ?beta:float -> Dense.t -> float array -> y:float array -> unit

@@ -226,9 +226,11 @@ let div_elem a b = binop "div_elem" ( /. ) a b
    like every other kernel — disjoint output ranges, so both backends
    are bitwise-identical. *)
 
-(* One flop per element: below ~64k elements the chunking overhead
-   beats the work (same reasoning as Blas.min_rows). *)
-let elt_min_chunk = 65_536
+(* One flop per element: below ~one-grain of elements the chunking
+   overhead beats the work (same reasoning as Blas.min_rows). The
+   grain comes from the tuned profile — 64k flops by default, measured
+   dispatch-amortizing size once a sweep has run. *)
+let elt_min_chunk () = Tune.grain ()
 
 let fill m x = Array.fill m.data 0 (Array.length m.data) x
 
@@ -244,7 +246,7 @@ let axpy ?exec ~alpha x y =
         (Array.unsafe_get yd i +. (alpha *. Array.unsafe_get xd i))
     done
   in
-  Exec.parallel_for ~min_chunk:elt_min_chunk (Exec.resolve exec) ~lo:0
+  Exec.parallel_for ~min_chunk:(elt_min_chunk ()) (Exec.resolve exec) ~lo:0
     ~hi:(Array.length xd) body
 
 (* out ← alpha·src; out may alias src. *)
@@ -258,7 +260,7 @@ let scale_into ?exec alpha src ~out =
       Array.unsafe_set od i (alpha *. Array.unsafe_get sd i)
     done
   in
-  Exec.parallel_for ~min_chunk:elt_min_chunk (Exec.resolve exec) ~lo:0
+  Exec.parallel_for ~min_chunk:(elt_min_chunk ()) (Exec.resolve exec) ~lo:0
     ~hi:(Array.length sd) body
 
 (* out ← f a b element-wise; out may alias a or b. *)
@@ -273,7 +275,7 @@ let map2_into ?exec f a b ~out =
       Array.unsafe_set od i (f (Array.unsafe_get ad i) (Array.unsafe_get bd i))
     done
   in
-  Exec.parallel_for ~min_chunk:elt_min_chunk (Exec.resolve exec) ~lo:0
+  Exec.parallel_for ~min_chunk:(elt_min_chunk ()) (Exec.resolve exec) ~lo:0
     ~hi:(Array.length ad) body
 
 (* ---- aggregations (paper §3.3.2 on regular matrices) ---- *)

@@ -1,0 +1,319 @@
+(* Tile-size profile for the blocked dense kernels, and the autotuner
+   driver behind `morpheus tune`.
+
+   {!Blas}'s cache-blocked kernels are parameterized by a [profile]:
+   the macro tile sizes (mc × kc packed A-panel, kc × nc packed
+   B-panel), the register micro-kernel shape (mr × nr accumulators),
+   the scheduling grain (smallest flop count worth dispatching as its
+   own pool chunk — the source of [Blas.min_rows]), and two measured
+   constants (kernel throughput, pool dispatch overhead) consumed by
+   the [Cost] calibration hooks.
+
+   Tile sizes never affect results: the kernels keep every output
+   cell's accumulation sequence fixed (k strictly ascending across
+   panels), so any profile — tuned, pinned, or adversarial — produces
+   bitwise-identical matrices. The profile is purely a performance
+   knob, which is why loading a host-specific file at startup is safe
+   for reproducibility of *values* (docs/PERFORMANCE.md).
+
+   Resolution order, decided once per process by [MORPHEUS_TUNE]:
+   - unset/empty  load the on-disk profile if one exists, else the
+                  built-in defaults; never sweep.
+   - "off"        built-in defaults only; never read or write a file.
+   - "auto"       load the file; if absent, sweep on first kernel use
+                  (through the runner {!Blas} injects) and persist.
+   - "k=v,..."    pin fields over the defaults (e.g.
+                  "mc=128,kc=256,nc=256,mr=4,nr=4"); never sweep.
+
+   The on-disk file is versioned ([MORPHEUS_TUNE_FILE] overrides the
+   location, default $XDG_CACHE_HOME/morpheus/tune.v1); an
+   unrecognized version or a malformed line invalidates the whole
+   file, falling back to defaults rather than guessing.
+
+   This module deliberately knows nothing about matrices: the sweep is
+   generic over a [run : profile -> float] timing callback, so Tune
+   sits below {!Dense}/{!Blas} in the module order while the kernels
+   above supply the thing being timed. *)
+
+type profile = {
+  mc : int;  (* rows of the packed A-panel *)
+  kc : int;  (* shared depth of both panels *)
+  nc : int;  (* columns of the packed B-panel *)
+  mr : int;  (* micro-kernel rows (register accumulators) *)
+  nr : int;  (* micro-kernel columns *)
+  grain : int;  (* flops below which a chunk is not worth scheduling *)
+  flops_per_sec : float;  (* measured gemm throughput; 0 = unmeasured *)
+  dispatch_overhead : float;  (* seconds per pool batch; 0 = unmeasured *)
+}
+
+(* Conservative portable defaults: a 256 KB A-panel and 1 MB B-panel
+   (inside any L2 of the last decade), the 4x4 unrolled micro-kernel,
+   and the historical 64k-flop scheduling grain. *)
+let default =
+  { mc = 128;
+    kc = 256;
+    nc = 512;
+    mr = 4;
+    nr = 4;
+    grain = 65_536;
+    flops_per_sec = 0.0;
+    dispatch_overhead = 0.0 }
+
+(* Clamp a parsed/loaded profile to sane bounds so a corrupt file can
+   cost speed but never unbounded packing buffers. *)
+let clamp p =
+  let dim lo hi v = max lo (min hi v) in
+  { mc = dim 1 2048 p.mc;
+    kc = dim 1 2048 p.kc;
+    nc = dim 1 4096 p.nc;
+    mr = dim 1 64 p.mr;
+    nr = dim 1 64 p.nr;
+    grain = dim 256 16_777_216 p.grain;
+    flops_per_sec = (if Float.is_finite p.flops_per_sec then max 0.0 p.flops_per_sec else 0.0);
+    dispatch_overhead =
+      (if Float.is_finite p.dispatch_overhead then max 0.0 p.dispatch_overhead
+       else 0.0) }
+
+let describe p =
+  Printf.sprintf
+    "mc=%d kc=%d nc=%d mr=%d nr=%d grain=%d flops_per_sec=%.3g dispatch_overhead=%.3g"
+    p.mc p.kc p.nc p.mr p.nr p.grain p.flops_per_sec p.dispatch_overhead
+
+(* ---- the versioned on-disk profile ---- *)
+
+let version_line = "morpheus-tune v1"
+
+let path () =
+  match Sys.getenv_opt "MORPHEUS_TUNE_FILE" with
+  | Some p when p <> "" -> Some p
+  | _ -> (
+    let under base = Filename.concat base "morpheus/tune.v1" in
+    match Sys.getenv_opt "XDG_CACHE_HOME" with
+    | Some d when d <> "" -> Some (under d)
+    | _ -> (
+      match Sys.getenv_opt "HOME" with
+      | Some h when h <> "" -> Some (under (Filename.concat h ".cache"))
+      | _ -> None))
+
+let field_of p = function
+  | "mc" -> Some (string_of_int p.mc)
+  | "kc" -> Some (string_of_int p.kc)
+  | "nc" -> Some (string_of_int p.nc)
+  | "mr" -> Some (string_of_int p.mr)
+  | "nr" -> Some (string_of_int p.nr)
+  | "grain" -> Some (string_of_int p.grain)
+  | "flops_per_sec" -> Some (Printf.sprintf "%.6g" p.flops_per_sec)
+  | "dispatch_overhead" -> Some (Printf.sprintf "%.6g" p.dispatch_overhead)
+  | _ -> None
+
+let field_names =
+  [ "mc"; "kc"; "nc"; "mr"; "nr"; "grain"; "flops_per_sec";
+    "dispatch_overhead" ]
+
+(* Apply one [key value] pair; [None] on an unknown key or unparsable
+   value, so callers can reject the whole source. *)
+let set_field p key v =
+  let int f = Option.map f (int_of_string_opt v) in
+  let flt f = Option.map f (float_of_string_opt v) in
+  match key with
+  | "mc" -> int (fun n -> { p with mc = n })
+  | "kc" -> int (fun n -> { p with kc = n })
+  | "nc" -> int (fun n -> { p with nc = n })
+  | "mr" -> int (fun n -> { p with mr = n })
+  | "nr" -> int (fun n -> { p with nr = n })
+  | "grain" -> int (fun n -> { p with grain = n })
+  | "flops_per_sec" -> flt (fun x -> { p with flops_per_sec = x })
+  | "dispatch_overhead" -> flt (fun x -> { p with dispatch_overhead = x })
+  | _ -> None
+
+let load_file file =
+  if not (Sys.file_exists file) then None
+  else begin
+    let ic = open_in file in
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> close_in_noerr ic) ;
+    match List.rev !lines with
+    | first :: rest when String.trim first = version_line ->
+      let parse acc line =
+        match acc with
+        | None -> None
+        | Some p -> (
+          match String.trim line with
+          | "" -> Some p
+          | l -> (
+            match String.index_opt l ' ' with
+            | None -> None
+            | Some i ->
+              set_field p
+                (String.sub l 0 i)
+                (String.trim (String.sub l (i + 1) (String.length l - i - 1)))))
+      in
+      Option.map clamp (List.fold_left parse (Some default) rest)
+    | _ -> None
+  end
+
+let load () = match path () with None -> None | Some f -> load_file f
+
+let save_to file p =
+  let dir = Filename.dirname file in
+  let rec mkdirs d =
+    if d <> "" && d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      mkdirs (Filename.dirname d) ;
+      (try Sys.mkdir d 0o755 with Sys_error _ -> ())
+    end
+  in
+  mkdirs dir ;
+  let tmp = file ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (version_line ^ "\n") ;
+  List.iter
+    (fun k ->
+      match field_of p k with
+      | Some v -> output_string oc (k ^ " " ^ v ^ "\n")
+      | None -> ())
+    field_names ;
+  close_out oc ;
+  Sys.rename tmp file
+
+let save p =
+  match path () with
+  | None -> None
+  | Some f ->
+    save_to f p ;
+    Some f
+
+(* ---- MORPHEUS_TUNE resolution ---- *)
+
+type mode =
+  | Defaults  (* "off": built-ins, no file I/O *)
+  | File_or_default  (* unset: stored profile if present *)
+  | Auto  (* stored profile, else sweep on first use and persist *)
+  | Pinned of profile  (* explicit k=v list *)
+
+let parse_pinned s =
+  let apply acc kv =
+    match acc with
+    | None -> None
+    | Some p -> (
+      match String.index_opt kv '=' with
+      | None -> None
+      | Some i ->
+        set_field p
+          (String.trim (String.sub kv 0 i))
+          (String.trim (String.sub kv (i + 1) (String.length kv - i - 1))))
+  in
+  List.fold_left apply (Some default)
+    (List.filter
+       (fun s -> String.trim s <> "")
+       (String.split_on_char ',' s))
+
+let mode () =
+  match Option.map String.trim (Sys.getenv_opt "MORPHEUS_TUNE") with
+  | None | Some "" -> File_or_default
+  | Some ("off" | "0" | "none") -> Defaults
+  | Some "auto" -> Auto
+  | Some s -> (
+    match parse_pinned s with
+    | Some p -> Pinned (clamp p)
+    | None ->
+      prerr_endline
+        ("morpheus: ignoring unparsable MORPHEUS_TUNE=" ^ s
+        ^ " (expected off|auto|k=v,...)") ;
+      File_or_default)
+
+(* The process-wide profile: resolved once, overridable by tests and
+   by a completed sweep. Reads after the first are a single ref load,
+   cheap enough for every kernel call. *)
+let current_ref : profile option ref = ref None
+
+let resolve () =
+  match mode () with
+  | Defaults -> default
+  | Pinned p -> p
+  | File_or_default | Auto -> (
+    match load () with Some p -> p | None -> default)
+
+let current () =
+  match !current_ref with
+  | Some p -> p
+  | None ->
+    let p = resolve () in
+    current_ref := Some p ;
+    p
+
+let set p =
+  current_ref := Some (clamp p)
+
+let reset () = current_ref := None
+
+let grain () = (current ()).grain
+
+(* ---- the sweep ---- *)
+
+(* Candidate grid: panel footprints from ~64 KB to ~4 MB, both unrolled
+   micro-kernel shapes. Kept deliberately small — the sweep is run
+   explicitly (or once, in auto mode), not on a hot path. *)
+let candidates ~quick =
+  let blockings =
+    if quick then [ (128, 256, 512); (256, 256, 512) ]
+    else
+      [ (64, 128, 256);
+        (64, 256, 512);
+        (128, 128, 256);
+        (128, 256, 512);
+        (128, 512, 512);
+        (256, 256, 512);
+        (256, 512, 1024);
+        (512, 256, 512) ]
+  in
+  let micros = [ (4, 4); (6, 2) ] in
+  List.concat_map
+    (fun (mc, kc, nc) ->
+      List.map (fun (mr, nr) -> { default with mc; kc; nc; mr; nr }) micros)
+    blockings
+
+(* Sweep the candidate grid with the caller's timer (seconds for one
+   fixed reference workload under the given profile; smaller is
+   better). Returns the winner — with [grain] derived from the
+   measured throughput when the caller passes the workload's flop
+   count — plus the full measurement table for reporting. *)
+let sweep ?(quick = false) ~flops ~run () =
+  let timed =
+    List.map (fun p -> (p, run p)) (candidates ~quick)
+  in
+  let best, best_t =
+    List.fold_left
+      (fun (bp, bt) (p, t) -> if t < bt then (p, t) else (bp, bt))
+      (default, infinity) timed
+  in
+  let rate = if best_t > 0.0 then flops /. best_t else 0.0 in
+  (* A chunk should amortize the ~microsecond-scale dispatch cost: make
+     the scheduling grain ~30 us of measured work, clamped around the
+     historical 64k-flop default. *)
+  let grain =
+    if rate > 0.0 then
+      max 8_192 (min 4_194_304 (int_of_float (rate *. 30e-6)))
+    else default.grain
+  in
+  (clamp { best with grain; flops_per_sec = rate }, timed)
+
+(* Run the sweep once in auto mode when no stored profile exists; the
+   kernels call this lazily with their own runner on first use. *)
+let ensured = ref false
+
+let ensure ?(quick = true) ~flops ~run () =
+  match !current_ref with
+  | Some p -> p
+  | None ->
+    (match mode () with
+    | Auto when (not !ensured) && load () = None ->
+      ensured := true ;
+      let p, _ = sweep ~quick ~flops ~run () in
+      ignore (save p) ;
+      current_ref := Some p
+    | _ -> current_ref := Some (resolve ())) ;
+    current ()

@@ -1,0 +1,94 @@
+(** Tile-size profile for the blocked dense kernels ({!Blas}) and the
+    autotuner driver behind [morpheus tune].
+
+    A {!profile} fixes the macro blocking (mc × kc packed A-panel,
+    kc × nc packed B-panel), the register micro-kernel shape
+    (mr × nr), the scheduling grain behind [Blas.min_rows], and two
+    measured constants ([flops_per_sec], [dispatch_overhead]) that the
+    [Cost] model's calibration hooks consume.
+
+    Tile sizes are {e performance-only}: the kernels keep every output
+    cell's accumulation sequence fixed, so every profile produces
+    bitwise-identical results (docs/PERFORMANCE.md). Resolution is
+    decided once per process by [MORPHEUS_TUNE]: unset loads the
+    stored profile if present; ["off"] pins the built-in defaults;
+    ["auto"] sweeps on first kernel use when no profile is stored and
+    persists the winner; ["k=v,..."] pins explicit values. The stored
+    file is versioned, at [MORPHEUS_TUNE_FILE] or
+    [$XDG_CACHE_HOME/morpheus/tune.v1]. *)
+
+type profile = {
+  mc : int;  (** rows of the packed A-panel *)
+  kc : int;  (** shared depth of both packed panels *)
+  nc : int;  (** columns of the packed B-panel *)
+  mr : int;  (** micro-kernel rows (register accumulators) *)
+  nr : int;  (** micro-kernel columns *)
+  grain : int;  (** flops below which a chunk is not worth scheduling *)
+  flops_per_sec : float;  (** measured gemm throughput; [0.] = unmeasured *)
+  dispatch_overhead : float;  (** seconds per pool batch; [0.] = unmeasured *)
+}
+
+val default : profile
+(** Portable defaults: 4×4 micro-kernel, L2-sized panels, the
+    historical 64k-flop grain, unmeasured constants. *)
+
+val clamp : profile -> profile
+(** Bound every field to sane ranges (a corrupt profile may cost
+    speed, never unbounded packing buffers). *)
+
+val current : unit -> profile
+(** The process-wide profile, resolving [MORPHEUS_TUNE] and the stored
+    file on first call; afterwards a single ref load. Never sweeps —
+    auto-mode sweeping happens through {!ensure}. *)
+
+val set : profile -> unit
+(** Override the process profile (clamped). Tests use this to force
+    adversarial tile shapes. *)
+
+val reset : unit -> unit
+(** Drop the resolved profile so the next {!current} re-resolves. *)
+
+val grain : unit -> int
+(** [ (current ()).grain ] — the scheduling threshold consumed by
+    [Blas.min_rows] and the other kernel chunking heuristics. *)
+
+type mode =
+  | Defaults
+  | File_or_default
+  | Auto
+  | Pinned of profile
+
+val mode : unit -> mode
+(** The resolution mode [MORPHEUS_TUNE] selects (see module doc). *)
+
+val path : unit -> string option
+(** Where the profile is stored: [MORPHEUS_TUNE_FILE], else under the
+    XDG cache directory; [None] when no location can be derived. *)
+
+val load : unit -> profile option
+(** Read the stored profile; [None] when missing, unversioned, or
+    malformed (a bad file is rejected whole, never half-applied). *)
+
+val save : profile -> string option
+(** Persist atomically (tmp + rename); returns the path written, or
+    [None] when no path can be derived. *)
+
+val sweep :
+  ?quick:bool ->
+  flops:float ->
+  run:(profile -> float) ->
+  unit ->
+  profile * (profile * float) list
+(** Time every candidate profile with [run] (seconds for one fixed
+    reference workload of [flops] arithmetic operations; smaller is
+    better) and return the winner — its [grain] and [flops_per_sec]
+    derived from the measured throughput — plus the full table. The
+    workload itself is injected by the caller ({!Blas.autotune}), so
+    Tune stays below the kernels in the module order. *)
+
+val ensure :
+  ?quick:bool -> flops:float -> run:(profile -> float) -> unit -> profile
+(** [current ()], except that in auto mode with no stored profile the
+    first call sweeps with [run] and persists the winner. *)
+
+val describe : profile -> string

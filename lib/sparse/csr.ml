@@ -166,10 +166,11 @@ let row_sums_sq m =
    bitwise-identical results. *)
 
 (* Smallest row range worth scheduling as a task (see Blas.min_rows);
-   sparse rows are costed by the average nnz per row. *)
+   sparse rows are costed by the average nnz per row, against the tuned
+   scheduling grain (64k flops until a sweep has measured better). *)
 let min_rows m per_nz =
   let avg = max 1 (nnz m / max 1 m.rows) in
-  max 1 (65_536 / max 1 (avg * per_nz))
+  max 1 (Tune.grain () / max 1 (avg * per_nz))
 
 let add_into acc part =
   let ad = Dense.data acc and pd = Dense.data part in
@@ -291,7 +292,7 @@ let dense_smm ?exec x m =
     done
   in
   Exec.parallel_for
-    ~min_chunk:(max 1 (65_536 / max 1 (2 * nnz m)))
+    ~min_chunk:(max 1 (Tune.grain () / max 1 (2 * nnz m)))
     (Exec.resolve exec) ~lo:0 ~hi:n body ;
   c
 

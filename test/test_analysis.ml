@@ -232,7 +232,14 @@ let write_file path contents =
   output_string oc contents ;
   close_out oc
 
-let lint_fixture ~robustness ~serving ~sources =
+(* Minimal E207 catalogue: the section exists and sanctions nothing,
+   so a fixture is clean iff it has no unsafe indexing at all. *)
+let default_analysis =
+  "# Analyzer\n\n## Sanctioned unsafe-indexing modules\n\n\
+   | module | why |\n|---|---|\n"
+
+let lint_fixture ?(analysis = default_analysis) ~robustness ~serving ~sources
+    () =
   let root =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "morpheus_lint_%d" (Unix.getpid ()))
@@ -249,6 +256,7 @@ let lint_fixture ~robustness ~serving ~sources =
   rm root ;
   write_file (Filename.concat root "docs/ROBUSTNESS.md") robustness ;
   write_file (Filename.concat root "docs/SERVING.md") serving ;
+  write_file (Filename.concat root "docs/ANALYSIS.md") analysis ;
   List.iter
     (fun (rel, src) -> write_file (Filename.concat root rel) src)
     sources ;
@@ -273,6 +281,7 @@ let clean_fixture () =
         ( "lib/serve/protocol.ml",
           "let parse = function Some \"ping\" -> 1 | Some \"score\" -> 2\n" )
       ]
+    ()
 
 let test_lint_clean () =
   let root = clean_fixture () in
@@ -299,6 +308,7 @@ let test_lint_phantom_doc_point () =
           ( "lib/serve/protocol.ml",
             "let parse = function Some \"ping\" -> 1 | Some \"score\" -> 2\n" )
         ]
+        ()
   in
   ignore (find_code "E202" (Lint.run (base_cfg root)))
 
@@ -380,6 +390,64 @@ let test_lint_relational_section_missing () =
   Alcotest.(check (list string)) "empty node list disables E206" []
     (codes (Lint.run (base_cfg root)))
 
+(* E207 unsafe-indexing discipline, both directions. *)
+
+let unsafe_src = "let f a = Array.unsafe_get a 0\n"
+
+let sanctioning table_rows =
+  default_analysis ^ table_rows
+
+let test_lint_unsafe_outside_table () =
+  let root = clean_fixture () in
+  write_file (Filename.concat root "lib/la/hot.ml") unsafe_src ;
+  let d = find_code "E207" (Lint.run (base_cfg root)) in
+  Alcotest.(check bool) "points into the offending file" true
+    (has_substring d.Diag.where "lib/la/hot.ml") ;
+  (* comments and strings may mention the token freely *)
+  write_file
+    (Filename.concat root "lib/la/hot.ml")
+    "(* Array.unsafe_get in a comment *)\nlet s = \"Array.unsafe_set\"\n" ;
+  Alcotest.(check (list string)) "mentions are not findings" []
+    (codes (Lint.run (base_cfg root)))
+
+let test_lint_unsafe_sanctioned_clean () =
+  let root =
+    lint_fixture
+      ~analysis:(sanctioning "| `lib/la/hot.ml` | micro-kernel |\n")
+      ~robustness:"| point | boundary |\n|---|---|\n| `io.read` | io |\n"
+      ~serving:"```\n{\"op\":\"ping\"}\n{\"op\":\"score\"}\n```\n"
+      ~sources:
+        [ ("lib/core/io.ml", fault_call "io.read");
+          ( "lib/serve/protocol.ml",
+            "let parse = function Some \"ping\" -> 1 | Some \"score\" -> 2\n" );
+          ("lib/la/hot.ml", unsafe_src)
+        ]
+      ()
+  in
+  Alcotest.(check (list string)) "sanctioned unsafe use is clean" []
+    (codes (Lint.run (base_cfg root)))
+
+let test_lint_unsafe_stale_row () =
+  let root = clean_fixture () in
+  (* a row for a module that exists but no longer uses unsafe indexing,
+     and a row for a module that does not exist at all *)
+  write_file
+    (Filename.concat root "docs/ANALYSIS.md")
+    (sanctioning
+       "| `lib/core/io.ml` | stale |\n| `lib/la/ghost.ml` | missing |\n") ;
+  let findings = Lint.run (base_cfg root) in
+  let e207 =
+    List.filter (fun (d : Diag.t) -> d.Diag.code = Diag.E207) findings
+  in
+  Alcotest.(check int) "both stale rows are findings" 2 (List.length e207) ;
+  Alcotest.(check bool) "one names the ghost module" true
+    (List.exists (fun (d : Diag.t) -> has_substring d.Diag.message "ghost") e207)
+
+let test_lint_unsafe_section_missing () =
+  let root = clean_fixture () in
+  write_file (Filename.concat root "docs/ANALYSIS.md") "# Analyzer\n" ;
+  ignore (find_code "E207" (Lint.run (base_cfg root)))
+
 let test_lint_duplicate_codes () =
   let root = clean_fixture () in
   let cfg =
@@ -425,5 +493,13 @@ let () =
           Alcotest.test_case "phantom relational node" `Quick
             test_lint_relational_node_phantom;
           Alcotest.test_case "missing relational section" `Quick
-            test_lint_relational_section_missing ] )
+            test_lint_relational_section_missing;
+          Alcotest.test_case "unsafe indexing outside table" `Quick
+            test_lint_unsafe_outside_table;
+          Alcotest.test_case "sanctioned unsafe indexing" `Quick
+            test_lint_unsafe_sanctioned_clean;
+          Alcotest.test_case "stale unsafe-table rows" `Quick
+            test_lint_unsafe_stale_row;
+          Alcotest.test_case "missing unsafe section" `Quick
+            test_lint_unsafe_section_missing ] )
     ]
