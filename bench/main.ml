@@ -44,6 +44,8 @@ let experiments : (string * string * (Harness.config -> unit)) list =
      Memo_bench.run);
     ("serve", "Scoring server: micro-batched vs unbatched latency, JSON report",
      Serve_bench.run);
+    ("cluster", "Sharded serving: routed throughput over 1/2/4 shard processes, JSON report",
+     Cluster_bench.run);
     ("sync", "Sync named-lock wrapper overhead vs raw mutexes, JSON report",
      Sync_bench.run);
     ("micro", "Bechamel micro-suite (one Test.make per experiment family)", Micro.run) ]

@@ -584,11 +584,12 @@ let registry_arg =
          ~doc:"Model registry directory.")
 
 let socket_arg =
-  Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH"
-         ~doc:"Unix domain socket path.")
+  Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"ENDPOINT"
+         ~doc:"Server endpoint: a Unix domain socket path or HOST:PORT.")
 
-let serve registry socket threads max_batch max_wait_ms queue_bound handlers
-    cache_capacity deadline_ms breaker_threshold breaker_cooldown_ms lockdep =
+let serve registry socket listen threads max_batch max_wait_ms queue_bound
+    handlers cache_capacity deadline_ms breaker_threshold breaker_cooldown_ms
+    lockdep replicate_from replicate_interval_ms =
   apply_threads threads ;
   if lockdep then Analysis.Sync.enable_lockdep () ;
   if max_batch < 1 || queue_bound < 1 || handlers < 1 || cache_capacity < 1
@@ -601,21 +602,64 @@ let serve registry socket threads max_batch max_wait_ms queue_bound handlers
     Fmt.epr "morpheus serve: breaker threshold must be >= 1, cooldown >= 0@." ;
     exit 2
   end ;
+  let endpoint =
+    match (listen, socket) with
+    | Some ep, _ -> ep
+    | None, Some path -> path
+    | None, None ->
+      Fmt.epr "morpheus serve: give --socket PATH or --listen HOST:PORT@." ;
+      exit 2
+  in
+  if replicate_interval_ms <= 0.0 then begin
+    Fmt.epr "morpheus serve: --replicate-interval-ms must be > 0@." ;
+    exit 2
+  end ;
   with_runtime_errors @@ fun () ->
-  Morpheus_serve.Server.run
-    { Morpheus_serve.Server.registry;
-      socket;
-      max_batch;
-      max_wait = max_wait_ms /. 1e3;
-      queue_bound;
-      handlers;
-      cache_capacity;
-      default_deadline_ms = deadline_ms;
-      breaker_threshold;
-      breaker_cooldown = breaker_cooldown_ms /. 1e3
-    }
+  let puller =
+    Option.map
+      (fun primary ->
+        Fmt.pr "morpheus serve: replicating models from %s every %gms@." primary
+          replicate_interval_ms ;
+        Morpheus_cluster.Replicate.start ~primary ~replica:registry
+          ~interval:(replicate_interval_ms /. 1e3))
+      replicate_from
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Morpheus_cluster.Replicate.stop puller)
+    (fun () ->
+      Morpheus_serve.Server.run
+        { Morpheus_serve.Server.registry;
+          socket = endpoint;
+          max_batch;
+          max_wait = max_wait_ms /. 1e3;
+          queue_bound;
+          handlers;
+          cache_capacity;
+          default_deadline_ms = deadline_ms;
+          breaker_threshold;
+          breaker_cooldown = breaker_cooldown_ms /. 1e3
+        })
 
 let serve_cmd =
+  let socket =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix domain socket path to listen on.")
+  in
+  let listen =
+    Arg.(value & opt (some string) None & info [ "listen" ] ~docv:"HOST:PORT"
+           ~doc:"TCP endpoint to listen on (same protocol as --socket; \
+                 port 0 picks an ephemeral port). Overrides --socket.")
+  in
+  let replicate_from =
+    Arg.(value & opt (some string) None & info [ "replicate-from" ] ~docv:"DIR"
+           ~doc:"Primary registry to pull model versions from into \
+                 --registry (manifest-last commit point as the sync \
+                 barrier); new versions start serving without a restart.")
+  in
+  let replicate_interval =
+    Arg.(value & opt float 1000.0 & info [ "replicate-interval-ms" ]
+           ~doc:"How often the replication puller syncs.")
+  in
   let max_batch =
     Arg.(value & opt int 64 & info [ "max-batch" ]
            ~doc:"Requests per micro-batch before it closes.")
@@ -657,10 +701,96 @@ let serve_cmd =
   in
   Cmd.v
     (cmd_info "serve"
-       ~doc:"Serve models from a registry over a Unix domain socket with \
-             micro-batched factorized scoring.")
-    Term.(const serve $ registry_arg $ socket_arg $ threads_arg $ max_batch
-          $ max_wait $ queue_bound $ handlers $ cache $ deadline
+       ~doc:"Serve models from a registry over a Unix domain socket or TCP \
+             endpoint with micro-batched factorized scoring.")
+    Term.(const serve $ registry_arg $ socket $ listen $ threads_arg
+          $ max_batch $ max_wait $ queue_bound $ handlers $ cache $ deadline
+          $ breaker_threshold $ breaker_cooldown $ lockdep $ replicate_from
+          $ replicate_interval)
+
+(* ---- route: the consistent-hash router over shard servers ---- *)
+
+let route listen shards vnodes block handlers breaker_threshold
+    breaker_cooldown_ms lockdep =
+  if lockdep then Analysis.Sync.enable_lockdep () ;
+  let parse_shard spec =
+    match String.index_opt spec '=' with
+    | Some i when i > 0 && i < String.length spec - 1 ->
+      ( String.sub spec 0 i,
+        String.sub spec (i + 1) (String.length spec - i - 1) )
+    | _ ->
+      Fmt.epr "morpheus route: --shard wants NAME=ENDPOINT, got %S@." spec ;
+      exit 2
+  in
+  let shards = List.map parse_shard shards in
+  if shards = [] then begin
+    Fmt.epr "morpheus route: give at least one --shard NAME=ENDPOINT@." ;
+    exit 2
+  end ;
+  if vnodes < 1 || block < 1 || handlers < 1 || breaker_threshold < 1
+     || breaker_cooldown_ms < 0.0
+  then begin
+    Fmt.epr "morpheus route: vnodes/block/handlers/breaker must be positive@." ;
+    exit 2
+  end ;
+  with_runtime_errors @@ fun () ->
+  Morpheus_cluster.Router.run
+    { Morpheus_cluster.Router.listen;
+      shards;
+      vnodes;
+      block;
+      handlers;
+      breaker_threshold;
+      breaker_cooldown = breaker_cooldown_ms /. 1e3
+    }
+
+let route_cmd =
+  let listen =
+    Arg.(required & opt (some string) None & info [ "listen" ]
+           ~docv:"ENDPOINT"
+           ~doc:"Endpoint to listen on: HOST:PORT, tcp:HOST:PORT, or \
+                 unix:PATH. Port 0 picks an ephemeral port.")
+  in
+  let shards =
+    Arg.(value & opt_all string [] & info [ "shard" ] ~docv:"NAME=ENDPOINT"
+           ~doc:"A shard server to route over (repeatable). NAME feeds the \
+                 hash ring; ENDPOINT is the shard's --socket/--listen \
+                 address.")
+  in
+  let vnodes =
+    Arg.(value & opt int Morpheus_cluster.Ring.default_vnodes
+         & info [ "vnodes" ]
+             ~doc:"Virtual nodes per shard on the consistent-hash ring.")
+  in
+  let block =
+    Arg.(value & opt int 64 & info [ "block" ]
+           ~doc:"Row ids per placement block for scatter-gathered \
+                 score_ids requests.")
+  in
+  let handlers =
+    Arg.(value & opt int 4 & info [ "handlers" ]
+           ~doc:"Connection-handler threads.")
+  in
+  let breaker_threshold =
+    Arg.(value & opt int 3 & info [ "breaker-threshold" ]
+           ~doc:"Consecutive transport failures before a shard's circuit \
+                 opens.")
+  in
+  let breaker_cooldown =
+    Arg.(value & opt float 1000.0 & info [ "breaker-cooldown-ms" ]
+           ~doc:"How long an open shard circuit refuses fast before probing \
+                 again.")
+  in
+  let lockdep =
+    Arg.(value & flag & info [ "lockdep" ]
+           ~doc:"Enable the lock-order analyzer (same as MORPHEUS_LOCKDEP=1).")
+  in
+  Cmd.v
+    (cmd_info "route"
+       ~doc:"Route scoring requests over shard servers with consistent \
+             hashing, per-shard circuit breakers, failover, and \
+             scatter-gather for id sets that span shards.")
+    Term.(const route $ listen $ shards $ vnodes $ block $ handlers
           $ breaker_threshold $ breaker_cooldown $ lockdep)
 
 (* ---- score: client for the scoring server ---- *)
@@ -911,7 +1041,8 @@ let lint root =
         [ ("Check", List.map Check.code_name Check.all_codes);
           ("Analysis", List.map Analysis.Diag.code_name Analysis.Diag.all_codes)
         ];
-      relational_nodes = Ast.relational_node_names
+      relational_nodes = Ast.relational_node_names;
+      router_ops = Morpheus_cluster.Router.routed_op_names
     }
   in
   match Analysis.Lint.run cfg with
@@ -933,7 +1064,8 @@ let lint_cmd =
        ~doc:"Check source-tree invariants the type system cannot: fault \
              points vs docs/ROBUSTNESS.md, protocol ops vs docs/SERVING.md, \
              raw concurrency/clock primitives outside their sanctioned \
-             modules, and diagnostic-code uniqueness across catalogues.")
+             modules, routed ops and cluster fault points vs their doc \
+             tables, and diagnostic-code uniqueness across catalogues.")
     Term.(const lint $ root)
 
 (* ---- tune: sweep tile profiles for the blocked dense kernels ---- *)
@@ -989,8 +1121,8 @@ let () =
     Cmd.eval ~term_err:2
       (Cmd.group (Cmd.info "morpheus" ~version ~doc)
          [ generate_cmd; info_cmd; train_cmd; cv_cmd; pca_cmd; explain_cmd;
-           check_cmd; export_cmd; serve_cmd; score_cmd; models_cmd; lint_cmd;
-           tune_cmd ])
+           check_cmd; export_cmd; serve_cmd; route_cmd; score_cmd; models_cmd;
+           lint_cmd; tune_cmd ])
   in
   (* cmdliner reports command-line misuse as its fixed 124; fold it into
      the documented usage-error code *)

@@ -22,11 +22,14 @@ type code =
   | E205  (* duplicate diagnostic code across catalogues *)
   | E206  (* relational Ast node drift between Ast and the docs *)
   | E207  (* unsafe array indexing outside the sanctioned kernels *)
+  | E208  (* cluster routed-op / fault-point table drift *)
 
-let all_codes = [ E101; E102; W101; E201; E202; E203; E204; E205; E206; E207 ]
+let all_codes =
+  [ E101; E102; W101; E201; E202; E203; E204; E205; E206; E207; E208 ]
 
 let severity_of = function
-  | E101 | E102 | E201 | E202 | E203 | E204 | E205 | E206 | E207 -> Error
+  | E101 | E102 | E201 | E202 | E203 | E204 | E205 | E206 | E207 | E208 ->
+    Error
   | W101 -> Warning
 
 let code_name = function
@@ -40,6 +43,7 @@ let code_name = function
   | E205 -> "E205"
   | E206 -> "E206"
   | E207 -> "E207"
+  | E208 -> "E208"
 
 let code_doc = function
   | E101 -> "lock-order inversion (potential deadlock)"
@@ -56,6 +60,9 @@ let code_doc = function
   | E207 ->
     "Array.unsafe_get/unsafe_set outside the sanctioned kernel modules \
      of docs/ANALYSIS.md"
+  | E208 ->
+    "cluster drift: routed ops vs the docs/SERVING.md table, or \
+     lib/cluster fault points vs the docs/ROBUSTNESS.md cluster table"
 
 type t = {
   code : code;

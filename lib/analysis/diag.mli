@@ -32,7 +32,11 @@
       [Array.unsafe_set] may appear only in the kernel modules listed
       in the "Sanctioned unsafe-indexing modules" table of
       [docs/ANALYSIS.md], and every listed module must still use them
-      (both directions, like E201/E202). *)
+      (both directions, like E201/E202).
+    - [E208] cluster drift: the router's forwarded ops vs the "Routed
+      operations" table of [docs/SERVING.md], and the [lib/cluster]
+      fault points vs the "Cluster fault points" table of
+      [docs/ROBUSTNESS.md], both directions. *)
 
 type severity = Error | Warning
 
@@ -47,6 +51,7 @@ type code =
   | E205
   | E206
   | E207
+  | E208
 
 val all_codes : code list
 (** Every code this catalogue defines — what lint rule E205 compares

@@ -29,6 +29,8 @@ type config = {
       (* catalogue name -> its diagnostic code names, for E205 *)
   relational_nodes : string list;
       (* Ast.relational_node_names, for E206; [] disables the rule *)
+  router_ops : string list;
+      (* Router.routed_op_names, for E208; [] disables the rule *)
 }
 
 (* ---- source scanning ---- *)
@@ -594,6 +596,150 @@ let check_unsafe_indexing ~root ~sources_bare =
     end
   end
 
+(* ---- rule E208: cluster routed ops + fault points vs the docs ---- *)
+
+let routed_heading = "## Routed operations"
+let cluster_fault_heading = "## Cluster fault points"
+
+(* Backticked tokens satisfying [keep] on the `|`-table rows of the
+   section opened by [heading] — the same table-only scope as the
+   E206/E207 scans. *)
+let section_tokens ~heading ~keep doc =
+  let out = ref [] and in_section = ref false in
+  List.iteri
+    (fun k line ->
+      if String.starts_with ~prefix:heading line then in_section := true
+      else if String.starts_with ~prefix:"## " line then in_section := false
+      else if !in_section && String.starts_with ~prefix:"|" line then begin
+        let n = String.length line in
+        let i = ref 0 in
+        while !i < n do
+          if line.[!i] = '`' then begin
+            let j = ref (!i + 1) in
+            while !j < n && line.[!j] <> '`' do
+              incr j
+            done ;
+            if !j < n then begin
+              let tok = String.sub line (!i + 1) (!j - !i - 1) in
+              if keep tok then out := (tok, k + 1) :: !out ;
+              i := !j + 1
+            end
+            else i := !j
+          end
+          else incr i
+        done
+      end)
+    (String.split_on_char '\n' doc) ;
+  List.rev !out
+
+let has_section ~heading doc =
+  List.exists (String.starts_with ~prefix:heading) (String.split_on_char '\n' doc)
+
+(* Both directions on both tables: the routed ops the router module
+   exports vs the SERVING.md "Routed operations" table, and the fault
+   points armed in lib/cluster/ vs the ROBUSTNESS.md "Cluster fault
+   points" table. (The cluster points also appear to the global
+   E201/E202 scan, which reads every table row of ROBUSTNESS.md; this
+   rule additionally pins them to the cluster-specific section.) *)
+let check_cluster ~root ~router_ops ~sources =
+  if router_ops = [] then []
+  else begin
+    let serving_rel = "docs/SERVING.md" in
+    let robust_rel = "docs/ROBUSTNESS.md" in
+    let op_diags =
+      let path = Filename.concat root serving_rel in
+      if not (Sys.file_exists path) then
+        [ Diag.make Diag.E208 ~where:serving_rel
+            "routed-operation catalogue %s is missing" serving_rel ]
+      else begin
+        let doc = read_file path in
+        if not (has_section ~heading:routed_heading doc) then
+          [ Diag.make Diag.E208 ~where:serving_rel
+              "%s has no %S table documenting the router's forwarded ops"
+              serving_rel routed_heading ]
+        else begin
+          let is_op s =
+            s <> ""
+            && String.for_all
+                 (function 'a' .. 'z' | '0' .. '9' | '_' -> true | _ -> false)
+                 s
+          in
+          let documented = section_tokens ~heading:routed_heading ~keep:is_op doc in
+          List.map
+            (fun op ->
+              Diag.make Diag.E208 ~where:serving_rel
+                "routed op %S is not documented under %S in %s" op
+                routed_heading serving_rel)
+            (List.filter (fun op -> not (List.mem_assoc op documented)) router_ops)
+          @ List.map
+              (fun (op, line) ->
+                Diag.make Diag.E208
+                  ~where:(Printf.sprintf "%s:%d" serving_rel line)
+                  "documented routed op %S is not in Router.routed_op_names" op)
+              (List.filter
+                 (fun (op, _) -> not (List.mem op router_ops))
+                 documented)
+        end
+      end
+    in
+    let fault_diags =
+      let path = Filename.concat root robust_rel in
+      if not (Sys.file_exists path) then
+        [ Diag.make Diag.E208 ~where:robust_rel
+            "cluster fault-point catalogue %s is missing" robust_rel ]
+      else begin
+        let doc = read_file path in
+        if not (has_section ~heading:cluster_fault_heading doc) then
+          [ Diag.make Diag.E208 ~where:robust_rel
+              "%s has no %S table documenting the lib/cluster fault points"
+              robust_rel cluster_fault_heading ]
+        else begin
+          let is_point s =
+            String.contains s '.'
+            && (not (String.contains s '*'))
+            && s <> ""
+            && String.for_all
+                 (function
+                   | 'a' .. 'z' | '0' .. '9' | '_' | '.' -> true
+                   | _ -> false)
+                 s
+          in
+          let documented =
+            section_tokens ~heading:cluster_fault_heading ~keep:is_point doc
+          in
+          let in_cluster =
+            List.concat_map
+              (fun (rel, text) ->
+                if String.starts_with ~prefix:"lib/cluster/" rel then
+                  fault_points_in rel text
+                else [])
+              sources
+          in
+          List.map
+            (fun (name, where) ->
+              Diag.make Diag.E208 ~where
+                "cluster fault point %S is not documented under %S in %s" name
+                cluster_fault_heading robust_rel)
+            (List.filter
+               (fun (name, _) -> not (List.mem_assoc name documented))
+               in_cluster)
+          @ List.map
+              (fun (name, line) ->
+                Diag.make Diag.E208
+                  ~where:(Printf.sprintf "%s:%d" robust_rel line)
+                  "documented cluster fault point %S does not appear in \
+                   lib/cluster/"
+                  name)
+              (List.filter
+                 (fun (name, _) ->
+                   not (List.exists (fun (n, _) -> n = name) in_cluster))
+                 documented)
+        end
+      end
+    in
+    op_diags @ fault_diags
+  end
+
 (* ---- rule E205: diagnostic-code uniqueness across catalogues ---- *)
 
 let check_codes ~catalogues =
@@ -632,3 +778,4 @@ let run cfg =
   @ check_unsafe_indexing ~root:cfg.root ~sources_bare
   @ check_codes ~catalogues:cfg.catalogues
   @ check_relational_nodes ~root:cfg.root ~nodes:cfg.relational_nodes
+  @ check_cluster ~root:cfg.root ~router_ops:cfg.router_ops ~sources

@@ -17,6 +17,10 @@
       kernel modules the "Sanctioned unsafe-indexing modules" table of
       [docs/ANALYSIS.md] lists, and every listed module still uses
       them, both directions.
+    - E208 — the router's forwarded ops vs the "Routed operations"
+      table of [docs/SERVING.md], and the [lib/cluster] fault points
+      vs the "Cluster fault points" table of [docs/ROBUSTNESS.md],
+      both directions.
 
     The lint sits at the bottom of the library order, next to {!Sync}:
     facts owned by higher layers (the protocol-op list, the diagnostic
@@ -29,6 +33,8 @@ type config = {
       (** catalogue name → its diagnostic code names *)
   relational_nodes : string list;
       (** [Ast.relational_node_names]; [[]] disables rule E206 *)
+  router_ops : string list;
+      (** [Router.routed_op_names]; [[]] disables rule E208 *)
 }
 
 val run : config -> Diag.t list

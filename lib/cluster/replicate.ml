@@ -1,0 +1,110 @@
+(* Pull replication for the model registry. The manifest-last commit
+   point (Registry/Io tmp+rename discipline) is the sync barrier: the
+   primary's Registry.list only shows committed versions, and the
+   replica commits a pulled version by renaming its manifest into
+   place as the final step. *)
+
+open Morpheus_serve
+
+let artifact_file = "artifact.bin"
+let manifest_file = "manifest.json"
+
+let ensure_dir d = if not (Sys.file_exists d) then Sys.mkdir d 0o755
+
+let read_file path =
+  Fault.point "replicate.read" ;
+  In_channel.with_open_bin path In_channel.input_all
+
+(* tmp+rename, same discipline as Io: a crash leaves a .tmp, never a
+   half-written target *)
+let write_file path contents =
+  Fault.point "replicate.write" ;
+  let tmp = path ^ ".tmp" in
+  Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc contents) ;
+  Sys.rename tmp path
+
+let version_dir root name version =
+  Filename.concat (Filename.concat root name) (Printf.sprintf "v%d" version)
+
+let pull_version ~primary ~replica (e : Registry.entry) =
+  let m = e.Registry.manifest in
+  let src = version_dir primary m.Registry.name m.Registry.version in
+  let dst = version_dir replica m.Registry.name m.Registry.version in
+  ensure_dir (Filename.concat replica m.Registry.name) ;
+  ensure_dir dst ;
+  (* artifact first; the version stays invisible to Registry.list and
+     Registry.resolve until the manifest lands *)
+  write_file (Filename.concat dst artifact_file)
+    (read_file (Filename.concat src artifact_file)) ;
+  Fault.point "replicate.commit" ;
+  write_file (Filename.concat dst manifest_file)
+    (read_file (Filename.concat src manifest_file))
+
+let sync_once ~primary ~replica =
+  match
+    Fault.point "replicate.list" ;
+    ensure_dir replica ;
+    let committed = Registry.list ~dir:replica in
+    let have = List.map (fun (e : Registry.entry) -> e.Registry.id) committed in
+    Registry.list ~dir:primary
+    |> List.filter (fun (e : Registry.entry) -> not (List.mem e.Registry.id have))
+    |> List.map (fun e ->
+           pull_version ~primary ~replica e ;
+           e.Registry.id)
+  with
+  | pulled -> Ok pulled
+  | exception Fault.Injected p -> Error ("injected fault at " ^ p)
+  | exception Sys_error msg -> Error msg
+  | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+
+(* ---- background puller ---- *)
+
+type t = {
+  m : Analysis.Sync.t;
+  mutable stopping : bool;
+  mutable pulls : int;
+  mutable failures : int;
+  mutable thread : Thread.t option;
+}
+
+let start ~primary ~replica ~interval =
+  if interval <= 0.0 then invalid_arg "Replicate.start: interval <= 0" ;
+  let t =
+    { m = Analysis.Sync.create ~name:"cluster.replicate" ();
+      stopping = false;
+      pulls = 0;
+      failures = 0;
+      thread = None
+    }
+  in
+  let rec loop () =
+    (match sync_once ~primary ~replica with
+    | Ok pulled ->
+      Analysis.Sync.with_lock t.m (fun () ->
+          t.pulls <- t.pulls + List.length pulled)
+    | Error _ -> Analysis.Sync.with_lock t.m (fun () -> t.failures <- t.failures + 1)) ;
+    (* sleep in short slices so stop never waits a full interval *)
+    let slept = ref 0.0 in
+    let stop =
+      ref (Analysis.Sync.with_lock t.m (fun () -> t.stopping))
+    in
+    while (not !stop) && !slept < interval do
+      Thread.delay 0.02 ;
+      slept := !slept +. 0.02 ;
+      stop := Analysis.Sync.with_lock t.m (fun () -> t.stopping)
+    done ;
+    if not !stop then loop ()
+  in
+  t.thread <- Some (Thread.create loop ()) ;
+  t
+
+let stop t =
+  Analysis.Sync.with_lock t.m (fun () -> t.stopping <- true) ;
+  match t.thread with
+  | Some th ->
+    Thread.join th ;
+    t.thread <- None
+  | None -> ()
+
+let pulls t = Analysis.Sync.with_lock t.m (fun () -> t.pulls)
+let failures t = Analysis.Sync.with_lock t.m (fun () -> t.failures)

@@ -1,0 +1,41 @@
+(** Registry replication: shards pull model versions from a primary
+    registry directory into their local replica.
+
+    The pull protocol leans entirely on the registry's commit
+    discipline: a version is visible only once its [manifest.json]
+    exists, and every file lands via tmp+rename. Replication copies
+    [artifact.bin] first and the manifest last, so a replica version
+    becomes visible only when its artifact is already complete — a
+    crash mid-pull leaves either nothing visible or a fully usable
+    version, and the next sync heals any litter. Shard servers resolve
+    models per request, so a pulled version starts serving without a
+    restart.
+
+    Every pull step is armed with a {!Fault} point ([replicate.list],
+    [replicate.read], [replicate.write], [replicate.commit]); an
+    injected fault aborts that version's pull, leaving it invisible
+    until the next sync. *)
+
+val sync_once : primary:string -> replica:string -> (string list, string) result
+(** One pull pass: every committed [name@vN] present in [primary] and
+    absent from [replica] is copied over. Returns the ids pulled (in
+    registry order). [Error] carries the first failure (including an
+    injected fault) — earlier versions pulled in the same pass stay
+    committed. *)
+
+type t
+(** A background puller thread. *)
+
+val start : primary:string -> replica:string -> interval:float -> t
+(** Sync every [interval] seconds (first pass immediately). Pull
+    failures are counted and retried on the next tick, never raised.
+    Raises [Invalid_argument] if [interval <= 0]. *)
+
+val stop : t -> unit
+(** Stop and join the puller thread (idempotent). *)
+
+val pulls : t -> int
+(** Versions successfully pulled since {!start}. *)
+
+val failures : t -> int
+(** Sync passes that ended in an error since {!start}. *)

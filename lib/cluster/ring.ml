@@ -1,0 +1,108 @@
+(* Consistent hashing over a 64-bit circle. The hash must be stable
+   across processes and runs (every router computes the same ring), so
+   it is hand-rolled here: FNV-1a over the bytes, finished with a
+   splitmix64-style avalanche — no dependence on OCaml's randomized
+   Hashtbl.hash. *)
+
+type t = {
+  vnodes : int;
+  members : string list;  (* sorted, distinct *)
+  (* circle points sorted by hash; lookup is a binary search *)
+  points : (int64 * string) array;
+}
+
+let default_vnodes = 128
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let avalanche h =
+  let h = Int64.logxor h (Int64.shift_right_logical h 30) in
+  let h = Int64.mul h 0xbf58476d1ce4e5b9L in
+  let h = Int64.logxor h (Int64.shift_right_logical h 27) in
+  let h = Int64.mul h 0x94d049bb133111ebL in
+  Int64.logxor h (Int64.shift_right_logical h 31)
+
+let hash s =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c)) ;
+      h := Int64.mul !h fnv_prime)
+    s ;
+  avalanche !h
+
+(* unsigned 64-bit compare *)
+let ucompare a b =
+  compare (Int64.logxor a Int64.min_int) (Int64.logxor b Int64.min_int)
+
+let build ~vnodes members =
+  let points = Array.make (vnodes * List.length members) (0L, "") in
+  List.iteri
+    (fun mi name ->
+      for v = 0 to vnodes - 1 do
+        points.((mi * vnodes) + v) <- (hash (Printf.sprintf "%s#%d" name v), name)
+      done)
+    members ;
+  (* ties (vanishingly rare) break by shard name so the ring is still a
+     pure function of the member set *)
+  Array.sort
+    (fun (h1, n1) (h2, n2) ->
+      match ucompare h1 h2 with 0 -> compare n1 n2 | c -> c)
+    points ;
+  { vnodes; members; points }
+
+let create ?(vnodes = default_vnodes) names =
+  if vnodes < 1 then invalid_arg "Ring.create: vnodes < 1" ;
+  let members = List.sort_uniq compare names in
+  if members = [] then invalid_arg "Ring.create: no members" ;
+  build ~vnodes members
+
+let members t = t.members
+
+(* index of the first point with hash >= h, wrapping to 0 *)
+let successor_index t h =
+  let n = Array.length t.points in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if ucompare (fst t.points.(mid)) h < 0 then lo := mid + 1 else hi := mid
+  done ;
+  if !lo = n then 0 else !lo
+
+let lookup t key = snd t.points.(successor_index t (hash key))
+
+let successors t key =
+  let n = Array.length t.points in
+  let start = successor_index t (hash key) in
+  let seen = Hashtbl.create 8 in
+  let order = ref [] in
+  (try
+     for i = 0 to n - 1 do
+       let name = snd t.points.((start + i) mod n) in
+       if not (Hashtbl.mem seen name) then begin
+         Hashtbl.add seen name () ;
+         order := name :: !order ;
+         if Hashtbl.length seen = List.length t.members then raise Exit
+       end
+     done
+   with Exit -> ()) ;
+  List.rev !order
+
+let add t name =
+  if List.mem name t.members then t
+  else build ~vnodes:t.vnodes (List.sort compare (name :: t.members))
+
+let remove t name =
+  match List.filter (fun m -> m <> name) t.members with
+  | [] -> invalid_arg "Ring.remove: would empty the ring"
+  | members -> if members = t.members then t else build ~vnodes:t.vnodes members
+
+let ownership t ~samples =
+  let counts = Hashtbl.create 8 in
+  List.iter (fun m -> Hashtbl.replace counts m 0) t.members ;
+  for i = 0 to samples - 1 do
+    let owner = lookup t (Printf.sprintf "probe:%d" i) in
+    Hashtbl.replace counts owner (1 + Hashtbl.find counts owner)
+  done ;
+  List.map (fun m -> (m, Hashtbl.find counts m)) t.members

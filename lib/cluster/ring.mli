@@ -1,0 +1,47 @@
+(** The consistent-hash ring that assigns routing keys to shards.
+
+    Each shard contributes [vnodes] points on a 64-bit hash circle; a
+    key is owned by the first shard point clockwise from the key's own
+    hash. The classic consistent-hashing properties follow: keys spread
+    across shards within a bounded imbalance (more vnodes → tighter),
+    and adding or removing one shard only moves the keys that land on
+    (or leave) that shard — every other key keeps its owner, which is
+    what keeps a shard join/leave from invalidating the whole fleet's
+    dataset caches. Placement is a pure function of the member names:
+    every router instance, on any host, computes the same ring.
+
+    Immutable and purely functional — safe to share across router
+    threads without a lock. *)
+
+type t
+
+val default_vnodes : int
+
+val create : ?vnodes:int -> string list -> t
+(** [create names] builds a ring over the given shard names (order
+    irrelevant; duplicates collapse). [vnodes] (default
+    {!default_vnodes} = 128) is the number of circle points per shard.
+    Raises [Invalid_argument] on an empty member list or [vnodes < 1]. *)
+
+val members : t -> string list
+(** Shard names, sorted. *)
+
+val lookup : t -> string -> string
+(** The shard that owns a key. *)
+
+val successors : t -> string -> string list
+(** All shards in ownership order for a key: the owner first, then each
+    distinct next shard clockwise — the failover order when the owner
+    is down. Length = number of members. *)
+
+val add : t -> string -> t
+(** Ring with one shard added (no-op if already a member). *)
+
+val remove : t -> string -> t
+(** Ring with one shard removed. Raises [Invalid_argument] when
+    removing the last member. *)
+
+val ownership : t -> samples:int -> (string * int) list
+(** Sampled ownership histogram: how many of [samples] deterministic
+    probe keys each shard owns (sorted by shard name). The stats op
+    reports this as the ring-balance view. *)

@@ -1,0 +1,610 @@
+(* The router process. Data path of a routed score request:
+
+     handler thread: read frame → parse → routing key from
+       (model, dataset[, id blocks]) → owner shard(s) via the ring
+     forward: per-shard cached connection (kept alive across
+       requests), circuit breaker per shard, failover to the next
+       distinct shard in ring order on transport failure
+     scatter-gather: an id-set spanning shards is split per owner,
+       scored per shard, and reassembled in original id order —
+       bitwise-identical to a single server because per-row
+       predictions are batch-invariant
+
+   The router runs no LA kernels and touches no model or dataset
+   state, so handler threads are fully independent; each owns its
+   per-shard connection cache. *)
+
+open Morpheus_serve
+
+type config = {
+  listen : string;
+  shards : (string * string) list;
+  vnodes : int;
+  block : int;
+  handlers : int;
+  breaker_threshold : int;
+  breaker_cooldown : float;
+}
+
+let default_config ~listen ~shards =
+  { listen;
+    shards;
+    vnodes = Ring.default_vnodes;
+    block = 64;
+    handlers = 4;
+    breaker_threshold = 3;
+    breaker_cooldown = 1.0
+  }
+
+(* Kept in forwarding order; `morpheus lint` (E208) cross-checks this
+   list against the routed-operations table in docs/SERVING.md. *)
+let routed_op_names = [ "score"; "score_where"; "score_ids"; "health"; "stats" ]
+
+type t = {
+  cfg : config;
+  metrics : Metrics.t;
+  ring : Ring.t;
+  endpoints : (string * Endpoint.t) list;
+  (* read-only after start; each Breaker is itself thread-safe *)
+  breakers : (string * Breaker.t) list;
+  listen_fd : Unix.file_descr;
+  bound : Endpoint.t;
+  conns : Unix.file_descr Queue.t;
+  conn_m : Analysis.Sync.t;
+  conn_cv : Analysis.Sync.cond;
+  (* cluster counters *)
+  state_m : Analysis.Sync.t;
+  mutable forwarded : int;  (* requests sent whole to one shard *)
+  mutable scattered : int;  (* requests split across shards *)
+  mutable subrequests : int;  (* per-shard pieces of scattered requests *)
+  mutable failovers : int;  (* forwards rerouted after a shard failure *)
+  mutable breaker_skips : int;  (* shards skipped on an open circuit *)
+  per_shard_forwards : (string, int) Hashtbl.t;
+  per_shard_errors : (string, int) Hashtbl.t;
+  stop_m : Analysis.Sync.t;
+  stop_cv : Analysis.Sync.cond;
+  mutable stopping : bool;
+  mutable threads : Thread.t list;
+  started : float;
+}
+
+let now () = Clock.wall ()
+let breaker t shard = List.assoc shard t.breakers
+
+let count t f = Analysis.Sync.with_lock t.state_m f
+
+let note_shard_forward t shard =
+  count t (fun () ->
+      Hashtbl.replace t.per_shard_forwards shard
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.per_shard_forwards shard)))
+
+let note_shard_error t shard =
+  count t (fun () ->
+      Hashtbl.replace t.per_shard_errors shard
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.per_shard_errors shard)))
+
+(* ---- forwarding over cached connections ---- *)
+
+(* Each handler thread owns one of these: shard name → live client
+   connection, reused across requests until a transport error. *)
+type cache = (string, Client.t) Hashtbl.t
+
+let drop_conn cache shard =
+  match Hashtbl.find_opt cache shard with
+  | Some c ->
+    Client.close c ;
+    Hashtbl.remove cache shard
+  | None -> ()
+
+(* One attempt against one shard. Reuses the cached connection when
+   present; a reused stream that fails at the transport level gets one
+   immediate fresh-connection retry (it may just have gone stale)
+   before the shard is declared failing. *)
+let attempt_shard t cache shard request =
+  let socket = Endpoint.to_string (List.assoc shard t.endpoints) in
+  let fresh () =
+    let c = Client.connect ~socket in
+    Metrics.record_conn_fresh t.metrics ;
+    Hashtbl.replace cache shard c ;
+    c
+  in
+  match
+    Fault.point "router.forward" ;
+    match Hashtbl.find_opt cache shard with
+    | Some c ->
+      Metrics.record_conn_reused t.metrics ;
+      (c, true)
+    | None -> (fresh (), false)
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error ("transport", Unix.error_message e)
+  | exception Fault.Injected p -> Error ("transport", "injected fault at " ^ p)
+  | c, reused -> (
+    match Client.call c request with
+    | Error ("transport", _) as err -> (
+      drop_conn cache shard ;
+      if not reused then err
+      else
+        match fresh () with
+        | exception Unix.Unix_error (e, _, _) ->
+          Error ("transport", Unix.error_message e)
+        | c -> (
+          match Client.call c request with
+          | Error ("transport", _) as err -> drop_conn cache shard ; err
+          | r -> r))
+    | r -> r)
+
+(* Forward a request along a shard order (owner first, then the ring's
+   failover successors). A shard answering — even with a protocol
+   error — ends the walk: only transport-level failures and open
+   breakers move on to the next shard. *)
+let forward_ordered t cache order request =
+  let rec go ~first = function
+    | [] ->
+      Metrics.record_error t.metrics ~code:"unavailable" ;
+      Error
+        ( "unavailable",
+          "no shard reachable (all circuits open or connections failing)" )
+    | shard :: rest ->
+      let b = breaker t shard in
+      if not (Breaker.allow b) then begin
+        count t (fun () -> t.breaker_skips <- t.breaker_skips + 1) ;
+        go ~first rest
+      end
+      else begin
+        if not first then count t (fun () -> t.failovers <- t.failovers + 1) ;
+        match attempt_shard t cache shard request with
+        | Error ("transport", _) ->
+          Breaker.failure b ;
+          note_shard_error t shard ;
+          go ~first:false rest
+        | r ->
+          Breaker.success b ;
+          note_shard_forward t shard ;
+          r
+      end
+  in
+  go ~first:true order
+
+let forward_by_key t cache key request =
+  count t (fun () -> t.forwarded <- t.forwarded + 1) ;
+  forward_ordered t cache (Ring.successors t.ring key) request
+
+let render = function
+  | Ok j -> j
+  | Error (code, message) -> Protocol.error ~code ~message
+
+(* ---- scatter-gather over id sets ---- *)
+
+let score_key ~model ~dataset = model ^ "|" ^ dataset
+
+let block_key t ~model ~dataset id =
+  Printf.sprintf "%s#%d" (score_key ~model ~dataset) (id / t.cfg.block)
+
+(* Split ids by owning shard (original order preserved within each
+   piece), score each piece on its owner, reassemble the predictions
+   into the original positions. Any failing piece fails the whole
+   request with that piece's error — matching a single server, which
+   also answers a whole score request with one error. *)
+let scatter_score t cache ~model ~dataset ~ids ~deadline_ms =
+  let owners = Array.map (fun id -> Ring.lookup t.ring (block_key t ~model ~dataset id)) ids in
+  let groups = ref [] in
+  (* group by owner in order of first appearance *)
+  Array.iteri
+    (fun i owner ->
+      match List.assoc_opt owner !groups with
+      | Some positions -> positions := i :: !positions
+      | None -> groups := !groups @ [ (owner, ref [ i ]) ])
+    owners ;
+  let groups = List.map (fun (o, ps) -> (o, List.rev !ps)) !groups in
+  match groups with
+  | [] | [ _ ] ->
+    (* one owner (or an empty id set): forward the request whole *)
+    let key =
+      match groups with
+      | _ :: _ -> block_key t ~model ~dataset ids.(0)
+      | [] -> score_key ~model ~dataset
+    in
+    render
+      (forward_by_key t cache key
+         (Protocol.Score
+            { model; target = Protocol.Dataset { dataset; ids }; deadline_ms }))
+  | _ ->
+    count t (fun () ->
+        t.scattered <- t.scattered + 1 ;
+        t.subrequests <- t.subrequests + List.length groups) ;
+    let preds = Array.make (Array.length ids) 0.0 in
+    let model_id = ref "" in
+    let failed = ref None in
+    List.iter
+      (fun (owner, positions) ->
+        if !failed = None then begin
+          let sub_ids = Array.of_list (List.map (fun i -> ids.(i)) positions) in
+          let order =
+            owner
+            :: List.filter (( <> ) owner)
+                 (Ring.successors t.ring (score_key ~model ~dataset))
+          in
+          match
+            forward_ordered t cache order
+              (Protocol.Score
+                 { model;
+                   target = Protocol.Dataset { dataset; ids = sub_ids };
+                   deadline_ms
+                 })
+          with
+          | Error (code, message) -> failed := Some (code, message)
+          | Ok j -> (
+            (match Option.bind (Json.member "model" j) Json.to_str with
+            | Some id -> model_id := id
+            | None -> ()) ;
+            match Option.bind (Json.member "predictions" j) Json.float_list with
+            | Some ps when List.length ps = Array.length sub_ids ->
+              List.iteri (fun k p -> preds.(List.nth positions k) <- p) ps
+            | _ ->
+              failed := Some ("bad_response", "shard response missing predictions"))
+        end)
+      groups ;
+    (match !failed with
+    | Some (code, message) ->
+      Metrics.record_error t.metrics ~code ;
+      Protocol.error ~code ~message
+    | None ->
+      Protocol.ok
+        [ ("model", Json.Str !model_id);
+          ( "predictions",
+            Json.Arr (Array.to_list preds |> List.map (fun x -> Json.Num x)) )
+        ])
+
+(* ---- health / stats aggregation ---- *)
+
+let shard_health t cache shard =
+  match attempt_shard t cache shard Protocol.Health with
+  | Ok j -> (
+    match Option.bind (Json.member "status" j) Json.to_str with
+    | Some s -> s
+    | None -> "degraded")
+  | Error _ -> "down"
+
+let handle_health t cache =
+  let statuses = List.map (fun (s, _) -> (s, shard_health t cache s)) t.cfg.shards in
+  let worst =
+    if List.for_all (fun (_, s) -> s = "ok") statuses then "ok"
+    else if List.exists (fun (_, s) -> s = "down") statuses then "degraded"
+    else "degraded"
+  in
+  Protocol.ok
+    [ ("status", Json.Str worst);
+      ("shards", Json.Obj (List.map (fun (n, s) -> (n, Json.Str s)) statuses));
+      ("uptime_s", Json.Num (now () -. t.started))
+    ]
+
+let breaker_state_name b =
+  match Breaker.state b with
+  | Breaker.Closed -> "closed"
+  | Breaker.Open -> "open"
+  | Breaker.Half_open -> "half_open"
+
+let cluster_json ?health t =
+  (* snapshot every counter in one locked section, render outside it *)
+  let forwarded, scattered, subrequests, failovers, breaker_skips, per_shard =
+    count t (fun () ->
+        ( t.forwarded,
+          t.scattered,
+          t.subrequests,
+          t.failovers,
+          t.breaker_skips,
+          List.map
+            (fun (name, _) ->
+              ( name,
+                Option.value ~default:0 (Hashtbl.find_opt t.per_shard_forwards name),
+                Option.value ~default:0 (Hashtbl.find_opt t.per_shard_errors name)
+              ))
+            t.cfg.shards ))
+  in
+  let shard_json (name, ep) =
+    let fwd, errs =
+      match List.find_opt (fun (n, _, _) -> n = name) per_shard with
+      | Some (_, f, e) -> (f, e)
+      | None -> (0, 0)
+    in
+    let base =
+      [ ("endpoint", Json.Str ep);
+        ("breaker", Json.Str (breaker_state_name (breaker t name)));
+        ("forwards", Json.Num (float_of_int fwd));
+        ("errors", Json.Num (float_of_int errs))
+      ]
+    in
+    let health_field =
+      match Option.bind health (List.assoc_opt name) with
+      | Some s -> [ ("health", Json.Str s) ]
+      | None -> []
+    in
+    (name, Json.Obj (base @ health_field))
+  in
+  let ownership =
+    Ring.ownership t.ring ~samples:1024
+    |> List.map (fun (name, n) -> (name, Json.Num (float_of_int n)))
+  in
+  Json.Obj
+    [ ("shards", Json.Obj (List.map shard_json t.cfg.shards));
+      ( "ring",
+        Json.Obj
+          [ ("vnodes", Json.Num (float_of_int t.cfg.vnodes));
+            ("ownership", Json.Obj ownership)
+          ] );
+      ("forwarded", Json.Num (float_of_int forwarded));
+      ("scattered", Json.Num (float_of_int scattered));
+      ("subrequests", Json.Num (float_of_int subrequests));
+      ("failovers", Json.Num (float_of_int failovers));
+      ("breaker_skips", Json.Num (float_of_int breaker_skips))
+    ]
+
+let stats_payload ?health t =
+  let cluster = cluster_json ?health t in
+  match Metrics.snapshot t.metrics with
+  | Json.Obj fields -> Json.Obj (fields @ [ ("cluster", cluster) ])
+  | other -> Json.Obj [ ("metrics", other); ("cluster", cluster) ]
+
+let stats t = stats_payload t
+
+(* ---- request handling ---- *)
+
+let signal_stop t =
+  Analysis.Sync.lock t.stop_m ;
+  t.stopping <- true ;
+  Analysis.Sync.broadcast t.stop_cv ;
+  Analysis.Sync.unlock t.stop_m ;
+  Analysis.Sync.lock t.conn_m ;
+  Analysis.Sync.broadcast t.conn_cv ;
+  Analysis.Sync.unlock t.conn_m
+
+let handle_request t cache req =
+  let timed op f =
+    let t0 = now () in
+    let r = f () in
+    Metrics.record t.metrics ~op ~seconds:(now () -. t0) ;
+    r
+  in
+  match req with
+  | Protocol.Ping ->
+    Metrics.record t.metrics ~op:"ping" ~seconds:0.0 ;
+    Protocol.ok [ ("pong", Json.Bool true) ]
+  | Protocol.Shutdown ->
+    Metrics.record t.metrics ~op:"shutdown" ~seconds:0.0 ;
+    signal_stop t ;
+    Protocol.ok [ ("stopping", Json.Bool true) ]
+  | Protocol.Stats ->
+    timed "stats" (fun () ->
+        let health = List.map (fun (s, _) -> (s, shard_health t cache s)) t.cfg.shards in
+        Protocol.ok [ ("stats", stats_payload ~health t) ])
+  | Protocol.Health -> timed "health" (fun () -> handle_health t cache)
+  | Protocol.List_models ->
+    timed "list" (fun () ->
+        render (forward_ordered t cache (Ring.successors t.ring "list") req))
+  | Protocol.Score { model; target = Protocol.Rows _; _ } ->
+    timed "score_rows" (fun () -> render (forward_by_key t cache model req))
+  | Protocol.Score { model; target = Protocol.Dataset_where { dataset; _ }; _ } ->
+    timed "score_where" (fun () ->
+        render (forward_by_key t cache (score_key ~model ~dataset) req))
+  | Protocol.Score
+      { model; target = Protocol.Dataset { dataset; ids }; deadline_ms } ->
+    timed "score_ids" (fun () ->
+        scatter_score t cache ~model ~dataset ~ids ~deadline_ms)
+
+(* ---- connection plumbing (stop-aware, mirrors Server) ---- *)
+
+type reader = { fd : Unix.file_descr; rbuf : Buffer.t; chunk : Bytes.t }
+
+let reader fd = { fd; rbuf = Buffer.create 512; chunk = Bytes.create 4096 }
+
+let rec read_frame t r =
+  let contents = Buffer.contents r.rbuf in
+  match String.index_opt contents '\n' with
+  | Some i ->
+    let line = String.sub contents 0 i in
+    Buffer.clear r.rbuf ;
+    Buffer.add_string r.rbuf
+      (String.sub contents (i + 1) (String.length contents - i - 1)) ;
+    Some line
+  | None ->
+    if t.stopping then None
+    else begin
+      match Unix.select [ r.fd ] [] [] 0.1 with
+      | [], _, _ -> read_frame t r
+      | _ -> (
+        match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+        | 0 -> None
+        | n ->
+          Buffer.add_subbytes r.rbuf r.chunk 0 n ;
+          read_frame t r
+        | exception Unix.Unix_error ((EBADF | ECONNRESET | EPIPE), _, _) -> None)
+      | exception Unix.Unix_error (EBADF, _, _) -> None
+    end
+
+let write_frame t fd json =
+  let line = Json.to_string json ^ "\n" in
+  let bytes = Bytes.of_string line in
+  let len = Bytes.length bytes in
+  let off = ref 0 in
+  try
+    while !off < len do
+      off := !off + Unix.write fd bytes !off (len - !off)
+    done ;
+    true
+  with Unix.Unix_error _ ->
+    Metrics.record_write_error t.metrics ;
+    false
+
+let serve_connection t cache fd =
+  let r = reader fd in
+  let rec loop () =
+    match read_frame t r with
+    | None -> ()
+    | Some line ->
+      let response =
+        match Json.of_string line with
+        | Error msg ->
+          Metrics.record_error t.metrics ~code:"bad_request" ;
+          Protocol.error ~code:"bad_request" ~message:msg
+        | Ok j -> (
+          match Protocol.request_of_json j with
+          | Error msg ->
+            Metrics.record_error t.metrics ~code:"bad_request" ;
+            Protocol.error ~code:"bad_request" ~message:msg
+          | Ok req -> (
+            match handle_request t cache req with
+            | response -> response
+            | exception e ->
+              Metrics.record_error t.metrics ~code:"internal" ;
+              Protocol.error ~code:"internal" ~message:(Printexc.to_string e)))
+      in
+      if write_frame t fd response then loop ()
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Fault.point "router.handler" ;
+      loop ())
+
+let accept_loop t =
+  let rec loop () =
+    if t.stopping then ()
+    else begin
+      match Unix.select [ t.listen_fd ] [] [] 0.1 with
+      | [], _, _ -> loop ()
+      | _ -> (
+        match Unix.accept ~cloexec:true t.listen_fd with
+        | fd, _ ->
+          Analysis.Sync.lock t.conn_m ;
+          Queue.push fd t.conns ;
+          Analysis.Sync.signal t.conn_cv ;
+          Analysis.Sync.unlock t.conn_m ;
+          loop ()
+        | exception Unix.Unix_error ((EBADF | EINVAL), _, _) -> ()
+        | exception Unix.Unix_error _ -> loop ())
+      | exception Unix.Unix_error _ -> ()
+    end
+  in
+  loop ()
+
+(* Handler threads survive anything a connection throws (including the
+   router.handler fault point): the cache is rebuilt lazily, the
+   thread goes back for the next connection. *)
+let handler_loop t =
+  let cache : cache = Hashtbl.create 8 in
+  let rec loop () =
+    Analysis.Sync.lock t.conn_m ;
+    while Queue.is_empty t.conns && not t.stopping do
+      Analysis.Sync.wait t.conn_cv t.conn_m
+    done ;
+    let fd = if Queue.is_empty t.conns then None else Some (Queue.pop t.conns) in
+    Analysis.Sync.unlock t.conn_m ;
+    match fd with
+    | Some fd ->
+      (try serve_connection t cache fd
+       with _ ->
+         Hashtbl.iter (fun _ c -> Client.close c) cache ;
+         Hashtbl.reset cache) ;
+      loop ()
+    | None -> Hashtbl.iter (fun _ c -> Client.close c) cache
+  in
+  loop ()
+
+(* ---- lifecycle ---- *)
+
+let start cfg =
+  if cfg.shards = [] then invalid_arg "Router.start: no shards" ;
+  if cfg.handlers < 1 then invalid_arg "Router.start: handlers < 1" ;
+  if cfg.block < 1 then invalid_arg "Router.start: block < 1" ;
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()) ;
+  let ep = Endpoint.of_string cfg.listen in
+  let listen_fd = Endpoint.listen ep in
+  let t =
+    { cfg;
+      metrics = Metrics.create ();
+      ring = Ring.create ~vnodes:cfg.vnodes (List.map fst cfg.shards);
+      endpoints = List.map (fun (n, e) -> (n, Endpoint.of_string e)) cfg.shards;
+      breakers =
+        List.map
+          (fun (n, _) ->
+            ( n,
+              Breaker.create ~threshold:cfg.breaker_threshold
+                ~cooldown:cfg.breaker_cooldown () ))
+          cfg.shards;
+      listen_fd;
+      bound = Endpoint.bound_endpoint ep listen_fd;
+      conns = Queue.create ();
+      conn_m = Analysis.Sync.create ~name:"cluster.router.conns" ();
+      conn_cv = Analysis.Sync.condition ();
+      state_m = Analysis.Sync.create ~name:"cluster.router.state" ();
+      forwarded = 0;
+      scattered = 0;
+      subrequests = 0;
+      failovers = 0;
+      breaker_skips = 0;
+      per_shard_forwards = Hashtbl.create 8;
+      per_shard_errors = Hashtbl.create 8;
+      stop_m = Analysis.Sync.create ~name:"cluster.router.stop" ();
+      stop_cv = Analysis.Sync.condition ();
+      stopping = false;
+      threads = [];
+      started = now ()
+    }
+  in
+  let accept_t = Thread.create accept_loop t in
+  let handler_ts =
+    List.init cfg.handlers (fun _ -> Thread.create handler_loop t)
+  in
+  t.threads <- accept_t :: handler_ts ;
+  t
+
+let endpoint t = t.bound
+let metrics t = t.metrics
+let request_stop t = signal_stop t
+
+let wait t =
+  Analysis.Sync.lock t.stop_m ;
+  while not t.stopping do
+    Analysis.Sync.wait t.stop_cv t.stop_m
+  done ;
+  Analysis.Sync.unlock t.stop_m
+
+let stop t =
+  request_stop t ;
+  List.iter Thread.join t.threads ;
+  t.threads <- [] ;
+  Queue.iter
+    (fun fd ->
+      ignore
+        (write_frame t fd
+           (Protocol.error ~code:"rejected" ~message:"router shutting down")) ;
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    t.conns ;
+  Queue.clear t.conns ;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ()) ;
+  Endpoint.cleanup t.bound
+
+let cluster_summary t =
+  count t (fun () ->
+      Printf.sprintf
+        "cluster       : %d shards, %d forwarded (%d scattered into %d \
+         subrequests), %d failovers, %d breaker skips\n"
+        (List.length t.cfg.shards)
+        t.forwarded t.scattered t.subrequests t.failovers t.breaker_skips)
+
+let run cfg =
+  let t = start cfg in
+  let stop_signal _ = request_stop t in
+  let old_int = Sys.signal Sys.sigint (Sys.Signal_handle stop_signal) in
+  let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle stop_signal) in
+  Fmt.pr "morpheus route: listening on %s over %d shards (%d handlers, %d vnodes)@."
+    (Endpoint.to_string t.bound)
+    (List.length cfg.shards) cfg.handlers cfg.vnodes ;
+  List.iter (fun (n, e) -> Fmt.pr "morpheus route:   shard %s at %s@." n e) cfg.shards ;
+  wait t ;
+  stop t ;
+  Sys.set_signal Sys.sigint old_int ;
+  Sys.set_signal Sys.sigterm old_term ;
+  Fmt.pr "@.-- routing metrics --@.%s%s@."
+    (Metrics.summary t.metrics) (cluster_summary t)

@@ -1,0 +1,75 @@
+(** The cluster router: a separate process that speaks the same
+    line-delimited-JSON protocol as a shard server and fans requests
+    out over a fleet of shards.
+
+    Placement is consistent hashing ({!Ring}) over [(model, dataset)]
+    routing keys; a [score] request over an id set whose blocks hash to
+    different shards is {e scatter-gathered} — split per owning shard,
+    scored in parallel by the fleet, and reassembled in the original id
+    order. Because every shard serves any (model, dataset) identically
+    (registries are replicas, datasets shared) and per-row predictions
+    are batch-invariant, the reassembled response is bitwise-identical
+    to a single server's.
+
+    Resilience: one {!Breaker} per shard; a transport failure fails
+    over to the next distinct shard in ring order (counted as a
+    failover) and the reply is still bitwise-identical, which is what
+    the chaos suite asserts while SIGKILLing shard processes
+    mid-storm. Forwarding connections are cached per handler thread
+    and kept alive across requests ({!Metrics.record_conn_reused}).
+
+    The router holds no model or dataset state: [ping], [stats], and
+    [shutdown] answer locally, [health] fans out, everything else
+    forwards. *)
+
+type config = {
+  listen : string;  (** endpoint string ({!Morpheus_serve.Endpoint}) *)
+  shards : (string * string) list;
+      (** shard name → endpoint string; names are the ring members *)
+  vnodes : int;  (** ring points per shard ({!Ring.create}) *)
+  block : int;
+      (** ids per routing block: id [i] of a dataset routes by block
+          [i / block], so runs of nearby ids stay on one shard *)
+  handlers : int;  (** connection-handler threads *)
+  breaker_threshold : int;
+      (** consecutive forward failures before a shard's circuit opens *)
+  breaker_cooldown : float;  (** seconds an open shard circuit rests *)
+}
+
+val default_config : listen:string -> shards:(string * string) list -> config
+(** vnodes {!Ring.default_vnodes}, block 64, handlers 4, breaker
+    threshold 3 / cooldown 1s. *)
+
+val routed_op_names : string list
+(** The protocol ops the router forwards to shards (the rest are
+    answered locally): [score], [score_where], [score_ids], [health],
+    [stats] — [stats] in the aggregate: the router answers with its own
+    metrics plus the [cluster] section. `morpheus lint` (E208) checks
+    this list against the routed-operations table in docs/SERVING.md. *)
+
+type t
+
+val start : config -> t
+(** Bind and start handler threads. Raises [Unix.Unix_error] if the
+    endpoint cannot be bound, [Invalid_argument] on an empty shard
+    list or nonsensical config. *)
+
+val endpoint : t -> Morpheus_serve.Endpoint.t
+(** The endpoint actually bound (resolves a [host:0] ephemeral port). *)
+
+val request_stop : t -> unit
+val wait : t -> unit
+val stop : t -> unit
+
+val metrics : t -> Morpheus_serve.Metrics.t
+
+val stats : t -> Morpheus_serve.Json.t
+(** The router's [stats] payload: metrics snapshot plus the [cluster]
+    section (per-shard breaker state and forward counts, ring
+    ownership histogram, forwarded / scattered / subrequest / failover
+    counters). The [stats] protocol op additionally live-probes each
+    shard's health. *)
+
+val run : config -> unit
+(** [start], install SIGINT/SIGTERM stop handlers, block until
+    shutdown, then dump the metrics summary plus a cluster line. *)

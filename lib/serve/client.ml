@@ -1,11 +1,7 @@
 type t = { fd : Unix.file_descr; buf : Buffer.t; chunk : Bytes.t }
 
 let connect ~socket =
-  let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
-  (try Unix.connect fd (ADDR_UNIX socket)
-   with e ->
-     (try Unix.close fd with Unix.Unix_error _ -> ()) ;
-     raise e) ;
+  let fd = Endpoint.connect (Endpoint.of_string socket) in
   { fd; buf = Buffer.create 512; chunk = Bytes.create 4096 }
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
@@ -99,9 +95,7 @@ let default_retry =
     retry_codes = [ "transport"; "overloaded"; "circuit_open"; "internal" ]
   }
 
-(* One attempt = one fresh connection: a transport failure may have
-   left the old connection desynchronized (half a frame written), and
-   reconnecting over a Unix socket is cheap. *)
+(* One attempt on one fresh connection. *)
 let attempt_once ~socket request =
   match with_client ~socket (fun t -> call t request) with
   | r -> r
@@ -113,16 +107,71 @@ let call_retry ?(policy = default_retry) ?metrics ?rng ~socket request =
   if policy.attempts < 1 then invalid_arg "Client.call_retry: attempts < 1" ;
   let rng = match rng with Some r -> r | None -> La.Rng.of_int 0x5eed in
   let t0 = Clock.wall () in
+  (* The connection is kept alive across attempts: a server that
+     answered (even with an error code) left the stream at a frame
+     boundary, so the next attempt can reuse it. Only a transport
+     failure — which may have desynchronized the stream (half a frame
+     written) — forces a reconnect. *)
+  let conn = ref None in
+  let drop_conn () =
+    match !conn with
+    | Some c ->
+      close c ;
+      conn := None
+    | None -> ()
+  in
+  let attempt () =
+    let reused = !conn <> None in
+    match
+      let c =
+        match !conn with
+        | Some c ->
+          (match metrics with
+          | Some m -> Metrics.record_conn_reused m
+          | None -> ()) ;
+          c
+        | None ->
+          let c = connect ~socket in
+          (match metrics with
+          | Some m -> Metrics.record_conn_fresh m
+          | None -> ()) ;
+          conn := Some c ;
+          c
+      in
+      call c request
+    with
+    | Error ("transport", _) as err ->
+      drop_conn () ;
+      (* a reused stream may have gone stale between attempts (server
+         restart, idle timeout): retry immediately on a fresh
+         connection before charging the policy an attempt *)
+      if reused then begin
+        (match metrics with Some m -> Metrics.record_conn_fresh m | None -> ()) ;
+        attempt_once ~socket request
+      end
+      else err
+    | r -> r
+    | exception Unix.Unix_error (e, _, _) ->
+      drop_conn () ;
+      Error ("transport", Unix.error_message e)
+    | exception Fault.Injected p ->
+      drop_conn () ;
+      Error ("transport", "injected fault at " ^ p)
+  in
+  let finish r =
+    drop_conn () ;
+    r
+  in
   let rec go k =
-    match attempt_once ~socket request with
-    | Ok _ as ok -> ok
+    match attempt () with
+    | Ok _ as ok -> finish ok
     | Error (code, _) as err ->
       let elapsed = Clock.wall () -. t0 in
       if
         k >= policy.attempts
         || (not (List.mem code policy.retry_codes))
         || elapsed >= policy.budget
-      then err
+      then finish err
       else begin
         (match metrics with Some m -> Metrics.record_retry m | None -> ()) ;
         let base =

@@ -5,7 +5,9 @@
 type t
 
 val connect : socket:string -> t
-(** Raises [Unix.Unix_error] if the socket cannot be reached. *)
+(** [socket] is an endpoint string ({!Endpoint.of_string}): a Unix
+    socket path or ["host:port"] for TCP. Raises [Unix.Unix_error] if
+    the endpoint cannot be reached. *)
 
 val close : t -> unit
 
@@ -76,9 +78,14 @@ val call_retry :
   socket:string ->
   Protocol.request ->
   (Json.t, string * string) result
-(** One logical request with retries. Each attempt opens a fresh
-    connection (a transport failure may have desynchronized the old
-    one). [metrics] counts each retry ({!Metrics.record_retry});
+(** One logical request with retries. The connection is kept alive
+    across attempts — a server that answered with a retryable error
+    left the stream at a frame boundary, so the next attempt reuses it
+    ({!Metrics.record_conn_reused}); only a transport failure (which
+    may have desynchronized the stream) forces a fresh connect
+    ({!Metrics.record_conn_fresh}), and a reused stream that turns out
+    stale gets one immediate fresh-connection retry before the policy
+    is charged. [metrics] counts each retry ({!Metrics.record_retry});
     [rng] drives the jitter deterministically (defaults to a fixed
     seed). Returns the last error when the policy is exhausted. *)
 

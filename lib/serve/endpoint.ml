@@ -1,0 +1,101 @@
+(* One address type for Unix-domain and TCP transports. The parsing
+   rule keeps every pre-cluster call site working unchanged: an
+   unadorned path is a Unix socket, and "host:port" is TCP only when
+   the port is all digits and the host cannot be a path. *)
+
+type t = Unix_path of string | Tcp of string * int
+
+let all_digits s =
+  s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s
+
+let of_string s =
+  let tcp_of host port_s =
+    match (host, int_of_string_opt port_s) with
+    | "", _ | _, None -> None
+    | host, Some port when not (String.contains host '/') -> Some (Tcp (host, port))
+    | _ -> None
+  in
+  let split_last_colon s =
+    match String.rindex_opt s ':' with
+    | None -> None
+    | Some i ->
+      Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  in
+  if String.length s >= 5 && String.sub s 0 5 = "unix:" then
+    Unix_path (String.sub s 5 (String.length s - 5))
+  else if String.length s >= 4 && String.sub s 0 4 = "tcp:" then begin
+    let rest = String.sub s 4 (String.length s - 4) in
+    match split_last_colon rest with
+    | Some (host, port_s) when all_digits port_s -> (
+      match tcp_of host port_s with
+      | Some e -> e
+      | None -> invalid_arg ("Endpoint.of_string: bad tcp endpoint " ^ s))
+    | _ -> invalid_arg ("Endpoint.of_string: bad tcp endpoint " ^ s)
+  end
+  else
+    match split_last_colon s with
+    | Some (host, port_s) when all_digits port_s -> (
+      match tcp_of host port_s with
+      | Some e -> e
+      | None -> Unix_path s)
+    | _ -> Unix_path s
+
+let to_string = function
+  | Unix_path p -> p
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
+let sockaddr = function
+  | Unix_path p -> Unix.ADDR_UNIX p
+  | Tcp (host, port) -> (
+    match Unix.inet_addr_of_string host with
+    | addr -> Unix.ADDR_INET (addr, port)
+    | exception Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } ->
+        invalid_arg ("Endpoint.sockaddr: host resolves to nothing: " ^ host)
+      | { Unix.h_addr_list; _ } -> Unix.ADDR_INET (h_addr_list.(0), port)
+      | exception Not_found ->
+        invalid_arg ("Endpoint.sockaddr: unknown host " ^ host)))
+
+let domain = function Unix_path _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET
+
+let listen ?(backlog = 64) e =
+  (match e with
+  | Unix_path p -> if Sys.file_exists p then Sys.remove p
+  | Tcp _ -> ()) ;
+  let fd = Unix.socket ~cloexec:true (domain e) SOCK_STREAM 0 in
+  (try
+     (match e with
+     | Tcp _ -> Unix.setsockopt fd SO_REUSEADDR true
+     | Unix_path _ -> ()) ;
+     Unix.bind fd (sockaddr e) ;
+     Unix.listen fd backlog
+   with exn ->
+     (try Unix.close fd with Unix.Unix_error _ -> ()) ;
+     raise exn) ;
+  fd
+
+let connect e =
+  let fd = Unix.socket ~cloexec:true (domain e) SOCK_STREAM 0 in
+  (try
+     Unix.connect fd (sockaddr e) ;
+     match e with
+     | Tcp _ -> Unix.setsockopt fd TCP_NODELAY true
+     | Unix_path _ -> ()
+   with exn ->
+     (try Unix.close fd with Unix.Unix_error _ -> ()) ;
+     raise exn) ;
+  fd
+
+let bound_endpoint e fd =
+  match e with
+  | Unix_path _ -> e
+  | Tcp (host, _) -> (
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, port) -> Tcp (host, port)
+    | _ -> e)
+
+let cleanup = function
+  | Unix_path p -> (
+    if Sys.file_exists p then try Sys.remove p with Sys_error _ -> ())
+  | Tcp _ -> ()

@@ -1,0 +1,40 @@
+(** The transport seam: one address type for both Unix-domain sockets
+    and loopback/LAN TCP, so the line-delimited-JSON protocol runs
+    unchanged over either. The server binds one, the client connects to
+    one, and the cluster router speaks to its shards through the same
+    seam — codec, deadlines, and shedding are transport-agnostic. *)
+
+type t =
+  | Unix_path of string  (** Unix domain socket path *)
+  | Tcp of string * int  (** host (name or dotted quad) and port *)
+
+val of_string : string -> t
+(** Parse an endpoint string. ["unix:PATH"] and ["tcp:HOST:PORT"] are
+    explicit; a bare ["HOST:PORT"] (port all digits, no ['/'] in the
+    host) is TCP; anything else is a Unix socket path. ["HOST:0"] asks
+    the kernel for an ephemeral port — read it back with
+    {!bound_endpoint}. *)
+
+val to_string : t -> string
+(** Inverse of {!of_string}: ["PATH"] for Unix paths, ["HOST:PORT"]
+    for TCP. *)
+
+val sockaddr : t -> Unix.sockaddr
+(** The address to bind or connect. Raises [Invalid_argument] if a TCP
+    host does not resolve. *)
+
+val listen : ?backlog:int -> t -> Unix.file_descr
+(** Bind and listen (backlog 64 by default). Unix paths remove a stale
+    socket file first; TCP sockets set [SO_REUSEADDR]. Raises
+    [Unix.Unix_error] if the address cannot be bound. *)
+
+val connect : t -> Unix.file_descr
+(** A connected socket (TCP sets [TCP_NODELAY]: frames are small and
+    latency-bound). Raises [Unix.Unix_error] on refusal. *)
+
+val bound_endpoint : t -> Unix.file_descr -> t
+(** The endpoint actually bound, read back from the kernel — resolves
+    port 0 to the ephemeral port assigned. *)
+
+val cleanup : t -> unit
+(** Remove the socket file of a Unix-path endpoint (no-op for TCP). *)

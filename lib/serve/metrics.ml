@@ -77,6 +77,8 @@ type t = {
   mutable sheds : int;  (* requests shed at the queue bound *)
   mutable restarts : int;  (* crashed handler threads restarted *)
   mutable write_errors : int;  (* response writes to dead peers *)
+  mutable conns_reused : int;  (* retry attempts on a kept-alive connection *)
+  mutable conns_fresh : int;  (* retry attempts that opened a new connection *)
 }
 
 let create () =
@@ -94,7 +96,9 @@ let create () =
     retries = 0;
     sheds = 0;
     restarts = 0;
-    write_errors = 0
+    write_errors = 0;
+    conns_reused = 0;
+    conns_fresh = 0
   }
 
 let locked t f =
@@ -135,6 +139,10 @@ let record_retry t = locked t (fun () -> t.retries <- t.retries + 1)
 let record_shed t = locked t (fun () -> t.sheds <- t.sheds + 1)
 let record_restart t = locked t (fun () -> t.restarts <- t.restarts + 1)
 let record_write_error t = locked t (fun () -> t.write_errors <- t.write_errors + 1)
+let record_conn_reused t = locked t (fun () -> t.conns_reused <- t.conns_reused + 1)
+let record_conn_fresh t = locked t (fun () -> t.conns_fresh <- t.conns_fresh + 1)
+let conns_reused t = locked t (fun () -> t.conns_reused)
+let conns_fresh t = locked t (fun () -> t.conns_fresh)
 let retries t = locked t (fun () -> t.retries)
 let sheds t = locked t (fun () -> t.sheds)
 let restarts t = locked t (fun () -> t.restarts)
@@ -212,7 +220,9 @@ let snapshot t =
               [ ("retries", Json.Num (float_of_int t.retries));
                 ("sheds", Json.Num (float_of_int t.sheds));
                 ("handler_restarts", Json.Num (float_of_int t.restarts));
-                ("write_errors", Json.Num (float_of_int t.write_errors))
+                ("write_errors", Json.Num (float_of_int t.write_errors));
+                ("conns_reused", Json.Num (float_of_int t.conns_reused));
+                ("conns_fresh", Json.Num (float_of_int t.conns_fresh))
               ] );
           (* concurrency-discipline counters: process-global (the pool
              and lockdep are), not per-server *)
@@ -292,8 +302,10 @@ let summary t =
     in
     Buffer.add_string buf
       (Printf.sprintf
-         "robustness    : %.0f sheds, %.0f handler restarts, %.0f write errors\n"
-         (f "sheds") (f "handler_restarts") (f "write_errors"))
+         "robustness    : %.0f sheds, %.0f handler restarts, %.0f write errors, \
+          %.0f/%.0f conns reused/fresh\n"
+         (f "sheds") (f "handler_restarts") (f "write_errors")
+         (f "conns_reused") (f "conns_fresh"))
   | None -> ()) ;
   (match Json.member "concurrency" j with
   | Some c ->

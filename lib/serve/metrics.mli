@@ -34,10 +34,20 @@ val record_restart : t -> unit
 val record_write_error : t -> unit
 (** One response write that failed (peer gone mid-write). *)
 
+val record_conn_reused : t -> unit
+(** One request attempt served over a kept-alive connection
+    ({!Client.call_retry} reuse, or a router forwarding over a cached
+    shard connection). *)
+
+val record_conn_fresh : t -> unit
+(** One request attempt that had to open a new connection. *)
+
 val retries : t -> int
 val sheds : t -> int
 val restarts : t -> int
 val write_errors : t -> int
+val conns_reused : t -> int
+val conns_fresh : t -> int
 
 val requests : t -> int
 (** Total successful requests recorded. *)

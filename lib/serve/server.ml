@@ -65,6 +65,7 @@ type t = {
   cfg : config;
   metrics : Metrics.t;
   listen_fd : Unix.file_descr;
+  bound : Endpoint.t;  (* the endpoint actually bound (ephemeral ports resolved) *)
   (* accepted connections awaiting a handler *)
   conns : Unix.file_descr Queue.t;
   conn_m : Analysis.Sync.t;
@@ -647,18 +648,13 @@ let start cfg =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()) ;
   (* quarantine crash litter before anything reads the registry *)
   let recovered = List.length (Registry.recover ~dir:cfg.registry) in
-  if Sys.file_exists cfg.socket then Sys.remove cfg.socket ;
-  let listen_fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
-  (try
-     Unix.bind listen_fd (ADDR_UNIX cfg.socket) ;
-     Unix.listen listen_fd 64
-   with e ->
-     (try Unix.close listen_fd with Unix.Unix_error _ -> ()) ;
-     raise e) ;
+  let ep = Endpoint.of_string cfg.socket in
+  let listen_fd = Endpoint.listen ep in
   let t =
     { cfg;
       metrics = Metrics.create ();
       listen_fd;
+      bound = Endpoint.bound_endpoint ep listen_fd;
       conns = Queue.create ();
       conn_m = Analysis.Sync.create ~name:"serve.server.conns" ();
       conn_cv = Analysis.Sync.condition ();
@@ -703,6 +699,7 @@ let wait t =
   Analysis.Sync.unlock t.stop_m
 
 let metrics t = t.metrics
+let endpoint t = t.bound
 
 let stop t =
   request_stop t ;
@@ -723,16 +720,17 @@ let stop t =
   Queue.clear t.conns ;
   (match t.batcher with Some b -> Batcher.stop b | None -> ()) ;
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ()) ;
-  if Sys.file_exists t.cfg.socket then
-    try Sys.remove t.cfg.socket with Sys_error _ -> ()
+  Endpoint.cleanup t.bound
 
 let run cfg =
   let t = start cfg in
   let stop_signal _ = request_stop t in
   let old_int = Sys.signal Sys.sigint (Sys.Signal_handle stop_signal) in
   let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle stop_signal) in
-  Fmt.pr "morpheus serve: registry %s, socket %s (%d handlers, batch ≤ %d / %gms)@."
-    cfg.registry cfg.socket cfg.handlers cfg.max_batch (1e3 *. cfg.max_wait) ;
+  Fmt.pr "morpheus serve: registry %s, listening on %s (%d handlers, batch ≤ %d / %gms)@."
+    cfg.registry
+    (Endpoint.to_string t.bound)
+    cfg.handlers cfg.max_batch (1e3 *. cfg.max_wait) ;
   if t.recovered > 0 then
     Fmt.pr "morpheus serve: quarantined %d crash-litter entries from the registry@."
       t.recovered ;

@@ -1,6 +1,6 @@
 (** The scoring server: a line-delimited-JSON protocol over a Unix
-    domain socket in front of the model registry and the micro-batching
-    scoring engine.
+    domain socket or TCP ({!Endpoint}) in front of the model registry
+    and the micro-batching scoring engine.
 
     Threading: one accept thread, [handlers] connection-handler
     threads, one supervisor thread, and one batching thread. Handler
@@ -21,7 +21,11 @@
 
 type config = {
   registry : string;  (** registry directory ({!Registry}) *)
-  socket : string;  (** Unix domain socket path (created; replaced) *)
+  socket : string;
+      (** endpoint string ({!Endpoint.of_string}): a Unix domain socket
+          path (created; replaced) or ["host:port"] to listen on TCP
+          (["host:0"] picks an ephemeral port — read it back with
+          {!endpoint}) *)
   max_batch : int;  (** micro-batch close threshold (requests) *)
   max_wait : float;  (** micro-batch max linger, seconds *)
   queue_bound : int;  (** pending requests before shedding *)
@@ -64,6 +68,10 @@ val stats : t -> Json.t
     loaded models, dataset cache, queue). *)
 
 val metrics : t -> Metrics.t
+
+val endpoint : t -> Endpoint.t
+(** The endpoint actually bound — for [socket = "host:0"] this carries
+    the ephemeral port the kernel assigned. *)
 
 val run : config -> unit
 (** [start], install SIGINT/SIGTERM handlers that request a stop, block

@@ -266,7 +266,8 @@ let base_cfg root =
   { Lint.root;
     protocol_ops = [ "ping"; "score" ];
     catalogues = [ ("Check", [ "E001" ]); ("Analysis", [ "E101" ]) ];
-    relational_nodes = []
+    relational_nodes = [];
+    router_ops = []
   }
 
 let fault_call name = Printf.sprintf "let f () = Fault.point %S\n" name
@@ -448,6 +449,95 @@ let test_lint_unsafe_section_missing () =
   write_file (Filename.concat root "docs/ANALYSIS.md") "# Analyzer\n" ;
   ignore (find_code "E207" (Lint.run (base_cfg root)))
 
+(* E208 cluster drift: routed ops vs the SERVING.md table and the
+   lib/cluster fault points vs the ROBUSTNESS.md cluster section, both
+   directions. *)
+
+let cluster_serving =
+  "Requests:\n```\n{\"op\":\"ping\"}\n{\"op\":\"score\",\"model\":\"m\"}\n```\n\n\
+   ## Routed operations\n\n| op | fan-out |\n|---|---|\n\
+   | `score` | one shard by key |\n| `health` | every shard |\n"
+
+let cluster_robustness =
+  "| point | boundary |\n|---|---|\n| `io.read` | file I/O |\n\n\
+   ## Cluster fault points\n\n| point | boundary |\n|---|---|\n\
+   | `router.forward` | shard dial |\n"
+
+let cluster_fixture ?(serving = cluster_serving)
+    ?(robustness = cluster_robustness) ?(extra_sources = []) () =
+  lint_fixture ~robustness ~serving
+    ~sources:
+      ([ ("lib/core/io.ml", fault_call "io.read");
+         ( "lib/serve/protocol.ml",
+           "let parse = function Some \"ping\" -> 1 | Some \"score\" -> 2\n" );
+         ("lib/cluster/router.ml", fault_call "router.forward")
+       ]
+      @ extra_sources)
+    ()
+
+let cluster_cfg root =
+  { (base_cfg root) with Lint.router_ops = [ "score"; "health" ] }
+
+let test_lint_cluster_clean () =
+  let root = cluster_fixture () in
+  Alcotest.(check (list string)) "documented cluster tree is clean" []
+    (codes (Lint.run (cluster_cfg root)))
+
+let test_lint_cluster_undocumented_op () =
+  let root = cluster_fixture () in
+  let cfg =
+    { (base_cfg root) with Lint.router_ops = [ "score"; "health"; "stats" ] }
+  in
+  let d = find_code "E208" (Lint.run cfg) in
+  Alcotest.(check bool) "names the missing op" true
+    (has_substring d.Diag.message "stats")
+
+let test_lint_cluster_phantom_op () =
+  let root =
+    cluster_fixture
+      ~serving:(cluster_serving ^ "| `drain` | does not exist |\n")
+      ()
+  in
+  let d = find_code "E208" (Lint.run (cluster_cfg root)) in
+  Alcotest.(check bool) "names the phantom op" true
+    (has_substring d.Diag.message "drain")
+
+let test_lint_cluster_undocumented_point () =
+  let root =
+    cluster_fixture
+      ~extra_sources:[ ("lib/cluster/extra.ml", fault_call "router.mystery") ]
+      ()
+  in
+  let findings = Lint.run (cluster_cfg root) in
+  let d = find_code "E208" findings in
+  Alcotest.(check bool) "names the undocumented point" true
+    (has_substring d.Diag.message "router.mystery") ;
+  (* the same point outside lib/cluster/ only concerns the global scan *)
+  ignore (find_code "E201" findings)
+
+let test_lint_cluster_phantom_point () =
+  let root =
+    cluster_fixture
+      ~robustness:(cluster_robustness ^ "| `router.ghost` | gone |\n")
+      ()
+  in
+  let d = find_code "E208" (Lint.run (cluster_cfg root)) in
+  Alcotest.(check bool) "names the phantom point" true
+    (has_substring d.Diag.message "router.ghost")
+
+let test_lint_cluster_sections_missing () =
+  (* the clean fixture has neither section; with routed ops configured
+     both tables are demanded, without them the tree stays clean *)
+  let root = clean_fixture () in
+  let findings = Lint.run (cluster_cfg root) in
+  let e208 =
+    List.filter (fun (d : Diag.t) -> d.Diag.code = Diag.E208) findings
+  in
+  Alcotest.(check int) "both missing sections are findings" 2
+    (List.length e208) ;
+  Alcotest.(check (list string)) "empty router_ops disables E208" []
+    (codes (Lint.run (base_cfg root)))
+
 let test_lint_duplicate_codes () =
   let root = clean_fixture () in
   let cfg =
@@ -494,6 +584,18 @@ let () =
             test_lint_relational_node_phantom;
           Alcotest.test_case "missing relational section" `Quick
             test_lint_relational_section_missing;
+          Alcotest.test_case "cluster tables clean" `Quick
+            test_lint_cluster_clean;
+          Alcotest.test_case "undocumented routed op" `Quick
+            test_lint_cluster_undocumented_op;
+          Alcotest.test_case "phantom routed op" `Quick
+            test_lint_cluster_phantom_op;
+          Alcotest.test_case "undocumented cluster fault point" `Quick
+            test_lint_cluster_undocumented_point;
+          Alcotest.test_case "phantom cluster fault point" `Quick
+            test_lint_cluster_phantom_point;
+          Alcotest.test_case "missing cluster sections" `Quick
+            test_lint_cluster_sections_missing;
           Alcotest.test_case "unsafe indexing outside table" `Quick
             test_lint_unsafe_outside_table;
           Alcotest.test_case "sanctioned unsafe indexing" `Quick
