@@ -46,6 +46,8 @@ let experiments : (string * string * (Harness.config -> unit)) list =
      Serve_bench.run);
     ("cluster", "Sharded serving: routed throughput over 1/2/4 shard processes, JSON report",
      Cluster_bench.run);
+    ("faults", "Transport chaos: throughput with 0/1/2 armed fault points, hedging off/on, JSON report",
+     Faults_bench.run);
     ("sync", "Sync named-lock wrapper overhead vs raw mutexes, JSON report",
      Sync_bench.run);
     ("micro", "Bechamel micro-suite (one Test.make per experiment family)", Micro.run) ]

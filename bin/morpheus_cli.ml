@@ -587,11 +587,33 @@ let socket_arg =
   Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"ENDPOINT"
          ~doc:"Server endpoint: a Unix domain socket path or HOST:PORT.")
 
+(* Endpoint strings are validated up front so a typo is a usage error
+   (exit 2) with the offending string, not a runtime backtrace. *)
+let check_endpoint ~cmd s =
+  match Morpheus_serve.Endpoint.of_string_result s with
+  | Ok _ -> ()
+  | Error msg ->
+    Fmt.epr "morpheus %s: %s@." cmd msg ;
+    exit 2
+
 let serve registry socket listen threads max_batch max_wait_ms queue_bound
     handlers cache_capacity deadline_ms breaker_threshold breaker_cooldown_ms
-    lockdep replicate_from replicate_interval_ms =
+    lockdep replicate_from replicate_interval_ms drain_on limit_target_ms =
   apply_threads threads ;
   if lockdep then Analysis.Sync.enable_lockdep () ;
+  let drain_on_term =
+    match Option.map String.lowercase_ascii drain_on with
+    | None -> false
+    | Some "sigterm" -> true
+    | Some other ->
+      Fmt.epr "morpheus serve: --drain-on only supports SIGTERM, got %S@." other ;
+      exit 2
+  in
+  (match limit_target_ms with
+  | Some ms when ms <= 0.0 ->
+    Fmt.epr "morpheus serve: --limit-target-ms must be > 0@." ;
+    exit 2
+  | _ -> ()) ;
   if max_batch < 1 || queue_bound < 1 || handlers < 1 || cache_capacity < 1
      || max_wait_ms < 0.0
   then begin
@@ -610,6 +632,7 @@ let serve registry socket listen threads max_batch max_wait_ms queue_bound
       Fmt.epr "morpheus serve: give --socket PATH or --listen HOST:PORT@." ;
       exit 2
   in
+  check_endpoint ~cmd:"serve" endpoint ;
   if replicate_interval_ms <= 0.0 then begin
     Fmt.epr "morpheus serve: --replicate-interval-ms must be > 0@." ;
     exit 2
@@ -637,7 +660,9 @@ let serve registry socket listen threads max_batch max_wait_ms queue_bound
           cache_capacity;
           default_deadline_ms = deadline_ms;
           breaker_threshold;
-          breaker_cooldown = breaker_cooldown_ms /. 1e3
+          breaker_cooldown = breaker_cooldown_ms /. 1e3;
+          drain_on_term;
+          limiter_target_ms = limit_target_ms
         })
 
 let serve_cmd =
@@ -699,6 +724,18 @@ let serve_cmd =
                  record every lock acquisition and report ordering \
                  violations as they are first observed.")
   in
+  let drain_on =
+    Arg.(value & opt (some string) None & info [ "drain-on" ] ~docv:"SIGNAL"
+           ~doc:"Drain instead of stopping on $(docv) (only SIGTERM is \
+                 supported): health reports draining, queued work finishes, \
+                 then the server exits on its own. SIGINT still stops \
+                 immediately.")
+  in
+  let limit_target =
+    Arg.(value & opt (some float) None & info [ "limit-target-ms" ]
+           ~doc:"Latency target for the adaptive (AIMD) concurrency limit \
+                 over score requests; omitted disables admission limiting.")
+  in
   Cmd.v
     (cmd_info "serve"
        ~doc:"Serve models from a registry over a Unix domain socket or TCP \
@@ -706,12 +743,13 @@ let serve_cmd =
     Term.(const serve $ registry_arg $ socket $ listen $ threads_arg
           $ max_batch $ max_wait $ queue_bound $ handlers $ cache $ deadline
           $ breaker_threshold $ breaker_cooldown $ lockdep $ replicate_from
-          $ replicate_interval)
+          $ replicate_interval $ drain_on $ limit_target)
 
 (* ---- route: the consistent-hash router over shard servers ---- *)
 
 let route listen shards vnodes block handlers breaker_threshold
-    breaker_cooldown_ms lockdep =
+    breaker_cooldown_ms lockdep probe_interval_ms eject_after rejoin_after
+    hedge hedge_rate hedge_burst limit_target_ms =
   if lockdep then Analysis.Sync.enable_lockdep () ;
   let parse_shard spec =
     match String.index_opt spec '=' with
@@ -727,12 +765,27 @@ let route listen shards vnodes block handlers breaker_threshold
     Fmt.epr "morpheus route: give at least one --shard NAME=ENDPOINT@." ;
     exit 2
   end ;
+  check_endpoint ~cmd:"route" listen ;
+  List.iter (fun (_, ep) -> check_endpoint ~cmd:"route" ep) shards ;
   if vnodes < 1 || block < 1 || handlers < 1 || breaker_threshold < 1
      || breaker_cooldown_ms < 0.0
   then begin
     Fmt.epr "morpheus route: vnodes/block/handlers/breaker must be positive@." ;
     exit 2
   end ;
+  if eject_after < 1 || rejoin_after < 1 then begin
+    Fmt.epr "morpheus route: --eject-after/--rejoin-after must be >= 1@." ;
+    exit 2
+  end ;
+  if hedge_rate <= 0.0 || hedge_burst < 1.0 then begin
+    Fmt.epr "morpheus route: --hedge-rate must be > 0, --hedge-burst >= 1@." ;
+    exit 2
+  end ;
+  (match limit_target_ms with
+  | Some ms when ms <= 0.0 ->
+    Fmt.epr "morpheus route: --limit-target-ms must be > 0@." ;
+    exit 2
+  | _ -> ()) ;
   with_runtime_errors @@ fun () ->
   Morpheus_cluster.Router.run
     { Morpheus_cluster.Router.listen;
@@ -741,7 +794,16 @@ let route listen shards vnodes block handlers breaker_threshold
       block;
       handlers;
       breaker_threshold;
-      breaker_cooldown = breaker_cooldown_ms /. 1e3
+      breaker_cooldown = breaker_cooldown_ms /. 1e3;
+      probe_interval = probe_interval_ms /. 1e3;
+      probe_timeout = 1.0;
+      suspect_after = 1;
+      eject_after;
+      rejoin_after;
+      hedge;
+      hedge_rate;
+      hedge_burst;
+      limiter_target_ms = limit_target_ms
     }
 
 let route_cmd =
@@ -785,13 +847,52 @@ let route_cmd =
     Arg.(value & flag & info [ "lockdep" ]
            ~doc:"Enable the lock-order analyzer (same as MORPHEUS_LOCKDEP=1).")
   in
+  let probe_interval =
+    Arg.(value & opt float 250.0 & info [ "probe-interval-ms" ]
+           ~doc:"How often the router health-probes each shard; 0 disables \
+                 active probing (membership then only changes by operator \
+                 drain/undrain).")
+  in
+  let eject_after =
+    Arg.(value & opt int 3 & info [ "eject-after" ]
+           ~doc:"Consecutive probe failures before a shard leaves the ring.")
+  in
+  let rejoin_after =
+    Arg.(value & opt int 2 & info [ "rejoin-after" ]
+           ~doc:"Consecutive probe successes before an ejected shard \
+                 rejoins the ring.")
+  in
+  let hedge =
+    Arg.(value & flag & info [ "hedge" ]
+           ~doc:"Hedge slow idempotent reads: after the tracked p95 latency, \
+                 send the same request to the next ring successor and take \
+                 the first answer (responses stay bitwise-identical).")
+  in
+  let hedge_rate =
+    Arg.(value & opt float 1.0 & info [ "hedge-rate" ]
+           ~doc:"Hedge tokens per second per shard (the retry budget).")
+  in
+  let hedge_burst =
+    Arg.(value & opt float 4.0 & info [ "hedge-burst" ]
+           ~doc:"Hedge token bucket capacity per shard.")
+  in
+  let limit_target =
+    Arg.(value & opt (some float) None & info [ "limit-target-ms" ]
+           ~doc:"Latency target for the adaptive (AIMD) concurrency limit \
+                 over routed score requests; omitted disables admission \
+                 limiting.")
+  in
   Cmd.v
     (cmd_info "route"
        ~doc:"Route scoring requests over shard servers with consistent \
-             hashing, per-shard circuit breakers, failover, and \
-             scatter-gather for id sets that span shards.")
+             hashing, active health probing with dynamic membership, \
+             per-shard circuit breakers, failover, hedged reads, \
+             deadline-aware admission, and scatter-gather for id sets \
+             that span shards.")
     Term.(const route $ listen $ shards $ vnodes $ block $ handlers
-          $ breaker_threshold $ breaker_cooldown $ lockdep)
+          $ breaker_threshold $ breaker_cooldown $ lockdep $ probe_interval
+          $ eject_after $ rejoin_after $ hedge $ hedge_rate $ hedge_burst
+          $ limit_target)
 
 (* ---- score: client for the scoring server ---- *)
 
@@ -802,12 +903,18 @@ let protocol_error (code, message) =
 let print_predictions = Array.iter (fun p -> Fmt.pr "%.17g@." p)
 
 let score socket model rows dataset ids where deadline_ms op_ping op_list
-    op_stats op_shutdown op_health retries retry_budget_ms =
+    op_stats op_shutdown op_health drain undrain op_membership retries
+    retry_budget_ms =
   let module C = Morpheus_serve.Client in
   let module P = Morpheus_serve.Protocol in
   let module J = Morpheus_serve.Json in
   if retries < 1 || retry_budget_ms <= 0.0 then begin
     Fmt.epr "morpheus score: --retries must be >= 1, --retry-budget-ms > 0@." ;
+    exit 2
+  end ;
+  check_endpoint ~cmd:"score" socket ;
+  if drain <> None && undrain <> None then begin
+    Fmt.epr "morpheus score: give --drain or --undrain, not both@." ;
     exit 2
   end ;
   let policy =
@@ -867,6 +974,28 @@ let score socket model rows dataset ids where deadline_ms op_ping op_list
     match C.call c P.Shutdown with
     | Ok _ -> Fmt.pr "server stopping@."
     | Error e -> protocol_error e
+  else if drain <> None || undrain <> None then begin
+    (* an empty shard name means "this endpoint itself" (server-side
+       drain); the router requires a shard name *)
+    let named = function Some "" -> None | s -> s in
+    let req =
+      match (drain, undrain) with
+      | Some s, _ -> P.Drain (named (Some s))
+      | _, Some s -> P.Undrain (named (Some s))
+      | None, None -> assert false
+    in
+    match C.call c req with
+    | Error e -> protocol_error e
+    | Ok j ->
+      let draining =
+        Option.value ~default:false (Option.bind (J.member "draining" j) J.to_bool)
+      in
+      Fmt.pr "%s@." (if draining then "draining" else "not draining")
+  end
+  else if op_membership then
+    match C.call c P.Membership with
+    | Error e -> protocol_error e
+    | Ok j -> print_endline (J.to_string j)
   else begin
     let model =
       match model with
@@ -978,6 +1107,22 @@ let score_cmd =
     Arg.(value & flag & info [ "health" ]
            ~doc:"Print the server's self-healing status (exit 1 unless ok).")
   in
+  let drain =
+    Arg.(value & opt (some string) None & info [ "drain" ] ~docv:"SHARD"
+           ~doc:"Ask a router to drain $(docv) (take it out of the ring \
+                 gracefully); against a server, an empty $(docv) drains the \
+                 server itself.")
+  in
+  let undrain =
+    Arg.(value & opt (some string) None & info [ "undrain" ] ~docv:"SHARD"
+           ~doc:"Reverse --drain: put $(docv) back in the ring (or cancel a \
+                 server-side drain with an empty $(docv)).")
+  in
+  let membership =
+    Arg.(value & flag & info [ "membership" ]
+           ~doc:"Print the control-plane membership snapshot (per-shard \
+                 state machine, ring, probe statistics) as JSON.")
+  in
   let retries =
     Arg.(value & opt int 1 & info [ "retries" ] ~docv:"N"
            ~doc:"Total attempts per score request (transient errors retry \
@@ -992,8 +1137,8 @@ let score_cmd =
     (cmd_info "score"
        ~doc:"Score rows against a running morpheus serve instance.")
     Term.(const score $ socket_arg $ model $ row $ dataset $ ids $ where
-          $ deadline $ ping $ list_ $ stats $ shutdown $ health $ retries
-          $ retry_budget)
+          $ deadline $ ping $ list_ $ stats $ shutdown $ health $ drain
+          $ undrain $ membership $ retries $ retry_budget)
 
 (* ---- models: offline registry listing ---- *)
 

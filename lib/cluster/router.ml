@@ -1,14 +1,24 @@
 (* The router process. Data path of a routed score request:
 
-     handler thread: read frame → parse → routing key from
-       (model, dataset[, id blocks]) → owner shard(s) via the ring
+     handler thread: read frame → deadline admission (remaining budget
+       after queue time, shed with `expired` if overdrawn) → routing
+       key from (model, dataset[, id blocks]) → owner shard(s) via the
+       ring
      forward: per-shard cached connection (kept alive across
        requests), circuit breaker per shard, failover to the next
-       distinct shard in ring order on transport failure
+       distinct shard in ring order on transport failure; optionally a
+       hedged second attempt to the next successor after the p95 delay
      scatter-gather: an id-set spanning shards is split per owner,
        scored per shard, and reassembled in original id order —
        bitwise-identical to a single server because per-row
        predictions are batch-invariant
+
+   Control plane: a prober thread issues periodic health calls per
+   shard and maintains dynamic membership — consecutive probe failures
+   raise suspicion (Active → Suspect → Ejected, the shard leaves the
+   ring with minimal key movement), sustained recovery rejoins it, and
+   the drain/undrain ops take a shard out gracefully without a single
+   failed request.
 
    The router runs no LA kernels and touches no model or dataset
    state, so handler threads are fully independent; each owns its
@@ -24,6 +34,15 @@ type config = {
   handlers : int;
   breaker_threshold : int;
   breaker_cooldown : float;
+  probe_interval : float;
+  probe_timeout : float;
+  suspect_after : int;
+  eject_after : int;
+  rejoin_after : int;
+  hedge : bool;
+  hedge_rate : float;
+  hedge_burst : float;
+  limiter_target_ms : float option;
 }
 
 let default_config ~listen ~shards =
@@ -33,20 +52,57 @@ let default_config ~listen ~shards =
     block = 64;
     handlers = 4;
     breaker_threshold = 3;
-    breaker_cooldown = 1.0
+    breaker_cooldown = 1.0;
+    probe_interval = 0.25;
+    probe_timeout = 1.0;
+    suspect_after = 1;
+    eject_after = 3;
+    rejoin_after = 2;
+    hedge = false;
+    hedge_rate = 1.0;
+    hedge_burst = 4.0;
+    limiter_target_ms = None
   }
 
 (* Kept in forwarding order; `morpheus lint` (E208) cross-checks this
    list against the routed-operations table in docs/SERVING.md. *)
 let routed_op_names = [ "score"; "score_where"; "score_ids"; "health"; "stats" ]
 
+(* ---- membership ---- *)
+
+type member_state = Active | Suspect | Draining | Ejected
+
+let state_name = function
+  | Active -> "active"
+  | Suspect -> "suspect"
+  | Draining -> "draining"
+  | Ejected -> "ejected"
+
+(* One record per configured shard. The list itself is immutable after
+   start; the mutable fields (and the ring) are guarded by [mem_m]. *)
+type member = {
+  ms_name : string;
+  ms_endpoint : Endpoint.t;
+  ms_breaker : Breaker.t;
+  mutable ms_state : member_state;
+  mutable ms_in_ring : bool;
+  mutable ms_operator_drain : bool;  (* drains by op never auto-rejoin *)
+  mutable ms_fails : int;  (* consecutive probe failures *)
+  mutable ms_oks : int;  (* consecutive probe successes while out *)
+  mutable ms_ewma : float;  (* probe latency ewma, seconds *)
+  mutable ms_tokens : float;  (* hedge token bucket *)
+  mutable ms_refilled : float;  (* last bucket refill instant *)
+  mutable ms_probes : int;
+  mutable ms_ejects : int;
+}
+
 type t = {
   cfg : config;
   metrics : Metrics.t;
-  ring : Ring.t;
-  endpoints : (string * Endpoint.t) list;
-  (* read-only after start; each Breaker is itself thread-safe *)
-  breakers : (string * Breaker.t) list;
+  members : (string * member) list;
+  mem_m : Analysis.Sync.t;  (* guards ring + mutable member fields *)
+  mutable ring : Ring.t;
+  limiter : Limiter.t option;
   listen_fd : Unix.file_descr;
   bound : Endpoint.t;
   conns : Unix.file_descr Queue.t;
@@ -59,6 +115,9 @@ type t = {
   mutable subrequests : int;  (* per-shard pieces of scattered requests *)
   mutable failovers : int;  (* forwards rerouted after a shard failure *)
   mutable breaker_skips : int;  (* shards skipped on an open circuit *)
+  mutable hedges : int;  (* hedge requests fired *)
+  mutable hedge_wins : int;  (* hedges that answered first *)
+  mutable expired : int;  (* requests shed at admission, deadline overdrawn *)
   per_shard_forwards : (string, int) Hashtbl.t;
   per_shard_errors : (string, int) Hashtbl.t;
   stop_m : Analysis.Sync.t;
@@ -69,7 +128,9 @@ type t = {
 }
 
 let now () = Clock.wall ()
-let breaker t shard = List.assoc shard t.breakers
+let member t shard = List.assoc shard t.members
+let breaker t shard = (member t shard).ms_breaker
+let endpoint_of t shard = (member t shard).ms_endpoint
 
 let count t f = Analysis.Sync.with_lock t.state_m f
 
@@ -82,6 +143,49 @@ let note_shard_error t shard =
   count t (fun () ->
       Hashtbl.replace t.per_shard_errors shard
         (1 + Option.value ~default:0 (Hashtbl.find_opt t.per_shard_errors shard)))
+
+(* ring reads take a snapshot (Ring.t is immutable) so lookups and
+   successor walks run without holding the membership lock *)
+let ring_now t =
+  Analysis.Sync.lock t.mem_m ;
+  let r = t.ring in
+  Analysis.Sync.unlock t.mem_m ;
+  r
+
+let in_ring_count_locked t =
+  List.fold_left (fun n (_, m) -> if m.ms_in_ring then n + 1 else n) 0 t.members
+
+(* Remove a member from the ring — minimal movement: only its keys
+   move. Refused (no-op) for the last in-ring member: a ring must
+   never be empty, a lone unhealthy shard is still the best option. *)
+let leave_ring_locked t m =
+  if m.ms_in_ring && in_ring_count_locked t > 1 then begin
+    t.ring <- Ring.remove t.ring m.ms_name ;
+    m.ms_in_ring <- false ;
+    true
+  end
+  else not m.ms_in_ring
+
+let join_ring_locked t m =
+  if not m.ms_in_ring then begin
+    t.ring <- Ring.add t.ring m.ms_name ;
+    m.ms_in_ring <- true
+  end
+
+(* Hedge token budget: [hedge_rate] tokens/s refill up to
+   [hedge_burst]; each fired hedge consumes one. Caps the extra load
+   hedging can put on a struggling fleet. *)
+let take_token t m =
+  Analysis.Sync.lock t.mem_m ;
+  let nw = now () in
+  m.ms_tokens <-
+    Float.min t.cfg.hedge_burst
+      (m.ms_tokens +. ((nw -. m.ms_refilled) *. t.cfg.hedge_rate)) ;
+  m.ms_refilled <- nw ;
+  let ok = m.ms_tokens >= 1.0 in
+  if ok then m.ms_tokens <- m.ms_tokens -. 1.0 ;
+  Analysis.Sync.unlock t.mem_m ;
+  ok
 
 (* ---- forwarding over cached connections ---- *)
 
@@ -101,7 +205,7 @@ let drop_conn cache shard =
    immediate fresh-connection retry (it may just have gone stale)
    before the shard is declared failing. *)
 let attempt_shard t cache shard request =
-  let socket = Endpoint.to_string (List.assoc shard t.endpoints) in
+  let socket = Endpoint.to_string (endpoint_of t shard) in
   let fresh () =
     let c = Client.connect ~socket in
     Metrics.record_conn_fresh t.metrics ;
@@ -166,9 +270,166 @@ let forward_ordered t cache order request =
   in
   go ~first:true order
 
+(* ---- hedged forwarding ---- *)
+
+let is_transport = function Error ("transport", _) -> true | _ -> false
+
+(* Fire the hedge once the primary has been out longer than the
+   tracked p95 (floored at 1ms so a cold histogram doesn't hedge
+   everything). *)
+let hedge_delay t = Float.max 1e-3 (Metrics.quantile t.metrics 0.95)
+
+(* Hedged forward for idempotent routed reads: the primary attempt
+   runs on its own thread over a private connection; if it is still
+   out after the hedge delay and the owner's token budget allows, a
+   second identical request goes to the next ring successor and the
+   first answer wins. The loser is cancelled by closing its
+   connection. Responses stay bitwise-identical to a single server
+   because both shards compute identical predictions. *)
+let forward_hedged t cache order request =
+  let hedgeable =
+    t.cfg.hedge
+    &&
+    match order with
+    | owner :: next :: _ -> next <> owner && Breaker.allow (breaker t owner)
+    | _ -> false
+  in
+  if not hedgeable then forward_ordered t cache order request
+  else begin
+    let owner, next, rest2 =
+      match order with
+      | owner :: next :: rest2 -> (owner, next, rest2)
+      | _ -> assert false
+    in
+    let hm = Analysis.Sync.create ~name:"cluster.router.hedge" () in
+    let results : (_, (Json.t, string * string) result) Hashtbl.t =
+      Hashtbl.create 2
+    in
+    let conns = Hashtbl.create 2 in
+    let spawn side shard =
+      ignore
+        (Thread.create
+           (fun () ->
+             let outcome =
+               match
+                 Client.connect ~socket:(Endpoint.to_string (endpoint_of t shard))
+               with
+               | exception Unix.Unix_error (e, _, _) ->
+                 Error ("transport", Unix.error_message e)
+               | exception Fault.Injected p ->
+                 Error ("transport", "injected fault at " ^ p)
+               | c ->
+                 Analysis.Sync.lock hm ;
+                 Hashtbl.replace conns side c ;
+                 Analysis.Sync.unlock hm ;
+                 Metrics.record_conn_fresh t.metrics ;
+                 Client.call c request
+             in
+             (if is_transport outcome then begin
+                Breaker.failure (breaker t shard) ;
+                note_shard_error t shard
+              end
+              else begin
+                Breaker.success (breaker t shard) ;
+                note_shard_forward t shard
+              end) ;
+             Analysis.Sync.lock hm ;
+             Hashtbl.replace results side outcome ;
+             Analysis.Sync.unlock hm)
+           ())
+    in
+    let get side =
+      Analysis.Sync.lock hm ;
+      let r = Hashtbl.find_opt results side in
+      Analysis.Sync.unlock hm ;
+      r
+    in
+    let close_side side =
+      Analysis.Sync.lock hm ;
+      (match Hashtbl.find_opt conns side with
+      | Some c -> Client.close c
+      | None -> ()) ;
+      Analysis.Sync.unlock hm
+    in
+    (* a completed side's connection is private and healthy: adopt it
+       into the handler cache for reuse (unless one is already there) *)
+    let adopt side shard =
+      Analysis.Sync.lock hm ;
+      let c = Hashtbl.find_opt conns side in
+      Analysis.Sync.unlock hm ;
+      match c with
+      | Some c when not (Hashtbl.mem cache shard) -> Hashtbl.replace cache shard c
+      | Some c -> Client.close c
+      | None -> ()
+    in
+    spawn `Primary owner ;
+    let fire_at = now () +. hedge_delay t in
+    let rec await_primary () =
+      match get `Primary with
+      | Some r -> Some r
+      | None ->
+        if now () >= fire_at then None
+        else begin
+          Thread.delay 5e-4 ;
+          await_primary ()
+        end
+    in
+    let finish_primary r =
+      if is_transport r then begin
+        (* normal failover semantics for the rest of the order *)
+        count t (fun () -> t.failovers <- t.failovers + 1) ;
+        forward_ordered t cache (next :: rest2) request
+      end
+      else begin
+        adopt `Primary owner ;
+        r
+      end
+    in
+    match await_primary () with
+    | Some r -> finish_primary r
+    | None ->
+      if not (take_token t (member t owner)) then begin
+        (* budget exhausted: wait the primary out like an unhedged call *)
+        let rec wait_out () =
+          match get `Primary with
+          | Some r -> finish_primary r
+          | None ->
+            Thread.delay 5e-4 ;
+            wait_out ()
+        in
+        wait_out ()
+      end
+      else begin
+        count t (fun () -> t.hedges <- t.hedges + 1) ;
+        spawn `Hedge next ;
+        let rec race () =
+          let p = get `Primary and h = get `Hedge in
+          match (p, h) with
+          | Some r, _ when not (is_transport r) ->
+            close_side `Hedge ;
+            adopt `Primary owner ;
+            r
+          | _, Some r when not (is_transport r) ->
+            count t (fun () -> t.hedge_wins <- t.hedge_wins + 1) ;
+            close_side `Primary ;
+            adopt `Hedge next ;
+            r
+          | Some _, Some _ ->
+            (* both attempts failed at the transport level: fall back
+               to the remaining successors *)
+            count t (fun () -> t.failovers <- t.failovers + 1) ;
+            forward_ordered t cache rest2 request
+          | _ ->
+            Thread.delay 5e-4 ;
+            race ()
+        in
+        race ()
+      end
+  end
+
 let forward_by_key t cache key request =
   count t (fun () -> t.forwarded <- t.forwarded + 1) ;
-  forward_ordered t cache (Ring.successors t.ring key) request
+  forward_hedged t cache (Ring.successors (ring_now t) key) request
 
 let render = function
   | Ok j -> j
@@ -187,7 +448,8 @@ let block_key t ~model ~dataset id =
    request with that piece's error — matching a single server, which
    also answers a whole score request with one error. *)
 let scatter_score t cache ~model ~dataset ~ids ~deadline_ms =
-  let owners = Array.map (fun id -> Ring.lookup t.ring (block_key t ~model ~dataset id)) ids in
+  let ring = ring_now t in
+  let owners = Array.map (fun id -> Ring.lookup ring (block_key t ~model ~dataset id)) ids in
   let groups = ref [] in
   (* group by owner in order of first appearance *)
   Array.iteri
@@ -223,10 +485,10 @@ let scatter_score t cache ~model ~dataset ~ids ~deadline_ms =
           let order =
             owner
             :: List.filter (( <> ) owner)
-                 (Ring.successors t.ring (score_key ~model ~dataset))
+                 (Ring.successors ring (score_key ~model ~dataset))
           in
           match
-            forward_ordered t cache order
+            forward_hedged t cache order
               (Protocol.Score
                  { model;
                    target = Protocol.Dataset { dataset; ids = sub_ids };
@@ -255,6 +517,111 @@ let scatter_score t cache ~model ~dataset ~ids ~deadline_ms =
           ( "predictions",
             Json.Arr (Array.to_list preds |> List.map (fun x -> Json.Num x)) )
         ])
+
+(* ---- the prober: active health checking + dynamic membership ---- *)
+
+(* Phi-accrual-style suspicion score, reported in [membership]:
+   consecutive failures dominate, scaled latency adds early warning.
+   (The eject decision itself uses the integer thresholds — they are
+   deterministic and cheap to reason about in tests.) *)
+let suspicion t m =
+  float_of_int m.ms_fails
+  +. (m.ms_ewma /. Float.max 1e-3 t.cfg.probe_interval)
+
+let note_probe t m outcome =
+  Analysis.Sync.lock t.mem_m ;
+  m.ms_probes <- m.ms_probes + 1 ;
+  (match outcome with
+  | `Up latency -> (
+    m.ms_ewma <-
+      (if m.ms_ewma = 0.0 then latency
+       else (0.8 *. m.ms_ewma) +. (0.2 *. latency)) ;
+    m.ms_fails <- 0 ;
+    match m.ms_state with
+    | Suspect -> m.ms_state <- Active
+    | Draining when m.ms_operator_drain -> () (* operator owns the drain *)
+    | Ejected | Draining ->
+      (* sustained recovery rejoins without operator action *)
+      m.ms_oks <- m.ms_oks + 1 ;
+      if m.ms_oks >= t.cfg.rejoin_after then begin
+        m.ms_oks <- 0 ;
+        join_ring_locked t m ;
+        m.ms_state <- Active
+      end
+    | Active -> ())
+  | `Draining ->
+    (* the shard itself is draining (drain op or SIGTERM with
+       --drain-on): stop giving it new keys; it auto-rejoins when its
+       health reports ok again *)
+    m.ms_fails <- 0 ;
+    m.ms_oks <- 0 ;
+    if not m.ms_operator_drain then begin
+      ignore (leave_ring_locked t m) ;
+      m.ms_state <- Draining
+    end
+  | `Down -> (
+    m.ms_oks <- 0 ;
+    m.ms_fails <- m.ms_fails + 1 ;
+    match m.ms_state with
+    | Draining when m.ms_operator_drain -> ()
+    | _ ->
+      if m.ms_fails >= t.cfg.eject_after then begin
+        if leave_ring_locked t m then begin
+          if m.ms_state <> Ejected then m.ms_ejects <- m.ms_ejects + 1 ;
+          m.ms_state <- Ejected
+        end
+        else
+          (* last in-ring shard: refuse to empty the ring, stay
+             suspect so forwarding still tries it *)
+          m.ms_state <- Suspect
+      end
+      else if m.ms_fails >= t.cfg.suspect_after && m.ms_state = Active then
+        m.ms_state <- Suspect)) ;
+  Analysis.Sync.unlock t.mem_m
+
+let probe_member t m =
+  let t0 = now () in
+  let outcome =
+    match
+      Fault.point "router.probe" ;
+      (* bounded: a shard that accepts but never answers must count as
+         down, not wedge the prober (and with it all membership
+         transitions) forever *)
+      Client.health_timeout ~timeout:t.cfg.probe_timeout
+        ~socket:(Endpoint.to_string m.ms_endpoint)
+    with
+    | Ok j -> (
+      match Option.bind (Json.member "status" j) Json.to_str with
+      | Some "draining" -> `Draining
+      | _ -> `Up (now () -. t0))
+    | Error _ -> `Down
+    | exception Fault.Injected _ -> `Down (* injected probe loss *)
+    | exception Unix.Unix_error _ -> `Down
+  in
+  note_probe t m outcome
+
+let prober t =
+  (* stop-aware sleep in 50ms quanta so shutdown never waits a full
+     probe interval *)
+  let sleep dt =
+    let rec go dt =
+      if t.stopping || dt <= 0.0 then ()
+      else begin
+        Thread.delay (Float.min 0.05 dt) ;
+        go (dt -. 0.05)
+      end
+    in
+    go dt
+  in
+  let rec loop () =
+    if t.stopping then ()
+    else begin
+      List.iter (fun (_, m) -> if not t.stopping then probe_member t m) t.members ;
+      sleep t.cfg.probe_interval ;
+      loop ()
+    end
+  in
+  loop ()
 
 (* ---- health / stats aggregation ---- *)
 
@@ -285,15 +652,55 @@ let breaker_state_name b =
   | Breaker.Open -> "open"
   | Breaker.Half_open -> "half_open"
 
+let membership_payload t =
+  Analysis.Sync.lock t.mem_m ;
+  let members =
+    List.map
+      (fun (name, m) ->
+        ( name,
+          Json.Obj
+            [ ("endpoint", Json.Str (Endpoint.to_string m.ms_endpoint));
+              ("state", Json.Str (state_name m.ms_state));
+              ("in_ring", Json.Bool m.ms_in_ring);
+              ("operator_drain", Json.Bool m.ms_operator_drain);
+              ("probe_fails", Json.Num (float_of_int m.ms_fails));
+              ("probe_oks", Json.Num (float_of_int m.ms_oks));
+              ("probe_latency_ewma_ms", Json.Num (m.ms_ewma *. 1e3));
+              ("suspicion", Json.Num (suspicion t m));
+              ("hedge_tokens", Json.Num m.ms_tokens);
+              ("probes", Json.Num (float_of_int m.ms_probes));
+              ("ejects", Json.Num (float_of_int m.ms_ejects))
+            ] ))
+      t.members
+  in
+  let ring = Ring.members t.ring in
+  Analysis.Sync.unlock t.mem_m ;
+  Protocol.ok
+    [ ("role", Json.Str "router");
+      ("members", Json.Obj members);
+      ("ring", Json.Arr (List.map (fun n -> Json.Str n) ring))
+    ]
+
 let cluster_json ?health t =
   (* snapshot every counter in one locked section, render outside it *)
-  let forwarded, scattered, subrequests, failovers, breaker_skips, per_shard =
+  let ( forwarded,
+        scattered,
+        subrequests,
+        failovers,
+        breaker_skips,
+        hedges,
+        hedge_wins,
+        expired,
+        per_shard ) =
     count t (fun () ->
         ( t.forwarded,
           t.scattered,
           t.subrequests,
           t.failovers,
           t.breaker_skips,
+          t.hedges,
+          t.hedge_wins,
+          t.expired,
           List.map
             (fun (name, _) ->
               ( name,
@@ -302,15 +709,34 @@ let cluster_json ?health t =
               ))
             t.cfg.shards ))
   in
+  let membership =
+    Analysis.Sync.lock t.mem_m ;
+    let ms =
+      List.map
+        (fun (name, m) -> (name, (state_name m.ms_state, m.ms_in_ring)))
+        t.members
+    in
+    let ring = t.ring in
+    Analysis.Sync.unlock t.mem_m ;
+    (ms, ring)
+  in
+  let member_states, ring = membership in
   let shard_json (name, ep) =
     let fwd, errs =
       match List.find_opt (fun (n, _, _) -> n = name) per_shard with
       | Some (_, f, e) -> (f, e)
       | None -> (0, 0)
     in
+    let state, in_ring =
+      match List.assoc_opt name member_states with
+      | Some si -> si
+      | None -> ("active", true)
+    in
     let base =
       [ ("endpoint", Json.Str ep);
         ("breaker", Json.Str (breaker_state_name (breaker t name)));
+        ("state", Json.Str state);
+        ("in_ring", Json.Bool in_ring);
         ("forwards", Json.Num (float_of_int fwd));
         ("errors", Json.Num (float_of_int errs))
       ]
@@ -323,7 +749,7 @@ let cluster_json ?health t =
     (name, Json.Obj (base @ health_field))
   in
   let ownership =
-    Ring.ownership t.ring ~samples:1024
+    Ring.ownership ring ~samples:1024
     |> List.map (fun (name, n) -> (name, Json.Num (float_of_int n)))
   in
   Json.Obj
@@ -337,7 +763,14 @@ let cluster_json ?health t =
       ("scattered", Json.Num (float_of_int scattered));
       ("subrequests", Json.Num (float_of_int subrequests));
       ("failovers", Json.Num (float_of_int failovers));
-      ("breaker_skips", Json.Num (float_of_int breaker_skips))
+      ("breaker_skips", Json.Num (float_of_int breaker_skips));
+      ("hedges", Json.Num (float_of_int hedges));
+      ("hedge_wins", Json.Num (float_of_int hedge_wins));
+      ("expired", Json.Num (float_of_int expired));
+      ( "limiter",
+        match t.limiter with
+        | Some lim -> Limiter.snapshot lim
+        | None -> Json.Null )
     ]
 
 let stats_payload ?health t =
@@ -359,44 +792,154 @@ let signal_stop t =
   Analysis.Sync.broadcast t.conn_cv ;
   Analysis.Sync.unlock t.conn_m
 
-let handle_request t cache req =
+(* Deadline-aware admission: decrement the client's budget by the time
+   the frame spent between arrival and dispatch (queue wait + parse +
+   any stall), shed with `expired` when nothing remains, and forward
+   the decremented budget so the shard sees only what is truly left.
+   Never silently late: an overdrawn request gets a structured error,
+   not a best-effort answer. *)
+let admit t ~arrived req =
+  match req with
+  | Protocol.Score { model; target; deadline_ms = Some ms } ->
+    (* the fault point sits before the elapsed computation: an armed
+       delay action deterministically inflates the measured queue time *)
+    Fault.point "router.admit" ;
+    let elapsed_ms = (now () -. arrived) *. 1e3 in
+    let remaining = ms -. elapsed_ms in
+    if remaining <= 0.0 then begin
+      count t (fun () -> t.expired <- t.expired + 1) ;
+      Metrics.record_error t.metrics ~code:"expired" ;
+      Error
+        (Protocol.error ~code:"expired"
+           ~message:
+             (Printf.sprintf
+                "deadline expired before dispatch (%.3fms budget, %.3fms queue)"
+                ms elapsed_ms))
+    end
+    else Ok (Protocol.Score { model; target; deadline_ms = Some remaining })
+  | req -> Ok req
+
+let with_limiter t f =
+  match t.limiter with
+  | None -> f ()
+  | Some lim ->
+    if not (Limiter.try_acquire lim) then begin
+      Metrics.record_limited t.metrics ;
+      Metrics.record_error t.metrics ~code:"overloaded" ;
+      Protocol.error ~code:"overloaded"
+        ~message:"concurrency limit reached at router, request shed"
+    end
+    else begin
+      let t0 = now () in
+      match f () with
+      | resp ->
+        let ok = Result.is_ok (Protocol.response_result resp) in
+        Limiter.release lim ~latency:(now () -. t0) ~ok ;
+        resp
+      | exception e ->
+        Limiter.release lim ~latency:(now () -. t0) ~ok:false ;
+        raise e
+    end
+
+let handle_drain t shard =
+  match List.assoc_opt shard t.members with
+  | None ->
+    Metrics.record_error t.metrics ~code:"bad_request" ;
+    Protocol.error ~code:"bad_request" ~message:("unknown shard " ^ shard)
+  | Some m ->
+    Analysis.Sync.lock t.mem_m ;
+    let refused = m.ms_in_ring && in_ring_count_locked t <= 1 in
+    if not refused then begin
+      ignore (leave_ring_locked t m) ;
+      m.ms_state <- Draining ;
+      m.ms_operator_drain <- true ;
+      m.ms_fails <- 0 ;
+      m.ms_oks <- 0
+    end ;
+    Analysis.Sync.unlock t.mem_m ;
+    if refused then begin
+      Metrics.record_error t.metrics ~code:"rejected" ;
+      Protocol.error ~code:"rejected"
+        ~message:("cannot drain the last in-ring shard " ^ shard)
+    end
+    else Protocol.ok [ ("shard", Json.Str shard); ("draining", Json.Bool true) ]
+
+let handle_undrain t shard =
+  match List.assoc_opt shard t.members with
+  | None ->
+    Metrics.record_error t.metrics ~code:"bad_request" ;
+    Protocol.error ~code:"bad_request" ~message:("unknown shard " ^ shard)
+  | Some m ->
+    Analysis.Sync.lock t.mem_m ;
+    join_ring_locked t m ;
+    m.ms_state <- Active ;
+    m.ms_operator_drain <- false ;
+    m.ms_fails <- 0 ;
+    m.ms_oks <- 0 ;
+    Analysis.Sync.unlock t.mem_m ;
+    Protocol.ok [ ("shard", Json.Str shard); ("draining", Json.Bool false) ]
+
+let handle_request t cache ~arrived req =
   let timed op f =
     let t0 = now () in
     let r = f () in
     Metrics.record t.metrics ~op ~seconds:(now () -. t0) ;
     r
   in
-  match req with
-  | Protocol.Ping ->
-    Metrics.record t.metrics ~op:"ping" ~seconds:0.0 ;
-    Protocol.ok [ ("pong", Json.Bool true) ]
-  | Protocol.Shutdown ->
-    Metrics.record t.metrics ~op:"shutdown" ~seconds:0.0 ;
-    signal_stop t ;
-    Protocol.ok [ ("stopping", Json.Bool true) ]
-  | Protocol.Stats ->
-    timed "stats" (fun () ->
-        let health = List.map (fun (s, _) -> (s, shard_health t cache s)) t.cfg.shards in
-        Protocol.ok [ ("stats", stats_payload ~health t) ])
-  | Protocol.Health -> timed "health" (fun () -> handle_health t cache)
-  | Protocol.List_models ->
-    timed "list" (fun () ->
-        render (forward_ordered t cache (Ring.successors t.ring "list") req))
-  | Protocol.Score { model; target = Protocol.Rows _; _ } ->
-    timed "score_rows" (fun () -> render (forward_by_key t cache model req))
-  | Protocol.Score { model; target = Protocol.Dataset_where { dataset; _ }; _ } ->
-    timed "score_where" (fun () ->
-        render (forward_by_key t cache (score_key ~model ~dataset) req))
-  | Protocol.Score
-      { model; target = Protocol.Dataset { dataset; ids }; deadline_ms } ->
-    timed "score_ids" (fun () ->
-        scatter_score t cache ~model ~dataset ~ids ~deadline_ms)
+  match admit t ~arrived req with
+  | Error resp -> resp
+  | Ok req -> (
+    match req with
+    | Protocol.Ping ->
+      Metrics.record t.metrics ~op:"ping" ~seconds:0.0 ;
+      Protocol.ok [ ("pong", Json.Bool true) ]
+    | Protocol.Shutdown ->
+      Metrics.record t.metrics ~op:"shutdown" ~seconds:0.0 ;
+      signal_stop t ;
+      Protocol.ok [ ("stopping", Json.Bool true) ]
+    | Protocol.Stats ->
+      timed "stats" (fun () ->
+          let health = List.map (fun (s, _) -> (s, shard_health t cache s)) t.cfg.shards in
+          Protocol.ok [ ("stats", stats_payload ~health t) ])
+    | Protocol.Health -> timed "health" (fun () -> handle_health t cache)
+    | Protocol.Membership ->
+      timed "membership" (fun () -> membership_payload t)
+    | Protocol.Drain None ->
+      Metrics.record_error t.metrics ~code:"bad_request" ;
+      Protocol.error ~code:"bad_request"
+        ~message:"drain at the router requires a shard name"
+    | Protocol.Drain (Some shard) -> timed "drain" (fun () -> handle_drain t shard)
+    | Protocol.Undrain None ->
+      Metrics.record_error t.metrics ~code:"bad_request" ;
+      Protocol.error ~code:"bad_request"
+        ~message:"undrain at the router requires a shard name"
+    | Protocol.Undrain (Some shard) ->
+      timed "undrain" (fun () -> handle_undrain t shard)
+    | Protocol.List_models ->
+      timed "list" (fun () ->
+          render (forward_ordered t cache (Ring.successors (ring_now t) "list") req))
+    | Protocol.Score { model; target = Protocol.Rows _; _ } ->
+      timed "score_rows" (fun () ->
+          with_limiter t (fun () -> render (forward_by_key t cache model req)))
+    | Protocol.Score { model; target = Protocol.Dataset_where { dataset; _ }; _ } ->
+      timed "score_where" (fun () ->
+          with_limiter t (fun () ->
+              render (forward_by_key t cache (score_key ~model ~dataset) req)))
+    | Protocol.Score
+        { model; target = Protocol.Dataset { dataset; ids }; deadline_ms } ->
+      timed "score_ids" (fun () ->
+          with_limiter t (fun () ->
+              scatter_score t cache ~model ~dataset ~ids ~deadline_ms)))
 
 (* ---- connection plumbing (stop-aware, mirrors Server) ---- *)
 
 type reader = { fd : Unix.file_descr; rbuf : Buffer.t; chunk : Bytes.t }
 
 let reader fd = { fd; rbuf = Buffer.create 512; chunk = Bytes.create 4096 }
+
+let max_frame = 1 lsl 20
+
+type frame = Frame of string | Eof | Oversized
 
 let rec read_frame t r =
   let contents = Buffer.contents r.rbuf in
@@ -406,33 +949,34 @@ let rec read_frame t r =
     Buffer.clear r.rbuf ;
     Buffer.add_string r.rbuf
       (String.sub contents (i + 1) (String.length contents - i - 1)) ;
-    Some line
+    if String.length line > max_frame then Oversized else Frame line
   | None ->
-    if t.stopping then None
+    if Buffer.length r.rbuf > max_frame then Oversized
+    else if t.stopping then Eof
     else begin
       match Unix.select [ r.fd ] [] [] 0.1 with
       | [], _, _ -> read_frame t r
       | _ -> (
-        match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
-        | 0 -> None
+        match Endpoint.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+        | 0 -> Eof
         | n ->
           Buffer.add_subbytes r.rbuf r.chunk 0 n ;
           read_frame t r
-        | exception Unix.Unix_error ((EBADF | ECONNRESET | EPIPE), _, _) -> None)
-      | exception Unix.Unix_error (EBADF, _, _) -> None
+        | exception Unix.Unix_error ((EBADF | ECONNRESET | EPIPE), _, _) -> Eof
+        | exception Fault.Injected _ -> Eof)
+      | exception Unix.Unix_error (EBADF, _, _) -> Eof
     end
 
 let write_frame t fd json =
   let line = Json.to_string json ^ "\n" in
-  let bytes = Bytes.of_string line in
-  let len = Bytes.length bytes in
-  let off = ref 0 in
   try
-    while !off < len do
-      off := !off + Unix.write fd bytes !off (len - !off)
-    done ;
+    Endpoint.write_all fd line ;
     true
-  with Unix.Unix_error _ ->
+  with
+  | Unix.Unix_error _ ->
+    Metrics.record_write_error t.metrics ;
+    false
+  | Fault.Injected _ ->
     Metrics.record_write_error t.metrics ;
     false
 
@@ -440,8 +984,17 @@ let serve_connection t cache fd =
   let r = reader fd in
   let rec loop () =
     match read_frame t r with
-    | None -> ()
-    | Some line ->
+    | Eof -> ()
+    | Oversized ->
+      Metrics.record_error t.metrics ~code:"bad_request" ;
+      ignore
+        (write_frame t fd
+           (Protocol.error ~code:"bad_request"
+              ~message:
+                (Printf.sprintf "frame too large (limit %d bytes)" max_frame)))
+    | Frame line ->
+      (* the admission clock starts the moment the frame is complete *)
+      let arrived = now () in
       let response =
         match Json.of_string line with
         | Error msg ->
@@ -453,7 +1006,7 @@ let serve_connection t cache fd =
             Metrics.record_error t.metrics ~code:"bad_request" ;
             Protocol.error ~code:"bad_request" ~message:msg
           | Ok req -> (
-            match handle_request t cache req with
+            match handle_request t cache ~arrived req with
             | response -> response
             | exception e ->
               Metrics.record_error t.metrics ~code:"internal" ;
@@ -474,7 +1027,7 @@ let accept_loop t =
       match Unix.select [ t.listen_fd ] [] [] 0.1 with
       | [], _, _ -> loop ()
       | _ -> (
-        match Unix.accept ~cloexec:true t.listen_fd with
+        match Endpoint.accept t.listen_fd with
         | fd, _ ->
           Analysis.Sync.lock t.conn_m ;
           Queue.push fd t.conns ;
@@ -482,7 +1035,8 @@ let accept_loop t =
           Analysis.Sync.unlock t.conn_m ;
           loop ()
         | exception Unix.Unix_error ((EBADF | EINVAL), _, _) -> ()
-        | exception Unix.Unix_error _ -> loop ())
+        | exception Unix.Unix_error _ -> loop ()
+        | exception Fault.Injected _ -> loop ())
       | exception Unix.Unix_error _ -> ()
     end
   in
@@ -517,21 +1071,46 @@ let start cfg =
   if cfg.shards = [] then invalid_arg "Router.start: no shards" ;
   if cfg.handlers < 1 then invalid_arg "Router.start: handlers < 1" ;
   if cfg.block < 1 then invalid_arg "Router.start: block < 1" ;
+  if cfg.eject_after < 1 then invalid_arg "Router.start: eject_after < 1" ;
+  if cfg.rejoin_after < 1 then invalid_arg "Router.start: rejoin_after < 1" ;
+  if cfg.probe_timeout <= 0.0 then invalid_arg "Router.start: probe_timeout <= 0" ;
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()) ;
   let ep = Endpoint.of_string cfg.listen in
   let listen_fd = Endpoint.listen ep in
+  let started = now () in
   let t =
     { cfg;
       metrics = Metrics.create ();
-      ring = Ring.create ~vnodes:cfg.vnodes (List.map fst cfg.shards);
-      endpoints = List.map (fun (n, e) -> (n, Endpoint.of_string e)) cfg.shards;
-      breakers =
+      members =
         List.map
-          (fun (n, _) ->
+          (fun (n, e) ->
             ( n,
-              Breaker.create ~threshold:cfg.breaker_threshold
-                ~cooldown:cfg.breaker_cooldown () ))
+              { ms_name = n;
+                ms_endpoint = Endpoint.of_string e;
+                ms_breaker =
+                  (* per-shard seed: breakers tripped together probe at
+                     spread-out instants, not in lockstep *)
+                  Breaker.create ~threshold:cfg.breaker_threshold
+                    ~cooldown:cfg.breaker_cooldown ~jitter:0.2
+                    ~seed:(Hashtbl.hash n) ();
+                ms_state = Active;
+                ms_in_ring = true;
+                ms_operator_drain = false;
+                ms_fails = 0;
+                ms_oks = 0;
+                ms_ewma = 0.0;
+                ms_tokens = cfg.hedge_burst;
+                ms_refilled = started;
+                ms_probes = 0;
+                ms_ejects = 0
+              } ))
           cfg.shards;
+      mem_m = Analysis.Sync.create ~name:"cluster.router.membership" ();
+      ring = Ring.create ~vnodes:cfg.vnodes (List.map fst cfg.shards);
+      limiter =
+        Option.map
+          (fun ms -> Limiter.create ~target:(ms /. 1e3) ())
+          cfg.limiter_target_ms;
       listen_fd;
       bound = Endpoint.bound_endpoint ep listen_fd;
       conns = Queue.create ();
@@ -543,20 +1122,26 @@ let start cfg =
       subrequests = 0;
       failovers = 0;
       breaker_skips = 0;
+      hedges = 0;
+      hedge_wins = 0;
+      expired = 0;
       per_shard_forwards = Hashtbl.create 8;
       per_shard_errors = Hashtbl.create 8;
       stop_m = Analysis.Sync.create ~name:"cluster.router.stop" ();
       stop_cv = Analysis.Sync.condition ();
       stopping = false;
       threads = [];
-      started = now ()
+      started
     }
   in
   let accept_t = Thread.create accept_loop t in
   let handler_ts =
     List.init cfg.handlers (fun _ -> Thread.create handler_loop t)
   in
-  t.threads <- accept_t :: handler_ts ;
+  let control_ts =
+    if cfg.probe_interval > 0.0 then [ Thread.create prober t ] else []
+  in
+  t.threads <- (accept_t :: handler_ts) @ control_ts ;
   t
 
 let endpoint t = t.bound
@@ -589,9 +1174,11 @@ let cluster_summary t =
   count t (fun () ->
       Printf.sprintf
         "cluster       : %d shards, %d forwarded (%d scattered into %d \
-         subrequests), %d failovers, %d breaker skips\n"
+         subrequests), %d failovers, %d breaker skips, %d hedges (%d won), \
+         %d expired\n"
         (List.length t.cfg.shards)
-        t.forwarded t.scattered t.subrequests t.failovers t.breaker_skips)
+        t.forwarded t.scattered t.subrequests t.failovers t.breaker_skips
+        t.hedges t.hedge_wins t.expired)
 
 let run cfg =
   let t = start cfg in

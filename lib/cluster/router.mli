@@ -18,9 +18,23 @@
     mid-storm. Forwarding connections are cached per handler thread
     and kept alive across requests ({!Metrics.record_conn_reused}).
 
-    The router holds no model or dataset state: [ping], [stats], and
-    [shutdown] answer locally, [health] fans out, everything else
-    forwards. *)
+    Control plane: a prober thread health-checks every shard each
+    [probe_interval] and maintains dynamic membership — consecutive
+    probe failures walk a shard Active → Suspect → Ejected (it leaves
+    the ring with minimal key movement), sustained recovery rejoins it
+    automatically, and a shard reporting ["draining"] is taken out
+    until healthy again. The [drain]/[undrain] ops drive the same
+    machinery by operator hand; [membership] reports the state
+    machine. Requests carrying a deadline are admission-checked: the
+    budget is decremented by observed queue time before forwarding and
+    overdrawn requests are shed with an [expired] error, never
+    answered silently late. Optional hedging fires a second identical
+    read at the next ring successor when the first is slower than the
+    tracked p95, under a per-shard token budget.
+
+    The router holds no model or dataset state: [ping], [stats],
+    [membership], [drain], [undrain], and [shutdown] answer locally,
+    [health] fans out, everything else forwards. *)
 
 type config = {
   listen : string;  (** endpoint string ({!Morpheus_serve.Endpoint}) *)
@@ -34,11 +48,36 @@ type config = {
   breaker_threshold : int;
       (** consecutive forward failures before a shard's circuit opens *)
   breaker_cooldown : float;  (** seconds an open shard circuit rests *)
+  probe_interval : float;
+      (** seconds between active health probes of each shard; [<= 0]
+          disables the prober (membership then only changes by
+          operator [drain]/[undrain]) *)
+  probe_timeout : float;
+      (** seconds a single probe may take end to end
+          ([SO_RCVTIMEO]/[SO_SNDTIMEO] on the probe connection): a
+          shard that accepts but never answers counts as a failed
+          probe instead of wedging the prober forever *)
+  suspect_after : int;
+      (** consecutive probe failures before Active → Suspect *)
+  eject_after : int;
+      (** consecutive probe failures before the shard leaves the ring
+          (never empties the ring: the last in-ring shard stays) *)
+  rejoin_after : int;
+      (** consecutive probe successes before an ejected or draining
+          shard rejoins the ring *)
+  hedge : bool;  (** hedge slow idempotent routed reads *)
+  hedge_rate : float;  (** hedge tokens per second per shard *)
+  hedge_burst : float;  (** hedge token bucket capacity per shard *)
+  limiter_target_ms : float option;
+      (** latency target for the AIMD concurrency {!Limiter} over
+          routed score requests; [None] disables admission limiting *)
 }
 
 val default_config : listen:string -> shards:(string * string) list -> config
 (** vnodes {!Ring.default_vnodes}, block 64, handlers 4, breaker
-    threshold 3 / cooldown 1s. *)
+    threshold 3 / cooldown 1s, probe every 250ms with a 1s probe
+    timeout, suspect after 1 / eject after 3 / rejoin after 2 probes,
+    hedging off (rate 1/s, burst 4 when on), no concurrency limiter. *)
 
 val routed_op_names : string list
 (** The protocol ops the router forwards to shards (the rest are
@@ -50,9 +89,10 @@ val routed_op_names : string list
 type t
 
 val start : config -> t
-(** Bind and start handler threads. Raises [Unix.Unix_error] if the
-    endpoint cannot be bound, [Invalid_argument] on an empty shard
-    list or nonsensical config. *)
+(** Bind and start handler threads (plus the prober when
+    [probe_interval > 0]). Raises [Unix.Unix_error] if the endpoint
+    cannot be bound, [Invalid_argument] on an empty shard list or
+    nonsensical config. *)
 
 val endpoint : t -> Morpheus_serve.Endpoint.t
 (** The endpoint actually bound (resolves a [host:0] ephemeral port). *)
@@ -65,10 +105,10 @@ val metrics : t -> Morpheus_serve.Metrics.t
 
 val stats : t -> Morpheus_serve.Json.t
 (** The router's [stats] payload: metrics snapshot plus the [cluster]
-    section (per-shard breaker state and forward counts, ring
-    ownership histogram, forwarded / scattered / subrequest / failover
-    counters). The [stats] protocol op additionally live-probes each
-    shard's health. *)
+    section (per-shard breaker and membership state, ring ownership
+    histogram, forwarded / scattered / subrequest / failover / hedge /
+    expired counters, limiter snapshot). The [stats] protocol op
+    additionally live-probes each shard's health. *)
 
 val run : config -> unit
 (** [start], install SIGINT/SIGTERM stop handlers, block until

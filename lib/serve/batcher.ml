@@ -8,11 +8,12 @@
    [50µs, 1ms]) and re-checks. The quantum only bounds how precisely
    max_wait is honored, not correctness. *)
 
-type error = Overloaded | Deadline_exceeded | Rejected of string
+type error = Overloaded | Deadline_exceeded | Expired | Rejected of string
 
 let error_code = function
   | Overloaded -> "overloaded"
   | Deadline_exceeded -> "deadline_exceeded"
+  | Expired -> "expired"
   | Rejected _ -> "rejected"
 
 type 'b state = Waiting | Done of 'b | Failed of error
@@ -36,6 +37,7 @@ type ('k, 'a, 'b) t = {
   size : 'a -> int;
   exec : 'k -> 'a array -> ('b, string) result array;
   queue : ('k, 'a, 'b) request Queue.t;
+  mutable exec_ewma : float;  (* recent batch execution time, seconds *)
   mutable stopped : bool;
   mutable thread : Thread.t option;
 }
@@ -48,7 +50,11 @@ let finish t req outcome =
   | Failed e -> Metrics.record_error t.metrics ~code:(error_code e)
   | _ -> ()
 
-(* Remove and complete every queued request whose deadline has passed. *)
+(* Remove and complete every queued request whose deadline has passed —
+   and, deadline-aware admission, every request whose remaining budget
+   is smaller than what a batch execution is currently costing: it
+   *will* be late, so shed it now with [Expired] instead of burning a
+   batch slot to produce a silently-late answer. *)
 let drop_expired t at =
   let keep = Queue.create () in
   let dropped = ref false in
@@ -57,6 +63,9 @@ let drop_expired t at =
       match req.deadline with
       | Some d when d < at ->
         finish t req (Failed Deadline_exceeded) ;
+        dropped := true
+      | Some d when d < at +. t.exec_ewma ->
+        finish t req (Failed Expired) ;
         dropped := true
       | _ -> Queue.push req keep)
     t.queue ;
@@ -94,6 +103,7 @@ let run_batch t batch =
   let payloads = Array.map (fun r -> r.payload) batch in
   let key = batch.(0).key in
   let rows = Array.fold_left (fun acc p -> acc + t.size p) 0 payloads in
+  let exec_t0 = now () in
   let results =
     match
       Fault.point "batcher.exec" ;
@@ -108,7 +118,11 @@ let run_batch t batch =
       Array.map (fun _ -> Error msg) batch
     | exception e -> Array.map (fun _ -> Error (Printexc.to_string e)) batch
   in
+  let exec_dt = now () -. exec_t0 in
   Analysis.Sync.lock t.m ;
+  t.exec_ewma <-
+    (if t.exec_ewma = 0.0 then exec_dt
+     else (0.8 *. t.exec_ewma) +. (0.2 *. exec_dt)) ;
   Metrics.record_batch t.metrics ~requests:(Array.length batch) ~rows ;
   Array.iteri
     (fun i req ->
@@ -165,6 +179,7 @@ let create ?(max_batch = 64) ?(max_wait = 2e-3) ?(queue_bound = 1024) ~metrics
       size;
       exec;
       queue = Queue.create ();
+      exec_ewma = 0.0;
       stopped = false;
       thread = None
     }

@@ -15,11 +15,15 @@
 type error =
   | Overloaded  (** shed at submission: the queue was at its bound *)
   | Deadline_exceeded  (** still queued when its deadline passed *)
+  | Expired
+      (** shed at batch formation: the remaining budget is smaller
+          than the current batch-execution ewma, so the request cannot
+          finish in time — refused rather than answered late *)
   | Rejected of string  (** the executor failed this batch *)
 
 val error_code : error -> string
 (** Protocol error code: ["overloaded"], ["deadline_exceeded"],
-    ["rejected"]. *)
+    ["expired"], ["rejected"]. *)
 
 type ('k, 'a, 'b) t
 

@@ -12,10 +12,21 @@ type t
 
 type state = Closed | Open | Half_open
 
-val create : ?threshold:int -> ?cooldown:float -> ?now:(unit -> float) -> unit -> t
-(** Defaults: threshold 5 consecutive failures, cooldown 1s,
-    [now = Unix.gettimeofday]. Raises [Invalid_argument] on
-    [threshold < 1] or negative [cooldown]. *)
+val create :
+  ?threshold:int ->
+  ?cooldown:float ->
+  ?jitter:float ->
+  ?seed:int ->
+  ?now:(unit -> float) ->
+  unit ->
+  t
+(** Defaults: threshold 5 consecutive failures, cooldown 1s, jitter 0,
+    seed 0, [now = Unix.gettimeofday]. Each open stretches its cooldown
+    to [cooldown * (1 + jitter * u)] where [u ∈ [0,1)] is a
+    deterministic hash of [(seed, open count)] — give sibling breakers
+    distinct seeds so probes after a shared outage spread out instead
+    of arriving in lockstep. Raises [Invalid_argument] on
+    [threshold < 1], negative [cooldown], or negative [jitter]. *)
 
 val allow : t -> bool
 (** May the protected call proceed? [true] when closed; when open,

@@ -4,15 +4,21 @@ let connect ~socket =
   let fd = Endpoint.connect (Endpoint.of_string socket) in
   { fd; buf = Buffer.create 512; chunk = Bytes.create 4096 }
 
+(* Bound every read and write on the connection so a saturated or
+   wedged peer surfaces as a transport error instead of blocking the
+   caller forever — health probes depend on this. *)
+let set_timeouts t dt =
+  try
+    Unix.setsockopt_float t.fd Unix.SO_RCVTIMEO dt ;
+    Unix.setsockopt_float t.fd Unix.SO_SNDTIMEO dt
+  with Unix.Unix_error _ -> ()
+
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
-let write_all fd s =
-  let bytes = Bytes.of_string s in
-  let len = Bytes.length bytes in
-  let off = ref 0 in
-  while !off < len do
-    off := !off + Unix.write fd bytes !off (len - !off)
-  done
+(* All byte movement goes through the Endpoint wrappers so the
+   endpoint.* transport faults hit the client side too; an injected
+   fault surfaces as a "transport" error via the catch in [call]. *)
+let write_all fd s = Endpoint.write_all fd s
 
 let rec read_line t =
   let contents = Buffer.contents t.buf in
@@ -23,7 +29,7 @@ let rec read_line t =
       (String.sub contents (i + 1) (String.length contents - i - 1)) ;
     Some (String.sub contents 0 i)
   | None -> (
-    match Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) with
+    match Endpoint.read t.fd t.chunk 0 (Bytes.length t.chunk) with
     | 0 -> None
     | n ->
       Buffer.add_subbytes t.buf t.chunk 0 n ;
@@ -212,3 +218,14 @@ let score_where_retry ?policy ?metrics ?rng ~socket ~model ~dataset
           }))
 
 let health ~socket = attempt_once ~socket Protocol.Health
+
+let health_timeout ~timeout ~socket =
+  match
+    with_client ~socket (fun t ->
+        if timeout > 0.0 then set_timeouts t timeout ;
+        call t Protocol.Health)
+  with
+  | r -> r
+  | exception Unix.Unix_error (e, _, _) ->
+    Error ("transport", Unix.error_message e)
+  | exception Fault.Injected p -> Error ("transport", "injected fault at " ^ p)

@@ -124,3 +124,12 @@ val score_where_retry :
 val health : socket:string -> (Json.t, string * string) result
 (** One [health] request on a fresh connection (no retries — a health
     probe wants the truth about right now). *)
+
+val health_timeout :
+  timeout:float -> socket:string -> (Json.t, string * string) result
+(** {!health} with every read and write on the probe connection
+    bounded by [timeout] seconds ([SO_RCVTIMEO]/[SO_SNDTIMEO]): a peer
+    that accepts but never answers surfaces as a ["transport"] error
+    instead of wedging the caller — what an active prober needs, since
+    one unresponsive shard must not freeze membership for the rest of
+    the fleet. *)

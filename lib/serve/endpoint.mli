@@ -8,12 +8,18 @@ type t =
   | Unix_path of string  (** Unix domain socket path *)
   | Tcp of string * int  (** host (name or dotted quad) and port *)
 
-val of_string : string -> t
+val of_string_result : string -> (t, string) result
 (** Parse an endpoint string. ["unix:PATH"] and ["tcp:HOST:PORT"] are
     explicit; a bare ["HOST:PORT"] (port all digits, no ['/'] in the
-    host) is TCP; anything else is a Unix socket path. ["HOST:0"] asks
-    the kernel for an ephemeral port — read it back with
-    {!bound_endpoint}. *)
+    host) is TCP; anything else is a Unix socket path. IPv6 literals
+    use brackets: ["tcp:[::1]:8080"]. ["HOST:0"] asks the kernel for
+    an ephemeral port — read it back with {!bound_endpoint}. Returns
+    [Error reason] for empty endpoints, empty hosts/ports/paths in the
+    explicit forms, and out-of-range ports — CLI layers print the
+    reason as a usage error instead of a backtrace. *)
+
+val of_string : string -> t
+(** {!of_string_result}, raising [Invalid_argument] on [Error]. *)
 
 val to_string : t -> string
 (** Inverse of {!of_string}: ["PATH"] for Unix paths, ["HOST:PORT"]
@@ -38,3 +44,23 @@ val bound_endpoint : t -> Unix.file_descr -> t
 
 val cleanup : t -> unit
 (** Remove the socket file of a Unix-path endpoint (no-op for TCP). *)
+
+(** {2 Fault-pointed transport I/O}
+
+    Every accept/read/write in the serving stack goes through these
+    wrappers so transport-level chaos — refused accepts, dropped
+    reads, stalled links, torn frames — is injectable deterministically
+    via the [endpoint.*] fault points. *)
+
+val accept : Unix.file_descr -> Unix.file_descr * Unix.sockaddr
+(** [Unix.accept ~cloexec:true] behind fault point [endpoint.accept]. *)
+
+val read : Unix.file_descr -> bytes -> int -> int -> int
+(** [Unix.read] behind fault point [endpoint.read]. *)
+
+val write_all : Unix.file_descr -> string -> unit
+(** Write the whole string. Fault point [endpoint.stall] fires before
+    any byte moves (arm it with a delay action to simulate a slow
+    link); [endpoint.write.torn] writes a prefix of the payload and
+    then raises [Fault.Injected], leaving the peer holding a half
+    frame that must be discarded at connection close. *)

@@ -17,12 +17,25 @@ type request =
       target : score_target;
       deadline_ms : float option;
     }
+  | Drain of string option
+  | Undrain of string option
+  | Membership
   | Shutdown
 
 (* Kept in parser order; `morpheus lint` (E203) cross-checks this list
    against the request_of_json cases and the SERVING.md examples. *)
 let op_names =
-  [ "ping"; "list"; "stats"; "health"; "score"; "score_where"; "shutdown" ]
+  [ "ping";
+    "list";
+    "stats";
+    "health";
+    "score";
+    "score_where";
+    "drain";
+    "undrain";
+    "membership";
+    "shutdown"
+  ]
 
 let request_to_json = function
   | Ping -> Json.Obj [ ("op", Json.Str "ping") ]
@@ -30,6 +43,15 @@ let request_to_json = function
   | Stats -> Json.Obj [ ("op", Json.Str "stats") ]
   | Health -> Json.Obj [ ("op", Json.Str "health") ]
   | Shutdown -> Json.Obj [ ("op", Json.Str "shutdown") ]
+  | Membership -> Json.Obj [ ("op", Json.Str "membership") ]
+  | Drain shard ->
+    Json.Obj
+      (("op", Json.Str "drain")
+      :: (match shard with Some s -> [ ("shard", Json.Str s) ] | None -> []))
+  | Undrain shard ->
+    Json.Obj
+      (("op", Json.Str "undrain")
+      :: (match shard with Some s -> [ ("shard", Json.Str s) ] | None -> []))
   | Score { model; target; deadline_ms } ->
     (* the predicate form travels under its own op name, score_where *)
     let opname =
@@ -77,6 +99,10 @@ let request_of_json j =
   | Some "stats" -> Ok Stats
   | Some "health" -> Ok Health
   | Some "shutdown" -> Ok Shutdown
+  | Some "membership" -> Ok Membership
+  | Some "drain" -> Ok (Drain (Option.bind (Json.member "shard" j) Json.to_str))
+  | Some "undrain" ->
+    Ok (Undrain (Option.bind (Json.member "shard" j) Json.to_str))
   | Some "score" ->
     let* model =
       match Option.bind (Json.member "model" j) Json.to_str with

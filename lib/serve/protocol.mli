@@ -28,6 +28,19 @@ type request =
       target : score_target;
       deadline_ms : float option;  (** relative per-request deadline *)
     }
+  | Drain of string option
+      (** take a member out gracefully: to the router, [Drain (Some
+          shard)] stops routing new keys to that shard (it leaves the
+          ring once in-flight work finishes); to a server, [Drain None]
+          makes it answer [health] with [draining] and stop once its
+          queue empties *)
+  | Undrain of string option
+      (** cancel a drain: rejoin the shard to the ring (router) or
+          resume normal operation (server) *)
+  | Membership
+      (** control-plane snapshot: per-member state (active / suspect /
+          draining / ejected), suspicion, probe counters, ring
+          membership *)
   | Shutdown  (** ask the server to shut down gracefully *)
 
 val op_names : string list

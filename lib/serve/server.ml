@@ -25,6 +25,8 @@ type config = {
   default_deadline_ms : float option;
   breaker_threshold : int;
   breaker_cooldown : float;
+  drain_on_term : bool;
+  limiter_target_ms : float option;
 }
 
 let default_config ~registry ~socket =
@@ -37,7 +39,9 @@ let default_config ~registry ~socket =
     cache_capacity = 4;
     default_deadline_ms = None;
     breaker_threshold = 5;
-    breaker_cooldown = 1.0
+    breaker_cooldown = 1.0;
+    drain_on_term = false;
+    limiter_target_ms = None
   }
 
 (* Batches coalesce per (resolved model version, dataset, canonical
@@ -84,6 +88,14 @@ type t = {
   crashed : bool array;
   sup_m : Analysis.Sync.t;
   recovered : int;  (* registry litter quarantined at startup *)
+  (* AIMD admission cap over in-flight score work (None = unlimited) *)
+  limiter : Limiter.t option;
+  (* graceful drain: answer health with "draining", finish the queue,
+     then stop — entered by the drain op or (with [drain_on_term])
+     SIGTERM *)
+  drain_m : Analysis.Sync.t;
+  mutable draining : bool;
+  mutable active : int;  (* score requests inside Batcher.submit *)
   stop_m : Analysis.Sync.t;
   stop_cv : Analysis.Sync.cond;
   mutable stopping : bool;
@@ -116,8 +128,11 @@ let dataset_breaker t path =
     | Some b -> b
     | None ->
       let b =
+        (* per-path seed: breakers tripped by one shared outage probe
+           at spread-out instants instead of in lockstep *)
         Breaker.create ~threshold:t.cfg.breaker_threshold
-          ~cooldown:t.cfg.breaker_cooldown ()
+          ~cooldown:t.cfg.breaker_cooldown ~jitter:0.1
+          ~seed:(Hashtbl.hash path) ()
       in
       Hashtbl.replace t.breakers path b ;
       b
@@ -311,6 +326,13 @@ type reader = {
 
 let reader fd = { fd; rbuf = Buffer.create 512; chunk = Bytes.create 4096 }
 
+(* A frame that exceeds this without a newline is hostile or corrupt:
+   answer a structured error and drop the connection rather than
+   buffering without bound. *)
+let max_frame = 1 lsl 20
+
+type frame = Frame of string | Eof | Oversized
+
 let rec read_frame t r =
   let contents = Buffer.contents r.rbuf in
   match String.index_opt contents '\n' with
@@ -319,34 +341,33 @@ let rec read_frame t r =
     Buffer.clear r.rbuf ;
     Buffer.add_string r.rbuf
       (String.sub contents (i + 1) (String.length contents - i - 1)) ;
-    Some line
+    if String.length line > max_frame then Oversized else Frame line
   | None ->
-    if t.stopping then None
+    if Buffer.length r.rbuf > max_frame then Oversized
+    else if t.stopping then Eof
     else begin
       match Unix.select [ r.fd ] [] [] 0.1 with
       | [], _, _ -> read_frame t r
       | _ -> (
-        match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
-        | 0 -> None (* EOF; any partial line is dropped *)
+        match Endpoint.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+        | 0 -> Eof (* EOF; any partial line is dropped *)
         | n ->
           Buffer.add_subbytes r.rbuf r.chunk 0 n ;
           read_frame t r
-        | exception Unix.Unix_error ((EBADF | ECONNRESET | EPIPE), _, _) -> None)
-      | exception Unix.Unix_error (EBADF, _, _) -> None
+        | exception Unix.Unix_error ((EBADF | ECONNRESET | EPIPE), _, _) -> Eof
+        | exception Fault.Injected _ -> Eof)
+      | exception Unix.Unix_error (EBADF, _, _) -> Eof
     end
 
 (* SIGPIPE is ignored at startup, so a dead peer surfaces here as
-   EPIPE → [false], which the caller accounts as a write error. *)
+   EPIPE → [false], which the caller accounts as a write error. An
+   injected transport fault (endpoint.write.torn closes the conn with
+   a half frame on the wire) is accounted the same way. *)
 let write_frame fd json =
   let line = Json.to_string json ^ "\n" in
-  let bytes = Bytes.of_string line in
-  let len = Bytes.length bytes in
-  let off = ref 0 in
   try
     Fault.point "server.write" ;
-    while !off < len do
-      off := !off + Unix.write fd bytes !off (len - !off)
-    done ;
+    Endpoint.write_all fd line ;
     true
   with
   | Unix.Unix_error _ -> false
@@ -400,7 +421,24 @@ let stats t =
               ("bound", Json.Num (float_of_int t.cfg.queue_bound))
             ] );
         ("open_circuits", Json.Num (float_of_int (open_circuits t)));
-        ("recovered_at_startup", Json.Num (float_of_int t.recovered))
+        ("recovered_at_startup", Json.Num (float_of_int t.recovered));
+        ( "draining",
+          Json.Bool
+            (Analysis.Sync.lock t.drain_m ;
+             let d = t.draining in
+             Analysis.Sync.unlock t.drain_m ;
+             d) );
+        ( "active",
+          Json.Num
+            (float_of_int
+               (Analysis.Sync.lock t.drain_m ;
+                let a = t.active in
+                Analysis.Sync.unlock t.drain_m ;
+                a)) );
+        ( "limiter",
+          match t.limiter with
+          | Some lim -> Limiter.snapshot lim
+          | None -> Json.Null )
       ]
   in
   match metrics with
@@ -415,6 +453,58 @@ let signal_stop t =
   Analysis.Sync.lock t.conn_m ;
   Analysis.Sync.broadcast t.conn_cv ;
   Analysis.Sync.unlock t.conn_m
+
+(* ---- graceful drain ---- *)
+
+let is_draining t =
+  Analysis.Sync.lock t.drain_m ;
+  let d = t.draining in
+  Analysis.Sync.unlock t.drain_m ;
+  d
+
+let enter_score t =
+  Analysis.Sync.lock t.drain_m ;
+  t.active <- t.active + 1 ;
+  Analysis.Sync.unlock t.drain_m
+
+let exit_score t =
+  Analysis.Sync.lock t.drain_m ;
+  t.active <- t.active - 1 ;
+  Analysis.Sync.unlock t.drain_m
+
+let request_drain t =
+  Analysis.Sync.lock t.drain_m ;
+  t.draining <- true ;
+  Analysis.Sync.unlock t.drain_m
+
+let cancel_drain t =
+  Analysis.Sync.lock t.drain_m ;
+  let was = t.draining in
+  t.draining <- false ;
+  Analysis.Sync.unlock t.drain_m ;
+  was
+
+(* Watch for a drain to complete: the server stops once it has been
+   draining with an empty queue and no in-flight score for ~8
+   consecutive 25ms polls — the grace window is what makes an undrain
+   racing the last request safe (and cheap to test). *)
+let drain_watcher t =
+  let idle = ref 0 in
+  let rec loop () =
+    if t.stopping then ()
+    else begin
+      Thread.delay 0.025 ;
+      Analysis.Sync.lock t.drain_m ;
+      let draining = t.draining and active = t.active in
+      Analysis.Sync.unlock t.drain_m ;
+      let pending =
+        match t.batcher with Some b -> Batcher.pending b | None -> 0
+      in
+      if draining && active = 0 && pending = 0 then incr idle else idle := 0 ;
+      if !idle >= 8 then signal_stop t else loop ()
+    end
+  in
+  loop ()
 
 let handle_score t ~model ~target ~deadline_ms =
   let t0 = now () in
@@ -470,7 +560,17 @@ let handle_score t ~model ~target ~deadline_ms =
         let batcher =
           match t.batcher with Some b -> b | None -> assert false
         in
-        match Batcher.submit batcher ?deadline key payload with
+        let submitted =
+          enter_score t ;
+          match Batcher.submit batcher ?deadline key payload with
+          | r ->
+            exit_score t ;
+            r
+          | exception e ->
+            exit_score t ;
+            raise e
+        in
+        match submitted with
         | Ok preds ->
           Metrics.record t.metrics ~op ~seconds:(now () -. t0) ;
           Protocol.ok
@@ -485,6 +585,8 @@ let handle_score t ~model ~target ~deadline_ms =
             match e with
             | Batcher.Overloaded -> "queue full, request shed"
             | Batcher.Deadline_exceeded -> "deadline passed while queued"
+            | Batcher.Expired ->
+              "deadline cannot be met within the remaining budget"
             | Batcher.Rejected msg -> msg
           in
           Protocol.error ~code:(Batcher.error_code e) ~message)))
@@ -505,26 +607,90 @@ let handle_request t req =
   | Protocol.Health ->
     Metrics.record t.metrics ~op:"health" ~seconds:0.0 ;
     let open_c = open_circuits t in
+    let draining = is_draining t in
+    let status =
+      if draining then "draining" else if open_c = 0 then "ok" else "degraded"
+    in
     Protocol.ok
-      [ ("status", Json.Str (if open_c = 0 then "ok" else "degraded"));
+      [ ("status", Json.Str status);
+        ("draining", Json.Bool draining);
         ("open_circuits", Json.Num (float_of_int open_c));
         ( "handler_restarts",
           Json.Num (float_of_int (Metrics.restarts t.metrics)) );
         ("uptime_s", Json.Num (now () -. t.started))
       ]
+  | Protocol.Drain _ ->
+    (* the shard argument is the router's concern; to a server a drain
+       is always about itself *)
+    Metrics.record t.metrics ~op:"drain" ~seconds:0.0 ;
+    request_drain t ;
+    Protocol.ok [ ("draining", Json.Bool true) ]
+  | Protocol.Undrain _ ->
+    Metrics.record t.metrics ~op:"undrain" ~seconds:0.0 ;
+    if t.stopping then
+      Protocol.error ~code:"rejected"
+        ~message:"drain already completed, server is stopping"
+    else begin
+      let was = cancel_drain t in
+      Protocol.ok [ ("draining", Json.Bool false); ("was_draining", Json.Bool was) ]
+    end
+  | Protocol.Membership ->
+    Metrics.record t.metrics ~op:"membership" ~seconds:0.0 ;
+    Analysis.Sync.lock t.drain_m ;
+    let draining = t.draining and active = t.active in
+    Analysis.Sync.unlock t.drain_m ;
+    Protocol.ok
+      [ ("role", Json.Str "server");
+        ("status", Json.Str (if draining then "draining" else "ok"));
+        ("active", Json.Num (float_of_int active));
+        ( "pending",
+          Json.Num
+            (float_of_int
+               (match t.batcher with
+               | Some b -> Batcher.pending b
+               | None -> 0)) )
+      ]
   | Protocol.Shutdown ->
     Metrics.record t.metrics ~op:"shutdown" ~seconds:0.0 ;
     signal_stop t ;
     Protocol.ok [ ("stopping", Json.Bool true) ]
-  | Protocol.Score { model; target; deadline_ms } ->
-    handle_score t ~model ~target ~deadline_ms
+  | Protocol.Score { model; target; deadline_ms } -> (
+    match t.limiter with
+    | None -> handle_score t ~model ~target ~deadline_ms
+    | Some lim ->
+      if not (Limiter.try_acquire lim) then begin
+        Metrics.record_limited t.metrics ;
+        Metrics.record_error t.metrics ~code:"overloaded" ;
+        Protocol.error ~code:"overloaded"
+          ~message:"concurrency limit reached, request shed"
+      end
+      else begin
+        let t0 = now () in
+        match handle_score t ~model ~target ~deadline_ms with
+        | resp ->
+          let ok = Result.is_ok (Protocol.response_result resp) in
+          Limiter.release lim ~latency:(now () -. t0) ~ok ;
+          resp
+        | exception e ->
+          Limiter.release lim ~latency:(now () -. t0) ~ok:false ;
+          raise e
+      end)
 
 let serve_connection t fd =
   let r = reader fd in
   let rec loop () =
     match read_frame t r with
-    | None -> ()
-    | Some line ->
+    | Eof -> ()
+    | Oversized ->
+      (* structured refusal, then hang up: the rest of the buffer is
+         the same runaway frame *)
+      Metrics.record_error t.metrics ~code:"bad_request" ;
+      ignore
+        (write_frame fd
+           (Protocol.error ~code:"bad_request"
+              ~message:
+                (Printf.sprintf "frame too large (limit %d bytes)" max_frame)))
+    | Frame line ->
       let response =
         match Json.of_string line with
         | Error msg ->
@@ -570,7 +736,7 @@ let accept_loop t =
       match Unix.select [ t.listen_fd ] [] [] 0.1 with
       | [], _, _ -> loop ()
       | _ -> (
-        match Unix.accept ~cloexec:true t.listen_fd with
+        match Endpoint.accept t.listen_fd with
         | fd, _ ->
           Analysis.Sync.lock t.conn_m ;
           Queue.push fd t.conns ;
@@ -578,7 +744,11 @@ let accept_loop t =
           Analysis.Sync.unlock t.conn_m ;
           loop ()
         | exception Unix.Unix_error ((EBADF | EINVAL), _, _) -> ()
-        | exception Unix.Unix_error _ -> loop ())
+        | exception Unix.Unix_error _ -> loop ()
+        (* injected accept fault: the pending connection stays in the
+           kernel backlog and is retried on the next select round — a
+           delayed accept, never a lost connection *)
+        | exception Fault.Injected _ -> loop ())
       | exception Unix.Unix_error _ -> ()
     end
   in
@@ -671,6 +841,13 @@ let start cfg =
       crashed = Array.make cfg.handlers false;
       sup_m = Analysis.Sync.create ~name:"serve.server.sup" ();
       recovered;
+      limiter =
+        Option.map
+          (fun ms -> Limiter.create ~target:(ms /. 1e3) ())
+          cfg.limiter_target_ms;
+      drain_m = Analysis.Sync.create ~name:"serve.server.drain" ();
+      draining = false;
+      active = 0;
       stop_m = Analysis.Sync.create ~name:"serve.server.stop" ();
       stop_cv = Analysis.Sync.condition ();
       stopping = false;
@@ -686,7 +863,8 @@ let start cfg =
   let accept_t = Thread.create accept_loop t in
   t.slots <- Array.init cfg.handlers (fun i -> Thread.create (handler_slot t) i) ;
   let sup_t = Thread.create supervisor t in
-  t.threads <- [ accept_t; sup_t ] ;
+  let drain_t = Thread.create drain_watcher t in
+  t.threads <- [ accept_t; sup_t; drain_t ] ;
   t
 
 let request_stop t = signal_stop t
@@ -726,7 +904,14 @@ let run cfg =
   let t = start cfg in
   let stop_signal _ = request_stop t in
   let old_int = Sys.signal Sys.sigint (Sys.Signal_handle stop_signal) in
-  let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle stop_signal) in
+  let old_term =
+    (* --drain-on sigterm: the orchestrator's TERM starts a graceful
+       drain (health answers "draining", the queue finishes, then the
+       server stops on its own); INT still stops immediately *)
+    if cfg.drain_on_term then
+      Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> request_drain t))
+    else Sys.signal Sys.sigterm (Sys.Signal_handle stop_signal)
+  in
   Fmt.pr "morpheus serve: registry %s, listening on %s (%d handlers, batch ≤ %d / %gms)@."
     cfg.registry
     (Endpoint.to_string t.bound)

@@ -38,12 +38,20 @@ type config = {
           circuit opens *)
   breaker_cooldown : float;
       (** seconds an open circuit refuses fast before probing again *)
+  drain_on_term : bool;
+      (** when true, {!run}'s SIGTERM handler starts a graceful drain
+          ([health] answers ["draining"], the queue finishes, then the
+          server stops on its own) instead of stopping immediately *)
+  limiter_target_ms : float option;
+      (** latency target for the AIMD concurrency {!Limiter} over
+          in-flight score requests; [None] disables admission
+          limiting *)
 }
 
 val default_config : registry:string -> socket:string -> config
 (** max_batch 64, max_wait 2ms, queue_bound 1024, handlers 4,
     cache_capacity 4, no default deadline, breaker threshold 5 /
-    cooldown 1s. *)
+    cooldown 1s, no drain-on-term, no concurrency limiter. *)
 
 type t
 
@@ -56,6 +64,18 @@ val request_stop : t -> unit
 (** Begin a graceful shutdown (idempotent, callable from any thread —
     including a signal handler or a handler thread serving the
     [shutdown] op): stop accepting, let in-flight requests finish. *)
+
+val request_drain : t -> unit
+(** Enter draining: [health] answers ["draining"] (so routers stop
+    assigning new keys), queued and in-flight work still completes,
+    and the server stops once it has been idle for a short grace
+    window. Cancelled by {!cancel_drain} (or the [undrain] op) any
+    time before the stop fires. *)
+
+val cancel_drain : t -> bool
+(** Leave draining; returns whether a drain was in progress. *)
+
+val is_draining : t -> bool
 
 val wait : t -> unit
 (** Block until a stop has been requested. *)

@@ -1,0 +1,1063 @@
+(* The control-plane suite (@controlcheck, also plain runtest):
+   endpoint-string edge cases, wire-codec fuzzing (in memory and
+   against a live server socket), deterministic breaker jitter, the
+   AIMD concurrency limiter, deadline admission end to end (the shard
+   observes a strictly smaller budget than the client sent), the
+   drain/undrain lifecycle on both the server and the router, active
+   health probing with auto-eject and rejoin, and hedged requests.
+   When MORPHEUS_BIN points at the CLI binary, a transport-fault storm
+   over real shard processes (SIGKILL mid-storm, restart, rejoin,
+   drain with zero failures) and CLI usage-error checks ride along;
+   without it those cases skip. *)
+
+open La
+open Sparse
+open Morpheus
+open Morpheus_serve
+open Morpheus_cluster
+
+let qc = QCheck_alcotest.to_alcotest
+
+let () = Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path) ;
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let dir_counter = ref 0
+
+let tmpdir prefix =
+  incr dir_counter ;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "%s_%d_%d" prefix (Unix.getpid ()) !dir_counter)
+  in
+  rm_rf d ;
+  Sys.mkdir d 0o755 ;
+  d
+
+let contains ~needle hay =
+  let ln = String.length needle and lh = String.length hay in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let wire addr req = Client.with_client ~socket:addr (fun c -> Client.call c req)
+
+let await ?(timeout = 10.0) ?on_timeout ~what cond =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    if cond () then ()
+    else if Unix.gettimeofday () > deadline then begin
+      (match on_timeout with Some f -> f () | None -> ()) ;
+      Alcotest.failf "timed out waiting for %s" what
+    end
+    else begin
+      Thread.delay 0.01 ;
+      go ()
+    end
+  in
+  go ()
+
+(* ---- endpoint strings: every malformed form is a structured error ---- *)
+
+let test_endpoint_edges () =
+  let ok s expected =
+    match Endpoint.of_string_result s with
+    | Ok e -> Alcotest.(check string) s expected (Endpoint.to_string e)
+    | Error msg -> Alcotest.failf "%S rejected: %s" s msg
+  in
+  let bad s =
+    match Endpoint.of_string_result s with
+    | Error msg ->
+      if not (contains ~needle:"bad endpoint" msg || contains ~needle:"empty" msg)
+      then Alcotest.failf "%S: unhelpful error %S" s msg
+    | Ok e ->
+      Alcotest.failf "%S accepted as %s" s (Endpoint.to_string e)
+  in
+  bad "" ;
+  bad "unix:" ;
+  bad "tcp:" ;
+  bad "tcp:nohost" ;
+  bad "tcp::80" ;
+  bad "tcp:host:" ;
+  bad "tcp:host:notaport" ;
+  bad "tcp:host:99999" ;
+  bad "tcp:host:-1" ;
+  bad ":9000" ;
+  bad "tcp:[::1]" ;
+  bad "tcp:[::1]:" ;
+  bad "tcp:[::1]:nope" ;
+  (* IPv6 literals use the bracket form, with and without the prefix *)
+  (match Endpoint.of_string_result "tcp:[::1]:8080" with
+  | Ok (Endpoint.Tcp ("::1", 8080)) -> ()
+  | Ok e -> Alcotest.failf "tcp:[::1]:8080 parsed as %s" (Endpoint.to_string e)
+  | Error msg -> Alcotest.failf "tcp:[::1]:8080 rejected: %s" msg) ;
+  ok "[::1]:8080" "[::1]:8080" ;
+  ok "tcp:[::1]:8080" "[::1]:8080" ;
+  (* the existing contract is untouched *)
+  ok "127.0.0.1:9000" "127.0.0.1:9000" ;
+  ok "tcp:localhost:80" "localhost:80" ;
+  ok "unix:/tmp/x:1" "/tmp/x:1" ;
+  ok "/tmp/odd:name" "/tmp/odd:name" ;
+  ok "/tmp/sock" "/tmp/sock" ;
+  (* of_string raises where of_string_result errors, with the reason *)
+  match Endpoint.of_string "tcp:" with
+  | exception Invalid_argument msg ->
+    if not (contains ~needle:"bad endpoint" msg) then
+      Alcotest.failf "of_string error lost the reason: %S" msg
+  | _ -> Alcotest.fail "of_string accepted tcp:"
+
+(* ---- codec fuzz: the parser and decoder are total ---- *)
+
+let qcheck_json_total =
+  QCheck.Test.make ~name:"Json.of_string is total on garbage" ~count:1000
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 200))
+    (fun s ->
+      match Json.of_string s with Ok _ -> true | Error _ -> true)
+
+(* Random JSON values: decoding any shape must return a result, never
+   raise. *)
+let json_gen =
+  let open QCheck.Gen in
+  sized
+  @@ fix (fun self n ->
+         let leaf =
+           oneof
+             [ return Json.Null;
+               map (fun b -> Json.Bool b) bool;
+               map (fun i -> Json.Num (float_of_int i /. 8.0)) (int_range (-8000) 8000);
+               map (fun s -> Json.Str s) (string_size (int_range 0 12))
+             ]
+         in
+         if n <= 0 then leaf
+         else
+           frequency
+             [ (2, leaf);
+               ( 1,
+                 map (fun l -> Json.Arr l) (list_size (int_range 0 4) (self (n / 2)))
+               );
+               ( 1,
+                 map
+                   (fun kvs -> Json.Obj kvs)
+                   (list_size (int_range 0 4)
+                      (pair
+                         (oneofl
+                            [ "op"; "model"; "rows"; "dataset"; "ids"; "where";
+                              "deadline_ms"; "shard"; "x" ])
+                         (self (n / 2)))) )
+             ])
+
+let qcheck_request_total =
+  QCheck.Test.make ~name:"request_of_json is total on any shape" ~count:500
+    (QCheck.make json_gen)
+    (fun j ->
+      match Protocol.request_of_json j with Ok _ -> true | Error _ -> true)
+
+let qcheck_truncated_frames =
+  QCheck.Test.make ~name:"truncated frames parse to errors, never raise"
+    ~count:300
+    QCheck.(pair (int_range 0 80) (int_range 0 1000))
+    (fun (cut, seed) ->
+      let reqs =
+        [ Protocol.Ping;
+          Protocol.Membership;
+          Protocol.Drain (Some "s0");
+          Protocol.Score
+            { model = "m";
+              target = Protocol.Rows [| [| 0.5; Float.of_int seed |] |];
+              deadline_ms = Some 12.5
+            }
+        ]
+      in
+      let line =
+        Json.to_string
+          (Protocol.request_to_json (List.nth reqs (seed mod List.length reqs)))
+      in
+      let cut = min cut (String.length line) in
+      match Json.of_string (String.sub line 0 cut) with
+      | Ok j -> ( match Protocol.request_of_json j with Ok _ | Error _ -> true)
+      | Error _ -> true)
+
+(* ---- live-socket fuzz: garbage never kills or wedges the server ---- *)
+
+let start_plain_server () =
+  let reg = tmpdir "control_empty_reg" in
+  Server.start
+    { (Server.default_config ~registry:reg ~socket:"127.0.0.1:0") with
+      Server.handlers = 2;
+      max_wait = 1e-3
+    }
+
+let send_raw fd s =
+  let b = Bytes.of_string s in
+  let off = ref 0 in
+  (try
+     while !off < Bytes.length b do
+       off := !off + Unix.write fd b !off (Bytes.length b - !off)
+     done
+   with Unix.Unix_error ((EPIPE | ECONNRESET), _, _) -> ())
+
+let read_response fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    if String.contains (Buffer.contents buf) '\n' then
+      Some (List.hd (String.split_on_char '\n' (Buffer.contents buf)))
+    else begin
+      match Unix.select [ fd ] [] [] 5.0 with
+      | [], _, _ -> None
+      | _ -> (
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n ;
+          go ()
+        | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) -> None)
+    end
+  in
+  go ()
+
+let test_wire_fuzz () =
+  let server = start_plain_server () in
+  Fun.protect ~finally:(fun () -> Server.stop server)
+  @@ fun () ->
+  let addr = Endpoint.to_string (Server.endpoint server) in
+  let garbage =
+    [ "not json at all";
+      "{\"op\":\"score\"";  (* truncated object *)
+      "{\"op\":42}";
+      "{\"op\":\"nosuchop\"}";
+      "[1,2,3]";
+      "\"just a string\"";
+      "{}";
+      "{\"op\":\"score\",\"model\":3,\"rows\":\"x\"}";
+      "\x00\x01\xfe binary \xff";
+      String.make 600 '{'
+    ]
+  in
+  List.iter
+    (fun line ->
+      let fd = Endpoint.connect (Endpoint.of_string addr) in
+      Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ())
+      @@ fun () ->
+      send_raw fd (line ^ "\n") ;
+      match read_response fd with
+      | None -> Alcotest.failf "no response to %S" line
+      | Some resp -> (
+        match Json.of_string resp with
+        | Error e -> Alcotest.failf "unparseable response %S to %S: %s" resp line e
+        | Ok j -> (
+          match Option.bind (Json.member "ok" j) Json.to_bool with
+          | Some false -> ()
+          | _ -> Alcotest.failf "garbage %S was not refused: %s" line resp)))
+    garbage ;
+  (* an oversized frame gets a structured refusal and a hangup, not an
+     unbounded buffer (the write may also die early with RST — both
+     are clean outcomes) *)
+  let fd = Endpoint.connect (Endpoint.of_string addr) in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ())
+  (fun () ->
+    send_raw fd (String.make (2 * 1024 * 1024) 'a' ^ "\n") ;
+    match read_response fd with
+    | Some resp when contains ~needle:"frame too large" resp -> ()
+    | Some resp when contains ~needle:"bad_request" resp -> ()
+    | Some resp -> Alcotest.failf "oversized frame got %S" resp
+    | None -> () (* connection reset before the refusal drained: fine *)) ;
+  (* the server is still healthy and the refusals were counted *)
+  (match wire addr Protocol.Ping with
+  | Ok _ -> ()
+  | Error (c, m) -> Alcotest.failf "ping after fuzz: [%s] %s" c m) ;
+  let stats = Json.to_string (Server.stats server) in
+  if not (contains ~needle:"bad_request" stats) then
+    Alcotest.fail "refusals were not counted in stats"
+
+(* ---- breaker: seeded jitter spreads reopen instants ---- *)
+
+let test_breaker_jitter_spread () =
+  let n = 8 in
+  let clocks = Array.make n 0.0 in
+  let breakers =
+    Array.init n (fun i ->
+        Breaker.create ~threshold:1 ~cooldown:1.0 ~jitter:0.5 ~seed:i
+          ~now:(fun () -> clocks.(i))
+          ())
+  in
+  Array.iter Breaker.failure breakers ;
+  Array.iter
+    (fun b -> Alcotest.(check bool) "opened" false (Breaker.allow b))
+    breakers ;
+  let first_allow =
+    Array.mapi
+      (fun i b ->
+        let t = ref 1.0 in
+        while
+          clocks.(i) <- !t ;
+          Breaker.state b <> Breaker.Half_open && !t < 2.0
+        do
+          t := !t +. 0.005
+        done ;
+        !t)
+      breakers
+  in
+  Array.iter
+    (fun t ->
+      if t < 1.0 || t > 1.51 then
+        Alcotest.failf "reopen at %.3f outside [cooldown, cooldown*1.5]" t)
+    first_allow ;
+  let distinct =
+    List.length (List.sort_uniq compare (Array.to_list first_allow))
+  in
+  if distinct < 3 then
+    Alcotest.failf "only %d distinct reopen instants across %d seeds" distinct n ;
+  let lo = Array.fold_left min first_allow.(0) first_allow in
+  let hi = Array.fold_left max first_allow.(0) first_allow in
+  if hi -. lo < 0.05 then
+    Alcotest.failf "reopen spread %.3fs is lockstep" (hi -. lo) ;
+  (* determinism: the same seed replays the same jitter *)
+  let clock = ref 0.0 in
+  let same () =
+    let b =
+      Breaker.create ~threshold:1 ~cooldown:1.0 ~jitter:0.5 ~seed:3
+        ~now:(fun () -> !clock)
+        ()
+    in
+    clock := 0.0 ;
+    Breaker.failure b ;
+    let t = ref 1.0 in
+    while
+      clock := !t ;
+      Breaker.state b <> Breaker.Half_open && !t < 2.0
+    do
+      t := !t +. 0.005
+    done ;
+    !t
+  in
+  Alcotest.(check (float 1e-9)) "seeded jitter is deterministic" (same ()) (same ())
+
+(* ---- limiter: AIMD on a fake clock ---- *)
+
+let test_limiter_aimd () =
+  let clock = ref 0.0 in
+  let lim =
+    Limiter.create ~min_limit:2.0 ~max_limit:8.0 ~initial:4.0 ~backoff:0.5
+      ~decrease_interval:0.05
+      ~now:(fun () -> !clock)
+      ~target:0.010 ()
+  in
+  (* admission stops exactly at the limit *)
+  for i = 1 to 4 do
+    Alcotest.(check bool) (Printf.sprintf "admit %d" i) true (Limiter.try_acquire lim)
+  done ;
+  Alcotest.(check bool) "fifth is shed" false (Limiter.try_acquire lim) ;
+  Alcotest.(check int) "shed counted" 1 (Limiter.shed lim) ;
+  (* fast completions grow the limit additively *)
+  for _ = 1 to 4 do
+    Limiter.release lim ~latency:0.002 ~ok:true
+  done ;
+  let grown = Limiter.limit lim in
+  if grown <= 4.0 then Alcotest.failf "no additive increase (limit %.2f)" grown ;
+  if grown > 5.5 then Alcotest.failf "increase too aggressive (limit %.2f)" grown ;
+  (* a slow completion cuts multiplicatively *)
+  clock := 1.0 ;
+  Alcotest.(check bool) "admit again" true (Limiter.try_acquire lim) ;
+  Limiter.release lim ~latency:0.200 ~ok:true ;
+  let cut = Limiter.limit lim in
+  if cut >= grown *. 0.6 then
+    Alcotest.failf "no multiplicative decrease (%.2f -> %.2f)" grown cut ;
+  (* decreases are rate-limited inside the interval *)
+  Alcotest.(check bool) "admit" true (Limiter.try_acquire lim) ;
+  Limiter.release lim ~latency:0.200 ~ok:false ;
+  Alcotest.(check (float 1e-9)) "second cut inside interval suppressed" cut
+    (Limiter.limit lim) ;
+  (* and the floor holds *)
+  for k = 1 to 20 do
+    clock := 1.0 +. (0.1 *. float_of_int k) ;
+    if Limiter.try_acquire lim then Limiter.release lim ~latency:0.2 ~ok:false
+  done ;
+  if Limiter.limit lim < 2.0 then Alcotest.fail "limit fell through min_limit"
+
+(* ---- batcher: Expired at dequeue when the budget cannot be met ---- *)
+
+let test_batcher_expired () =
+  let metrics = Metrics.create () in
+  let b =
+    Batcher.create ~max_batch:4 ~max_wait:0.0 ~queue_bound:16 ~metrics
+      ~size:(fun _ -> 1)
+      ~exec:(fun () payloads ->
+        Thread.delay 0.05 ;
+        Array.map (fun _ -> Ok ()) payloads)
+      ()
+  in
+  Fun.protect ~finally:(fun () -> Batcher.stop b)
+  @@ fun () ->
+  (* prime the execution-time ewma with one normal batch *)
+  (match Batcher.submit b () () with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "prime batch failed: %s" (Batcher.error_code e)) ;
+  (* a deadline beyond now but inside the known execution time: the
+     batcher refuses at dequeue rather than answering late *)
+  (match Batcher.submit b ~deadline:(Unix.gettimeofday () +. 0.01) () () with
+  | Error Batcher.Expired -> ()
+  | Error e -> Alcotest.failf "wrong error %s" (Batcher.error_code e)
+  | Ok () -> Alcotest.fail "a request that could not meet its deadline ran") ;
+  (* an already-passed deadline still reports Deadline_exceeded *)
+  (match Batcher.submit b ~deadline:(Unix.gettimeofday () -. 0.001) () () with
+  | Error Batcher.Deadline_exceeded -> ()
+  | Error e -> Alcotest.failf "wrong error %s" (Batcher.error_code e)
+  | Ok () -> Alcotest.fail "an expired request ran") ;
+  (* a roomy deadline still runs *)
+  match Batcher.submit b ~deadline:(Unix.gettimeofday () +. 5.0) () () with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "roomy deadline failed: %s" (Batcher.error_code e)
+
+(* ---- fake shards: scripted TCP peers for control-plane tests ---- *)
+
+type fake = {
+  fk_addr : string;
+  fk_stop : bool ref;
+  fk_listen : Unix.file_descr;
+  mutable fk_threads : Thread.t list;
+  fk_deadlines : float Queue.t;
+  fk_q : Mutex.t;
+}
+
+(* A minimal shard: answers health immediately, score after
+   [score_delay], recording each forwarded deadline_ms. Good enough to
+   stand on the far side of the router — the real server's behavior is
+   covered by @clustercheck. *)
+let start_fake ?(port = 0) ?(score_delay = 0.0) ?(status = "ok") () =
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true ;
+  Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port)) ;
+  Unix.listen listen_fd 16 ;
+  let port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> Alcotest.fail "fake shard: no port"
+  in
+  let f =
+    { fk_addr = Printf.sprintf "127.0.0.1:%d" port;
+      fk_stop = ref false;
+      fk_listen = listen_fd;
+      fk_threads = [];
+      fk_deadlines = Queue.create ();
+      fk_q = Mutex.create ()
+    }
+  in
+  let handle fd =
+    let buf = Buffer.create 256 in
+    let chunk = Bytes.create 4096 in
+    let rec serve () =
+      let contents = Buffer.contents buf in
+      match String.index_opt contents '\n' with
+      | Some i ->
+        let line = String.sub contents 0 i in
+        Buffer.clear buf ;
+        Buffer.add_string buf
+          (String.sub contents (i + 1) (String.length contents - i - 1)) ;
+        let j = Result.value ~default:Json.Null (Json.of_string line) in
+        let op =
+          Option.value ~default:"" (Option.bind (Json.member "op" j) Json.to_str)
+        in
+        let reply =
+          match op with
+          | "health" ->
+            Json.Obj [ ("ok", Json.Bool true); ("status", Json.Str status) ]
+          | "score" ->
+            (match Option.bind (Json.member "deadline_ms" j) Json.to_float with
+            | Some d ->
+              Mutex.lock f.fk_q ;
+              Queue.push d f.fk_deadlines ;
+              Mutex.unlock f.fk_q
+            | None -> ()) ;
+            if score_delay > 0.0 then Thread.delay score_delay ;
+            let n =
+              match Option.bind (Json.member "ids" j) Json.to_list with
+              | Some l -> List.length l
+              | None -> (
+                match Option.bind (Json.member "rows" j) Json.to_list with
+                | Some l -> List.length l
+                | None -> 1)
+            in
+            Json.Obj
+              [ ("ok", Json.Bool true);
+                ("model", Json.Str "m@v1");
+                ("predictions", Json.Arr (List.init n (fun _ -> Json.Num 0.125)))
+              ]
+          | _ ->
+            Json.Obj
+              [ ("ok", Json.Bool false);
+                ("code", Json.Str "bad_request");
+                ("message", Json.Str "fake shard")
+              ]
+        in
+        send_raw fd (Json.to_string reply ^ "\n") ;
+        serve ()
+      | None -> (
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n ;
+          serve ()
+        | exception Unix.Unix_error _ -> ())
+    in
+    (try serve () with _ -> ()) ;
+    try Unix.close fd with _ -> ()
+  in
+  let acceptor () =
+    let rec loop () =
+      if !(f.fk_stop) then ()
+      else begin
+        match Unix.select [ listen_fd ] [] [] 0.1 with
+        | [], _, _ -> loop ()
+        | _ -> (
+          match Unix.accept ~cloexec:true listen_fd with
+          | fd, _ ->
+            f.fk_threads <- Thread.create handle fd :: f.fk_threads ;
+            loop ()
+          | exception Unix.Unix_error _ -> ())
+        | exception Unix.Unix_error _ -> ()
+      end
+    in
+    loop ()
+  in
+  f.fk_threads <- [ Thread.create acceptor () ] ;
+  f
+
+let stop_fake f =
+  f.fk_stop := true ;
+  (try Unix.close f.fk_listen with _ -> ()) ;
+  List.iter (fun t -> try Thread.join t with _ -> ()) f.fk_threads
+
+let fake_deadlines f =
+  Mutex.lock f.fk_q ;
+  let l = List.of_seq (Queue.to_seq f.fk_deadlines) in
+  Mutex.unlock f.fk_q ;
+  l
+
+let router_over ?(probe_interval = 0.05) ?(hedge = false) ?limiter_target_ms
+    ?(handlers = 2) shards =
+  Router.start
+    { (Router.default_config ~listen:"127.0.0.1:0" ~shards) with
+      Router.handlers;
+      block = 4;
+      breaker_threshold = 3;
+      breaker_cooldown = 0.2;
+      probe_interval;
+      probe_timeout = 0.5;
+      eject_after = 2;
+      rejoin_after = 2;
+      hedge;
+      hedge_rate = 50.0;
+      hedge_burst = 4.0;
+      limiter_target_ms
+    }
+
+let membership_of addr =
+  match wire addr Protocol.Membership with
+  | Error (c, m) -> Alcotest.failf "membership: [%s] %s" c m
+  | Ok j -> j
+
+let member_field j shard k =
+  Option.bind (Json.member "members" j) (Json.member shard)
+  |> Fun.flip Option.bind (Json.member k)
+
+let member_state j shard =
+  Option.value ~default:"?" (Option.bind (member_field j shard "state") Json.to_str)
+
+let member_in_ring j shard =
+  Option.value ~default:true
+    (Option.bind (member_field j shard "in_ring") Json.to_bool)
+
+let score_rows_req ?deadline_ms () =
+  Protocol.Score
+    { model = "m"; target = Protocol.Rows [| [| 0.5; 0.25 |] |]; deadline_ms }
+
+(* ---- deadline propagation: the shard sees a smaller budget ---- *)
+
+let test_deadline_propagation () =
+  let shard = start_fake () in
+  Fun.protect ~finally:(fun () -> stop_fake shard)
+  @@ fun () ->
+  let router = router_over [ ("s0", shard.fk_addr) ] in
+  Fun.protect ~finally:(fun () -> Router.stop router)
+  @@ fun () ->
+  let addr = Endpoint.to_string (Router.endpoint router) in
+  (* an armed delay on admission makes the queue time deterministic:
+     the forwarded budget must be strictly below the client's 500ms *)
+  Fault.with_config "router.admit=1.0:delay5" (fun () ->
+      match wire addr (score_rows_req ~deadline_ms:500.0 ()) with
+      | Error (c, m) -> Alcotest.failf "routed score: [%s] %s" c m
+      | Ok _ -> ()) ;
+  (match fake_deadlines shard with
+  | [ d ] ->
+    if d >= 500.0 then
+      Alcotest.failf "shard saw %.3fms, not a decremented budget" d ;
+    if d <= 0.0 then Alcotest.failf "shard saw a non-positive budget %.3f" d ;
+    if d > 496.0 then
+      Alcotest.failf "queue time was not deducted (shard saw %.3fms)" d
+  | l -> Alcotest.failf "shard saw %d forwarded deadlines" (List.length l)) ;
+  (* a budget smaller than the armed queue delay is shed with expired,
+     and the shard never sees it *)
+  Fault.with_config "router.admit=1.0:delay10" (fun () ->
+      match wire addr (score_rows_req ~deadline_ms:3.0 ()) with
+      | Error ("expired", _) -> ()
+      | Ok _ -> Alcotest.fail "an overdrawn request was answered"
+      | Error (c, m) -> Alcotest.failf "wrong error [%s] %s" c m) ;
+  Alcotest.(check int) "the expired request was never forwarded" 1
+    (List.length (fake_deadlines shard)) ;
+  (* requests without deadlines pass untouched *)
+  match wire addr (score_rows_req ()) with
+  | Ok _ -> ()
+  | Error (c, m) -> Alcotest.failf "no-deadline score: [%s] %s" c m
+
+(* ---- router drain lifecycle: zero failed requests ---- *)
+
+let test_router_drain () =
+  let a = start_fake () and b = start_fake () in
+  Fun.protect ~finally:(fun () -> stop_fake a ; stop_fake b)
+  @@ fun () ->
+  let router = router_over [ ("s0", a.fk_addr); ("s1", b.fk_addr) ] in
+  Fun.protect ~finally:(fun () -> Router.stop router)
+  @@ fun () ->
+  let addr = Endpoint.to_string (Router.endpoint router) in
+  (* drain wants a shard name at the router *)
+  (match wire addr (Protocol.Drain None) with
+  | Error ("bad_request", _) -> ()
+  | r -> Alcotest.failf "nameless drain: %s" (match r with Ok _ -> "ok" | Error (c, _) -> c)) ;
+  (match wire addr (Protocol.Drain (Some "ghost")) with
+  | Error ("bad_request", _) -> ()
+  | _ -> Alcotest.fail "unknown shard drained") ;
+  (* drain s0: it leaves the ring, traffic keeps succeeding *)
+  (match wire addr (Protocol.Drain (Some "s0")) with
+  | Ok _ -> ()
+  | Error (c, m) -> Alcotest.failf "drain: [%s] %s" c m) ;
+  let j = membership_of addr in
+  Alcotest.(check string) "s0 draining" "draining" (member_state j "s0") ;
+  Alcotest.(check bool) "s0 out of the ring" false (member_in_ring j "s0") ;
+  Alcotest.(check bool) "s1 still in" true (member_in_ring j "s1") ;
+  for i = 1 to 10 do
+    match wire addr (score_rows_req ()) with
+    | Ok _ -> ()
+    | Error (c, m) -> Alcotest.failf "request %d failed during drain: [%s] %s" i c m
+  done ;
+  (* the prober must not auto-rejoin an operator drain *)
+  Thread.delay 0.3 ;
+  Alcotest.(check string) "operator drain is sticky" "draining"
+    (member_state (membership_of addr) "s0") ;
+  (* the last in-ring shard refuses to drain *)
+  (match wire addr (Protocol.Drain (Some "s1")) with
+  | Error ("rejected", _) -> ()
+  | _ -> Alcotest.fail "drained the last in-ring shard") ;
+  (* undrain restores *)
+  (match wire addr (Protocol.Undrain (Some "s0")) with
+  | Ok _ -> ()
+  | Error (c, m) -> Alcotest.failf "undrain: [%s] %s" c m) ;
+  let j = membership_of addr in
+  Alcotest.(check string) "s0 active again" "active" (member_state j "s0") ;
+  Alcotest.(check bool) "s0 back in the ring" true (member_in_ring j "s0")
+
+(* ---- prober: eject on death, rejoin on recovery ---- *)
+
+let test_probe_eject_rejoin () =
+  let a = start_fake () and b = start_fake () in
+  let b_port = int_of_string (List.nth (String.split_on_char ':' b.fk_addr) 1) in
+  Fun.protect ~finally:(fun () -> stop_fake a)
+  @@ fun () ->
+  let router = router_over [ ("s0", a.fk_addr); ("s1", b.fk_addr) ] in
+  Fun.protect ~finally:(fun () -> Router.stop router)
+  @@ fun () ->
+  let addr = Endpoint.to_string (Router.endpoint router) in
+  await ~what:"both shards active" (fun () ->
+      let j = membership_of addr in
+      member_state j "s0" = "active" && member_state j "s1" = "active") ;
+  (* kill s1: consecutive probe failures eject it *)
+  stop_fake b ;
+  await ~what:"s1 ejected" (fun () ->
+      let j = membership_of addr in
+      member_state j "s1" = "ejected" && not (member_in_ring j "s1")) ;
+  (* traffic keeps flowing on the survivor *)
+  for _ = 1 to 5 do
+    match wire addr (score_rows_req ()) with
+    | Ok _ -> ()
+    | Error (c, m) -> Alcotest.failf "score after eject: [%s] %s" c m
+  done ;
+  (* the suspicion score reflects the failures *)
+  let susp =
+    Option.value ~default:0.0
+      (Option.bind (member_field (membership_of addr) "s1" "suspicion") Json.to_float)
+  in
+  if susp < 1.0 then Alcotest.failf "ejected shard suspicion %.2f too low" susp ;
+  (* resurrect s1 on the same port: sustained healthy probes rejoin it
+     with no operator action *)
+  let revived = start_fake ~port:b_port () in
+  Fun.protect ~finally:(fun () -> stop_fake revived)
+  @@ fun () ->
+  await ~what:"s1 rejoined" (fun () ->
+      let j = membership_of addr in
+      member_state j "s1" = "active" && member_in_ring j "s1")
+
+(* ---- server drain: health flips, queue finishes, auto-stop ---- *)
+
+let test_server_drain () =
+  let server = start_plain_server () in
+  let addr = Endpoint.to_string (Server.endpoint server) in
+  let finally () = Server.stop server in
+  Fun.protect ~finally
+  @@ fun () ->
+  (* drain over the wire flips health to draining *)
+  (match wire addr (Protocol.Drain None) with
+  | Ok j ->
+    Alcotest.(check (option bool)) "drain acked" (Some true)
+      (Option.bind (Json.member "draining" j) Json.to_bool)
+  | Error (c, m) -> Alcotest.failf "drain: [%s] %s" c m) ;
+  (match wire addr Protocol.Health with
+  | Ok j ->
+    Alcotest.(check (option string)) "health says draining" (Some "draining")
+      (Option.bind (Json.member "status" j) Json.to_str)
+  | Error (c, m) -> Alcotest.failf "health: [%s] %s" c m) ;
+  Alcotest.(check bool) "is_draining" true (Server.is_draining server) ;
+  (* undrain within the grace window cancels the stop *)
+  (match wire addr (Protocol.Undrain None) with
+  | Ok _ -> ()
+  | Error (c, m) -> Alcotest.failf "undrain: [%s] %s" c m) ;
+  Thread.delay 0.4 ;
+  (match wire addr Protocol.Ping with
+  | Ok _ -> ()
+  | Error (c, m) ->
+    Alcotest.failf "server stopped despite the undrain: [%s] %s" c m) ;
+  (match wire addr Protocol.Health with
+  | Ok j ->
+    Alcotest.(check (option string)) "health recovered" (Some "ok")
+      (Option.bind (Json.member "status" j) Json.to_str)
+  | Error (c, m) -> Alcotest.failf "health: [%s] %s" c m) ;
+  (* drain again and let it complete: the server stops on its own.
+     After the auto-stop the listen socket lingers until Server.stop,
+     so probe with a select timeout — an accepted-but-unserved ping
+     would otherwise block forever. *)
+  (match wire addr (Protocol.Drain None) with
+  | Ok _ -> ()
+  | Error (c, m) -> Alcotest.failf "second drain: [%s] %s" c m) ;
+  let gone () =
+    match Endpoint.connect (Endpoint.of_string addr) with
+    | exception Unix.Unix_error _ -> true
+    | fd ->
+      Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ())
+      @@ fun () ->
+      send_raw fd "{\"op\":\"ping\"}\n" ;
+      (match Unix.select [ fd ] [] [] 0.25 with
+      | [], _, _ -> true (* accepted, but nobody is serving anymore *)
+      | _ -> (
+        match Unix.read fd (Bytes.create 64) 0 64 with
+        | 0 -> true
+        | _ -> false
+        | exception Unix.Unix_error _ -> true))
+  in
+  await ~timeout:5.0 ~what:"drained server to stop" gone
+
+(* ---- hedging: a slow owner is raced, responses stay identical ---- *)
+
+let test_hedged_requests () =
+  (* find which member owns the routing key "m" so the slow shard can
+     be placed there deterministically *)
+  let owner = Ring.lookup (Ring.create [ "s0"; "s1" ]) "m" in
+  let slow = start_fake ~score_delay:0.5 () in
+  let fast = start_fake () in
+  Fun.protect ~finally:(fun () -> stop_fake slow ; stop_fake fast)
+  @@ fun () ->
+  let shards =
+    if owner = "s0" then [ ("s0", slow.fk_addr); ("s1", fast.fk_addr) ]
+    else [ ("s0", fast.fk_addr); ("s1", slow.fk_addr) ]
+  in
+  let router = router_over ~hedge:true shards in
+  Fun.protect ~finally:(fun () -> Router.stop router)
+  @@ fun () ->
+  let addr = Endpoint.to_string (Router.endpoint router) in
+  let t0 = Unix.gettimeofday () in
+  (match wire addr (score_rows_req ()) with
+  | Ok j ->
+    (* the hedge's answer is the same bytes the slow owner would give *)
+    Alcotest.(check (option (list (float 1e-12)))) "hedged predictions"
+      (Some [ 0.125 ])
+      (Option.bind (Json.member "predictions" j) Json.float_list)
+  | Error (c, m) -> Alcotest.failf "hedged score: [%s] %s" c m) ;
+  let dt = Unix.gettimeofday () -. t0 in
+  if dt > 0.4 then
+    Alcotest.failf "hedge did not win: %.0fms (owner sleeps 500ms)" (dt *. 1e3) ;
+  let cluster =
+    Option.value ~default:Json.Null (Json.member "cluster" (Router.stats router))
+  in
+  let num k =
+    Option.value ~default:0 (Option.bind (Json.member k cluster) Json.to_int)
+  in
+  if num "hedges" < 1 then Alcotest.fail "no hedge was fired" ;
+  if num "hedge_wins" < 1 then Alcotest.fail "no hedge win was counted"
+
+(* ---- router limiter: overload sheds with a structured error ---- *)
+
+let test_router_limiter () =
+  let slow = start_fake ~score_delay:0.2 () in
+  Fun.protect ~finally:(fun () -> stop_fake slow)
+  @@ fun () ->
+  let router =
+    router_over ~limiter_target_ms:1.0 ~handlers:16 [ ("s0", slow.fk_addr) ]
+  in
+  Fun.protect ~finally:(fun () -> Router.stop router)
+  @@ fun () ->
+  let addr = Endpoint.to_string (Router.endpoint router) in
+  (* drive enough slow traffic to pull the AIMD limit down, then
+     overload: at least one request must shed with `overloaded` *)
+  let m = Mutex.create () in
+  let sheds = ref 0 and oks = ref 0 in
+  let bump r =
+    Mutex.lock m ;
+    incr r ;
+    Mutex.unlock m
+  in
+  let worker () =
+    for _ = 1 to 4 do
+      match wire addr (score_rows_req ()) with
+      | Ok _ -> bump oks
+      | Error ("overloaded", _) -> bump sheds
+      | Error _ -> ()
+    done
+  in
+  let threads = List.init 16 (fun _ -> Thread.create worker ()) in
+  List.iter Thread.join threads ;
+  if !oks = 0 then Alcotest.fail "limiter shed everything" ;
+  if !sheds = 0 then
+    Alcotest.fail "sustained overload against a 1ms target never shed" ;
+  let stats = Json.to_string (Router.stats router) in
+  if not (contains ~needle:"limiter" stats) then
+    Alcotest.fail "limiter snapshot missing from stats"
+
+(* ---- process-level control chaos (MORPHEUS_BIN) ---- *)
+
+let make_data root =
+  let g = Rng.of_int 4242 in
+  let s = Dense.random ~rng:g 200 3 in
+  let r = Dense.random ~rng:g 15 4 in
+  let k = Indicator.random ~rng:g ~rows:200 ~cols:15 () in
+  let t = Normalized.pkfk ~s:(Mat.of_dense s) ~k ~r:(Mat.of_dense r) in
+  let d = snd (Normalized.dims t) in
+  let artifact = Artifact.Logreg (Dense.random ~rng:g d 1) in
+  let ds_dir = Filename.concat root "ds" in
+  Io.save ~dir:ds_dir t ;
+  let reg = Filename.concat root "reg" in
+  let entry =
+    Registry.save ~dir:reg ~name:"m" ~schema_hash:(Registry.schema_hash t)
+      artifact
+  in
+  (t, artifact, ds_dir, reg, entry)
+
+let free_port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> Unix.close fd)
+  @@ fun () ->
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0)) ;
+  match Unix.getsockname fd with
+  | Unix.ADDR_INET (_, port) -> port
+  | _ -> Alcotest.fail "no port bound"
+
+let spawn_shard bin ~reg ~port =
+  let addr = Printf.sprintf "127.0.0.1:%d" port in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  Fun.protect ~finally:(fun () -> Unix.close devnull)
+  @@ fun () ->
+  let pid =
+    Unix.create_process bin
+      (* enough handler slots that the router's cached per-handler
+         connections can't saturate the shard and starve health
+         probes *)
+      [| bin; "serve"; "--registry"; reg; "--listen"; addr; "--handlers"; "6";
+         "--max-wait-ms"; "1"; "--drain-on"; "SIGTERM"
+      |]
+      Unix.stdin devnull devnull
+  in
+  (pid, addr)
+
+let await_shard_healthy addr =
+  await ~what:(addr ^ " healthy") (fun () ->
+      match Client.health ~socket:addr with
+      | Ok _ -> true
+      | Error _ -> false
+      | exception Unix.Unix_error _ -> false)
+
+let test_control_chaos () =
+  match Sys.getenv_opt "MORPHEUS_BIN" with
+  | None | Some "" ->
+    print_endline "control chaos: skipped (MORPHEUS_BIN not set)"
+  | Some bin ->
+    let root = tmpdir "control_chaos" in
+    let t, artifact, ds_dir, reg, entry = make_data root in
+    let ports = [ free_port (); free_port () ] in
+    let procs = List.map (fun port -> (port, ref (spawn_shard bin ~reg ~port))) ports in
+    let kill_all signal =
+      List.iter (fun (_, p) -> try Unix.kill (fst !p) signal with _ -> ()) procs
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        kill_all Sys.sigkill ;
+        List.iter
+          (fun (_, p) -> try ignore (Unix.waitpid [] (fst !p)) with _ -> ())
+          procs)
+    @@ fun () ->
+    List.iter (fun (_, p) -> await_shard_healthy (snd !p)) procs ;
+    let router =
+      router_over ~probe_interval:0.05
+        (List.mapi (fun i (_, p) -> (Printf.sprintf "s%d" i, snd !p)) procs)
+    in
+    Fun.protect ~finally:(fun () -> Router.stop router)
+    @@ fun () ->
+    let addr = Endpoint.to_string (Router.endpoint router) in
+    let batches =
+      Array.init 24 (fun b -> Array.init 8 (fun i -> ((13 * b) + (29 * i)) mod 200))
+    in
+    let expected =
+      Array.map
+        (fun ids ->
+          Artifact.score_normalized artifact (Normalized.select_rows t ids))
+        batches
+    in
+    let policy =
+      { Client.default_retry with
+        attempts = 10;
+        base_backoff = 5e-3;
+        max_backoff = 0.1;
+        budget = 30.0;
+        retry_codes =
+          "unavailable" :: "rejected"
+          :: Client.default_retry.Client.retry_codes
+      }
+    in
+    let victim_port, victim = List.hd procs in
+    (* the storm runs with transport faults armed on the router/client
+       side of every connection; responses must stay bitwise-identical
+       (absorbed by failover + retries), and the SIGKILLed shard must
+       be auto-ejected *)
+    Fault.with_config
+      "seed=11,endpoint.read=0.03,endpoint.write.torn=0.02,router.forward=0.03"
+      (fun () ->
+        Array.iteri
+          (fun b ids ->
+            if b = 8 then Unix.kill (fst !victim) Sys.sigkill ;
+            match
+              Client.score_ids_retry ~policy ~socket:addr
+                ~model:entry.Registry.id ~dataset:ds_dir ids
+            with
+            | Error (code, msg) ->
+              Alcotest.failf "storm batch %d: [%s] %s" b code msg
+            | Ok preds ->
+              if preds <> expected.(b) then
+                Alcotest.failf "storm batch %d: answer differs" b)
+          batches) ;
+    let dump () =
+      Printf.eprintf "membership at timeout: %s\n%!"
+        (Json.to_string (membership_of addr))
+    in
+    await ~what:"victim ejected" ~on_timeout:dump (fun () ->
+        let j = membership_of addr in
+        member_state j "s0" = "ejected" && not (member_in_ring j "s0")) ;
+    (* restart the victim on the same port: it rejoins unaided *)
+    ignore (Unix.waitpid [] (fst !victim)) ;
+    victim := spawn_shard bin ~reg ~port:victim_port ;
+    await_shard_healthy (snd !victim) ;
+    await ~what:"victim rejoined" ~on_timeout:dump (fun () ->
+        let j = membership_of addr in
+        member_state j "s0" = "active" && member_in_ring j "s0") ;
+    (* drain the revived shard: membership flips and not one request
+       fails while it empties *)
+    (match wire addr (Protocol.Drain (Some "s0")) with
+    | Ok _ -> ()
+    | Error (c, m) -> Alcotest.failf "drain: [%s] %s" c m) ;
+    Array.iteri
+      (fun b ids ->
+        match
+          Client.score_ids_retry ~policy ~socket:addr ~model:entry.Registry.id
+            ~dataset:ds_dir ids
+        with
+        | Error (code, msg) ->
+          Alcotest.failf "drain batch %d failed: [%s] %s" b code msg
+        | Ok preds ->
+          if preds <> expected.(b) then
+            Alcotest.failf "drain batch %d: answer differs" b)
+      batches ;
+    Alcotest.(check bool) "still out of the ring" false
+      (member_in_ring (membership_of addr) "s0") ;
+    kill_all Sys.sigterm
+
+(* ---- CLI usage errors exit 2, not a backtrace ---- *)
+
+let run_cli bin args =
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  Fun.protect ~finally:(fun () -> Unix.close devnull)
+  @@ fun () ->
+  let pid =
+    Unix.create_process bin (Array.of_list (bin :: args)) Unix.stdin devnull
+      devnull
+  in
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED code -> code
+  | _ -> -1
+
+let test_cli_usage_errors () =
+  match Sys.getenv_opt "MORPHEUS_BIN" with
+  | None | Some "" ->
+    print_endline "cli usage: skipped (MORPHEUS_BIN not set)"
+  | Some bin ->
+    let reg = tmpdir "control_cli_reg" in
+    let check args =
+      let code = run_cli bin args in
+      if code <> 2 then
+        Alcotest.failf "%s: exit %d, wanted the usage error 2"
+          (String.concat " " args) code
+    in
+    check [ "score"; "--socket"; ""; "--ping" ] ;
+    check [ "score"; "--socket"; "tcp:host:notaport"; "--ping" ] ;
+    check [ "score"; "--socket"; "tcp::80"; "--ping" ] ;
+    check [ "serve"; "--registry"; reg; "--socket"; "/tmp/x.sock";
+            "--drain-on"; "SIGUSR1" ] ;
+    check [ "route"; "--listen"; "tcp:"; "--shard"; "a=127.0.0.1:1" ] ;
+    check [ "route"; "--listen"; "127.0.0.1:0"; "--shard"; "a=tcp:bad" ]
+
+let () =
+  Alcotest.run "control"
+    [ ( "endpoint",
+        [ Alcotest.test_case "edge cases and IPv6 brackets" `Quick
+            test_endpoint_edges ] );
+      ( "codec",
+        [ qc qcheck_json_total;
+          qc qcheck_request_total;
+          qc qcheck_truncated_frames;
+          Alcotest.test_case "live-socket fuzz" `Quick test_wire_fuzz ] );
+      ( "breaker",
+        [ Alcotest.test_case "seeded jitter spreads reopens" `Quick
+            test_breaker_jitter_spread ] );
+      ( "limiter",
+        [ Alcotest.test_case "AIMD on a fake clock" `Quick test_limiter_aimd ] );
+      ( "batcher",
+        [ Alcotest.test_case "expired at dequeue" `Quick test_batcher_expired ] );
+      ( "deadline",
+        [ Alcotest.test_case "budget decrements across the router" `Quick
+            test_deadline_propagation ] );
+      ( "membership",
+        [ Alcotest.test_case "router drain lifecycle" `Quick test_router_drain;
+          Alcotest.test_case "probe eject and rejoin" `Quick
+            test_probe_eject_rejoin;
+          Alcotest.test_case "server drain mode" `Quick test_server_drain ] );
+      ( "hedge",
+        [ Alcotest.test_case "slow owner is raced" `Quick test_hedged_requests ] );
+      ( "limiter-router",
+        [ Alcotest.test_case "overload sheds structurally" `Quick
+            test_router_limiter ] );
+      ( "chaos",
+        [ Alcotest.test_case "transport storm, SIGKILL, rejoin, drain" `Quick
+            test_control_chaos;
+          Alcotest.test_case "CLI usage errors exit 2" `Quick
+            test_cli_usage_errors ] )
+    ]
